@@ -1,0 +1,1 @@
+bench/harness.ml: Buffer Lbr List Option Printf Sparql_uo String Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Arg Bechamel Benchmark Engine Harness Hashtbl Lazy Lbr List Measure Option Printf Rdf Rdf_store Sparql Sparql_uo Staged String Test Time Toolkit Unix Workload

@@ -1,0 +1,534 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 7) on the synthetic substrates.
+
+     dune exec bench/main.exe              # full run
+     dune exec bench/main.exe -- --quick   # reduced-scale smoke run
+     dune exec bench/main.exe -- --only fig10 --only fig13
+
+   Absolute numbers differ from the paper (its substrate was gStore/Jena on
+   a 256 GB server against 500M-2B triple datasets; ours is an OCaml
+   engine at laptop scale) — the reproduced artifact is the *shape*: which
+   configuration wins, by roughly what factor, and where base hits its
+   resource limits. See EXPERIMENTS.md for the side-by-side reading. *)
+
+let all_sections =
+  [ "table2"; "table3"; "table4"; "fig3"; "fig10"; "fig11"; "fig12"; "fig13";
+    "ablation"; "micro" ]
+
+type context = {
+  config : Harness.config;
+  lubm : (Rdf_store.Triple_store.t * Rdf_store.Stats.t) Lazy.t;
+  dbpedia : (Rdf_store.Triple_store.t * Rdf_store.Stats.t) Lazy.t;
+}
+
+let dataset_of ctx = function
+  | Workload.Queries.Lubm -> Lazy.force ctx.lubm
+  | Workload.Queries.Dbpedia -> Lazy.force ctx.dbpedia
+
+let build_store name triples =
+  let t0 = Unix.gettimeofday () in
+  let store = Rdf_store.Triple_store.of_triples triples in
+  let stats = Rdf_store.Stats.compute store in
+  Printf.printf "[build] %s: %s triples (%.1fs)\n%!" name
+    (Harness.human_int (Rdf_store.Triple_store.size store))
+    (Unix.gettimeofday () -. t0);
+  (store, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: dataset statistics.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let table2 ctx =
+  Harness.section "Table 2: Dataset statistics";
+  let row name (_, stats) =
+    [
+      name;
+      Harness.human_int (Rdf_store.Stats.num_triples stats);
+      Harness.human_int (Rdf_store.Stats.num_entities stats);
+      Harness.human_int (Rdf_store.Stats.num_predicates stats);
+      Harness.human_int (Rdf_store.Stats.num_literals stats);
+    ]
+  in
+  Harness.print_table
+    ~header:[ "Dataset"; "triples"; "entities"; "predicates"; "literals" ]
+    ~rows:
+      [
+        row "LUBM" (Lazy.force ctx.lubm);
+        row "DBpedia" (Lazy.force ctx.dbpedia);
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Tables 3 and 4: query statistics.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let query_stats_table ctx ds title =
+  Harness.section title;
+  let store, _stats = dataset_of ctx ds in
+  let rows =
+    List.map
+      (fun entry ->
+        let row =
+          Workload.Metrics.row_of ~row_budget:ctx.config.Harness.row_budget
+            store entry
+        in
+        [
+          row.Workload.Metrics.id;
+          Workload.Metrics.class_name row.Workload.Metrics.query_class;
+          string_of_int row.Workload.Metrics.count_bgp;
+          string_of_int row.Workload.Metrics.depth;
+          (match row.Workload.Metrics.result_size with
+          | Some n -> Harness.human_int n
+          | None -> ">limit");
+        ])
+      (Workload.Queries.all ds)
+  in
+  Harness.print_table
+    ~header:[ "Query"; "Type"; "Count_BGP"; "Depth"; "|[[Q]]_D|" ]
+    ~rows
+
+let table3 ctx =
+  query_stats_table ctx Workload.Queries.Lubm "Table 3: Query statistics on LUBM"
+
+let table4 ctx =
+  query_stats_table ctx Workload.Queries.Dbpedia
+    "Table 4: Query statistics on DBpedia"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 (motivational): binary-tree vs BGP-based evaluation.       *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 ctx =
+  Harness.section
+    "Figure 3 (motivational): binary-tree vs BGP-based evaluation";
+  let store, stats = Lazy.force ctx.lubm in
+  let text =
+    "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n\
+     SELECT * WHERE { ?x ub:memberOf \
+     <http://www.Department0.University0.edu> . ?x ub:telephone ?y . }"
+  in
+  let query = Sparql.Parser.parse text in
+  Printf.printf
+    "Query: one selective pattern joined with one unselective attribute \
+     pattern\n";
+  (* Binary-tree evaluation materializes every triple pattern. *)
+  let vartable = Sparql.Vartable.of_list (Sparql.Ast.group_vars query.where) in
+  let env = Engine.Bgp_eval.make ~stats store vartable Engine.Bgp_eval.Wco in
+  Sparql.Bag.set_budget ctx.config.Harness.row_budget;
+  let t0 = Unix.gettimeofday () in
+  let binary =
+    try
+      let bag, bstats =
+        Sparql_uo.Binary_eval.eval env (Sparql.Algebra.of_query query)
+      in
+      Some (Sparql.Bag.length bag, bstats)
+    with Sparql.Bag.Limit_exceeded -> None
+  in
+  let binary_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Sparql.Bag.unlimited_budget ();
+  let report =
+    Sparql_uo.Executor.run_query ~mode:Sparql_uo.Executor.Base
+      ~row_budget:ctx.config.Harness.row_budget ~stats store query
+  in
+  let rows =
+    [
+      (match binary with
+      | Some (n, bstats) ->
+          [
+            "binary-tree (per triple pattern)";
+            Printf.sprintf "%.1f" binary_ms;
+            Harness.human_int bstats.Sparql_uo.Binary_eval.total_rows;
+            Harness.human_int n;
+          ]
+      | None ->
+          [
+            "binary-tree (per triple pattern)";
+            "OOM";
+            ">" ^ Harness.human_int ctx.config.Harness.row_budget;
+            "-";
+          ]);
+      (match report.Sparql_uo.Executor.eval_stats with
+      | Some estats ->
+          [
+            "BGP-based (Algorithm 1)";
+            Printf.sprintf "%.1f" report.Sparql_uo.Executor.exec_ms;
+            Harness.human_int estats.Sparql_uo.Evaluator.total_rows;
+            Harness.human_int
+              (Option.value report.Sparql_uo.Executor.result_count ~default:0);
+          ]
+      | None -> [ "BGP-based (Algorithm 1)"; "OOM"; "-"; "-" ]);
+    ]
+  in
+  Harness.print_table
+    ~header:[ "Strategy"; "time (ms)"; "intermediate rows"; "results" ]
+    ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: base/TT/CP/full on q1.1-q1.6, both datasets and engines. *)
+(* ------------------------------------------------------------------ *)
+
+let fig10_panel ctx ds engine =
+  let store, stats = dataset_of ctx ds in
+  Harness.subsection
+    (Printf.sprintf
+       "%s / %s engine (times in ms; OOM = row budget, as in the paper's \
+        absent bars)"
+       (Workload.Queries.dataset_name ds)
+       (Engine.Bgp_eval.engine_name engine));
+  let rows =
+    List.map
+      (fun entry ->
+        let cells =
+          List.map
+            (fun mode ->
+              let cell, _ =
+                Harness.run_mode ctx.config ~stats store entry ~mode ~engine
+              in
+              Harness.cell_to_string cell)
+            Sparql_uo.Executor.all_modes
+        in
+        entry.Workload.Queries.id :: cells)
+      (Workload.Queries.group1 ds)
+  in
+  Harness.print_table ~header:[ "Query"; "base"; "TT"; "CP"; "full" ] ~rows
+
+let fig10 ctx =
+  Harness.section
+    "Figure 10: execution time of base / TT / CP / full (4 panels)";
+  List.iter
+    (fun ds ->
+      List.iter
+        (fun engine -> fig10_panel ctx ds engine)
+        [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ])
+    [ Workload.Queries.Lubm; Workload.Queries.Dbpedia ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: execution time and join space.                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig11 ctx =
+  Harness.section "Figure 11: execution time and join space (WCO engine)";
+  List.iter
+    (fun ds ->
+      let store, stats = dataset_of ctx ds in
+      Harness.subsection (Workload.Queries.dataset_name ds);
+      let rows =
+        List.concat_map
+          (fun entry ->
+            List.map
+              (fun mode ->
+                let cell, report =
+                  Harness.run_mode ctx.config ~stats store entry ~mode
+                    ~engine:Engine.Bgp_eval.Wco
+                in
+                [
+                  entry.Workload.Queries.id;
+                  Sparql_uo.Executor.mode_name mode;
+                  Harness.cell_to_string cell;
+                  (match report.Sparql_uo.Executor.eval_stats with
+                  | Some s ->
+                      Printf.sprintf "%.3g" s.Sparql_uo.Evaluator.join_space
+                  | None -> "-");
+                  (match report.Sparql_uo.Executor.eval_stats with
+                  | Some s -> Harness.human_int s.Sparql_uo.Evaluator.peak_rows
+                  | None -> "-");
+                ])
+              Sparql_uo.Executor.all_modes)
+          (Workload.Queries.group1 ds)
+      in
+      Harness.print_table
+        ~header:[ "Query"; "Mode"; "time (ms)"; "join space"; "peak rows" ]
+        ~rows)
+    [ Workload.Queries.Lubm; Workload.Queries.Dbpedia ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: scalability of full on growing LUBM datasets.            *)
+(* ------------------------------------------------------------------ *)
+
+let fig12 ctx =
+  Harness.section
+    "Figure 12: execution time of full on LUBM datasets of growing size";
+  let scales =
+    List.map
+      (fun n ->
+        let store, stats =
+          build_store
+            (Printf.sprintf "LUBM(%d universities)" n)
+            (Workload.Lubm.generate (Workload.Lubm.scaled n))
+        in
+        (n, Rdf_store.Triple_store.size store, store, stats))
+      ctx.config.Harness.scaling_universities
+  in
+  let header =
+    "Query"
+    :: List.map
+         (fun (_, size, _, _) -> Harness.human_int size ^ " triples")
+         scales
+  in
+  let rows =
+    List.map
+      (fun entry ->
+        entry.Workload.Queries.id
+        :: List.map
+             (fun (_, _, store, stats) ->
+               let cell, _ =
+                 Harness.run_mode ctx.config ~stats store entry
+                   ~mode:Sparql_uo.Executor.Full ~engine:Engine.Bgp_eval.Wco
+               in
+               Harness.cell_to_string cell)
+             scales)
+      (Workload.Queries.group1 Workload.Queries.Lubm)
+  in
+  Harness.print_table ~header ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 13: full vs LBR on q2.1-q2.6.                                *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 ctx =
+  Harness.section "Figure 13: comparison with the state of the art (LBR)";
+  List.iter
+    (fun ds ->
+      let store, stats = dataset_of ctx ds in
+      Harness.subsection (Workload.Queries.dataset_name ds);
+      let rows =
+        List.map
+          (fun entry ->
+            let full_cell, _ =
+              Harness.run_mode ctx.config ~stats store entry
+                ~mode:Sparql_uo.Executor.Full ~engine:Engine.Bgp_eval.Wco
+            in
+            let query = Sparql.Parser.parse entry.Workload.Queries.text in
+            let lbr_cell =
+              if Lbr.Lbr_eval.supported query then begin
+                let vartable =
+                  Sparql.Vartable.of_list
+                    (Sparql.Ast.group_vars query.Sparql.Ast.where)
+                in
+                let env =
+                  Engine.Bgp_eval.make ~stats store vartable
+                    Engine.Bgp_eval.Hash_join
+                in
+                Harness.cell_to_string
+                  (Harness.run_lbr ctx.config ~stats env query)
+              end
+              else "unsupported"
+            in
+            [
+              entry.Workload.Queries.id;
+              Harness.cell_to_string full_cell;
+              lbr_cell;
+            ])
+          (Workload.Queries.group2 ds)
+      in
+      Harness.print_table ~header:[ "Query"; "full (ms)"; "LBR (ms)" ] ~rows)
+    [ Workload.Queries.Lubm; Workload.Queries.Dbpedia ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: the candidate-pruning threshold (Section 6).              *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper fixes CP's threshold at 1% of |D| and gives full an adaptive
+   per-BGP threshold; this ablation sweeps the fixed threshold and
+   compares against both extremes and the adaptive rule, on the
+   CP-sensitive queries (the transformed tree is held fixed at the Full
+   plan so only the pruning rule varies). *)
+let ablation ctx =
+  Harness.section
+    "Ablation: candidate-pruning threshold (fixed sweep vs adaptive)";
+  let store, stats = Lazy.force ctx.lubm in
+  let size = Rdf_store.Triple_store.size store in
+  let thresholds =
+    [
+      ("none", Sparql_uo.Evaluator.No_pruning);
+      ("0.01%", Sparql_uo.Evaluator.Fixed (max 1 (size / 10000)));
+      ("0.1%", Sparql_uo.Evaluator.Fixed (max 1 (size / 1000)));
+      ("1%", Sparql_uo.Evaluator.Fixed (max 1 (size / 100)));
+      ("10%", Sparql_uo.Evaluator.Fixed (max 1 (size / 10)));
+      ("adaptive", Sparql_uo.Evaluator.Adaptive);
+    ]
+  in
+  let header = "Query" :: List.map fst thresholds @ [ "pruned BGPs (adaptive)" ] in
+  let rows =
+    List.filter_map
+      (fun id ->
+        let entry = Workload.Queries.get Workload.Queries.Lubm id in
+        let query = Sparql.Parser.parse entry.Workload.Queries.text in
+        let vartable =
+          Sparql.Vartable.of_list (Sparql.Ast.group_vars query.Sparql.Ast.where)
+        in
+        let env =
+          Engine.Bgp_eval.make ~stats store vartable Engine.Bgp_eval.Wco
+        in
+        let tree =
+          Sparql_uo.Transform.multi_level env ~skip_cp_equivalent:true
+            (Sparql_uo.Be_tree.of_query query)
+        in
+        let last_pruned = ref 0 in
+        let cell threshold =
+          Sparql.Bag.set_budget ctx.config.Harness.row_budget;
+          Sparql.Bag.set_deadline ~now:Unix.gettimeofday
+            ~at:
+              (Unix.gettimeofday ()
+              +. (ctx.config.Harness.timeout_ms /. 1000.));
+          let t0 = Unix.gettimeofday () in
+          let cell =
+            try
+              let _, stats = Sparql_uo.Evaluator.eval env ~threshold tree in
+              last_pruned := stats.Sparql_uo.Evaluator.pruned_bgps;
+              Printf.sprintf "%.1f" ((Unix.gettimeofday () -. t0) *. 1000.)
+            with Sparql.Bag.Limit_exceeded -> "OOM/t.o."
+          in
+          Sparql.Bag.unlimited_budget ();
+          Sparql.Bag.clear_deadline ();
+          cell
+        in
+        let cells = List.map (fun (_, t) -> cell t) thresholds in
+        Some ((id :: cells) @ [ string_of_int !last_pruned ]))
+      [ "q1.3"; "q1.4"; "q1.5"; "q1.6" ]
+  in
+  Harness.print_table ~header ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (Bechamel): core operator costs.                   *)
+(* ------------------------------------------------------------------ *)
+
+let micro ctx =
+  Harness.section "Micro-benchmarks (Bechamel): core operator costs";
+  let open Bechamel in
+  let store, stats =
+    build_store "LUBM (micro subset)" (Workload.Lubm.generate Workload.Lubm.tiny)
+  in
+  ignore ctx;
+  let mk_bag seed n =
+    let rng = Workload.Rng.create ~seed in
+    let bag = Sparql.Bag.create ~width:3 in
+    for _ = 1 to n do
+      Sparql.Bag.push bag
+        [| Workload.Rng.int rng 64; Workload.Rng.int rng 64; -1 |]
+    done;
+    bag
+  in
+  let b1 = mk_bag 1 2000 and b2 = mk_bag 2 2000 in
+  let entry = Workload.Queries.get Workload.Queries.Lubm "q1.6" in
+  let query = Sparql.Parser.parse entry.Workload.Queries.text in
+  let vartable = Sparql.Vartable.of_list (Sparql.Ast.group_vars query.where) in
+  let wco_env = Engine.Bgp_eval.make ~stats store vartable Engine.Bgp_eval.Wco in
+  let hash_env =
+    Engine.Bgp_eval.make ~stats store vartable Engine.Bgp_eval.Hash_join
+  in
+  let bgp =
+    [
+      Sparql.Triple_pattern.make
+        (Sparql.Triple_pattern.Var "x")
+        (Sparql.Triple_pattern.Term (Rdf.Term.iri (Rdf.Namespace.ub "advisor")))
+        (Sparql.Triple_pattern.Var "y");
+      Sparql.Triple_pattern.make
+        (Sparql.Triple_pattern.Var "y")
+        (Sparql.Triple_pattern.Term
+           (Rdf.Term.iri (Rdf.Namespace.ub "teacherOf")))
+        (Sparql.Triple_pattern.Var "z");
+      Sparql.Triple_pattern.make
+        (Sparql.Triple_pattern.Var "x")
+        (Sparql.Triple_pattern.Term
+           (Rdf.Term.iri (Rdf.Namespace.ub "takesCourse")))
+        (Sparql.Triple_pattern.Var "z");
+    ]
+  in
+  let tree = Sparql_uo.Be_tree.of_query query in
+  let tests =
+    Test.make_grouped ~name:"core"
+      [
+        Test.make ~name:"bag_join_2k_x_2k"
+          (Staged.stage (fun () -> Sparql.Bag.join b1 b2));
+        Test.make ~name:"bag_left_outer_join_2k_x_2k"
+          (Staged.stage (fun () -> Sparql.Bag.left_outer_join b1 b2));
+        Test.make ~name:"bag_union_2k_x_2k"
+          (Staged.stage (fun () -> Sparql.Bag.union b1 b2));
+        Test.make ~name:"bgp_eval_wco_triangle"
+          (Staged.stage (fun () ->
+               Engine.Bgp_eval.eval wco_env bgp
+                 ~candidates:Engine.Candidates.empty));
+        Test.make ~name:"bgp_eval_hash_triangle"
+          (Staged.stage (fun () ->
+               Engine.Bgp_eval.eval hash_env bgp
+                 ~candidates:Engine.Candidates.empty));
+        Test.make ~name:"parse_q1.1"
+          (Staged.stage (fun () ->
+               Sparql.Parser.parse
+                 (Workload.Queries.get Workload.Queries.Lubm "q1.1")
+                   .Workload.Queries.text));
+        Test.make ~name:"betree_multi_level_transform_q1.6"
+          (Staged.stage (fun () -> Sparql_uo.Transform.multi_level wco_env tree));
+      ]
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (estimate :: _) -> Printf.sprintf "%.0f" estimate
+        | _ -> "-"
+      in
+      rows := [ name; ns ] :: !rows)
+    results;
+  Harness.print_table
+    ~header:[ "Benchmark"; "ns/run (OLS)" ]
+    ~rows:(List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let run_sections quick only =
+  let config = if quick then Harness.quick_config else Harness.default_config in
+  let ctx =
+    {
+      config;
+      lubm =
+        lazy (build_store "LUBM" (Workload.Lubm.generate config.Harness.lubm));
+      dbpedia =
+        lazy
+          (build_store "DBpedia-like"
+             (Workload.Dbpedia_gen.generate config.Harness.dbpedia));
+    }
+  in
+  let selected = if only = [] then all_sections else only in
+  let dispatch = function
+    | "table2" -> table2 ctx
+    | "table3" -> table3 ctx
+    | "table4" -> table4 ctx
+    | "fig3" -> fig3 ctx
+    | "fig10" -> fig10 ctx
+    | "fig11" -> fig11 ctx
+    | "fig12" -> fig12 ctx
+    | "fig13" -> fig13 ctx
+    | "ablation" -> ablation ctx
+    | "micro" -> micro ctx
+    | other -> Printf.eprintf "unknown section %S (skipped)\n" other
+  in
+  Printf.printf "SPARQL-UO reproduction bench (%s mode): %s\n%!"
+    (if quick then "quick" else "full")
+    (String.concat ", " selected);
+  List.iter dispatch selected
+
+let () =
+  let quick = ref false in
+  let only = ref [] in
+  let spec =
+    [
+      ("--quick", Arg.Set quick, " reduced-scale smoke run");
+      ( "--only",
+        Arg.String (fun s -> only := !only @ [ s ]),
+        "SECTION run one section (repeatable): "
+        ^ String.concat "|" all_sections );
+    ]
+  in
+  Arg.parse spec
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    "SPARQL-UO benchmark harness";
+  run_sections !quick !only

@@ -1,0 +1,339 @@
+(* sparql_uo_cli — command-line front end for the SPARQL-UO engine.
+
+   Subcommands:
+     generate   synthesize a LUBM or DBpedia-like dataset as N-Triples
+     query      load data, execute a query, print solutions
+     explain    show the BE-tree before/after cost-driven transformation
+     modes      run a query under base/TT/CP/full and compare
+*)
+
+open Cmdliner
+
+(* ---------------- shared options ---------------- *)
+
+let data_arg =
+  let doc = "N-Triples file to load." in
+  Arg.(value & opt (some string) None & info [ "data" ] ~docv:"FILE.nt" ~doc)
+
+let synth_arg =
+  let doc =
+    "Generate a synthetic dataset instead of loading one: lubm:tiny, \
+     lubm:default, lubm:N (N universities), dbpedia:tiny, dbpedia:default."
+  in
+  Arg.(value & opt (some string) None & info [ "synth" ] ~docv:"SPEC" ~doc)
+
+let query_file_arg =
+  let doc = "File containing the SPARQL query." in
+  Arg.(value & opt (some string) None & info [ "query" ] ~docv:"FILE.rq" ~doc)
+
+let query_text_arg =
+  let doc = "Inline SPARQL query text." in
+  Arg.(value & opt (some string) None & info [ "text" ] ~docv:"SPARQL" ~doc)
+
+let mode_arg =
+  let modes =
+    [ ("base", Sparql_uo.Executor.Base); ("tt", Sparql_uo.Executor.TT);
+      ("cp", Sparql_uo.Executor.CP); ("full", Sparql_uo.Executor.Full) ]
+  in
+  let doc = "Execution mode: base, tt, cp or full." in
+  Arg.(value & opt (enum modes) Sparql_uo.Executor.Full & info [ "mode" ] ~doc)
+
+let engine_arg =
+  let engines =
+    [ ("wco", Engine.Bgp_eval.Wco); ("hash", Engine.Bgp_eval.Hash_join) ]
+  in
+  let doc = "BGP engine: wco (gStore-style) or hash (Jena-style)." in
+  Arg.(value & opt (enum engines) Engine.Bgp_eval.Wco & info [ "engine" ] ~doc)
+
+let max_print_arg =
+  let doc = "Print at most this many solutions." in
+  Arg.(value & opt int 20 & info [ "max-print" ] ~doc)
+
+let timeout_arg =
+  let doc = "Per-query timeout in milliseconds." in
+  Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~doc)
+
+let budget_arg =
+  let doc = "Intermediate-row budget (memory-limit analogue)." in
+  Arg.(value & opt (some int) None & info [ "row-budget" ] ~doc)
+
+(* ---------------- helpers ---------------- *)
+
+let parse_synth spec =
+  match String.split_on_char ':' spec with
+  | [ "lubm"; "tiny" ] -> Ok (Workload.Lubm.generate Workload.Lubm.tiny)
+  | [ "lubm"; "default" ] -> Ok (Workload.Lubm.generate Workload.Lubm.default)
+  | [ "lubm"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> Ok (Workload.Lubm.generate (Workload.Lubm.scaled n))
+      | _ -> Error (Printf.sprintf "bad university count %S" n))
+  | [ "dbpedia"; "tiny" ] ->
+      Ok (Workload.Dbpedia_gen.generate Workload.Dbpedia_gen.tiny)
+  | [ "dbpedia"; "default" ] ->
+      Ok (Workload.Dbpedia_gen.generate Workload.Dbpedia_gen.default)
+  | _ -> Error (Printf.sprintf "unknown synth spec %S" spec)
+
+(* Snapshot files are recognized by their magic bytes. *)
+let is_snapshot path =
+  match In_channel.with_open_bin path (fun ic -> really_input_string ic 4) with
+  | "SPUO" -> true
+  | _ -> false
+  | exception End_of_file -> false
+
+let load_store data synth =
+  match (data, synth) with
+  | Some path, None ->
+      if not (Sys.file_exists path) then
+        Error (Printf.sprintf "no such file: %s" path)
+      else if is_snapshot path then Ok (Rdf_store.Snapshot.load path)
+      else Ok (Rdf_store.Triple_store.load_ntriples path)
+  | None, Some spec ->
+      Result.map Rdf_store.Triple_store.of_triples (parse_synth spec)
+  | Some _, Some _ -> Error "--data and --synth are mutually exclusive"
+  | None, None -> Error "one of --data or --synth is required"
+
+let load_query file text =
+  match (file, text) with
+  | Some path, None ->
+      if Sys.file_exists path then Ok (In_channel.with_open_text path In_channel.input_all)
+      else Error (Printf.sprintf "no such file: %s" path)
+  | None, Some text -> Ok text
+  | Some _, Some _ -> Error "--query and --text are mutually exclusive"
+  | None, None -> Error "one of --query or --text is required"
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+
+let print_triples triples =
+  List.iter (fun t -> print_endline (Rdf.Triple.to_ntriples t)) triples
+
+let print_solutions store report max_print =
+  match report.Sparql_uo.Executor.result_count with
+  | None ->
+      print_endline
+        (match report.Sparql_uo.Executor.failure with
+        | Some Sparql_uo.Executor.Timeout -> "-- timed out --"
+        | _ -> "-- row budget exceeded --")
+  | Some n ->
+      Printf.printf "%d solution(s) in %.2f ms (+ %.2f ms planning)\n" n
+        report.Sparql_uo.Executor.exec_ms report.Sparql_uo.Executor.transform_ms;
+      let printed = ref 0 in
+      List.iter
+        (fun solution ->
+          if !printed < max_print then begin
+            incr printed;
+            let env = Rdf.Namespace.with_defaults () in
+            let cell (v, term) =
+              Printf.sprintf "?%s = %s" v
+                (match term with
+                | Rdf.Term.Iri iri -> Rdf.Namespace.shrink env iri
+                | t -> Rdf.Term.to_ntriples t)
+            in
+            print_endline (String.concat "  " (List.map cell solution))
+          end)
+        (Sparql_uo.Executor.solutions store report);
+      if n > max_print then Printf.printf "... (%d more)\n" (n - max_print)
+
+(* ---------------- generate ---------------- *)
+
+let generate_cmd =
+  let out_arg =
+    let doc = "Output N-Triples file." in
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let synth_req =
+    let doc = "Dataset spec (see --synth of the query command)." in
+    Arg.(required & opt (some string) None & info [ "synth" ] ~docv:"SPEC" ~doc)
+  in
+  let run spec out =
+    let triples = or_die (parse_synth spec) in
+    Rdf.Ntriples.write_file out triples;
+    Printf.printf "wrote %d triples to %s\n" (List.length triples) out
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize a benchmark dataset as N-Triples")
+    Term.(const run $ synth_req $ out_arg)
+
+(* ---------------- query ---------------- *)
+
+let query_cmd =
+  let run data synth qfile qtext mode engine max_print timeout_ms row_budget =
+    let store = or_die (load_store data synth) in
+    let text = or_die (load_query qfile qtext) in
+    let report =
+      Sparql_uo.Executor.run ~mode ~engine ?timeout_ms ?row_budget store text
+    in
+    match report.Sparql_uo.Executor.query.Sparql.Ast.form with
+    | Sparql.Ast.Select _ -> print_solutions store report max_print
+    | Sparql.Ast.Ask -> (
+        match Sparql_uo.Executor.ask report with
+        | Some answer -> print_endline (string_of_bool answer)
+        | None -> print_endline "-- limit exceeded --")
+    | Sparql.Ast.Construct _ ->
+        print_triples (Sparql_uo.Executor.construct store report)
+    | Sparql.Ast.Describe _ ->
+        print_triples (Sparql_uo.Executor.describe store report)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Execute a SPARQL query (SELECT, ASK, CONSTRUCT or DESCRIBE)")
+    Term.(
+      const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
+      $ mode_arg $ engine_arg $ max_print_arg $ timeout_arg $ budget_arg)
+
+(* ---------------- explain ---------------- *)
+
+let explain_cmd =
+  let run data synth qfile qtext mode engine =
+    let store = or_die (load_store data synth) in
+    let text = or_die (load_query qfile qtext) in
+    let report = Sparql_uo.Executor.run ~mode ~engine store text in
+    print_string (Sparql_uo.Executor.explain report)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the BE-tree before and after cost-driven transformation")
+    Term.(
+      const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
+      $ mode_arg $ engine_arg)
+
+(* ---------------- modes ---------------- *)
+
+let modes_cmd =
+  let run data synth qfile qtext engine timeout_ms row_budget =
+    let store = or_die (load_store data synth) in
+    let text = or_die (load_query qfile qtext) in
+    Printf.printf "%-6s %-10s %-12s %-12s\n" "mode" "results" "plan (ms)"
+      "exec (ms)";
+    List.iter
+      (fun mode ->
+        let report =
+          Sparql_uo.Executor.run ~mode ~engine ?timeout_ms ?row_budget store
+            text
+        in
+        Printf.printf "%-6s %-10s %-12.2f %-12.2f\n"
+          (Sparql_uo.Executor.mode_name mode)
+          (match
+             (report.Sparql_uo.Executor.result_count,
+              report.Sparql_uo.Executor.failure)
+           with
+          | Some n, _ -> string_of_int n
+          | None, Some Sparql_uo.Executor.Timeout -> "timeout"
+          | None, _ -> "OOM")
+          report.Sparql_uo.Executor.transform_ms
+          report.Sparql_uo.Executor.exec_ms)
+      Sparql_uo.Executor.all_modes
+  in
+  Cmd.v
+    (Cmd.info "modes" ~doc:"Compare base/TT/CP/full on one query")
+    Term.(
+      const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
+      $ engine_arg $ timeout_arg $ budget_arg)
+
+(* ---------------- update ---------------- *)
+
+let update_cmd =
+  let update_text_arg =
+    let doc = "Inline SPARQL Update text." in
+    Arg.(value & opt (some string) None & info [ "text" ] ~docv:"UPDATE" ~doc)
+  in
+  let update_file_arg =
+    let doc = "File containing the SPARQL Update request." in
+    Arg.(value & opt (some string) None & info [ "update" ] ~docv:"FILE.ru" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Where to write the updated store: a .nt file (N-Triples) or \
+       anything else (binary snapshot)."
+    in
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run data synth ufile utext out =
+    let store = or_die (load_store data synth) in
+    let text = or_die (load_query ufile utext) in
+    let store = Sparql_uo.Update_exec.run store text in
+    if Filename.check_suffix out ".nt" then begin
+      let acc = ref [] in
+      Rdf_store.Triple_store.iter_all store ~f:(fun ~s ~p ~o ->
+          acc :=
+            Rdf.Triple.make
+              (Rdf_store.Triple_store.decode_term store s)
+              (Rdf_store.Triple_store.decode_term store p)
+              (Rdf_store.Triple_store.decode_term store o)
+            :: !acc);
+      Rdf.Ntriples.write_file out (List.rev !acc)
+    end
+    else Rdf_store.Snapshot.save store out;
+    Printf.printf "updated store: %d triples -> %s\n"
+      (Rdf_store.Triple_store.size store)
+      out
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:"Apply SPARQL 1.1 Update operations and write the result")
+    Term.(
+      const run $ data_arg $ synth_arg $ update_file_arg $ update_text_arg
+      $ out_arg)
+
+(* ---------------- snapshot ---------------- *)
+
+let snapshot_cmd =
+  let out_arg =
+    let doc = "Output snapshot file." in
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run data synth out =
+    let store = or_die (load_store data synth) in
+    Rdf_store.Snapshot.save store out;
+    Printf.printf "wrote snapshot of %d triples to %s\n"
+      (Rdf_store.Triple_store.size store)
+      out
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:"Write a binary store snapshot (fast reload via --data)")
+    Term.(const run $ data_arg $ synth_arg $ out_arg)
+
+(* ---------------- dot ---------------- *)
+
+let dot_cmd =
+  let out_arg =
+    let doc = "Output .dot file (stdout when omitted)." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run data synth qfile qtext mode engine out =
+    let store = or_die (load_store data synth) in
+    let text = or_die (load_query qfile qtext) in
+    let report = Sparql_uo.Executor.run ~mode ~engine store text in
+    let dot =
+      Sparql_uo.Be_tree_dot.pair_to_dot
+        ~before:report.Sparql_uo.Executor.tree_before
+        ~after:report.Sparql_uo.Executor.tree_after
+    in
+    match out with
+    | None -> print_string dot
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc dot);
+        Printf.printf "wrote %s (render with: dot -Tsvg %s > plan.svg)\n" path
+          path
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Render the BE-tree plan (before/after) as Graphviz")
+    Term.(
+      const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
+      $ mode_arg $ engine_arg $ out_arg)
+
+let () =
+  let info =
+    Cmd.info "sparql_uo_cli" ~version:"1.0.0"
+      ~doc:"SPARQL-UO: efficient execution of SPARQL queries with OPTIONAL \
+            and UNION"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; query_cmd; explain_cmd; modes_cmd; snapshot_cmd;
+            dot_cmd; update_cmd ]))

@@ -1,0 +1,1 @@
+examples/analytics.ml: List Option Printf Rdf Rdf_store Sparql_uo Workload

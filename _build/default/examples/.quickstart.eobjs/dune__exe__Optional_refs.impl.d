@@ -1,0 +1,1 @@
+examples/optional_refs.ml: List Option Printf Rdf_store Sparql_uo Workload

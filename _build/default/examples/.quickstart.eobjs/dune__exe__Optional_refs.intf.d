@@ -1,0 +1,1 @@
+examples/optional_refs.mli:

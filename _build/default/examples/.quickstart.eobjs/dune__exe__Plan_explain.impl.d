@@ -1,0 +1,1 @@
+examples/plan_explain.ml: Engine List Option Printf Rdf_store Sparql Sparql_uo Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Option Printf Rdf Rdf_store Sparql_uo

@@ -1,0 +1,1 @@
+examples/union_names.ml: List Option Printf Rdf Rdf_store Sparql_uo Workload

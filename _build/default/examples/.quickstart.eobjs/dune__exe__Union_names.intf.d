@@ -1,0 +1,1 @@
+examples/union_names.mli:

@@ -1,0 +1,61 @@
+(* Quickstart: build a small RDF graph from Turtle, run a SPARQL-UO query
+   through the full optimizer stack, and print the solutions.
+
+     dune exec examples/quickstart.exe
+*)
+
+let data =
+  {|@prefix ub:  <http://swat.cse.lehigh.edu/onto/univ-bench.owl#> .
+    @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+
+    ub:alice a ub:FullProfessor ;
+             ub:worksFor ub:cs_department ;
+             ub:name "Alice" ;
+             ub:emailAddress "alice@cs.example.edu" .
+
+    ub:bob   a ub:FullProfessor ;
+             ub:worksFor ub:cs_department ;
+             ub:name "Bob" .
+
+    ub:carol ub:headOf ub:cs_department ;
+             ub:name "Carol" .
+
+    ub:dave  ub:advisor ub:alice ;
+             ub:takesCourse ub:algorithms .
+
+    ub:alice ub:teacherOf ub:algorithms .|}
+
+(* UNION bridges the two ways of being affiliated with the department;
+   the OPTIONALs attach email and advisee information where it exists. *)
+let query =
+  {|PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+    SELECT * WHERE {
+      { ?person ub:worksFor ub:cs_department . }
+      UNION
+      { ?person ub:headOf ub:cs_department . }
+      ?person ub:name ?name .
+      OPTIONAL { ?person ub:emailAddress ?email . }
+      OPTIONAL { ?student ub:advisor ?person .
+                 ?person ub:teacherOf ?course .
+                 ?student ub:takesCourse ?course . }
+    }|}
+
+let () =
+  let store = Rdf_store.Triple_store.of_triples (Rdf.Turtle.parse_string data) in
+  Printf.printf "Loaded %d triples.\n\n" (Rdf_store.Triple_store.size store);
+  let report = Sparql_uo.Executor.run store query in
+  Printf.printf "Query returned %d solutions (%.2f ms):\n\n"
+    (Option.value report.Sparql_uo.Executor.result_count ~default:0)
+    report.Sparql_uo.Executor.exec_ms;
+  let env = Rdf.Namespace.with_defaults () in
+  List.iter
+    (fun solution ->
+      List.iter
+        (fun (v, term) ->
+          Printf.printf "  ?%s = %s" v
+            (match term with
+            | Rdf.Term.Iri iri -> Rdf.Namespace.shrink env iri
+            | t -> Rdf.Term.to_ntriples t))
+        solution;
+      print_newline ())
+    (Sparql_uo.Executor.solutions store report)

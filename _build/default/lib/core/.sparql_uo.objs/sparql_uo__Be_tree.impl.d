@@ -1,0 +1,1 @@
+lib/core/be_tree.ml: Array Engine Format Int List Option Rdf Result Sparql String

@@ -1,0 +1,1 @@
+lib/core/be_tree.mli: Engine Format Sparql

@@ -1,0 +1,1 @@
+lib/core/be_tree_dot.ml: Be_tree Buffer Format List Printf Rdf Sparql String

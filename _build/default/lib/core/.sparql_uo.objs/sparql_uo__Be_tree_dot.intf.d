@@ -1,0 +1,1 @@
+lib/core/be_tree_dot.mli: Be_tree

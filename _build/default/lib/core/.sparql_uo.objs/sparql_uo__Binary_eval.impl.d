@@ -1,0 +1,1 @@
+lib/core/binary_eval.ml: Array Engine List Rdf_store Sparql

@@ -1,0 +1,1 @@
+lib/core/cost_model.ml: Array Be_tree Engine Float List Sparql

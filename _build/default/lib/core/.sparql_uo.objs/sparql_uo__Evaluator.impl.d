@@ -1,0 +1,1 @@
+lib/core/evaluator.ml: Array Be_tree Engine Float Hashtbl List Option Rdf_store Sparql

@@ -1,0 +1,1 @@
+lib/core/evaluator.mli: Be_tree Engine Sparql

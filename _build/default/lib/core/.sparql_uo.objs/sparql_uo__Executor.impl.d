@@ -1,0 +1,1 @@
+lib/core/executor.ml: Array Be_tree Buffer Engine Evaluator Float Hashtbl Int List Logs Option Printf Rdf Rdf_store Sparql Transform Unix

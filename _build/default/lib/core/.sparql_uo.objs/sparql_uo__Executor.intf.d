@@ -1,0 +1,1 @@
+lib/core/executor.mli: Be_tree Engine Evaluator Rdf Rdf_store Sparql

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Array Be_tree Cost_model Engine Float List Logs Sparql

@@ -1,0 +1,1 @@
+lib/core/transform.mli: Be_tree Engine

@@ -1,0 +1,1 @@
+lib/core/update_exec.ml: Array Executor List Rdf Rdf_store Sparql

@@ -1,0 +1,1 @@
+lib/core/update_exec.mli: Engine Rdf_store Sparql

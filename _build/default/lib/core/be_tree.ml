@@ -1,0 +1,382 @@
+type node =
+  | Bgp of Engine.Bgp.t
+  | Union of group list
+  | Optional of group
+  | Minus of group
+  | Values of Sparql.Ast.values_block
+  | Group of group
+
+and group = { children : node list; filters : Sparql.Ast.expr list }
+
+(* --- Construction ------------------------------------------------------ *)
+
+let add_distinct acc vs =
+  List.fold_left (fun acc v -> if List.mem v acc then acc else v :: acc) acc vs
+
+let rec vars_acc acc (g : group) =
+  let acc =
+    List.fold_left
+      (fun acc node ->
+        match node with
+        | Bgp b -> add_distinct acc (Engine.Bgp.vars b)
+        | Values { Sparql.Ast.vars; _ } -> add_distinct acc vars
+        | Group inner | Optional inner | Minus inner -> vars_acc acc inner
+        | Union gs -> List.fold_left vars_acc acc gs)
+      acc g.children
+  in
+  List.fold_left
+    (fun acc e ->
+      add_distinct acc (Sparql.Expr.vars ~pattern_vars:Sparql.Ast.group_vars e))
+    acc g.filters
+
+let vars g = List.rev (vars_acc [] g)
+
+
+(* Variables bound in *every* result row of a group: BGP, VALUES (columns
+   bound in all rows) and nested-group variables, plus variables common to
+   all UNION branches. OPTIONAL/MINUS contribute nothing (their variables
+   may stay unbound). Needed by both the construction-time coalescing
+   safety check below and the transformation safety checks. *)
+let rec certain_vars (g : group) =
+  List.fold_left
+    (fun acc node ->
+      match node with
+      | Bgp b -> acc @ Engine.Bgp.vars b
+      | Values { Sparql.Ast.vars; rows } ->
+          let bound_everywhere i =
+            List.for_all (fun row -> List.nth row i <> None) rows
+          in
+          acc @ List.filteri (fun i _ -> rows <> [] && bound_everywhere i) vars
+      | Group inner -> acc @ certain_vars inner
+      | Optional _ | Minus _ -> acc
+      | Union [] -> acc
+      | Union (first :: rest) ->
+          let common =
+            List.fold_left
+              (fun common branch ->
+                List.filter (fun v -> List.mem v (certain_vars branch)) common)
+              (certain_vars first) rest
+          in
+          acc @ common)
+    [] g.children
+
+(* An OPTIONAL or MINUS sibling is a *barrier*: its meaning depends on
+   what sits to its left. [barriers] describes each one: its position, its
+   subtree's variables, and the variables certainly bound by the siblings
+   originally to its left. A triple pattern may be placed in a component
+   whose leftmost constituent precedes a barrier the pattern originally
+   followed only if every variable it shares with the barrier's subtree
+   was already certainly bound on the barrier's left — otherwise the move
+   would change the barrier's semantics (the same condition the merge and
+   inject transformations must respect; vacuous on well-designed
+   patterns, which is why the paper's construction can ignore it). *)
+type barrier = {
+  bpos : int;
+  bvars : string list;
+  bleft_certain : string list;
+}
+
+(* Coalesce the triple patterns scattered across one level into maximal
+   BGPs subject to barrier safety, keeping each component's leftmost
+   source position. *)
+let coalesce_positioned (barriers : barrier list)
+    (positioned : (int * Sparql.Triple_pattern.t) list) =
+  let arr = Array.of_list positioned in
+  let n = Array.length arr in
+  (* May pattern [k] (at its original position) live in a component whose
+     leftmost position is [leftmost]? *)
+  let movable leftmost k =
+    let pos_k = fst arr.(k) in
+    let tp_vars = Sparql.Triple_pattern.vars (snd arr.(k)) in
+    List.for_all
+      (fun { bpos; bvars; bleft_certain } ->
+        if bpos <= leftmost || bpos >= pos_k then true
+        else
+          List.for_all
+            (fun v -> (not (List.mem v bvars)) || List.mem v bleft_certain)
+            tp_vars)
+      barriers
+  in
+  (* Components as member-index lists, in leftmost order; grown to a
+     fixpoint: merge any two coalescable components whose union stays
+     barrier-safe. Level sizes are small, so the quadratic sweep is
+     fine. *)
+  let components = ref (List.init n (fun i -> [ i ])) in
+  let leftmost c = List.fold_left (fun m i -> min m (fst arr.(i))) max_int c in
+  let coalescable c1 c2 =
+    List.exists
+      (fun i ->
+        List.exists
+          (fun j ->
+            Sparql.Triple_pattern.coalescable (snd arr.(i)) (snd arr.(j)))
+          c2)
+      c1
+  in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let rec sweep = function
+      | [] -> []
+      | c :: rest -> (
+          let mergeable, others =
+            List.partition
+              (fun c' ->
+                coalescable c c'
+                &&
+                let merged = c @ c' in
+                let lm = leftmost merged in
+                List.for_all (movable lm) merged)
+              rest
+          in
+          match mergeable with
+          | [] -> c :: sweep others
+          | _ ->
+              progress := true;
+              sweep ((c @ List.concat mergeable) :: others))
+    in
+    components := sweep !components
+  done;
+  !components
+  |> List.map (fun c ->
+         let members = List.sort (fun i j -> Int.compare (fst arr.(i)) (fst arr.(j))) c in
+         (fst arr.(List.hd members), List.map (fun i -> snd arr.(i)) members))
+  |> List.sort (fun (p1, _) (p2, _) -> Int.compare p1 p2)
+
+let rec of_ast (g : Sparql.Ast.group) : group =
+  (* Assign a source position to every element; triple patterns are
+     positioned individually so a coalesced BGP lands at its leftmost
+     constituent. *)
+  let counter = ref 0 in
+  let next () =
+    let p = !counter in
+    incr counter;
+    p
+  in
+  let triples = ref [] and others = ref [] and filters = ref [] in
+  List.iter
+    (fun element ->
+      match element with
+      | Sparql.Ast.Triples tps ->
+          List.iter (fun tp -> triples := (next (), tp) :: !triples) tps
+      | Sparql.Ast.Group inner -> others := (next (), Group (of_ast inner)) :: !others
+      | Sparql.Ast.Union gs -> (
+          match gs with
+          | [ only ] -> others := (next (), Group (of_ast only)) :: !others
+          | _ -> others := (next (), Union (List.map of_ast gs)) :: !others)
+      | Sparql.Ast.Optional inner ->
+          others := (next (), Optional (of_ast inner)) :: !others
+      | Sparql.Ast.Minus inner ->
+          others := (next (), Minus (of_ast inner)) :: !others
+      | Sparql.Ast.Values block ->
+          others := (next (), Values block) :: !others
+      | Sparql.Ast.Filter e -> filters := e :: !filters)
+    g;
+  (* Barrier bookkeeping for safe coalescing: walk the level in source
+     order accumulating certainly-bound variables. *)
+  let barriers =
+    let elems =
+      List.sort
+        (fun (p1, _) (p2, _) -> Int.compare p1 p2)
+        (List.map (fun (p, tp) -> (p, `Tp tp)) (List.rev !triples)
+        @ List.map (fun (p, node) -> (p, `Node node)) (List.rev !others))
+    in
+    let acc = ref [] in
+    let certain = ref [] in
+    List.iter
+      (fun (pos, elem) ->
+        match elem with
+        | `Tp tp -> certain := !certain @ Sparql.Triple_pattern.vars tp
+        | `Node (Optional inner | Minus inner) ->
+            acc :=
+              { bpos = pos; bvars = vars inner; bleft_certain = !certain }
+              :: !acc
+        | `Node node ->
+            certain :=
+              !certain @ certain_vars { children = [ node ]; filters = [] })
+      elems;
+    List.rev !acc
+  in
+  let bgps =
+    List.map
+      (fun (pos, patterns) -> (pos, Bgp patterns))
+      (coalesce_positioned barriers (List.rev !triples))
+  in
+  let children =
+    List.sort
+      (fun (p1, _) (p2, _) -> Int.compare p1 p2)
+      (bgps @ List.rev !others)
+    |> List.map snd
+  in
+  { children; filters = List.rev !filters }
+
+let of_query (q : Sparql.Ast.query) = of_ast q.Sparql.Ast.where
+
+(* --- Conversion to the binary algebra ---------------------------------- *)
+
+let rec to_algebra (g : group) : Sparql.Algebra.t =
+  let join_with acc p =
+    match acc with
+    | None -> Some p
+    | Some q -> Some (Sparql.Algebra.And (q, p))
+  in
+  let body =
+    List.fold_left
+      (fun acc node ->
+        match node with
+        | Bgp [] -> join_with acc Sparql.Algebra.Unit
+        | Bgp patterns ->
+            List.fold_left
+              (fun acc tp -> join_with acc (Sparql.Algebra.Triple tp))
+              acc patterns
+        | Group inner -> join_with acc (Sparql.Algebra.Group (to_algebra inner))
+        | Union gs -> (
+            match List.map (fun g -> Sparql.Algebra.Group (to_algebra g)) gs with
+            | [] -> acc
+            | first :: rest ->
+                join_with acc
+                  (List.fold_left
+                     (fun u g -> Sparql.Algebra.Union (u, g))
+                     first rest))
+        | Optional inner ->
+            let left = Option.value acc ~default:Sparql.Algebra.Unit in
+            Some
+              (Sparql.Algebra.Optional
+                 (left, Sparql.Algebra.Group (to_algebra inner)))
+        | Minus inner ->
+            let left = Option.value acc ~default:Sparql.Algebra.Unit in
+            Some
+              (Sparql.Algebra.Minus
+                 (left, Sparql.Algebra.Group (to_algebra inner)))
+        | Values block -> join_with acc (Sparql.Algebra.Values block))
+      None g.children
+  in
+  let body = Option.value body ~default:Sparql.Algebra.Unit in
+  List.fold_left
+    (fun p e -> Sparql.Algebra.Filter (e, p))
+    body g.filters
+
+(* --- Validity ----------------------------------------------------------- *)
+
+let rec check (g : group) =
+  (* Maximality: two coalescable sibling BGPs must be merged — unless an
+     OPTIONAL/MINUS barrier between them justifies keeping them apart
+     (barrier-safe construction, see coalesce_positioned). *)
+  let children = Array.of_list g.children in
+  let barrier_between i j =
+    let lo = min i j and hi = max i j in
+    let rec go k =
+      k < hi
+      && ((match children.(k) with Optional _ | Minus _ -> true | _ -> false)
+         || go (k + 1))
+    in
+    go (lo + 1)
+  in
+  let maximality =
+    let violation = ref None in
+    Array.iteri
+      (fun i node ->
+        match node with
+        | Bgp (_ :: _ as b1) ->
+            Array.iteri
+              (fun j node' ->
+                match node' with
+                | Bgp (_ :: _ as b2)
+                  when j > i
+                       && Engine.Bgp.coalescable b1 b2
+                       && not (barrier_between i j) ->
+                    violation :=
+                      Some "sibling BGP nodes are coalescable (BGPs not maximal)"
+                | _ -> ())
+              children
+        | _ -> ())
+      children;
+    match !violation with None -> Ok () | Some msg -> Error msg
+  in
+  let ( let* ) r f = Result.bind r f in
+  let* () = maximality in
+  let check_node = function
+    | Bgp _ -> Ok ()
+    | Values { Sparql.Ast.vars; rows } ->
+        if List.for_all (fun row -> List.length row = List.length vars) rows
+        then Ok ()
+        else Error "VALUES row arity mismatch"
+    | Group inner -> check inner
+    | Optional inner | Minus inner -> check inner
+    | Union gs ->
+        if List.length gs < 2 then Error "UNION node with fewer than 2 children"
+        else
+          List.fold_left
+            (fun acc g -> Result.bind acc (fun () -> check g))
+            (Ok ()) gs
+  in
+  List.fold_left
+    (fun acc node -> Result.bind acc (fun () -> check_node node))
+    (Ok ()) g.children
+
+(* --- Metrics ------------------------------------------------------------ *)
+
+let rec count_bgp (g : group) =
+  List.fold_left
+    (fun acc node ->
+      match node with
+      | Bgp [] -> acc
+      | Bgp _ -> acc + 1
+      | Values _ -> acc
+      | Group inner | Optional inner | Minus inner -> acc + count_bgp inner
+      | Union gs -> List.fold_left (fun acc g -> acc + count_bgp g) acc gs)
+    0 g.children
+
+let rec depth (g : group) =
+  1
+  + List.fold_left
+      (fun acc node ->
+        let d =
+          match node with
+          | Bgp _ | Values _ -> 0
+          | Group inner | Optional inner | Minus inner -> depth inner
+          | Union gs -> List.fold_left (fun m g -> max m (depth g)) 0 gs
+        in
+        max acc d)
+      0 g.children
+
+
+(* --- Printing ----------------------------------------------------------- *)
+
+let rec pp_node fmt = function
+  | Bgp [] -> Format.pp_print_string fmt "BGP(empty)"
+  | Bgp patterns ->
+      Format.fprintf fmt "@[<hv 2>BGP[%a]@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt "@ ")
+           (fun fmt tp ->
+             Format.pp_print_string fmt (Sparql.Triple_pattern.to_string tp)))
+        patterns
+  | Union gs ->
+      Format.fprintf fmt "@[<hv 2>UNION(@,%a)@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ")
+           pp)
+        gs
+  | Optional inner -> Format.fprintf fmt "@[<hv 2>OPTIONAL(%a)@]" pp inner
+  | Minus inner -> Format.fprintf fmt "@[<hv 2>MINUS(%a)@]" pp inner
+  | Values { Sparql.Ast.vars; rows } ->
+      Format.fprintf fmt "VALUES(%s/%d)" (String.concat "," vars)
+        (List.length rows)
+  | Group inner -> Format.fprintf fmt "@[<hv 2>GROUP(%a)@]" pp inner
+
+and pp fmt (g : group) =
+  Format.fprintf fmt "@[<hv 2>{%a%a}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ";@ ")
+       pp_node)
+    g.children
+    (fun fmt filters ->
+      List.iter
+        (fun e ->
+          Format.fprintf fmt ";@ FILTER(%a)"
+            (Sparql.Ast.pp_expr (Rdf.Namespace.with_defaults ()))
+            e)
+        filters)
+    g.filters
+
+let to_string g = Format.asprintf "%a" pp g

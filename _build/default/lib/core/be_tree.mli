@@ -1,0 +1,71 @@
+(** The BGP-based Evaluation tree (Definition 8): the paper's plan
+    representation for SPARQL-UO queries.
+
+    A group graph pattern node holds an ordered list of children; leaves are
+    (maximal) BGP nodes; internal nodes are UNION nodes (>= 2 group
+    children), OPTIONAL nodes (exactly one group child, positioned among its
+    siblings — the OPTIONAL-left pattern is everything to its left) and
+    nested group nodes. FILTERs of a group are kept on the group node and
+    applied to its full result (SPARQL group semantics). *)
+
+type node =
+  | Bgp of Engine.Bgp.t
+      (** a BGP leaf; the empty list is the *empty BGP node* that a merge
+          transformation leaves behind (result: the unit mapping) *)
+  | Union of group list
+  | Optional of group
+  | Minus of group
+      (** SPARQL 1.1 MINUS: applies to everything to its left, like
+          OPTIONAL *)
+  | Values of Sparql.Ast.values_block  (** inline-data leaf *)
+  | Group of group
+
+and group = { children : node list; filters : Sparql.Ast.expr list }
+
+(** {1 Construction} *)
+
+(** [of_ast g] builds the BE-tree of a surface group graph pattern:
+    sibling triple patterns (across the whole level) are coalesced into
+    maximal BGP nodes, each placed at its leftmost constituent's original
+    position (Section 4.1). *)
+val of_ast : Sparql.Ast.group -> group
+
+(** [of_query q] is [of_ast q.where]. *)
+val of_query : Sparql.Ast.query -> group
+
+(** {1 Conversion} *)
+
+(** [to_algebra g] is the Definition 6 binary algebra of the tree — the
+    basis for the semantics oracle and for explaining plans. *)
+val to_algebra : group -> Sparql.Algebra.t
+
+(** {1 Validity (Section 4.2.1)} *)
+
+(** [check g] verifies the structural invariants of Definition 8: UNION
+    nodes have >= 2 children, BGP leaves are coalesced maximally within
+    their level (empty BGP nodes from transformations are permitted). *)
+val check : group -> (unit, string) result
+
+(** {1 Metrics (Section 7.1)} *)
+
+(** [count_bgp g] — the number of (non-empty) BGP leaves. *)
+val count_bgp : group -> int
+
+(** [depth g] — the maximum nesting depth of group graph patterns; the
+    outermost group contributes 1, per the paper's [Depth(P) =
+    Depth(P1) + 1] for [P = {P1}]. *)
+val depth : group -> int
+
+(** [vars g] — distinct variables, first-use order. *)
+val vars : group -> string list
+
+(** [certain_vars g] — variables bound in *every* result row of [g]: BGP
+    and nested-group variables, VALUES columns bound in all rows, and
+    variables common to all UNION branches; OPTIONAL/MINUS variables are
+    excluded. Used by the coalescing and transformation safety checks. *)
+val certain_vars : group -> string list
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> group -> unit
+val to_string : group -> string

@@ -1,0 +1,69 @@
+type stats = { peak_rows : int; total_rows : int }
+
+let eval env algebra =
+  let store = Engine.Bgp_eval.store env in
+  let table = Engine.Bgp_eval.vartable env in
+  let width = Engine.Bgp_eval.width env in
+  let peak = ref 0 in
+  let observe bag =
+    peak := max !peak (Sparql.Bag.length bag);
+    bag
+  in
+  let lookup row v =
+    match Sparql.Vartable.find table v with
+    | None -> None
+    | Some col ->
+        if Sparql.Binding.is_bound row col then
+          Some (Rdf_store.Triple_store.decode_term store row.(col))
+        else None
+  in
+  let dict = Rdf_store.Triple_store.dictionary store in
+  let rec go = function
+    | Sparql.Algebra.Unit -> Sparql.Bag.unit ~width
+    | Sparql.Algebra.Triple tp ->
+        let compiled = Engine.Compiled.compile store table tp in
+        observe
+          (Engine.Hash_join.scan_pattern store ~width compiled
+             ~candidates:Engine.Candidates.empty)
+    | Sparql.Algebra.And (p1, p2) -> observe (Sparql.Bag.join (go p1) (go p2))
+    | Sparql.Algebra.Union (p1, p2) ->
+        observe (Sparql.Bag.union (go p1) (go p2))
+    | Sparql.Algebra.Optional (p1, p2) ->
+        observe (Sparql.Bag.left_outer_join (go p1) (go p2))
+    | Sparql.Algebra.Minus (p1, p2) ->
+        observe (Sparql.Bag.sparql_minus (go p1) (go p2))
+    | Sparql.Algebra.Values block ->
+        let bag = Sparql.Bag.create ~width in
+        let cols =
+          List.map (Sparql.Vartable.id table) block.Sparql.Ast.vars
+        in
+        List.iter
+          (fun row ->
+            let fresh = Sparql.Binding.create ~width in
+            List.iter2
+              (fun col cell ->
+                match cell with
+                | Some term ->
+                    fresh.(col) <- Rdf_store.Dictionary.encode dict term
+                | None -> ())
+              cols row;
+            Sparql.Bag.push bag fresh)
+          block.Sparql.Ast.rows;
+        observe bag
+    | Sparql.Algebra.Filter (e, p) ->
+        observe
+          (Sparql.Bag.filter (go p) ~f:(fun row ->
+               Sparql.Expr.eval ~lookup:(lookup row)
+                 ~exists:(exists_of row) e))
+    | Sparql.Algebra.Group p -> go p
+  and exists_of row group =
+    (* Parameterize the EXISTS pattern with the row and recurse. *)
+    let substituted =
+      Sparql.Ast.substitute_group group ~lookup:(lookup row)
+    in
+    let bag = go (Sparql.Algebra.of_group substituted) in
+    not (Sparql.Bag.is_empty bag)
+  in
+  Sparql.Bag.reset_push_counter ();
+  let bag = go algebra in
+  (bag, { peak_rows = !peak; total_rows = Sparql.Bag.pushed_rows () })

@@ -1,0 +1,11 @@
+(** The naive binary-expression-tree evaluation that Section 4 opens with:
+    every triple pattern is materialized independently and the operators of
+    Definition 7 are applied bottom-up. It is the semantics oracle of the
+    test suite and the strawman of the Figure 3 motivation bench. *)
+
+type stats = { peak_rows : int; total_rows : int }
+
+(** [eval env algebra] evaluates directly per Definition 7. May raise
+    [Sparql.Bag.Limit_exceeded] under an armed row budget — which it does
+    readily; that is its point. *)
+val eval : Engine.Bgp_eval.t -> Sparql.Algebra.t -> Sparql.Bag.t * stats

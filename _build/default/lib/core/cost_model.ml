@@ -1,0 +1,74 @@
+type env = Engine.Bgp_eval.t
+
+let bgp_cost env = function
+  | [] -> 0.
+  | patterns -> Engine.Bgp_eval.estimate_cost env patterns
+
+let bgp_card env = function
+  | [] -> 1.
+  | patterns -> Engine.Bgp_eval.estimate_card env patterns
+
+let rec node_card env = function
+  | Be_tree.Bgp b -> bgp_card env b
+  | Be_tree.Values { Sparql.Ast.rows; _ } ->
+      Float.max (float_of_int (List.length rows)) 1.
+  | Be_tree.Group g -> group_card env g
+  | Be_tree.Union gs ->
+      List.fold_left (fun acc g -> acc +. group_card env g) 0. gs
+  | Be_tree.Optional g ->
+      (* The left side is retained even when the child has no matches. *)
+      Float.max (group_card env g) 1.
+  | Be_tree.Minus _ ->
+      (* MINUS only removes rows; neutral for sibling products. *)
+      1.
+
+and group_card env (g : Be_tree.group) =
+  List.fold_left (fun acc node -> acc *. node_card env node) 1. g.children
+
+let f_and args = List.fold_left ( *. ) 1. args
+let f_union args = List.fold_left ( +. ) 0. args
+let f_optional left right = left *. right
+
+let level_cost env (g : Be_tree.group) =
+  let children = Array.of_list g.children in
+  let cards = Array.map (node_card env) children in
+  let n = Array.length children in
+  (* Prefix/suffix products give res(l(·)) and res(r(·)) cheaply. *)
+  let left = Array.make (n + 1) 1. in
+  for i = 0 to n - 1 do
+    left.(i + 1) <- left.(i) *. cards.(i)
+  done;
+  let right = Array.make (n + 1) 1. in
+  for i = n - 1 downto 0 do
+    right.(i) <- right.(i + 1) *. cards.(i)
+  done;
+  let total = ref 0. in
+  Array.iteri
+    (fun i node ->
+      match node with
+      | Be_tree.Bgp b ->
+          total :=
+            !total +. bgp_cost env b
+            +. f_and [ cards.(i); left.(i); right.(i + 1) ]
+      | Be_tree.Union gs ->
+          total := !total +. f_union (List.map (group_card env) gs)
+      | Be_tree.Optional inner | Be_tree.Minus inner ->
+          (* The left pattern is everything to the node's left. *)
+          total := !total +. f_optional left.(i) (group_card env inner)
+      | Be_tree.Values _ | Be_tree.Group _ -> ())
+    children;
+  !total
+
+let two_level_cost env (g : Be_tree.group) =
+  let sub_costs =
+    List.fold_left
+      (fun acc node ->
+        match node with
+        | Be_tree.Bgp _ | Be_tree.Values _ -> acc
+        | Be_tree.Group inner | Be_tree.Optional inner | Be_tree.Minus inner ->
+            acc +. level_cost env inner
+        | Be_tree.Union gs ->
+            List.fold_left (fun acc g -> acc +. level_cost env g) acc gs)
+      0. g.children
+  in
+  level_cost env g +. sub_costs

@@ -1,0 +1,43 @@
+(** The SPARQL-UO cost model of Section 5.1.1.
+
+    Cost = BGP evaluation cost + algebra cost, where the algebra cost of
+    the implicit ANDs at a level is [f_AND] over the result sizes of the
+    node and its left/right siblings, the cost of a UNION is [f_UNION] over
+    its branches' result sizes, and the cost of an OPTIONAL is
+    [f_OPTIONAL] over the left-hand side's and the child's result sizes.
+    Following the paper's instantiation, [f_AND] and [f_OPTIONAL] are
+    products and [f_UNION] is a sum; result sizes of joins are estimated as
+    products and of unions as sums.
+
+    Δ-cost of a transformation (Equations 4 and 8) is obtained by
+    evaluating {!two_level_cost} on the group before and after — the
+    affected terms are exactly the ones that differ, so unaffected terms
+    cancel. *)
+
+type env = Engine.Bgp_eval.t
+
+(** [bgp_cost env b] — cost(B) from the underlying engine (Section
+    5.1.2). The empty BGP costs 0. *)
+val bgp_cost : env -> Engine.Bgp.t -> float
+
+(** [bgp_card env b] — |res(B)|. The empty BGP has cardinality 1. *)
+val bgp_card : env -> Engine.Bgp.t -> float
+
+(** [node_card env node] — estimated result size of a BE-tree node:
+    BGPs from the engine's estimator, groups as products of their
+    children, UNIONs as sums of their branches, OPTIONALs as
+    [max(card, 1)] of their child (the left side is always retained). *)
+val node_card : env -> Be_tree.node -> float
+
+val group_card : env -> Be_tree.group -> float
+
+(** [level_cost env g] — the cost terms local to one level: BGP costs of
+    BGP children, [f_AND] terms of each BGP child against its siblings,
+    [f_UNION] of each UNION child and [f_OPTIONAL] of each OPTIONAL
+    child. *)
+val level_cost : env -> Be_tree.group -> float
+
+(** [two_level_cost env g] — {!level_cost} of [g] plus the level costs of
+    the groups directly under [g]'s UNION/OPTIONAL/group children: the
+    scope a single merge or inject transformation can affect. *)
+val two_level_cost : env -> Be_tree.group -> float

@@ -1,0 +1,263 @@
+type threshold = No_pruning | Fixed of int | Adaptive
+
+type stats = {
+  join_space : float;
+  peak_rows : int;
+  total_rows : int;
+  bgp_evals : int;
+  pruned_bgps : int;
+}
+
+type state = {
+  env : Engine.Bgp_eval.t;
+  threshold : threshold;
+  mutable peak_rows : int;
+  mutable bgp_evals : int;
+  mutable pruned_bgps : int;
+}
+
+let observe st bag = st.peak_rows <- max st.peak_rows (Sparql.Bag.length bag)
+
+(* Variable columns used anywhere below a node — candidate sets are only
+   built for columns the subtree can actually prune on. *)
+let node_columns st node =
+  let table = Engine.Bgp_eval.vartable st.env in
+  let vars =
+    match node with
+    | Be_tree.Bgp b -> Engine.Bgp.vars b
+    | Be_tree.Values { Sparql.Ast.vars; _ } -> vars
+    | Be_tree.Group g | Be_tree.Optional g | Be_tree.Minus g -> Be_tree.vars g
+    | Be_tree.Union gs -> List.concat_map Be_tree.vars gs
+  in
+  List.filter_map (fun v -> Sparql.Vartable.find table v) vars
+
+(* Candidate sets drawn from the current result [r]: one per column that is
+   bound in every row of [r] and used below [node]; intersected with any
+   outer candidate set for the same column. *)
+let candidates_from st outer r node =
+  match r with
+  | None -> outer
+  | Some bag when Sparql.Bag.is_empty bag -> outer
+  | Some bag ->
+      let universal = Sparql.Bag.universal_columns bag in
+      let wanted = node_columns st node in
+      List.fold_left
+        (fun cands col ->
+          if not (List.mem col wanted) then cands
+          else begin
+            let values = Sparql.Bag.distinct_values bag ~col in
+            let values =
+              match Engine.Candidates.find outer ~col with
+              | None -> values
+              | Some outer_values ->
+                  let inter = Hashtbl.create (Hashtbl.length values) in
+                  Hashtbl.iter
+                    (fun v () ->
+                      if Hashtbl.mem outer_values v then Hashtbl.replace inter v ())
+                    values;
+                  inter
+            in
+            Engine.Candidates.set cands ~col values
+          end)
+        outer universal
+
+(* Apply the threshold rule of Section 6: a candidate set reaches the BGP
+   only when smaller than the threshold. *)
+let admit_candidates st cands patterns =
+  match st.threshold with
+  | No_pruning -> Engine.Candidates.empty
+  | Fixed limit ->
+      List.fold_left
+        (fun acc col ->
+          match Engine.Candidates.find cands ~col with
+          | Some values when Hashtbl.length values < limit ->
+              Engine.Candidates.set acc ~col values
+          | _ -> acc)
+        Engine.Candidates.empty
+        (node_columns st (Be_tree.Bgp patterns))
+  | Adaptive ->
+      (* Demand a margin below the estimated BGP result size: a candidate
+         set about as large as the result it would prune only adds
+         membership-test overhead (Section 6's "smaller candidate result
+         size also reduces the overhead"). *)
+      let estimate = Engine.Bgp_eval.estimate_card st.env patterns in
+      List.fold_left
+        (fun acc col ->
+          match Engine.Candidates.find cands ~col with
+          | Some values
+            when 2. *. float_of_int (Hashtbl.length values) < estimate ->
+              Engine.Candidates.set acc ~col values
+          | _ -> acc)
+        Engine.Candidates.empty
+        (node_columns st (Be_tree.Bgp patterns))
+
+let eval_bgp st patterns ~cands =
+  let width = Engine.Bgp_eval.width st.env in
+  match patterns with
+  | [] -> (Sparql.Bag.unit ~width, 1.)
+  | _ ->
+      let admitted = admit_candidates st cands patterns in
+      st.bgp_evals <- st.bgp_evals + 1;
+      if not (Engine.Candidates.is_empty admitted) then
+        st.pruned_bgps <- st.pruned_bgps + 1;
+      let bag = Engine.Bgp_eval.eval st.env patterns ~candidates:admitted in
+      observe st bag;
+      (bag, float_of_int (Sparql.Bag.length bag))
+
+let rec filter_lookup st row v =
+  let table = Engine.Bgp_eval.vartable st.env in
+  let store = Engine.Bgp_eval.store st.env in
+  match Sparql.Vartable.find table v with
+  | None -> None
+  | Some col ->
+      if Sparql.Binding.is_bound row col then
+        Some (Rdf_store.Triple_store.decode_term store row.(col))
+      else None
+
+(* EXISTS { P }: substitute the row's bindings into P and test whether the
+   parameterized pattern has any solution (evaluated through the
+   Definition 7 semantics directly — EXISTS groups are small). *)
+let rec exists_check st row group =
+  let lookup = filter_lookup st row in
+  let substituted = Sparql.Ast.substitute_group group ~lookup in
+  let vartable = Sparql.Vartable.of_list (Sparql.Ast.group_vars substituted) in
+  let env =
+    Engine.Bgp_eval.make
+      ~stats:(Engine.Bgp_eval.stats st.env)
+      (Engine.Bgp_eval.store st.env)
+      vartable (Engine.Bgp_eval.engine st.env)
+  in
+  let tree = Be_tree.of_ast substituted in
+  let sub_state =
+    { env; threshold = No_pruning; peak_rows = 0; bgp_evals = 0;
+      pruned_bgps = 0 }
+  in
+  let bag, _ = eval_group sub_state tree ~cands:Engine.Candidates.empty in
+  not (Sparql.Bag.is_empty bag)
+
+(* Materialize a VALUES block as a bag; constants are interned in the
+   dictionary (harmless: they occur in no triple, so they simply become
+   ids that join with nothing unless present in the data). *)
+and values_bag st (block : Sparql.Ast.values_block) =
+  let table = Engine.Bgp_eval.vartable st.env in
+  let store = Engine.Bgp_eval.store st.env in
+  let dict = Rdf_store.Triple_store.dictionary store in
+  let width = Engine.Bgp_eval.width st.env in
+  let cols = List.map (Sparql.Vartable.id table) block.Sparql.Ast.vars in
+  let bag = Sparql.Bag.create ~width in
+  List.iter
+    (fun row ->
+      let fresh = Sparql.Binding.create ~width in
+      List.iter2
+        (fun col cell ->
+          match cell with
+          | Some term -> fresh.(col) <- Rdf_store.Dictionary.encode dict term
+          | None -> ())
+        cols row;
+      Sparql.Bag.push bag fresh)
+    block.Sparql.Ast.rows;
+  bag
+
+(* Algorithm 1, with candidate pruning (the [cands] argument is the paper's
+   third argument to BGPBasedEvaluation). Returns the bag and the node's
+   contribution to the join space. *)
+and eval_group st (g : Be_tree.group) ~cands : Sparql.Bag.t * float =
+  let width = Engine.Bgp_eval.width st.env in
+  let r = ref None in
+  let js = ref 1. in
+  let current () = Option.value !r ~default:(Sparql.Bag.unit ~width) in
+  List.iter
+    (fun node ->
+      let pass_down = candidates_from st cands !r node in
+      match node with
+      | Be_tree.Bgp patterns ->
+          let bag, bgp_js = eval_bgp st patterns ~cands:pass_down in
+          js := !js *. bgp_js;
+          let joined =
+            match !r with None -> bag | Some r0 -> Sparql.Bag.join r0 bag
+          in
+          observe st joined;
+          r := Some joined
+      | Be_tree.Group inner ->
+          let bag, inner_js = eval_group st inner ~cands:pass_down in
+          js := !js *. inner_js;
+          let joined =
+            match !r with None -> bag | Some r0 -> Sparql.Bag.join r0 bag
+          in
+          observe st joined;
+          r := Some joined
+      | Be_tree.Union branches ->
+          let u = ref (Sparql.Bag.create ~width) in
+          let union_js = ref 0. in
+          List.iter
+            (fun branch ->
+              let bag, branch_js = eval_group st branch ~cands:pass_down in
+              union_js := !union_js +. branch_js;
+              u := Sparql.Bag.union !u bag)
+            branches;
+          js := !js *. !union_js;
+          observe st !u;
+          let joined =
+            match !r with None -> !u | Some r0 -> Sparql.Bag.join r0 !u
+          in
+          observe st joined;
+          r := Some joined
+      | Be_tree.Values block ->
+          let bag = values_bag st block in
+          js := !js *. float_of_int (Sparql.Bag.length bag);
+          let joined =
+            match !r with None -> bag | Some r0 -> Sparql.Bag.join r0 bag
+          in
+          observe st joined;
+          r := Some joined
+      | Be_tree.Optional inner | Be_tree.Minus inner ->
+          (* Soundness: only columns universally bound by the left side
+             (the current result) may prune the right side — pruning any
+             other column could flip an extension into a spuriously
+             surviving unextended row (OPTIONAL), or resurrect a row its
+             excluder would have removed (MINUS). *)
+          let left_universal =
+            match !r with
+            | None -> []
+            | Some bag -> Sparql.Bag.universal_columns bag
+          in
+          let pass_down =
+            Engine.Candidates.restrict pass_down ~cols:left_universal
+          in
+          let bag, inner_js = eval_group st inner ~cands:pass_down in
+          js := !js *. Float.max inner_js 1.;
+          let combined =
+            match node with
+            | Be_tree.Optional _ ->
+                Sparql.Bag.left_outer_join (current ()) bag
+            | _ -> Sparql.Bag.sparql_minus (current ()) bag
+          in
+          observe st combined;
+          r := Some combined)
+    g.children;
+  let result = current () in
+  let result =
+    List.fold_left
+      (fun bag e ->
+        Sparql.Bag.filter bag ~f:(fun row ->
+            Sparql.Expr.eval
+              ~lookup:(filter_lookup st row)
+              ~exists:(exists_check st row)
+              e))
+      result g.filters
+  in
+  observe st result;
+  (result, !js)
+
+let eval env ~threshold tree =
+  let st = { env; threshold; peak_rows = 0; bgp_evals = 0; pruned_bgps = 0 } in
+  Sparql.Bag.reset_push_counter ();
+  let bag, join_space = eval_group st tree ~cands:Engine.Candidates.empty in
+  ( bag,
+    {
+      join_space;
+      peak_rows = st.peak_rows;
+      total_rows = Sparql.Bag.pushed_rows ();
+      bgp_evals = st.bgp_evals;
+      pruned_bgps = st.pruned_bgps;
+    } )

@@ -1,0 +1,29 @@
+(** BGP-based evaluation of a BE-tree (Algorithm 1), optionally augmented
+    with the candidate-pruning optimization of Section 6.
+
+    Candidate pruning: whenever a UNION, OPTIONAL or nested group node is
+    encountered, the variables bound in *every* row of the current result
+    become candidate sets for the BGPs evaluated below; a BGP applies a
+    candidate set only when it is smaller than a threshold — a fixed row
+    count, or (adaptive mode) the engine's estimate of that BGP's own
+    result size. *)
+
+type threshold =
+  | No_pruning
+  | Fixed of int  (** CP mode: the paper uses 1% of the dataset size *)
+  | Adaptive  (** Full mode: per-BGP estimated result size *)
+
+type stats = {
+  join_space : float;
+      (** the JS metric of Section 7.1, computed from the materialized BGP
+          result sizes *)
+  peak_rows : int;  (** largest bag materialized during evaluation *)
+  total_rows : int;  (** total intermediate rows materialized *)
+  bgp_evals : int;
+  pruned_bgps : int;  (** BGP evaluations that had a candidate set applied *)
+}
+
+(** [eval env ~threshold tree] runs Algorithm 1 over [tree]. May raise
+    [Sparql.Bag.Limit_exceeded] if the caller armed a row budget. *)
+val eval :
+  Engine.Bgp_eval.t -> threshold:threshold -> Be_tree.group -> Sparql.Bag.t * stats

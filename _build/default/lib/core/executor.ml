@@ -1,0 +1,461 @@
+let log_src = Logs.Src.create "sparql_uo.executor" ~doc:"SPARQL-UO execution"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type mode = Base | TT | CP | Full
+
+let mode_name = function Base -> "base" | TT -> "TT" | CP -> "CP" | Full -> "full"
+
+let all_modes = [ Base; TT; CP; Full ]
+
+type failure = Out_of_budget | Timeout
+
+type report = {
+  mode : mode;
+  engine : Engine.Bgp_eval.engine;
+  query : Sparql.Ast.query;
+  vartable : Sparql.Vartable.t;
+  projection : string list;
+  bag : Sparql.Bag.t option;
+  result_count : int option;
+  failure : failure option;
+  transform_ms : float;
+  exec_ms : float;
+  eval_stats : Evaluator.stats option;
+  tree_before : Be_tree.group;
+  tree_after : Be_tree.group;
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+(* The paper's CP threshold: 1% of the number of triples. *)
+let fixed_threshold store =
+  max 1 (Rdf_store.Triple_store.size store / 100)
+
+(* --- Aggregation (GROUP BY / COUNT / SUM / ...) -------------------------- *)
+
+let numeric_of_term = function
+  | Rdf.Term.Literal { value; kind = Rdf.Term.Typed dt }
+    when dt = Rdf.Term.xsd_integer || dt = Rdf.Term.xsd_double ->
+      float_of_string_opt value
+  | _ -> None
+
+let number_term f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Rdf.Term.int_literal (int_of_float f)
+  else Rdf.Term.typed_literal (string_of_float f) ~datatype:Rdf.Term.xsd_double
+
+(* One aggregate over the rows of a group; [None] = unbound result (e.g.
+   SUM over non-numeric values, or MIN of an empty group). *)
+let compute_aggregate store vartable rows ~agg ~distinct ~target =
+  let values () =
+    match target with
+    | None -> []
+    | Some v -> (
+        match Sparql.Vartable.find vartable v with
+        | None -> []
+        | Some col ->
+            List.filter_map
+              (fun row ->
+                if Sparql.Binding.is_bound row col then Some row.(col) else None)
+              rows)
+  in
+  let maybe_distinct ids =
+    if distinct then List.sort_uniq Int.compare ids else ids
+  in
+  match agg with
+  | Sparql.Ast.Count ->
+      let n =
+        match target with
+        | None -> List.length rows
+        | Some _ -> List.length (maybe_distinct (values ()))
+      in
+      Some (Rdf.Term.int_literal n)
+  | Sparql.Ast.Sample -> (
+      match values () with
+      | id :: _ -> Some (Rdf_store.Triple_store.decode_term store id)
+      | [] -> None)
+  | Sparql.Ast.Min | Sparql.Ast.Max -> (
+      let terms =
+        List.map
+          (Rdf_store.Triple_store.decode_term store)
+          (maybe_distinct (values ()))
+      in
+      let cmp t1 t2 =
+        match (numeric_of_term t1, numeric_of_term t2) with
+        | Some f1, Some f2 -> Float.compare f1 f2
+        | _ -> Rdf.Term.compare t1 t2
+      in
+      let pick best t =
+        match agg with
+        | Sparql.Ast.Min -> if cmp t best < 0 then t else best
+        | _ -> if cmp t best > 0 then t else best
+      in
+      match terms with
+      | [] -> None
+      | first :: rest -> Some (List.fold_left pick first rest))
+  | Sparql.Ast.Sum | Sparql.Ast.Avg -> (
+      let ids = maybe_distinct (values ()) in
+      let numbers =
+        List.map
+          (fun id ->
+            numeric_of_term (Rdf_store.Triple_store.decode_term store id))
+          ids
+      in
+      if List.exists Option.is_none numbers then None
+      else
+        let floats = List.map Option.get numbers in
+        let total = List.fold_left ( +. ) 0. floats in
+        match agg with
+        | Sparql.Ast.Sum -> Some (number_term total)
+        | _ ->
+            if floats = [] then None
+            else Some (number_term (total /. float_of_int (List.length floats))))
+
+(* Partition [bag] by the GROUP BY columns and emit one row per group:
+   the keys plus one column per aggregate alias. *)
+let aggregate_bag store vartable (query : Sparql.Ast.query) items bag =
+  let width = Sparql.Bag.width bag in
+  let key_cols =
+    List.filter_map (Sparql.Vartable.find vartable) query.Sparql.Ast.group_by
+  in
+  let groups = Hashtbl.create 64 in
+  let order = ref [] in
+  Sparql.Bag.iter bag ~f:(fun row ->
+      let key = List.map (fun col -> row.(col)) key_cols in
+      match Hashtbl.find_opt groups key with
+      | Some rows -> rows := row :: !rows
+      | None ->
+          Hashtbl.add groups key (ref [ row ]);
+          order := key :: !order);
+  (* A grouped query with no matching rows yields no groups — except the
+     no-key case, where aggregates over the empty bag still produce one
+     row (e.g. a COUNT over nothing is 0). *)
+  let keys =
+    match (List.rev !order, key_cols) with
+    | [], [] ->
+        Hashtbl.add groups [] (ref []);
+        [ [] ]
+    | keys, _ -> keys
+  in
+  let dict = Rdf_store.Triple_store.dictionary store in
+  let result = Sparql.Bag.create ~width in
+  List.iter
+    (fun key ->
+      let rows = !(Hashtbl.find groups key) in
+      let fresh = Sparql.Binding.create ~width in
+      List.iter2 (fun col v -> fresh.(col) <- v) key_cols key;
+      List.iter
+        (fun item ->
+          match item with
+          | Sparql.Ast.Svar _ -> ()
+          | Sparql.Ast.Aggregate { agg; distinct; target; alias } -> (
+              match compute_aggregate store vartable rows ~agg ~distinct ~target with
+              | Some term -> (
+                  match Sparql.Vartable.find vartable alias with
+                  | Some col ->
+                      fresh.(col) <- Rdf_store.Dictionary.encode dict term
+                  | None -> ())
+              | None -> ()))
+        items;
+      Sparql.Bag.push result fresh)
+    keys;
+  result
+
+let run_query ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?row_budget
+    ?timeout_ms ?stats store (query : Sparql.Ast.query) =
+  (* Register every query variable up front so bag widths are stable —
+     including aggregate aliases, which get fresh columns. *)
+  let vartable = Sparql.Vartable.of_list (Sparql.Ast.group_vars query.where) in
+  (match query.form with
+  | Sparql.Ast.Select (Sparql.Ast.Aggregated items) ->
+      List.iter
+        (function
+          | Sparql.Ast.Aggregate { alias; _ } ->
+              ignore (Sparql.Vartable.id vartable alias)
+          | Sparql.Ast.Svar _ -> ())
+        items
+  | _ -> ());
+  let env = Engine.Bgp_eval.make ?stats store vartable engine in
+  let tree_before = Be_tree.of_query query in
+  let t0 = now_ms () in
+  let tree_after =
+    match mode with
+    | Base | CP -> tree_before
+    | TT -> Transform.multi_level env tree_before
+    | Full -> Transform.multi_level env ~skip_cp_equivalent:true tree_before
+  in
+  let transform_ms = now_ms () -. t0 in
+  let threshold =
+    match mode with
+    | Base | TT -> Evaluator.No_pruning
+    | CP -> Evaluator.Fixed (fixed_threshold store)
+    | Full -> Evaluator.Adaptive
+  in
+  (match row_budget with
+  | Some budget -> Sparql.Bag.set_budget budget
+  | None -> Sparql.Bag.unlimited_budget ());
+  let t1 = now_ms () in
+  (match timeout_ms with
+  | Some ms ->
+      Sparql.Bag.set_deadline ~now:Unix.gettimeofday
+        ~at:(Unix.gettimeofday () +. (ms /. 1000.))
+  | None -> Sparql.Bag.clear_deadline ());
+  let outcome =
+    try
+      let bag, stats = Evaluator.eval env ~threshold tree_after in
+      Ok (bag, stats)
+    with Sparql.Bag.Limit_exceeded -> (
+      match timeout_ms with
+      | Some ms when now_ms () -. t1 >= ms -> Error Timeout
+      | _ -> Error Out_of_budget)
+  in
+  let exec_ms = now_ms () -. t1 in
+  Sparql.Bag.unlimited_budget ();
+  Sparql.Bag.clear_deadline ();
+  let projection = Sparql.Ast.query_vars query in
+  let bag, eval_stats =
+    match outcome with
+    | Error _ -> (None, None)
+    | Ok (bag, stats) ->
+        (* Aggregation first (GROUP BY / HAVING), then the solution
+           modifiers: ORDER BY, projection, DISTINCT, LIMIT/OFFSET. *)
+        let bag =
+          match query.form with
+          | Sparql.Ast.Select (Sparql.Ast.Aggregated items) ->
+              aggregate_bag store vartable query items bag
+          | _ when query.Sparql.Ast.group_by <> [] ->
+              (* GROUP BY without aggregates: one representative row per
+                 group (keys only). *)
+              aggregate_bag store vartable query [] bag
+          | _ -> bag
+        in
+        let bag =
+          match query.Sparql.Ast.having with
+          | None -> bag
+          | Some e ->
+              let lookup row v =
+                match Sparql.Vartable.find vartable v with
+                | Some col when Sparql.Binding.is_bound row col ->
+                    Some (Rdf_store.Triple_store.decode_term store row.(col))
+                | _ -> None
+              in
+              Sparql.Bag.filter bag ~f:(fun row ->
+                  Sparql.Expr.eval ~lookup:(lookup row)
+                    ~exists:(fun _ -> false)
+                    e)
+        in
+        let bag =
+          match query.order_by with
+          | [] -> bag
+          | keys ->
+              let keys =
+                List.filter_map
+                  (fun (v, descending) ->
+                    Option.map
+                      (fun col -> (col, descending))
+                      (Sparql.Vartable.find vartable v))
+                  keys
+              in
+              let compare_ids id1 id2 =
+                Rdf.Term.compare
+                  (Rdf_store.Triple_store.decode_term store id1)
+                  (Rdf_store.Triple_store.decode_term store id2)
+              in
+              Sparql.Bag.sort bag ~keys ~compare_ids
+        in
+        let bag =
+          match Sparql.Ast.select_query query with
+          | Sparql.Ast.Star -> bag
+          | Sparql.Ast.Projection vs ->
+              let cols = List.filter_map (Sparql.Vartable.find vartable) vs in
+              Sparql.Bag.project bag ~cols
+          | Sparql.Ast.Aggregated items ->
+              let cols =
+                List.filter_map
+                  (fun item ->
+                    let v =
+                      match item with
+                      | Sparql.Ast.Svar v -> v
+                      | Sparql.Ast.Aggregate { alias; _ } -> alias
+                    in
+                    Sparql.Vartable.find vartable v)
+                  items
+              in
+              Sparql.Bag.project bag ~cols
+        in
+        let bag = if query.distinct then Sparql.Bag.dedup bag else bag in
+        let bag =
+          match (query.limit, query.offset) with
+          | None, None -> bag
+          | limit, offset ->
+              let offset = Option.value offset ~default:0 in
+              let keep =
+                match limit with
+                | Some n -> fun i -> i >= offset && i < offset + n
+                | None -> fun i -> i >= offset
+              in
+              let sliced = Sparql.Bag.create ~width:(Sparql.Bag.width bag) in
+              let i = ref 0 in
+              Sparql.Bag.iter bag ~f:(fun row ->
+                  if keep !i then Sparql.Bag.push sliced row;
+                  incr i);
+              sliced
+        in
+        (Some bag, Some stats)
+  in
+  Log.info (fun m ->
+      m "mode=%s engine=%s transform=%.2fms exec=%.2fms results=%s"
+        (mode_name mode)
+        (Engine.Bgp_eval.engine_name engine)
+        transform_ms exec_ms
+        (match (bag, outcome) with
+        | Some bag, _ -> string_of_int (Sparql.Bag.length bag)
+        | None, Error Timeout -> "timeout"
+        | None, _ -> "over-budget"));
+  {
+    mode;
+    engine;
+    query;
+    vartable;
+    projection;
+    bag;
+    result_count = Option.map Sparql.Bag.length bag;
+    failure = (match outcome with Ok _ -> None | Error f -> Some f);
+    transform_ms;
+    exec_ms;
+    eval_stats;
+    tree_before;
+    tree_after;
+  }
+
+let run ?mode ?engine ?row_budget ?timeout_ms ?stats store text =
+  run_query ?mode ?engine ?row_budget ?timeout_ms ?stats store
+    (Sparql.Parser.parse text)
+
+let solutions store report =
+  match report.bag with
+  | None -> []
+  | Some bag ->
+      let cols =
+        List.filter_map
+          (fun v ->
+            Option.map (fun col -> (v, col)) (Sparql.Vartable.find report.vartable v))
+          report.projection
+      in
+      List.rev
+        (Sparql.Bag.fold bag ~init:[] ~f:(fun acc row ->
+             let solution =
+               List.filter_map
+                 (fun (v, col) ->
+                   if Sparql.Binding.is_bound row col then
+                     Some (v, Rdf_store.Triple_store.decode_term store row.(col))
+                   else None)
+                 cols
+             in
+             solution :: acc))
+
+let explain report =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "mode=%s engine=%s\n" (mode_name report.mode)
+       (Engine.Bgp_eval.engine_name report.engine));
+  Buffer.add_string buf "-- BE-tree (as constructed) --\n";
+  Buffer.add_string buf (Be_tree.to_string report.tree_before);
+  Buffer.add_string buf "\n-- BE-tree (after transformation) --\n";
+  Buffer.add_string buf (Be_tree.to_string report.tree_after);
+  Buffer.add_string buf
+    (Printf.sprintf "\ntransform: %.3f ms, execution: %.3f ms\n"
+       report.transform_ms report.exec_ms);
+  (match report.result_count with
+  | Some n -> Buffer.add_string buf (Printf.sprintf "results: %d rows\n" n)
+  | None -> Buffer.add_string buf "results: row budget exceeded\n");
+  (match report.eval_stats with
+  | Some stats ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "join space: %.3g; peak rows: %d; total rows: %d; BGP evals: %d \
+            (%d pruned)\n"
+           stats.Evaluator.join_space stats.Evaluator.peak_rows
+           stats.Evaluator.total_rows stats.Evaluator.bgp_evals
+           stats.Evaluator.pruned_bgps)
+  | None -> ());
+  Buffer.contents buf
+
+let count_bgp_of_query q = Be_tree.count_bgp (Be_tree.of_query q)
+
+let depth_of_query q = Be_tree.depth (Be_tree.of_query q)
+
+(* --- Query forms beyond SELECT ----------------------------------------- *)
+
+let ask report =
+  match report.query.Sparql.Ast.form with
+  | Sparql.Ast.Ask -> Option.map (fun n -> n > 0) report.result_count
+  | _ -> None
+
+(* Instantiate the CONSTRUCT template against each solution; triples with
+   an unbound variable or an invalid shape (literal subject etc.) are
+   dropped, per the SPARQL spec. Duplicates are removed (graphs are
+   sets). *)
+let construct store report =
+  match (report.query.Sparql.Ast.form, report.bag) with
+  | Sparql.Ast.Construct template, Some bag ->
+      let resolve row node =
+        match node with
+        | Sparql.Triple_pattern.Term t -> Some t
+        | Sparql.Triple_pattern.Var v -> (
+            match Sparql.Vartable.find report.vartable v with
+            | Some col when Sparql.Binding.is_bound row col ->
+                Some (Rdf_store.Triple_store.decode_term store row.(col))
+            | _ -> None)
+      in
+      let acc = ref [] in
+      Sparql.Bag.iter bag ~f:(fun row ->
+          List.iter
+            (fun (tp : Sparql.Triple_pattern.t) ->
+              match (resolve row tp.s, resolve row tp.p, resolve row tp.o) with
+              | Some s, Some p, Some o ->
+                  let triple = Rdf.Triple.make s p o in
+                  if Rdf.Triple.is_valid triple then acc := triple :: !acc
+              | _ -> ())
+            template);
+      List.sort_uniq Rdf.Triple.compare !acc
+  | _ -> []
+
+(* DESCRIBE: every triple in which a target resource appears as subject
+   or object. *)
+let describe store report =
+  match report.query.Sparql.Ast.form with
+  | Sparql.Ast.Describe targets ->
+      let ids = Hashtbl.create 16 in
+      List.iter
+        (fun target ->
+          match target with
+          | Sparql.Ast.Dterm t -> (
+              match Rdf_store.Triple_store.encode_term store t with
+              | Some id -> Hashtbl.replace ids id ()
+              | None -> ())
+          | Sparql.Ast.Dvar v -> (
+              match (report.bag, Sparql.Vartable.find report.vartable v) with
+              | Some bag, Some col ->
+                  Sparql.Bag.iter bag ~f:(fun row ->
+                      if Sparql.Binding.is_bound row col then
+                        Hashtbl.replace ids row.(col) ())
+              | _ -> ()))
+        targets;
+      let acc = ref [] in
+      Hashtbl.iter
+        (fun id () ->
+          let collect ~s ~p ~o =
+            acc :=
+              Rdf.Triple.make
+                (Rdf_store.Triple_store.decode_term store s)
+                (Rdf_store.Triple_store.decode_term store p)
+                (Rdf_store.Triple_store.decode_term store o)
+              :: !acc
+          in
+          Rdf_store.Triple_store.iter store ~s:id ~f:collect ();
+          Rdf_store.Triple_store.iter store ~o:id ~f:collect ())
+        ids;
+      List.sort_uniq Rdf.Triple.compare !acc
+  | _ -> []

@@ -1,0 +1,93 @@
+(** The top-level SPARQL-UO execution API, wiring together parsing,
+    BE-tree construction, cost-driven transformation, and evaluation with
+    candidate pruning — in the four configurations the paper evaluates
+    (Section 7.1):
+
+    - [Base]: Algorithm 1 on the untransformed BE-tree;
+    - [TT]: Algorithm 4's tree transformation, then Algorithm 1;
+    - [CP]: Algorithm 1 with candidate pruning at a fixed threshold
+      (1% of the dataset size, as in the paper);
+    - [Full]: transformation (skipping pruning-equivalent special cases) +
+      candidate pruning with the adaptive threshold. *)
+
+type mode = Base | TT | CP | Full
+
+val mode_name : mode -> string
+val all_modes : mode list
+
+(** Why a run produced no result: the row budget (the paper's
+    out-of-memory analogue) or the wall-clock timeout. *)
+type failure = Out_of_budget | Timeout
+
+type report = {
+  mode : mode;
+  engine : Engine.Bgp_eval.engine;
+  query : Sparql.Ast.query;  (** the parsed query the report answers *)
+  vartable : Sparql.Vartable.t;
+  projection : string list;  (** variables the query projects *)
+  bag : Sparql.Bag.t option;  (** [None] when a limit was exceeded *)
+  result_count : int option;
+  failure : failure option;
+  transform_ms : float;  (** time spent in Algorithm 4 (0 for Base/CP) *)
+  exec_ms : float;  (** evaluation time *)
+  eval_stats : Evaluator.stats option;
+  tree_before : Be_tree.group;
+  tree_after : Be_tree.group;
+}
+
+(** [run ?mode ?engine ?row_budget ?timeout_ms ?stats store text] parses
+    and executes [text]. [row_budget] bounds total intermediate rows;
+    [timeout_ms] bounds wall-clock time; on either limit the report
+    carries [bag = None] and a {!failure}. Defaults: [Full], [Wco],
+    unlimited. *)
+val run :
+  ?mode:mode ->
+  ?engine:Engine.Bgp_eval.engine ->
+  ?row_budget:int ->
+  ?timeout_ms:float ->
+  ?stats:Rdf_store.Stats.t ->
+  Rdf_store.Triple_store.t ->
+  string ->
+  report
+
+(** [run_query] — same on an already-parsed query. *)
+val run_query :
+  ?mode:mode ->
+  ?engine:Engine.Bgp_eval.engine ->
+  ?row_budget:int ->
+  ?timeout_ms:float ->
+  ?stats:Rdf_store.Stats.t ->
+  Rdf_store.Triple_store.t ->
+  Sparql.Ast.query ->
+  report
+
+(** [solutions report] decodes the result rows: each solution is an
+    association list over the projected variables that are bound in the
+    row. Empty list when the budget was exceeded. *)
+val solutions : Rdf_store.Triple_store.t -> report -> (string * Rdf.Term.t) list list
+
+(** [explain report] renders the BE-trees before and after transformation
+    with timing — the plan explainer used by the CLI and examples. *)
+val explain : report -> string
+
+(** {1 Query forms beyond SELECT} *)
+
+(** [ask report] — for an ASK query, whether the pattern has any solution
+    ([None] on a limit, or when the query is not an ASK). *)
+val ask : report -> bool option
+
+(** [construct store report] — the RDF graph produced by instantiating a
+    CONSTRUCT template with every solution (deduplicated; template
+    triples with unbound variables or invalid shapes are dropped).
+    Empty for other query forms. *)
+val construct : Rdf_store.Triple_store.t -> report -> Rdf.Triple.t list
+
+(** [describe store report] — for a DESCRIBE query, every triple in which
+    a described resource appears as subject or object. *)
+val describe : Rdf_store.Triple_store.t -> report -> Rdf.Triple.t list
+
+(** [count_bgp_of_query q] / [depth_of_query q] — the query-complexity
+    metrics of Section 7.1, computed on the constructed BE-tree. *)
+val count_bgp_of_query : Sparql.Ast.query -> int
+
+val depth_of_query : Sparql.Ast.query -> int

@@ -1,0 +1,96 @@
+(* Current triples of a store, decoded. *)
+let all_triples store =
+  let acc = ref [] in
+  Rdf_store.Triple_store.iter_all store ~f:(fun ~s ~p ~o ->
+      acc :=
+        Rdf.Triple.make
+          (Rdf_store.Triple_store.decode_term store s)
+          (Rdf_store.Triple_store.decode_term store p)
+          (Rdf_store.Triple_store.decode_term store o)
+        :: !acc);
+  !acc
+
+(* Instantiate a template triple pattern against one solution row;
+   [None] when non-ground or invalid. *)
+let instantiate store vartable row (tp : Sparql.Triple_pattern.t) =
+  let resolve = function
+    | Sparql.Triple_pattern.Term t -> Some t
+    | Sparql.Triple_pattern.Var v -> (
+        match Sparql.Vartable.find vartable v with
+        | Some col when Sparql.Binding.is_bound row col ->
+            Some (Rdf_store.Triple_store.decode_term store row.(col))
+        | _ -> None)
+  in
+  match (resolve tp.s, resolve tp.p, resolve tp.o) with
+  | Some s, Some p, Some o ->
+      let triple = Rdf.Triple.make s p o in
+      if Rdf.Triple.is_valid triple then Some triple else None
+  | _ -> None
+
+(* Every solution of [where], instantiated against [templates]. *)
+let instantiations ?engine store (where : Sparql.Ast.group) templates =
+  let query =
+    {
+      Sparql.Ast.env = Rdf.Namespace.with_defaults ();
+      form = Sparql.Ast.Select Sparql.Ast.Star;
+      distinct = false;
+      where;
+      group_by = [];
+      having = None;
+      order_by = [];
+      limit = None;
+      offset = None;
+    }
+  in
+  let report = Executor.run_query ?engine store query in
+  match report.Executor.bag with
+  | None -> []
+  | Some bag ->
+      Sparql.Bag.fold bag ~init:[] ~f:(fun acc row ->
+          List.fold_left
+            (fun acc tp ->
+              match instantiate store report.Executor.vartable row tp with
+              | Some triple -> triple :: acc
+              | None -> acc)
+            acc templates)
+
+(* All triple patterns of a group, recursively — DELETE WHERE treats the
+   whole pattern as its template. *)
+let rec group_patterns (g : Sparql.Ast.group) =
+  List.concat_map
+    (function
+      | Sparql.Ast.Triples tps -> tps
+      | Sparql.Ast.Group inner | Sparql.Ast.Optional inner
+      | Sparql.Ast.Minus inner ->
+          group_patterns inner
+      | Sparql.Ast.Union gs -> List.concat_map group_patterns gs
+      | Sparql.Ast.Filter _ | Sparql.Ast.Values _ -> [])
+    g
+
+let rebuild_with store ~removed ~added =
+  let remaining =
+    List.filter
+      (fun t -> not (List.exists (Rdf.Triple.equal t) removed))
+      (all_triples store)
+  in
+  Rdf_store.Triple_store.of_triples (List.rev_append added remaining)
+
+let apply ?engine store (update : Sparql.Ast.update) =
+  match update with
+  | Sparql.Ast.Insert_data triples ->
+      rebuild_with store ~removed:[] ~added:triples
+  | Sparql.Ast.Delete_data triples ->
+      rebuild_with store ~removed:triples ~added:[]
+  | Sparql.Ast.Delete_where where ->
+      let removed = instantiations ?engine store where (group_patterns where) in
+      rebuild_with store ~removed ~added:[]
+  | Sparql.Ast.Modify { delete; insert; where } ->
+      let removed = instantiations ?engine store where delete in
+      let added = instantiations ?engine store where insert in
+      rebuild_with store ~removed ~added
+
+let apply_all ?engine store updates =
+  List.fold_left (fun store update -> apply ?engine store update) store updates
+
+let run ?engine store text =
+  apply_all ?engine store (Sparql.Parser.parse_update text)

@@ -1,0 +1,33 @@
+(** Applying SPARQL 1.1 Update operations to a store.
+
+    The store is an immutable bulk-indexed structure, so updates follow
+    bulk-rebuild semantics: each application returns a *new* store with
+    the indexes rebuilt (appropriate for the analytical workloads this
+    engine targets; an OLTP delta layer is out of scope).
+
+    WHERE clauses are evaluated through the full SPARQL-UO optimizer
+    (mode [Full]); templates are instantiated per solution, dropping
+    instantiations that are non-ground or structurally invalid (literal
+    subject/predicate), per the SPARQL Update spec. *)
+
+(** [apply store update] — one operation. *)
+val apply :
+  ?engine:Engine.Bgp_eval.engine ->
+  Rdf_store.Triple_store.t ->
+  Sparql.Ast.update ->
+  Rdf_store.Triple_store.t
+
+(** [apply_all store updates] — a sequence, left to right (each operation
+    sees its predecessors' effects). *)
+val apply_all :
+  ?engine:Engine.Bgp_eval.engine ->
+  Rdf_store.Triple_store.t ->
+  Sparql.Ast.update list ->
+  Rdf_store.Triple_store.t
+
+(** [run store text] parses and applies an update string. *)
+val run :
+  ?engine:Engine.Bgp_eval.engine ->
+  Rdf_store.Triple_store.t ->
+  string ->
+  Rdf_store.Triple_store.t

@@ -1,0 +1,1 @@
+lib/engine/bgp.ml: Array Fun List Sparql

@@ -1,0 +1,1 @@
+lib/engine/bgp_eval.ml: Compiled Hash_join Hashtbl Planner Rdf_store Sparql Wco

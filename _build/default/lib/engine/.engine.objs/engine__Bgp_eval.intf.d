@@ -1,0 +1,1 @@
+lib/engine/bgp_eval.mli: Candidates Planner Rdf_store Sparql

@@ -1,0 +1,1 @@
+lib/engine/compiled.ml: Array List Rdf_store Sparql

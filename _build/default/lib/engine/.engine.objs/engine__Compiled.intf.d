@@ -1,0 +1,1 @@
+lib/engine/compiled.mli: Rdf_store Sparql

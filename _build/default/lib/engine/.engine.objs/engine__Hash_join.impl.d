@@ -1,0 +1,1 @@
+lib/engine/hash_join.ml: Array Candidates Compiled List Planner Sparql

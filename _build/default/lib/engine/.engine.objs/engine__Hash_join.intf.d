@@ -1,0 +1,1 @@
+lib/engine/hash_join.mli: Candidates Compiled Planner Rdf_store Sparql

@@ -1,0 +1,1 @@
+lib/engine/planner.ml: Array Compiled Float Fun List Rdf_store Sparql

@@ -1,0 +1,1 @@
+lib/engine/planner.mli: Compiled Rdf_store Sparql

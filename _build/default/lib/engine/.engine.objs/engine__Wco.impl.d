@@ -1,0 +1,1 @@
+lib/engine/wco.ml: Array Candidates Compiled Hashtbl List Planner Sparql

@@ -1,0 +1,1 @@
+lib/engine/wco.mli: Candidates Planner Rdf_store Sparql

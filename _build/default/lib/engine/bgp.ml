@@ -1,0 +1,54 @@
+type t = Sparql.Triple_pattern.t list
+
+let add_distinct acc vs =
+  List.fold_left (fun acc v -> if List.mem v acc then acc else v :: acc) acc vs
+
+let vars bgp =
+  List.rev
+    (List.fold_left
+       (fun acc tp -> add_distinct acc (Sparql.Triple_pattern.vars tp))
+       [] bgp)
+
+let subject_object_vars bgp =
+  List.rev
+    (List.fold_left
+       (fun acc tp ->
+         add_distinct acc (Sparql.Triple_pattern.subject_object_vars tp))
+       [] bgp)
+
+let coalescable b1 b2 =
+  List.exists
+    (fun tp1 ->
+      List.exists (fun tp2 -> Sparql.Triple_pattern.coalescable tp1 tp2) b2)
+    b1
+
+(* Union-find over pattern indexes. *)
+let coalesce_maximal patterns =
+  let arr = Array.of_list patterns in
+  let n = Array.length arr in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    (* Keep the smaller index as the root so each component is identified
+       by its leftmost pattern. *)
+    if ri < rj then parent.(rj) <- ri else if rj < ri then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Sparql.Triple_pattern.coalescable arr.(i) arr.(j) then union i j
+    done
+  done;
+  (* Components in leftmost-root order, members in source order. *)
+  let roots = ref [] in
+  for i = n - 1 downto 0 do
+    if find i = i then roots := i :: !roots
+  done;
+  List.map
+    (fun root ->
+      let members = ref [] in
+      for i = n - 1 downto 0 do
+        if find i = root then members := arr.(i) :: !members
+      done;
+      !members)
+    !roots

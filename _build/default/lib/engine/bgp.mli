@@ -1,0 +1,26 @@
+(** BGPs as sets of triple patterns, and the coalescing machinery of
+    Definitions 3–5: triple patterns are coalescable when they share a
+    variable at a subject/object position, and sibling triple patterns are
+    grouped into *maximal* BGPs (no further coalescing possible). *)
+
+type t = Sparql.Triple_pattern.t list
+
+(** [vars bgp] — distinct variables in first-use order. *)
+val vars : t -> string list
+
+(** [subject_object_vars bgp] — distinct subject/object-position variables
+    (the ones that matter for coalescability). *)
+val subject_object_vars : t -> string list
+
+(** [coalescable b1 b2] per Definition 4: some pattern of [b1] is
+    coalescable with some pattern of [b2]. The empty BGP is coalescable
+    with nothing. *)
+val coalescable : t -> t -> bool
+
+(** [coalesce_maximal patterns] partitions sibling triple patterns into
+    maximal BGPs (connected components of the coalescability relation).
+    Components are ordered by their leftmost constituent pattern, matching
+    the BE-tree construction rule that a BGP node sits where its leftmost
+    triple pattern originally was; within a component, source order is
+    kept. *)
+val coalesce_maximal : Sparql.Triple_pattern.t list -> t list

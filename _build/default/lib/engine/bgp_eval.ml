@@ -1,0 +1,49 @@
+type engine = Wco | Hash_join
+
+let engine_name = function Wco -> "wco" | Hash_join -> "hash"
+
+type t = {
+  store : Rdf_store.Triple_store.t;
+  stats : Rdf_store.Stats.t;
+  vartable : Sparql.Vartable.t;
+  engine : engine;
+  (* Plans are requested repeatedly for the same BGP during cost-driven
+     transformation; memoize on the pattern list. *)
+  plan_cache : (Sparql.Triple_pattern.t list, Planner.plan) Hashtbl.t;
+}
+
+let make ?stats store vartable engine =
+  let stats =
+    match stats with Some s -> s | None -> Rdf_store.Stats.compute store
+  in
+  { store; stats; vartable; engine; plan_cache = Hashtbl.create 64 }
+
+let store ctx = ctx.store
+let stats ctx = ctx.stats
+let vartable ctx = ctx.vartable
+let engine ctx = ctx.engine
+let width ctx = Sparql.Vartable.size ctx.vartable
+
+let plan ctx patterns =
+  match Hashtbl.find_opt ctx.plan_cache patterns with
+  | Some plan -> plan
+  | None ->
+      let compiled = Compiled.compile_list ctx.store ctx.vartable patterns in
+      let plan = Planner.plan ctx.store ctx.stats ctx.vartable compiled in
+      Hashtbl.add ctx.plan_cache patterns plan;
+      plan
+
+let eval ctx patterns ~candidates =
+  let plan = plan ctx patterns in
+  let width = width ctx in
+  match ctx.engine with
+  | Wco -> Wco.eval ctx.store ~width plan ~candidates
+  | Hash_join -> Hash_join.eval ctx.store ~width plan ~candidates
+
+let estimate_cost ctx patterns =
+  let plan = plan ctx patterns in
+  match ctx.engine with
+  | Wco -> plan.Planner.cost_wco
+  | Hash_join -> plan.Planner.cost_hash
+
+let estimate_card ctx patterns = (plan ctx patterns).Planner.result_card

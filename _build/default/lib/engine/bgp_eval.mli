@@ -1,0 +1,42 @@
+(** The BGP evaluation facade: the "existing BGP query evaluation
+    technique" that Algorithm 1 calls as [EvaluateBGP], with the two
+    engines the paper implements on (gStore's WCO joins, Jena's binary
+    hash joins) and the estimation interface the SPARQL-UO cost model
+    reads (Section 5.1). *)
+
+type engine = Wco | Hash_join
+
+val engine_name : engine -> string
+
+type t
+(** An evaluation context: store + statistics + the query's variable
+    table. *)
+
+val make :
+  ?stats:Rdf_store.Stats.t ->
+  Rdf_store.Triple_store.t ->
+  Sparql.Vartable.t ->
+  engine ->
+  t
+
+val store : t -> Rdf_store.Triple_store.t
+val stats : t -> Rdf_store.Stats.t
+val vartable : t -> Sparql.Vartable.t
+val engine : t -> engine
+val width : t -> int
+
+(** [eval ctx patterns ~candidates] evaluates a BGP (a list of triple
+    patterns; the empty list yields the unit bag). *)
+val eval :
+  t -> Sparql.Triple_pattern.t list -> candidates:Candidates.t -> Sparql.Bag.t
+
+(** [plan ctx patterns] exposes the planner's estimates for the BGP. *)
+val plan : t -> Sparql.Triple_pattern.t list -> Planner.plan
+
+(** [estimate_cost ctx patterns] is the engine-specific evaluation cost
+    estimate — the [cost(B)] term of Equations 2 and 6. *)
+val estimate_cost : t -> Sparql.Triple_pattern.t list -> float
+
+(** [estimate_card ctx patterns] is the estimated result size — the
+    [|res(B)|] term of Equations 3 and 7. *)
+val estimate_card : t -> Sparql.Triple_pattern.t list -> float

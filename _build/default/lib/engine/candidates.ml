@@ -1,0 +1,19 @@
+type t = (int * (int, unit) Hashtbl.t) list
+
+let empty = []
+
+let of_list assoc = assoc
+
+let set cands ~col values =
+  (col, values) :: List.filter (fun (c, _) -> c <> col) cands
+
+let find cands ~col = List.assoc_opt col cands
+
+let allows cands ~col value =
+  match List.assoc_opt col cands with
+  | None -> true
+  | Some values -> Hashtbl.mem values value
+
+let is_empty = function [] -> true | _ :: _ -> false
+
+let restrict cands ~cols = List.filter (fun (c, _) -> List.mem c cols) cands

@@ -1,0 +1,30 @@
+(** Candidate result sets for variables (Section 6): a map from variable
+    column to the set of term ids the variable is allowed to take. BGP
+    evaluators consult these to prune matches on the fly. *)
+
+type t
+
+val empty : t
+
+(** [of_list assoc] builds candidates from [(column, allowed values)]
+    pairs. *)
+val of_list : (int * (int, unit) Hashtbl.t) list -> t
+
+(** [set cands ~col values] returns candidates extended/overridden at
+    [col]. *)
+val set : t -> col:int -> (int, unit) Hashtbl.t -> t
+
+val find : t -> col:int -> (int, unit) Hashtbl.t option
+
+(** [allows cands ~col value] is false only when [col] has a candidate set
+    that does not contain [value]. *)
+val allows : t -> col:int -> int -> bool
+
+val is_empty : t -> bool
+
+(** [restrict cands ~cols] drops candidate sets for columns outside
+    [cols]. Used when crossing an OPTIONAL boundary: only columns
+    universally bound by the OPTIONAL-left side may prune its right side
+    (pruning any other column could turn an extension into a spuriously
+    surviving unextended row). *)
+val restrict : t -> cols:int list -> t

@@ -1,0 +1,28 @@
+let scan_pattern store ~width pattern ~candidates =
+  let bag = Sparql.Bag.create ~width in
+  let empty = Sparql.Binding.create ~width in
+  Compiled.iter_matches store pattern empty ~f:(fun ~s ~p ~o ->
+      let fresh = Sparql.Binding.create ~width in
+      let consistent = ref true in
+      let bind node value =
+        match node with
+        | Compiled.Cvar col ->
+            if not (Candidates.allows candidates ~col value) then
+              consistent := false
+            else if fresh.(col) = Sparql.Binding.unbound then
+              fresh.(col) <- value
+            else if fresh.(col) <> value then consistent := false
+        | Compiled.Cterm _ | Compiled.Missing -> ()
+      in
+      bind pattern.Compiled.cs s;
+      bind pattern.Compiled.cp p;
+      bind pattern.Compiled.co o;
+      if !consistent then Sparql.Bag.push bag fresh);
+  bag
+
+let eval store ~width (plan : Planner.plan) ~candidates =
+  List.fold_left
+    (fun acc (step : Planner.step) ->
+      let scanned = scan_pattern store ~width step.Planner.pattern ~candidates in
+      Sparql.Bag.join acc scanned)
+    (Sparql.Bag.unit ~width) plan.steps

@@ -1,0 +1,20 @@
+(** Jena-style BGP evaluation: each triple pattern is scanned into a bag of
+    mappings (pruned by candidate sets), and the bags are combined left-deep
+    in the planner's order with binary hash joins (Eq. 9's cost model). *)
+
+val eval :
+  Rdf_store.Triple_store.t ->
+  width:int ->
+  Planner.plan ->
+  candidates:Candidates.t ->
+  Sparql.Bag.t
+
+(** [scan_pattern store ~width pattern ~candidates] materializes the
+    matches of a single triple pattern as a bag (exposed for LBR, which
+    evaluates triple patterns separately). *)
+val scan_pattern :
+  Rdf_store.Triple_store.t ->
+  width:int ->
+  Compiled.t ->
+  candidates:Candidates.t ->
+  Sparql.Bag.t

@@ -1,0 +1,41 @@
+(** BGP planning: greedy join ordering plus the sampling-based cardinality
+    estimation of Section 5.1.2, producing per-step estimates from which
+    both engines' cost formulas are computed.
+
+    The estimation follows the paper: single-pattern cardinalities are exact
+    (index range sizes); each extension step is estimated by drawing a
+    bounded sample of partial result rows and scaling by the observed
+    extension ratio: [card(V_k) = max(#extend / #sample * card(V_{k-1}), 1)].
+    Sampling is deterministic (evenly spaced rows), so plans are stable. *)
+
+type step = {
+  pattern : Compiled.t;
+  pattern_count : int;  (** exact matches of the pattern in isolation *)
+  card_before : float;  (** estimated cardinality before this step *)
+  card_after : float;  (** estimated cardinality after this step *)
+  avg_edge : float;
+      (** min over already-bound endpoint vars of the average number of
+          edges with this predicate per binding — the [average_size] term
+          of the gStore WCO cost formula *)
+}
+
+type plan = {
+  steps : step list;  (** in chosen execution order *)
+  result_card : float;  (** estimated result cardinality of the BGP *)
+  cost_wco : float;  (** Section 5.1.2 WCO cost: Σ card_before × avg_edge *)
+  cost_hash : float;  (** Eq. 9 binary-join cost: Σ 2·min + max *)
+}
+
+(** [plan store stats table patterns] orders [patterns] greedily (most
+    selective first, staying connected when possible) and estimates
+    cardinalities and both cost metrics. An empty pattern list yields an
+    empty plan with cardinality 1 (the unit bag). *)
+val plan :
+  Rdf_store.Triple_store.t ->
+  Rdf_store.Stats.t ->
+  Sparql.Vartable.t ->
+  Compiled.t list ->
+  plan
+
+(** [sample_size] is the bounded sample used per extension step. *)
+val sample_size : int

@@ -1,0 +1,83 @@
+(* The candidate check for a pattern position: a newly bound variable must
+   pass its candidate set; constants and already-bound variables were
+   checked when they were bound. *)
+let node_allowed candidates row node value =
+  match node with
+  | Compiled.Cvar col when row.(col) = Sparql.Binding.unbound ->
+      Candidates.allows candidates ~col value
+  | Compiled.Cvar _ | Compiled.Cterm _ | Compiled.Missing -> true
+
+(* Enumerate matches of [pattern] under [row] and push consistent,
+   candidate-passing extensions. *)
+let scan_and_push store candidates pattern row ~push =
+  Compiled.iter_matches store pattern row ~f:(fun ~s ~p ~o ->
+      if
+        node_allowed candidates row pattern.Compiled.cs s
+        && node_allowed candidates row pattern.Compiled.cp p
+        && node_allowed candidates row pattern.Compiled.co o
+      then begin
+        let fresh = Array.copy row in
+        let consistent = ref true in
+        (* A variable repeated within the pattern must match the same
+           value at both positions (e.g. ?x :p ?x). *)
+        let bind node value =
+          match node with
+          | Compiled.Cvar col ->
+              if fresh.(col) = Sparql.Binding.unbound then fresh.(col) <- value
+              else if fresh.(col) <> value then consistent := false
+          | Compiled.Cterm _ | Compiled.Missing -> ()
+        in
+        bind pattern.Compiled.cs s;
+        bind pattern.Compiled.cp p;
+        bind pattern.Compiled.co o;
+        if !consistent then push fresh
+      end)
+
+(* The smallest candidate set attached to a variable the pattern would
+   newly bind, if any: the seed for candidate-driven index lookups. *)
+let best_seed candidates row pattern =
+  let consider acc node =
+    match node with
+    | Compiled.Cvar col when row.(col) = Sparql.Binding.unbound -> (
+        match Candidates.find candidates ~col with
+        | Some values -> (
+            match acc with
+            | Some (_, best) when Hashtbl.length best <= Hashtbl.length values
+              ->
+                acc
+            | _ -> Some (col, values))
+        | None -> acc)
+    | Compiled.Cvar _ | Compiled.Cterm _ | Compiled.Missing -> acc
+  in
+  consider
+    (consider (consider None pattern.Compiled.cs) pattern.Compiled.cp)
+    pattern.Compiled.co
+
+(* Extend one partial result row through [pattern]. When a newly bound
+   variable carries a candidate set smaller than the scan the index would
+   otherwise perform, iterate the candidates and do keyed lookups instead
+   — this is how candidate pruning "prunes the search space of BGP
+   evaluation on-the-fly" (Section 6) rather than merely post-filtering. *)
+let extend_row store candidates pattern row ~push =
+  match best_seed candidates row pattern with
+  | Some (col, values)
+    when Hashtbl.length values < Compiled.count_with store pattern row ->
+      Hashtbl.iter
+        (fun value () ->
+          let seeded = Array.copy row in
+          seeded.(col) <- value;
+          scan_and_push store candidates pattern seeded ~push)
+        values
+  | _ -> scan_and_push store candidates pattern row ~push
+
+let eval store ~width (plan : Planner.plan) ~candidates =
+  let current = ref (Sparql.Bag.unit ~width) in
+  List.iter
+    (fun (step : Planner.step) ->
+      let next = Sparql.Bag.create ~width in
+      Sparql.Bag.iter !current ~f:(fun row ->
+          extend_row store candidates step.pattern row
+            ~push:(Sparql.Bag.push next));
+      current := next)
+    plan.steps;
+  !current

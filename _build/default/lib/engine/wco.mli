@@ -1,0 +1,13 @@
+(** gStore-style worst-case-optimal BGP evaluation: patterns are applied in
+    the planner's order, each extending the current partial results
+    vertex-at-a-time through index range scans, with candidate sets pruning
+    newly bound variables on the fly. A pattern whose variables are all
+    already bound acts as an existence filter (the intersection step of
+    WCO joins on cyclic patterns). *)
+
+val eval :
+  Rdf_store.Triple_store.t ->
+  width:int ->
+  Planner.plan ->
+  candidates:Candidates.t ->
+  Sparql.Bag.t

@@ -1,0 +1,1 @@
+lib/lbr/gosn.ml: Format List Sparql

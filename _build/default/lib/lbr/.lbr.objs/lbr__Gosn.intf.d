@@ -1,0 +1,1 @@
+lib/lbr/gosn.mli: Format Sparql

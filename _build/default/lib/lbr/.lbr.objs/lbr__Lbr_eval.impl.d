@@ -1,0 +1,1 @@
+lib/lbr/lbr_eval.ml: Array Engine Gosn Int List Option Sparql Unix

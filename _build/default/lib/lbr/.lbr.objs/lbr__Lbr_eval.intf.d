@@ -1,0 +1,1 @@
+lib/lbr/lbr_eval.mli: Engine Sparql

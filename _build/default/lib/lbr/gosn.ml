@@ -1,0 +1,122 @@
+exception Unsupported of string
+
+type t = {
+  id : int;
+  patterns : Sparql.Triple_pattern.t list;
+  children : t list;
+}
+
+let of_group g =
+  let counter = ref 0 in
+  let next () =
+    let i = !counter in
+    incr counter;
+    i
+  in
+  let rec build (g : Sparql.Ast.group) =
+    let id = next () in
+    let patterns, children =
+      List.fold_left
+        (fun (patterns, children) element ->
+          match element with
+          | Sparql.Ast.Triples tps -> (patterns @ tps, children)
+          | Sparql.Ast.Group inner ->
+              (* LBR normalizes well-designed patterns: the conjunctive
+                 part of a nested group merges into the enclosing scope and
+                 its OPTIONAL scopes hang off it ((P AND (A OPT B)) ≡
+                 ((P AND A) OPT B) when vars(B) ∩ vars(P) ⊆ vars(A)). *)
+              let sub = build inner in
+              (patterns @ sub.patterns, children @ sub.children)
+          | Sparql.Ast.Optional inner -> (patterns, children @ [ build inner ])
+          | Sparql.Ast.Union _ -> raise (Unsupported "UNION")
+          | Sparql.Ast.Filter _ -> raise (Unsupported "FILTER")
+          | Sparql.Ast.Minus _ -> raise (Unsupported "MINUS")
+          | Sparql.Ast.Values _ -> raise (Unsupported "VALUES"))
+        ([], []) g
+    in
+    { id; patterns; children }
+  in
+  build g
+
+let of_query (q : Sparql.Ast.query) = of_group q.Sparql.Ast.where
+
+let rec supernodes sn = sn :: List.concat_map supernodes sn.children
+
+let pattern_count sn =
+  List.fold_left (fun acc sn -> acc + List.length sn.patterns) 0 (supernodes sn)
+
+(* --- Well-designedness (Pérez et al., TODS 2009) ------------------------
+   A pattern is well-designed iff for every subpattern (P1 OPTIONAL P2),
+   each variable of P2 that also occurs elsewhere in the query occurs in
+   P1. LBR's eager semijoin pruning is only semantics-preserving on this
+   fragment (which covers the paper's q2.1-q2.6). *)
+
+let add_var acc v = if List.mem v acc then acc else v :: acc
+
+(* Variables of a group, optionally skipping one OPTIONAL subtree
+   (identified physically — each Optional node is a distinct list). *)
+let rec vars_of_group ?exclude (g : Sparql.Ast.group) acc =
+  List.fold_left (vars_of_element ?exclude) acc g
+
+and vars_of_element ?exclude acc = function
+  | Sparql.Ast.Triples tps ->
+      List.fold_left
+        (fun acc tp -> List.fold_left add_var acc (Sparql.Triple_pattern.vars tp))
+        acc tps
+  | Sparql.Ast.Filter e ->
+      List.fold_left add_var acc
+        (Sparql.Expr.vars ~pattern_vars:Sparql.Ast.group_vars e)
+  | Sparql.Ast.Group inner -> vars_of_group ?exclude inner acc
+  | Sparql.Ast.Union gs ->
+      List.fold_left (fun acc g -> vars_of_group ?exclude g acc) acc gs
+  | Sparql.Ast.Minus inner -> vars_of_group ?exclude inner acc
+  | Sparql.Ast.Values { Sparql.Ast.vars; _ } -> List.fold_left add_var acc vars
+  | Sparql.Ast.Optional inner -> (
+      match exclude with
+      | Some skip when skip == inner -> acc
+      | _ -> vars_of_group ?exclude inner acc)
+
+let well_designed_group (root : Sparql.Ast.group) =
+  let ok = ref true in
+  let rec walk (g : Sparql.Ast.group) =
+    (* Check each OPTIONAL against its syntactic left side (everything
+       before it in this group). *)
+    ignore
+      (List.fold_left
+         (fun p1_vars element ->
+           (match element with
+           | Sparql.Ast.Optional inner ->
+               let p2_vars = vars_of_group inner [] in
+               let outside = vars_of_group ~exclude:inner root [] in
+               if
+                 List.exists
+                   (fun v -> List.mem v outside && not (List.mem v p1_vars))
+                   p2_vars
+               then ok := false
+           | _ -> ());
+           vars_of_element p1_vars element)
+         [] g);
+    List.iter
+      (function
+        | Sparql.Ast.Triples _ | Sparql.Ast.Filter _ | Sparql.Ast.Values _ -> ()
+        | Sparql.Ast.Group inner | Sparql.Ast.Optional inner
+        | Sparql.Ast.Minus inner ->
+            walk inner
+        | Sparql.Ast.Union gs -> List.iter walk gs)
+      g
+  in
+  walk root;
+  !ok
+
+let well_designed (q : Sparql.Ast.query) = well_designed_group q.Sparql.Ast.where
+
+let rec pp fmt sn =
+  Format.fprintf fmt "@[<v 2>SN%d[%a]%a@]" sn.id
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt "@ ")
+       (fun fmt tp ->
+         Format.pp_print_string fmt (Sparql.Triple_pattern.to_string tp)))
+    sn.patterns
+    (fun fmt children ->
+      List.iter (fun child -> Format.fprintf fmt "@ -> %a" pp child) children)
+    sn.children

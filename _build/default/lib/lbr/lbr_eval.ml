@@ -1,0 +1,139 @@
+type report = {
+  bag : Sparql.Bag.t option;
+  result_count : int option;
+  exec_ms : float;
+  scanned_rows : int;
+  semijoin_prunes : int;
+}
+
+(* A triple pattern in evaluation order, with its scope and the scopes
+   allowed to prune it. *)
+type slot = {
+  sn_id : int;
+  ancestors : int list;
+  mutable table : Sparql.Bag.t;
+  columns : int list;
+}
+
+let supported q =
+  match Gosn.of_query q with
+  | _ -> Gosn.well_designed q
+  | exception Gosn.Unsupported _ -> false
+
+(* [source] may prune [target] when they share a variable and source's
+   scope is target's own scope or one of its ancestors. *)
+let can_prune ~source ~target =
+  (source.sn_id = target.sn_id || List.mem source.sn_id target.ancestors)
+  && List.exists (fun col -> List.mem col source.columns) target.columns
+
+let run ?row_budget ?timeout_ms env (query : Sparql.Ast.query) =
+  if not (Gosn.well_designed query) then
+    raise (Gosn.Unsupported "non-well-designed OPTIONAL pattern");
+  let gosn = Gosn.of_query query in
+  let store = Engine.Bgp_eval.store env in
+  let table = Engine.Bgp_eval.vartable env in
+  let width = Engine.Bgp_eval.width env in
+  (match row_budget with
+  | Some budget -> Sparql.Bag.set_budget budget
+  | None -> Sparql.Bag.unlimited_budget ());
+  (match timeout_ms with
+  | Some ms ->
+      Sparql.Bag.set_deadline ~now:Unix.gettimeofday
+        ~at:(Unix.gettimeofday () +. (ms /. 1000.))
+  | None -> Sparql.Bag.clear_deadline ());
+  let t0 = Unix.gettimeofday () in
+  let prunes = ref 0 in
+  let scanned = ref 0 in
+  let outcome =
+    try
+      (* Pass 0: evaluate every triple pattern separately. *)
+      let slots =
+        let rec collect ancestors (sn : Gosn.t) =
+          let own =
+            List.map
+              (fun tp ->
+                let compiled = Engine.Compiled.compile store table tp in
+                let bag =
+                  Engine.Hash_join.scan_pattern store ~width compiled
+                    ~candidates:Engine.Candidates.empty
+                in
+                scanned := !scanned + Sparql.Bag.length bag;
+                {
+                  sn_id = sn.Gosn.id;
+                  ancestors;
+                  table = bag;
+                  columns = Engine.Compiled.var_columns compiled;
+                })
+              sn.Gosn.patterns
+          in
+          own
+          @ List.concat_map (collect (sn.Gosn.id :: ancestors)) sn.Gosn.children
+        in
+        Array.of_list (collect [] gosn)
+      in
+      let n = Array.length slots in
+      let semijoin_step target source =
+        if can_prune ~source ~target then begin
+          let before = Sparql.Bag.length target.table in
+          let pruned = Sparql.Bag.semijoin target.table source.table in
+          if Sparql.Bag.length pruned < before then incr prunes;
+          target.table <- pruned
+        end
+      in
+      (* Forward pass: each pattern pruned by the ones before it. *)
+      for i = 0 to n - 1 do
+        for j = 0 to i - 1 do
+          semijoin_step slots.(i) slots.(j)
+        done
+      done;
+      (* Backward pass: each pattern pruned by the ones after it. *)
+      for i = n - 1 downto 0 do
+        for j = n - 1 downto i + 1 do
+          semijoin_step slots.(i) slots.(j)
+        done
+      done;
+      (* Join phase: inner joins within a supernode, left-outer joins along
+         GoSN edges, bottom-up. *)
+      let tables_of sn_id =
+        Array.to_list slots
+        |> List.filter_map (fun slot ->
+               if slot.sn_id = sn_id then Some slot.table else None)
+      in
+      let rec assemble (sn : Gosn.t) =
+        let inner =
+          (* Smallest-first inner join order within the scope. *)
+          let tables =
+            List.sort
+              (fun b1 b2 ->
+                Int.compare (Sparql.Bag.length b1) (Sparql.Bag.length b2))
+              (tables_of sn.Gosn.id)
+          in
+          List.fold_left Sparql.Bag.join (Sparql.Bag.unit ~width) tables
+        in
+        List.fold_left
+          (fun acc child -> Sparql.Bag.left_outer_join acc (assemble child))
+          inner sn.Gosn.children
+      in
+      Some (assemble gosn)
+    with Sparql.Bag.Limit_exceeded -> None
+  in
+  let exec_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Sparql.Bag.unlimited_budget ();
+  Sparql.Bag.clear_deadline ();
+  let bag =
+    match (outcome, Sparql.Ast.select_query query) with
+    | None, _ -> None
+    | Some bag, Sparql.Ast.Star ->
+        Some (if query.distinct then Sparql.Bag.dedup bag else bag)
+    | Some bag, Sparql.Ast.Projection vs ->
+        let cols = List.filter_map (Sparql.Vartable.find table) vs in
+        let bag = Sparql.Bag.project bag ~cols in
+        Some (if query.distinct then Sparql.Bag.dedup bag else bag)
+  in
+  {
+    bag;
+    result_count = Option.map Sparql.Bag.length bag;
+    exec_ms;
+    scanned_rows = !scanned;
+    semijoin_prunes = !prunes;
+  }

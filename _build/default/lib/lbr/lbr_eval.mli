@@ -1,0 +1,38 @@
+(** The LBR baseline (Atre, SIGMOD 2015), reimplemented per its published
+    algorithmic structure:
+
+    + every triple pattern is evaluated *separately* into a table of
+      bindings (LBR's per-triple-pattern treatment);
+    + a forward and a backward semijoin pass over the join-variable graph
+      prune each pattern's table against the patterns allowed to constrain
+      it (same scope, or an ancestor scope — an OPTIONAL scope never
+      removes bindings of its required ancestors);
+    + the pruned tables are combined by inner joins within each supernode
+      and left-outer joins along the GoSN edges.
+
+    Inconsistent cross-scope bindings are rejected by the compatibility
+    checks built into {!Sparql.Bag.left_outer_join}, which subsumes LBR's
+    nullification + best-match post-processing for the well-designed
+    patterns this baseline is evaluated on (q2.1–q2.6). *)
+
+type report = {
+  bag : Sparql.Bag.t option;  (** [None] when the row budget was exceeded *)
+  result_count : int option;
+  exec_ms : float;
+  scanned_rows : int;  (** rows materialized by the per-pattern scans *)
+  semijoin_prunes : int;
+      (** semijoin applications across both passes that removed rows *)
+}
+
+(** [run ?row_budget ?timeout_ms env query] executes [query] with the LBR
+    strategy. Raises {!Gosn.Unsupported} on UNION/FILTER queries and on
+    non-well-designed patterns (outside LBR's sound fragment). *)
+val run :
+  ?row_budget:int ->
+  ?timeout_ms:float ->
+  Engine.Bgp_eval.t ->
+  Sparql.Ast.query ->
+  report
+
+(** [supported q] — true when the query is within LBR's scope. *)
+val supported : Sparql.Ast.query -> bool

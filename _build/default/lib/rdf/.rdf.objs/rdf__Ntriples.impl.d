@@ -1,0 +1,1 @@
+lib/rdf/ntriples.ml: Buffer Fun In_channel List Printf String Term Triple

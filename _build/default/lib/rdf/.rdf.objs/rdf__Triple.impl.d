@@ -1,0 +1,1 @@
+lib/rdf/triple.ml: Format Printf Term

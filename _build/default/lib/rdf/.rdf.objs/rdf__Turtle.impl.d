@@ -1,0 +1,1 @@
+lib/rdf/turtle.ml: Buffer Fun In_channel List Namespace Printf String Term Triple

@@ -1,0 +1,89 @@
+type t = (string, string) Hashtbl.t
+
+let ns_ub = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+let ns_rdf = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+let ns_rdfs = "http://www.w3.org/2000/01/rdf-schema#"
+let ns_foaf = "http://xmlns.com/foaf/0.1/"
+let ns_purl = "http://purl.org/dc/terms/"
+let ns_skos = "http://www.w3.org/2004/02/skos/core#"
+let ns_nsprov = "http://www.w3.org/ns/prov#"
+let ns_owl = "http://www.w3.org/2002/07/owl#"
+let ns_dbo = "http://dbpedia.org/ontology/"
+let ns_dbr = "http://dbpedia.org/resource/"
+let ns_dbp = "http://dbpedia.org/property/"
+let ns_geo = "http://www.w3.org/2003/01/geo/wgs84_pos#"
+let ns_georss = "http://www.georss.org/georss/"
+let ns_xsd = "http://www.w3.org/2001/XMLSchema#"
+
+let ub local = ns_ub ^ local
+let rdf local = ns_rdf ^ local
+let rdfs local = ns_rdfs ^ local
+let foaf local = ns_foaf ^ local
+let purl local = ns_purl ^ local
+let skos local = ns_skos ^ local
+let nsprov local = ns_nsprov ^ local
+let owl local = ns_owl ^ local
+let dbo local = ns_dbo ^ local
+let dbr local = ns_dbr ^ local
+let dbp local = ns_dbp ^ local
+let geo local = ns_geo ^ local
+let georss local = ns_georss ^ local
+let xsd local = ns_xsd ^ local
+
+let rdf_type = rdf "type"
+
+let create () : t = Hashtbl.create 16
+
+let add env ~prefix ~iri = Hashtbl.replace env prefix iri
+
+let defaults =
+  [
+    ("ub", ns_ub); ("rdf", ns_rdf); ("rdfs", ns_rdfs); ("foaf", ns_foaf);
+    ("purl", ns_purl); ("skos", ns_skos); ("nsprov", ns_nsprov);
+    ("owl", ns_owl); ("dbo", ns_dbo); ("dbr", ns_dbr); ("dbp", ns_dbp);
+    ("geo", ns_geo); ("georss", ns_georss); ("xsd", ns_xsd);
+  ]
+
+let with_defaults () =
+  let env = create () in
+  List.iter (fun (prefix, iri) -> add env ~prefix ~iri) defaults;
+  env
+
+let lookup env prefix = Hashtbl.find_opt env prefix
+
+let expand env qname =
+  match String.index_opt qname ':' with
+  | None -> failwith (Printf.sprintf "Namespace.expand: no colon in %S" qname)
+  | Some i -> (
+      let prefix = String.sub qname 0 i in
+      let local = String.sub qname (i + 1) (String.length qname - i - 1) in
+      match lookup env prefix with
+      | Some ns -> ns ^ local
+      | None ->
+          failwith (Printf.sprintf "Namespace.expand: unbound prefix %S" prefix))
+
+let shrink env iri =
+  let best =
+    Hashtbl.fold
+      (fun prefix ns acc ->
+        if
+          String.length ns <= String.length iri
+          && String.sub iri 0 (String.length ns) = ns
+        then
+          match acc with
+          | Some (_, best_ns) when String.length best_ns >= String.length ns ->
+              acc
+          | _ -> Some (prefix, ns)
+        else acc)
+      env None
+  in
+  match best with
+  | Some (prefix, ns) ->
+      let local =
+        String.sub iri (String.length ns) (String.length iri - String.length ns)
+      in
+      prefix ^ ":" ^ local
+  | None -> "<" ^ iri ^ ">"
+
+let fold env ~init ~f =
+  Hashtbl.fold (fun prefix iri acc -> f ~prefix ~iri acc) env init

@@ -1,0 +1,51 @@
+(** Prefix environments and the vocabularies used throughout the paper's
+    queries (LUBM's [ub:] and the DBpedia namespaces). *)
+
+type t
+(** A mutable prefix environment mapping prefix labels (without the colon)
+    to namespace IRIs. *)
+
+val create : unit -> t
+
+(** [with_defaults ()] is an environment preloaded with every prefix used by
+    the paper's appendix queries ([ub], [rdf], [rdfs], [foaf], [purl], [skos],
+    [nsprov], [owl], [dbo], [dbr], [dbp], [geo], [georss], [xsd]). *)
+val with_defaults : unit -> t
+
+val add : t -> prefix:string -> iri:string -> unit
+
+(** [lookup env prefix] is the namespace IRI bound to [prefix], if any. *)
+val lookup : t -> string -> string option
+
+(** [expand env qname] expands a prefixed name such as ["ub:headOf"] to a full
+    IRI string. Raises [Failure] if the prefix is unbound or the string
+    contains no colon. *)
+val expand : t -> string -> string
+
+(** [shrink env iri] renders [iri] as a prefixed name when a bound namespace
+    is a prefix of it, and as [<iri>] otherwise. Longest namespace wins. *)
+val shrink : t -> string -> string
+
+val fold : t -> init:'a -> f:(prefix:string -> iri:string -> 'a -> 'a) -> 'a
+
+(** {1 Vocabulary helpers}
+
+    Each returns a full IRI string for a local name in the given namespace. *)
+
+val ub : string -> string
+val rdf : string -> string
+val rdfs : string -> string
+val foaf : string -> string
+val purl : string -> string
+val skos : string -> string
+val nsprov : string -> string
+val owl : string -> string
+val dbo : string -> string
+val dbr : string -> string
+val dbp : string -> string
+val geo : string -> string
+val georss : string -> string
+val xsd : string -> string
+
+(** [rdf_type] is the [rdf:type] IRI. *)
+val rdf_type : string

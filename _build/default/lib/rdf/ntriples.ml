@@ -1,0 +1,174 @@
+exception Parse_error of { line : int; message : string }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* A tiny cursor over a single line of input. *)
+type cursor = { src : string; mutable pos : int; line : int }
+
+let peek cur =
+  if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  let n = String.length cur.src in
+  while cur.pos < n && (cur.src.[cur.pos] = ' ' || cur.src.[cur.pos] = '\t') do
+    advance cur
+  done
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | Some c' -> error cur.line "expected %C but found %C at column %d" c c' cur.pos
+  | None -> error cur.line "expected %C but reached end of line" c
+
+(* Reads up to (but not including) the unescaped terminator [stop]. *)
+let read_until cur stop =
+  let buf = Buffer.create 32 in
+  let rec go () =
+    match peek cur with
+    | None -> error cur.line "unterminated token (expected %C)" stop
+    | Some c when c = stop -> advance cur
+    | Some '\\' ->
+        Buffer.add_char buf '\\';
+        advance cur;
+        (match peek cur with
+        | Some c ->
+            Buffer.add_char buf c;
+            advance cur
+        | None -> error cur.line "dangling backslash");
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance cur;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.'
+
+let read_bnode_label cur =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | Some c when is_name_char c ->
+        Buffer.add_char buf c;
+        advance cur;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  if Buffer.length buf = 0 then error cur.line "empty blank node label";
+  Buffer.contents buf
+
+let read_lang_tag cur =
+  let buf = Buffer.create 8 in
+  let rec go () =
+    match peek cur with
+    | Some c
+      when (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+           || (c >= '0' && c <= '9') || c = '-' ->
+        Buffer.add_char buf c;
+        advance cur;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  if Buffer.length buf = 0 then error cur.line "empty language tag";
+  Buffer.contents buf
+
+let read_term cur =
+  skip_ws cur;
+  match peek cur with
+  | Some '<' ->
+      advance cur;
+      Term.Iri (read_until cur '>')
+  | Some '_' ->
+      advance cur;
+      expect cur ':';
+      Term.Bnode (read_bnode_label cur)
+  | Some '"' -> (
+      advance cur;
+      let raw = read_until cur '"' in
+      let value = Term.unescape_string raw in
+      match peek cur with
+      | Some '@' ->
+          advance cur;
+          Term.lang_literal value ~lang:(read_lang_tag cur)
+      | Some '^' ->
+          advance cur;
+          expect cur '^';
+          expect cur '<';
+          Term.typed_literal value ~datatype:(read_until cur '>')
+      | _ -> Term.literal value)
+  | Some c -> error cur.line "unexpected character %C at column %d" c cur.pos
+  | None -> error cur.line "unexpected end of line"
+
+let parse_line ?(line = 0) s =
+  let cur = { src = s; pos = 0; line } in
+  skip_ws cur;
+  match peek cur with
+  | None -> None
+  | Some '#' -> None
+  | Some _ ->
+      let s_term = read_term cur in
+      let p_term = read_term cur in
+      let o_term = read_term cur in
+      skip_ws cur;
+      expect cur '.';
+      skip_ws cur;
+      (match peek cur with
+      | None | Some '#' -> ()
+      | Some c -> error line "trailing garbage %C after '.'" c);
+      let triple = Triple.make s_term p_term o_term in
+      if not (Triple.is_valid triple) then
+        error line "invalid triple: %s" (Triple.to_ntriples triple);
+      Some triple
+
+let parse_string s =
+  let lines = String.split_on_char '\n' s in
+  let _, triples =
+    List.fold_left
+      (fun (lineno, acc) line_src ->
+        match parse_line ~line:lineno line_src with
+        | None -> (lineno + 1, acc)
+        | Some t -> (lineno + 1, t :: acc))
+      (1, []) lines
+  in
+  List.rev triples
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go lineno acc =
+        match In_channel.input_line ic with
+        | None -> List.rev acc
+        | Some line_src -> (
+            match parse_line ~line:lineno line_src with
+            | None -> go (lineno + 1) acc
+            | Some t -> go (lineno + 1) (t :: acc))
+      in
+      go 1 [])
+
+let to_string triples =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun t ->
+      Buffer.add_string buf (Triple.to_ntriples t);
+      Buffer.add_char buf '\n')
+    triples;
+  Buffer.contents buf
+
+let write_file path triples =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string triples))

@@ -1,0 +1,23 @@
+(** N-Triples parsing and serialization.
+
+    The parser accepts the line-oriented N-Triples syntax: one triple per
+    line, [#] comments, blank lines, [\u]-style escapes kept verbatim. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** [parse_line ?line s] parses a single N-Triples line. [None] for blank and
+    comment lines. Raises {!Parse_error} on malformed input ([line] is used
+    in the error report and defaults to 0). *)
+val parse_line : ?line:int -> string -> Triple.t option
+
+(** [parse_string s] parses a whole N-Triples document. *)
+val parse_string : string -> Triple.t list
+
+(** [parse_file path] parses the N-Triples file at [path]. *)
+val parse_file : string -> Triple.t list
+
+(** [to_string triples] serializes in N-Triples syntax, one per line. *)
+val to_string : Triple.t list -> string
+
+(** [write_file path triples] serializes to a file. *)
+val write_file : string -> Triple.t list -> unit

@@ -1,0 +1,104 @@
+type literal_kind = Plain | Lang of string | Typed of string
+
+type literal = { value : string; kind : literal_kind }
+
+type t = Iri of string | Bnode of string | Literal of literal
+
+let xsd = "http://www.w3.org/2001/XMLSchema#"
+let xsd_integer = xsd ^ "integer"
+let xsd_string = xsd ^ "string"
+let xsd_date = xsd ^ "date"
+let xsd_double = xsd ^ "double"
+let xsd_boolean = xsd ^ "boolean"
+
+let iri s = Iri s
+let bnode s = Bnode s
+let literal v = Literal { value = v; kind = Plain }
+let lang_literal v ~lang = Literal { value = v; kind = Lang lang }
+let typed_literal v ~datatype = Literal { value = v; kind = Typed datatype }
+let int_literal n = typed_literal (string_of_int n) ~datatype:xsd_integer
+let date_literal s = typed_literal s ~datatype:xsd_date
+
+let is_iri = function Iri _ -> true | Bnode _ | Literal _ -> false
+let is_bnode = function Bnode _ -> true | Iri _ | Literal _ -> false
+let is_literal = function Literal _ -> true | Iri _ | Bnode _ -> false
+
+let kind_rank = function Plain -> 0 | Lang _ -> 1 | Typed _ -> 2
+
+let compare_literal l1 l2 =
+  let c = String.compare l1.value l2.value in
+  if c <> 0 then c
+  else
+    match (l1.kind, l2.kind) with
+    | Plain, Plain -> 0
+    | Lang a, Lang b -> String.compare a b
+    | Typed a, Typed b -> String.compare a b
+    | k1, k2 -> Int.compare (kind_rank k1) (kind_rank k2)
+
+let compare t1 t2 =
+  match (t1, t2) with
+  | Iri a, Iri b -> String.compare a b
+  | Bnode a, Bnode b -> String.compare a b
+  | Literal a, Literal b -> compare_literal a b
+  | Iri _, (Bnode _ | Literal _) -> -1
+  | Bnode _, Iri _ -> 1
+  | Bnode _, Literal _ -> -1
+  | Literal _, (Iri _ | Bnode _) -> 1
+
+let equal t1 t2 = compare t1 t2 = 0
+
+let hash = Hashtbl.hash
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape_string s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] = '\\' then begin
+      if i + 1 >= n then failwith "unescape_string: dangling backslash";
+      (match s.[i + 1] with
+      | '"' -> Buffer.add_char buf '"'
+      | '\\' -> Buffer.add_char buf '\\'
+      | 'n' -> Buffer.add_char buf '\n'
+      | 'r' -> Buffer.add_char buf '\r'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'u' | 'U' ->
+          (* Keep \u escapes verbatim: the store treats terms opaquely. *)
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf s.[i + 1]
+      | c -> failwith (Printf.sprintf "unescape_string: bad escape \\%c" c));
+      go (i + 2)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let to_ntriples = function
+  | Iri s -> "<" ^ s ^ ">"
+  | Bnode s -> "_:" ^ s
+  | Literal { value; kind } -> (
+      let quoted = "\"" ^ escape_string value ^ "\"" in
+      match kind with
+      | Plain -> quoted
+      | Lang l -> quoted ^ "@" ^ l
+      | Typed d -> quoted ^ "^^<" ^ d ^ ">")
+
+let pp fmt t = Format.pp_print_string fmt (to_ntriples t)

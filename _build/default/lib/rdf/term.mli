@@ -1,0 +1,71 @@
+(** RDF terms: IRIs, blank nodes, and literals (plain, language-tagged or
+    datatyped), per Definition 1 of the paper.
+
+    Terms are immutable values with a total order, so they can serve as keys
+    in maps and be sorted deterministically in dictionaries and test
+    output. *)
+
+type literal_kind =
+  | Plain  (** a simple literal, e.g. ["abc"] *)
+  | Lang of string  (** language-tagged, e.g. ["abc"@en] *)
+  | Typed of string  (** datatyped; the payload is the datatype IRI *)
+
+type literal = { value : string; kind : literal_kind }
+
+type t =
+  | Iri of string
+  | Bnode of string  (** blank-node label, without the [_:] prefix *)
+  | Literal of literal
+
+(** {1 Constructors} *)
+
+val iri : string -> t
+val bnode : string -> t
+val literal : string -> t
+val lang_literal : string -> lang:string -> t
+val typed_literal : string -> datatype:string -> t
+
+(** [int_literal n] is [n] typed as [xsd:integer]. *)
+val int_literal : int -> t
+
+(** [date_literal s] is [s] typed as [xsd:date]. *)
+val date_literal : string -> t
+
+(** {1 Classification} *)
+
+val is_iri : t -> bool
+val is_bnode : t -> bool
+val is_literal : t -> bool
+
+(** {1 Comparison} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** {1 Printing} *)
+
+(** [to_ntriples t] renders [t] in N-Triples concrete syntax, with all string
+    escaping applied (e.g. [<http://a>], [_:b0], ["x"@en],
+    ["3"^^<http://www.w3.org/2001/XMLSchema#integer>]). *)
+val to_ntriples : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 String escaping} *)
+
+(** [escape_string s] escapes [s] for inclusion between double quotes in
+    N-Triples / Turtle output. *)
+val escape_string : string -> string
+
+(** [unescape_string s] undoes {!escape_string}. Raises [Failure] on a
+    malformed escape sequence. *)
+val unescape_string : string -> string
+
+(** {1 Well-known datatype IRIs} *)
+
+val xsd_integer : string
+val xsd_string : string
+val xsd_date : string
+val xsd_double : string
+val xsd_boolean : string

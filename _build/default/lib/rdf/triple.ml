@@ -1,0 +1,25 @@
+type t = { s : Term.t; p : Term.t; o : Term.t }
+
+let make s p o = { s; p; o }
+
+let is_valid { s; p; o = _ } =
+  (Term.is_iri s || Term.is_bnode s) && Term.is_iri p
+
+let compare t1 t2 =
+  let c = Term.compare t1.s t2.s in
+  if c <> 0 then c
+  else
+    let c = Term.compare t1.p t2.p in
+    if c <> 0 then c else Term.compare t1.o t2.o
+
+let equal t1 t2 = compare t1 t2 = 0
+
+type position = Subject | Predicate | Object
+
+let at t = function Subject -> t.s | Predicate -> t.p | Object -> t.o
+
+let to_ntriples { s; p; o } =
+  Printf.sprintf "%s %s %s ." (Term.to_ntriples s) (Term.to_ntriples p)
+    (Term.to_ntriples o)
+
+let pp fmt t = Format.pp_print_string fmt (to_ntriples t)

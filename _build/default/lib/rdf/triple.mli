@@ -1,0 +1,23 @@
+(** RDF triples (Definition 1): ⟨subject, predicate, object⟩. *)
+
+type t = { s : Term.t; p : Term.t; o : Term.t }
+
+val make : Term.t -> Term.t -> Term.t -> t
+
+(** [is_valid t] checks the typing constraint of Definition 1: the subject is
+    an IRI or blank node, the predicate an IRI, the object any term. *)
+val is_valid : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** Positions within a triple, used by indexes and pattern code. *)
+type position = Subject | Predicate | Object
+
+val at : t -> position -> Term.t
+
+(** [to_ntriples t] is the one-line N-Triples rendering, including the
+    terminating [" ."]. *)
+val to_ntriples : t -> string
+
+val pp : Format.formatter -> t -> unit

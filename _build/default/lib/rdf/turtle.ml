@@ -1,0 +1,270 @@
+exception Parse_error of { line : int; message : string }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type token =
+  | Tok_iri of string
+  | Tok_qname of string (* keeps the colon, e.g. "ub:headOf" or ":x" *)
+  | Tok_bnode of string
+  | Tok_string of string
+  | Tok_lang of string (* @en — emitted right after a Tok_string *)
+  | Tok_dtype_sep (* ^^ *)
+  | Tok_number of string
+  | Tok_boolean of bool
+  | Tok_a
+  | Tok_prefix_directive
+  | Tok_dot
+  | Tok_semicolon
+  | Tok_comma
+
+type ltoken = { tok : token; tline : int }
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = '%'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let push tok = toks := { tok; tline = !line } :: !toks in
+  let peek i = if !pos + i < n then Some src.[!pos + i] else None in
+  let read_delimited stop =
+    (* !pos is just after the opening delimiter *)
+    let buf = Buffer.create 32 in
+    let rec go () =
+      if !pos >= n then error !line "unterminated token (expected %C)" stop
+      else
+        let c = src.[!pos] in
+        if c = stop then incr pos
+        else if c = '\\' then begin
+          Buffer.add_char buf '\\';
+          incr pos;
+          if !pos >= n then error !line "dangling backslash";
+          Buffer.add_char buf src.[!pos];
+          incr pos;
+          go ()
+        end
+        else begin
+          if c = '\n' then incr line;
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+        end
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let read_while pred =
+    let start = !pos in
+    while !pos < n && pred src.[!pos] do
+      incr pos
+    done;
+    String.sub src start (!pos - start)
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    match c with
+    | ' ' | '\t' | '\r' -> incr pos
+    | '\n' ->
+        incr line;
+        incr pos
+    | '#' ->
+        while !pos < n && src.[!pos] <> '\n' do
+          incr pos
+        done
+    | '<' ->
+        incr pos;
+        push (Tok_iri (read_delimited '>'))
+    | '"' ->
+        incr pos;
+        push (Tok_string (Term.unescape_string (read_delimited '"')))
+    | '@' ->
+        incr pos;
+        let word =
+          read_while (fun c ->
+              (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+              || (c >= '0' && c <= '9') || c = '-')
+        in
+        if word = "prefix" then push Tok_prefix_directive
+        else if word = "" then error !line "empty @ directive"
+        else push (Tok_lang word)
+    | '^' when peek 1 = Some '^' ->
+        pos := !pos + 2;
+        push Tok_dtype_sep
+    | '.' ->
+        incr pos;
+        push Tok_dot
+    | ';' ->
+        incr pos;
+        push Tok_semicolon
+    | ',' ->
+        incr pos;
+        push Tok_comma
+    | '_' when peek 1 = Some ':' ->
+        pos := !pos + 2;
+        let label = read_while is_name_char in
+        if label = "" then error !line "empty blank node label";
+        push (Tok_bnode label)
+    | c when (c >= '0' && c <= '9') || c = '-' || c = '+' ->
+        let num =
+          read_while (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-'
+                               || c = '+' || c = 'e' || c = 'E')
+        in
+        (* A trailing '.' is the statement terminator, not part of the num. *)
+        let num, dot =
+          if String.length num > 0 && num.[String.length num - 1] = '.' then
+            (String.sub num 0 (String.length num - 1), true)
+          else (num, false)
+        in
+        push (Tok_number num);
+        if dot then push Tok_dot
+    | c
+      when (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = ':' ->
+        let word = read_while (fun c -> is_name_char c || c = ':') in
+        (* A trailing '.' terminates the statement (e.g. "ub:x."). *)
+        let word, dot =
+          if String.length word > 0 && word.[String.length word - 1] = '.' then
+            (String.sub word 0 (String.length word - 1), true)
+          else (word, false)
+        in
+        (if word = "a" then push Tok_a
+         else if word = "true" then push (Tok_boolean true)
+         else if word = "false" then push (Tok_boolean false)
+         else if String.contains word ':' then push (Tok_qname word)
+         else error !line "bare word %S is not valid Turtle here" word);
+        if dot then push Tok_dot
+    | c -> error !line "unexpected character %C" c
+  done;
+  List.rev !toks
+
+type state = {
+  mutable toks : ltoken list;
+  env : Namespace.t;
+  mutable acc : Triple.t list;
+}
+
+let cur_line st = match st.toks with [] -> 0 | { tline; _ } :: _ -> tline
+
+let pop st =
+  match st.toks with
+  | [] -> error (cur_line st) "unexpected end of input"
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let number_term s =
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'E'
+  then Term.typed_literal s ~datatype:Term.xsd_double
+  else Term.typed_literal s ~datatype:Term.xsd_integer
+
+let parse_term st =
+  let { tok; tline } = pop st in
+  let expand q =
+    try Namespace.expand st.env q
+    with Failure msg -> error tline "%s" msg
+  in
+  match tok with
+  | Tok_iri iri -> Term.Iri iri
+  | Tok_qname q -> Term.Iri (expand q)
+  | Tok_bnode b -> Term.Bnode b
+  | Tok_a -> Term.Iri Namespace.rdf_type
+  | Tok_number s -> number_term s
+  | Tok_boolean b ->
+      Term.typed_literal (string_of_bool b) ~datatype:Term.xsd_boolean
+  | Tok_string s -> (
+      match st.toks with
+      | { tok = Tok_lang lang; _ } :: rest ->
+          st.toks <- rest;
+          Term.lang_literal s ~lang
+      | { tok = Tok_dtype_sep; _ } :: rest -> (
+          st.toks <- rest;
+          match (pop st).tok with
+          | Tok_iri iri -> Term.typed_literal s ~datatype:iri
+          | Tok_qname q ->
+              Term.typed_literal s ~datatype:(expand q)
+          | _ -> error tline "expected datatype IRI after ^^")
+      | _ -> Term.literal s)
+  | Tok_lang _ | Tok_dtype_sep | Tok_dot | Tok_semicolon | Tok_comma
+  | Tok_prefix_directive ->
+      error tline "expected a term"
+
+let expect_dot st =
+  match pop st with
+  | { tok = Tok_dot; _ } -> ()
+  | { tline; _ } -> error tline "expected '.'"
+
+let parse_prefix_directive st =
+  let { tok; tline } = pop st in
+  let prefix =
+    match tok with
+    | Tok_qname q when String.length q > 0 && q.[String.length q - 1] = ':' ->
+        String.sub q 0 (String.length q - 1)
+    | _ -> error tline "expected prefix label after @prefix"
+  in
+  let iri =
+    match (pop st).tok with
+    | Tok_iri iri -> iri
+    | _ -> error tline "expected IRI in @prefix"
+  in
+  Namespace.add st.env ~prefix ~iri;
+  expect_dot st
+
+let rec parse_object_list st subject predicate =
+  let o = parse_term st in
+  st.acc <- Triple.make subject predicate o :: st.acc;
+  match st.toks with
+  | { tok = Tok_comma; _ } :: rest ->
+      st.toks <- rest;
+      parse_object_list st subject predicate
+  | _ -> ()
+
+let rec parse_predicate_list st subject =
+  let predicate = parse_term st in
+  parse_object_list st subject predicate;
+  match st.toks with
+  | { tok = Tok_semicolon; _ } :: rest -> (
+      st.toks <- rest;
+      (* Allow a trailing semicolon before '.' *)
+      match st.toks with
+      | { tok = Tok_dot; _ } :: _ -> ()
+      | _ -> parse_predicate_list st subject)
+  | _ -> ()
+
+let parse_statement st =
+  match st.toks with
+  | { tok = Tok_prefix_directive; _ } :: rest ->
+      st.toks <- rest;
+      parse_prefix_directive st
+  | _ ->
+      let subject = parse_term st in
+      parse_predicate_list st subject;
+      expect_dot st
+
+let copy_env env =
+  let fresh = Namespace.create () in
+  Namespace.fold env ~init:()
+    ~f:(fun ~prefix ~iri () -> Namespace.add fresh ~prefix ~iri);
+  fresh
+
+let parse_string ?env src =
+  let env =
+    match env with
+    | Some e -> copy_env e
+    | None -> Namespace.with_defaults ()
+  in
+  let st = { toks = tokenize src; env; acc = [] } in
+  while st.toks <> [] do
+    parse_statement st
+  done;
+  List.rev st.acc
+
+let parse_file ?env path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string ?env (In_channel.input_all ic))

@@ -1,0 +1,20 @@
+(** A Turtle subset parser, sufficient for hand-written example data and
+    tests.
+
+    Supported: [@prefix] directives, full IRIs, prefixed names, [a] for
+    [rdf:type], predicate lists ([;]), object lists ([,]), blank node labels
+    ([_:x]), string literals with language tags and datatypes, bare integer /
+    decimal / boolean abbreviations, [#] comments.
+
+    Not supported (out of scope for this reproduction): anonymous blank-node
+    property lists [\[...\]], RDF collections [(...)] and multi-line
+    ["""..."""] strings. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** [parse_string ?env s] parses a Turtle document. Prefixes declared in the
+    document are added to a copy of [env] (default: the builtin defaults of
+    {!Namespace.with_defaults}). Returns the triples in document order. *)
+val parse_string : ?env:Namespace.t -> string -> Triple.t list
+
+val parse_file : ?env:Namespace.t -> string -> Triple.t list

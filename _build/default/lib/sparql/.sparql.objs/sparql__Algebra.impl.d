@@ -1,0 +1,1 @@
+lib/sparql/algebra.ml: Ast Expr Format List Option Rdf String Triple_pattern

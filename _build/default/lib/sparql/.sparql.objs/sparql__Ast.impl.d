@@ -1,0 +1,1 @@
+lib/sparql/ast.ml: Expr Format List Option Rdf Triple_pattern

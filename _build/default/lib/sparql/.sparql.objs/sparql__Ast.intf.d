@@ -1,0 +1,1 @@
+lib/sparql/ast.mli: Expr Format Rdf Triple_pattern

@@ -1,0 +1,1 @@
+lib/sparql/bag.ml: Array Binding Format Hashtbl List Option Vartable

@@ -1,0 +1,1 @@
+lib/sparql/bag.mli: Binding Format Hashtbl Vartable

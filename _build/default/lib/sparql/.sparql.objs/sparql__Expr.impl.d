@@ -1,0 +1,1 @@
+lib/sparql/expr.ml: Bool Float Format Hashtbl List Option Rdf Regex String

@@ -1,0 +1,1 @@
+lib/sparql/expr.mli: Format Rdf

@@ -1,0 +1,1 @@
+lib/sparql/lexer.ml: Array Buffer List Printf Rdf String

@@ -1,0 +1,1 @@
+lib/sparql/parser.ml: Array Ast Expr Lexer List Printf Rdf String Triple_pattern

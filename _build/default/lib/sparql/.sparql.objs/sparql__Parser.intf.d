@@ -1,0 +1,1 @@
+lib/sparql/parser.mli: Ast Rdf

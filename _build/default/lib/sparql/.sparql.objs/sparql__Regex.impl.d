@@ -1,0 +1,1 @@
+lib/sparql/regex.ml: Array Char List Printf String

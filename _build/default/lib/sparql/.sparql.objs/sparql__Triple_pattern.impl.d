@@ -1,0 +1,1 @@
+lib/sparql/triple_pattern.ml: Format List Rdf String

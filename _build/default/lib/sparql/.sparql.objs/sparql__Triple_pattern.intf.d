@@ -1,0 +1,1 @@
+lib/sparql/triple_pattern.mli: Format Rdf

@@ -1,0 +1,1 @@
+lib/sparql/vartable.ml: Array Hashtbl List Printf

@@ -1,0 +1,79 @@
+type t =
+  | Unit
+  | Triple of Triple_pattern.t
+  | And of t * t
+  | Union of t * t
+  | Optional of t * t
+  | Minus of t * t
+  | Filter of Ast.expr * t
+  | Values of Ast.values_block
+  | Group of t
+
+let join_with acc p = match acc with None -> Some p | Some q -> Some (And (q, p))
+
+let rec of_group (g : Ast.group) =
+  let body, filters =
+    List.fold_left
+      (fun (acc, filters) element ->
+        match element with
+        | Ast.Triples tps ->
+            let acc =
+              List.fold_left (fun acc tp -> join_with acc (Triple tp)) acc tps
+            in
+            (acc, filters)
+        | Ast.Group inner -> (join_with acc (of_group inner), filters)
+        | Ast.Union gs -> (
+            match List.map of_group gs with
+            | [] -> (acc, filters)
+            | first :: rest ->
+                let union =
+                  List.fold_left (fun u g -> Union (u, g)) first rest
+                in
+                (join_with acc union, filters))
+        | Ast.Optional inner ->
+            let left = Option.value acc ~default:Unit in
+            (Some (Optional (left, of_group inner)), filters)
+        | Ast.Minus inner ->
+            let left = Option.value acc ~default:Unit in
+            (Some (Minus (left, of_group inner)), filters)
+        | Ast.Filter e -> (acc, e :: filters)
+        | Ast.Values block -> (join_with acc (Values block), filters))
+      (None, []) g
+  in
+  let body = Option.value body ~default:Unit in
+  let body = List.fold_left (fun p e -> Filter (e, p)) body (List.rev filters) in
+  Group body
+
+let of_query (q : Ast.query) = of_group q.Ast.where
+
+let add_distinct acc vs =
+  List.fold_left (fun acc v -> if List.mem v acc then acc else v :: acc) acc vs
+
+let rec vars_acc acc = function
+  | Unit -> acc
+  | Triple tp -> add_distinct acc (Triple_pattern.vars tp)
+  | And (p1, p2) | Union (p1, p2) | Optional (p1, p2) | Minus (p1, p2) ->
+      vars_acc (vars_acc acc p1) p2
+  | Filter (e, p) ->
+      vars_acc (add_distinct acc (Expr.vars ~pattern_vars:Ast.group_vars e)) p
+  | Values { vars; _ } -> add_distinct acc vars
+  | Group p -> vars_acc acc p
+
+let vars p = List.rev (vars_acc [] p)
+
+let rec pp fmt = function
+  | Unit -> Format.pp_print_string fmt "UNIT"
+  | Triple tp -> Format.pp_print_string fmt (Triple_pattern.to_string tp)
+  | And (p1, p2) -> Format.fprintf fmt "@[<hv 2>(%a@ AND %a)@]" pp p1 pp p2
+  | Union (p1, p2) -> Format.fprintf fmt "@[<hv 2>(%a@ UNION %a)@]" pp p1 pp p2
+  | Optional (p1, p2) ->
+      Format.fprintf fmt "@[<hv 2>(%a@ OPTIONAL %a)@]" pp p1 pp p2
+  | Minus (p1, p2) -> Format.fprintf fmt "@[<hv 2>(%a@ MINUS %a)@]" pp p1 pp p2
+  | Filter (e, p) ->
+      Format.fprintf fmt "@[<hv 2>FILTER(%a,@ %a)@]"
+        (Ast.pp_expr (Rdf.Namespace.with_defaults ()))
+        e pp p
+  | Values { vars; rows } ->
+      Format.fprintf fmt "VALUES(%s/%d)" (String.concat "," vars)
+        (List.length rows)
+  | Group p -> Format.fprintf fmt "@[<hv 2>{ %a }@]" pp p

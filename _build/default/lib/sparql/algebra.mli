@@ -1,0 +1,32 @@
+(** The graph-pattern algebra of Definition 6 (extended with the SPARQL
+    1.1 operators MINUS and VALUES), as a binary expression tree.
+
+    This is the representation the SPARQL semantics (Definition 7) is
+    defined on; the naive binary-tree evaluator and the semantics oracle
+    in the test suite work directly on it, while the optimizer works on
+    the BE-tree built from the same surface AST. *)
+
+type t =
+  | Unit  (** the empty group: one empty mapping (join identity) *)
+  | Triple of Triple_pattern.t
+  | And of t * t
+  | Union of t * t
+  | Optional of t * t  (** left OPTIONAL right *)
+  | Minus of t * t  (** left MINUS right (SPARQL 1.1 semantics) *)
+  | Filter of Ast.expr * t
+  | Values of Ast.values_block  (** inline data leaf *)
+  | Group of t  (** an explicit [{ ... }] in the source *)
+
+(** [of_group g] converts a surface group graph pattern, applying the
+    left-associativity of OPTIONAL/MINUS and attaching FILTERs to the
+    whole enclosing group (SPARQL group semantics). The result is wrapped
+    in [Group]. *)
+val of_group : Ast.group -> t
+
+(** [of_query q] is [of_group q.where]. *)
+val of_query : Ast.query -> t
+
+(** [vars p] lists distinct variables in first-use order. *)
+val vars : t -> string list
+
+val pp : Format.formatter -> t -> unit

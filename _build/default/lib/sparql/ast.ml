@@ -1,0 +1,257 @@
+type expr = group Expr.t
+
+and element =
+  | Triples of Triple_pattern.t list
+  | Group of group
+  | Union of group list
+  | Optional of group
+  | Minus of group
+  | Filter of expr
+  | Values of values_block
+
+and values_block = {
+  vars : string list;
+  rows : Rdf.Term.t option list list;
+}
+
+and group = element list
+
+type agg_kind = Count | Sum | Avg | Min | Max | Sample
+
+type select_item =
+  | Svar of string
+  | Aggregate of {
+      agg : agg_kind;
+      distinct : bool;
+      target : string option;
+      alias : string;
+    }
+
+type select = Star | Projection of string list | Aggregated of select_item list
+
+type form =
+  | Select of select
+  | Ask
+  | Construct of Triple_pattern.t list
+  | Describe of describe_target list
+
+and describe_target = Dvar of string | Dterm of Rdf.Term.t
+
+type query = {
+  env : Rdf.Namespace.t;
+  form : form;
+  distinct : bool;
+  where : group;
+  group_by : string list;
+  having : expr option;
+  order_by : (string * bool) list;
+  limit : int option;
+  offset : int option;
+}
+
+type update =
+  | Insert_data of Rdf.Triple.t list
+  | Delete_data of Rdf.Triple.t list
+  | Delete_where of group
+  | Modify of {
+      delete : Triple_pattern.t list;
+      insert : Triple_pattern.t list;
+      where : group;
+    }
+
+let select_query q = match q.form with Select s -> s | _ -> Star
+
+let add_distinct acc vs =
+  List.fold_left (fun acc v -> if List.mem v acc then acc else v :: acc) acc vs
+
+let rec element_vars acc = function
+  | Triples tps ->
+      List.fold_left (fun acc tp -> add_distinct acc (Triple_pattern.vars tp)) acc tps
+  | Group g | Optional g | Minus g -> group_vars_acc acc g
+  | Union gs -> List.fold_left group_vars_acc acc gs
+  | Filter e -> add_distinct acc (Expr.vars ~pattern_vars:group_vars e)
+  | Values { vars; _ } -> add_distinct acc vars
+
+and group_vars_acc acc g = List.fold_left element_vars acc g
+
+and group_vars g = List.rev (group_vars_acc [] g)
+
+let query_vars q =
+  match q.form with
+  | Select (Projection vs) -> vs
+  | Select (Aggregated items) ->
+      List.map
+        (function Svar v -> v | Aggregate { alias; _ } -> alias)
+        items
+  | Select Star | Ask | Construct _ | Describe _ -> group_vars q.where
+
+let agg_name = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+  | Sample -> "SAMPLE"
+
+(* --- EXISTS parameterization ------------------------------------------- *)
+
+let substitute_node lookup = function
+  | Triple_pattern.Var v as node -> (
+      match lookup v with
+      | Some term -> Triple_pattern.Term term
+      | None -> node)
+  | Triple_pattern.Term _ as node -> node
+
+let substitute_tp lookup (tp : Triple_pattern.t) =
+  Triple_pattern.make
+    (substitute_node lookup tp.s)
+    (substitute_node lookup tp.p)
+    (substitute_node lookup tp.o)
+
+let rec substitute_expr lookup (e : expr) : expr =
+  match e with
+  | Expr.Const _ -> e
+  | Expr.Var v -> (
+      match lookup v with Some t -> Expr.Const t | None -> e)
+  | Expr.Bound v -> (
+      (* A substituted variable is definitionally bound. *)
+      match lookup v with
+      | Some _ ->
+          Expr.Const
+            (Rdf.Term.typed_literal "true" ~datatype:Rdf.Term.xsd_boolean)
+      | None -> e)
+  | Expr.Cmp (op, a, b) ->
+      Expr.Cmp (op, substitute_expr lookup a, substitute_expr lookup b)
+  | Expr.Arith (op, a, b) ->
+      Expr.Arith (op, substitute_expr lookup a, substitute_expr lookup b)
+  | Expr.Neg a -> Expr.Neg (substitute_expr lookup a)
+  | Expr.Not a -> Expr.Not (substitute_expr lookup a)
+  | Expr.And (a, b) ->
+      Expr.And (substitute_expr lookup a, substitute_expr lookup b)
+  | Expr.Or (a, b) ->
+      Expr.Or (substitute_expr lookup a, substitute_expr lookup b)
+  | Expr.Call (f, args) -> Expr.Call (f, List.map (substitute_expr lookup) args)
+  | Expr.Exists g -> Expr.Exists (substitute lookup g)
+  | Expr.Not_exists g -> Expr.Not_exists (substitute lookup g)
+
+and substitute lookup (g : group) : group =
+  List.map
+    (fun element ->
+      match element with
+      | Triples tps -> Triples (List.map (substitute_tp lookup) tps)
+      | Group inner -> Group (substitute lookup inner)
+      | Union gs -> Union (List.map (substitute lookup) gs)
+      | Optional inner -> Optional (substitute lookup inner)
+      | Minus inner -> Minus (substitute lookup inner)
+      | Filter e -> Filter (substitute_expr lookup e)
+      | Values block -> Values block)
+    g
+
+let substitute_group g ~lookup = substitute lookup g
+
+(* --- Printing ----------------------------------------------------------- *)
+
+let pp_term env fmt = function
+  | Rdf.Term.Iri iri -> Format.pp_print_string fmt (Rdf.Namespace.shrink env iri)
+  | t -> Rdf.Term.pp fmt t
+
+let rec pp_element env fmt = function
+  | Triples tps ->
+      Format.pp_print_list ~pp_sep:Format.pp_print_space
+        (Triple_pattern.pp env) fmt tps
+  | Group g -> pp_group env fmt g
+  | Union gs ->
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.fprintf fmt "@ UNION@ ")
+        (pp_group env) fmt gs
+  | Optional g -> Format.fprintf fmt "OPTIONAL %a" (pp_group env) g
+  | Minus g -> Format.fprintf fmt "MINUS %a" (pp_group env) g
+  | Filter e -> Format.fprintf fmt "FILTER (%a)" (pp_expr env) e
+  | Values { vars; rows } ->
+      let pp_cell fmt = function
+        | Some term -> pp_term env fmt term
+        | None -> Format.pp_print_string fmt "UNDEF"
+      in
+      Format.fprintf fmt "VALUES (%a) {@ %a@ }"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space
+           (fun fmt v -> Format.fprintf fmt "?%s" v))
+        vars
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space
+           (fun fmt row ->
+             Format.fprintf fmt "(%a)"
+               (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_cell)
+               row))
+        rows
+
+and pp_expr env fmt e = Expr.pp ~pp_pattern:(pp_group env) fmt e
+
+and pp_group env fmt g =
+  Format.fprintf fmt "@[<v 2>{@ %a@]@ }"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space (pp_element env))
+    g
+
+let pp_query fmt q =
+  Rdf.Namespace.fold q.env ~init:()
+    ~f:(fun ~prefix ~iri () ->
+      Format.fprintf fmt "PREFIX %s: <%s>@ " prefix iri);
+  let pp_select fmt = function
+    | Star -> Format.pp_print_string fmt "*"
+    | Projection vs ->
+        Format.pp_print_list ~pp_sep:Format.pp_print_space
+          (fun fmt v -> Format.fprintf fmt "?%s" v)
+          fmt vs
+    | Aggregated items ->
+        Format.pp_print_list ~pp_sep:Format.pp_print_space
+          (fun fmt item ->
+            match item with
+            | Svar v -> Format.fprintf fmt "?%s" v
+            | Aggregate { agg; distinct; target; alias } ->
+                Format.fprintf fmt "(%s(%s%s) AS ?%s)" (agg_name agg)
+                  (if distinct then "DISTINCT " else "")
+                  (match target with Some v -> "?" ^ v | None -> "*")
+                  alias)
+          fmt items
+  in
+  let distinct = if q.distinct then "DISTINCT " else "" in
+  Format.fprintf fmt "@[<v>";
+  (match q.form with
+  | Select s -> Format.fprintf fmt "SELECT %s%a WHERE " distinct pp_select s
+  | Ask -> Format.fprintf fmt "ASK "
+  | Construct template ->
+      Format.fprintf fmt "CONSTRUCT {@ %a@ } WHERE "
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space
+           (Triple_pattern.pp q.env))
+        template
+  | Describe targets ->
+      Format.fprintf fmt "DESCRIBE %a"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun fmt ->
+           function
+           | Dvar v -> Format.fprintf fmt "?%s" v
+           | Dterm t -> pp_term q.env fmt t))
+        targets;
+      Format.fprintf fmt " WHERE ");
+  Format.fprintf fmt "%a" (pp_group q.env) q.where;
+  (match q.group_by with
+  | [] -> ()
+  | keys ->
+      Format.fprintf fmt "@ GROUP BY %a"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space
+           (fun fmt v -> Format.fprintf fmt "?%s" v))
+        keys);
+  Option.iter
+    (fun e -> Format.fprintf fmt "@ HAVING (%a)" (pp_expr q.env) e)
+    q.having;
+  (match q.order_by with
+  | [] -> ()
+  | keys ->
+      Format.fprintf fmt "@ ORDER BY %a"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space
+           (fun fmt (v, descending) ->
+             if descending then Format.fprintf fmt "DESC(?%s)" v
+             else Format.fprintf fmt "?%s" v))
+        keys);
+  Option.iter (fun n -> Format.fprintf fmt "@ LIMIT %d" n) q.limit;
+  Option.iter (fun n -> Format.fprintf fmt "@ OFFSET %d" n) q.offset;
+  Format.fprintf fmt "@]"
+
+let to_string q = Format.asprintf "%a" pp_query q

@@ -1,0 +1,111 @@
+(** The surface syntax tree produced by the parser.
+
+    A group graph pattern is the *ordered* list of its elements; order
+    matters because OPTIONAL and MINUS apply to everything to their left
+    in the group (left associativity, Section 3) and because the BE-tree
+    (Definition 8) preserves sibling order. *)
+
+(** FILTER expressions instantiated with group graph patterns as the
+    EXISTS payload. *)
+type expr = group Expr.t
+
+and element =
+  | Triples of Triple_pattern.t list
+      (** a run of consecutive triple patterns *)
+  | Group of group  (** a nested [{ ... }] *)
+  | Union of group list  (** [{A} UNION {B} UNION ...]; length >= 2 *)
+  | Optional of group  (** [OPTIONAL { ... }] *)
+  | Minus of group  (** [MINUS { ... }] (SPARQL 1.1) *)
+  | Filter of expr
+  | Values of values_block  (** inline data (SPARQL 1.1 VALUES) *)
+
+and values_block = {
+  vars : string list;
+  rows : Rdf.Term.t option list list;
+      (** one inner list per row, [None] = UNDEF; each row has exactly
+          [List.length vars] entries *)
+}
+
+and group = element list
+
+type agg_kind = Count | Sum | Avg | Min | Max | Sample
+
+type select_item =
+  | Svar of string  (** a plain projected variable *)
+  | Aggregate of {
+      agg : agg_kind;
+      distinct : bool;  (** e.g. COUNT(DISTINCT ?x) *)
+      target : string option;  (** [None] means counting solutions, i.e. COUNT star *)
+      alias : string;  (** the AS variable *)
+    }
+
+type select =
+  | Star
+  | Projection of string list
+  | Aggregated of select_item list
+      (** SELECT with at least one aggregate; plain [Svar] items double as
+          GROUP BY keys *)
+
+(** The four SPARQL query forms. *)
+type form =
+  | Select of select
+  | Ask
+  | Construct of Triple_pattern.t list  (** the CONSTRUCT template *)
+  | Describe of describe_target list
+
+and describe_target = Dvar of string | Dterm of Rdf.Term.t
+
+type query = {
+  env : Rdf.Namespace.t;  (** prefix declarations, preloaded with defaults *)
+  form : form;
+  distinct : bool;
+  where : group;
+  group_by : string list;
+      (** GROUP BY variables *)
+  having : expr option;  (** HAVING constraint over each group *)
+  order_by : (string * bool) list;
+      (** ORDER BY variables; [true] = descending *)
+  limit : int option;
+  offset : int option;
+}
+
+(** SPARQL 1.1 Update operations (INSERT/DELETE DATA, DELETE WHERE,
+    DELETE/INSERT WHERE). Parsed by {!Parser.parse_update}; applied by
+    [Sparql_uo.Update_exec]. *)
+type update =
+  | Insert_data of Rdf.Triple.t list
+  | Delete_data of Rdf.Triple.t list
+  | Delete_where of group  (** the pattern doubles as the delete template *)
+  | Modify of {
+      delete : Triple_pattern.t list;  (** [] = INSERT-only *)
+      insert : Triple_pattern.t list;  (** [] = DELETE-only *)
+      where : group;
+    }
+
+(** [select_query q] — [q]'s projection when it is a SELECT; [Star]
+    otherwise. *)
+val select_query : query -> select
+
+(** [group_vars g] lists the distinct variables of the group, in first-use
+    order (including variables mentioned only inside FILTER/EXISTS). *)
+val group_vars : group -> string list
+
+(** [query_vars q] is the variables the query projects: the SELECT list,
+    or all pattern variables for [SELECT *] and the other forms. *)
+val query_vars : query -> string list
+
+(** [substitute_group g ~lookup] replaces every variable bound by
+    [lookup] with its term — the parameterization step of EXISTS
+    evaluation. *)
+val substitute_group :
+  group -> lookup:(string -> Rdf.Term.t option) -> group
+
+val pp_expr : Rdf.Namespace.t -> Format.formatter -> expr -> unit
+
+val pp_group : Rdf.Namespace.t -> Format.formatter -> group -> unit
+
+(** [pp_query fmt q] prints the query back as concrete SPARQL syntax
+    (used by plan explainers and the parser round-trip tests). *)
+val pp_query : Format.formatter -> query -> unit
+
+val to_string : query -> string

@@ -1,0 +1,318 @@
+type t = {
+  width : int;
+  mutable rows : Binding.t array;
+  mutable len : int;
+}
+
+exception Limit_exceeded
+
+(* A global row budget: a cheap, engine-wide proxy for the memory and time
+   limits of the paper's experiments (base runs out of memory on 13 of 24
+   queries). The executor arms it per query; every push of an intermediate
+   row consumes one unit. *)
+let budget = ref max_int
+let total_pushed = ref 0
+
+(* Wall-clock deadline, checked every [deadline_stride] pushes to keep the
+   common path cheap. [now] is injected by the executor (the sparql
+   library itself stays clock-free). *)
+let deadline = ref None
+let deadline_clock : (unit -> float) ref = ref (fun () -> 0.)
+let deadline_stride = 4096
+
+let set_budget n = budget := n
+let unlimited_budget () = budget := max_int
+
+let set_deadline ~now ~at =
+  deadline_clock := now;
+  deadline := Some at
+
+let clear_deadline () = deadline := None
+
+let reset_push_counter () = total_pushed := 0
+let pushed_rows () = !total_pushed
+
+let create ~width = { width; rows = [||]; len = 0 }
+
+let push bag row =
+  if !budget <= 0 then raise Limit_exceeded;
+  decr budget;
+  incr total_pushed;
+  (match !deadline with
+  | Some at when !total_pushed mod deadline_stride = 0 ->
+      if !deadline_clock () > at then raise Limit_exceeded
+  | _ -> ());
+  if bag.len = Array.length bag.rows then begin
+    let capacity = max 8 (2 * bag.len) in
+    let fresh = Array.make capacity [||] in
+    Array.blit bag.rows 0 fresh 0 bag.len;
+    bag.rows <- fresh
+  end;
+  bag.rows.(bag.len) <- row;
+  bag.len <- bag.len + 1
+
+let unit ~width =
+  let bag = create ~width in
+  push bag (Binding.create ~width);
+  bag
+
+let of_rows ~width rows =
+  let bag = create ~width in
+  List.iter (push bag) rows;
+  bag
+
+let width bag = bag.width
+let length bag = bag.len
+let is_empty bag = bag.len = 0
+
+let get bag i =
+  if i < 0 || i >= bag.len then invalid_arg "Bag.get: index out of range";
+  bag.rows.(i)
+
+let iter bag ~f =
+  for i = 0 to bag.len - 1 do
+    f bag.rows.(i)
+  done
+
+let fold bag ~init ~f =
+  let acc = ref init in
+  iter bag ~f:(fun row -> acc := f !acc row);
+  !acc
+
+let to_list bag = List.rev (fold bag ~init:[] ~f:(fun acc row -> row :: acc))
+
+let bound_columns bag =
+  let seen = Array.make bag.width false in
+  iter bag ~f:(fun row ->
+      for col = 0 to bag.width - 1 do
+        if Binding.is_bound row col then seen.(col) <- true
+      done);
+  let acc = ref [] in
+  for col = bag.width - 1 downto 0 do
+    if seen.(col) then acc := col :: !acc
+  done;
+  !acc
+
+let universal_columns bag =
+  if bag.len = 0 then []
+  else begin
+    let all = Array.make bag.width true in
+    iter bag ~f:(fun row ->
+        for col = 0 to bag.width - 1 do
+          if not (Binding.is_bound row col) then all.(col) <- false
+        done);
+    let acc = ref [] in
+    for col = bag.width - 1 downto 0 do
+      if all.(col) then acc := col :: !acc
+    done;
+    !acc
+  end
+
+let distinct_values bag ~col =
+  let values = Hashtbl.create 64 in
+  iter bag ~f:(fun row ->
+      if Binding.is_bound row col then Hashtbl.replace values row.(col) ());
+  values
+
+let shared_columns b1 b2 =
+  let c1 = bound_columns b1 and c2 = bound_columns b2 in
+  List.filter (fun col -> List.mem col c2) c1
+
+(* A hash partition of [bag] on [cols]: rows with all [cols] bound go into
+   buckets; rows missing some key column go into [wild] and must be checked
+   by scan. *)
+type partition = {
+  buckets : (int, Binding.t list ref) Hashtbl.t;
+  mutable wild : Binding.t list;
+  cols : int list;
+}
+
+let partition bag cols =
+  let part = { buckets = Hashtbl.create (max 16 bag.len); wild = []; cols } in
+  iter bag ~f:(fun row ->
+      if Binding.all_bound row cols then begin
+        let key = Binding.hash_on row cols in
+        match Hashtbl.find_opt part.buckets key with
+        | Some bucket -> bucket := row :: !bucket
+        | None -> Hashtbl.add part.buckets key (ref [ row ])
+      end
+      else part.wild <- row :: part.wild);
+  part
+
+(* All rows of the partition compatible with [row]. *)
+let compatible_rows part row =
+  let from_buckets =
+    if Binding.all_bound row part.cols then
+      match Hashtbl.find_opt part.buckets (Binding.hash_on row part.cols) with
+      | Some bucket ->
+          List.filter
+            (fun other ->
+              Binding.equal_on row other part.cols
+              && Binding.compatible row other)
+            !bucket
+      | None -> []
+    else
+      (* A probe row missing key columns can match any bucket: scan all. *)
+      Hashtbl.fold
+        (fun _ bucket acc ->
+          List.rev_append
+            (List.filter (Binding.compatible row) !bucket)
+            acc)
+        part.buckets []
+  in
+  let from_wild = List.filter (Binding.compatible row) part.wild in
+  List.rev_append from_wild from_buckets
+
+let join b1 b2 =
+  if b1.width <> b2.width then invalid_arg "Bag.join: width mismatch";
+  let result = create ~width:b1.width in
+  (* Build on the smaller side; probing preserves Ω1-major order only up to
+     bag equality, which is all the semantics requires. *)
+  let build, probe = if b1.len <= b2.len then (b1, b2) else (b2, b1) in
+  let part = partition build (shared_columns b1 b2) in
+  iter probe ~f:(fun row ->
+      List.iter
+        (fun other -> push result (Binding.merge row other))
+        (compatible_rows part row));
+  result
+
+let union b1 b2 =
+  if b1.width <> b2.width then invalid_arg "Bag.union: width mismatch";
+  let result = create ~width:b1.width in
+  iter b1 ~f:(push result);
+  iter b2 ~f:(push result);
+  result
+
+let minus b1 b2 =
+  if b1.width <> b2.width then invalid_arg "Bag.minus: width mismatch";
+  let result = create ~width:b1.width in
+  let part = partition b2 (shared_columns b1 b2) in
+  iter b1 ~f:(fun row ->
+      match compatible_rows part row with
+      | [] -> push result row
+      | _ :: _ -> ());
+  result
+
+(* SPARQL 1.1 MINUS: μ1 is removed only by a compatible μ2 with at least
+   one *shared bound* variable (disjoint-domain mappings do not exclude —
+   the subtlety distinguishing MINUS from the Section 3 ∖ operator). *)
+let sparql_minus b1 b2 =
+  if b1.width <> b2.width then invalid_arg "Bag.sparql_minus: width mismatch";
+  let result = create ~width:b1.width in
+  let part = partition b2 (shared_columns b1 b2) in
+  let overlapping r1 r2 =
+    let n = Array.length r1 in
+    let rec go i =
+      i < n
+      && ((r1.(i) <> Binding.unbound && r2.(i) <> Binding.unbound) || go (i + 1))
+    in
+    go 0
+  in
+  iter b1 ~f:(fun row ->
+      let excluded =
+        List.exists (overlapping row) (compatible_rows part row)
+      in
+      if not excluded then push result row);
+  result
+
+(* Stable sort by the given (column, descending) keys; unbound sorts
+   before any bound value (as in SPARQL's ORDER BY). *)
+let sort bag ~keys ~compare_ids =
+  let rows = Array.init bag.len (fun i -> bag.rows.(i)) in
+  let compare_rows r1 r2 =
+    let rec go = function
+      | [] -> 0
+      | (col, descending) :: rest ->
+          let v1 = r1.(col) and v2 = r2.(col) in
+          let c =
+            match (v1 = Binding.unbound, v2 = Binding.unbound) with
+            | true, true -> 0
+            | true, false -> -1
+            | false, true -> 1
+            | false, false -> compare_ids v1 v2
+          in
+          let c = if descending then -c else c in
+          if c <> 0 then c else go rest
+    in
+    go keys
+  in
+  Array.stable_sort compare_rows rows;
+  let result = create ~width:bag.width in
+  Array.iter (push result) rows;
+  result
+
+let semijoin b1 b2 =
+  if b1.width <> b2.width then invalid_arg "Bag.semijoin: width mismatch";
+  let result = create ~width:b1.width in
+  let part = partition b2 (shared_columns b1 b2) in
+  iter b1 ~f:(fun row ->
+      match compatible_rows part row with
+      | [] -> ()
+      | _ :: _ -> push result row);
+  result
+
+let left_outer_join b1 b2 =
+  if b1.width <> b2.width then invalid_arg "Bag.left_outer_join: width mismatch";
+  let result = create ~width:b1.width in
+  let part = partition b2 (shared_columns b1 b2) in
+  iter b1 ~f:(fun row ->
+      match compatible_rows part row with
+      | [] -> push result row
+      | matches ->
+          List.iter (fun other -> push result (Binding.merge row other)) matches);
+  result
+
+let filter bag ~f =
+  let result = create ~width:bag.width in
+  iter bag ~f:(fun row -> if f row then push result row);
+  result
+
+let project bag ~cols =
+  let result = create ~width:bag.width in
+  iter bag ~f:(fun row ->
+      let fresh = Binding.create ~width:bag.width in
+      List.iter (fun col -> fresh.(col) <- row.(col)) cols;
+      push result fresh);
+  result
+
+let dedup bag =
+  let seen = Hashtbl.create (max 16 bag.len) in
+  let result = create ~width:bag.width in
+  iter bag ~f:(fun row ->
+      if not (Hashtbl.mem seen row) then begin
+        Hashtbl.add seen row ();
+        push result row
+      end);
+  result
+
+(* Multiset equality via counting. *)
+let equal_as_bags b1 b2 =
+  b1.width = b2.width && b1.len = b2.len
+  &&
+  let counts = Hashtbl.create (max 16 b1.len) in
+  iter b1 ~f:(fun row ->
+      let c = Option.value (Hashtbl.find_opt counts row) ~default:0 in
+      Hashtbl.replace counts row (c + 1));
+  try
+    iter b2 ~f:(fun row ->
+        match Hashtbl.find_opt counts row with
+        | Some c when c > 0 -> Hashtbl.replace counts row (c - 1)
+        | _ -> raise Exit);
+    true
+  with Exit -> false
+
+let pp table fmt bag =
+  Format.fprintf fmt "@[<v>";
+  iter bag ~f:(fun row ->
+      Format.fprintf fmt "{";
+      let first = ref true in
+      Array.iteri
+        (fun col v ->
+          if v <> Binding.unbound then begin
+            if not !first then Format.fprintf fmt ", ";
+            first := false;
+            Format.fprintf fmt "?%s=%d" (Vartable.name table col) v
+          end)
+        row;
+      Format.fprintf fmt "}@ ");
+  Format.fprintf fmt "@]"

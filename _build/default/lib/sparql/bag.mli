@@ -1,0 +1,121 @@
+(** Bags (multisets) of mappings, with the four operators of Section 3:
+    join ⋈, bag union ∪_bag, difference ∖ (anti-join on compatibility) and
+    left outer join ⟕. All operators preserve duplicates (bag semantics).
+
+    Every bag in a query shares the same width (the query's {!Vartable}
+    size); a row may leave any column unbound, so UNION branches and
+    OPTIONAL extensions with different domains coexist. *)
+
+type t
+
+(** {1 Resource budget}
+
+    A global intermediate-row budget, the analogue of the paper's memory
+    limit (base runs out of memory on 13 of 24 queries; the bench harness
+    must observe that as a recoverable condition, not an actual OOM). While
+    armed, every {!push} anywhere in the engine consumes one unit;
+    exhaustion raises {!Limit_exceeded}. *)
+
+exception Limit_exceeded
+
+(** [set_budget n] allows [n] further row materializations. *)
+val set_budget : int -> unit
+
+(** [unlimited_budget ()] disarms the budget. *)
+val unlimited_budget : unit -> unit
+
+(** [set_deadline ~now ~at] arms a wall-clock deadline (the paper's query
+    timeout analogue): once [now ()] exceeds [at], further pushes raise
+    {!Limit_exceeded}. Checked every few thousand pushes. *)
+val set_deadline : now:(unit -> float) -> at:float -> unit
+
+val clear_deadline : unit -> unit
+
+(** [reset_push_counter ()] / [pushed_rows ()] — a cumulative count of rows
+    materialized since the last reset, used as the total-intermediate-size
+    metric. *)
+val reset_push_counter : unit -> unit
+
+val pushed_rows : unit -> int
+
+(** {1 Construction} *)
+
+val create : width:int -> t
+
+(** [unit ~width] holds exactly one all-unbound mapping — the value of the
+    empty group pattern and the join identity. *)
+val unit : width:int -> t
+
+val push : t -> Binding.t -> unit
+
+val of_rows : width:int -> Binding.t list -> t
+
+(** {1 Access} *)
+
+val width : t -> int
+val length : t -> int
+val is_empty : t -> bool
+val get : t -> int -> Binding.t
+val iter : t -> f:(Binding.t -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> Binding.t -> 'a) -> 'a
+val to_list : t -> Binding.t list
+
+(** [bound_columns bag] is the sorted list of columns bound in at least one
+    row — the bag's (possible) domain, used to find join keys. *)
+val bound_columns : t -> int list
+
+(** [universal_columns bag] is the sorted list of columns bound in *every*
+    row — the only columns whose value sets may soundly serve as candidate
+    results (a row leaving the column unbound is compatible with any
+    value). Empty for the empty bag. *)
+val universal_columns : t -> int list
+
+(** [distinct_values bag ~col] is the set of distinct bound values in
+    [col], as a hashtable used for candidate pruning. *)
+val distinct_values : t -> col:int -> (int, unit) Hashtbl.t
+
+(** {1 The Section 3 operators} *)
+
+(** [join b1 b2] — Ω1 ⋈ Ω2. *)
+val join : t -> t -> t
+
+(** [union b1 b2] — Ω1 ∪_bag Ω2. *)
+val union : t -> t -> t
+
+(** [minus b1 b2] — Ω1 ∖ Ω2 = mappings of Ω1 compatible with no mapping of
+    Ω2. *)
+val minus : t -> t -> t
+
+(** [semijoin b1 b2] — Ω1 ⋉ Ω2: mappings of Ω1 compatible with at least
+    one mapping of Ω2 (the pruning primitive of LBR's two-pass scans). *)
+val semijoin : t -> t -> t
+
+(** [sparql_minus b1 b2] — SPARQL 1.1 MINUS: μ1 survives unless some μ2 is
+    compatible *and* shares at least one bound variable with it
+    (disjoint-domain mappings never exclude). *)
+val sparql_minus : t -> t -> t
+
+(** [sort bag ~keys ~compare_ids] — stable sort by [(column, descending)]
+    keys; unbound precedes every bound value; bound values compare via
+    [compare_ids] (typically term order through the dictionary). *)
+val sort : t -> keys:(int * bool) list -> compare_ids:(int -> int -> int) -> t
+
+(** [left_outer_join b1 b2] — Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪_bag (Ω1 ∖ Ω2). *)
+val left_outer_join : t -> t -> t
+
+(** {1 Other operations} *)
+
+val filter : t -> f:(Binding.t -> bool) -> t
+
+(** [project bag ~cols] keeps only [cols]; other columns become unbound. *)
+val project : t -> cols:int list -> t
+
+(** [dedup bag] removes duplicate rows (for SELECT DISTINCT). *)
+val dedup : t -> t
+
+(** [equal_as_bags b1 b2] — multiset equality, used as the correctness
+    criterion in tests. *)
+val equal_as_bags : t -> t -> bool
+
+(** [pp table fmt bag] prints rows using variable names from [table]. *)
+val pp : Vartable.t -> Format.formatter -> t -> unit

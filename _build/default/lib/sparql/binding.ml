@@ -1,0 +1,37 @@
+type t = int array
+
+let unbound = -1
+
+let create ~width = Array.make width unbound
+
+let is_bound row col = row.(col) <> unbound
+
+let dom row =
+  let acc = ref [] in
+  for col = Array.length row - 1 downto 0 do
+    if row.(col) <> unbound then acc := col :: !acc
+  done;
+  !acc
+
+let compatible r1 r2 =
+  let n = Array.length r1 in
+  let rec go i =
+    if i >= n then true
+    else
+      let v1 = r1.(i) and v2 = r2.(i) in
+      if v1 = unbound || v2 = unbound || v1 = v2 then go (i + 1) else false
+  in
+  go 0
+
+let merge r1 r2 =
+  let n = Array.length r1 in
+  Array.init n (fun i -> if r1.(i) <> unbound then r1.(i) else r2.(i))
+
+let equal r1 r2 = r1 = r2
+
+let hash_on row cols =
+  List.fold_left (fun acc col -> (acc * 1000003) + row.(col)) 5381 cols
+
+let equal_on r1 r2 cols = List.for_all (fun col -> r1.(col) = r2.(col)) cols
+
+let all_bound row cols = List.for_all (fun col -> row.(col) <> unbound) cols

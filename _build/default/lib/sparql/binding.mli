@@ -1,0 +1,35 @@
+(** Mappings μ (Section 3): partial functions from variables to term ids,
+    represented as flat int arrays indexed by {!Vartable} column, with
+    {!unbound} marking variables outside dom(μ). *)
+
+type t = int array
+
+(** The sentinel for a variable outside dom(μ). Term ids are never
+    negative. *)
+val unbound : int
+
+(** [create ~width] is the empty mapping over [width] columns. *)
+val create : width:int -> t
+
+val is_bound : t -> int -> bool
+
+(** [dom row] is the list of bound columns. *)
+val dom : t -> int list
+
+(** [compatible r1 r2] — μ1 ~ μ2: all mutually bound columns agree. *)
+val compatible : t -> t -> bool
+
+(** [merge r1 r2] — μ1 ∪ μ2, assuming compatibility (unchecked). *)
+val merge : t -> t -> t
+
+val equal : t -> t -> bool
+
+(** [hash_on row cols] hashes the values at [cols] (for join keys); the
+    caller must ensure all [cols] are bound. *)
+val hash_on : t -> int list -> int
+
+(** [equal_on r1 r2 cols] tests equality restricted to [cols]. *)
+val equal_on : t -> t -> int list -> bool
+
+(** [all_bound row cols] tests whether every column in [cols] is bound. *)
+val all_bound : t -> int list -> bool

@@ -1,0 +1,358 @@
+type 'pattern t =
+  | Const of Rdf.Term.t
+  | Var of string
+  | Bound of string
+  | Cmp of cmp * 'pattern t * 'pattern t
+  | Arith of arith * 'pattern t * 'pattern t
+  | Neg of 'pattern t
+  | Not of 'pattern t
+  | And of 'pattern t * 'pattern t
+  | Or of 'pattern t * 'pattern t
+  | Call of builtin * 'pattern t list
+  | Exists of 'pattern
+  | Not_exists of 'pattern
+
+and cmp = Ceq | Cneq | Clt | Cgt | Cle | Cge
+
+and arith = Add | Subtract | Multiply | Divide
+
+and builtin =
+  | B_str
+  | B_lang
+  | B_datatype
+  | B_is_iri
+  | B_is_literal
+  | B_is_blank
+  | B_same_term
+  | B_regex
+  | B_strlen
+  | B_ucase
+  | B_lcase
+  | B_contains
+  | B_strstarts
+  | B_strends
+  | B_abs
+
+let builtin_name = function
+  | B_str -> "str"
+  | B_lang -> "lang"
+  | B_datatype -> "datatype"
+  | B_is_iri -> "isIRI"
+  | B_is_literal -> "isLiteral"
+  | B_is_blank -> "isBlank"
+  | B_same_term -> "sameTerm"
+  | B_regex -> "regex"
+  | B_strlen -> "strlen"
+  | B_ucase -> "ucase"
+  | B_lcase -> "lcase"
+  | B_contains -> "contains"
+  | B_strstarts -> "strstarts"
+  | B_strends -> "strends"
+  | B_abs -> "abs"
+
+let builtin_of_name name =
+  match String.lowercase_ascii name with
+  | "str" -> Some B_str
+  | "lang" -> Some B_lang
+  | "datatype" -> Some B_datatype
+  | "isiri" | "isuri" -> Some B_is_iri
+  | "isliteral" -> Some B_is_literal
+  | "isblank" -> Some B_is_blank
+  | "sameterm" -> Some B_same_term
+  | "regex" -> Some B_regex
+  | "strlen" -> Some B_strlen
+  | "ucase" -> Some B_ucase
+  | "lcase" -> Some B_lcase
+  | "contains" -> Some B_contains
+  | "strstarts" -> Some B_strstarts
+  | "strends" -> Some B_strends
+  | "abs" -> Some B_abs
+  | _ -> None
+
+let arity = function
+  | B_str | B_lang | B_datatype | B_is_iri | B_is_literal | B_is_blank
+  | B_strlen | B_ucase | B_lcase | B_abs ->
+      (1, 1)
+  | B_same_term | B_contains | B_strstarts | B_strends -> (2, 2)
+  | B_regex -> (2, 3)
+
+(* ------------------------------ Analysis ------------------------------ *)
+
+let add_var acc v = if List.mem v acc then acc else v :: acc
+
+let vars ~pattern_vars e =
+  let rec go acc = function
+    | Const _ -> acc
+    | Var v | Bound v -> add_var acc v
+    | Cmp (_, a, b) | Arith (_, a, b) | And (a, b) | Or (a, b) ->
+        go (go acc a) b
+    | Neg a | Not a -> go acc a
+    | Call (_, args) -> List.fold_left go acc args
+    | Exists p | Not_exists p ->
+        List.fold_left add_var acc (pattern_vars p)
+  in
+  List.rev (go [] e)
+
+(* ------------------------------ Evaluation ---------------------------- *)
+
+exception Type_error
+
+type value =
+  | Vterm of Rdf.Term.t
+  | Vbool of bool
+  | Vnum of float
+  | Vstr of string
+
+let is_integral f = Float.is_integer f && Float.abs f < 1e15
+
+(* Numeric interpretation of a value, if any. *)
+let as_num = function
+  | Vnum f -> Some f
+  | Vterm (Rdf.Term.Literal { value; kind = Typed dt })
+    when dt = Rdf.Term.xsd_integer || dt = Rdf.Term.xsd_double ->
+      float_of_string_opt value
+  | Vterm _ | Vbool _ | Vstr _ -> None
+
+let num v = match as_num v with Some f -> f | None -> raise Type_error
+
+(* String interpretation: plain/string literals and Vstr. *)
+let as_str = function
+  | Vstr s -> Some s
+  | Vterm (Rdf.Term.Literal { value; kind = Plain }) -> Some value
+  | Vterm (Rdf.Term.Literal { value; kind = Lang _ }) -> Some value
+  | Vterm (Rdf.Term.Literal { value; kind = Typed dt })
+    when dt = Rdf.Term.xsd_string ->
+      Some value
+  | Vterm _ | Vbool _ | Vnum _ -> None
+
+let str v = match as_str v with Some s -> s | None -> raise Type_error
+
+let term_of_value = function
+  | Vterm t -> t
+  | Vbool b -> Rdf.Term.typed_literal (string_of_bool b) ~datatype:Rdf.Term.xsd_boolean
+  | Vstr s -> Rdf.Term.literal s
+  | Vnum f ->
+      if is_integral f then Rdf.Term.int_literal (int_of_float f)
+      else Rdf.Term.typed_literal (string_of_float f) ~datatype:Rdf.Term.xsd_double
+
+(* SPARQL value comparison: numbers numerically, booleans, strings, then
+   falling back to term order for IRIs etc. Ordering comparisons between
+   incomparable kinds raise. *)
+let compare_values v1 v2 ~ordering =
+  match (as_num v1, as_num v2) with
+  | Some f1, Some f2 -> Float.compare f1 f2
+  | _ -> (
+      match (as_str v1, as_str v2) with
+      | Some s1, Some s2 -> String.compare s1 s2
+      | _ -> (
+          match (v1, v2) with
+          | Vbool b1, Vbool b2 -> Bool.compare b1 b2
+          | _ ->
+              if ordering then raise Type_error
+              else Rdf.Term.compare (term_of_value v1) (term_of_value v2)))
+
+(* Effective boolean value. *)
+let ebv = function
+  | Vbool b -> b
+  | Vnum f -> f <> 0. && not (Float.is_nan f)
+  | Vstr s -> s <> ""
+  | Vterm (Rdf.Term.Literal { value; kind = Typed dt })
+    when dt = Rdf.Term.xsd_boolean ->
+      value = "true" || value = "1"
+  | Vterm (Rdf.Term.Literal { value; kind = Typed dt })
+    when dt = Rdf.Term.xsd_integer || dt = Rdf.Term.xsd_double -> (
+      match float_of_string_opt value with
+      | Some f -> f <> 0. && not (Float.is_nan f)
+      | None -> raise Type_error)
+  | Vterm (Rdf.Term.Literal { value; kind = Plain | Lang _ }) -> value <> ""
+  | Vterm _ -> raise Type_error
+
+(* Cached compiled regexes: FILTER regex is re-evaluated per row. *)
+let regex_cache : (string * bool, Regex.t) Hashtbl.t = Hashtbl.create 16
+
+let compiled_regex pattern case_insensitive =
+  match Hashtbl.find_opt regex_cache (pattern, case_insensitive) with
+  | Some re -> re
+  | None ->
+      let re =
+        try Regex.compile ~case_insensitive pattern
+        with Regex.Syntax_error _ -> raise Type_error
+      in
+      Hashtbl.add regex_cache (pattern, case_insensitive) re;
+      re
+
+let rec eval_value ~lookup ~exists e =
+  let value e = eval_value ~lookup ~exists e in
+  match e with
+  | Const t -> Vterm t
+  | Var v -> (
+      match lookup v with Some t -> Vterm t | None -> raise Type_error)
+  | Bound v -> Vbool (Option.is_some (lookup v))
+  | Cmp (op, a, b) -> (
+      let va = value a and vb = value b in
+      match op with
+      | Ceq -> Vbool (compare_values va vb ~ordering:false = 0)
+      | Cneq -> Vbool (compare_values va vb ~ordering:false <> 0)
+      | Clt -> Vbool (compare_values va vb ~ordering:true < 0)
+      | Cgt -> Vbool (compare_values va vb ~ordering:true > 0)
+      | Cle -> Vbool (compare_values va vb ~ordering:true <= 0)
+      | Cge -> Vbool (compare_values va vb ~ordering:true >= 0))
+  | Arith (op, a, b) -> (
+      let fa = num (value a) and fb = num (value b) in
+      match op with
+      | Add -> Vnum (fa +. fb)
+      | Subtract -> Vnum (fa -. fb)
+      | Multiply -> Vnum (fa *. fb)
+      | Divide -> if fb = 0. then raise Type_error else Vnum (fa /. fb))
+  | Neg a -> Vnum (-.num (value a))
+  | Not a -> Vbool (not (eval_bool ~lookup ~exists a))
+  | And _ | Or _ -> Vbool (eval_bool ~lookup ~exists e)
+  | Exists p -> Vbool (exists p)
+  | Not_exists p -> Vbool (not (exists p))
+  | Call (b, args) -> eval_builtin ~lookup ~exists b args
+
+and eval_builtin ~lookup ~exists b args =
+  let value e = eval_value ~lookup ~exists e in
+  let one () = match args with [ a ] -> value a | _ -> raise Type_error in
+  let two () =
+    match args with [ a; b ] -> (value a, value b) | _ -> raise Type_error
+  in
+  match b with
+  | B_str -> (
+      match one () with
+      | Vterm (Rdf.Term.Iri iri) -> Vstr iri
+      | Vterm (Rdf.Term.Literal { value; _ }) -> Vstr value
+      | Vterm (Rdf.Term.Bnode _) -> raise Type_error
+      | Vstr s -> Vstr s
+      | Vnum f -> Vstr (Rdf.Term.to_ntriples (term_of_value (Vnum f)))
+      | Vbool b -> Vstr (string_of_bool b))
+  | B_lang -> (
+      match one () with
+      | Vterm (Rdf.Term.Literal { kind = Lang l; _ }) -> Vstr l
+      | Vterm (Rdf.Term.Literal _) | Vstr _ -> Vstr ""
+      | _ -> raise Type_error)
+  | B_datatype -> (
+      match one () with
+      | Vterm (Rdf.Term.Literal { kind = Typed dt; _ }) ->
+          Vterm (Rdf.Term.iri dt)
+      | Vterm (Rdf.Term.Literal { kind = Plain; _ }) | Vstr _ ->
+          Vterm (Rdf.Term.iri Rdf.Term.xsd_string)
+      | Vterm (Rdf.Term.Literal { kind = Lang _; _ }) -> raise Type_error
+      | _ -> raise Type_error)
+  | B_is_iri -> (
+      match one () with
+      | Vterm t -> Vbool (Rdf.Term.is_iri t)
+      | _ -> Vbool false)
+  | B_is_literal -> (
+      match one () with
+      | Vterm t -> Vbool (Rdf.Term.is_literal t)
+      | Vstr _ | Vnum _ | Vbool _ -> Vbool true)
+  | B_is_blank -> (
+      match one () with
+      | Vterm t -> Vbool (Rdf.Term.is_bnode t)
+      | _ -> Vbool false)
+  | B_same_term ->
+      let va, vb = two () in
+      Vbool (Rdf.Term.equal (term_of_value va) (term_of_value vb))
+  | B_regex -> (
+      match args with
+      | [ text; pattern ] | [ text; pattern; _ ] ->
+          let flags =
+            match args with
+            | [ _; _; f ] -> str (value f)
+            | _ -> ""
+          in
+          let ci = String.contains flags 'i' in
+          let re = compiled_regex (str (value pattern)) ci in
+          Vbool (Regex.matches re (str (value text)))
+      | _ -> raise Type_error)
+  | B_strlen -> Vnum (float_of_int (String.length (str (one ()))))
+  | B_ucase -> Vstr (String.uppercase_ascii (str (one ())))
+  | B_lcase -> Vstr (String.lowercase_ascii (str (one ())))
+  | B_contains ->
+      let va, vb = two () in
+      let hay = str va and needle = str vb in
+      let n = String.length needle and h = String.length hay in
+      let rec search i =
+        if i + n > h then false
+        else String.sub hay i n = needle || search (i + 1)
+      in
+      Vbool (n = 0 || search 0)
+  | B_strstarts ->
+      let va, vb = two () in
+      let s = str va and prefix = str vb in
+      Vbool
+        (String.length prefix <= String.length s
+        && String.sub s 0 (String.length prefix) = prefix)
+  | B_strends ->
+      let va, vb = two () in
+      let s = str va and suffix = str vb in
+      let ls = String.length s and lx = String.length suffix in
+      Vbool (lx <= ls && String.sub s (ls - lx) lx = suffix)
+  | B_abs -> Vnum (Float.abs (num (one ())))
+
+(* SPARQL's error-recovering logical connectives: a && b is false if
+   either is false even when the other errors; a || b is true if either
+   is true even when the other errors. *)
+and eval_bool ~lookup ~exists e =
+  let try_bool e =
+    match ebv (eval_value ~lookup ~exists e) with
+    | b -> Some b
+    | exception Type_error -> None
+  in
+  match e with
+  | And (a, b) -> (
+      match (try_bool a, try_bool b) with
+      | Some false, _ | _, Some false -> false
+      | Some true, Some true -> true
+      | _ -> raise Type_error)
+  | Or (a, b) -> (
+      match (try_bool a, try_bool b) with
+      | Some true, _ | _, Some true -> true
+      | Some false, Some false -> false
+      | _ -> raise Type_error)
+  | Not a -> not (eval_bool ~lookup ~exists a)
+  | _ -> ebv (eval_value ~lookup ~exists e)
+
+let eval ~lookup ~exists e =
+  match eval_bool ~lookup ~exists e with
+  | b -> b
+  | exception Type_error -> false
+
+(* ------------------------------ Printing ------------------------------ *)
+
+let cmp_name = function
+  | Ceq -> "="
+  | Cneq -> "!="
+  | Clt -> "<"
+  | Cgt -> ">"
+  | Cle -> "<="
+  | Cge -> ">="
+
+let arith_name = function
+  | Add -> "+"
+  | Subtract -> "-"
+  | Multiply -> "*"
+  | Divide -> "/"
+
+let rec pp ~pp_pattern fmt e =
+  let pp = pp ~pp_pattern in
+  match e with
+  | Const t -> Rdf.Term.pp fmt t
+  | Var v -> Format.fprintf fmt "?%s" v
+  | Bound v -> Format.fprintf fmt "bound(?%s)" v
+  | Cmp (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp a (cmp_name op) pp b
+  | Arith (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp a (arith_name op) pp b
+  | Neg a -> Format.fprintf fmt "(- %a)" pp a
+  | Not a -> Format.fprintf fmt "!(%a)" pp a
+  | And (a, b) -> Format.fprintf fmt "(%a && %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a || %a)" pp a pp b
+  | Call (b, args) ->
+      Format.fprintf fmt "%s(%a)" (builtin_name b)
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+           pp)
+        args
+  | Exists p -> Format.fprintf fmt "EXISTS %a" pp_pattern p
+  | Not_exists p -> Format.fprintf fmt "NOT EXISTS %a" pp_pattern p

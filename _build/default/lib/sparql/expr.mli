@@ -1,0 +1,95 @@
+(** FILTER expressions: comparisons, boolean connectives, arithmetic and
+    the common SPARQL built-ins, evaluated with SPARQL's error algebra
+    (errors propagate; [&&]/[||] recover when one operand decides the
+    result; a row whose filter errors is rejected).
+
+    The type is parameterized over ['pattern] so that [EXISTS { ... }] /
+    [NOT EXISTS { ... }] can carry a group graph pattern without a module
+    cycle — {!Ast} instantiates ['pattern] with its own group type and
+    evaluators supply the [~exists] callback. *)
+
+type 'pattern t =
+  | Const of Rdf.Term.t
+  | Var of string
+  | Bound of string
+  | Cmp of cmp * 'pattern t * 'pattern t
+  | Arith of arith * 'pattern t * 'pattern t
+  | Neg of 'pattern t  (** unary minus *)
+  | Not of 'pattern t
+  | And of 'pattern t * 'pattern t
+  | Or of 'pattern t * 'pattern t
+  | Call of builtin * 'pattern t list
+  | Exists of 'pattern
+  | Not_exists of 'pattern
+
+and cmp = Ceq | Cneq | Clt | Cgt | Cle | Cge
+
+and arith = Add | Subtract | Multiply | Divide
+
+and builtin =
+  | B_str  (** lexical form of a term *)
+  | B_lang  (** language tag ("" when none) *)
+  | B_datatype  (** datatype IRI of a literal *)
+  | B_is_iri
+  | B_is_literal
+  | B_is_blank
+  | B_same_term  (** identity, no value coercion *)
+  | B_regex  (** regex(text, pattern [, flags]); flag "i" supported *)
+  | B_strlen
+  | B_ucase
+  | B_lcase
+  | B_contains
+  | B_strstarts
+  | B_strends
+  | B_abs
+
+(** [builtin_name b] — the surface syntax name ("regex", "isIRI", ...). *)
+val builtin_name : builtin -> string
+
+(** [builtin_of_name name] — case-insensitive lookup ("isuri" is accepted
+    for [B_is_iri]). *)
+val builtin_of_name : string -> builtin option
+
+(** [arity b] — [(min, max)] argument count. *)
+val arity : builtin -> int * int
+
+(** {1 Analysis} *)
+
+(** [vars ~pattern_vars e] — distinct variables, first-use order;
+    [pattern_vars] extracts the variables of an EXISTS pattern. *)
+val vars : pattern_vars:('pattern -> string list) -> 'pattern t -> string list
+
+(** {1 Evaluation} *)
+
+exception Type_error
+
+type value =
+  | Vterm of Rdf.Term.t
+  | Vbool of bool
+  | Vnum of float
+  | Vstr of string
+
+(** [eval_value ~lookup ~exists e] evaluates to a {!value}; raises
+    {!Type_error} on type errors (including unbound variables outside
+    [bound]/[EXISTS]). *)
+val eval_value :
+  lookup:(string -> Rdf.Term.t option) ->
+  exists:('pattern -> bool) ->
+  'pattern t ->
+  value
+
+(** [eval ~lookup ~exists e] — the filter decision for one row: the
+    effective boolean value of [e], with errors counting as rejection
+    (after SPARQL's error-recovering [&&]/[||]). *)
+val eval :
+  lookup:(string -> Rdf.Term.t option) ->
+  exists:('pattern -> bool) ->
+  'pattern t ->
+  bool
+
+(** [pp ~pp_pattern fmt e] — SPARQL concrete syntax. *)
+val pp :
+  pp_pattern:(Format.formatter -> 'pattern -> unit) ->
+  Format.formatter ->
+  'pattern t ->
+  unit

@@ -1,0 +1,351 @@
+type token =
+  | SELECT
+  | DISTINCT
+  | WHERE
+  | PREFIX
+  | UNION
+  | OPTIONAL
+  | FILTER
+  | BOUND
+  | LIMIT
+  | OFFSET
+  | MINUS_KW
+  | VALUES
+  | UNDEF
+  | EXISTS
+  | NOT_KW
+  | ORDER
+  | BY
+  | ASC
+  | DESC
+  | ASK
+  | CONSTRUCT
+  | DESCRIBE
+  | GROUP
+  | HAVING
+  | AS
+  | COUNT
+  | SUM
+  | AVG
+  | MIN_KW
+  | MAX_KW
+  | SAMPLE
+  | INSERT
+  | DELETE
+  | DATA
+  | IDENT of string  (* bare word: builtin function name *)
+  | PLUS_SYM
+  | MINUS_SYM
+  | SLASH
+  | PIPE
+  | CARET
+  | KW_A
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | DOT
+  | SEMI
+  | COMMA
+  | STAR
+  | VAR of string
+  | IRIREF of string
+  | QNAME of string
+  | STRING of string
+  | LANGTAG of string
+  | DTYPE_SEP
+  | INT of string
+  | DECIMAL of string
+  | EQ
+  | NEQ
+  | LT
+  | GT
+  | LE
+  | GE
+  | BANG
+  | ANDAND
+  | OROR
+  | EOF
+
+exception Lex_error of { line : int; message : string }
+
+type ltoken = { tok : token; line : int }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Lex_error { line; message })) fmt
+
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_digit c = c >= '0' && c <= '9'
+
+let is_var_char c = is_alpha c || is_digit c || c = '_'
+
+(* Local and prefix name characters; '.' is handled separately because a
+   trailing dot terminates the statement rather than the name. *)
+let is_name_char c = is_alpha c || is_digit c || c = '_' || c = '-' || c = '%'
+
+let keyword_of_word w =
+  match String.lowercase_ascii w with
+  | "select" -> Some SELECT
+  | "distinct" -> Some DISTINCT
+  | "where" -> Some WHERE
+  | "prefix" -> Some PREFIX
+  | "union" -> Some UNION
+  | "optional" -> Some OPTIONAL
+  | "filter" -> Some FILTER
+  | "bound" -> Some BOUND
+  | "limit" -> Some LIMIT
+  | "offset" -> Some OFFSET
+  | "minus" -> Some MINUS_KW
+  | "values" -> Some VALUES
+  | "undef" -> Some UNDEF
+  | "exists" -> Some EXISTS
+  | "not" -> Some NOT_KW
+  | "order" -> Some ORDER
+  | "by" -> Some BY
+  | "asc" -> Some ASC
+  | "desc" -> Some DESC
+  | "ask" -> Some ASK
+  | "construct" -> Some CONSTRUCT
+  | "describe" -> Some DESCRIBE
+  | "group" -> Some GROUP
+  | "having" -> Some HAVING
+  | "as" -> Some AS
+  | "count" -> Some COUNT
+  | "sum" -> Some SUM
+  | "avg" -> Some AVG
+  | "min" -> Some MIN_KW
+  | "max" -> Some MAX_KW
+  | "sample" -> Some SAMPLE
+  | "insert" -> Some INSERT
+  | "delete" -> Some DELETE
+  | "data" -> Some DATA
+  | "a" -> Some KW_A
+  | _ -> None
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let push tok = toks := { tok; line = !line } :: !toks in
+  let peek i = if !pos + i < n then Some src.[!pos + i] else None in
+  let read_while pred =
+    let start = !pos in
+    while !pos < n && pred src.[!pos] do
+      incr pos
+    done;
+    String.sub src start (!pos - start)
+  in
+  let read_delimited stop =
+    let buf = Buffer.create 32 in
+    let rec go () =
+      if !pos >= n then error !line "unterminated token (expected %C)" stop
+      else
+        let c = src.[!pos] in
+        if c = stop then incr pos
+        else if c = '\\' then begin
+          Buffer.add_char buf '\\';
+          incr pos;
+          if !pos >= n then error !line "dangling backslash";
+          Buffer.add_char buf src.[!pos];
+          incr pos;
+          go ()
+        end
+        else begin
+          if c = '\n' then incr line;
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+        end
+    in
+    go ();
+    Buffer.contents buf
+  in
+  (* Reads a name that may contain interior dots but not a trailing dot. *)
+  let read_dotted_name () =
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek 0 with
+      | Some c when is_name_char c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+      | Some '.' -> (
+          (* Interior dot only if followed by a name character. *)
+          match peek 1 with
+          | Some c' when is_name_char c' || c' = '.' ->
+              Buffer.add_char buf '.';
+              incr pos;
+              go ()
+          | _ -> ())
+      | _ -> ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    match c with
+    | ' ' | '\t' | '\r' -> incr pos
+    | '\n' ->
+        incr line;
+        incr pos
+    | '#' ->
+        while !pos < n && src.[!pos] <> '\n' do
+          incr pos
+        done
+    | '{' -> incr pos; push LBRACE
+    | '}' -> incr pos; push RBRACE
+    | '(' -> incr pos; push LPAREN
+    | ')' -> incr pos; push RPAREN
+    | '.' -> incr pos; push DOT
+    | ';' -> incr pos; push SEMI
+    | ',' -> incr pos; push COMMA
+    | '*' -> incr pos; push STAR
+    | '=' -> incr pos; push EQ
+    | '!' ->
+        if peek 1 = Some '=' then begin pos := !pos + 2; push NEQ end
+        else begin incr pos; push BANG end
+    | '<' -> (
+        (* '<' starts an IRI in term position and a comparison in FILTERs;
+           an IRI never contains whitespace, so sniff ahead. *)
+        if peek 1 = Some '=' then begin pos := !pos + 2; push LE end
+        else
+          let rec find_gt i =
+            if !pos + i >= n then None
+            else
+              match src.[!pos + i] with
+              | '>' -> Some i
+              | ' ' | '\t' | '\n' | '\r' -> None
+              | _ -> find_gt (i + 1)
+          in
+          match find_gt 1 with
+          | Some _ ->
+              incr pos;
+              push (IRIREF (read_delimited '>'))
+          | None ->
+              incr pos;
+              push LT)
+    | '>' ->
+        if peek 1 = Some '=' then begin pos := !pos + 2; push GE end
+        else begin incr pos; push GT end
+    | '&' when peek 1 = Some '&' -> pos := !pos + 2; push ANDAND
+    | '|' when peek 1 = Some '|' -> pos := !pos + 2; push OROR
+    | '|' -> incr pos; push PIPE
+    | '^' when peek 1 <> Some '^' -> incr pos; push CARET
+    | '/' -> incr pos; push SLASH
+    | '+' when (match peek 1 with Some d -> not (is_digit d) | None -> true) ->
+        incr pos; push PLUS_SYM
+    | '-' when (match peek 1 with Some d -> not (is_digit d) | None -> true) ->
+        incr pos; push MINUS_SYM
+    | '?' | '$' ->
+        incr pos;
+        let name = read_while is_var_char in
+        if name = "" then error !line "empty variable name";
+        push (VAR name)
+    | '"' ->
+        incr pos;
+        push (STRING (Rdf.Term.unescape_string (read_delimited '"')))
+    | '@' ->
+        incr pos;
+        let tag = read_while (fun c -> is_alpha c || is_digit c || c = '-') in
+        if tag = "" then error !line "empty language tag";
+        push (LANGTAG tag)
+    | '^' when peek 1 = Some '^' -> pos := !pos + 2; push DTYPE_SEP
+    | c when is_digit c || ((c = '-' || c = '+') && (match peek 1 with Some d -> is_digit d | None -> false)) ->
+        let start = !pos in
+        if c = '-' || c = '+' then incr pos;
+        let _ = read_while is_digit in
+        let is_decimal =
+          match (peek 0, peek 1) with
+          | Some '.', Some d when is_digit d ->
+              incr pos;
+              let _ = read_while is_digit in
+              true
+          | _ -> false
+        in
+        let text = String.sub src start (!pos - start) in
+        push (if is_decimal then DECIMAL text else INT text)
+    | c when is_alpha c || c = '_' || c = ':' -> (
+        let word = read_dotted_name () in
+        match peek 0 with
+        | Some ':' ->
+            incr pos;
+            let local = read_dotted_name () in
+            push (QNAME (word ^ ":" ^ local))
+        | _ -> (
+            match keyword_of_word word with
+            | Some kw -> push kw
+            | None -> push (IDENT word)))
+    | c -> error !line "unexpected character %C" c
+  done;
+  push EOF;
+  Array.of_list (List.rev !toks)
+
+let token_to_string = function
+  | SELECT -> "SELECT"
+  | DISTINCT -> "DISTINCT"
+  | WHERE -> "WHERE"
+  | PREFIX -> "PREFIX"
+  | UNION -> "UNION"
+  | OPTIONAL -> "OPTIONAL"
+  | FILTER -> "FILTER"
+  | BOUND -> "bound"
+  | LIMIT -> "LIMIT"
+  | OFFSET -> "OFFSET"
+  | MINUS_KW -> "MINUS"
+  | VALUES -> "VALUES"
+  | UNDEF -> "UNDEF"
+  | EXISTS -> "EXISTS"
+  | NOT_KW -> "NOT"
+  | ORDER -> "ORDER"
+  | BY -> "BY"
+  | ASC -> "ASC"
+  | DESC -> "DESC"
+  | ASK -> "ASK"
+  | CONSTRUCT -> "CONSTRUCT"
+  | DESCRIBE -> "DESCRIBE"
+  | GROUP -> "GROUP"
+  | HAVING -> "HAVING"
+  | AS -> "AS"
+  | COUNT -> "COUNT"
+  | SUM -> "SUM"
+  | AVG -> "AVG"
+  | MIN_KW -> "MIN"
+  | MAX_KW -> "MAX"
+  | SAMPLE -> "SAMPLE"
+  | INSERT -> "INSERT"
+  | DELETE -> "DELETE"
+  | DATA -> "DATA"
+  | IDENT name -> name
+  | PLUS_SYM -> "+"
+  | MINUS_SYM -> "-"
+  | SLASH -> "/"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | KW_A -> "a"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | DOT -> "."
+  | SEMI -> ";"
+  | COMMA -> ","
+  | STAR -> "*"
+  | VAR v -> "?" ^ v
+  | IRIREF iri -> "<" ^ iri ^ ">"
+  | QNAME q -> q
+  | STRING s -> "\"" ^ s ^ "\""
+  | LANGTAG l -> "@" ^ l
+  | DTYPE_SEP -> "^^"
+  | INT s | DECIMAL s -> s
+  | EQ -> "="
+  | NEQ -> "!="
+  | LT -> "<"
+  | GT -> ">"
+  | LE -> "<="
+  | GE -> ">="
+  | BANG -> "!"
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | EOF -> "<eof>"

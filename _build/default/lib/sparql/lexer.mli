@@ -1,0 +1,81 @@
+(** Tokenizer for the SPARQL-UO subset: SELECT queries with BGPs, nested
+    groups, UNION, OPTIONAL and FILTER. *)
+
+type token =
+  | SELECT
+  | DISTINCT
+  | WHERE
+  | PREFIX
+  | UNION
+  | OPTIONAL
+  | FILTER
+  | BOUND
+  | LIMIT
+  | OFFSET
+  | MINUS_KW  (** the MINUS operator keyword *)
+  | VALUES
+  | UNDEF
+  | EXISTS
+  | NOT_KW
+  | ORDER
+  | BY
+  | ASC
+  | DESC
+  | ASK
+  | CONSTRUCT
+  | DESCRIBE
+  | GROUP
+  | HAVING
+  | AS
+  | COUNT
+  | SUM
+  | AVG
+  | MIN_KW
+  | MAX_KW
+  | SAMPLE
+  | INSERT
+  | DELETE
+  | DATA
+  | IDENT of string  (** bare word — a builtin function name in FILTERs *)
+  | PLUS_SYM
+  | MINUS_SYM
+  | SLASH
+  | PIPE  (** single [|] — property path alternation *)
+  | CARET  (** single [^] — property path inversion *)
+  | KW_A  (** the [a] abbreviation for rdf:type *)
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | DOT
+  | SEMI
+  | COMMA
+  | STAR
+  | VAR of string  (** without the leading [?] or [$] *)
+  | IRIREF of string  (** without angle brackets *)
+  | QNAME of string  (** prefixed name, colon included *)
+  | STRING of string  (** unescaped contents *)
+  | LANGTAG of string
+  | DTYPE_SEP  (** [^^] *)
+  | INT of string
+  | DECIMAL of string
+  | EQ
+  | NEQ
+  | LT
+  | GT
+  | LE
+  | GE
+  | BANG
+  | ANDAND
+  | OROR
+  | EOF
+
+exception Lex_error of { line : int; message : string }
+
+type ltoken = { tok : token; line : int }
+
+(** [tokenize src] scans the whole input; the result always ends with
+    [EOF]. Raises {!Lex_error} on an unrecognized character. *)
+val tokenize : string -> ltoken array
+
+val token_to_string : token -> string

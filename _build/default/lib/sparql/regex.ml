@@ -1,0 +1,301 @@
+exception Syntax_error of string
+
+(* ------------------------------ AST ---------------------------------- *)
+
+type node =
+  | Set of bool array  (* 256 entries *)
+  | Concat of node list
+  | Alt of node list
+  | Star of node
+  | Plus of node
+  | Opt of node
+  | Begin_anchor
+  | End_anchor
+  | Empty
+
+let err msg = raise (Syntax_error msg)
+
+let set_of_pred pred =
+  Array.init 256 (fun i -> pred (Char.chr i))
+
+let singleton c = set_of_pred (fun c' -> c' = c)
+
+let digit = set_of_pred (fun c -> c >= '0' && c <= '9')
+
+let word =
+  set_of_pred (fun c ->
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+      || (c >= '0' && c <= '9') || c = '_')
+
+let space = set_of_pred (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r')
+
+let negate set = Array.map not set
+
+let union s1 s2 = Array.init 256 (fun i -> s1.(i) || s2.(i))
+
+let any = set_of_pred (fun c -> c <> '\n')
+
+(* ------------------------------ Parser -------------------------------- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let escape_set = function
+  | 'd' -> digit
+  | 'D' -> negate digit
+  | 'w' -> word
+  | 'W' -> negate word
+  | 's' -> space
+  | 'S' -> negate space
+  | 'n' -> singleton '\n'
+  | 't' -> singleton '\t'
+  | 'r' -> singleton '\r'
+  | ('.' | '\\' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '|' | '^' | '$'
+    | '{' | '}' | '-') as c ->
+      singleton c
+  | c -> err (Printf.sprintf "unsupported escape \\%c" c)
+
+let parse_class cur =
+  (* cur.pos is just after '['. *)
+  let negated =
+    match peek cur with
+    | Some '^' ->
+        advance cur;
+        true
+    | _ -> false
+  in
+  let accumulated = ref (set_of_pred (fun _ -> false)) in
+  let add set = accumulated := union !accumulated set in
+  let rec go first =
+    match peek cur with
+    | None -> err "unterminated character class"
+    | Some ']' when not first -> advance cur
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | None -> err "dangling backslash in class"
+        | Some e ->
+            advance cur;
+            add (escape_set e);
+            go false)
+    | Some c -> (
+        advance cur;
+        (* Range c-x? A '-' just before ']' is a literal. *)
+        match (peek cur, cur.pos + 1 < String.length cur.src) with
+        | Some '-', true when cur.src.[cur.pos + 1] <> ']' ->
+            advance cur;
+            let hi =
+              match peek cur with
+              | Some '\\' -> err "escape not allowed as range bound"
+              | Some hi ->
+                  advance cur;
+                  hi
+              | None -> err "unterminated range"
+            in
+            if Char.code hi < Char.code c then err "inverted range";
+            add (set_of_pred (fun x -> x >= c && x <= hi));
+            go false
+        | _ ->
+            add (singleton c);
+            go false)
+  in
+  go true;
+  if negated then negate !accumulated else !accumulated
+
+let parse pattern =
+  let cur = { src = pattern; pos = 0 } in
+  let rec parse_alt () =
+    let first = parse_concat () in
+    let rec go acc =
+      match peek cur with
+      | Some '|' ->
+          advance cur;
+          go (parse_concat () :: acc)
+      | _ -> List.rev acc
+    in
+    match go [ first ] with [ single ] -> single | branches -> Alt branches
+  and parse_concat () =
+    let rec go acc =
+      match peek cur with
+      | None | Some '|' | Some ')' -> List.rev acc
+      | _ -> go (parse_repeat () :: acc)
+    in
+    match go [] with
+    | [] -> Empty
+    | [ single ] -> single
+    | nodes -> Concat nodes
+  and parse_repeat () =
+    let atom = parse_atom () in
+    let rec go node =
+      match peek cur with
+      | Some '*' ->
+          advance cur;
+          go (Star node)
+      | Some '+' ->
+          advance cur;
+          go (Plus node)
+      | Some '?' ->
+          advance cur;
+          go (Opt node)
+      | _ -> node
+    in
+    go atom
+  and parse_atom () =
+    match peek cur with
+    | None -> err "expected an atom"
+    | Some '(' ->
+        advance cur;
+        let inner = parse_alt () in
+        (match peek cur with
+        | Some ')' -> advance cur
+        | _ -> err "unclosed group");
+        inner
+    | Some '[' ->
+        advance cur;
+        Set (parse_class cur)
+    | Some '.' ->
+        advance cur;
+        Set any
+    | Some '^' ->
+        advance cur;
+        Begin_anchor
+    | Some '$' ->
+        advance cur;
+        End_anchor
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | None -> err "dangling backslash"
+        | Some e ->
+            advance cur;
+            Set (escape_set e))
+    | Some (('*' | '+' | '?') as c) ->
+        err (Printf.sprintf "nothing to repeat before %c" c)
+    | Some ')' -> err "unmatched )"
+    | Some c ->
+        advance cur;
+        Set (singleton c)
+  in
+  let ast = parse_alt () in
+  (match peek cur with
+  | None -> ()
+  | Some c -> err (Printf.sprintf "unexpected %c" c));
+  ast
+
+(* ------------------------------ NFA ----------------------------------- *)
+
+type kind =
+  | Split of int * int
+  | Consume of bool array * int
+  | At_begin of int  (* epsilon edge usable only at position 0 *)
+  | At_end of int  (* epsilon edge usable only at end of input *)
+  | Accept
+
+type t = { states : kind array; start : int }
+
+let case_close set =
+  Array.init 256 (fun i ->
+      let c = Char.chr i in
+      set.(i)
+      || set.(Char.code (Char.lowercase_ascii c))
+      || set.(Char.code (Char.uppercase_ascii c)))
+
+let compile ?(case_insensitive = false) pattern =
+  let ast = parse pattern in
+  let states = ref [] in
+  let count = ref 0 in
+  let add kind =
+    states := (kind, !count) :: !states;
+    incr count;
+    !count - 1
+  in
+  (* [build node next] returns the entry state for matching [node] and
+     continuing at [next]. *)
+  let rec build node next =
+    match node with
+    | Empty -> next
+    | Set set ->
+        let set = if case_insensitive then case_close set else set in
+        add (Consume (set, next))
+    | Concat nodes -> List.fold_right (fun node k -> build node k) nodes next
+    | Alt branches -> (
+        match branches with
+        | [] -> next
+        | [ single ] -> build single next
+        | first :: rest ->
+            List.fold_left
+              (fun entry branch -> add (Split (entry, build branch next)))
+              (build first next) rest)
+    | Star inner ->
+        (* Reserve the split state, then patch the loop edge. *)
+        let split = add (Split (0, 0)) in
+        let entry = build inner split in
+        states :=
+          List.map
+            (fun (kind, id) ->
+              if id = split then (Split (entry, next), id) else (kind, id))
+            !states;
+        split
+    | Plus inner ->
+        let split = add (Split (0, 0)) in
+        let entry = build inner split in
+        states :=
+          List.map
+            (fun (kind, id) ->
+              if id = split then (Split (entry, next), id) else (kind, id))
+            !states;
+        entry
+    | Opt inner -> add (Split (build inner next, next))
+    | Begin_anchor -> add (At_begin next)
+    | End_anchor -> add (At_end next)
+  in
+  let accept = add Accept in
+  let start = build ast accept in
+  let array = Array.make !count Accept in
+  List.iter (fun (kind, id) -> array.(id) <- kind) !states;
+  { states = array; start }
+
+(* Breadth-first NFA simulation with "contains" semantics: the start
+   closure is re-seeded at every input position. *)
+let matches re s =
+  let n = String.length s in
+  let nstates = Array.length re.states in
+  let active = Array.make nstates false in
+  let accepted = ref false in
+  (* Epsilon closure of [state] at input position [pos]. *)
+  let rec close pos state =
+    if not active.(state) then begin
+      active.(state) <- true;
+      match re.states.(state) with
+      | Accept -> accepted := true
+      | Split (a, b) ->
+          close pos a;
+          close pos b
+      | At_begin next -> if pos = 0 then close pos next
+      | At_end next -> if pos = n then close pos next
+      | Consume _ -> ()
+    end
+  in
+  close 0 re.start;
+  let i = ref 0 in
+  while (not !accepted) && !i < n do
+    let c = s.[!i] in
+    (* States surviving consumption of c. *)
+    let survivors = ref [] in
+    for state = 0 to nstates - 1 do
+      if active.(state) then
+        match re.states.(state) with
+        | Consume (set, next) when set.(Char.code c) ->
+            survivors := next :: !survivors
+        | _ -> ()
+    done;
+    Array.fill active 0 nstates false;
+    incr i;
+    List.iter (close !i) !survivors;
+    (* Contains semantics: a match may also start at position !i. *)
+    close !i re.start
+  done;
+  !accepted

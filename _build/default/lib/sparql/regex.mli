@@ -1,0 +1,26 @@
+(** A small regular-expression engine (Thompson NFA construction with a
+    breadth-first simulation — linear time, no backtracking blowups) for
+    the SPARQL [regex] built-in.
+
+    Supported syntax, a practical subset of XPath/XSD regular expressions:
+    - literal characters, [.] (any character)
+    - character classes [[abc]], ranges [[a-z0-9]], negation [[^...]]
+    - escapes [\\d \\w \\s] (and their [\\D \\W \\S] negations), [\\.]
+      etc. for metacharacters
+    - repetition [*], [+], [?]
+    - alternation [|] and grouping [(...)]
+    - anchors [^] and [$]
+
+    Matching is "contains" semantics, as in SPARQL's [regex]: the pattern
+    matches if it matches any substring, unless anchored. *)
+
+type t
+
+exception Syntax_error of string
+
+(** [compile ?case_insensitive pattern] — raises {!Syntax_error} on a
+    malformed pattern. *)
+val compile : ?case_insensitive:bool -> string -> t
+
+(** [matches re s] — does [re] match somewhere in [s]? *)
+val matches : t -> string -> bool

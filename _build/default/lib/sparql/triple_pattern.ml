@@ -1,0 +1,51 @@
+type node = Var of string | Term of Rdf.Term.t
+
+type t = { s : node; p : node; o : node }
+
+let make s p o = { s; p; o }
+
+let node_vars acc = function Var v -> v :: acc | Term _ -> acc
+
+let dedup vars =
+  List.rev
+    (List.fold_left
+       (fun acc v -> if List.mem v acc then acc else v :: acc)
+       [] vars)
+
+let vars tp = dedup (List.rev (node_vars (node_vars (node_vars [] tp.s) tp.p) tp.o))
+
+let subject_object_vars tp =
+  dedup (List.rev (node_vars (node_vars [] tp.s) tp.o))
+
+let coalescable tp1 tp2 =
+  let vs1 = subject_object_vars tp1 in
+  let vs2 = subject_object_vars tp2 in
+  List.exists (fun v -> List.mem v vs2) vs1
+
+let compare_node n1 n2 =
+  match (n1, n2) with
+  | Var a, Var b -> String.compare a b
+  | Term a, Term b -> Rdf.Term.compare a b
+  | Var _, Term _ -> -1
+  | Term _, Var _ -> 1
+
+let compare t1 t2 =
+  let c = compare_node t1.s t2.s in
+  if c <> 0 then c
+  else
+    let c = compare_node t1.p t2.p in
+    if c <> 0 then c else compare_node t1.o t2.o
+
+let equal t1 t2 = compare t1 t2 = 0
+
+let pp_node env fmt = function
+  | Var v -> Format.fprintf fmt "?%s" v
+  | Term (Rdf.Term.Iri iri) -> Format.pp_print_string fmt (Rdf.Namespace.shrink env iri)
+  | Term t -> Rdf.Term.pp fmt t
+
+let pp env fmt tp =
+  Format.fprintf fmt "%a %a %a ." (pp_node env) tp.s (pp_node env) tp.p
+    (pp_node env) tp.o
+
+let to_string tp =
+  Format.asprintf "%a" (pp (Rdf.Namespace.with_defaults ())) tp

@@ -1,0 +1,30 @@
+(** Triple patterns (Definition 2): triples whose positions may hold
+    variables. *)
+
+type node = Var of string | Term of Rdf.Term.t
+
+type t = { s : node; p : node; o : node }
+
+val make : node -> node -> node -> t
+
+(** [vars tp] is the list of distinct variable names in [tp], in s, p, o
+    order. *)
+val vars : t -> string list
+
+(** [subject_object_vars tp] is the list of distinct variables at the
+    subject or object positions only — the positions that matter for
+    coalescability (Definition 3). *)
+val subject_object_vars : t -> string list
+
+(** [coalescable tp1 tp2] per Definition 3: true iff the subject/object
+    variable sets intersect. *)
+val coalescable : t -> t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** [pp env fmt tp] prints in SPARQL concrete syntax, shrinking IRIs
+    against [env]. *)
+val pp : Rdf.Namespace.t -> Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,38 @@
+type t = {
+  mutable by_id : string array;
+  mutable count : int;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let create () = { by_id = Array.make 8 ""; count = 0; by_name = Hashtbl.create 8 }
+
+let id table name =
+  match Hashtbl.find_opt table.by_name name with
+  | Some i -> i
+  | None ->
+      if table.count = Array.length table.by_id then begin
+        let fresh = Array.make (2 * table.count) "" in
+        Array.blit table.by_id 0 fresh 0 table.count;
+        table.by_id <- fresh
+      end;
+      let i = table.count in
+      table.by_id.(i) <- name;
+      table.count <- i + 1;
+      Hashtbl.add table.by_name name i;
+      i
+
+let of_list names =
+  let table = create () in
+  List.iter (fun n -> ignore (id table n)) names;
+  table
+
+let find table name = Hashtbl.find_opt table.by_name name
+
+let name table col =
+  if col < 0 || col >= table.count then
+    invalid_arg (Printf.sprintf "Vartable.name: column %d out of range" col);
+  table.by_id.(col)
+
+let size table = table.count
+
+let names table = List.init table.count (fun i -> table.by_id.(i))

@@ -1,0 +1,23 @@
+(** Per-query variable numbering: maps variable names to dense column
+    indexes so that mappings can be flat int arrays. *)
+
+type t
+
+val create : unit -> t
+
+(** [of_list names] numbers [names] in order. *)
+val of_list : string list -> t
+
+(** [id table name] is the column of [name], registering it if new. *)
+val id : t -> string -> int
+
+(** [find table name] is the column of [name] if registered. *)
+val find : t -> string -> int option
+
+(** [name table col] is the variable name at column [col]. *)
+val name : t -> int -> string
+
+(** [size table] is the number of registered variables. *)
+val size : t -> int
+
+val names : t -> string list

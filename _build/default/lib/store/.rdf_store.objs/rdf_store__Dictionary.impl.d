@@ -1,0 +1,1 @@
+lib/store/dictionary.ml: Array Hashtbl Printf Rdf

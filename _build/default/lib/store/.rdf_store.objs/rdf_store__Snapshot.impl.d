@@ -1,0 +1,1 @@
+lib/store/snapshot.ml: Array Char Dictionary Fun Printf Rdf String Triple_store

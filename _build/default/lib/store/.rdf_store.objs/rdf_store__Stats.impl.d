@@ -1,0 +1,1 @@
+lib/store/stats.ml: Dictionary Format Hashtbl List Option Rdf Triple_store

@@ -1,0 +1,1 @@
+lib/store/triple_store.ml: Array Dictionary Index Int List Rdf Seq

@@ -1,0 +1,1 @@
+lib/store/triple_store.mli: Dictionary Index Rdf Seq

@@ -1,0 +1,44 @@
+type t = {
+  mutable terms : Rdf.Term.t array;
+  mutable count : int;
+  by_term : (Rdf.Term.t, int) Hashtbl.t;
+}
+
+let placeholder = Rdf.Term.Iri ""
+
+let create ?(initial_capacity = 1024) () =
+  {
+    terms = Array.make (max 1 initial_capacity) placeholder;
+    count = 0;
+    by_term = Hashtbl.create (max 1 initial_capacity);
+  }
+
+let grow dict =
+  let fresh = Array.make (2 * Array.length dict.terms) placeholder in
+  Array.blit dict.terms 0 fresh 0 dict.count;
+  dict.terms <- fresh
+
+let encode dict term =
+  match Hashtbl.find_opt dict.by_term term with
+  | Some id -> id
+  | None ->
+      if dict.count = Array.length dict.terms then grow dict;
+      let id = dict.count in
+      dict.terms.(id) <- term;
+      dict.count <- id + 1;
+      Hashtbl.add dict.by_term term id;
+      id
+
+let find dict term = Hashtbl.find_opt dict.by_term term
+
+let decode dict id =
+  if id < 0 || id >= dict.count then
+    invalid_arg (Printf.sprintf "Dictionary.decode: id %d out of range" id);
+  dict.terms.(id)
+
+let size dict = dict.count
+
+let iter dict ~f =
+  for id = 0 to dict.count - 1 do
+    f id dict.terms.(id)
+  done

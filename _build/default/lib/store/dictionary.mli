@@ -1,0 +1,24 @@
+(** Dictionary encoding: a bijection between RDF terms and dense integer
+    identifiers, used by the triple store so that all query processing runs
+    on machine integers. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+(** [encode dict term] returns the id of [term], assigning a fresh id if the
+    term has not been seen. Ids are dense, starting at 0. *)
+val encode : t -> Rdf.Term.t -> int
+
+(** [find dict term] is the id of [term] if already encoded. *)
+val find : t -> Rdf.Term.t -> int option
+
+(** [decode dict id] is the term with identifier [id].
+    Raises [Invalid_argument] if [id] is out of range. *)
+val decode : t -> int -> Rdf.Term.t
+
+(** [size dict] is the number of distinct terms encoded. *)
+val size : t -> int
+
+(** [iter dict ~f] applies [f id term] to every encoded pair in id order. *)
+val iter : t -> f:(int -> Rdf.Term.t -> unit) -> unit

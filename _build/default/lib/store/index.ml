@@ -1,0 +1,119 @@
+type order = Spo | Sop | Pso | Pos | Osp | Ops
+
+type table = { s : int array; p : int array; o : int array }
+
+type t = { order : order; perm : int array; table : table }
+
+let order t = t.order
+
+(* Key components of row [i] under the given order. *)
+let key1 order (tbl : table) i =
+  match order with
+  | Spo | Sop -> tbl.s.(i)
+  | Pso | Pos -> tbl.p.(i)
+  | Osp | Ops -> tbl.o.(i)
+
+let key2 order (tbl : table) i =
+  match order with
+  | Spo | Ops -> tbl.p.(i)
+  | Pso | Osp -> tbl.s.(i)
+  | Sop | Pos -> tbl.o.(i)
+
+(* The third component is whichever of s/p/o is not key1/key2. *)
+let key3 order (tbl : table) i =
+  match order with
+  | Spo -> tbl.o.(i)
+  | Sop -> tbl.p.(i)
+  | Pso -> tbl.o.(i)
+  | Pos -> tbl.s.(i)
+  | Osp -> tbl.p.(i)
+  | Ops -> tbl.s.(i)
+
+let compare_rows order tbl i j =
+  let c = Int.compare (key1 order tbl i) (key1 order tbl j) in
+  if c <> 0 then c
+  else
+    let c = Int.compare (key2 order tbl i) (key2 order tbl j) in
+    if c <> 0 then c else Int.compare (key3 order tbl i) (key3 order tbl j)
+
+let build order table =
+  let n = Array.length table.s in
+  let perm = Array.init n Fun.id in
+  (* Array.sort on int arrays with a closure comparator; fine at our scale. *)
+  Array.sort (compare_rows order table) perm;
+  { order; perm; table }
+
+(* Generic lower/upper bound on the permutation for a key prefix.
+   [depth] is 1, 2 or 3; [ka kb kc] are the bound key components. *)
+let compare_prefix t depth ka kb kc pos =
+  let row = t.perm.(pos) in
+  let c = Int.compare ka (key1 t.order t.table row) in
+  if c <> 0 || depth = 1 then c
+  else
+    let c = Int.compare kb (key2 t.order t.table row) in
+    if c <> 0 || depth = 2 then c
+    else Int.compare kc (key3 t.order t.table row)
+
+(* First position whose key is >= the prefix. *)
+let lower_bound t depth ka kb kc =
+  let lo = ref 0 and hi = ref (Array.length t.perm) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_prefix t depth ka kb kc mid <= 0 then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* First position whose key is > the prefix. *)
+let upper_bound t depth ka kb kc =
+  let lo = ref 0 and hi = ref (Array.length t.perm) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_prefix t depth ka kb kc mid < 0 then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let range t ?a ?b ?c () =
+  match (a, b, c) with
+  | None, None, None -> (0, Array.length t.perm)
+  | Some ka, None, None -> (lower_bound t 1 ka 0 0, upper_bound t 1 ka 0 0)
+  | Some ka, Some kb, None ->
+      (lower_bound t 2 ka kb 0, upper_bound t 2 ka kb 0)
+  | Some ka, Some kb, Some kc ->
+      (lower_bound t 3 ka kb kc, upper_bound t 3 ka kb kc)
+  | _ -> invalid_arg "Index.range: non-prefix key combination"
+
+let iter t ~lo ~hi ~f =
+  for pos = lo to hi - 1 do
+    let row = t.perm.(pos) in
+    f ~s:t.table.s.(row) ~p:t.table.p.(row) ~o:t.table.o.(row)
+  done
+
+let row t pos =
+  let r = t.perm.(pos) in
+  (t.table.s.(r), t.table.p.(r), t.table.o.(r))
+
+let distinct_firsts t ~lo ~hi =
+  let count = ref 0 in
+  let prev = ref min_int in
+  for pos = lo to hi - 1 do
+    let k = key1 t.order t.table t.perm.(pos) in
+    if k <> !prev then begin
+      incr count;
+      prev := k
+    end
+  done;
+  !count
+
+let distinct_seconds t ~lo ~hi =
+  let count = ref 0 in
+  let prev1 = ref min_int and prev2 = ref min_int in
+  for pos = lo to hi - 1 do
+    let r = t.perm.(pos) in
+    let k1 = key1 t.order t.table r and k2 = key2 t.order t.table r in
+    if k1 <> !prev1 || k2 <> !prev2 then begin
+      incr count;
+      prev1 := k1;
+      prev2 := k2
+    end
+  done;
+  !count

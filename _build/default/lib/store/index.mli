@@ -1,0 +1,42 @@
+(** A sorted permutation index over a shared triple table.
+
+    The store keeps one triple table (three parallel int arrays) and six
+    {!t} values, one per component order (SPO, SOP, PSO, POS, OSP, OPS).
+    Lookups with any set of bound positions become binary-searched ranges in
+    the appropriate permutation. *)
+
+type order = Spo | Sop | Pso | Pos | Osp | Ops
+
+(** The shared triple table: [s.(i), p.(i), o.(i)] is the i-th triple. *)
+type table = { s : int array; p : int array; o : int array }
+
+type t
+
+val order : t -> order
+
+(** [build order table] sorts a permutation of the rows of [table]
+    lexicographically by the components of [order]. *)
+val build : order -> table -> t
+
+(** [range index ?a ?b ?c ()] is the half-open interval [(lo, hi)] of
+    positions in the permutation whose rows match the given key prefix,
+    where [a] constrains the first component of the order, [b] the second
+    and [c] the third. Passing [b] without [a], or [c] without [b], is an
+    [Invalid_argument]. *)
+val range : t -> ?a:int -> ?b:int -> ?c:int -> unit -> int * int
+
+(** [iter index ~lo ~hi ~f] applies [f ~s ~p ~o] to each row in positions
+    [lo..hi-1] of the permutation, in index order. *)
+val iter : t -> lo:int -> hi:int -> f:(s:int -> p:int -> o:int -> unit) -> unit
+
+(** [row index pos] is the (s, p, o) of the row at permutation position
+    [pos]. *)
+val row : t -> int -> int * int * int
+
+(** [distinct_firsts index ~lo ~hi] counts distinct values of the order's
+    first component within the range — used by statistics. *)
+val distinct_firsts : t -> lo:int -> hi:int -> int
+
+(** [distinct_seconds index ~lo ~hi] counts distinct (first, second) pairs
+    within the range. *)
+val distinct_seconds : t -> lo:int -> hi:int -> int

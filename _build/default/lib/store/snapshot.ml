@@ -1,0 +1,143 @@
+exception Corrupt of string
+
+let magic = "SPUO"
+let version = 1
+
+(* A cheap rolling additive digest, enough to catch truncation and bit
+   rot (this is an integrity check, not an authenticity one). *)
+module Digest_acc = struct
+  type t = { mutable value : int }
+
+  let create () = { value = 0x1505 }
+
+  let add_int acc n =
+    acc.value <- ((acc.value * 33) + n) land 0x3FFFFFFF
+
+  let add_string acc s =
+    String.iter (fun c -> add_int acc (Char.code c)) s
+
+  let value acc = acc.value
+end
+
+(* --- writing ----------------------------------------------------------- *)
+
+let write_int oc digest n =
+  if n < 0 then raise (Corrupt "negative integer during save");
+  output_binary_int oc n;
+  Digest_acc.add_int digest n
+
+let write_string oc digest s =
+  write_int oc digest (String.length s);
+  output_string oc s;
+  Digest_acc.add_string digest s
+
+let term_tag = function
+  | Rdf.Term.Iri _ -> 0
+  | Rdf.Term.Bnode _ -> 1
+  | Rdf.Term.Literal { kind = Rdf.Term.Plain; _ } -> 2
+  | Rdf.Term.Literal { kind = Rdf.Term.Lang _; _ } -> 3
+  | Rdf.Term.Literal { kind = Rdf.Term.Typed _; _ } -> 4
+
+let write_term oc digest term =
+  write_int oc digest (term_tag term);
+  match term with
+  | Rdf.Term.Iri s | Rdf.Term.Bnode s -> write_string oc digest s
+  | Rdf.Term.Literal { value; kind = Rdf.Term.Plain } ->
+      write_string oc digest value
+  | Rdf.Term.Literal { value; kind = Rdf.Term.Lang lang } ->
+      write_string oc digest value;
+      write_string oc digest lang
+  | Rdf.Term.Literal { value; kind = Rdf.Term.Typed dt } ->
+      write_string oc digest value;
+      write_string oc digest dt
+
+let save store path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let digest = Digest_acc.create () in
+      output_string oc magic;
+      output_binary_int oc version;
+      let dict = Triple_store.dictionary store in
+      write_int oc digest (Dictionary.size dict);
+      Dictionary.iter dict ~f:(fun _ term -> write_term oc digest term);
+      write_int oc digest (Triple_store.size store);
+      Triple_store.iter_all store ~f:(fun ~s ~p ~o ->
+          write_int oc digest s;
+          write_int oc digest p;
+          write_int oc digest o);
+      output_binary_int oc (Digest_acc.value digest))
+
+(* --- reading ----------------------------------------------------------- *)
+
+let read_int ic digest =
+  match input_binary_int ic with
+  | n ->
+      Digest_acc.add_int digest n;
+      n
+  | exception End_of_file -> raise (Corrupt "truncated file")
+
+let read_string ic digest =
+  let n = read_int ic digest in
+  if n < 0 || n > 100_000_000 then raise (Corrupt "implausible string length");
+  match really_input_string ic n with
+  | s ->
+      Digest_acc.add_string digest s;
+      s
+  | exception End_of_file -> raise (Corrupt "truncated string")
+
+let read_term ic digest =
+  match read_int ic digest with
+  | 0 -> Rdf.Term.iri (read_string ic digest)
+  | 1 -> Rdf.Term.bnode (read_string ic digest)
+  | 2 -> Rdf.Term.literal (read_string ic digest)
+  | 3 ->
+      let value = read_string ic digest in
+      Rdf.Term.lang_literal value ~lang:(read_string ic digest)
+  | 4 ->
+      let value = read_string ic digest in
+      Rdf.Term.typed_literal value ~datatype:(read_string ic digest)
+  | tag -> raise (Corrupt (Printf.sprintf "unknown term tag %d" tag))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let file_magic =
+        try really_input_string ic 4
+        with End_of_file -> raise (Corrupt "missing magic")
+      in
+      if file_magic <> magic then raise (Corrupt "bad magic");
+      let file_version =
+        try input_binary_int ic with End_of_file -> raise (Corrupt "no version")
+      in
+      if file_version <> version then
+        raise (Corrupt (Printf.sprintf "unsupported version %d" file_version));
+      let digest = Digest_acc.create () in
+      let nterms = read_int ic digest in
+      if nterms < 0 then raise (Corrupt "negative term count");
+      let dict = Dictionary.create ~initial_capacity:(max 16 nterms) () in
+      for expected = 0 to nterms - 1 do
+        let id = Dictionary.encode dict (read_term ic digest) in
+        if id <> expected then raise (Corrupt "duplicate term in dictionary")
+      done;
+      let ntriples = read_int ic digest in
+      if ntriples < 0 then raise (Corrupt "negative triple count");
+      let rows =
+        Array.init ntriples (fun _ ->
+            let s = read_int ic digest in
+            let p = read_int ic digest in
+            let o = read_int ic digest in
+            if s >= nterms || p >= nterms || o >= nterms then
+              raise (Corrupt "triple id out of dictionary range");
+            (s, p, o))
+      in
+      let stored_checksum =
+        try input_binary_int ic
+        with End_of_file -> raise (Corrupt "missing checksum")
+      in
+      if stored_checksum <> Digest_acc.value digest then
+        raise (Corrupt "checksum mismatch");
+      Triple_store.of_encoded_rows dict rows)

@@ -1,0 +1,22 @@
+(** Binary store snapshots: a versioned, checksummed on-disk format for a
+    dictionary-encoded store, so a dataset is loaded back without
+    re-parsing N-Triples (the indexes are rebuilt on load; only the
+    dictionary and the triple table are persisted).
+
+    Format (all integers 4-byte big-endian):
+    {v
+    magic "SPUO" | version | term count | terms | triple count
+    | s p o ids ... | checksum
+    v}
+    Terms are serialized as a kind byte plus length-prefixed strings. The
+    checksum is a simple additive digest over the payload; {!load} rejects
+    files whose magic, version or checksum do not match. *)
+
+exception Corrupt of string
+
+(** [save store path] writes a snapshot. *)
+val save : Triple_store.t -> string -> unit
+
+(** [load path] reads a snapshot back. Raises {!Corrupt} on a malformed or
+    truncated file. *)
+val load : string -> Triple_store.t

@@ -1,0 +1,78 @@
+type predicate_stats = {
+  triples : int;
+  distinct_subjects : int;
+  distinct_objects : int;
+  avg_out_degree : float;
+  avg_in_degree : float;
+}
+
+let zero_stats =
+  {
+    triples = 0;
+    distinct_subjects = 0;
+    distinct_objects = 0;
+    avg_out_degree = 0.;
+    avg_in_degree = 0.;
+  }
+
+type t = {
+  by_predicate : (int, predicate_stats) Hashtbl.t;
+  num_triples : int;
+  num_entities : int;
+  num_predicates : int;
+  num_literals : int;
+}
+
+let compute store =
+  let by_predicate = Hashtbl.create 64 in
+  List.iter
+    (fun (p, triples) ->
+      let distinct_subjects = Triple_store.distinct_subjects store ~p in
+      let distinct_objects = Triple_store.distinct_objects store ~p in
+      let avg_out_degree =
+        if distinct_subjects = 0 then 0.
+        else float_of_int triples /. float_of_int distinct_subjects
+      in
+      let avg_in_degree =
+        if distinct_objects = 0 then 0.
+        else float_of_int triples /. float_of_int distinct_objects
+      in
+      Hashtbl.replace by_predicate p
+        { triples; distinct_subjects; distinct_objects; avg_out_degree;
+          avg_in_degree })
+    (Triple_store.predicates store);
+  let num_predicates = Hashtbl.length by_predicate in
+  (* Entities: distinct IRI/bnode terms in subject or object position.
+     Literals: distinct literal terms in object position. Walk the
+     dictionary once and test occurrence via index ranges. *)
+  let entities = ref 0 and literals = ref 0 in
+  let dict = Triple_store.dictionary store in
+  Dictionary.iter dict ~f:(fun id term ->
+      match term with
+      | Rdf.Term.Literal _ ->
+          if Triple_store.count store ~o:id () > 0 then incr literals
+      | Rdf.Term.Iri _ | Rdf.Term.Bnode _ ->
+          if
+            Triple_store.count store ~s:id () > 0
+            || Triple_store.count store ~o:id () > 0
+          then incr entities);
+  {
+    by_predicate;
+    num_triples = Triple_store.size store;
+    num_entities = !entities;
+    num_predicates;
+    num_literals = !literals;
+  }
+
+let predicate stats ~p =
+  Option.value (Hashtbl.find_opt stats.by_predicate p) ~default:zero_stats
+
+let num_triples stats = stats.num_triples
+let num_entities stats = stats.num_entities
+let num_predicates stats = stats.num_predicates
+let num_literals stats = stats.num_literals
+
+let pp_summary fmt stats =
+  Format.fprintf fmt
+    "triples=%d entities=%d predicates=%d literals=%d" stats.num_triples
+    stats.num_entities stats.num_predicates stats.num_literals

@@ -1,0 +1,35 @@
+(** Dataset statistics: the inputs to cardinality estimation (Section 5.1.2)
+    and the rows of the paper's Table 2. *)
+
+type predicate_stats = {
+  triples : int;  (** triples with this predicate *)
+  distinct_subjects : int;
+  distinct_objects : int;
+  avg_out_degree : float;  (** triples per distinct subject *)
+  avg_in_degree : float;  (** triples per distinct object *)
+}
+
+type t
+
+(** [compute store] scans the indexes once and materializes per-predicate
+    statistics plus dataset-level counts. *)
+val compute : Triple_store.t -> t
+
+(** [predicate stats ~p] is the statistics record for predicate id [p];
+    all-zero record if [p] never occurs as a predicate. *)
+val predicate : t -> p:int -> predicate_stats
+
+(** {1 Dataset-level counts (Table 2)} *)
+
+val num_triples : t -> int
+
+(** [num_entities stats] counts distinct IRIs/blank nodes occurring in
+    subject or object position. *)
+val num_entities : t -> int
+
+val num_predicates : t -> int
+
+(** [num_literals stats] counts distinct literal terms in object position. *)
+val num_literals : t -> int
+
+val pp_summary : Format.formatter -> t -> unit

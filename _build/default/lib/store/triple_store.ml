@@ -1,0 +1,148 @@
+type t = {
+  dict : Dictionary.t;
+  table : Index.table;
+  spo : Index.t;
+  sop : Index.t;
+  pso : Index.t;
+  pos : Index.t;
+  osp : Index.t;
+  ops : Index.t;
+}
+
+let dictionary store = store.dict
+
+let size store = Array.length store.table.Index.s
+
+let encode_term store term = Dictionary.find store.dict term
+
+let decode_term store id = Dictionary.decode store.dict id
+
+let index store = function
+  | Index.Spo -> store.spo
+  | Index.Sop -> store.sop
+  | Index.Pso -> store.pso
+  | Index.Pos -> store.pos
+  | Index.Osp -> store.osp
+  | Index.Ops -> store.ops
+
+(* Sort-and-dedup encoded triples in SPO order. *)
+let dedup_encoded (rows : (int * int * int) array) =
+  let cmp (s1, p1, o1) (s2, p2, o2) =
+    let c = Int.compare s1 s2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare p1 p2 in
+      if c <> 0 then c else Int.compare o1 o2
+  in
+  Array.sort cmp rows;
+  let n = Array.length rows in
+  if n = 0 then rows
+  else begin
+    let distinct = ref 1 in
+    for i = 1 to n - 1 do
+      if cmp rows.(i) rows.(i - 1) <> 0 then begin
+        rows.(!distinct) <- rows.(i);
+        incr distinct
+      end
+    done;
+    Array.sub rows 0 !distinct
+  end
+
+let of_encoded dict rows =
+  let rows = dedup_encoded rows in
+  let n = Array.length rows in
+  let table =
+    {
+      Index.s = Array.make n 0;
+      Index.p = Array.make n 0;
+      Index.o = Array.make n 0;
+    }
+  in
+  Array.iteri
+    (fun i (s, p, o) ->
+      table.Index.s.(i) <- s;
+      table.Index.p.(i) <- p;
+      table.Index.o.(i) <- o)
+    rows;
+  {
+    dict;
+    table;
+    spo = Index.build Index.Spo table;
+    sop = Index.build Index.Sop table;
+    pso = Index.build Index.Pso table;
+    pos = Index.build Index.Pos table;
+    osp = Index.build Index.Osp table;
+    ops = Index.build Index.Ops table;
+  }
+
+let of_encoded_rows dict rows = of_encoded dict rows
+
+let iter_all store ~f =
+  let lo, hi = Index.range store.spo () in
+  Index.iter store.spo ~lo ~hi ~f
+
+let of_seq triples =
+  let dict = Dictionary.create () in
+  let rows = ref [] in
+  let count = ref 0 in
+  Seq.iter
+    (fun { Rdf.Triple.s; p; o } ->
+      let row =
+        (Dictionary.encode dict s, Dictionary.encode dict p,
+         Dictionary.encode dict o)
+      in
+      rows := row :: !rows;
+      incr count)
+    triples;
+  of_encoded dict (Array.of_list !rows)
+
+let of_triples triples = of_seq (List.to_seq triples)
+
+let load_ntriples path = of_triples (Rdf.Ntriples.parse_file path)
+
+(* Pick the index whose component order puts the bound positions first, and
+   return it along with the (a, b, c) key prefix. *)
+let plan_lookup store ?s ?p ?o () =
+  match (s, p, o) with
+  | None, None, None -> (store.spo, None, None, None)
+  | Some s, None, None -> (store.spo, Some s, None, None)
+  | None, Some p, None -> (store.pso, Some p, None, None)
+  | None, None, Some o -> (store.osp, Some o, None, None)
+  | Some s, Some p, None -> (store.spo, Some s, Some p, None)
+  | Some s, None, Some o -> (store.sop, Some s, Some o, None)
+  | None, Some p, Some o -> (store.pos, Some p, Some o, None)
+  | Some s, Some p, Some o -> (store.spo, Some s, Some p, Some o)
+
+let count store ?s ?p ?o () =
+  let idx, a, b, c = plan_lookup store ?s ?p ?o () in
+  let lo, hi = Index.range idx ?a ?b ?c () in
+  hi - lo
+
+let iter store ?s ?p ?o ~f () =
+  let idx, a, b, c = plan_lookup store ?s ?p ?o () in
+  let lo, hi = Index.range idx ?a ?b ?c () in
+  Index.iter idx ~lo ~hi ~f
+
+let contains store ~s ~p ~o = count store ~s ~p ~o () > 0
+
+(* Within a single-predicate range of PSO, distinct (p, s) pairs coincide
+   with distinct subjects. *)
+let distinct_subjects store ~p =
+  let lo, hi = Index.range store.pso ~a:p () in
+  Index.distinct_seconds store.pso ~lo ~hi
+
+let distinct_objects store ~p =
+  let lo, hi = Index.range store.pos ~a:p () in
+  Index.distinct_seconds store.pos ~lo ~hi
+
+let predicates store =
+  let idx = store.pso in
+  let n = size store in
+  let rec collect pos acc =
+    if pos >= n then List.rev acc
+    else
+      let _, p, _ = Index.row idx pos in
+      let _, hi = Index.range idx ~a:p () in
+      collect hi ((p, hi - pos) :: acc)
+  in
+  collect 0 []

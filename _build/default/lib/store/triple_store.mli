@@ -1,0 +1,67 @@
+(** The in-memory RDF store: a dictionary-encoded, deduplicated triple table
+    with six permutation indexes (SPO, SOP, PSO, POS, OSP, OPS), in the
+    style of single-table exhaustively-indexed RDF stores (RDF-3X). *)
+
+type t
+
+(** {1 Construction} *)
+
+(** [of_triples triples] encodes, deduplicates and indexes the dataset. *)
+val of_triples : Rdf.Triple.t list -> t
+
+(** [of_seq triples] is {!of_triples} over a sequence, avoiding an
+    intermediate list for large generated datasets. *)
+val of_seq : Rdf.Triple.t Seq.t -> t
+
+(** [load_ntriples path] parses and loads an N-Triples file. *)
+val load_ntriples : string -> t
+
+(** [of_encoded_rows dict rows] builds a store from already-encoded
+    (s, p, o) id triples over [dict] (deduplicating). Used by the
+    snapshot loader and bulk importers. *)
+val of_encoded_rows : Dictionary.t -> (int * int * int) array -> t
+
+(** [iter_all store ~f] — every triple, as ids, in SPO order. *)
+val iter_all : t -> f:(s:int -> p:int -> o:int -> unit) -> unit
+
+(** {1 Accessors} *)
+
+val dictionary : t -> Dictionary.t
+
+(** [size store] is the number of distinct triples. *)
+val size : t -> int
+
+(** [encode_term store term] is the id of [term] if present in the data. *)
+val encode_term : t -> Rdf.Term.t -> int option
+
+val decode_term : t -> int -> Rdf.Term.t
+
+(** {1 Pattern access}
+
+    All pattern functions take optional bound positions [s], [p], [o]; an
+    omitted position is a wildcard. *)
+
+(** [count store ?s ?p ?o ()] is the exact number of matching triples,
+    computed by index range arithmetic (no scan). *)
+val count : t -> ?s:int -> ?p:int -> ?o:int -> unit -> int
+
+(** [iter store ?s ?p ?o ~f ()] applies [f ~s ~p ~o] to each matching
+    triple. *)
+val iter : t -> ?s:int -> ?p:int -> ?o:int -> f:(s:int -> p:int -> o:int -> unit) -> unit -> unit
+
+(** [contains store ~s ~p ~o] tests membership of a fully-bound triple. *)
+val contains : t -> s:int -> p:int -> o:int -> bool
+
+(** {1 Statistics inputs} *)
+
+(** [index store order] exposes a permutation index (used by {!Stats}). *)
+val index : t -> Index.order -> Index.t
+
+(** [distinct_subjects store ~p] / [distinct_objects store ~p]: number of
+    distinct subjects (resp. objects) occurring with predicate [p]. *)
+val distinct_subjects : t -> p:int -> int
+
+val distinct_objects : t -> p:int -> int
+
+(** [predicates store] lists all predicate ids with their triple counts. *)
+val predicates : t -> (int * int) list

@@ -1,0 +1,1 @@
+lib/workload/dbpedia_gen.ml: Array List Printf Rdf Rdf_store Rng String

@@ -1,0 +1,1 @@
+lib/workload/dbpedia_gen.mli: Rdf Rdf_store

@@ -1,0 +1,1 @@
+lib/workload/lubm.ml: Array Float List Printf Rdf Rdf_store Rng

@@ -1,0 +1,1 @@
+lib/workload/lubm.mli: Rdf Rdf_store

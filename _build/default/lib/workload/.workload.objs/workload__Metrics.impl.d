@@ -1,0 +1,1 @@
+lib/workload/metrics.ml: Format List Queries Sparql Sparql_uo

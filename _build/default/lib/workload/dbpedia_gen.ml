@@ -1,0 +1,223 @@
+type config = {
+  persons : int;
+  places : int;
+  companies : int;
+  products : int;
+  categories : int;
+  seed : int;
+}
+
+let default =
+  {
+    persons = 20000;
+    places = 10000;
+    companies = 6000;
+    products = 8000;
+    categories = 1500;
+    seed = 93;
+  }
+
+let tiny =
+  { persons = 400; places = 200; companies = 120; products = 150; seed = 93;
+    categories = 40 }
+
+let dbr = Rdf.Namespace.dbr
+let dbo = Rdf.Namespace.dbo
+let dbp = Rdf.Namespace.dbp
+let foaf = Rdf.Namespace.foaf
+let rdfs = Rdf.Namespace.rdfs
+let owl = Rdf.Namespace.owl
+let purl = Rdf.Namespace.purl
+let skos = Rdf.Namespace.skos
+let nsprov = Rdf.Namespace.nsprov
+let geo = Rdf.Namespace.geo
+let georss = Rdf.Namespace.georss
+let rdf_type = Rdf.Namespace.rdf_type
+
+let economic_system = dbr "Economic_system"
+let air_masses = dbr "Air_masses"
+
+type state = {
+  rng : Rng.t;
+  mutable triples : Rdf.Triple.t list;
+  mutable entities : string list;  (** all link targets, newest first *)
+}
+
+let emit st s p o =
+  st.triples <- Rdf.Triple.make (Rdf.Term.iri s) (Rdf.Term.iri p) o :: st.triples
+
+let emit_iri st s p o = emit st s p (Rdf.Term.iri o)
+let emit_lit st s p o = emit st s p (Rdf.Term.literal o)
+let emit_lang st s p o = emit st s p (Rdf.Term.lang_literal o ~lang:"en")
+
+let wiki_page name = "http://en.wikipedia.org/wiki/" ^ name
+let external_ref name i = Printf.sprintf "http://freebase.example.org/%s_%d" name i
+
+(* Common "encyclopedic" furniture shared by every entity class. *)
+let article st ~name ~iri ~categories ~link_targets =
+  emit_lang st iri (rdfs "label") (String.map (function '_' -> ' ' | c -> c) name);
+  emit_iri st iri (nsprov "wasDerivedFrom") (wiki_page name);
+  let page = wiki_page name in
+  emit_iri st iri (foaf "isPrimaryTopicOf") page;
+  emit_iri st page (foaf "primaryTopic") iri;
+  emit_iri st iri (foaf "page") page;
+  if Rng.chance st.rng 0.7 then
+    emit_lang st iri (rdfs "comment") (Printf.sprintf "About %s." name);
+  (* Category membership is split across the two representations the
+     UNION queries must bridge. *)
+  let ncats = Rng.between st.rng 1 3 in
+  for _ = 1 to ncats do
+    let cat = Rng.pick st.rng categories in
+    if Rng.chance st.rng 0.6 then emit_iri st iri (purl "subject") cat
+    else emit_iri st iri (skos "subject") cat
+  done;
+  (* Zipf-skewed wiki links. *)
+  let nlinks = 1 + Rng.zipf st.rng ~n:24 ~skew:1.3 in
+  let ntargets = Array.length link_targets in
+  if ntargets > 0 then
+    for _ = 1 to nlinks do
+      emit_iri st iri (dbo "wikiPageWikiLink") (Rng.pick st.rng link_targets)
+    done;
+  if Rng.chance st.rng 0.35 then begin
+    let nrefs = Rng.between st.rng 1 3 in
+    for i = 1 to nrefs do
+      emit_iri st iri (owl "sameAs") (external_ref name i)
+    done
+  end;
+  (* A few entities have an alias sharing the primary page and
+     redirecting to the canonical entity (feeds the redirect queries). *)
+  if Rng.chance st.rng 0.06 then begin
+    let alias = iri ^ "_(alias)" in
+    emit_iri st alias (dbo "wikiPageRedirects") iri;
+    emit_iri st alias (foaf "isPrimaryTopicOf") page;
+    emit_lang st alias (rdfs "label") (name ^ " (alias)");
+    st.entities <- alias :: st.entities
+  end;
+  st.entities <- iri :: st.entities
+
+let generate config =
+  let st = { rng = Rng.create ~seed:config.seed; triples = []; entities = [] } in
+  let categories =
+    Array.init config.categories (fun i -> dbr (Printf.sprintf "Category:Topic_%d" i))
+  in
+  Array.iteri
+    (fun i cat -> emit_lang st cat (rdfs "label") (Printf.sprintf "Topic %d" i))
+    categories;
+  (* Hub entities first so they can be link targets. The Economic_system
+     hub receives links from a selective slice of entities (the anchor of
+     q1.1/q1.2); Air_masses is a single highly selective primary topic
+     (the anchor of q1.3). *)
+  List.iter
+    (fun hub_name ->
+      let iri = dbr hub_name in
+      article st ~name:hub_name ~iri ~categories ~link_targets:[||])
+    [ "Economic_system"; "Air_masses" ];
+  (* Hubs always get an alias entity: q1.3's redirect chain needs a
+     guaranteed dbo:wikiPageRedirects off the Air_masses primary page. *)
+  List.iter
+    (fun hub_name ->
+      let iri = dbr hub_name in
+      let alias = iri ^ "_(alias)" in
+      emit_iri st alias (dbo "wikiPageRedirects") iri;
+      emit_iri st alias (foaf "isPrimaryTopicOf") (wiki_page hub_name);
+      emit_lang st alias (rdfs "label") (hub_name ^ " (alias)");
+      st.entities <- alias :: st.entities)
+    [ "Economic_system"; "Air_masses" ];
+  let early_targets = Array.of_list st.entities in
+  (* First pass: create entity IRIs so wiki links can point anywhere. *)
+  let person_iris = Array.init config.persons (fun i -> dbr (Printf.sprintf "Person_%d" i)) in
+  let place_iris = Array.init config.places (fun i -> dbr (Printf.sprintf "Place_%d" i)) in
+  let company_iris = Array.init config.companies (fun i -> dbr (Printf.sprintf "Company_%d" i)) in
+  let product_iris = Array.init config.products (fun i -> dbr (Printf.sprintf "Product_%d" i)) in
+  let all_targets =
+    Array.concat [ early_targets; person_iris; place_iris; company_iris; product_iris ]
+  in
+  let countries = Array.init 60 (fun i -> dbr (Printf.sprintf "Country_%d" i)) in
+  Array.iter
+    (fun iri -> emit_iri st iri rdf_type (dbo "Country"))
+    countries;
+  (* Persons. *)
+  Array.iteri
+    (fun i iri ->
+      let name = Printf.sprintf "Person_%d" i in
+      emit_iri st iri rdf_type (dbo "Person");
+      article st ~name ~iri ~categories ~link_targets:all_targets;
+      (* foaf:name only sometimes — the other half of Figure 1(a)'s
+         UNION. *)
+      if Rng.chance st.rng 0.55 then
+        emit_lang st iri (foaf "name") (Printf.sprintf "Person %d" i);
+      if Rng.chance st.rng 0.25 then
+        emit_iri st iri (foaf "homepage")
+          (Printf.sprintf "http://people.example.org/%d" i);
+      if Rng.chance st.rng 0.3 then
+        emit_iri st iri (dbo "thumbnail")
+          (Printf.sprintf "http://commons.example.org/thumb/person_%d.png" i);
+      if Rng.chance st.rng 0.015 then
+        emit_iri st iri (dbo "wikiPageWikiLink") economic_system)
+    person_iris;
+  (* Places. *)
+  Array.iteri
+    (fun i iri ->
+      let name = Printf.sprintf "Place_%d" i in
+      let populated = Rng.chance st.rng 0.6 in
+      emit_iri st iri rdf_type
+        (if populated then dbo "PopulatedPlace" else dbo "Place");
+      article st ~name ~iri ~categories ~link_targets:all_targets;
+      if populated then begin
+        emit_lang st iri (dbo "abstract") (Printf.sprintf "%s is a place." name);
+        emit_lit st iri (geo "lat") (Printf.sprintf "%.4f" (Rng.float st.rng *. 180. -. 90.));
+        emit_lit st iri (geo "long") (Printf.sprintf "%.4f" (Rng.float st.rng *. 360. -. 180.));
+        if Rng.chance st.rng 0.5 then
+          emit_iri st iri (foaf "depiction")
+            (Printf.sprintf "http://commons.example.org/depiction/place_%d.png" i);
+        if Rng.chance st.rng 0.25 then
+          emit_iri st iri (foaf "homepage")
+            (Printf.sprintf "http://cities.example.org/%d" i);
+        if Rng.chance st.rng 0.55 then
+          emit st iri (dbo "populationTotal")
+            (Rdf.Term.int_literal (Rng.int st.rng 1_000_000));
+        if Rng.chance st.rng 0.45 then
+          emit_iri st iri (dbo "thumbnail")
+            (Printf.sprintf "http://commons.example.org/thumb/place_%d.png" i)
+      end;
+      if Rng.chance st.rng 0.01 then
+        emit_iri st iri (dbo "wikiPageWikiLink") economic_system)
+    place_iris;
+  (* Companies. *)
+  let industries = Array.init 25 (fun i -> Printf.sprintf "Industry_%d" i) in
+  Array.iteri
+    (fun i iri ->
+      let name = Printf.sprintf "Company_%d" i in
+      emit_iri st iri rdf_type (dbo "Company");
+      article st ~name ~iri ~categories ~link_targets:all_targets;
+      if Rng.chance st.rng 0.7 then
+        emit_lit st iri (dbp "industry") (Rng.pick st.rng industries);
+      if Rng.chance st.rng 0.6 then
+        emit_iri st iri (dbp "location") (Rng.pick st.rng place_iris);
+      if Rng.chance st.rng 0.5 then
+        emit_iri st iri (dbp "locationCountry") (Rng.pick st.rng countries);
+      if Rng.chance st.rng 0.35 then
+        emit_iri st iri (dbp "locationCity") (Rng.pick st.rng place_iris);
+      if Rng.chance st.rng 0.4 then
+        emit_lit st iri (georss "point")
+          (Printf.sprintf "%.3f %.3f" (Rng.float st.rng *. 180. -. 90.)
+             (Rng.float st.rng *. 360. -. 180.));
+      if Rng.chance st.rng 0.45 then
+        emit_lit st iri (dbp "products") (Printf.sprintf "Product line %d" i);
+      if Rng.chance st.rng 0.025 then
+        emit_iri st iri (dbo "wikiPageWikiLink") economic_system)
+    company_iris;
+  (* Products point back at companies (the ?a dbp:manufacturer ?v0 /
+     ?b dbp:model ?v0 patterns of q2.6). *)
+  Array.iteri
+    (fun i iri ->
+      let name = Printf.sprintf "Product_%d" i in
+      emit_iri st iri rdf_type (dbo "MeanOfTransportation");
+      emit_lang st iri (rdfs "label") name;
+      emit_iri st iri (dbp "manufacturer") (Rng.pick st.rng company_iris);
+      if Rng.chance st.rng 0.5 then
+        emit_iri st iri (dbp "model") (Rng.pick st.rng company_iris))
+    product_iris;
+  List.rev st.triples
+
+let store config = Rdf_store.Triple_store.of_triples (generate config)

@@ -1,0 +1,43 @@
+(** A synthetic DBpedia-like generator.
+
+    The paper's real-data experiments run on DBpedia V3.9 (830M triples),
+    which cannot be shipped or loaded here; this generator reproduces the
+    *features of DBpedia the paper's queries exercise* (see DESIGN.md):
+
+    - diversity of representation: person names appear under [rdfs:label]
+      and only sometimes under [foaf:name]; entity-category membership is
+      split between [purl:subject] and [skos:subject] — the UNION
+      motivation of Figure 1(a);
+    - incompleteness: optional attributes ([owl:sameAs], [foaf:homepage],
+      [dbo:populationTotal], …) have partial, per-class coverage — the
+      OPTIONAL motivation of Figure 1(b);
+    - skew: [dbo:wikiPageWikiLink] out-degrees are Zipf-distributed, and
+      designated hub entities ([dbr:Economic_system], [dbr:Air_masses])
+      give the benchmark queries their selective anchors;
+    - redirects and wiki pages: alias entities share a primary page with
+      their canonical entity via [dbo:wikiPageRedirects] /
+      [foaf:isPrimaryTopicOf] / [foaf:primaryTopic]. *)
+
+type config = {
+  persons : int;
+  places : int;
+  companies : int;
+  products : int;
+  categories : int;
+  seed : int;
+}
+
+(** [default] — ≈ 600k triples. *)
+val default : config
+
+(** [tiny] — ≈ 8k triples, for tests. *)
+val tiny : config
+
+val generate : config -> Rdf.Triple.t list
+
+val store : config -> Rdf_store.Triple_store.t
+
+(** {1 Hub IRIs referenced by the benchmark queries} *)
+
+val economic_system : string
+val air_masses : string

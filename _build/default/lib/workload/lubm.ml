@@ -1,0 +1,217 @@
+type config = { universities : int; seed : int; density : float }
+
+let default = { universities = 13; seed = 20250705; density = 1.0 }
+
+let tiny = { universities = 1; seed = 20250705; density = 0.12 }
+
+let scaled n = { default with universities = n }
+
+let university_iri u = Printf.sprintf "http://www.University%d.edu" u
+
+let department_iri ~univ ~dept =
+  Printf.sprintf "http://www.Department%d.University%d.edu" dept univ
+
+let ub = Rdf.Namespace.ub
+let rdf_type = Rdf.Namespace.rdf_type
+
+type state = {
+  rng : Rng.t;
+  mutable triples : Rdf.Triple.t list;
+  config : config;
+}
+
+let emit st s p o =
+  st.triples <- Rdf.Triple.make (Rdf.Term.iri s) (Rdf.Term.iri p) o :: st.triples
+
+let emit_iri st s p o = emit st s p (Rdf.Term.iri o)
+let emit_lit st s p o = emit st s p (Rdf.Term.literal o)
+
+(* Scale a sampled count by the density knob, keeping at least [floor]. *)
+let scaled_count st ~floor lo hi =
+  let n = Rng.between st.rng lo hi in
+  max floor (int_of_float (Float.round (float_of_int n *. st.config.density)))
+
+let random_university st = university_iri (Rng.int st.rng st.config.universities)
+
+type person = { iri : string; local : string }
+
+let person_attributes st ~dept_iri:_ ~univ ~dept person =
+  emit_lit st person.iri (ub "name") person.local;
+  emit_lit st person.iri (ub "emailAddress")
+    (Printf.sprintf "%s@Department%d.University%d.edu" person.local dept univ);
+  emit_lit st person.iri (ub "telephone")
+    (Printf.sprintf "%03d-%03d-%04d" (Rng.int st.rng 1000) (Rng.int st.rng 1000)
+       (Rng.int st.rng 10000))
+
+let generate config =
+  let st = { rng = Rng.create ~seed:config.seed; triples = []; config } in
+  for u = 0 to config.universities - 1 do
+    let univ = university_iri u in
+    emit_iri st univ rdf_type (ub "University");
+    emit_lit st univ (ub "name") (Printf.sprintf "University%d" u);
+    (* University 0 hosts the benchmark query constants: guarantee at
+       least 15 departments there. *)
+    let ndepts =
+      if u = 0 then max 15 (Rng.between st.rng 15 25)
+      else Rng.between st.rng 15 25
+    in
+    for d = 0 to ndepts - 1 do
+      let dept = department_iri ~univ:u ~dept:d in
+      emit_iri st dept rdf_type (ub "Department");
+      emit_iri st dept (ub "subOrganizationOf") univ;
+      emit_lit st dept (ub "name") (Printf.sprintf "Department%d" d);
+      (* Research groups. *)
+      let ngroups = scaled_count st ~floor:1 10 20 in
+      for g = 0 to ngroups - 1 do
+        let group = Printf.sprintf "%s/ResearchGroup%d" dept g in
+        emit_iri st group rdf_type (ub "ResearchGroup");
+        emit_iri st group (ub "subOrganizationOf") dept
+      done;
+      (* Faculty, per LUBM's rank ratios. *)
+      (* Rank, count, has a doctorate, publication range. Only full
+         professors carry doctoralDegreeFrom, which keeps the alumni
+         fan-in per university (the v4 factor of q1.1) at the magnitude
+         the paper's result sizes imply. *)
+      let ranks =
+        [
+          ("FullProfessor", scaled_count st ~floor:1 7 10, true, (3, 6));
+          ("AssociateProfessor", scaled_count st ~floor:1 10 14, false, (2, 4));
+          ("AssistantProfessor", scaled_count st ~floor:1 8 11, false, (1, 3));
+          ("Lecturer", scaled_count st ~floor:1 5 7, false, (0, 1));
+        ]
+      in
+      let course_counter = ref 0 in
+      let grad_course_counter = ref 0 in
+      let fresh_course graduate =
+        let kind, counter =
+          if graduate then ("GraduateCourse", grad_course_counter)
+          else ("Course", course_counter)
+        in
+        let course = Printf.sprintf "%s/%s%d" dept kind !counter in
+        incr counter;
+        emit_iri st course rdf_type (ub kind);
+        course
+      in
+      let faculty = ref [] in
+      let professors = ref [] in
+      List.iter
+        (fun (rank, count, has_doctorate, pub_range) ->
+          for i = 0 to count - 1 do
+            let local = Printf.sprintf "%s%d" rank i in
+            let person = { iri = Printf.sprintf "%s/%s" dept local; local } in
+            emit_iri st person.iri rdf_type (ub rank);
+            emit_iri st person.iri (ub "worksFor") dept;
+            person_attributes st ~dept_iri:dept ~univ:u ~dept:d person;
+            emit_iri st person.iri (ub "undergraduateDegreeFrom")
+              (random_university st);
+            emit_iri st person.iri (ub "mastersDegreeFrom") (random_university st);
+            emit_lit st person.iri (ub "researchInterest")
+              (Printf.sprintf "Research%d" (Rng.int st.rng 30));
+            if has_doctorate then
+              emit_iri st person.iri (ub "doctoralDegreeFrom")
+                (random_university st);
+            (* Teaching load: 1-2 courses; professors may teach graduate
+               courses. *)
+            let ncourses = Rng.between st.rng 1 2 in
+            let taught = ref [] in
+            for _ = 1 to ncourses do
+              let course = fresh_course (has_doctorate && Rng.chance st.rng 0.4) in
+              emit_iri st person.iri (ub "teacherOf") course;
+              taught := course :: !taught
+            done;
+            faculty := (person, !taught, pub_range) :: !faculty;
+            if has_doctorate then professors := person :: !professors
+          done)
+        ranks;
+      let faculty = List.rev !faculty in
+      let professors = Array.of_list (List.rev !professors) in
+      (* Department head: the first full professor. *)
+      emit_iri st (Printf.sprintf "%s/FullProfessor0" dept) (ub "headOf") dept;
+      let faculty_total = List.length faculty in
+      (* Undergraduate students; University 0 gets a floor so the query
+         constants (UndergraduateStudent363 in Department1, the q1.4 email
+         in Department12) always exist. *)
+      let undergrad_ratio = Rng.between st.rng 8 14 in
+      let nundergrads =
+        let n =
+          int_of_float
+            (Float.round
+               (float_of_int (faculty_total * undergrad_ratio) *. config.density))
+        in
+        if u = 0 then max 380 n else max 4 n
+      in
+      let undergrad_courses =
+        Array.init (max 1 !course_counter) (fun i ->
+            Printf.sprintf "%s/Course%d" dept i)
+      in
+      let grad_courses =
+        Array.init (max 1 !grad_course_counter) (fun i ->
+            Printf.sprintf "%s/GraduateCourse%d" dept i)
+      in
+      let undergrads = Array.make nundergrads "" in
+      for i = 0 to nundergrads - 1 do
+        let local = Printf.sprintf "UndergraduateStudent%d" i in
+        let person = { iri = Printf.sprintf "%s/%s" dept local; local } in
+        undergrads.(i) <- person.iri;
+        emit_iri st person.iri rdf_type (ub "UndergraduateStudent");
+        emit_iri st person.iri (ub "memberOf") dept;
+        person_attributes st ~dept_iri:dept ~univ:u ~dept:d person;
+        let ntaken = Rng.between st.rng 2 4 in
+        for _ = 1 to ntaken do
+          emit_iri st person.iri (ub "takesCourse")
+            (Rng.pick st.rng undergrad_courses)
+        done;
+        if Rng.chance st.rng 0.2 && Array.length professors > 0 then
+          emit_iri st person.iri (ub "advisor") (Rng.pick st.rng professors).iri
+      done;
+      (* Graduate students. *)
+      let ngrads =
+        max 2
+          (int_of_float
+             (Float.round
+                (float_of_int (faculty_total * Rng.between st.rng 3 4)
+                *. config.density)))
+      in
+      let grads = Array.make ngrads "" in
+      for i = 0 to ngrads - 1 do
+        let local = Printf.sprintf "GraduateStudent%d" i in
+        let person = { iri = Printf.sprintf "%s/%s" dept local; local } in
+        grads.(i) <- person.iri;
+        emit_iri st person.iri rdf_type (ub "GraduateStudent");
+        emit_iri st person.iri (ub "memberOf") dept;
+        person_attributes st ~dept_iri:dept ~univ:u ~dept:d person;
+        emit_iri st person.iri (ub "undergraduateDegreeFrom")
+          (random_university st);
+        if Array.length professors > 0 then
+          emit_iri st person.iri (ub "advisor") (Rng.pick st.rng professors).iri;
+        let ntaken = Rng.between st.rng 1 3 in
+        for _ = 1 to ntaken do
+          emit_iri st person.iri (ub "takesCourse") (Rng.pick st.rng grad_courses)
+        done;
+        if Rng.chance st.rng 0.25 then
+          emit_iri st person.iri (ub "teachingAssistantOf")
+            (Rng.pick st.rng undergrad_courses)
+      done;
+      (* Publications: authored by faculty, co-authored by graduate
+         students. *)
+      List.iter
+        (fun (person, _, (pub_lo, pub_hi)) ->
+          let npubs = scaled_count st ~floor:0 pub_lo pub_hi in
+          for i = 0 to npubs - 1 do
+            let pub = Printf.sprintf "%s/Publication%d" person.iri i in
+            emit_iri st pub rdf_type (ub "Publication");
+            emit_lit st pub (ub "name") (Printf.sprintf "Publication%d" i);
+            emit_iri st pub (ub "publicationAuthor") person.iri;
+            let ncoauthors = Rng.int st.rng 3 in
+            for _ = 1 to ncoauthors do
+              if Array.length grads > 0 then
+                emit_iri st pub (ub "publicationAuthor") (Rng.pick st.rng grads)
+            done
+          done)
+        faculty;
+      ignore undergrads
+    done
+  done;
+  List.rev st.triples
+
+let store config = Rdf_store.Triple_store.of_triples (generate config)

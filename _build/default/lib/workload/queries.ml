@@ -1,0 +1,306 @@
+type dataset = Lubm | Dbpedia
+
+let dataset_name = function Lubm -> "LUBM" | Dbpedia -> "DBpedia"
+
+type entry = { id : string; group : int; text : string }
+
+let lubm_prefixes =
+  "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n\
+   PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+
+let dbpedia_prefixes =
+  "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n\
+   PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n\
+   PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+   PREFIX purl: <http://purl.org/dc/terms/>\n\
+   PREFIX skos: <http://www.w3.org/2004/02/skos/core#>\n\
+   PREFIX nsprov: <http://www.w3.org/ns/prov#>\n\
+   PREFIX owl: <http://www.w3.org/2002/07/owl#>\n\
+   PREFIX dbo: <http://dbpedia.org/ontology/>\n\
+   PREFIX dbr: <http://dbpedia.org/resource/>\n\
+   PREFIX dbp: <http://dbpedia.org/property/>\n\
+   PREFIX geo: <http://www.w3.org/2003/01/geo/wgs84_pos#>\n\
+   PREFIX georss: <http://www.georss.org/georss/>\n"
+
+(* ---------------------------- LUBM ------------------------------------ *)
+
+(* Listing 2 — verbatim. *)
+let lubm_q1_1 =
+  {|SELECT * WHERE {
+  { ?v2 ub:headOf ?v1. } UNION { ?v2 ub:worksFor ?v1. }
+  ?v2 ub:undergraduateDegreeFrom ?v3.
+  ?v4 ub:doctoralDegreeFrom ?v3.
+  ?v5 ub:publicationAuthor ?v2.
+  { ?v6 ub:headOf ?v1. } UNION { ?v6 ub:worksFor ?v1. }
+  { ?v2 ub:headOf ?v7. } UNION { ?v2 ub:worksFor ?v7. }
+  <http://www.Department0.University0.edu/UndergraduateStudent91> ub:memberOf ?v1.
+  ?v7 ub:name ?v8. }|}
+
+(* Listing 3 is illegible in the source; reconstructed as the "special
+   case" Section 7.1 describes: a single low-selectivity BGP followed by
+   OPTIONALs (type O, large result, TT ≈ CP). *)
+let lubm_q1_2 =
+  {|SELECT * WHERE {
+  ?v1 ub:memberOf ?v2.
+  OPTIONAL { ?v1 ub:emailAddress ?v3. }
+  OPTIONAL { ?v1 ub:advisor ?v4. }
+}|}
+
+(* Listing 4 — verbatim modulo the one OCR-lost predicate on line 2
+   (restored as takesCourse: ?v1 must be a course for
+   teachingAssistantOf). *)
+let lubm_q1_3 =
+  {|SELECT * WHERE {
+  <http://www.Department1.University0.edu/UndergraduateStudent363> ub:takesCourse ?v1.
+  OPTIONAL { ?v2 ub:teachingAssistantOf ?v1.
+    OPTIONAL { ?v2 ub:memberOf ?v3.
+      ?v4 ub:subOrganizationOf ?v3.
+      ?v4 ub:subOrganizationOf ?v5.
+      ?v4 rdf:type ?v6.
+      OPTIONAL { ?v5 ub:subOrganizationOf ?v7. } } } }|}
+
+(* Listing 5 — verbatim. *)
+let lubm_q1_4 =
+  {|SELECT * WHERE {
+  ?v1 ub:emailAddress "UndergraduateStudent309@Department12.University0.edu".
+  OPTIONAL { ?v1 ub:memberOf ?v2. ?v2 ub:name ?v3.
+    OPTIONAL { ?v5 ub:publicationAuthor ?v4. ?v4 ub:worksFor ?v2.
+      OPTIONAL { ?v6 ub:publicationAuthor ?v4. } } } }|}
+
+(* Listing 6 is illegible; reconstructed per Section 7.1: UO query where
+   TT and CP are jointly effective — a selective department head anchors
+   candidate pruning while the UNION admits a merge. *)
+let lubm_q1_5 =
+  {|SELECT * WHERE {
+  ?v1 ub:headOf ?v2.
+  { ?v1 ub:undergraduateDegreeFrom ?v3. } UNION { ?v1 ub:mastersDegreeFrom ?v3. }
+  OPTIONAL { ?v4 ub:advisor ?v1. ?v4 ub:memberOf ?v2.
+    OPTIONAL { ?v4 ub:takesCourse ?v5. ?v1 ub:teacherOf ?v5. } } }|}
+
+(* Listing 7 is illegible; reconstructed per Section 7.1: a
+   high-selectivity BGP (lines 1-2) and a relatively low-selectivity BGP,
+   then a mergeable UNION and OPTIONALs that candidate pruning
+   accelerates. *)
+let lubm_q1_6 =
+  {|SELECT * WHERE {
+  ?v1 ub:worksFor <http://www.Department0.University0.edu>.
+  ?v2 ub:publicationAuthor ?v1.
+  { ?v1 ub:undergraduateDegreeFrom ?v3. } UNION { ?v1 ub:doctoralDegreeFrom ?v3. }
+  OPTIONAL { ?v1 ub:teacherOf ?v4.
+    OPTIONAL { ?v5 ub:takesCourse ?v4. ?v5 ub:emailAddress ?v6. } }
+  OPTIONAL { ?v2 ub:name ?v7. } }|}
+
+(* Listing 8 is partially illegible; reconstructed in the q2.1-q2.3
+   family: nested group graph patterns, each a low-selectivity BGP plus an
+   OPTIONAL with a single low-selectivity BGP child (LBR's GoSN shape). *)
+let lubm_q2_1 =
+  {|SELECT * WHERE {
+  { ?x rdf:type ub:GraduateStudent. ?x ub:memberOf ?dept.
+    OPTIONAL { ?x ub:emailAddress ?email. ?x ub:telephone ?tel. } }
+  { ?dept ub:subOrganizationOf ?univ.
+    OPTIONAL { ?univ ub:name ?uname. } }
+  { ?x ub:advisor ?prof. ?prof ub:worksFor ?dept.
+    OPTIONAL { ?prof ub:researchInterest ?ri. } } }|}
+
+(* Listing 9 — verbatim. *)
+let lubm_q2_2 =
+  {|SELECT * WHERE {
+  { ?pub rdf:type ub:Publication. ?pub ub:publicationAuthor ?st.
+    ?pub ub:publicationAuthor ?prof.
+    OPTIONAL { ?st ub:emailAddress ?ste. ?st ub:telephone ?sttel. } }
+  { ?st ub:undergraduateDegreeFrom ?univ. ?dept ub:subOrganizationOf ?univ.
+    OPTIONAL { ?head ub:headOf ?dept. ?others ub:worksFor ?dept. } }
+  { ?st ub:memberOf ?dept. ?prof ub:worksFor ?dept.
+    OPTIONAL { ?prof ub:doctoralDegreeFrom ?univ1.
+      ?prof ub:researchInterest ?resint1. } } }|}
+
+(* Listing 10 is illegible; reconstructed in the same family. *)
+let lubm_q2_3 =
+  {|SELECT * WHERE {
+  { ?pub ub:publicationAuthor ?st. ?st ub:memberOf ?dept.
+    OPTIONAL { ?pub ub:name ?pname. } }
+  { ?dept ub:subOrganizationOf ?univ.
+    OPTIONAL { ?dept ub:name ?dname. } } }|}
+
+(* Listings 11-13 — verbatim. *)
+let lubm_q2_4 =
+  {|SELECT * WHERE {
+  ?x ub:worksFor <http://www.Department0.University0.edu>.
+  ?x rdf:type ub:FullProfessor.
+  OPTIONAL { ?y ub:advisor ?x. ?x ub:teacherOf ?z. ?y ub:takesCourse ?z. } }|}
+
+let lubm_q2_5 =
+  {|SELECT * WHERE {
+  ?x ub:worksFor <http://www.Department0.University12.edu>.
+  ?x rdf:type ub:FullProfessor.
+  OPTIONAL { ?y ub:advisor ?x. ?x ub:teacherOf ?z. ?y ub:takesCourse ?z. } }|}
+
+let lubm_q2_6 =
+  {|SELECT * WHERE {
+  ?x ub:worksFor <http://www.Department0.University12.edu>.
+  ?x rdf:type ub:FullProfessor.
+  OPTIONAL { ?x ub:emailAddress ?y1. ?x ub:telephone ?y2. ?x ub:name ?y3. } }|}
+
+(* --------------------------- DBpedia ---------------------------------- *)
+
+(* Listing 15 — verbatim. *)
+let dbpedia_q1_1 =
+  {|SELECT * WHERE {
+  { ?v3 rdfs:label ?v7. } UNION { ?v3 foaf:name ?v7. }
+  { ?v1 purl:subject ?v3. } UNION { ?v3 skos:subject ?v1. }
+  ?v3 rdfs:label ?v4.
+  ?v5 nsprov:wasDerivedFrom ?v2.
+  ?v1 owl:sameAs ?v6.
+  ?v1 dbo:wikiPageWikiLink dbr:Economic_system.
+  ?v1 nsprov:wasDerivedFrom ?v2. }|}
+
+(* Listing 16 — verbatim. *)
+let dbpedia_q1_2 =
+  {|SELECT * WHERE {
+  { ?v3 purl:subject ?v5. OPTIONAL { ?v5 rdfs:label ?v6. } }
+  UNION
+  { ?v5 skos:subject ?v3. OPTIONAL { ?v5 foaf:name ?v6. } }
+  ?v1 dbo:wikiPageWikiLink dbr:Economic_system.
+  ?v1 nsprov:wasDerivedFrom ?v2.
+  ?v3 dbo:wikiPageWikiLink ?v4.
+  ?v3 nsprov:wasDerivedFrom ?v2. }|}
+
+(* Listing 17 — verbatim. *)
+let dbpedia_q1_3 =
+  {|SELECT * WHERE {
+  dbr:Air_masses foaf:isPrimaryTopicOf ?v1.
+  ?v2 foaf:isPrimaryTopicOf ?v1.
+  OPTIONAL {
+    ?v2 dbo:wikiPageRedirects ?v3. ?v4 foaf:primaryTopic ?v2.
+    OPTIONAL {
+      ?v5 dbo:wikiPageWikiLink ?v3.
+      OPTIONAL { ?v6 dbo:wikiPageRedirects ?v5.
+        OPTIONAL { ?v6 dbo:wikiPageWikiLink ?v7. } } } } }|}
+
+(* Listing 18 is partially illegible; reconstructed per Section 7.1's
+   CP-effective shape: selective anchor, nested low-selectivity
+   OPTIONALs. *)
+let dbpedia_q1_4 =
+  {|SELECT * WHERE {
+  ?v1 dbo:wikiPageWikiLink dbr:Air_masses.
+  OPTIONAL { ?v1 foaf:name ?v2.
+    OPTIONAL { ?v5 dbo:wikiPageWikiLink ?v1.
+      OPTIONAL { ?v5 rdfs:comment ?v6.
+        OPTIONAL { ?v5 owl:sameAs ?v7. } } } } }|}
+
+(* Listing 19 is illegible; reconstructed per Section 7.1: UO with a
+   selective anchor, a mergeable UNION and nested OPTIONALs. *)
+let dbpedia_q1_5 =
+  {|SELECT * WHERE {
+  ?v1 rdf:type dbo:PopulatedPlace.
+  ?v1 dbo:wikiPageWikiLink dbr:Economic_system.
+  { ?v1 purl:subject ?v2. } UNION { ?v1 skos:subject ?v2. }
+  ?v2 rdfs:label ?v5.
+  OPTIONAL { ?v3 dbo:wikiPageWikiLink ?v1.
+    OPTIONAL { ?v3 rdfs:label ?v4. } } }|}
+
+(* Listing 20 is illegible; reconstructed per Section 7.1: UO where TT
+   and CP are jointly effective. *)
+let dbpedia_q1_6 =
+  {|SELECT * WHERE {
+  ?v0 rdf:type dbo:Company.
+  ?v0 dbo:wikiPageWikiLink dbr:Economic_system.
+  { ?v0 rdfs:label ?v1. } UNION { ?v0 foaf:name ?v1. }
+  { ?v0 purl:subject ?v2. } UNION { ?v0 skos:subject ?v2. }
+  OPTIONAL { ?v0 dbp:location ?v3. ?v3 rdfs:label ?v4. }
+  OPTIONAL { ?v5 dbp:manufacturer ?v0.
+    OPTIONAL { ?v5 rdfs:label ?v6. } } }|}
+
+(* Listing 21 — verbatim. *)
+let dbpedia_q2_1 =
+  {|SELECT * WHERE {
+  { ?v6 a dbo:PopulatedPlace. ?v6 dbo:abstract ?v1.
+    ?v6 rdfs:label ?v2. ?v6 geo:lat ?v3. ?v6 geo:long ?v4.
+    OPTIONAL { ?v6 foaf:depiction ?v8. } }
+  OPTIONAL { ?v6 foaf:homepage ?v10. }
+  OPTIONAL { ?v6 dbo:populationTotal ?v12. }
+  OPTIONAL { ?v6 dbo:thumbnail ?v14. } }|}
+
+(* Listing 22 is partially illegible; reconstructed in the q2.1-q2.3
+   family (low-selectivity BGPs with OPTIONAL attribute fetches). *)
+let dbpedia_q2_2 =
+  {|SELECT * WHERE {
+  ?v0 rdfs:label ?v1. ?v0 rdf:type dbo:Person.
+  OPTIONAL { ?v0 foaf:name ?v2. ?v0 foaf:homepage ?v3. } }|}
+
+(* Listing 23 — verbatim. *)
+let dbpedia_q2_3 =
+  {|SELECT * WHERE {
+  ?v5 dbo:thumbnail ?v4. ?v5 rdf:type dbo:Person. ?v5 rdfs:label ?v.
+  ?v5 foaf:homepage ?v8.
+  OPTIONAL { ?v5 foaf:homepage ?v10. } }|}
+
+(* Listing 24 is illegible; reconstructed per Section 7.2: simple, a
+   high-selectivity BGP followed by an OPTIONAL. *)
+let dbpedia_q2_4 =
+  {|SELECT * WHERE {
+  ?v0 dbo:wikiPageWikiLink dbr:Economic_system. ?v0 rdf:type dbo:Company.
+  OPTIONAL { ?v0 dbp:industry ?v1. ?v0 dbp:location ?v2. } }|}
+
+(* Listing 25 — verbatim. *)
+let dbpedia_q2_5 =
+  {|SELECT * WHERE {
+  ?v4 skos:subject ?v. ?v4 foaf:name ?v6.
+  OPTIONAL { ?v4 rdfs:comment ?v8. } }|}
+
+(* Listing 26 — verbatim. *)
+let dbpedia_q2_6 =
+  {|SELECT * WHERE {
+  ?v0 rdfs:comment ?v1. ?v0 foaf:page ?v.
+  OPTIONAL { ?v0 skos:subject ?v6. }
+  OPTIONAL { ?v0 dbp:industry ?v5. }
+  OPTIONAL { ?v0 dbp:location ?v2. }
+  OPTIONAL { ?v0 dbp:locationCountry ?v3. }
+  OPTIONAL { ?v0 dbp:locationCity ?v9. ?a dbp:manufacturer ?v0. }
+  OPTIONAL { ?v0 dbp:products ?v11. ?b dbp:model ?v0. }
+  OPTIONAL { ?v0 georss:point ?v10. }
+  OPTIONAL { ?v0 rdf:type ?v7. } }|}
+
+let make prefixes id group body = { id; group; text = prefixes ^ body }
+
+let lubm_entries =
+  [
+    make lubm_prefixes "q1.1" 1 lubm_q1_1;
+    make lubm_prefixes "q1.2" 1 lubm_q1_2;
+    make lubm_prefixes "q1.3" 1 lubm_q1_3;
+    make lubm_prefixes "q1.4" 1 lubm_q1_4;
+    make lubm_prefixes "q1.5" 1 lubm_q1_5;
+    make lubm_prefixes "q1.6" 1 lubm_q1_6;
+    make lubm_prefixes "q2.1" 2 lubm_q2_1;
+    make lubm_prefixes "q2.2" 2 lubm_q2_2;
+    make lubm_prefixes "q2.3" 2 lubm_q2_3;
+    make lubm_prefixes "q2.4" 2 lubm_q2_4;
+    make lubm_prefixes "q2.5" 2 lubm_q2_5;
+    make lubm_prefixes "q2.6" 2 lubm_q2_6;
+  ]
+
+let dbpedia_entries =
+  [
+    make dbpedia_prefixes "q1.1" 1 dbpedia_q1_1;
+    make dbpedia_prefixes "q1.2" 1 dbpedia_q1_2;
+    make dbpedia_prefixes "q1.3" 1 dbpedia_q1_3;
+    make dbpedia_prefixes "q1.4" 1 dbpedia_q1_4;
+    make dbpedia_prefixes "q1.5" 1 dbpedia_q1_5;
+    make dbpedia_prefixes "q1.6" 1 dbpedia_q1_6;
+    make dbpedia_prefixes "q2.1" 2 dbpedia_q2_1;
+    make dbpedia_prefixes "q2.2" 2 dbpedia_q2_2;
+    make dbpedia_prefixes "q2.3" 2 dbpedia_q2_3;
+    make dbpedia_prefixes "q2.4" 2 dbpedia_q2_4;
+    make dbpedia_prefixes "q2.5" 2 dbpedia_q2_5;
+    make dbpedia_prefixes "q2.6" 2 dbpedia_q2_6;
+  ]
+
+let all = function Lubm -> lubm_entries | Dbpedia -> dbpedia_entries
+
+let get ds id =
+  match List.find_opt (fun entry -> entry.id = id) (all ds) with
+  | Some entry -> entry
+  | None -> raise Not_found
+
+let group1 ds = List.filter (fun entry -> entry.group = 1) (all ds)
+let group2 ds = List.filter (fun entry -> entry.group = 2) (all ds)

@@ -1,0 +1,30 @@
+(** The paper's benchmark queries (Appendix A): q1.1–q1.6 (the SPARQL-UO
+    mini-benchmark of Section 7.1) and q2.1–q2.6 (the LBR comparison
+    workload of Section 7.2) on each dataset.
+
+    Queries whose appendix listing is fully legible in the source are
+    reproduced verbatim; the rest are reconstructed to match their
+    documented structure (operator mix, BGP count and depth from Tables
+    3–4, and the selectivity category assigned in Section 7.1's analysis).
+    Reconstruction notes live in EXPERIMENTS.md. *)
+
+type dataset = Lubm | Dbpedia
+
+val dataset_name : dataset -> string
+
+type entry = {
+  id : string;  (** "q1.1" … "q2.6" *)
+  group : int;  (** 1 = Section 7.1 benchmark, 2 = LBR workload *)
+  text : string;  (** full SPARQL text with PREFIX header *)
+}
+
+(** [all ds] — the twelve queries of [ds], q1.1–q1.6 then q2.1–q2.6. *)
+val all : dataset -> entry list
+
+(** [get ds id] — a query by id. Raises [Not_found]. *)
+val get : dataset -> string -> entry
+
+(** [group1 ds] / [group2 ds] — the two workload halves. *)
+val group1 : dataset -> entry list
+
+val group2 : dataset -> entry list

@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* splitmix64 *)
+let next_int64 rng =
+  rng.state <- Int64.add rng.state 0x9E3779B97F4A7C15L;
+  let z = rng.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int rng bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Mask to a non-negative OCaml int: Int64.to_int keeps the low 63 bits,
+     so bit 62 of the raw value would otherwise become the sign bit. *)
+  let raw = Int64.to_int (next_int64 rng) land max_int in
+  raw mod bound
+
+let between rng lo hi =
+  if hi < lo then invalid_arg "Rng.between: hi < lo";
+  lo + int rng (hi - lo + 1)
+
+let float rng =
+  let raw = Int64.to_float (Int64.shift_right_logical (next_int64 rng) 11) in
+  raw /. 9007199254740992. (* 2^53 *)
+
+let chance rng p = float rng < p
+
+(* Cached cumulative weights per (n, skew). *)
+let zipf_tables : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+
+let zipf_table n skew =
+  match Hashtbl.find_opt zipf_tables (n, skew) with
+  | Some table -> table
+  | None ->
+      let weights = Array.init n (fun i -> 1. /. ((float_of_int i +. 1.) ** skew)) in
+      let cumulative = Array.make n 0. in
+      let total = ref 0. in
+      Array.iteri
+        (fun i w ->
+          total := !total +. w;
+          cumulative.(i) <- !total)
+        weights;
+      Array.iteri (fun i c -> cumulative.(i) <- c /. !total) cumulative;
+      Hashtbl.add zipf_tables (n, skew) cumulative;
+      cumulative
+
+let zipf rng ~n ~skew =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  let table = zipf_table n skew in
+  let u = float rng in
+  (* Binary search for the first cumulative weight >= u. *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if table.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let pick rng arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int rng (Array.length arr))

@@ -1,0 +1,27 @@
+(** A small deterministic PRNG (splitmix64) so generated datasets are
+    reproducible across runs and platforms — the generators never touch
+    [Random]. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [int rng bound] — uniform in [0, bound). [bound] must be positive. *)
+val int : t -> int -> int
+
+(** [between rng lo hi] — uniform in [lo, hi] inclusive. *)
+val between : t -> int -> int -> int
+
+(** [float rng] — uniform in [0, 1). *)
+val float : t -> float
+
+(** [chance rng p] — true with probability [p]. *)
+val chance : t -> float -> bool
+
+(** [zipf rng ~n ~skew] — a Zipf-distributed rank in [0, n), computed by
+    inverse-CDF over precomputed weights; heavier [skew] concentrates mass
+    on low ranks. The distribution table is cached per (n, skew). *)
+val zipf : t -> n:int -> skew:float -> int
+
+(** [pick rng arr] — uniform element of a non-empty array. *)
+val pick : t -> 'a array -> 'a

@@ -1,0 +1,1 @@
+test/qgen.ml: Array Engine List Printf QCheck2 Rdf Sparql Sparql_uo String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Engine List Option Printf QCheck2 QCheck_alcotest Qgen Rdf Rdf_store Sparql Sparql_uo Workload

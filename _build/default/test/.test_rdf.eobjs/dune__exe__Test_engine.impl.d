@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Engine Hashtbl List Option QCheck2 QCheck_alcotest Qgen Rdf Rdf_store Sparql

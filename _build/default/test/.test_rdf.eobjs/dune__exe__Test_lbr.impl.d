@@ -1,0 +1,1 @@
+test/test_lbr.ml: Alcotest Engine Lbr List QCheck2 QCheck_alcotest Qgen Rdf_store Sparql Sparql_uo Workload

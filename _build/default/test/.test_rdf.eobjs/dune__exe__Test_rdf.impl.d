@@ -1,0 +1,1 @@
+test/test_rdf.ml: Alcotest Filename Fun List Option Printf Rdf String Sys

@@ -1,0 +1,1 @@
+test/test_sparql.ml: Alcotest Array Format List Printf QCheck2 QCheck_alcotest Rdf Sparql Workload

@@ -1,0 +1,1 @@
+test/test_sparql11.ml: Alcotest Buffer List Option Printf QCheck2 QCheck_alcotest Rdf Rdf_store Sparql Sparql_uo String

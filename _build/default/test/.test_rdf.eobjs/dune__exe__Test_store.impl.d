@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Bytes Char Filename Fun In_channel List Option Out_channel Printf QCheck2 QCheck_alcotest Rdf Rdf_store String Sys

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Hashtbl Lazy List Option Rdf Rdf_store Sparql Workload

@@ -1,0 +1,186 @@
+(* Shared qcheck generators for the engine/core/LBR property tests: random
+   small RDF datasets and random SPARQL-UO queries over their vocabulary,
+   plus the Definition-7 oracle to compare engines against. *)
+
+module TP = Sparql.Triple_pattern
+
+let iri i = Rdf.Term.iri (Printf.sprintf "http://t/e%d" i)
+let pred i = Rdf.Term.iri (Printf.sprintf "http://t/p%d" i)
+
+(* Datasets draw subjects/objects from a small universe so random patterns
+   actually join. *)
+let gen_dataset =
+  QCheck2.Gen.(
+    list_size (int_range 1 40)
+      (map3
+         (fun s p o -> Rdf.Triple.make (iri s) (pred p) (iri o))
+         (int_range 0 5) (int_range 0 2) (int_range 0 5)))
+
+let var_names = [| "a"; "b"; "c"; "d" |]
+
+let gen_node =
+  QCheck2.Gen.(
+    frequency
+      [
+        (3, map (fun i -> TP.Var var_names.(i)) (int_range 0 3));
+        (2, map (fun i -> TP.Term (iri i)) (int_range 0 5));
+      ])
+
+let gen_pred_node =
+  QCheck2.Gen.(
+    frequency
+      [
+        (1, map (fun i -> TP.Var var_names.(i)) (int_range 0 3));
+        (5, map (fun i -> TP.Term (pred i)) (int_range 0 2));
+      ])
+
+let gen_triple_pattern =
+  QCheck2.Gen.(
+    map3 (fun s p o -> TP.make s p o) gen_node gen_pred_node gen_node)
+
+let gen_triples_block =
+  QCheck2.Gen.(
+    map (fun tps -> Sparql.Ast.Triples tps)
+      (list_size (int_range 1 3) gen_triple_pattern))
+
+(* FILTER expressions over the same vocabulary: Bound, (in)equality and
+   EXISTS cover the evaluator's group-filter paths. *)
+let gen_filter =
+  QCheck2.Gen.(
+    map
+      (fun (kind, v, w, i) ->
+        let var = Sparql.Expr.Var var_names.(v) in
+        let other =
+          if w < 4 then Sparql.Expr.Var var_names.(w)
+          else Sparql.Expr.Const (iri i)
+        in
+        let expr =
+          match kind with
+          | 0 -> Sparql.Expr.Cmp (Sparql.Expr.Ceq, var, other)
+          | 1 -> Sparql.Expr.Cmp (Sparql.Expr.Cneq, var, other)
+          | 2 -> Sparql.Expr.Bound var_names.(v)
+          | 3 -> Sparql.Expr.Not (Sparql.Expr.Bound var_names.(v))
+          | 4 ->
+              Sparql.Expr.Exists
+                [ Sparql.Ast.Triples
+                    [ Sparql.Triple_pattern.make
+                        (Sparql.Triple_pattern.Var var_names.(v))
+                        (Sparql.Triple_pattern.Term (pred (i mod 3)))
+                        (Sparql.Triple_pattern.Var var_names.(w mod 4)) ] ]
+          | _ ->
+              Sparql.Expr.Not_exists
+                [ Sparql.Ast.Triples
+                    [ Sparql.Triple_pattern.make
+                        (Sparql.Triple_pattern.Var var_names.(v))
+                        (Sparql.Triple_pattern.Term (pred (i mod 3)))
+                        (Sparql.Triple_pattern.Term (iri i)) ] ]
+        in
+        Sparql.Ast.Filter expr)
+      (quad (int_range 0 5) (int_range 0 3) (int_range 0 5) (int_range 0 5)))
+
+(* VALUES blocks over the shared vocabulary (with occasional UNDEF). *)
+let gen_values =
+  QCheck2.Gen.(
+    map
+      (fun (v1, v2, cells) ->
+        let vars =
+          if v1 = v2 then [ var_names.(v1) ]
+          else [ var_names.(v1); var_names.(v2) ]
+        in
+        let arity = List.length vars in
+        let rec rows cells acc =
+          match cells with
+          | a :: b :: rest when arity = 2 ->
+              rows rest ((a :: [ b ]) :: acc)
+          | a :: rest when arity = 1 -> rows rest ([ a ] :: acc)
+          | _ -> acc
+        in
+        let cell i = if i > 5 then None else Some (iri i) in
+        let rows = rows (List.map cell cells) [] in
+        let rows = if rows = [] then [ List.map (fun _ -> None) vars ] else rows in
+        Sparql.Ast.Values { Sparql.Ast.vars; rows })
+      (triple (int_range 0 3) (int_range 0 3)
+         (list_size (int_range 2 6) (int_range 0 7))))
+
+(* Random group graph patterns, with UNION / OPTIONAL / FILTER / nesting,
+   bounded by a fuel parameter. *)
+let rec gen_group fuel =
+  let open QCheck2.Gen in
+  if fuel <= 0 then map (fun b -> [ b ]) gen_triples_block
+  else
+    let element =
+      frequency
+        [
+          (4, gen_triples_block);
+          ( 2,
+            map (fun g -> Sparql.Ast.Optional g) (gen_group (fuel - 1)) );
+          ( 2,
+            map2
+              (fun g1 g2 -> Sparql.Ast.Union [ g1; g2 ])
+              (gen_group (fuel - 1))
+              (gen_group (fuel - 1)) );
+          (1, map (fun g -> Sparql.Ast.Group g) (gen_group (fuel - 1)));
+          (1, map (fun g -> Sparql.Ast.Minus g) (gen_group (fuel - 1)));
+          (1, gen_filter);
+          (1, gen_values);
+        ]
+    in
+    list_size (int_range 1 3) element
+
+let gen_query =
+  QCheck2.Gen.(
+    map
+      (fun g ->
+        {
+          Sparql.Ast.env = Rdf.Namespace.with_defaults ();
+          form = Sparql.Ast.Select Sparql.Ast.Star;
+          distinct = false;
+          where = g;
+          group_by = [];
+          having = None;
+          order_by = [];
+          limit = None;
+          offset = None;
+        })
+      (gen_group 2))
+
+(* AND/OPTIONAL-only groups in LBR's normalized shape (triples blocks and
+   OPTIONAL children only — the well-designed fragment LBR targets). *)
+let rec gen_wd_group fuel =
+  let open QCheck2.Gen in
+  if fuel <= 0 then map (fun b -> [ b ]) gen_triples_block
+  else
+    map2
+      (fun block optionals -> block :: optionals)
+      gen_triples_block
+      (list_size (int_range 0 2)
+         (map (fun g -> Sparql.Ast.Optional g) (gen_wd_group (fuel - 1))))
+
+let gen_wd_query =
+  QCheck2.Gen.(
+    map
+      (fun g ->
+        {
+          Sparql.Ast.env = Rdf.Namespace.with_defaults ();
+          form = Sparql.Ast.Select Sparql.Ast.Star;
+          distinct = false;
+          where = g;
+          group_by = [];
+          having = None;
+          order_by = [];
+          limit = None;
+          offset = None;
+        })
+      (gen_wd_group 2))
+
+(* The Definition 7 oracle. *)
+let oracle store (query : Sparql.Ast.query) =
+  let vartable = Sparql.Vartable.of_list (Sparql.Ast.group_vars query.where) in
+  let env = Engine.Bgp_eval.make store vartable Engine.Bgp_eval.Hash_join in
+  let bag, _ = Sparql_uo.Binary_eval.eval env (Sparql.Algebra.of_query query) in
+  (bag, vartable)
+
+let pp_query q = Sparql.Ast.to_string q
+
+let pp_dataset triples =
+  String.concat "" (List.map Rdf.Triple.to_ntriples triples)

@@ -1,0 +1,261 @@
+(* Tests for the engine library: coalescing (Definitions 3-5), compiled
+   patterns, the sampling planner, candidates, and the equivalence of the
+   two BGP engines against each other and a naive oracle. *)
+
+module TP = Sparql.Triple_pattern
+
+let v name = TP.Var name
+let c iri = TP.Term (Rdf.Term.iri iri)
+let iri = Qgen.iri
+let pred = Qgen.pred
+
+let tiny_store () =
+  Rdf_store.Triple_store.of_triples
+    [
+      Rdf.Triple.make (iri 0) (pred 0) (iri 1);
+      Rdf.Triple.make (iri 0) (pred 0) (iri 2);
+      Rdf.Triple.make (iri 1) (pred 1) (iri 2);
+      Rdf.Triple.make (iri 2) (pred 1) (iri 3);
+      Rdf.Triple.make (iri 3) (pred 0) (iri 0);
+    ]
+
+(* --- Bgp coalescing --------------------------------------------------------- *)
+
+let test_coalesce_components () =
+  let tp1 = TP.make (v "x") (c "p") (v "y") in
+  let tp2 = TP.make (v "y") (c "q") (v "z") in
+  let tp3 = TP.make (v "a") (c "p") (v "b") in
+  let components = Engine.Bgp.coalesce_maximal [ tp1; tp3; tp2 ] in
+  (* tp1 and tp2 connect through ?y; tp3 is separate. Components are
+     ordered by leftmost constituent: [tp1;tp2] first (tp1 at index 0). *)
+  Alcotest.(check int) "two components" 2 (List.length components);
+  Alcotest.(check bool) "first component = {tp1, tp2}" true
+    (List.nth components 0 = [ tp1; tp2 ]);
+  Alcotest.(check bool) "second component = {tp3}" true
+    (List.nth components 1 = [ tp3 ])
+
+let test_coalesce_transitive () =
+  (* a-b, b-c, c-d chain: one component despite no direct a-d edge. *)
+  let tps =
+    [
+      TP.make (v "a") (c "p") (v "b");
+      TP.make (v "b") (c "p") (v "c");
+      TP.make (v "c") (c "p") (v "d");
+    ]
+  in
+  Alcotest.(check int) "single chain component" 1
+    (List.length (Engine.Bgp.coalesce_maximal tps))
+
+let test_coalesce_predicate_var_ignored () =
+  (* Sharing a variable only at the predicate position must NOT coalesce
+     (Definition 3 looks at subject/object positions only). *)
+  let tps = [ TP.make (v "a") (v "p") (v "b"); TP.make (v "c") (v "p") (v "d") ] in
+  Alcotest.(check int) "not coalesced" 2
+    (List.length (Engine.Bgp.coalesce_maximal tps))
+
+let test_bgp_coalescable () =
+  let b1 = [ TP.make (v "x") (c "p") (v "y") ] in
+  let b2 = [ TP.make (v "z") (c "p") (v "w"); TP.make (v "y") (c "p") (v "q") ] in
+  Alcotest.(check bool) "coalescable via second pattern" true
+    (Engine.Bgp.coalescable b1 b2);
+  Alcotest.(check bool) "empty coalescable with nothing" false
+    (Engine.Bgp.coalescable [] b2)
+
+(* --- Compiled ----------------------------------------------------------------- *)
+
+let test_compile_missing_term () =
+  let store = tiny_store () in
+  let table = Sparql.Vartable.create () in
+  let compiled =
+    Engine.Compiled.compile store table (TP.make (c "http://absent") (c "p") (v "x"))
+  in
+  Alcotest.(check bool) "missing detected" true (Engine.Compiled.has_missing compiled);
+  Alcotest.(check int) "missing count 0" 0
+    (Engine.Compiled.exact_count store compiled)
+
+let test_compile_counts () =
+  let store = tiny_store () in
+  let table = Sparql.Vartable.create () in
+  let compiled =
+    Engine.Compiled.compile store table
+      (TP.make (v "s") (TP.Term (pred 0)) (v "o"))
+  in
+  Alcotest.(check int) "p0 count" 3 (Engine.Compiled.exact_count store compiled);
+  let row = Sparql.Binding.create ~width:(Sparql.Vartable.size table) in
+  let scol = Option.get (Sparql.Vartable.find table "s") in
+  row.(scol) <- Option.get (Rdf_store.Triple_store.encode_term store (iri 0));
+  Alcotest.(check int) "count with s bound" 2
+    (Engine.Compiled.count_with store compiled row)
+
+let test_var_columns_distinct () =
+  let table = Sparql.Vartable.create () in
+  let store = tiny_store () in
+  let compiled =
+    Engine.Compiled.compile store table (TP.make (v "x") (TP.Term (pred 0)) (v "x"))
+  in
+  Alcotest.(check int) "repeated var counted once" 1
+    (List.length (Engine.Compiled.var_columns compiled))
+
+(* --- Planner ------------------------------------------------------------------- *)
+
+let test_planner_empty () =
+  let store = tiny_store () in
+  let stats = Rdf_store.Stats.compute store in
+  let table = Sparql.Vartable.create () in
+  let plan = Engine.Planner.plan store stats table [] in
+  Alcotest.(check int) "no steps" 0 (List.length plan.Engine.Planner.steps);
+  Alcotest.(check (float 0.0001)) "unit card" 1. plan.Engine.Planner.result_card
+
+let test_planner_selective_first () =
+  let store = tiny_store () in
+  let stats = Rdf_store.Stats.compute store in
+  let table = Sparql.Vartable.create () in
+  (* p1 has 2 matches, p0 has 3: the plan should start with p1. *)
+  let patterns =
+    Engine.Compiled.compile_list store table
+      [
+        TP.make (v "x") (TP.Term (pred 0)) (v "y");
+        TP.make (v "y") (TP.Term (pred 1)) (v "z");
+      ]
+  in
+  let plan = Engine.Planner.plan store stats table patterns in
+  match plan.Engine.Planner.steps with
+  | first :: _ ->
+      Alcotest.(check int) "most selective first" 2 first.Engine.Planner.pattern_count
+  | [] -> Alcotest.fail "expected steps"
+
+let test_planner_single_pattern_exact () =
+  let store = tiny_store () in
+  let stats = Rdf_store.Stats.compute store in
+  let table = Sparql.Vartable.create () in
+  let patterns =
+    Engine.Compiled.compile_list store table
+      [ TP.make (v "x") (TP.Term (pred 0)) (v "y") ]
+  in
+  let plan = Engine.Planner.plan store stats table patterns in
+  Alcotest.(check (float 0.0001)) "single pattern cardinality exact" 3.
+    plan.Engine.Planner.result_card
+
+(* --- Candidates ------------------------------------------------------------------ *)
+
+let test_candidates () =
+  let values = Hashtbl.create 4 in
+  Hashtbl.replace values 1 ();
+  Hashtbl.replace values 2 ();
+  let cands = Engine.Candidates.set Engine.Candidates.empty ~col:0 values in
+  Alcotest.(check bool) "allows member" true (Engine.Candidates.allows cands ~col:0 1);
+  Alcotest.(check bool) "rejects non-member" false
+    (Engine.Candidates.allows cands ~col:0 9);
+  Alcotest.(check bool) "unconstrained column allows" true
+    (Engine.Candidates.allows cands ~col:5 9);
+  Alcotest.(check bool) "empty is empty" true
+    (Engine.Candidates.is_empty Engine.Candidates.empty)
+
+(* --- Engine equivalence (property) ------------------------------------------------ *)
+
+(* Naive BGP evaluation: scan every pattern, nested-loop join. *)
+let naive_bgp store table width patterns =
+  List.fold_left
+    (fun acc tp ->
+      let compiled = Engine.Compiled.compile store table tp in
+      let scanned =
+        Engine.Hash_join.scan_pattern store ~width compiled
+          ~candidates:Engine.Candidates.empty
+      in
+      Sparql.Bag.join acc scanned)
+    (Sparql.Bag.unit ~width) patterns
+
+let prop_engines_agree =
+  QCheck2.Test.make ~name:"wco = hash join = naive on random BGPs" ~count:150
+    QCheck2.Gen.(
+      pair Qgen.gen_dataset (list_size (int_range 1 4) Qgen.gen_triple_pattern))
+    (fun (triples, patterns) ->
+      let store = Rdf_store.Triple_store.of_triples triples in
+      let vars =
+        List.concat_map Sparql.Triple_pattern.vars patterns
+        |> List.sort_uniq compare
+      in
+      let table = Sparql.Vartable.of_list vars in
+      let wco_env = Engine.Bgp_eval.make store table Engine.Bgp_eval.Wco in
+      let hash_env = Engine.Bgp_eval.make store table Engine.Bgp_eval.Hash_join in
+      let width = Sparql.Vartable.size table in
+      let reference = naive_bgp store table width patterns in
+      let wco = Engine.Bgp_eval.eval wco_env patterns ~candidates:Engine.Candidates.empty in
+      let hash =
+        Engine.Bgp_eval.eval hash_env patterns ~candidates:Engine.Candidates.empty
+      in
+      Sparql.Bag.equal_as_bags wco reference
+      && Sparql.Bag.equal_as_bags hash reference)
+
+(* Candidate sets must behave exactly like a post-filter. *)
+let prop_candidates_are_filters =
+  QCheck2.Test.make ~name:"candidate pruning = post-filter" ~count:150
+    QCheck2.Gen.(
+      triple Qgen.gen_dataset
+        (list_size (int_range 1 3) Qgen.gen_triple_pattern)
+        (list_size (int_range 1 4) (int_range 0 5)))
+    (fun (triples, patterns, allowed) ->
+      let store = Rdf_store.Triple_store.of_triples triples in
+      let vars =
+        List.concat_map Sparql.Triple_pattern.vars patterns
+        |> List.sort_uniq compare
+      in
+      match vars with
+      | [] -> true
+      | first :: _ ->
+          let table = Sparql.Vartable.of_list vars in
+          let col = Option.get (Sparql.Vartable.find table first) in
+          let values = Hashtbl.create 8 in
+          List.iter
+            (fun i ->
+              match Rdf_store.Triple_store.encode_term store (iri i) with
+              | Some id -> Hashtbl.replace values id ()
+              | None -> ())
+            allowed;
+          let cands = Engine.Candidates.set Engine.Candidates.empty ~col values in
+          let width = Sparql.Vartable.size table in
+          List.for_all
+            (fun engine ->
+              let env = Engine.Bgp_eval.make store table engine in
+              let pruned = Engine.Bgp_eval.eval env patterns ~candidates:cands in
+              let full =
+                Engine.Bgp_eval.eval env patterns
+                  ~candidates:Engine.Candidates.empty
+              in
+              let filtered =
+                Sparql.Bag.filter full ~f:(fun row ->
+                    (not (Sparql.Binding.is_bound row col))
+                    || Hashtbl.mem values row.(col))
+              in
+              Sparql.Bag.equal_as_bags pruned filtered)
+            [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ])
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "bgp",
+        [
+          Alcotest.test_case "coalesce components" `Quick test_coalesce_components;
+          Alcotest.test_case "transitive chain" `Quick test_coalesce_transitive;
+          Alcotest.test_case "predicate var ignored" `Quick test_coalesce_predicate_var_ignored;
+          Alcotest.test_case "BGP coalescability" `Quick test_bgp_coalescable;
+        ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "missing term" `Quick test_compile_missing_term;
+          Alcotest.test_case "counts" `Quick test_compile_counts;
+          Alcotest.test_case "repeated var columns" `Quick test_var_columns_distinct;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "empty BGP" `Quick test_planner_empty;
+          Alcotest.test_case "selective first" `Quick test_planner_selective_first;
+          Alcotest.test_case "single-pattern exact card" `Quick test_planner_single_pattern_exact;
+        ] );
+      ("candidates", [ Alcotest.test_case "membership" `Quick test_candidates ]);
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest prop_engines_agree;
+          QCheck_alcotest.to_alcotest prop_candidates_are_filters;
+        ] );
+    ]

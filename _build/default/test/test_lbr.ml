@@ -1,0 +1,137 @@
+(* Tests for the LBR baseline: GoSN construction and the equivalence of
+   LBR's two-pass-semijoin evaluation with the Definition 7 oracle on
+   well-designed AND/OPTIONAL queries. *)
+
+let parse = Sparql.Parser.parse
+
+let test_gosn_shape () =
+  let q =
+    parse
+      "SELECT * WHERE { ?x ub:p ?y . OPTIONAL { ?y ub:q ?z . OPTIONAL { ?z ub:r ?w . } } OPTIONAL { ?x ub:s ?v . } }"
+  in
+  let gosn = Lbr.Gosn.of_query q in
+  Alcotest.(check int) "master holds 1 pattern" 1 (List.length gosn.Lbr.Gosn.patterns);
+  Alcotest.(check int) "two children" 2 (List.length gosn.Lbr.Gosn.children);
+  let first = List.nth gosn.Lbr.Gosn.children 0 in
+  Alcotest.(check int) "nested optional chains" 1 (List.length first.Lbr.Gosn.children);
+  Alcotest.(check int) "four supernodes total" 4
+    (List.length (Lbr.Gosn.supernodes gosn));
+  Alcotest.(check int) "four patterns total" 4 (Lbr.Gosn.pattern_count gosn)
+
+let test_gosn_normalizes_nested_groups () =
+  (* { {A OPTIONAL B} } — the conjunctive part merges into the enclosing
+     scope, the optional hangs off it. *)
+  let q = parse "SELECT * WHERE { { ?x ub:p ?y . OPTIONAL { ?y ub:q ?z . } } ?x ub:r ?w . }" in
+  let gosn = Lbr.Gosn.of_query q in
+  Alcotest.(check int) "master has both conjunctive patterns" 2
+    (List.length gosn.Lbr.Gosn.patterns);
+  Alcotest.(check int) "one optional scope" 1 (List.length gosn.Lbr.Gosn.children)
+
+let test_gosn_rejects_union_filter () =
+  (match
+     Lbr.Gosn.of_query
+       (parse "SELECT * WHERE { { ?x ub:p ?y . } UNION { ?x ub:q ?y . } }")
+   with
+  | exception Lbr.Gosn.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported for UNION");
+  match
+    Lbr.Gosn.of_query
+      (parse "SELECT * WHERE { ?x ub:p ?y . FILTER (?y != ub:z) }")
+  with
+  | exception Lbr.Gosn.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported for FILTER"
+
+let test_lbr_on_lubm_queries () =
+  (* LBR matches the Full executor on the OPTIONAL-only benchmark half. *)
+  let store = Workload.Lubm.store Workload.Lubm.tiny in
+  let stats = Rdf_store.Stats.compute store in
+  List.iter
+    (fun (entry : Workload.Queries.entry) ->
+      let query = parse entry.text in
+      if Lbr.Lbr_eval.supported query then begin
+        let full = Sparql_uo.Executor.run_query ~stats store query in
+        let vartable =
+          Sparql.Vartable.of_list (Sparql.Ast.group_vars query.Sparql.Ast.where)
+        in
+        let env = Engine.Bgp_eval.make ~stats store vartable Engine.Bgp_eval.Hash_join in
+        let lbr = Lbr.Lbr_eval.run env query in
+        Alcotest.(check (option int))
+          (entry.id ^ " result count")
+          full.Sparql_uo.Executor.result_count lbr.Lbr.Lbr_eval.result_count
+      end)
+    (Workload.Queries.all Workload.Queries.Lubm)
+
+let test_lbr_semijoin_prunes () =
+  (* On a selective query, the two-pass scans must actually prune. *)
+  let store = Workload.Lubm.store Workload.Lubm.tiny in
+  let entry = Workload.Queries.get Workload.Queries.Lubm "q2.4" in
+  let query = parse entry.Workload.Queries.text in
+  let vartable = Sparql.Vartable.of_list (Sparql.Ast.group_vars query.Sparql.Ast.where) in
+  let env = Engine.Bgp_eval.make store vartable Engine.Bgp_eval.Hash_join in
+  let report = Lbr.Lbr_eval.run env query in
+  Alcotest.(check bool) "scanned rows counted" true (report.Lbr.Lbr_eval.scanned_rows > 0);
+  Alcotest.(check bool) "semijoins pruned" true (report.Lbr.Lbr_eval.semijoin_prunes > 0)
+
+let test_lbr_row_budget () =
+  let store = Workload.Lubm.store Workload.Lubm.tiny in
+  let entry = Workload.Queries.get Workload.Queries.Lubm "q2.2" in
+  let query = parse entry.Workload.Queries.text in
+  let vartable = Sparql.Vartable.of_list (Sparql.Ast.group_vars query.Sparql.Ast.where) in
+  let env = Engine.Bgp_eval.make store vartable Engine.Bgp_eval.Hash_join in
+  let report = Lbr.Lbr_eval.run ~row_budget:50 env query in
+  Alcotest.(check bool) "budget exceeded" true (report.Lbr.Lbr_eval.bag = None)
+
+let test_well_designed () =
+  let wd src = Lbr.Gosn.well_designed (parse src) in
+  Alcotest.(check bool) "simple optional" true
+    (wd "SELECT * WHERE { ?x ub:p ?y . OPTIONAL { ?y ub:q ?z . } }");
+  Alcotest.(check bool) "var private to optional ok" true
+    (wd "SELECT * WHERE { ?x ub:p ?y . OPTIONAL { ?z ub:q ?w . } }");
+  (* ?z appears in two sibling optionals but not in the left side of the
+     second: not well-designed. *)
+  Alcotest.(check bool) "cross-optional var" true
+    (wd "SELECT * WHERE { ?x ub:p ?y . OPTIONAL { ?x ub:q ?z . } OPTIONAL { ?x ub:r ?z . } }");
+  (* ?b occurs in a nested optional and in the master scope but not in
+     the nested optional's immediate left side: not well-designed. *)
+  Alcotest.(check bool) "deep scope violation" false
+    (wd
+       "SELECT * WHERE { ?x ub:p ?b . OPTIONAL { ?x ub:q ?c . OPTIONAL { ?c ub:r ?b . } } }")
+
+(* Property: LBR = oracle on random well-designed AND/OPTIONAL queries
+   (non-well-designed generations are skipped — LBR refuses them). *)
+let prop_lbr_matches_oracle =
+  QCheck2.Test.make ~name:"LBR = oracle on well-designed OPTIONAL queries"
+    ~count:300
+    ~print:(fun (triples, query) ->
+      Qgen.pp_dataset triples ^ "\n" ^ Qgen.pp_query query)
+    QCheck2.Gen.(pair Qgen.gen_dataset Qgen.gen_wd_query)
+    (fun (triples, query) ->
+      QCheck2.assume (Lbr.Gosn.well_designed query);
+      let store = Rdf_store.Triple_store.of_triples triples in
+      let expected, _ = Qgen.oracle store query in
+      let vartable =
+        Sparql.Vartable.of_list (Sparql.Ast.group_vars query.Sparql.Ast.where)
+      in
+      let env = Engine.Bgp_eval.make store vartable Engine.Bgp_eval.Hash_join in
+      let report = Lbr.Lbr_eval.run env query in
+      match report.Lbr.Lbr_eval.bag with
+      | Some bag -> Sparql.Bag.equal_as_bags bag expected
+      | None -> false)
+
+let () =
+  Alcotest.run "lbr"
+    [
+      ( "gosn",
+        [
+          Alcotest.test_case "shape" `Quick test_gosn_shape;
+          Alcotest.test_case "nested group normalization" `Quick test_gosn_normalizes_nested_groups;
+          Alcotest.test_case "rejects UNION/FILTER" `Quick test_gosn_rejects_union_filter;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "matches Full on LUBM workload" `Quick test_lbr_on_lubm_queries;
+          Alcotest.test_case "semijoins prune" `Quick test_lbr_semijoin_prunes;
+          Alcotest.test_case "row budget" `Quick test_lbr_row_budget;
+          QCheck_alcotest.to_alcotest prop_lbr_matches_oracle;
+        ] );
+    ]

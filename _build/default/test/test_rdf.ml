@@ -1,0 +1,327 @@
+(* Tests for the rdf library: terms, namespaces, triples, N-Triples and
+   Turtle parsing. *)
+
+let term_t = Alcotest.testable Rdf.Term.pp Rdf.Term.equal
+
+let triple_t =
+  Alcotest.testable Rdf.Triple.pp Rdf.Triple.equal
+
+(* --- Term ---------------------------------------------------------------- *)
+
+let test_term_constructors () =
+  Alcotest.check term_t "iri" (Rdf.Term.Iri "http://a") (Rdf.Term.iri "http://a");
+  Alcotest.check term_t "literal"
+    (Rdf.Term.Literal { value = "x"; kind = Rdf.Term.Plain })
+    (Rdf.Term.literal "x");
+  Alcotest.check term_t "lang"
+    (Rdf.Term.Literal { value = "x"; kind = Rdf.Term.Lang "en" })
+    (Rdf.Term.lang_literal "x" ~lang:"en");
+  Alcotest.check term_t "int"
+    (Rdf.Term.Literal { value = "42"; kind = Rdf.Term.Typed Rdf.Term.xsd_integer })
+    (Rdf.Term.int_literal 42)
+
+let test_term_order_total () =
+  let terms =
+    [
+      Rdf.Term.iri "http://a";
+      Rdf.Term.iri "http://b";
+      Rdf.Term.bnode "b0";
+      Rdf.Term.literal "x";
+      Rdf.Term.lang_literal "x" ~lang:"en";
+      Rdf.Term.typed_literal "x" ~datatype:Rdf.Term.xsd_string;
+    ]
+  in
+  (* IRIs < bnodes < literals, and ordering is antisymmetric. *)
+  List.iter
+    (fun t1 ->
+      List.iter
+        (fun t2 ->
+          let c12 = Rdf.Term.compare t1 t2 and c21 = Rdf.Term.compare t2 t1 in
+          Alcotest.(check int) "antisymmetry" (compare c12 0) (compare 0 c21))
+        terms)
+    terms;
+  Alcotest.(check bool) "iri < bnode" true
+    (Rdf.Term.compare (Rdf.Term.iri "z") (Rdf.Term.bnode "a") < 0);
+  Alcotest.(check bool) "bnode < literal" true
+    (Rdf.Term.compare (Rdf.Term.bnode "z") (Rdf.Term.literal "a") < 0)
+
+let test_term_classify () =
+  Alcotest.(check bool) "is_iri" true (Rdf.Term.is_iri (Rdf.Term.iri "x"));
+  Alcotest.(check bool) "is_bnode" true (Rdf.Term.is_bnode (Rdf.Term.bnode "x"));
+  Alcotest.(check bool) "is_literal" true
+    (Rdf.Term.is_literal (Rdf.Term.literal "x"));
+  Alcotest.(check bool) "literal not iri" false
+    (Rdf.Term.is_iri (Rdf.Term.literal "x"))
+
+let test_escape_roundtrip () =
+  let cases = [ "plain"; "with \"quotes\""; "tab\there"; "line\nbreak";
+                "back\\slash"; "mixed \"\n\t\\ all" ] in
+  List.iter
+    (fun s ->
+      Alcotest.(check string) ("roundtrip " ^ String.escaped s) s
+        (Rdf.Term.unescape_string (Rdf.Term.escape_string s)))
+    cases
+
+let test_to_ntriples () =
+  Alcotest.(check string) "iri" "<http://a>" (Rdf.Term.to_ntriples (Rdf.Term.iri "http://a"));
+  Alcotest.(check string) "bnode" "_:b0" (Rdf.Term.to_ntriples (Rdf.Term.bnode "b0"));
+  Alcotest.(check string) "plain" "\"hi\"" (Rdf.Term.to_ntriples (Rdf.Term.literal "hi"));
+  Alcotest.(check string) "lang" "\"hi\"@en"
+    (Rdf.Term.to_ntriples (Rdf.Term.lang_literal "hi" ~lang:"en"));
+  Alcotest.(check string) "typed"
+    "\"3\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+    (Rdf.Term.to_ntriples (Rdf.Term.int_literal 3));
+  Alcotest.(check string) "escaped" "\"a\\\"b\""
+    (Rdf.Term.to_ntriples (Rdf.Term.literal "a\"b"))
+
+(* --- Namespace ------------------------------------------------------------ *)
+
+let test_namespace_expand () =
+  let env = Rdf.Namespace.with_defaults () in
+  Alcotest.(check string) "ub" (Rdf.Namespace.ub "headOf")
+    (Rdf.Namespace.expand env "ub:headOf");
+  Alcotest.(check string) "rdf:type" Rdf.Namespace.rdf_type
+    (Rdf.Namespace.expand env "rdf:type");
+  Alcotest.check_raises "unbound prefix"
+    (Failure "Namespace.expand: unbound prefix \"nope\"") (fun () ->
+      ignore (Rdf.Namespace.expand env "nope:x"))
+
+let test_namespace_shrink () =
+  let env = Rdf.Namespace.with_defaults () in
+  Alcotest.(check string) "shrinks" "ub:headOf"
+    (Rdf.Namespace.shrink env (Rdf.Namespace.ub "headOf"));
+  Alcotest.(check string) "falls back to brackets" "<http://nowhere/x>"
+    (Rdf.Namespace.shrink env "http://nowhere/x")
+
+let test_namespace_add_lookup () =
+  let env = Rdf.Namespace.create () in
+  Alcotest.(check (option string)) "empty" None (Rdf.Namespace.lookup env "ex");
+  Rdf.Namespace.add env ~prefix:"ex" ~iri:"http://example.org/";
+  Alcotest.(check (option string)) "bound" (Some "http://example.org/")
+    (Rdf.Namespace.lookup env "ex");
+  Alcotest.(check string) "expand" "http://example.org/thing"
+    (Rdf.Namespace.expand env "ex:thing")
+
+(* --- Triple ---------------------------------------------------------------- *)
+
+let test_triple_validity () =
+  let valid =
+    Rdf.Triple.make (Rdf.Term.iri "s") (Rdf.Term.iri "p") (Rdf.Term.literal "o")
+  in
+  Alcotest.(check bool) "iri subject ok" true (Rdf.Triple.is_valid valid);
+  let bnode_subject =
+    Rdf.Triple.make (Rdf.Term.bnode "b") (Rdf.Term.iri "p") (Rdf.Term.iri "o")
+  in
+  Alcotest.(check bool) "bnode subject ok" true (Rdf.Triple.is_valid bnode_subject);
+  let literal_subject =
+    Rdf.Triple.make (Rdf.Term.literal "s") (Rdf.Term.iri "p") (Rdf.Term.iri "o")
+  in
+  Alcotest.(check bool) "literal subject invalid" false
+    (Rdf.Triple.is_valid literal_subject);
+  let literal_predicate =
+    Rdf.Triple.make (Rdf.Term.iri "s") (Rdf.Term.literal "p") (Rdf.Term.iri "o")
+  in
+  Alcotest.(check bool) "literal predicate invalid" false
+    (Rdf.Triple.is_valid literal_predicate)
+
+let test_triple_at () =
+  let t = Rdf.Triple.make (Rdf.Term.iri "s") (Rdf.Term.iri "p") (Rdf.Term.iri "o") in
+  Alcotest.check term_t "subject" (Rdf.Term.iri "s") (Rdf.Triple.at t Rdf.Triple.Subject);
+  Alcotest.check term_t "predicate" (Rdf.Term.iri "p") (Rdf.Triple.at t Rdf.Triple.Predicate);
+  Alcotest.check term_t "object" (Rdf.Term.iri "o") (Rdf.Triple.at t Rdf.Triple.Object)
+
+(* --- N-Triples -------------------------------------------------------------- *)
+
+let test_ntriples_parse_basic () =
+  let line = "<http://s> <http://p> <http://o> ." in
+  match Rdf.Ntriples.parse_line line with
+  | Some t ->
+      Alcotest.check triple_t "parsed"
+        (Rdf.Triple.make (Rdf.Term.iri "http://s") (Rdf.Term.iri "http://p")
+           (Rdf.Term.iri "http://o"))
+        t
+  | None -> Alcotest.fail "expected a triple"
+
+let test_ntriples_literals () =
+  let cases =
+    [
+      ("<http://s> <http://p> \"plain\" .", Rdf.Term.literal "plain");
+      ("<http://s> <http://p> \"hi\"@en .", Rdf.Term.lang_literal "hi" ~lang:"en");
+      ( "<http://s> <http://p> \"3\"^^<http://www.w3.org/2001/XMLSchema#integer> .",
+        Rdf.Term.int_literal 3 );
+      ("<http://s> <http://p> \"a\\\"b\\nc\" .", Rdf.Term.literal "a\"b\nc");
+    ]
+  in
+  List.iter
+    (fun (line, expected) ->
+      match Rdf.Ntriples.parse_line line with
+      | Some t -> Alcotest.check term_t line expected t.Rdf.Triple.o
+      | None -> Alcotest.fail ("no triple for " ^ line))
+    cases
+
+let test_ntriples_comments_blanks () =
+  Alcotest.(check (option reject)) "comment" None
+    (Option.map ignore (Rdf.Ntriples.parse_line "# a comment"));
+  Alcotest.(check (option reject)) "blank" None
+    (Option.map ignore (Rdf.Ntriples.parse_line "   "));
+  match Rdf.Ntriples.parse_line "<http://s> <http://p> _:b . # trailing" with
+  | Some t -> Alcotest.check term_t "bnode object" (Rdf.Term.bnode "b") t.Rdf.Triple.o
+  | None -> Alcotest.fail "expected triple with trailing comment"
+
+let test_ntriples_errors () =
+  let bad_cases =
+    [ "<http://s> <http://p> ."; (* missing object *)
+      "<http://s> <http://p> <http://o>"; (* missing dot *)
+      "\"lit\" <http://p> <http://o> ."; (* literal subject *)
+      "<http://s> \"lit\" <http://o> ."; (* literal predicate *)
+      "<http://s> <http://p> <http://o> . garbage" ]
+  in
+  List.iter
+    (fun line ->
+      match Rdf.Ntriples.parse_line line with
+      | exception Rdf.Ntriples.Parse_error _ -> ()
+      | _ -> Alcotest.fail ("expected parse error for: " ^ line))
+    bad_cases
+
+let test_ntriples_roundtrip () =
+  let triples =
+    [
+      Rdf.Triple.make (Rdf.Term.iri "http://s") (Rdf.Term.iri "http://p")
+        (Rdf.Term.literal "with \"escape\"\nand newline");
+      Rdf.Triple.make (Rdf.Term.bnode "x1") (Rdf.Term.iri "http://p")
+        (Rdf.Term.lang_literal "hello" ~lang:"en-GB");
+      Rdf.Triple.make (Rdf.Term.iri "http://s") (Rdf.Term.iri "http://q")
+        (Rdf.Term.int_literal (-7));
+    ]
+  in
+  let text = Rdf.Ntriples.to_string triples in
+  Alcotest.(check (list triple_t)) "roundtrip" triples (Rdf.Ntriples.parse_string text)
+
+let test_ntriples_file_roundtrip () =
+  let triples =
+    List.init 50 (fun i ->
+        Rdf.Triple.make
+          (Rdf.Term.iri (Printf.sprintf "http://s/%d" i))
+          (Rdf.Term.iri "http://p")
+          (Rdf.Term.int_literal i))
+  in
+  let path = Filename.temp_file "repro" ".nt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Rdf.Ntriples.write_file path triples;
+      Alcotest.(check (list triple_t)) "file roundtrip" triples
+        (Rdf.Ntriples.parse_file path))
+
+(* --- Turtle ------------------------------------------------------------------ *)
+
+let test_turtle_basic () =
+  let doc =
+    {|@prefix ex: <http://example.org/> .
+      ex:a ex:p ex:b .
+      ex:a ex:q "lit" .|}
+  in
+  let triples = Rdf.Turtle.parse_string doc in
+  Alcotest.(check int) "two triples" 2 (List.length triples);
+  Alcotest.check triple_t "first"
+    (Rdf.Triple.make
+       (Rdf.Term.iri "http://example.org/a")
+       (Rdf.Term.iri "http://example.org/p")
+       (Rdf.Term.iri "http://example.org/b"))
+    (List.hd triples)
+
+let test_turtle_predicate_object_lists () =
+  let doc =
+    {|@prefix ex: <http://example.org/> .
+      ex:a ex:p ex:b , ex:c ; ex:q "x" ; a ex:Thing .|}
+  in
+  let triples = Rdf.Turtle.parse_string doc in
+  Alcotest.(check int) "four triples" 4 (List.length triples);
+  let types =
+    List.filter
+      (fun t -> Rdf.Term.equal t.Rdf.Triple.p (Rdf.Term.iri Rdf.Namespace.rdf_type))
+      triples
+  in
+  Alcotest.(check int) "one rdf:type via 'a'" 1 (List.length types)
+
+let test_turtle_literals () =
+  let doc =
+    {|@prefix ex: <http://example.org/> .
+      @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+      ex:a ex:int 42 .
+      ex:a ex:float 3.25 .
+      ex:a ex:bool true .
+      ex:a ex:lang "bonjour"@fr .
+      ex:a ex:typed "2020-01-01"^^xsd:date .|}
+  in
+  let triples = Rdf.Turtle.parse_string doc in
+  let objects = List.map (fun t -> t.Rdf.Triple.o) triples in
+  Alcotest.(check bool) "int literal" true
+    (List.mem (Rdf.Term.int_literal 42) objects);
+  Alcotest.(check bool) "double literal" true
+    (List.mem (Rdf.Term.typed_literal "3.25" ~datatype:Rdf.Term.xsd_double) objects);
+  Alcotest.(check bool) "bool literal" true
+    (List.mem (Rdf.Term.typed_literal "true" ~datatype:Rdf.Term.xsd_boolean) objects);
+  Alcotest.(check bool) "lang literal" true
+    (List.mem (Rdf.Term.lang_literal "bonjour" ~lang:"fr") objects);
+  Alcotest.(check bool) "date literal" true
+    (List.mem (Rdf.Term.date_literal "2020-01-01") objects)
+
+let test_turtle_uses_default_prefixes () =
+  let doc = "ub:alice ub:worksFor ub:dept0 ." in
+  let triples = Rdf.Turtle.parse_string doc in
+  Alcotest.(check int) "one triple" 1 (List.length triples);
+  Alcotest.check term_t "expanded against defaults"
+    (Rdf.Term.iri (Rdf.Namespace.ub "alice"))
+    (List.hd triples).Rdf.Triple.s
+
+let test_turtle_errors () =
+  List.iter
+    (fun doc ->
+      match Rdf.Turtle.parse_string doc with
+      | exception Rdf.Turtle.Parse_error _ -> ()
+      | _ -> Alcotest.fail ("expected Turtle parse error for: " ^ doc))
+    [ "ex:a ex:b"; (* unbound prefix, also missing dot *)
+      "@prefix ex: <http://e/> . ex:a ex:b"; (* missing object and dot *)
+      "@prefix ex: <http://e/> . ex:a ex:b ex:c" (* missing final dot *) ]
+
+let () =
+  Alcotest.run "rdf"
+    [
+      ( "term",
+        [
+          Alcotest.test_case "constructors" `Quick test_term_constructors;
+          Alcotest.test_case "total order" `Quick test_term_order_total;
+          Alcotest.test_case "classification" `Quick test_term_classify;
+          Alcotest.test_case "escape roundtrip" `Quick test_escape_roundtrip;
+          Alcotest.test_case "to_ntriples" `Quick test_to_ntriples;
+        ] );
+      ( "namespace",
+        [
+          Alcotest.test_case "expand" `Quick test_namespace_expand;
+          Alcotest.test_case "shrink" `Quick test_namespace_shrink;
+          Alcotest.test_case "add/lookup" `Quick test_namespace_add_lookup;
+        ] );
+      ( "triple",
+        [
+          Alcotest.test_case "validity" `Quick test_triple_validity;
+          Alcotest.test_case "position access" `Quick test_triple_at;
+        ] );
+      ( "ntriples",
+        [
+          Alcotest.test_case "basic" `Quick test_ntriples_parse_basic;
+          Alcotest.test_case "literal forms" `Quick test_ntriples_literals;
+          Alcotest.test_case "comments and blanks" `Quick test_ntriples_comments_blanks;
+          Alcotest.test_case "errors" `Quick test_ntriples_errors;
+          Alcotest.test_case "string roundtrip" `Quick test_ntriples_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_ntriples_file_roundtrip;
+        ] );
+      ( "turtle",
+        [
+          Alcotest.test_case "basic" `Quick test_turtle_basic;
+          Alcotest.test_case "; and , lists" `Quick test_turtle_predicate_object_lists;
+          Alcotest.test_case "literal forms" `Quick test_turtle_literals;
+          Alcotest.test_case "default prefixes" `Quick test_turtle_uses_default_prefixes;
+          Alcotest.test_case "errors" `Quick test_turtle_errors;
+        ] );
+    ]

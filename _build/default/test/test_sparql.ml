@@ -1,0 +1,549 @@
+(* Tests for the sparql library: lexer, parser, AST/algebra conversion,
+   bindings and the bag operators of Section 3. *)
+
+module TP = Sparql.Triple_pattern
+
+let v name = TP.Var name
+let c iri = TP.Term (Rdf.Term.iri iri)
+
+(* --- Lexer ---------------------------------------------------------------- *)
+
+let toks src =
+  Array.to_list (Sparql.Lexer.tokenize src)
+  |> List.map (fun { Sparql.Lexer.tok; _ } -> tok)
+
+let test_lexer_basics () =
+  let open Sparql.Lexer in
+  Alcotest.(check bool) "select star where" true
+    (toks "SELECT * WHERE { }" = [ SELECT; STAR; WHERE; LBRACE; RBRACE; EOF ]);
+  Alcotest.(check bool) "case insensitive keywords" true
+    (toks "select Where Optional union" = [ SELECT; WHERE; OPTIONAL; UNION; EOF ]);
+  Alcotest.(check bool) "vars" true
+    (toks "?x $y" = [ VAR "x"; VAR "y"; EOF ]);
+  Alcotest.(check bool) "qname with dots" true
+    (toks "dbr:Economic_system" = [ QNAME "dbr:Economic_system"; EOF ]);
+  Alcotest.(check bool) "iri" true
+    (toks "<http://a/b#c>" = [ IRIREF "http://a/b#c"; EOF ])
+
+let test_lexer_literals () =
+  let open Sparql.Lexer in
+  Alcotest.(check bool) "string" true (toks "\"hi\"" = [ STRING "hi"; EOF ]);
+  Alcotest.(check bool) "lang" true
+    (toks "\"hi\"@en" = [ STRING "hi"; LANGTAG "en"; EOF ]);
+  Alcotest.(check bool) "typed" true
+    (toks "\"3\"^^xsd:int" = [ STRING "3"; DTYPE_SEP; QNAME "xsd:int"; EOF ]);
+  Alcotest.(check bool) "int" true (toks "42" = [ INT "42"; EOF ]);
+  Alcotest.(check bool) "negative decimal" true
+    (toks "-3.5" = [ DECIMAL "-3.5"; EOF ]);
+  Alcotest.(check bool) "string with @ inside" true
+    (toks "\"a@b.edu\"" = [ STRING "a@b.edu"; EOF ])
+
+let test_lexer_filter_operators () =
+  let open Sparql.Lexer in
+  Alcotest.(check bool) "comparison ops" true
+    (toks "= != < > <= >= && || !" =
+       [ EQ; NEQ; LT; GT; LE; GE; ANDAND; OROR; BANG; EOF ]);
+  (* '<' starts an IRI only when a '>' follows with no whitespace. *)
+  Alcotest.(check bool) "lt vs iri" true
+    (toks "?x < 3" = [ VAR "x"; LT; INT "3"; EOF ])
+
+let test_lexer_comments () =
+  let open Sparql.Lexer in
+  Alcotest.(check bool) "comment skipped" true
+    (toks "?x # comment here\n?y" = [ VAR "x"; VAR "y"; EOF ])
+
+let test_lexer_errors () =
+  List.iter
+    (fun src ->
+      match Sparql.Lexer.tokenize src with
+      | exception Sparql.Lexer.Lex_error _ -> ()
+      | _ -> Alcotest.fail ("expected lex error for: " ^ src))
+    [ "?"; "\"unterminated"; "@"; "`" ]
+
+(* --- Parser ---------------------------------------------------------------- *)
+
+let parse_where src = (Sparql.Parser.parse src).Sparql.Ast.where
+
+let test_parser_triples_block () =
+  let g = parse_where "SELECT * WHERE { ?x ub:worksFor ?y . ?x a ub:FullProfessor . }" in
+  match g with
+  | [ Sparql.Ast.Triples [ tp1; tp2 ] ] ->
+      Alcotest.(check bool) "tp1" true
+        (TP.equal tp1 (TP.make (v "x") (c (Rdf.Namespace.ub "worksFor")) (v "y")));
+      Alcotest.(check bool) "tp2 uses rdf:type for 'a'" true
+        (TP.equal tp2
+           (TP.make (v "x") (c Rdf.Namespace.rdf_type)
+              (c (Rdf.Namespace.ub "FullProfessor"))))
+  | _ -> Alcotest.fail "expected one triples block with two patterns"
+
+let test_parser_semicolon_comma () =
+  let g = parse_where "SELECT * WHERE { ?x ub:p ?y , ?z ; ub:q ?w . }" in
+  match g with
+  | [ Sparql.Ast.Triples tps ] -> Alcotest.(check int) "three triples" 3 (List.length tps)
+  | _ -> Alcotest.fail "expected a triples block"
+
+let test_parser_union () =
+  let g = parse_where "SELECT * WHERE { { ?x ub:p ?y . } UNION { ?x ub:q ?y . } UNION { ?x ub:r ?y . } }" in
+  match g with
+  | [ Sparql.Ast.Union [ _; _; _ ] ] -> ()
+  | _ -> Alcotest.fail "expected a 3-branch UNION"
+
+let test_parser_optional_nesting () =
+  let g =
+    parse_where
+      "SELECT * WHERE { ?x ub:p ?y . OPTIONAL { ?y ub:q ?z . OPTIONAL { ?z ub:r ?w . } } }"
+  in
+  match g with
+  | [ Sparql.Ast.Triples _; Sparql.Ast.Optional inner ] -> (
+      match inner with
+      | [ Sparql.Ast.Triples _; Sparql.Ast.Optional _ ] -> ()
+      | _ -> Alcotest.fail "expected nested OPTIONAL")
+  | _ -> Alcotest.fail "expected triples then OPTIONAL"
+
+let test_parser_select_forms () =
+  let q1 = Sparql.Parser.parse "SELECT ?x ?y WHERE { ?x ub:p ?y . }" in
+  Alcotest.(check bool) "projection" true
+    (Sparql.Ast.select_query q1 = Sparql.Ast.Projection [ "x"; "y" ]);
+  let q2 = Sparql.Parser.parse "SELECT DISTINCT * WHERE { ?x ub:p ?y . }" in
+  Alcotest.(check bool) "distinct star" true
+    (Sparql.Ast.select_query q2 = Sparql.Ast.Star && q2.Sparql.Ast.distinct);
+  (* The paper's bare "SELECT WHERE". *)
+  let q3 = Sparql.Parser.parse "SELECT WHERE { ?x ub:p ?y . }" in
+  Alcotest.(check bool) "bare select = star" true
+    (Sparql.Ast.select_query q3 = Sparql.Ast.Star)
+
+let test_parser_prefix_declarations () =
+  let q =
+    Sparql.Parser.parse
+      "PREFIX ex: <http://example.org/> SELECT * WHERE { ?x ex:p ?y . }"
+  in
+  match q.Sparql.Ast.where with
+  | [ Sparql.Ast.Triples [ tp ] ] ->
+      Alcotest.(check bool) "prefix expanded" true
+        (TP.equal tp (TP.make (v "x") (c "http://example.org/p") (v "y")))
+  | _ -> Alcotest.fail "expected one pattern"
+
+let test_parser_filter () =
+  let g = parse_where "SELECT * WHERE { ?x ub:p ?y . FILTER (?y != ub:z && bound(?x)) }" in
+  match g with
+  | [ Sparql.Ast.Triples _; Sparql.Ast.Filter e ] ->
+      Alcotest.(check (list string)) "filter vars" [ "y"; "x" ]
+        (Sparql.Expr.vars ~pattern_vars:Sparql.Ast.group_vars e)
+  | _ -> Alcotest.fail "expected triples then filter"
+
+let test_parser_literal_objects () =
+  let g =
+    parse_where
+      {|SELECT * WHERE { ?x ub:email "a@b.edu" . ?x ub:age 42 . ?x ub:label "x"@en . }|}
+  in
+  match g with
+  | [ Sparql.Ast.Triples [ t1; t2; t3 ] ] ->
+      Alcotest.(check bool) "plain literal" true
+        (t1.TP.o = TP.Term (Rdf.Term.literal "a@b.edu"));
+      Alcotest.(check bool) "int literal" true
+        (t2.TP.o = TP.Term (Rdf.Term.int_literal 42));
+      Alcotest.(check bool) "lang literal" true
+        (t3.TP.o = TP.Term (Rdf.Term.lang_literal "x" ~lang:"en"))
+  | _ -> Alcotest.fail "expected three patterns"
+
+let test_parser_limit_offset () =
+  let q = Sparql.Parser.parse "SELECT * WHERE { ?x ub:p ?y . } LIMIT 10 OFFSET 5" in
+  Alcotest.(check (option int)) "limit" (Some 10) q.Sparql.Ast.limit;
+  Alcotest.(check (option int)) "offset" (Some 5) q.Sparql.Ast.offset;
+  (* Either order. *)
+  let q2 = Sparql.Parser.parse "SELECT * WHERE { ?x ub:p ?y . } OFFSET 5 LIMIT 10" in
+  Alcotest.(check (option int)) "limit (reordered)" (Some 10) q2.Sparql.Ast.limit;
+  let q3 = Sparql.Parser.parse "SELECT * WHERE { ?x ub:p ?y . }" in
+  Alcotest.(check (option int)) "absent" None q3.Sparql.Ast.limit;
+  match Sparql.Parser.parse "SELECT * WHERE { ?x ub:p ?y . } LIMIT ?x" with
+  | exception Sparql.Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected error for non-numeric LIMIT"
+
+let test_parser_all_benchmark_queries () =
+  List.iter
+    (fun ds ->
+      List.iter
+        (fun (entry : Workload.Queries.entry) ->
+          match Sparql.Parser.parse entry.text with
+          | _ -> ()
+          | exception Sparql.Parser.Parse_error { line; message } ->
+              Alcotest.fail
+                (Printf.sprintf "%s %s failed to parse (line %d): %s"
+                   (Workload.Queries.dataset_name ds) entry.id line message))
+        (Workload.Queries.all ds))
+    [ Workload.Queries.Lubm; Workload.Queries.Dbpedia ]
+
+let test_parser_errors () =
+  List.iter
+    (fun src ->
+      match Sparql.Parser.parse src with
+      | exception Sparql.Parser.Parse_error _ -> ()
+      | exception Sparql.Lexer.Lex_error _ -> ()
+      | _ -> Alcotest.fail ("expected parse error for: " ^ src))
+    [
+      "SELECT * WHERE { ?x }";
+      "SELECT * WHERE { ?x ub:p ?y . ";
+      "WHERE { ?x ub:p ?y . }";
+      "SELECT * WHERE { ?x nope:p ?y . }";
+      "SELECT * WHERE { { ?x ub:p ?y . } UNION }";
+      "SELECT * WHERE { OPTIONAL }";
+      "SELECT * WHERE { } trailing";
+      "SELECT * WHERE { } ?x";
+    ]
+
+(* Round-trip: printing a parsed query and re-parsing it yields the same
+   algebra. *)
+let test_parser_print_roundtrip () =
+  List.iter
+    (fun ds ->
+      List.iter
+        (fun (entry : Workload.Queries.entry) ->
+          let q1 = Sparql.Parser.parse entry.text in
+          let printed = Sparql.Ast.to_string q1 in
+          let q2 =
+            try Sparql.Parser.parse printed
+            with Sparql.Parser.Parse_error { line; message } ->
+              Alcotest.fail
+                (Printf.sprintf "%s reprint failed (line %d): %s\n%s" entry.id
+                   line message printed)
+          in
+          Alcotest.(check bool)
+            (entry.id ^ " algebra preserved")
+            true
+            (Sparql.Algebra.of_query q1 = Sparql.Algebra.of_query q2))
+        (Workload.Queries.all ds))
+    [ Workload.Queries.Lubm; Workload.Queries.Dbpedia ]
+
+(* --- Algebra --------------------------------------------------------------- *)
+
+let test_algebra_optional_left_assoc () =
+  let g = parse_where "SELECT * WHERE { ?a ub:p ?b . OPTIONAL { ?b ub:q ?c . } OPTIONAL { ?b ub:r ?d . } }" in
+  match Sparql.Algebra.of_group g with
+  | Sparql.Algebra.Group
+      (Sparql.Algebra.Optional
+        (Sparql.Algebra.Optional (Sparql.Algebra.Triple _, _), _)) ->
+      ()
+  | other ->
+      Alcotest.fail
+        (Format.asprintf "unexpected algebra: %a" Sparql.Algebra.pp other)
+
+let test_algebra_leading_optional_unit () =
+  let g = parse_where "SELECT * WHERE { OPTIONAL { ?x ub:p ?y . } }" in
+  match Sparql.Algebra.of_group g with
+  | Sparql.Algebra.Group (Sparql.Algebra.Optional (Sparql.Algebra.Unit, _)) -> ()
+  | other ->
+      Alcotest.fail
+        (Format.asprintf "unexpected algebra: %a" Sparql.Algebra.pp other)
+
+let test_algebra_vars_order () =
+  let g = parse_where "SELECT * WHERE { ?b ub:p ?a . OPTIONAL { ?c ub:q ?b . } }" in
+  Alcotest.(check (list string)) "first-use order" [ "b"; "a"; "c" ]
+    (Sparql.Algebra.vars (Sparql.Algebra.of_group g))
+
+(* --- Triple pattern -------------------------------------------------------- *)
+
+let test_coalescable () =
+  let tp1 = TP.make (v "x") (c "p") (v "y") in
+  let tp2 = TP.make (v "y") (c "q") (v "z") in
+  let tp3 = TP.make (v "a") (c "p") (v "b") in
+  let tp4 = TP.make (v "a") (v "x") (v "b") in
+  Alcotest.(check bool) "shared object/subject var" true (TP.coalescable tp1 tp2);
+  Alcotest.(check bool) "no shared vars" false (TP.coalescable tp1 tp3);
+  (* A shared variable at the *predicate* position does not count. *)
+  Alcotest.(check bool) "predicate position ignored" false (TP.coalescable tp1 tp4)
+
+(* --- Binding ---------------------------------------------------------------- *)
+
+let test_binding_compatible () =
+  let r1 = [| 1; -1; 3 |] and r2 = [| 1; 2; -1 |] and r3 = [| 2; 2; -1 |] in
+  Alcotest.(check bool) "compatible" true (Sparql.Binding.compatible r1 r2);
+  Alcotest.(check bool) "incompatible" false (Sparql.Binding.compatible r1 r3);
+  Alcotest.(check bool) "merge" true (Sparql.Binding.merge r1 r2 = [| 1; 2; 3 |]);
+  Alcotest.(check (list int)) "dom" [ 0; 2 ] (Sparql.Binding.dom r1)
+
+(* --- Bag operators (Section 3) ----------------------------------------------- *)
+
+let bag_of rows = Sparql.Bag.of_rows ~width:3 rows
+
+let bag_equal = Sparql.Bag.equal_as_bags
+
+let test_bag_join_basic () =
+  let b1 = bag_of [ [| 1; -1; -1 |]; [| 2; -1; -1 |] ] in
+  let b2 = bag_of [ [| 1; 5; -1 |]; [| 3; 6; -1 |] ] in
+  let joined = Sparql.Bag.join b1 b2 in
+  Alcotest.(check bool) "join result" true
+    (bag_equal joined (bag_of [ [| 1; 5; -1 |] ]))
+
+let test_bag_join_duplicates () =
+  (* Bag semantics: duplicates multiply. *)
+  let b1 = bag_of [ [| 1; -1; -1 |]; [| 1; -1; -1 |] ] in
+  let b2 = bag_of [ [| 1; 5; -1 |]; [| 1; 6; -1 |] ] in
+  Alcotest.(check int) "2x2 matches" 4 (Sparql.Bag.length (Sparql.Bag.join b1 b2))
+
+let test_bag_join_unbound_shared () =
+  (* A row with an unbound shared column is compatible with anything
+     (SPARQL's null-join), while conflicting bound values are not. *)
+  let b1 = bag_of [ [| -1; 7; -1 |] ] in
+  Alcotest.(check bool) "conflicting bound values incompatible" true
+    (Sparql.Bag.is_empty (Sparql.Bag.join b1 (bag_of [ [| 1; 5; -1 |] ])));
+  let joined = Sparql.Bag.join b1 (bag_of [ [| 1; -1; -1 |] ]) in
+  Alcotest.(check bool) "null-join merges" true
+    (bag_equal joined (bag_of [ [| 1; 7; -1 |] ]))
+
+let test_bag_minus_and_leftjoin () =
+  let b1 = bag_of [ [| 1; -1; -1 |]; [| 2; -1; -1 |] ] in
+  let b2 = bag_of [ [| 1; 5; -1 |] ] in
+  Alcotest.(check bool) "minus keeps unmatched" true
+    (bag_equal (Sparql.Bag.minus b1 b2) (bag_of [ [| 2; -1; -1 |] ]));
+  Alcotest.(check bool) "left outer = join + minus" true
+    (bag_equal
+       (Sparql.Bag.left_outer_join b1 b2)
+       (bag_of [ [| 1; 5; -1 |]; [| 2; -1; -1 |] ]))
+
+let test_bag_semijoin () =
+  let b1 = bag_of [ [| 1; -1; -1 |]; [| 2; -1; -1 |] ] in
+  let b2 = bag_of [ [| 1; 5; -1 |] ] in
+  Alcotest.(check bool) "semijoin" true
+    (bag_equal (Sparql.Bag.semijoin b1 b2) (bag_of [ [| 1; -1; -1 |] ]))
+
+let test_bag_universal_columns () =
+  let b = bag_of [ [| 1; 2; -1 |]; [| 3; -1; -1 |] ] in
+  Alcotest.(check (list int)) "universal" [ 0 ] (Sparql.Bag.universal_columns b);
+  Alcotest.(check (list int)) "bound" [ 0; 1 ] (Sparql.Bag.bound_columns b);
+  Alcotest.(check (list int)) "empty bag" []
+    (Sparql.Bag.universal_columns (Sparql.Bag.create ~width:3))
+
+let test_bag_project_dedup () =
+  let b = bag_of [ [| 1; 2; 3 |]; [| 1; 2; 4 |] ] in
+  let projected = Sparql.Bag.project b ~cols:[ 0; 1 ] in
+  Alcotest.(check int) "projection keeps rows" 2 (Sparql.Bag.length projected);
+  Alcotest.(check int) "dedup collapses" 1
+    (Sparql.Bag.length (Sparql.Bag.dedup projected))
+
+let test_bag_budget () =
+  Sparql.Bag.set_budget 5;
+  let b = Sparql.Bag.create ~width:1 in
+  (try
+     for i = 1 to 10 do
+       Sparql.Bag.push b [| i |]
+     done;
+     Alcotest.fail "expected Limit_exceeded"
+   with Sparql.Bag.Limit_exceeded -> ());
+  Sparql.Bag.unlimited_budget ();
+  Alcotest.(check int) "five rows pushed" 5 (Sparql.Bag.length b)
+
+(* qcheck generators for random bags. *)
+let gen_row width =
+  QCheck2.Gen.(array_size (pure width) (int_range (-1) 3))
+
+let gen_bag width =
+  QCheck2.Gen.(
+    map (fun rows -> Sparql.Bag.of_rows ~width rows)
+      (list_size (int_range 0 12) (gen_row width)))
+
+(* Reference implementations: quadratic nested loops straight from the
+   paper's definitions. *)
+let naive_join b1 b2 =
+  let result = Sparql.Bag.create ~width:(Sparql.Bag.width b1) in
+  Sparql.Bag.iter b1 ~f:(fun r1 ->
+      Sparql.Bag.iter b2 ~f:(fun r2 ->
+          if Sparql.Binding.compatible r1 r2 then
+            Sparql.Bag.push result (Sparql.Binding.merge r1 r2)));
+  result
+
+let naive_minus b1 b2 =
+  Sparql.Bag.filter b1 ~f:(fun r1 ->
+      not (Sparql.Bag.fold b2 ~init:false ~f:(fun acc r2 ->
+               acc || Sparql.Binding.compatible r1 r2)))
+
+let prop_join_matches_naive =
+  QCheck2.Test.make ~name:"hash join = naive join (as bags)" ~count:300
+    QCheck2.Gen.(pair (gen_bag 3) (gen_bag 3))
+    (fun (b1, b2) -> bag_equal (Sparql.Bag.join b1 b2) (naive_join b1 b2))
+
+let prop_join_commutative =
+  QCheck2.Test.make ~name:"join commutative as bags" ~count:300
+    QCheck2.Gen.(pair (gen_bag 3) (gen_bag 3))
+    (fun (b1, b2) -> bag_equal (Sparql.Bag.join b1 b2) (Sparql.Bag.join b2 b1))
+
+let prop_minus_matches_naive =
+  QCheck2.Test.make ~name:"minus = naive anti-join" ~count:300
+    QCheck2.Gen.(pair (gen_bag 3) (gen_bag 3))
+    (fun (b1, b2) -> bag_equal (Sparql.Bag.minus b1 b2) (naive_minus b1 b2))
+
+let prop_leftjoin_decomposition =
+  QCheck2.Test.make ~name:"leftjoin = join U minus (Definition 7)" ~count:300
+    QCheck2.Gen.(pair (gen_bag 3) (gen_bag 3))
+    (fun (b1, b2) ->
+      bag_equal
+        (Sparql.Bag.left_outer_join b1 b2)
+        (Sparql.Bag.union (Sparql.Bag.join b1 b2) (Sparql.Bag.minus b1 b2)))
+
+let prop_union_cardinality =
+  QCheck2.Test.make ~name:"union preserves cardinalities" ~count:300
+    QCheck2.Gen.(pair (gen_bag 3) (gen_bag 3))
+    (fun (b1, b2) ->
+      Sparql.Bag.length (Sparql.Bag.union b1 b2)
+      = Sparql.Bag.length b1 + Sparql.Bag.length b2)
+
+let naive_semijoin b1 b2 =
+  Sparql.Bag.filter b1 ~f:(fun r1 ->
+      Sparql.Bag.fold b2 ~init:false ~f:(fun acc r2 ->
+          acc || Sparql.Binding.compatible r1 r2))
+
+let prop_semijoin_is_filter =
+  QCheck2.Test.make ~name:"semijoin = naive existential filter" ~count:300
+    QCheck2.Gen.(pair (gen_bag 3) (gen_bag 3))
+    (fun (b1, b2) ->
+      bag_equal (Sparql.Bag.semijoin b1 b2) (naive_semijoin b1 b2))
+
+(* --- Expr ---------------------------------------------------------------------- *)
+
+let test_expr_eval () =
+  let lookup v =
+    match v with
+    | "x" -> Some (Rdf.Term.int_literal 3)
+    | "y" -> Some (Rdf.Term.int_literal 10)
+    | "s" -> Some (Rdf.Term.literal "abc")
+    | _ -> None
+  in
+  let no_exists (_ : unit) = false in
+  let open Sparql.Expr in
+  let eval e = Sparql.Expr.eval ~lookup ~exists:no_exists e in
+  Alcotest.(check bool) "numeric lt" true (eval (Cmp (Clt, Var "x", Var "y")));
+  Alcotest.(check bool) "numeric vs string eq" false
+    (eval (Cmp (Ceq, Var "x", Var "s")));
+  Alcotest.(check bool) "bound" true (eval (Bound "x"));
+  Alcotest.(check bool) "not bound" false (eval (Bound "z"));
+  (* A comparison against an unbound variable errors; errors propagate
+     through Not (SPARQL's error algebra) and reject the row. *)
+  Alcotest.(check bool) "unbound comparison rejects" false
+    (eval (Cmp (Clt, Var "z", Var "x")));
+  Alcotest.(check bool) "error under Not still rejects" false
+    (eval (Not (Cmp (Clt, Var "z", Var "x"))));
+  (* Error-recovering connectives. *)
+  Alcotest.(check bool) "error || true" true
+    (eval (Or (Cmp (Clt, Var "z", Var "x"), Bound "x")));
+  Alcotest.(check bool) "error && false" false
+    (eval (And (Cmp (Clt, Var "z", Var "x"), Bound "z")));
+  Alcotest.(check bool) "arithmetic" true
+    (eval
+       (Cmp (Ceq, Arith (Add, Var "x", Const (Rdf.Term.int_literal 7)), Var "y")));
+  Alcotest.(check bool) "division by zero errors" false
+    (eval
+       (Cmp (Ceq, Arith (Divide, Var "x", Const (Rdf.Term.int_literal 0)), Var "x")))
+
+let test_expr_builtins () =
+  let lookup v =
+    match v with
+    | "iri" -> Some (Rdf.Term.iri "http://example.org/thing")
+    | "name" -> Some (Rdf.Term.lang_literal "Alice" ~lang:"en")
+    | "plain" -> Some (Rdf.Term.literal "Hello World")
+    | "n" -> Some (Rdf.Term.int_literal (-4))
+    | _ -> None
+  in
+  let no_exists (_ : unit) = false in
+  let open Sparql.Expr in
+  let eval e = Sparql.Expr.eval ~lookup ~exists:no_exists e in
+  Alcotest.(check bool) "isIRI" true (eval (Call (B_is_iri, [ Var "iri" ])));
+  Alcotest.(check bool) "isLiteral" true
+    (eval (Call (B_is_literal, [ Var "name" ])));
+  Alcotest.(check bool) "lang" true
+    (eval (Cmp (Ceq, Call (B_lang, [ Var "name" ]), Const (Rdf.Term.literal "en"))));
+  Alcotest.(check bool) "str of iri" true
+    (eval
+       (Cmp
+          ( Ceq,
+            Call (B_str, [ Var "iri" ]),
+            Const (Rdf.Term.literal "http://example.org/thing") )));
+  Alcotest.(check bool) "strlen" true
+    (eval
+       (Cmp (Ceq, Call (B_strlen, [ Var "plain" ]), Const (Rdf.Term.int_literal 11))));
+  Alcotest.(check bool) "ucase/contains" true
+    (eval
+       (Call
+          ( B_contains,
+            [ Call (B_ucase, [ Var "plain" ]); Const (Rdf.Term.literal "WORLD") ]
+          )));
+  Alcotest.(check bool) "strstarts" true
+    (eval (Call (B_strstarts, [ Var "plain"; Const (Rdf.Term.literal "Hell") ])));
+  Alcotest.(check bool) "strends false" false
+    (eval (Call (B_strends, [ Var "plain"; Const (Rdf.Term.literal "Hell") ])));
+  Alcotest.(check bool) "abs" true
+    (eval (Cmp (Ceq, Call (B_abs, [ Var "n" ]), Const (Rdf.Term.int_literal 4))));
+  Alcotest.(check bool) "regex" true
+    (eval
+       (Call (B_regex, [ Var "plain"; Const (Rdf.Term.literal "^Hel+o .*d$") ])));
+  Alcotest.(check bool) "regex case-insensitive flag" true
+    (eval
+       (Call
+          ( B_regex,
+            [ Var "plain"; Const (Rdf.Term.literal "hello");
+              Const (Rdf.Term.literal "i") ] )));
+  Alcotest.(check bool) "sameTerm" true
+    (eval (Call (B_same_term, [ Var "iri"; Var "iri" ])));
+  Alcotest.(check bool) "datatype of int" true
+    (eval
+       (Cmp
+          ( Ceq,
+            Call (B_datatype, [ Var "n" ]),
+            Const (Rdf.Term.iri Rdf.Term.xsd_integer) )))
+
+let () =
+  Alcotest.run "sparql"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "literals" `Quick test_lexer_literals;
+          Alcotest.test_case "filter operators" `Quick test_lexer_filter_operators;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "triples block" `Quick test_parser_triples_block;
+          Alcotest.test_case "; and ," `Quick test_parser_semicolon_comma;
+          Alcotest.test_case "union" `Quick test_parser_union;
+          Alcotest.test_case "optional nesting" `Quick test_parser_optional_nesting;
+          Alcotest.test_case "select forms" `Quick test_parser_select_forms;
+          Alcotest.test_case "prefix declarations" `Quick test_parser_prefix_declarations;
+          Alcotest.test_case "filter" `Quick test_parser_filter;
+          Alcotest.test_case "literal objects" `Quick test_parser_literal_objects;
+          Alcotest.test_case "limit/offset" `Quick test_parser_limit_offset;
+          Alcotest.test_case "all 24 benchmark queries" `Quick test_parser_all_benchmark_queries;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "print/parse roundtrip" `Quick test_parser_print_roundtrip;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "OPTIONAL left-associativity" `Quick test_algebra_optional_left_assoc;
+          Alcotest.test_case "leading OPTIONAL gets Unit left" `Quick test_algebra_leading_optional_unit;
+          Alcotest.test_case "vars order" `Quick test_algebra_vars_order;
+          Alcotest.test_case "coalescability (Def. 3)" `Quick test_coalescable;
+        ] );
+      ( "binding",
+        [ Alcotest.test_case "compatibility and merge" `Quick test_binding_compatible ] );
+      ( "bag",
+        [
+          Alcotest.test_case "join basic" `Quick test_bag_join_basic;
+          Alcotest.test_case "join duplicates" `Quick test_bag_join_duplicates;
+          Alcotest.test_case "join with unbound shared" `Quick test_bag_join_unbound_shared;
+          Alcotest.test_case "minus and left join" `Quick test_bag_minus_and_leftjoin;
+          Alcotest.test_case "semijoin" `Quick test_bag_semijoin;
+          Alcotest.test_case "universal columns" `Quick test_bag_universal_columns;
+          Alcotest.test_case "project and dedup" `Quick test_bag_project_dedup;
+          Alcotest.test_case "row budget" `Quick test_bag_budget;
+          QCheck_alcotest.to_alcotest prop_join_matches_naive;
+          QCheck_alcotest.to_alcotest prop_join_commutative;
+          QCheck_alcotest.to_alcotest prop_minus_matches_naive;
+          QCheck_alcotest.to_alcotest prop_leftjoin_decomposition;
+          QCheck_alcotest.to_alcotest prop_union_cardinality;
+          QCheck_alcotest.to_alcotest prop_semijoin_is_filter;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "evaluation + error algebra" `Quick test_expr_eval;
+          Alcotest.test_case "builtins" `Quick test_expr_builtins;
+        ] );
+    ]

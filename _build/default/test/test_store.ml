@@ -1,0 +1,334 @@
+(* Tests for the rdf_store library: dictionary, permutation indexes, the
+   triple store's pattern access, and statistics. Includes qcheck
+   properties checking index lookups against naive scans. *)
+
+let iri i = Rdf.Term.iri (Printf.sprintf "http://t/%d" i)
+
+let triple s p o = Rdf.Triple.make (iri s) (iri (100 + p)) (iri (200 + o))
+
+(* --- Dictionary ----------------------------------------------------------- *)
+
+let test_dictionary_bijection () =
+  let dict = Rdf_store.Dictionary.create () in
+  let terms = List.init 100 iri in
+  let ids = List.map (Rdf_store.Dictionary.encode dict) terms in
+  Alcotest.(check int) "dense ids" 100 (Rdf_store.Dictionary.size dict);
+  List.iteri
+    (fun i id ->
+      Alcotest.(check int) "ids are dense and in insertion order" i id;
+      Alcotest.(check bool) "decode inverts encode" true
+        (Rdf.Term.equal (List.nth terms i) (Rdf_store.Dictionary.decode dict id)))
+    ids
+
+let test_dictionary_idempotent_encode () =
+  let dict = Rdf_store.Dictionary.create () in
+  let id1 = Rdf_store.Dictionary.encode dict (iri 1) in
+  let id2 = Rdf_store.Dictionary.encode dict (iri 1) in
+  Alcotest.(check int) "same id" id1 id2;
+  Alcotest.(check int) "size 1" 1 (Rdf_store.Dictionary.size dict)
+
+let test_dictionary_find_and_bounds () =
+  let dict = Rdf_store.Dictionary.create ~initial_capacity:1 () in
+  ignore (Rdf_store.Dictionary.encode dict (iri 1));
+  Alcotest.(check (option int)) "find hit" (Some 0)
+    (Rdf_store.Dictionary.find dict (iri 1));
+  Alcotest.(check (option int)) "find miss" None
+    (Rdf_store.Dictionary.find dict (iri 2));
+  Alcotest.check_raises "decode out of range"
+    (Invalid_argument "Dictionary.decode: id 5 out of range") (fun () ->
+      ignore (Rdf_store.Dictionary.decode dict 5))
+
+(* --- Index ------------------------------------------------------------------ *)
+
+let mk_table rows =
+  {
+    Rdf_store.Index.s = Array.of_list (List.map (fun (s, _, _) -> s) rows);
+    Rdf_store.Index.p = Array.of_list (List.map (fun (_, p, _) -> p) rows);
+    Rdf_store.Index.o = Array.of_list (List.map (fun (_, _, o) -> o) rows);
+  }
+
+let all_orders =
+  [ Rdf_store.Index.Spo; Sop; Pso; Pos; Osp; Ops ]
+
+let test_index_full_range () =
+  let table = mk_table [ (1, 2, 3); (0, 5, 1); (1, 2, 2); (4, 0, 0) ] in
+  List.iter
+    (fun order ->
+      let idx = Rdf_store.Index.build order table in
+      let lo, hi = Rdf_store.Index.range idx () in
+      Alcotest.(check (pair int int)) "full range" (0, 4) (lo, hi))
+    all_orders
+
+let test_index_sorted_and_prefix () =
+  let rows = [ (1, 2, 3); (0, 5, 1); (1, 2, 2); (1, 3, 0); (0, 5, 0) ] in
+  let table = mk_table rows in
+  let idx = Rdf_store.Index.build Rdf_store.Index.Spo table in
+  (* SPO order: (0,5,0) (0,5,1) (1,2,2) (1,2,3) (1,3,0) *)
+  let collected = ref [] in
+  let lo, hi = Rdf_store.Index.range idx () in
+  Rdf_store.Index.iter idx ~lo ~hi ~f:(fun ~s ~p ~o ->
+      collected := (s, p, o) :: !collected);
+  let sorted = List.rev !collected in
+  Alcotest.(check bool) "sorted lexicographically" true
+    (sorted = [ (0, 5, 0); (0, 5, 1); (1, 2, 2); (1, 2, 3); (1, 3, 0) ]);
+  let lo, hi = Rdf_store.Index.range idx ~a:1 () in
+  Alcotest.(check int) "s=1 has 3 rows" 3 (hi - lo);
+  let lo, hi = Rdf_store.Index.range idx ~a:1 ~b:2 () in
+  Alcotest.(check int) "s=1,p=2 has 2 rows" 2 (hi - lo);
+  let lo, hi = Rdf_store.Index.range idx ~a:1 ~b:2 ~c:3 () in
+  Alcotest.(check int) "exact row" 1 (hi - lo);
+  let lo, hi = Rdf_store.Index.range idx ~a:9 () in
+  Alcotest.(check int) "absent key" 0 (hi - lo)
+
+let test_index_distincts () =
+  let table = mk_table [ (1, 2, 3); (1, 2, 4); (1, 3, 3); (2, 2, 3) ] in
+  let idx = Rdf_store.Index.build Rdf_store.Index.Spo table in
+  let lo, hi = Rdf_store.Index.range idx () in
+  Alcotest.(check int) "distinct subjects" 2
+    (Rdf_store.Index.distinct_firsts idx ~lo ~hi);
+  Alcotest.(check int) "distinct (s,p)" 3
+    (Rdf_store.Index.distinct_seconds idx ~lo ~hi)
+
+let test_index_bad_prefix () =
+  let table = mk_table [ (1, 2, 3) ] in
+  let idx = Rdf_store.Index.build Rdf_store.Index.Spo table in
+  Alcotest.check_raises "b without a"
+    (Invalid_argument "Index.range: non-prefix key combination") (fun () ->
+      ignore (Rdf_store.Index.range idx ~b:2 ()))
+
+(* --- Triple store ------------------------------------------------------------- *)
+
+let test_store_dedup () =
+  let triples = [ triple 1 1 1; triple 1 1 1; triple 1 1 2 ] in
+  let store = Rdf_store.Triple_store.of_triples triples in
+  Alcotest.(check int) "duplicates removed" 2 (Rdf_store.Triple_store.size store)
+
+let test_store_pattern_counts () =
+  let triples =
+    [ triple 1 1 1; triple 1 1 2; triple 1 2 1; triple 2 1 1; triple 2 2 2 ]
+  in
+  let store = Rdf_store.Triple_store.of_triples triples in
+  let id t = Option.get (Rdf_store.Triple_store.encode_term store t) in
+  let s1 = id (iri 1) and p1 = id (iri 101) and o1 = id (iri 201) in
+  Alcotest.(check int) "count all" 5 (Rdf_store.Triple_store.count store ());
+  Alcotest.(check int) "count s" 3 (Rdf_store.Triple_store.count store ~s:s1 ());
+  Alcotest.(check int) "count p" 3 (Rdf_store.Triple_store.count store ~p:p1 ());
+  Alcotest.(check int) "count o" 3 (Rdf_store.Triple_store.count store ~o:o1 ());
+  Alcotest.(check int) "count sp" 2
+    (Rdf_store.Triple_store.count store ~s:s1 ~p:p1 ());
+  Alcotest.(check int) "count so" 2
+    (Rdf_store.Triple_store.count store ~s:s1 ~o:o1 ());
+  Alcotest.(check int) "count po" 2
+    (Rdf_store.Triple_store.count store ~p:p1 ~o:o1 ());
+  Alcotest.(check int) "count spo" 1
+    (Rdf_store.Triple_store.count store ~s:s1 ~p:p1 ~o:o1 ());
+  Alcotest.(check bool) "contains" true
+    (Rdf_store.Triple_store.contains store ~s:s1 ~p:p1 ~o:o1)
+
+let test_store_missing_term () =
+  let store = Rdf_store.Triple_store.of_triples [ triple 1 1 1 ] in
+  Alcotest.(check (option int)) "missing term" None
+    (Rdf_store.Triple_store.encode_term store (iri 999))
+
+(* qcheck: every pattern lookup agrees with a naive scan. *)
+let prop_store_matches_naive =
+  QCheck2.Test.make ~name:"pattern lookup = naive scan" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 60)
+           (map3 (fun s p o -> (s, p, o)) (int_range 0 5) (int_range 0 3)
+              (int_range 0 6)))
+        (map3 (fun s p o -> (s, p, o)) (int_range (-1) 5) (int_range (-1) 3)
+           (int_range (-1) 6)))
+    (fun (rows, (qs, qp, qo)) ->
+      let triples = List.map (fun (s, p, o) -> triple s p o) rows in
+      let store = Rdf_store.Triple_store.of_triples triples in
+      let enc t = Rdf_store.Triple_store.encode_term store t in
+      let key q base = if q < 0 then None else enc (iri (base + q)) in
+      let s = key qs 0 and p = key qp 100 and o = key qo 200 in
+      (* If a queried constant is absent from the data, the count must be
+         0 unless that position was a wildcard. *)
+      let expected =
+        let distinct = List.sort_uniq compare rows in
+        List.length
+          (List.filter
+             (fun (rs, rp, ro) ->
+               (qs < 0 || rs = qs) && (qp < 0 || rp = qp) && (qo < 0 || ro = qo))
+             distinct)
+      in
+      let actual =
+        match ((qs >= 0 && s = None), (qp >= 0 && p = None), (qo >= 0 && o = None)) with
+        | false, false, false -> Rdf_store.Triple_store.count store ?s ?p ?o ()
+        | _ -> 0 (* constant not in dictionary: trivially no matches *)
+      in
+      actual = expected)
+
+(* --- Snapshot ---------------------------------------------------------------- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "repro" ".spuo" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_snapshot_roundtrip () =
+  let triples =
+    [
+      Rdf.Triple.make (iri 1) (iri 100) (iri 2);
+      Rdf.Triple.make (iri 1) (iri 100) (Rdf.Term.literal "plain \"quoted\"");
+      Rdf.Triple.make (Rdf.Term.bnode "b0") (iri 101)
+        (Rdf.Term.lang_literal "salut" ~lang:"fr");
+      Rdf.Triple.make (iri 3) (iri 101) (Rdf.Term.int_literal 42);
+    ]
+  in
+  let store = Rdf_store.Triple_store.of_triples triples in
+  with_temp_file (fun path ->
+      Rdf_store.Snapshot.save store path;
+      let restored = Rdf_store.Snapshot.load path in
+      Alcotest.(check int) "same size" (Rdf_store.Triple_store.size store)
+        (Rdf_store.Triple_store.size restored);
+      (* Every original triple is present, term-for-term. *)
+      List.iter
+        (fun { Rdf.Triple.s; p; o } ->
+          let id term =
+            Option.get (Rdf_store.Triple_store.encode_term restored term)
+          in
+          Alcotest.(check bool)
+            (Rdf.Triple.to_ntriples (Rdf.Triple.make s p o))
+            true
+            (Rdf_store.Triple_store.contains restored ~s:(id s) ~p:(id p)
+               ~o:(id o)))
+        triples)
+
+let test_snapshot_corruption () =
+  let store = Rdf_store.Triple_store.of_triples [ triple 1 1 1; triple 2 1 2 ] in
+  with_temp_file (fun path ->
+      Rdf_store.Snapshot.save store path;
+      (* Flip a byte in the middle: checksum must catch it. *)
+      let content = In_channel.with_open_bin path In_channel.input_all in
+      let mutated = Bytes.of_string content in
+      let mid = Bytes.length mutated / 2 in
+      Bytes.set mutated mid
+        (Char.chr ((Char.code (Bytes.get mutated mid) + 1) land 0xFF));
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_bytes oc mutated);
+      (match Rdf_store.Snapshot.load path with
+      | exception Rdf_store.Snapshot.Corrupt _ -> ()
+      | _ -> Alcotest.fail "expected Corrupt on bit flip");
+      (* Truncation must also be caught. *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub content 0 (String.length content - 6)));
+      (match Rdf_store.Snapshot.load path with
+      | exception Rdf_store.Snapshot.Corrupt _ -> ()
+      | _ -> Alcotest.fail "expected Corrupt on truncation");
+      (* Wrong magic. *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc ("XXXX" ^ String.sub content 4 (String.length content - 4)));
+      match Rdf_store.Snapshot.load path with
+      | exception Rdf_store.Snapshot.Corrupt _ -> ()
+      | _ -> Alcotest.fail "expected Corrupt on bad magic")
+
+(* Property: snapshots round-trip arbitrary encoded datasets and queries
+   see identical results. *)
+let prop_snapshot_roundtrip =
+  QCheck2.Test.make ~name:"snapshot roundtrip preserves pattern counts"
+    ~count:50
+    QCheck2.Gen.(
+      list_size (int_range 0 40)
+        (map3 (fun s p o -> (s, p, o)) (int_range 0 5) (int_range 0 3)
+           (int_range 0 6)))
+    (fun rows ->
+      let triples = List.map (fun (s, p, o) -> triple s p o) rows in
+      let store = Rdf_store.Triple_store.of_triples triples in
+      with_temp_file (fun path ->
+          Rdf_store.Snapshot.save store path;
+          let restored = Rdf_store.Snapshot.load path in
+          Rdf_store.Triple_store.size restored = Rdf_store.Triple_store.size store
+          && List.for_all
+               (fun t ->
+                 let present store =
+                   match
+                     ( Rdf_store.Triple_store.encode_term store t.Rdf.Triple.s,
+                       Rdf_store.Triple_store.encode_term store t.Rdf.Triple.p,
+                       Rdf_store.Triple_store.encode_term store t.Rdf.Triple.o )
+                   with
+                   | Some s, Some p, Some o ->
+                       Rdf_store.Triple_store.contains store ~s ~p ~o
+                   | _ -> false
+                 in
+                 present restored = present store)
+               triples))
+
+(* --- Stats ----------------------------------------------------------------------- *)
+
+let test_stats_counts () =
+  let triples =
+    [
+      Rdf.Triple.make (iri 1) (iri 100) (iri 2);
+      Rdf.Triple.make (iri 1) (iri 100) (Rdf.Term.literal "x");
+      Rdf.Triple.make (iri 2) (iri 101) (Rdf.Term.literal "y");
+      Rdf.Triple.make (iri 3) (iri 100) (iri 2);
+    ]
+  in
+  let store = Rdf_store.Triple_store.of_triples triples in
+  let stats = Rdf_store.Stats.compute store in
+  Alcotest.(check int) "triples" 4 (Rdf_store.Stats.num_triples stats);
+  (* Entities: iri1, iri2, iri3 (iri100/101 only appear as predicates). *)
+  Alcotest.(check int) "entities" 3 (Rdf_store.Stats.num_entities stats);
+  Alcotest.(check int) "predicates" 2 (Rdf_store.Stats.num_predicates stats);
+  Alcotest.(check int) "literals" 2 (Rdf_store.Stats.num_literals stats)
+
+let test_stats_predicate () =
+  let triples =
+    [
+      Rdf.Triple.make (iri 1) (iri 100) (iri 10);
+      Rdf.Triple.make (iri 1) (iri 100) (iri 11);
+      Rdf.Triple.make (iri 2) (iri 100) (iri 10);
+    ]
+  in
+  let store = Rdf_store.Triple_store.of_triples triples in
+  let stats = Rdf_store.Stats.compute store in
+  let p = Option.get (Rdf_store.Triple_store.encode_term store (iri 100)) in
+  let ps = Rdf_store.Stats.predicate stats ~p in
+  Alcotest.(check int) "triples" 3 ps.Rdf_store.Stats.triples;
+  Alcotest.(check int) "distinct subjects" 2 ps.Rdf_store.Stats.distinct_subjects;
+  Alcotest.(check int) "distinct objects" 2 ps.Rdf_store.Stats.distinct_objects;
+  Alcotest.(check (float 0.001)) "avg out" 1.5 ps.Rdf_store.Stats.avg_out_degree;
+  Alcotest.(check (float 0.001)) "avg in" 1.5 ps.Rdf_store.Stats.avg_in_degree;
+  let absent = Rdf_store.Stats.predicate stats ~p:99999 in
+  Alcotest.(check int) "absent predicate zero" 0 absent.Rdf_store.Stats.triples
+
+let () =
+  Alcotest.run "rdf_store"
+    [
+      ( "dictionary",
+        [
+          Alcotest.test_case "bijection" `Quick test_dictionary_bijection;
+          Alcotest.test_case "idempotent encode" `Quick test_dictionary_idempotent_encode;
+          Alcotest.test_case "find and bounds" `Quick test_dictionary_find_and_bounds;
+        ] );
+      ( "index",
+        [
+          Alcotest.test_case "full range" `Quick test_index_full_range;
+          Alcotest.test_case "sorted + prefix ranges" `Quick test_index_sorted_and_prefix;
+          Alcotest.test_case "distinct counters" `Quick test_index_distincts;
+          Alcotest.test_case "non-prefix rejected" `Quick test_index_bad_prefix;
+        ] );
+      ( "triple_store",
+        [
+          Alcotest.test_case "dedup" `Quick test_store_dedup;
+          Alcotest.test_case "pattern counts" `Quick test_store_pattern_counts;
+          Alcotest.test_case "missing term" `Quick test_store_missing_term;
+          QCheck_alcotest.to_alcotest prop_store_matches_naive;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "corruption detected" `Quick test_snapshot_corruption;
+          QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "dataset counts" `Quick test_stats_counts;
+          Alcotest.test_case "per-predicate" `Quick test_stats_predicate;
+        ] );
+    ]

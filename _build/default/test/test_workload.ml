@@ -1,0 +1,267 @@
+(* Tests for the workload library: the deterministic RNG, the LUBM and
+   DBpedia-like generators' schema invariants, the benchmark queries'
+   anchors, and the metrics module. *)
+
+let ub = Rdf.Namespace.ub
+
+(* --- Rng --------------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let draw seed = List.init 20 (fun _ -> Workload.Rng.int (Workload.Rng.create ~seed) 1000) in
+  ignore draw;
+  let r1 = Workload.Rng.create ~seed:42 and r2 = Workload.Rng.create ~seed:42 in
+  let s1 = List.init 50 (fun _ -> Workload.Rng.int r1 1000) in
+  let s2 = List.init 50 (fun _ -> Workload.Rng.int r2 1000) in
+  Alcotest.(check (list int)) "same seed same stream" s1 s2;
+  let r3 = Workload.Rng.create ~seed:43 in
+  let s3 = List.init 50 (fun _ -> Workload.Rng.int r3 1000) in
+  Alcotest.(check bool) "different seed differs" true (s1 <> s3)
+
+let test_rng_bounds () =
+  let rng = Workload.Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Workload.Rng.int rng 10 in
+    Alcotest.(check bool) "in [0,10)" true (x >= 0 && x < 10);
+    let y = Workload.Rng.between rng 3 5 in
+    Alcotest.(check bool) "in [3,5]" true (y >= 3 && y <= 5);
+    let f = Workload.Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_rng_zipf_skew () =
+  let rng = Workload.Rng.create ~seed:11 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 5000 do
+    let r = Workload.Rng.zipf rng ~n:10 ~skew:1.2 in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most frequent" true
+    (counts.(0) > counts.(5) && counts.(0) > counts.(9))
+
+(* --- Generators ------------------------------------------------------------------ *)
+
+let lubm_store = lazy (Workload.Lubm.store Workload.Lubm.tiny)
+let dbp_store = lazy (Workload.Dbpedia_gen.store Workload.Dbpedia_gen.tiny)
+
+let count_p store p =
+  match Rdf_store.Triple_store.encode_term store (Rdf.Term.iri p) with
+  | Some id -> Rdf_store.Triple_store.count store ~p:id ()
+  | None -> 0
+
+let test_lubm_deterministic () =
+  let t1 = Workload.Lubm.generate Workload.Lubm.tiny in
+  let t2 = Workload.Lubm.generate Workload.Lubm.tiny in
+  Alcotest.(check int) "same size" (List.length t1) (List.length t2);
+  Alcotest.(check bool) "identical triples" true
+    (List.for_all2 Rdf.Triple.equal t1 t2)
+
+let test_lubm_schema_coverage () =
+  let store = Lazy.force lubm_store in
+  (* Every predicate the benchmark queries use must occur in the data. *)
+  List.iter
+    (fun local ->
+      Alcotest.(check bool) (local ^ " present") true (count_p store (ub local) > 0))
+    [
+      "headOf"; "worksFor"; "undergraduateDegreeFrom"; "doctoralDegreeFrom";
+      "mastersDegreeFrom"; "publicationAuthor"; "memberOf"; "subOrganizationOf";
+      "name"; "emailAddress"; "telephone"; "advisor"; "teacherOf"; "takesCourse";
+      "teachingAssistantOf"; "researchInterest";
+    ];
+  Alcotest.(check bool) "rdf:type present" true
+    (count_p store Rdf.Namespace.rdf_type > 0);
+  (* Table 2's "18 predicates" shape: 16 ub predicates + name/type etc. *)
+  let stats = Rdf_store.Stats.compute store in
+  Alcotest.(check int) "18-predicate schema" 17 (Rdf_store.Stats.num_predicates stats)
+
+let test_lubm_query_anchors_exist () =
+  (* The constants hard-coded in the benchmark queries must exist at the
+     default scale's university 0; tiny has university 0 only, so check
+     the department floor logic there. *)
+  let store = Lazy.force lubm_store in
+  let dept1 = Workload.Lubm.department_iri ~univ:0 ~dept:1 in
+  let dept12 = Workload.Lubm.department_iri ~univ:0 ~dept:12 in
+  List.iter
+    (fun iri ->
+      Alcotest.(check bool) (iri ^ " exists") true
+        (Rdf_store.Triple_store.encode_term store (Rdf.Term.iri iri) <> None))
+    [ dept1; dept12;
+      dept1 ^ "/UndergraduateStudent363";
+      "http://www.Department0.University0.edu/UndergraduateStudent91" ];
+  (* The q1.4 email literal. *)
+  Alcotest.(check bool) "q1.4 email literal exists" true
+    (Rdf_store.Triple_store.encode_term store
+       (Rdf.Term.literal "UndergraduateStudent309@Department12.University0.edu")
+    <> None)
+
+let test_lubm_structural_invariants () =
+  let store = Lazy.force lubm_store in
+  let id term = Rdf_store.Triple_store.encode_term store term in
+  let head = Option.get (id (Rdf.Term.iri (ub "headOf"))) in
+  let works = Option.get (id (Rdf.Term.iri (ub "worksFor"))) in
+  (* Every department head also works for a department. *)
+  let ok = ref true in
+  Rdf_store.Triple_store.iter store ~p:head
+    ~f:(fun ~s ~p:_ ~o:_ ->
+      if Rdf_store.Triple_store.count store ~s ~p:works () = 0 then ok := false)
+    ();
+  Alcotest.(check bool) "heads work for departments" true !ok;
+  (* Exactly one head per department. *)
+  let dept_heads = Hashtbl.create 64 in
+  Rdf_store.Triple_store.iter store ~p:head
+    ~f:(fun ~s:_ ~p:_ ~o ->
+      Hashtbl.replace dept_heads o (1 + Option.value (Hashtbl.find_opt dept_heads o) ~default:0))
+    ();
+  Hashtbl.iter (fun _ n -> Alcotest.(check int) "one head per dept" 1 n) dept_heads
+
+let test_lubm_scaling () =
+  (* University 0 carries fixed floors (for the query anchors), so measure
+     growth on the marginal universities: adding two more must add about
+     twice what adding one does. *)
+  let size n =
+    List.length (Workload.Lubm.generate { Workload.Lubm.tiny with universities = n })
+  in
+  let s1 = size 1 and s2 = size 2 and s3 = size 3 in
+  Alcotest.(check bool) "monotone growth" true (s1 < s2 && s2 < s3);
+  let d1 = s2 - s1 and d2 = s3 - s1 in
+  Alcotest.(check bool) "marginal universities comparable in size" true
+    (d2 > d1 * 3 / 2 && d2 < d1 * 3)
+
+let test_dbpedia_deterministic () =
+  let t1 = Workload.Dbpedia_gen.generate Workload.Dbpedia_gen.tiny in
+  let t2 = Workload.Dbpedia_gen.generate Workload.Dbpedia_gen.tiny in
+  Alcotest.(check bool) "identical triples" true
+    (List.for_all2 Rdf.Triple.equal t1 t2)
+
+let test_dbpedia_schema_coverage () =
+  let store = Lazy.force dbp_store in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (p ^ " present") true (count_p store p > 0))
+    [
+      Rdf.Namespace.rdfs "label"; Rdf.Namespace.foaf "name";
+      Rdf.Namespace.purl "subject"; Rdf.Namespace.skos "subject";
+      Rdf.Namespace.nsprov "wasDerivedFrom"; Rdf.Namespace.owl "sameAs";
+      Rdf.Namespace.dbo "wikiPageWikiLink"; Rdf.Namespace.dbo "wikiPageRedirects";
+      Rdf.Namespace.foaf "isPrimaryTopicOf"; Rdf.Namespace.foaf "primaryTopic";
+      Rdf.Namespace.dbo "abstract"; Rdf.Namespace.geo "lat";
+      Rdf.Namespace.geo "long"; Rdf.Namespace.foaf "depiction";
+      Rdf.Namespace.foaf "homepage"; Rdf.Namespace.dbo "populationTotal";
+      Rdf.Namespace.dbo "thumbnail"; Rdf.Namespace.rdfs "comment";
+      Rdf.Namespace.foaf "page"; Rdf.Namespace.dbp "industry";
+      Rdf.Namespace.dbp "location"; Rdf.Namespace.dbp "locationCountry";
+      Rdf.Namespace.dbp "locationCity"; Rdf.Namespace.dbp "manufacturer";
+      Rdf.Namespace.dbp "products"; Rdf.Namespace.dbp "model";
+      Rdf.Namespace.georss "point";
+    ]
+
+let test_dbpedia_union_motivation () =
+  (* The Figure 1(a) scenario: some persons have foaf:name, all have
+     rdfs:label — so the UNION genuinely collects more than either
+     branch. *)
+  let store = Lazy.force dbp_store in
+  let labels = count_p store (Rdf.Namespace.rdfs "label") in
+  let names = count_p store (Rdf.Namespace.foaf "name") in
+  Alcotest.(check bool) "labels outnumber names" true (labels > names);
+  Alcotest.(check bool) "names nonempty" true (names > 0);
+  (* Category membership split across purl:subject and skos:subject. *)
+  Alcotest.(check bool) "both subject representations in use" true
+    (count_p store (Rdf.Namespace.purl "subject") > 0
+    && count_p store (Rdf.Namespace.skos "subject") > 0)
+
+let test_dbpedia_hubs () =
+  let store = Lazy.force dbp_store in
+  let id iri = Rdf_store.Triple_store.encode_term store (Rdf.Term.iri iri) in
+  let economic = Option.get (id Workload.Dbpedia_gen.economic_system) in
+  let link =
+    Option.get (id (Rdf.Namespace.dbo "wikiPageWikiLink"))
+  in
+  let incoming = Rdf_store.Triple_store.count store ~p:link ~o:economic () in
+  Alcotest.(check bool) "Economic_system is a selective hub" true
+    (incoming > 0 && incoming < Rdf_store.Triple_store.size store / 100);
+  (* Air_masses anchors q1.3: it must have a primary page and an alias
+     redirecting to it. *)
+  let air = Option.get (id Workload.Dbpedia_gen.air_masses) in
+  let primary = Option.get (id (Rdf.Namespace.foaf "isPrimaryTopicOf")) in
+  Alcotest.(check bool) "Air_masses has a page" true
+    (Rdf_store.Triple_store.count store ~s:air ~p:primary () > 0);
+  let redirects = Option.get (id (Rdf.Namespace.dbo "wikiPageRedirects")) in
+  Alcotest.(check bool) "alias redirects to Air_masses" true
+    (Rdf_store.Triple_store.count store ~p:redirects ~o:air () > 0)
+
+(* --- Queries and metrics ------------------------------------------------------------ *)
+
+let test_queries_complete () =
+  List.iter
+    (fun ds ->
+      let entries = Workload.Queries.all ds in
+      Alcotest.(check int) "12 queries" 12 (List.length entries);
+      Alcotest.(check int) "6 in group 1" 6 (List.length (Workload.Queries.group1 ds));
+      Alcotest.(check int) "6 in group 2" 6 (List.length (Workload.Queries.group2 ds)))
+    [ Workload.Queries.Lubm; Workload.Queries.Dbpedia ];
+  Alcotest.(check bool) "get q1.3" true
+    ((Workload.Queries.get Workload.Queries.Lubm "q1.3").Workload.Queries.id = "q1.3");
+  match Workload.Queries.get Workload.Queries.Lubm "q9.9" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let test_query_classification () =
+  let classify id =
+    Workload.Metrics.classify
+      (Sparql.Parser.parse
+         (Workload.Queries.get Workload.Queries.Lubm id).Workload.Queries.text)
+  in
+  Alcotest.(check string) "q1.1 is U" "U"
+    (Workload.Metrics.class_name (classify "q1.1"));
+  Alcotest.(check string) "q1.3 is O" "O"
+    (Workload.Metrics.class_name (classify "q1.3"));
+  Alcotest.(check string) "q1.5 is UO" "UO"
+    (Workload.Metrics.class_name (classify "q1.5"))
+
+let test_metrics_rows () =
+  let store = Lazy.force lubm_store in
+  let rows =
+    List.map
+      (Workload.Metrics.row_of ~row_budget:2_000_000 store)
+      (Workload.Queries.group1 Workload.Queries.Lubm)
+  in
+  Alcotest.(check int) "six rows" 6 (List.length rows);
+  List.iter
+    (fun (row : Workload.Metrics.row) ->
+      Alcotest.(check bool) (row.id ^ " has BGPs") true (row.count_bgp >= 1);
+      Alcotest.(check bool) (row.id ^ " has depth") true (row.depth >= 1))
+    rows;
+  (* q1.3's nested optionals: depth at least 4. *)
+  let q13 = List.find (fun (r : Workload.Metrics.row) -> r.id = "q1.3") rows in
+  Alcotest.(check bool) "q1.3 deep nesting" true (q13.depth >= 4)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
+        ] );
+      ( "lubm",
+        [
+          Alcotest.test_case "deterministic" `Quick test_lubm_deterministic;
+          Alcotest.test_case "schema coverage" `Quick test_lubm_schema_coverage;
+          Alcotest.test_case "query anchors exist" `Quick test_lubm_query_anchors_exist;
+          Alcotest.test_case "structural invariants" `Quick test_lubm_structural_invariants;
+          Alcotest.test_case "scaling" `Quick test_lubm_scaling;
+        ] );
+      ( "dbpedia",
+        [
+          Alcotest.test_case "deterministic" `Quick test_dbpedia_deterministic;
+          Alcotest.test_case "schema coverage" `Quick test_dbpedia_schema_coverage;
+          Alcotest.test_case "union motivation" `Quick test_dbpedia_union_motivation;
+          Alcotest.test_case "hubs" `Quick test_dbpedia_hubs;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "complete" `Quick test_queries_complete;
+          Alcotest.test_case "classification" `Quick test_query_classification;
+          Alcotest.test_case "metrics rows" `Quick test_metrics_rows;
+        ] );
+    ]
