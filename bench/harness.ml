@@ -7,6 +7,7 @@ type config = {
   repetitions : int;  (** timings are best-of-N *)
   row_budget : int;  (** the paper's memory-limit analogue *)
   timeout_ms : float;  (** the paper's query-timeout analogue *)
+  domains : int;  (** domains per query evaluation (1 = serial) *)
   lubm : Workload.Lubm.config;
   dbpedia : Workload.Dbpedia_gen.config;
   scaling_universities : int list;  (** Figure 12's dataset ladder *)
@@ -18,6 +19,7 @@ let default_config =
     repetitions = 2;
     row_budget = 10_000_000;
     timeout_ms = 20_000.;
+    domains = 1;
     lubm = Workload.Lubm.default;
     dbpedia = Workload.Dbpedia_gen.default;
     scaling_universities = [ 3; 6; 9; 13 ];
@@ -29,6 +31,7 @@ let quick_config =
     repetitions = 1;
     row_budget = 2_000_000;
     timeout_ms = 5_000.;
+    domains = 1;
     lubm = { Workload.Lubm.default with universities = 2; density = 0.5 };
     dbpedia = Workload.Dbpedia_gen.tiny;
     scaling_universities = [ 1; 2 ];
@@ -56,9 +59,9 @@ let run_mode config ~stats store entry ~mode ~engine =
   let last_report = ref None in
   for _ = 1 to config.repetitions do
     let report =
-      Sparql_uo.Executor.run ~mode ~engine ~row_budget:config.row_budget
-        ~timeout_ms:config.timeout_ms ~stats store
-        entry.Workload.Queries.text
+      Sparql_uo.Executor.run ~mode ~engine ~domains:config.domains
+        ~row_budget:config.row_budget ~timeout_ms:config.timeout_ms ~stats
+        store entry.Workload.Queries.text
     in
     last_report := Some report;
     let cell =

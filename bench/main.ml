@@ -13,7 +13,7 @@
 
 let all_sections =
   [ "table2"; "table3"; "table4"; "fig3"; "fig10"; "fig11"; "fig12"; "fig13";
-    "ablation"; "micro" ]
+    "ablation"; "micro"; "parallel" ]
 
 type context = {
   config : Harness.config;
@@ -483,8 +483,123 @@ let micro ctx =
     ~rows:(List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel: serial vs multi-domain execution on the mixed workload.   *)
+(* ------------------------------------------------------------------ *)
 
-let run_sections quick only =
+(* Not a paper figure: validates and times the multicore execution layer.
+   Each LUBM group-1 query (mixed OPTIONAL/UNION) runs under Full at
+   domains=1 and domains=N for both engines; results must be equal as
+   bags, and the per-query wall-clock goes into a machine-readable
+   BENCH json next to the human table. *)
+let parallel_bench_file = "bench_parallel.json"
+
+let parallel ctx ~domains =
+  Harness.section
+    (Printf.sprintf
+       "Parallel: full at domains=1 vs domains=%d (LUBM mixed \
+        OPTIONAL/UNION workload)"
+       domains);
+  let store, stats = Lazy.force ctx.lubm in
+  let json_engines =
+    List.map
+      (fun engine ->
+        Harness.subsection (Engine.Bgp_eval.engine_name engine);
+        let rows_json = ref [] in
+        let sum_serial = ref 0. and sum_parallel = ref 0. in
+        let rows =
+          List.map
+            (fun entry ->
+              let serial_cell, serial_report =
+                Harness.run_mode
+                  { ctx.config with Harness.domains = 1 }
+                  ~stats store entry ~mode:Sparql_uo.Executor.Full ~engine
+              in
+              let par_cell, par_report =
+                Harness.run_mode
+                  { ctx.config with Harness.domains }
+                  ~stats store entry ~mode:Sparql_uo.Executor.Full ~engine
+              in
+              let equal =
+                match
+                  ( serial_report.Sparql_uo.Executor.bag,
+                    par_report.Sparql_uo.Executor.bag )
+                with
+                | Some b1, Some b2 -> Sparql.Bag.equal_as_bags b1 b2
+                | None, None -> true
+                | _ -> false
+              in
+              let speedup =
+                match (serial_cell, par_cell) with
+                | Harness.Time t1, Harness.Time tn when tn > 0. ->
+                    sum_serial := !sum_serial +. t1;
+                    sum_parallel := !sum_parallel +. tn;
+                    Printf.sprintf "%.2fx" (t1 /. tn)
+                | _ -> "-"
+              in
+              let cell_json = function
+                | Harness.Time ms -> Printf.sprintf "%.3f" ms
+                | Harness.Oom | Harness.Timed_out -> "null"
+              in
+              rows_json :=
+                Printf.sprintf
+                  "      {\"id\": %S, \"ms_d1\": %s, \"ms_d%d\": %s, \
+                   \"equal_as_bags\": %b}"
+                  entry.Workload.Queries.id (cell_json serial_cell) domains
+                  (cell_json par_cell) equal
+                :: !rows_json;
+              [
+                entry.Workload.Queries.id;
+                Harness.cell_to_string serial_cell;
+                Harness.cell_to_string par_cell;
+                speedup;
+                (if equal then "yes" else "NO");
+              ])
+            (Workload.Queries.group1 Workload.Queries.Lubm)
+        in
+        Harness.print_table
+          ~header:
+            [
+              "Query";
+              "domains=1 (ms)";
+              Printf.sprintf "domains=%d (ms)" domains;
+              "speedup";
+              "equal";
+            ]
+          ~rows;
+        let aggregate =
+          if !sum_parallel > 0. then !sum_serial /. !sum_parallel else 0.
+        in
+        Printf.printf "aggregate speedup (%s): %.2fx\n%!"
+          (Engine.Bgp_eval.engine_name engine)
+          aggregate;
+        Printf.sprintf
+          "    {\"engine\": %S, \"aggregate_speedup\": %.3f, \"queries\": [\n\
+           %s\n\
+          \    ]}"
+          (Engine.Bgp_eval.engine_name engine)
+          aggregate
+          (String.concat ",\n" (List.rev !rows_json)))
+      [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ]
+  in
+  let oc = open_out parallel_bench_file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"section\": \"parallel\",\n\
+    \  \"dataset\": \"LUBM\",\n\
+    \  \"mode\": \"full\",\n\
+    \  \"domains\": [1, %d],\n\
+    \  \"engines\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    domains
+    (String.concat ",\n" json_engines);
+  close_out oc;
+  Printf.printf "[bench] wrote %s\n%!" parallel_bench_file
+
+(* ------------------------------------------------------------------ *)
+
+let run_sections quick only domains =
   let config = if quick then Harness.quick_config else Harness.default_config in
   let ctx =
     {
@@ -509,6 +624,7 @@ let run_sections quick only =
     | "fig13" -> fig13 ctx
     | "ablation" -> ablation ctx
     | "micro" -> micro ctx
+    | "parallel" -> parallel ctx ~domains
     | other -> Printf.eprintf "unknown section %S (skipped)\n" other
   in
   Printf.printf "SPARQL-UO reproduction bench (%s mode): %s\n%!"
@@ -519,6 +635,7 @@ let run_sections quick only =
 let () =
   let quick = ref false in
   let only = ref [] in
+  let domains = ref 4 in
   let spec =
     [
       ("--quick", Arg.Set quick, " reduced-scale smoke run");
@@ -526,9 +643,12 @@ let () =
         Arg.String (fun s -> only := !only @ [ s ]),
         "SECTION run one section (repeatable): "
         ^ String.concat "|" all_sections );
+      ( "--domains",
+        Arg.Set_int domains,
+        "N domain count for the parallel section (default 4)" );
     ]
   in
   Arg.parse spec
     (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
     "SPARQL-UO benchmark harness";
-  run_sections !quick !only
+  run_sections !quick !only !domains

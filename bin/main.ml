@@ -57,6 +57,15 @@ let budget_arg =
   let doc = "Intermediate-row budget (memory-limit analogue)." in
   Arg.(value & opt (some int) None & info [ "row-budget" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Number of domains (OS-level cores) query evaluation may use; 1 \
+     (default) is fully serial. With more, WCO extension steps, hash-join \
+     probes and independent UNION branches run on a shared domain pool; \
+     results are equal as bags, row order may differ."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 (* ---------------- helpers ---------------- *)
 
 let parse_synth spec =
@@ -160,11 +169,13 @@ let generate_cmd =
 (* ---------------- query ---------------- *)
 
 let query_cmd =
-  let run data synth qfile qtext mode engine max_print timeout_ms row_budget =
+  let run data synth qfile qtext mode engine max_print timeout_ms row_budget
+      domains =
     let store = or_die (load_store data synth) in
     let text = or_die (load_query qfile qtext) in
     let report =
-      Sparql_uo.Executor.run ~mode ~engine ?timeout_ms ?row_budget store text
+      Sparql_uo.Executor.run ~mode ~engine ~domains ?timeout_ms ?row_budget
+        store text
     in
     match report.Sparql_uo.Executor.query.Sparql.Ast.form with
     | Sparql.Ast.Select _ -> print_solutions store report max_print
@@ -181,7 +192,8 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Execute a SPARQL query (SELECT, ASK, CONSTRUCT or DESCRIBE)")
     Term.(
       const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
-      $ mode_arg $ engine_arg $ max_print_arg $ timeout_arg $ budget_arg)
+      $ mode_arg $ engine_arg $ max_print_arg $ timeout_arg $ budget_arg
+      $ domains_arg)
 
 (* ---------------- explain ---------------- *)
 
@@ -202,7 +214,7 @@ let explain_cmd =
 (* ---------------- modes ---------------- *)
 
 let modes_cmd =
-  let run data synth qfile qtext engine timeout_ms row_budget =
+  let run data synth qfile qtext engine timeout_ms row_budget domains =
     let store = or_die (load_store data synth) in
     let text = or_die (load_query qfile qtext) in
     Printf.printf "%-6s %-10s %-12s %-12s\n" "mode" "results" "plan (ms)"
@@ -210,8 +222,8 @@ let modes_cmd =
     List.iter
       (fun mode ->
         let report =
-          Sparql_uo.Executor.run ~mode ~engine ?timeout_ms ?row_budget store
-            text
+          Sparql_uo.Executor.run ~mode ~engine ~domains ?timeout_ms
+            ?row_budget store text
         in
         Printf.printf "%-6s %-10s %-12.2f %-12.2f\n"
           (Sparql_uo.Executor.mode_name mode)
@@ -230,7 +242,7 @@ let modes_cmd =
     (Cmd.info "modes" ~doc:"Compare base/TT/CP/full on one query")
     Term.(
       const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
-      $ engine_arg $ timeout_arg $ budget_arg)
+      $ engine_arg $ timeout_arg $ budget_arg $ domains_arg)
 
 (* ---------------- update ---------------- *)
 

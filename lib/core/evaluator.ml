@@ -8,15 +8,24 @@ type stats = {
   pruned_bgps : int;
 }
 
+(* The running counters are atomics: parallel UNION branches update them
+   from worker domains. *)
 type state = {
   env : Engine.Bgp_eval.t;
   threshold : threshold;
-  mutable peak_rows : int;
-  mutable bgp_evals : int;
-  mutable pruned_bgps : int;
+  peak_rows : int Atomic.t;
+  bgp_evals : int Atomic.t;
+  pruned_bgps : int Atomic.t;
 }
 
-let observe st bag = st.peak_rows <- max st.peak_rows (Sparql.Bag.length bag)
+let atomic_max cell v =
+  let rec go () =
+    let seen = Atomic.get cell in
+    if v > seen && not (Atomic.compare_and_set cell seen v) then go ()
+  in
+  go ()
+
+let observe st bag = atomic_max st.peak_rows (Sparql.Bag.length bag)
 
 (* Variable columns used anywhere below a node — candidate sets are only
    built for columns the subtree can actually prune on. *)
@@ -97,12 +106,52 @@ let eval_bgp st patterns ~cands =
   | [] -> (Sparql.Bag.unit ~width, 1.)
   | _ ->
       let admitted = admit_candidates st cands patterns in
-      st.bgp_evals <- st.bgp_evals + 1;
+      Atomic.incr st.bgp_evals;
       if not (Engine.Candidates.is_empty admitted) then
-        st.pruned_bgps <- st.pruned_bgps + 1;
+        Atomic.incr st.pruned_bgps;
       let bag = Engine.Bgp_eval.eval st.env patterns ~candidates:admitted in
       observe st bag;
       (bag, float_of_int (Sparql.Bag.length bag))
+
+(* Parallel-UNION safety check: materializing a VALUES block interns its
+   constants in the store dictionary — the one write to shared store state
+   during evaluation — so a branch that can reach a VALUES node (directly
+   or through an EXISTS pattern inside a filter) must stay on the serial
+   path. Everything else a branch touches (indexes, statistics, candidate
+   tables, dictionary decode) is read-only. *)
+let rec ast_group_has_values (g : Sparql.Ast.group) =
+  List.exists
+    (function
+      | Sparql.Ast.Triples _ -> false
+      | Sparql.Ast.Values _ -> true
+      | Sparql.Ast.Group g | Sparql.Ast.Optional g | Sparql.Ast.Minus g ->
+          ast_group_has_values g
+      | Sparql.Ast.Union gs -> List.exists ast_group_has_values gs
+      | Sparql.Ast.Filter e -> expr_has_values e)
+    g
+
+and expr_has_values (e : Sparql.Ast.expr) =
+  match e with
+  | Sparql.Expr.Exists g | Sparql.Expr.Not_exists g -> ast_group_has_values g
+  | Sparql.Expr.Const _ | Sparql.Expr.Var _ | Sparql.Expr.Bound _ -> false
+  | Sparql.Expr.Cmp (_, e1, e2)
+  | Sparql.Expr.Arith (_, e1, e2)
+  | Sparql.Expr.And (e1, e2)
+  | Sparql.Expr.Or (e1, e2) ->
+      expr_has_values e1 || expr_has_values e2
+  | Sparql.Expr.Neg e | Sparql.Expr.Not e -> expr_has_values e
+  | Sparql.Expr.Call (_, args) -> List.exists expr_has_values args
+
+let rec tree_has_values (g : Be_tree.group) =
+  List.exists
+    (function
+      | Be_tree.Values _ -> true
+      | Be_tree.Bgp _ -> false
+      | Be_tree.Group g | Be_tree.Optional g | Be_tree.Minus g ->
+          tree_has_values g
+      | Be_tree.Union gs -> List.exists tree_has_values gs)
+    g.children
+  || List.exists expr_has_values g.filters
 
 let rec filter_lookup st row v =
   let table = Engine.Bgp_eval.vartable st.env in
@@ -129,8 +178,8 @@ let rec exists_check st row group =
   in
   let tree = Be_tree.of_ast substituted in
   let sub_state =
-    { env; threshold = No_pruning; peak_rows = 0; bgp_evals = 0;
-      pruned_bgps = 0 }
+    { env; threshold = No_pruning; peak_rows = Atomic.make 0;
+      bgp_evals = Atomic.make 0; pruned_bgps = Atomic.make 0 }
   in
   let bag, _ = eval_group sub_state tree ~cands:Engine.Candidates.empty in
   not (Sparql.Bag.is_empty bag)
@@ -157,6 +206,22 @@ and values_bag st (block : Sparql.Ast.values_block) =
       Sparql.Bag.push bag fresh)
     block.Sparql.Ast.rows;
   bag
+
+(* UNION branches are independent by construction, so when the env carries
+   a domain pool they evaluate concurrently, one branch per worker.
+   Branches that could intern dictionary terms (VALUES, see above) force
+   the serial path; nested parallelism inside a branch (a WCO step or a
+   probe-side chunking) degrades to serial automatically in the pool. *)
+and eval_union_branches st branches ~cands =
+  match Engine.Bgp_eval.pool st.env with
+  | Some pool
+    when List.length branches > 1
+         && not (List.exists tree_has_values branches) ->
+      let arr = Array.of_list branches in
+      Array.to_list
+        (Engine.Pool.parallel_map pool ~chunk:1 ~lo:0 ~hi:(Array.length arr)
+           (fun i -> eval_group st arr.(i) ~cands))
+  | _ -> List.map (fun branch -> eval_group st branch ~cands) branches
 
 (* Algorithm 1, with candidate pruning (the [cands] argument is the paper's
    third argument to BGPBasedEvaluation). Returns the bag and the node's
@@ -190,11 +255,10 @@ and eval_group st (g : Be_tree.group) ~cands : Sparql.Bag.t * float =
           let u = ref (Sparql.Bag.create ~width) in
           let union_js = ref 0. in
           List.iter
-            (fun branch ->
-              let bag, branch_js = eval_group st branch ~cands:pass_down in
+            (fun (bag, branch_js) ->
               union_js := !union_js +. branch_js;
               u := Sparql.Bag.union !u bag)
-            branches;
+            (eval_union_branches st branches ~cands:pass_down);
           js := !js *. !union_js;
           observe st !u;
           let joined =
@@ -250,14 +314,17 @@ and eval_group st (g : Be_tree.group) ~cands : Sparql.Bag.t * float =
   (result, !js)
 
 let eval env ~threshold tree =
-  let st = { env; threshold; peak_rows = 0; bgp_evals = 0; pruned_bgps = 0 } in
+  let st =
+    { env; threshold; peak_rows = Atomic.make 0; bgp_evals = Atomic.make 0;
+      pruned_bgps = Atomic.make 0 }
+  in
   Sparql.Bag.reset_push_counter ();
   let bag, join_space = eval_group st tree ~cands:Engine.Candidates.empty in
   ( bag,
     {
       join_space;
-      peak_rows = st.peak_rows;
+      peak_rows = Atomic.get st.peak_rows;
       total_rows = Sparql.Bag.pushed_rows ();
-      bgp_evals = st.bgp_evals;
-      pruned_bgps = st.pruned_bgps;
+      bgp_evals = Atomic.get st.bgp_evals;
+      pruned_bgps = Atomic.get st.pruned_bgps;
     } )

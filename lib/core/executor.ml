@@ -162,8 +162,8 @@ let aggregate_bag store vartable (query : Sparql.Ast.query) items bag =
     keys;
   result
 
-let run_query ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?row_budget
-    ?timeout_ms ?stats store (query : Sparql.Ast.query) =
+let run_query ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?(domains = 1)
+    ?row_budget ?timeout_ms ?stats store (query : Sparql.Ast.query) =
   (* Register every query variable up front so bag widths are stable —
      including aggregate aliases, which get fresh columns. *)
   let vartable = Sparql.Vartable.of_list (Sparql.Ast.group_vars query.where) in
@@ -176,7 +176,7 @@ let run_query ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?row_budget
           | Sparql.Ast.Svar _ -> ())
         items
   | _ -> ());
-  let env = Engine.Bgp_eval.make ?stats store vartable engine in
+  let env = Engine.Bgp_eval.make ?stats ~domains store vartable engine in
   let tree_before = Be_tree.of_query query in
   let t0 = now_ms () in
   let tree_after =
@@ -201,6 +201,10 @@ let run_query ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?row_budget
       Sparql.Bag.set_deadline ~now:Unix.gettimeofday
         ~at:(Unix.gettimeofday () +. (ms /. 1000.))
   | None -> Sparql.Bag.clear_deadline ());
+  (* Bag's probe-side chunking routes through the global pool only while a
+     parallel query runs; serial queries keep the historical operators. *)
+  if domains > 1 then Engine.Pool.enable_bag_runner ()
+  else Engine.Pool.disable_bag_runner ();
   let outcome =
     try
       let bag, stats = Evaluator.eval env ~threshold tree_after in
@@ -211,6 +215,7 @@ let run_query ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?row_budget
       | _ -> Error Out_of_budget)
   in
   let exec_ms = now_ms () -. t1 in
+  Engine.Pool.disable_bag_runner ();
   Sparql.Bag.unlimited_budget ();
   Sparql.Bag.clear_deadline ();
   let projection = Sparql.Ast.query_vars query in
@@ -329,8 +334,8 @@ let run_query ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?row_budget
     tree_after;
   }
 
-let run ?mode ?engine ?row_budget ?timeout_ms ?stats store text =
-  run_query ?mode ?engine ?row_budget ?timeout_ms ?stats store
+let run ?mode ?engine ?domains ?row_budget ?timeout_ms ?stats store text =
+  run_query ?mode ?engine ?domains ?row_budget ?timeout_ms ?stats store
     (Sparql.Parser.parse text)
 
 let solutions store report =

@@ -35,14 +35,19 @@ type report = {
   tree_after : Be_tree.group;
 }
 
-(** [run ?mode ?engine ?row_budget ?timeout_ms ?stats store text] parses
-    and executes [text]. [row_budget] bounds total intermediate rows;
-    [timeout_ms] bounds wall-clock time; on either limit the report
-    carries [bag = None] and a {!failure}. Defaults: [Full], [Wco],
+(** [run ?mode ?engine ?domains ?row_budget ?timeout_ms ?stats store text]
+    parses and executes [text]. [domains] (default 1) is the number of
+    domains evaluation may use: [> 1] runs WCO extension steps, the probe
+    side of hash joins and independent UNION branches on the process-global
+    domain pool (results are equal to the serial run as bags; row order may
+    differ). [row_budget] bounds total intermediate rows; [timeout_ms]
+    bounds wall-clock time; on either limit the report carries
+    [bag = None] and a {!failure}. Defaults: [Full], [Wco], serial,
     unlimited. *)
 val run :
   ?mode:mode ->
   ?engine:Engine.Bgp_eval.engine ->
+  ?domains:int ->
   ?row_budget:int ->
   ?timeout_ms:float ->
   ?stats:Rdf_store.Stats.t ->
@@ -54,6 +59,7 @@ val run :
 val run_query :
   ?mode:mode ->
   ?engine:Engine.Bgp_eval.engine ->
+  ?domains:int ->
   ?row_budget:int ->
   ?timeout_ms:float ->
   ?stats:Rdf_store.Stats.t ->

@@ -7,24 +7,42 @@ type t = {
   stats : Rdf_store.Stats.t;
   vartable : Sparql.Vartable.t;
   engine : engine;
+  domains : int;
+  pool : Pool.t option;
   (* Plans are requested repeatedly for the same BGP during cost-driven
-     transformation; memoize on the pattern list. *)
+     transformation; memoize on the pattern list. The mutex makes the
+     cache safe when parallel UNION branches plan concurrently. *)
   plan_cache : (Sparql.Triple_pattern.t list, Planner.plan) Hashtbl.t;
+  plan_mutex : Mutex.t;
 }
 
-let make ?stats store vartable engine =
+let make ?stats ?(domains = 1) store vartable engine =
   let stats =
     match stats with Some s -> s | None -> Rdf_store.Stats.compute store
   in
-  { store; stats; vartable; engine; plan_cache = Hashtbl.create 64 }
+  let pool = if domains > 1 then Pool.ensure ~num_domains:domains else None in
+  {
+    store;
+    stats;
+    vartable;
+    engine;
+    domains;
+    pool;
+    plan_cache = Hashtbl.create 64;
+    plan_mutex = Mutex.create ();
+  }
 
 let store ctx = ctx.store
 let stats ctx = ctx.stats
 let vartable ctx = ctx.vartable
 let engine ctx = ctx.engine
+let domains ctx = ctx.domains
+let pool ctx = ctx.pool
 let width ctx = Sparql.Vartable.size ctx.vartable
 
 let plan ctx patterns =
+  Mutex.lock ctx.plan_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock ctx.plan_mutex) @@ fun () ->
   match Hashtbl.find_opt ctx.plan_cache patterns with
   | Some plan -> plan
   | None ->
@@ -37,7 +55,7 @@ let eval ctx patterns ~candidates =
   let plan = plan ctx patterns in
   let width = width ctx in
   match ctx.engine with
-  | Wco -> Wco.eval ctx.store ~width plan ~candidates
+  | Wco -> Wco.eval ?pool:ctx.pool ctx.store ~width plan ~candidates
   | Hash_join -> Hash_join.eval ctx.store ~width plan ~candidates
 
 let estimate_cost ctx patterns =

@@ -12,8 +12,12 @@ type t
 (** An evaluation context: store + statistics + the query's variable
     table. *)
 
+(** [make ?stats ?domains store vartable engine] — [domains] (default 1)
+    is the number of domains BGP evaluation and the evaluator may use;
+    [domains > 1] attaches the process-global {!Pool}. *)
 val make :
   ?stats:Rdf_store.Stats.t ->
+  ?domains:int ->
   Rdf_store.Triple_store.t ->
   Sparql.Vartable.t ->
   engine ->
@@ -23,6 +27,11 @@ val store : t -> Rdf_store.Triple_store.t
 val stats : t -> Rdf_store.Stats.t
 val vartable : t -> Sparql.Vartable.t
 val engine : t -> engine
+val domains : t -> int
+
+(** [pool ctx] — the domain pool when [domains > 1]; [None] otherwise. *)
+val pool : t -> Pool.t option
+
 val width : t -> int
 
 (** [eval ctx patterns ~candidates] evaluates a BGP (a list of triple

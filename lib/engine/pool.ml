@@ -1,0 +1,186 @@
+(* A small fixed domain pool on stdlib [Domain] (no domainslib): worker
+   domains block on a condition variable and drain a task queue; a parallel
+   operation enqueues one drainer per worker, participates itself, and
+   joins on a per-call completion latch. Chunks of the index range are
+   claimed with an atomic cursor, so load imbalance between chunks
+   self-corrects. *)
+
+type t = {
+  num_domains : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable workers : unit Domain.t list;
+  mutable stopped : bool;
+  (* Held for the duration of one parallel operation: a nested parallel
+     call (e.g. a Bag.join inside a parallel UNION branch) fails the
+     try-lock and falls back to serial instead of deadlocking on its own
+     workers. *)
+  busy : Mutex.t;
+}
+
+let worker_loop pool =
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.stopped do
+      Condition.wait pool.nonempty pool.mutex
+    done;
+    let task = Queue.take_opt pool.queue in
+    Mutex.unlock pool.mutex;
+    match task with
+    | Some task -> task ()
+    | None -> running := false (* stopped with an empty queue *)
+  done
+
+let create ~num_domains =
+  let num_domains = max 1 num_domains in
+  let pool =
+    {
+      num_domains;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      workers = [];
+      stopped = false;
+      busy = Mutex.create ();
+    }
+  in
+  pool.workers <-
+    List.init (num_domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stopped <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let num_domains pool = pool.num_domains
+
+let default_chunk = 64
+
+(* [accumulate pool ~lo ~hi ~create ~body] runs [body acc i] for every
+   [lo <= i < hi], where each participating domain folds into its own
+   accumulator from [create]; returns every accumulator. Falls back to one
+   serial accumulator when the pool is size 1, the range is small, or a
+   parallel operation is already in flight (nesting). The first exception
+   raised by any worker stops the others at their next chunk boundary and
+   is re-raised here with its backtrace. *)
+let accumulate pool ?(chunk = default_chunk) ~lo ~hi ~create ~body () =
+  let n = hi - lo in
+  if n <= 0 then []
+  else
+    let serial () =
+      let acc = create () in
+      for i = lo to hi - 1 do
+        body acc i
+      done;
+      [ acc ]
+    in
+    if pool.num_domains <= 1 || n <= chunk then serial ()
+    else if not (Mutex.try_lock pool.busy) then serial ()
+    else
+      Fun.protect ~finally:(fun () -> Mutex.unlock pool.busy) @@ fun () ->
+      let workers = pool.num_domains in
+      let cursor = Atomic.make lo in
+      let failure = Atomic.make None in
+      let accs = Array.make workers None in
+      let drain slot =
+        let acc = create () in
+        accs.(slot) <- Some acc;
+        let continue = ref true in
+        while !continue do
+          let start = Atomic.fetch_and_add cursor chunk in
+          if start >= hi || Atomic.get failure <> None then continue := false
+          else
+            let stop = min hi (start + chunk) in
+            try
+              for i = start to stop - 1 do
+                body acc i
+              done
+            with exn ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failure None (Some (exn, bt)));
+              continue := false
+        done
+      in
+      (* Per-call completion latch. *)
+      let done_mutex = Mutex.create () in
+      let done_cond = Condition.create () in
+      let remaining = ref (workers - 1) in
+      let task slot () =
+        drain slot;
+        Mutex.lock done_mutex;
+        decr remaining;
+        if !remaining = 0 then Condition.signal done_cond;
+        Mutex.unlock done_mutex
+      in
+      Mutex.lock pool.mutex;
+      for slot = 1 to workers - 1 do
+        Queue.add (task slot) pool.queue
+      done;
+      Condition.broadcast pool.nonempty;
+      Mutex.unlock pool.mutex;
+      drain 0;
+      Mutex.lock done_mutex;
+      while !remaining > 0 do
+        Condition.wait done_cond done_mutex
+      done;
+      Mutex.unlock done_mutex;
+      (match Atomic.get failure with
+      | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+      | None -> ());
+      List.filter_map Fun.id (Array.to_list accs)
+
+let parallel_iter pool ?chunk ~lo ~hi f =
+  ignore
+    (accumulate pool ?chunk ~lo ~hi
+       ~create:(fun () -> ())
+       ~body:(fun () i -> f i)
+       ())
+
+let parallel_map pool ?chunk ~lo ~hi f =
+  let n = max 0 (hi - lo) in
+  let results = Array.make n None in
+  parallel_iter pool ?chunk ~lo ~hi (fun i -> results.(i - lo) <- Some (f i));
+  (* Every slot was written exactly once (or an exception propagated). *)
+  Array.map Option.get results
+
+(* ------------------------------------------------------------------ *)
+(* The process-global pool behind the executor's [~domains] knob.      *)
+(* ------------------------------------------------------------------ *)
+
+let global_pool : t option ref = ref None
+
+let ensure ~num_domains =
+  let num_domains = max 1 num_domains in
+  (match !global_pool with
+  | Some pool when pool.num_domains = num_domains -> ()
+  | previous ->
+      Option.iter shutdown previous;
+      global_pool :=
+        (if num_domains <= 1 then None else Some (create ~num_domains)));
+  !global_pool
+
+let global () = !global_pool
+
+(* Route [Sparql.Bag]'s probe-side chunking through the global pool. The
+   executor enables this only while a [domains > 1] query runs, so library
+   users and the tier-1 tests keep the serial operators (and their exact
+   result order) by default. *)
+let enable_bag_runner () =
+  match !global_pool with
+  | None -> Sparql.Bag.set_parallel_runner None
+  | Some pool ->
+      Sparql.Bag.set_parallel_runner
+        (Some
+           {
+             Sparql.Bag.run =
+               (fun ~n ~create ~body ->
+                 accumulate pool ~lo:0 ~hi:n ~create ~body ());
+           })
+
+let disable_bag_runner () = Sparql.Bag.set_parallel_runner None

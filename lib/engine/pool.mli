@@ -1,0 +1,65 @@
+(** A fixed pool of worker domains (stdlib [Domain], no external deps) for
+    data-parallel loops over integer ranges.
+
+    Work is claimed in chunks through an atomic cursor, each participating
+    domain (the caller included) folds into a private accumulator, and
+    worker exceptions are funneled back to the caller. A pool of size 1 —
+    and any nested parallel call while an operation is in flight — degrades
+    gracefully to the plain serial loop. *)
+
+type t
+
+(** [create ~num_domains] spawns [num_domains - 1] worker domains (the
+    caller is the remaining participant). [num_domains <= 1] spawns none. *)
+val create : num_domains:int -> t
+
+(** [shutdown pool] stops and joins the workers. The pool must be idle. *)
+val shutdown : t -> unit
+
+val num_domains : t -> int
+
+(** [accumulate pool ~lo ~hi ~create ~body ()] applies [body acc i] to
+    every [lo <= i < hi]; each participating domain folds into its own
+    accumulator obtained from [create]. Returns all accumulators (in no
+    particular order of contribution). [chunk] is the number of indices
+    claimed at a time (default 64); ranges no larger than one chunk run
+    serially in the caller. *)
+val accumulate :
+  t ->
+  ?chunk:int ->
+  lo:int ->
+  hi:int ->
+  create:(unit -> 'acc) ->
+  body:('acc -> int -> unit) ->
+  unit ->
+  'acc list
+
+(** [parallel_iter pool ~lo ~hi f] — [f i] for every [lo <= i < hi], in
+    parallel. [f] must be safe to call from any domain. *)
+val parallel_iter : t -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+
+(** [parallel_map pool ~lo ~hi f] — the array [| f lo; ...; f (hi-1) |],
+    computed in parallel. *)
+val parallel_map : t -> ?chunk:int -> lo:int -> hi:int -> (int -> 'a) -> 'a array
+
+(** {1 The process-global pool}
+
+    One pool backs the executor's [~domains] knob; it is resized lazily and
+    reused across queries (worker domains are expensive to spawn per
+    query). *)
+
+(** [ensure ~num_domains] resizes the global pool to [num_domains] workers
+    (shutting down a differently-sized predecessor) and returns it; [None]
+    when [num_domains <= 1]. *)
+val ensure : num_domains:int -> t option
+
+val global : unit -> t option
+
+(** [enable_bag_runner ()] installs the global pool as [Sparql.Bag]'s
+    parallel runner, so the probe side of [Bag.join] /
+    [Bag.left_outer_join] / [Bag.minus] is chunked across domains.
+    [disable_bag_runner ()] restores the serial operators. The executor
+    brackets each [domains > 1] query with these. *)
+val enable_bag_runner : unit -> unit
+
+val disable_bag_runner : unit -> unit

@@ -70,14 +70,35 @@ let extend_row store candidates pattern row ~push =
         values
   | _ -> scan_and_push store candidates pattern row ~push
 
-let eval store ~width (plan : Planner.plan) ~candidates =
+(* Rows are extended independently, so a step parallelizes by chunking the
+   current bag across domains; each worker pushes into a thread-local part
+   (budget-accounted there) and the parts are concatenated. Serial when no
+   pool is given or the bag is too small to amortize the fan-out. *)
+let min_parallel_rows = 32
+
+let eval ?pool store ~width (plan : Planner.plan) ~candidates =
   let current = ref (Sparql.Bag.unit ~width) in
   List.iter
     (fun (step : Planner.step) ->
-      let next = Sparql.Bag.create ~width in
-      Sparql.Bag.iter !current ~f:(fun row ->
-          extend_row store candidates step.pattern row
-            ~push:(Sparql.Bag.push next));
+      let input = !current in
+      let next =
+        match pool with
+        | Some pool when Sparql.Bag.length input >= min_parallel_rows ->
+            Sparql.Bag.concat ~width
+              (Pool.accumulate pool ~chunk:16 ~lo:0
+                 ~hi:(Sparql.Bag.length input)
+                 ~create:(fun () -> Sparql.Bag.create ~width)
+                 ~body:(fun out i ->
+                   extend_row store candidates step.pattern
+                     (Sparql.Bag.get input i) ~push:(Sparql.Bag.push out))
+                 ())
+        | _ ->
+            let next = Sparql.Bag.create ~width in
+            Sparql.Bag.iter input ~f:(fun row ->
+                extend_row store candidates step.pattern row
+                  ~push:(Sparql.Bag.push next));
+            next
+      in
       current := next)
     plan.steps;
   !current

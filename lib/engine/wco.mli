@@ -3,9 +3,17 @@
     vertex-at-a-time through index range scans, with candidate sets pruning
     newly bound variables on the fly. A pattern whose variables are all
     already bound acts as an existence filter (the intersection step of
-    WCO joins on cyclic patterns). *)
+    WCO joins on cyclic patterns).
+
+    With [?pool], each extension step chunks the current bag's rows across
+    the pool's domains; every worker pushes extensions into a thread-local
+    bag and the parts are concatenated after the step (result order is
+    preserved only up to bag equality). This is safe because the store
+    indexes, the plan and the candidate tables are all read-only during
+    evaluation. *)
 
 val eval :
+  ?pool:Pool.t ->
   Rdf_store.Triple_store.t ->
   width:int ->
   Planner.plan ->

@@ -2,6 +2,11 @@ type t = {
   width : int;
   mutable rows : Binding.t array;
   mutable len : int;
+  (* Pushes since the last wall-clock check. Per-bag (not global) so the
+     deadline still triggers deterministically when several domains push
+     into their own thread-local bags concurrently: a global counter's
+     [mod stride = 0] tick can be skipped under interleaving. *)
+  mutable unchecked : int;
 }
 
 exception Limit_exceeded
@@ -9,39 +14,40 @@ exception Limit_exceeded
 (* A global row budget: a cheap, engine-wide proxy for the memory and time
    limits of the paper's experiments (base runs out of memory on 13 of 24
    queries). The executor arms it per query; every push of an intermediate
-   row consumes one unit. *)
-let budget = ref max_int
-let total_pushed = ref 0
+   row consumes one unit. Atomic so that pushes from several domains are
+   each accounted exactly once and [Limit_exceeded] fires promptly under
+   parallel evaluation. *)
+let budget = Atomic.make max_int
+let total_pushed = Atomic.make 0
 
-(* Wall-clock deadline, checked every [deadline_stride] pushes to keep the
-   common path cheap. [now] is injected by the executor (the sparql
-   library itself stays clock-free). *)
-let deadline = ref None
-let deadline_clock : (unit -> float) ref = ref (fun () -> 0.)
+(* Wall-clock deadline, checked every [deadline_stride] pushes of each bag
+   to keep the common path cheap. The clock is injected by the executor
+   together with the deadline (the sparql library itself stays clock-free);
+   both live in one atomic so a concurrent reader never sees a deadline
+   paired with a stale clock. *)
+let deadline : (float * (unit -> float)) option Atomic.t = Atomic.make None
 let deadline_stride = 4096
 
-let set_budget n = budget := n
-let unlimited_budget () = budget := max_int
+let set_budget n = Atomic.set budget n
+let unlimited_budget () = Atomic.set budget max_int
+let set_deadline ~now ~at = Atomic.set deadline (Some (at, now))
+let clear_deadline () = Atomic.set deadline None
+let reset_push_counter () = Atomic.set total_pushed 0
+let pushed_rows () = Atomic.get total_pushed
 
-let set_deadline ~now ~at =
-  deadline_clock := now;
-  deadline := Some at
-
-let clear_deadline () = deadline := None
-
-let reset_push_counter () = total_pushed := 0
-let pushed_rows () = !total_pushed
-
-let create ~width = { width; rows = [||]; len = 0 }
+let create ~width = { width; rows = [||]; len = 0; unchecked = 0 }
 
 let push bag row =
-  if !budget <= 0 then raise Limit_exceeded;
-  decr budget;
-  incr total_pushed;
-  (match !deadline with
-  | Some at when !total_pushed mod deadline_stride = 0 ->
-      if !deadline_clock () > at then raise Limit_exceeded
-  | _ -> ());
+  if Atomic.fetch_and_add budget (-1) <= 0 then raise Limit_exceeded;
+  Atomic.incr total_pushed;
+  (match Atomic.get deadline with
+  | Some (at, now) ->
+      bag.unchecked <- bag.unchecked + 1;
+      if bag.unchecked >= deadline_stride then begin
+        bag.unchecked <- 0;
+        if now () > at then raise Limit_exceeded
+      end
+  | None -> ());
   if bag.len = Array.length bag.rows then begin
     let capacity = max 8 (2 * bag.len) in
     let fresh = Array.make capacity [||] in
@@ -81,12 +87,50 @@ let fold bag ~init ~f =
 
 let to_list bag = List.rev (fold bag ~init:[] ~f:(fun acc row -> row :: acc))
 
-let bound_columns bag =
+(* Concatenation of worker-local bags after a parallel step. The rows were
+   budget-accounted when first pushed into their part, so this is a plain
+   blit, not a re-push. *)
+let concat ~width parts =
+  let total = List.fold_left (fun acc part -> acc + part.len) 0 parts in
+  let result = { width; rows = Array.make total [||]; len = 0; unchecked = 0 } in
+  List.iter
+    (fun part ->
+      Array.blit part.rows 0 result.rows result.len part.len;
+      result.len <- result.len + part.len)
+    parts;
+  result
+
+(* {2 Parallel execution hook}
+
+   The engine layer owns the domain pool (it must not depend on this
+   library's clients, and this library cannot depend on the engine), so
+   parallelism is injected: when a runner is installed, the binary
+   operators below fan the probe side out across its workers, each pushing
+   into a thread-local part, and concatenate. When absent — the default —
+   every code path is the original serial one. *)
+
+type parallel_runner = {
+  run :
+    'acc.
+    n:int -> create:(unit -> 'acc) -> body:('acc -> int -> unit) -> 'acc list;
+}
+
+let parallel_runner : parallel_runner option ref = ref None
+let set_parallel_runner r = parallel_runner := r
+
+(* Probe sides smaller than this are not worth the fan-out. *)
+let parallel_threshold = 512
+
+let bound_flags bag =
   let seen = Array.make bag.width false in
   iter bag ~f:(fun row ->
       for col = 0 to bag.width - 1 do
         if Binding.is_bound row col then seen.(col) <- true
       done);
+  seen
+
+let bound_columns bag =
+  let seen = bound_flags bag in
   let acc = ref [] in
   for col = bag.width - 1 downto 0 do
     if seen.(col) then acc := col :: !acc
@@ -114,13 +158,20 @@ let distinct_values bag ~col =
       if Binding.is_bound row col then Hashtbl.replace values row.(col) ());
   values
 
+(* Columns bound somewhere in both bags: two O(n·width) marking passes and
+   one O(width) intersection (the former List.mem scan was O(width²)). *)
 let shared_columns b1 b2 =
-  let c1 = bound_columns b1 and c2 = bound_columns b2 in
-  List.filter (fun col -> List.mem col c2) c1
+  let s1 = bound_flags b1 and s2 = bound_flags b2 in
+  let acc = ref [] in
+  for col = b1.width - 1 downto 0 do
+    if col < b2.width && s1.(col) && s2.(col) then acc := col :: !acc
+  done;
+  !acc
 
 (* A hash partition of [bag] on [cols]: rows with all [cols] bound go into
    buckets; rows missing some key column go into [wild] and must be checked
-   by scan. *)
+   by scan. Read-only once built, so several domains may probe it
+   concurrently. *)
 type partition = {
   buckets : (int, Binding.t list ref) Hashtbl.t;
   mutable wild : Binding.t list;
@@ -139,42 +190,63 @@ let partition bag cols =
       else part.wild <- row :: part.wild);
   part
 
-(* All rows of the partition compatible with [row]. *)
-let compatible_rows part row =
-  let from_buckets =
-    if Binding.all_bound row part.cols then
-      match Hashtbl.find_opt part.buckets (Binding.hash_on row part.cols) with
-      | Some bucket ->
-          List.filter
-            (fun other ->
-              Binding.equal_on row other part.cols
-              && Binding.compatible row other)
-            !bucket
-      | None -> []
-    else
-      (* A probe row missing key columns can match any bucket: scan all. *)
-      Hashtbl.fold
-        (fun _ bucket acc ->
-          List.rev_append
-            (List.filter (Binding.compatible row) !bucket)
-            acc)
-        part.buckets []
-  in
-  let from_wild = List.filter (Binding.compatible row) part.wild in
-  List.rev_append from_wild from_buckets
+(* Apply [f] to every row of the partition compatible with [row], without
+   materializing the intermediate match list. *)
+let iter_compatible part row ~f =
+  (if Binding.all_bound row part.cols then (
+     match Hashtbl.find_opt part.buckets (Binding.hash_on row part.cols) with
+     | Some bucket ->
+         List.iter
+           (fun other ->
+             if
+               Binding.equal_on row other part.cols
+               && Binding.compatible row other
+             then f other)
+           !bucket
+     | None -> ())
+   else
+     (* A probe row missing key columns can match any bucket: scan all. *)
+     Hashtbl.iter
+       (fun _ bucket ->
+         List.iter
+           (fun other -> if Binding.compatible row other then f other)
+           !bucket)
+       part.buckets);
+  List.iter (fun other -> if Binding.compatible row other then f other) part.wild
+
+exception Found
+
+(* Whether some row of the partition is compatible with [row] and satisfies
+   [pred]. *)
+let exists_compatible part row ~pred =
+  try
+    iter_compatible part row ~f:(fun other -> if pred other then raise Found);
+    false
+  with Found -> true
+
+(* Fan a probe loop out across the pool when one is installed and the probe
+   side is large enough; otherwise run it serially into a single bag. *)
+let probe_into ~width probe ~emit =
+  match !parallel_runner with
+  | Some runner when probe.len >= parallel_threshold ->
+      concat ~width
+        (runner.run ~n:probe.len
+           ~create:(fun () -> create ~width)
+           ~body:(fun out i -> emit out probe.rows.(i)))
+  | _ ->
+      let result = create ~width in
+      iter probe ~f:(emit result);
+      result
 
 let join b1 b2 =
   if b1.width <> b2.width then invalid_arg "Bag.join: width mismatch";
-  let result = create ~width:b1.width in
   (* Build on the smaller side; probing preserves Ω1-major order only up to
      bag equality, which is all the semantics requires. *)
   let build, probe = if b1.len <= b2.len then (b1, b2) else (b2, b1) in
   let part = partition build (shared_columns b1 b2) in
-  iter probe ~f:(fun row ->
-      List.iter
-        (fun other -> push result (Binding.merge row other))
-        (compatible_rows part row));
-  result
+  probe_into ~width:b1.width probe ~emit:(fun out row ->
+      iter_compatible part row ~f:(fun other ->
+          push out (Binding.merge row other)))
 
 let union b1 b2 =
   if b1.width <> b2.width then invalid_arg "Bag.union: width mismatch";
@@ -185,13 +257,10 @@ let union b1 b2 =
 
 let minus b1 b2 =
   if b1.width <> b2.width then invalid_arg "Bag.minus: width mismatch";
-  let result = create ~width:b1.width in
   let part = partition b2 (shared_columns b1 b2) in
-  iter b1 ~f:(fun row ->
-      match compatible_rows part row with
-      | [] -> push result row
-      | _ :: _ -> ());
-  result
+  probe_into ~width:b1.width b1 ~emit:(fun out row ->
+      if not (exists_compatible part row ~pred:(fun _ -> true)) then
+        push out row)
 
 (* SPARQL 1.1 MINUS: μ1 is removed only by a compatible μ2 with at least
    one *shared bound* variable (disjoint-domain mappings do not exclude —
@@ -209,10 +278,8 @@ let sparql_minus b1 b2 =
     go 0
   in
   iter b1 ~f:(fun row ->
-      let excluded =
-        List.exists (overlapping row) (compatible_rows part row)
-      in
-      if not excluded then push result row);
+      if not (exists_compatible part row ~pred:(overlapping row)) then
+        push result row);
   result
 
 (* Stable sort by the given (column, descending) keys; unbound sorts
@@ -246,21 +313,18 @@ let semijoin b1 b2 =
   let result = create ~width:b1.width in
   let part = partition b2 (shared_columns b1 b2) in
   iter b1 ~f:(fun row ->
-      match compatible_rows part row with
-      | [] -> ()
-      | _ :: _ -> push result row);
+      if exists_compatible part row ~pred:(fun _ -> true) then push result row);
   result
 
 let left_outer_join b1 b2 =
   if b1.width <> b2.width then invalid_arg "Bag.left_outer_join: width mismatch";
-  let result = create ~width:b1.width in
   let part = partition b2 (shared_columns b1 b2) in
-  iter b1 ~f:(fun row ->
-      match compatible_rows part row with
-      | [] -> push result row
-      | matches ->
-          List.iter (fun other -> push result (Binding.merge row other)) matches);
-  result
+  probe_into ~width:b1.width b1 ~emit:(fun out row ->
+      let matched = ref false in
+      iter_compatible part row ~f:(fun other ->
+          matched := true;
+          push out (Binding.merge row other));
+      if not !matched then push out row)
 
 let filter bag ~f =
   let result = create ~width:bag.width in

@@ -14,7 +14,9 @@ type t
     limit (base runs out of memory on 13 of 24 queries; the bench harness
     must observe that as a recoverable condition, not an actual OOM). While
     armed, every {!push} anywhere in the engine consumes one unit;
-    exhaustion raises {!Limit_exceeded}. *)
+    exhaustion raises {!Limit_exceeded}. The budget, deadline and push
+    counter are atomics, so pushes from several domains are each accounted
+    exactly once and the limit fires promptly under parallel evaluation. *)
 
 exception Limit_exceeded
 
@@ -26,7 +28,9 @@ val unlimited_budget : unit -> unit
 
 (** [set_deadline ~now ~at] arms a wall-clock deadline (the paper's query
     timeout analogue): once [now ()] exceeds [at], further pushes raise
-    {!Limit_exceeded}. Checked every few thousand pushes. *)
+    {!Limit_exceeded}. Checked every few thousand pushes {e of each bag}
+    (a per-bag stride counter, so the check still triggers deterministically
+    when parallel workers push into thread-local bags). *)
 val set_deadline : now:(unit -> float) -> at:float -> unit
 
 val clear_deadline : unit -> unit
@@ -49,6 +53,11 @@ val unit : width:int -> t
 val push : t -> Binding.t -> unit
 
 val of_rows : width:int -> Binding.t list -> t
+
+(** [concat ~width parts] concatenates worker-local bags produced by a
+    parallel step. The rows were budget-accounted when first pushed into
+    their part, so concatenation itself consumes no budget. *)
+val concat : width:int -> t list -> t
 
 (** {1 Access} *)
 
@@ -119,3 +128,28 @@ val equal_as_bags : t -> t -> bool
 
 (** [pp table fmt bag] prints rows using variable names from [table]. *)
 val pp : Vartable.t -> Format.formatter -> t -> unit
+
+(** {1 Parallel execution hook}
+
+    This library has no dependency on the engine layer that owns the
+    domain pool, so parallelism is injected: while a runner is installed,
+    {!join}, {!left_outer_join} and {!minus} chunk their probe side across
+    the runner's workers (each worker pushing into a thread-local part that
+    is concatenated afterwards — result order is preserved only up to bag
+    equality). With no runner — the default — every operator is serial and
+    byte-for-byte identical to the historical behavior. *)
+
+type parallel_runner = {
+  run :
+    'acc.
+    n:int -> create:(unit -> 'acc) -> body:('acc -> int -> unit) -> 'acc list;
+      (** [run ~n ~create ~body] partitions [0..n-1] over workers; each
+          worker folds its indices into a private accumulator from
+          [create]; all accumulators are returned. Exceptions raised by
+          [body] (e.g. {!Limit_exceeded}) are re-raised in the caller. *)
+}
+
+(** [set_parallel_runner r] installs ([Some]) or removes ([None]) the
+    engine-layer runner. Installed by [Engine.Pool]; never call this with a
+    runner whose workers outlive the call site. *)
+val set_parallel_runner : parallel_runner option -> unit

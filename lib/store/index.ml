@@ -29,18 +29,47 @@ let key3 order (tbl : table) i =
   | Osp -> tbl.p.(i)
   | Ops -> tbl.s.(i)
 
-let compare_rows order tbl i j =
-  let c = Int.compare (key1 order tbl i) (key1 order tbl j) in
-  if c <> 0 then c
-  else
-    let c = Int.compare (key2 order tbl i) (key2 order tbl j) in
-    if c <> 0 then c else Int.compare (key3 order tbl i) (key3 order tbl j)
+(* Build time is dominated by the sort, and a closure comparator over the
+   raw table pays a 6-way [order] match per key access. When every id fits in 21 bits
+   (2M distinct terms — true for all our datasets), the three key
+   components pack into one 63-bit int whose natural order is the
+   lexicographic key order, so the comparator collapses to two array loads
+   and an int compare. Larger dictionaries fall back to comparing three
+   precomputed key arrays (still match-free). [range] behavior is
+   unchanged: only the sort changes, not the sorted order. *)
+let packable_bits = 21
 
 let build order table =
   let n = Array.length table.s in
   let perm = Array.init n Fun.id in
-  (* Array.sort on int arrays with a closure comparator; fine at our scale. *)
-  Array.sort (compare_rows order table) perm;
+  let max_id = ref 0 in
+  for i = 0 to n - 1 do
+    if table.s.(i) > !max_id then max_id := table.s.(i);
+    if table.p.(i) > !max_id then max_id := table.p.(i);
+    if table.o.(i) > !max_id then max_id := table.o.(i)
+  done;
+  if !max_id < 1 lsl packable_bits then begin
+    let packed =
+      Array.init n (fun i ->
+          (key1 order table i lsl (2 * packable_bits))
+          lor (key2 order table i lsl packable_bits)
+          lor key3 order table i)
+    in
+    Array.sort (fun i j -> Int.compare packed.(i) packed.(j)) perm
+  end
+  else begin
+    let k1 = Array.init n (key1 order table)
+    and k2 = Array.init n (key2 order table)
+    and k3 = Array.init n (key3 order table) in
+    Array.sort
+      (fun i j ->
+        let c = Int.compare k1.(i) k1.(j) in
+        if c <> 0 then c
+        else
+          let c = Int.compare k2.(i) k2.(j) in
+          if c <> 0 then c else Int.compare k3.(i) k3.(j))
+      perm
+  end;
   { order; perm; table }
 
 (* Generic lower/upper bound on the permutation for a key prefix.

@@ -230,6 +230,85 @@ let prop_candidates_are_filters =
               Sparql.Bag.equal_as_bags pruned filtered)
             [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ])
 
+(* --- Parallel execution ----------------------------------------------------------- *)
+
+(* The multicore layer must be invisible in the results: domains=4 and
+   domains=1 agree as bags on every mode, engine and random query. *)
+let prop_parallel_matches_serial =
+  QCheck2.Test.make ~name:"domains=4 = domains=1 across modes" ~count:60
+    QCheck2.Gen.(pair Qgen.gen_dataset Qgen.gen_query)
+    (fun (triples, query) ->
+      let store = Rdf_store.Triple_store.of_triples triples in
+      List.for_all
+        (fun mode ->
+          let serial =
+            Sparql_uo.Executor.run_query ~mode ~domains:1 store query
+          in
+          let par =
+            Sparql_uo.Executor.run_query ~mode ~domains:4 store query
+          in
+          match
+            (serial.Sparql_uo.Executor.bag, par.Sparql_uo.Executor.bag)
+          with
+          | Some b1, Some b2 -> Sparql.Bag.equal_as_bags b1 b2
+          | _ -> false)
+        Sparql_uo.Executor.all_modes)
+
+(* Deterministic cross-check on the real workload: every mixed
+   OPTIONAL/UNION LUBM query, both engines. *)
+let test_parallel_lubm () =
+  let store =
+    Rdf_store.Triple_store.of_triples
+      (Workload.Lubm.generate Workload.Lubm.tiny)
+  in
+  let stats = Rdf_store.Stats.compute store in
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun entry ->
+          let serial =
+            Sparql_uo.Executor.run ~mode:Sparql_uo.Executor.Full ~engine
+              ~domains:1 ~stats store entry.Workload.Queries.text
+          in
+          let par =
+            Sparql_uo.Executor.run ~mode:Sparql_uo.Executor.Full ~engine
+              ~domains:4 ~stats store entry.Workload.Queries.text
+          in
+          match
+            (serial.Sparql_uo.Executor.bag, par.Sparql_uo.Executor.bag)
+          with
+          | Some b1, Some b2 ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s (%s) equal as bags"
+                   entry.Workload.Queries.id
+                   (Engine.Bgp_eval.engine_name engine))
+                true
+                (Sparql.Bag.equal_as_bags b1 b2)
+          | _ ->
+              Alcotest.fail
+                (entry.Workload.Queries.id ^ ": unexpected resource limit"))
+        (Workload.Queries.group1 Workload.Queries.Lubm))
+    [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ]
+
+(* The row budget is a global atomic: a tiny budget must still trip
+   [Limit_exceeded] promptly when the pushes happen on worker domains
+   (here, two UNION branches evaluated concurrently). *)
+let test_parallel_budget_fires () =
+  let store =
+    Rdf_store.Triple_store.of_triples
+      (Workload.Lubm.generate Workload.Lubm.tiny)
+  in
+  let text = "SELECT * WHERE { { ?s ?p ?o } UNION { ?a ?b ?c } }" in
+  let report =
+    Sparql_uo.Executor.run ~mode:Sparql_uo.Executor.Base ~domains:4
+      ~row_budget:10 store text
+  in
+  Alcotest.(check bool)
+    "out of budget" true
+    (report.Sparql_uo.Executor.failure
+    = Some Sparql_uo.Executor.Out_of_budget);
+  Alcotest.(check bool) "no bag" true (report.Sparql_uo.Executor.bag = None)
+
 let () =
   Alcotest.run "engine"
     [
@@ -257,5 +336,13 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_engines_agree;
           QCheck_alcotest.to_alcotest prop_candidates_are_filters;
+        ] );
+      ( "parallel",
+        [
+          QCheck_alcotest.to_alcotest prop_parallel_matches_serial;
+          Alcotest.test_case "LUBM group1, both engines" `Quick
+            test_parallel_lubm;
+          Alcotest.test_case "budget fires under parallel eval" `Quick
+            test_parallel_budget_fires;
         ] );
     ]
