@@ -13,7 +13,7 @@
 
 let all_sections =
   [ "table2"; "table3"; "table4"; "fig3"; "fig10"; "fig11"; "fig12"; "fig13";
-    "ablation"; "micro"; "parallel" ]
+    "ablation"; "micro"; "parallel"; "streaming" ]
 
 type context = {
   config : Harness.config;
@@ -598,6 +598,150 @@ let parallel ctx ~domains =
   Printf.printf "[bench] wrote %s\n%!" parallel_bench_file
 
 (* ------------------------------------------------------------------ *)
+(* Streaming: sink pipeline vs materializing modifiers.                *)
+(* ------------------------------------------------------------------ *)
+
+(* Not a paper figure: measures the push-based Sink layer. Each LUBM
+   group-1 query (plus a full ?s ?p ?o scan) runs plain, with LIMIT 10,
+   and with ORDER BY + LIMIT 10, under both modifier pipelines
+   (materializing and streaming) at domains 1 and N; wall-clock and
+   produced rows (Bag.pushed_rows) go into a machine-readable json. The
+   LIMIT window of an unordered query is legitimately nondeterministic,
+   so bag equality against the materializing serial run is asserted only
+   for the plain and fully-ordered variants (result counts otherwise). *)
+let streaming_bench_file = "bench_streaming.json"
+
+let streaming ctx ~domains =
+  Harness.section
+    (Printf.sprintf
+       "Streaming: sink pipeline vs materializing modifiers (LUBM, domains 1 \
+        and %d)"
+       domains);
+  let store, stats = Lazy.force ctx.lubm in
+  let entries =
+    Workload.Queries.group1 Workload.Queries.Lubm
+    @ [ { Workload.Queries.id = "scan"; group = 1;
+          text = "SELECT * WHERE { ?s ?p ?o . }" } ]
+  in
+  let runs_json = ref [] in
+  List.iter
+    (fun engine ->
+      Harness.subsection (Engine.Bgp_eval.engine_name engine);
+      let rows =
+        List.concat_map
+          (fun (entry : Workload.Queries.entry) ->
+            let q = Sparql.Parser.parse entry.Workload.Queries.text in
+            let order_key =
+              match Sparql.Ast.group_vars q.Sparql.Ast.where with
+              | v :: _ -> [ (v, false) ]
+              | [] -> []
+            in
+            let variants =
+              [
+                ("plain", q, true);
+                ("limit10", { q with Sparql.Ast.limit = Some 10 }, false);
+                ( "order+limit10",
+                  { q with Sparql.Ast.order_by = order_key; limit = Some 10 },
+                  (* One sort key does not totally order the rows, so the
+                     selected window is only count-deterministic. *)
+                  false );
+              ]
+            in
+            List.map
+              (fun (variant, query, check_bags) ->
+                let run ~streaming ~domains =
+                  Harness.run_query_mode ctx.config ~stats store query
+                    ~mode:Sparql_uo.Executor.Full ~engine ~streaming ~domains
+                in
+                let reference_cell, reference_report, reference_pushed =
+                  run ~streaming:false ~domains:1
+                in
+                let cells =
+                  List.map
+                    (fun (pipeline, streaming, domains) ->
+                      let cell, report, pushed = run ~streaming ~domains in
+                      let equal =
+                        match
+                          ( reference_report.Sparql_uo.Executor.bag,
+                            report.Sparql_uo.Executor.bag )
+                        with
+                        | Some b1, Some b2 ->
+                            if check_bags then Sparql.Bag.equal_as_bags b1 b2
+                            else
+                              Sparql.Bag.length b1 = Sparql.Bag.length b2
+                        | None, None -> true
+                        | _ -> false
+                      in
+                      runs_json :=
+                        Printf.sprintf
+                          "    {\"engine\": %S, \"id\": %S, \"variant\": %S, \
+                           \"pipeline\": %S, \"domains\": %d, \"ms\": %s, \
+                           \"pushed_rows\": %d, \"agrees\": %b}"
+                          (Engine.Bgp_eval.engine_name engine)
+                          entry.Workload.Queries.id variant pipeline domains
+                          (match cell with
+                          | Harness.Time ms -> Printf.sprintf "%.3f" ms
+                          | Harness.Oom | Harness.Timed_out -> "null")
+                          pushed equal
+                        :: !runs_json;
+                      (cell, pushed, equal))
+                    [
+                      ("materializing", false, domains);
+                      ("streaming", true, 1);
+                      ("streaming", true, domains);
+                    ]
+                in
+                runs_json :=
+                  Printf.sprintf
+                    "    {\"engine\": %S, \"id\": %S, \"variant\": %S, \
+                     \"pipeline\": \"materializing\", \"domains\": 1, \"ms\": \
+                     %s, \"pushed_rows\": %d, \"agrees\": true}"
+                    (Engine.Bgp_eval.engine_name engine)
+                    entry.Workload.Queries.id variant
+                    (match reference_cell with
+                    | Harness.Time ms -> Printf.sprintf "%.3f" ms
+                    | Harness.Oom | Harness.Timed_out -> "null")
+                    reference_pushed
+                  :: !runs_json;
+                let stream_d1_cell, stream_d1_pushed, _ = List.nth cells 1 in
+                let all_agree =
+                  List.for_all (fun (_, _, equal) -> equal) cells
+                in
+                [
+                  entry.Workload.Queries.id;
+                  variant;
+                  Harness.cell_to_string reference_cell;
+                  Harness.cell_to_string stream_d1_cell;
+                  Harness.human_int reference_pushed;
+                  Harness.human_int stream_d1_pushed;
+                  (if all_agree then "yes" else "NO");
+                ])
+              variants)
+          entries
+      in
+      Harness.print_table
+        ~header:
+          [
+            "Query"; "variant"; "mat d1 (ms)"; "stream d1 (ms)";
+            "rows mat"; "rows stream"; "agrees";
+          ]
+        ~rows)
+    [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ];
+  let oc = open_out streaming_bench_file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"section\": \"streaming\",\n\
+    \  \"dataset\": \"LUBM\",\n\
+    \  \"mode\": \"full\",\n\
+    \  \"runs\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    (String.concat ",\n" (List.rev !runs_json));
+  close_out oc;
+  Printf.printf "[bench] wrote %s\n%!" streaming_bench_file
+
+(* ------------------------------------------------------------------ *)
 
 let run_sections quick only domains =
   let config = if quick then Harness.quick_config else Harness.default_config in
@@ -625,6 +769,7 @@ let run_sections quick only domains =
     | "ablation" -> ablation ctx
     | "micro" -> micro ctx
     | "parallel" -> parallel ctx ~domains
+    | "streaming" -> streaming ctx ~domains
     | other -> Printf.eprintf "unknown section %S (skipped)\n" other
   in
   Printf.printf "SPARQL-UO reproduction bench (%s mode): %s\n%!"

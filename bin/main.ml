@@ -66,6 +66,14 @@ let domains_arg =
   in
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
 
+let materialize_arg =
+  let doc =
+    "Disable the streaming sink pipeline: materialize the full result, \
+     then apply ORDER BY/DISTINCT/LIMIT/OFFSET bag-at-a-time (the \
+     historical pipeline; results are equal as bags)."
+  in
+  Arg.(value & flag & info [ "materialize" ] ~doc)
+
 (* ---------------- helpers ---------------- *)
 
 let parse_synth spec =
@@ -170,12 +178,12 @@ let generate_cmd =
 
 let query_cmd =
   let run data synth qfile qtext mode engine max_print timeout_ms row_budget
-      domains =
+      domains materialize =
     let store = or_die (load_store data synth) in
     let text = or_die (load_query qfile qtext) in
     let report =
-      Sparql_uo.Executor.run ~mode ~engine ~domains ?timeout_ms ?row_budget
-        store text
+      Sparql_uo.Executor.run ~mode ~engine ~domains
+        ~streaming:(not materialize) ?timeout_ms ?row_budget store text
     in
     match report.Sparql_uo.Executor.query.Sparql.Ast.form with
     | Sparql.Ast.Select _ -> print_solutions store report max_print
@@ -193,7 +201,7 @@ let query_cmd =
     Term.(
       const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
       $ mode_arg $ engine_arg $ max_print_arg $ timeout_arg $ budget_arg
-      $ domains_arg)
+      $ domains_arg $ materialize_arg)
 
 (* ---------------- explain ---------------- *)
 
@@ -214,7 +222,8 @@ let explain_cmd =
 (* ---------------- modes ---------------- *)
 
 let modes_cmd =
-  let run data synth qfile qtext engine timeout_ms row_budget domains =
+  let run data synth qfile qtext engine timeout_ms row_budget domains
+      materialize =
     let store = or_die (load_store data synth) in
     let text = or_die (load_query qfile qtext) in
     Printf.printf "%-6s %-10s %-12s %-12s\n" "mode" "results" "plan (ms)"
@@ -222,8 +231,8 @@ let modes_cmd =
     List.iter
       (fun mode ->
         let report =
-          Sparql_uo.Executor.run ~mode ~engine ~domains ?timeout_ms
-            ?row_budget store text
+          Sparql_uo.Executor.run ~mode ~engine ~domains
+            ~streaming:(not materialize) ?timeout_ms ?row_budget store text
         in
         Printf.printf "%-6s %-10s %-12.2f %-12.2f\n"
           (Sparql_uo.Executor.mode_name mode)
@@ -242,7 +251,8 @@ let modes_cmd =
     (Cmd.info "modes" ~doc:"Compare base/TT/CP/full on one query")
     Term.(
       const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
-      $ engine_arg $ timeout_arg $ budget_arg $ domains_arg)
+      $ engine_arg $ timeout_arg $ budget_arg $ domains_arg
+      $ materialize_arg)
 
 (* ---------------- update ---------------- *)
 

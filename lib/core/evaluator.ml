@@ -6,6 +6,7 @@ type stats = {
   total_rows : int;
   bgp_evals : int;
   pruned_bgps : int;
+  stages : Sparql.Sink.stage list;
 }
 
 (* The running counters are atomics: parallel UNION branches update them
@@ -223,83 +224,79 @@ and eval_union_branches st branches ~cands =
            (fun i -> eval_group st arr.(i) ~cands))
   | _ -> List.map (fun branch -> eval_group st branch ~cands) branches
 
+(* One child of Algorithm 1's fold: combine [node]'s solutions into the
+   running result [r] (with [js] the join-space product so far). *)
+and eval_child st ~cands (r, js) node : Sparql.Bag.t option * float =
+  let width = Engine.Bgp_eval.width st.env in
+  let current () = Option.value r ~default:(Sparql.Bag.unit ~width) in
+  let pass_down = candidates_from st cands r node in
+  match node with
+  | Be_tree.Bgp patterns ->
+      let bag, bgp_js = eval_bgp st patterns ~cands:pass_down in
+      let joined =
+        match r with None -> bag | Some r0 -> Sparql.Bag.join r0 bag
+      in
+      observe st joined;
+      (Some joined, js *. bgp_js)
+  | Be_tree.Group inner ->
+      let bag, inner_js = eval_group st inner ~cands:pass_down in
+      let joined =
+        match r with None -> bag | Some r0 -> Sparql.Bag.join r0 bag
+      in
+      observe st joined;
+      (Some joined, js *. inner_js)
+  | Be_tree.Union branches ->
+      let u = ref (Sparql.Bag.create ~width) in
+      let union_js = ref 0. in
+      List.iter
+        (fun (bag, branch_js) ->
+          union_js := !union_js +. branch_js;
+          u := Sparql.Bag.union !u bag)
+        (eval_union_branches st branches ~cands:pass_down);
+      observe st !u;
+      let joined =
+        match r with None -> !u | Some r0 -> Sparql.Bag.join r0 !u
+      in
+      observe st joined;
+      (Some joined, js *. !union_js)
+  | Be_tree.Values block ->
+      let bag = values_bag st block in
+      let vjs = float_of_int (Sparql.Bag.length bag) in
+      let joined =
+        match r with None -> bag | Some r0 -> Sparql.Bag.join r0 bag
+      in
+      observe st joined;
+      (Some joined, js *. vjs)
+  | Be_tree.Optional inner | Be_tree.Minus inner ->
+      (* Soundness: only columns universally bound by the left side
+         (the current result) may prune the right side — pruning any
+         other column could flip an extension into a spuriously
+         surviving unextended row (OPTIONAL), or resurrect a row its
+         excluder would have removed (MINUS). *)
+      let left_universal =
+        match r with
+        | None -> []
+        | Some bag -> Sparql.Bag.universal_columns bag
+      in
+      let pass_down =
+        Engine.Candidates.restrict pass_down ~cols:left_universal
+      in
+      let bag, inner_js = eval_group st inner ~cands:pass_down in
+      let combined =
+        match node with
+        | Be_tree.Optional _ -> Sparql.Bag.left_outer_join (current ()) bag
+        | _ -> Sparql.Bag.sparql_minus (current ()) bag
+      in
+      observe st combined;
+      (Some combined, js *. Float.max inner_js 1.)
+
 (* Algorithm 1, with candidate pruning (the [cands] argument is the paper's
    third argument to BGPBasedEvaluation). Returns the bag and the node's
    contribution to the join space. *)
 and eval_group st (g : Be_tree.group) ~cands : Sparql.Bag.t * float =
   let width = Engine.Bgp_eval.width st.env in
-  let r = ref None in
-  let js = ref 1. in
-  let current () = Option.value !r ~default:(Sparql.Bag.unit ~width) in
-  List.iter
-    (fun node ->
-      let pass_down = candidates_from st cands !r node in
-      match node with
-      | Be_tree.Bgp patterns ->
-          let bag, bgp_js = eval_bgp st patterns ~cands:pass_down in
-          js := !js *. bgp_js;
-          let joined =
-            match !r with None -> bag | Some r0 -> Sparql.Bag.join r0 bag
-          in
-          observe st joined;
-          r := Some joined
-      | Be_tree.Group inner ->
-          let bag, inner_js = eval_group st inner ~cands:pass_down in
-          js := !js *. inner_js;
-          let joined =
-            match !r with None -> bag | Some r0 -> Sparql.Bag.join r0 bag
-          in
-          observe st joined;
-          r := Some joined
-      | Be_tree.Union branches ->
-          let u = ref (Sparql.Bag.create ~width) in
-          let union_js = ref 0. in
-          List.iter
-            (fun (bag, branch_js) ->
-              union_js := !union_js +. branch_js;
-              u := Sparql.Bag.union !u bag)
-            (eval_union_branches st branches ~cands:pass_down);
-          js := !js *. !union_js;
-          observe st !u;
-          let joined =
-            match !r with None -> !u | Some r0 -> Sparql.Bag.join r0 !u
-          in
-          observe st joined;
-          r := Some joined
-      | Be_tree.Values block ->
-          let bag = values_bag st block in
-          js := !js *. float_of_int (Sparql.Bag.length bag);
-          let joined =
-            match !r with None -> bag | Some r0 -> Sparql.Bag.join r0 bag
-          in
-          observe st joined;
-          r := Some joined
-      | Be_tree.Optional inner | Be_tree.Minus inner ->
-          (* Soundness: only columns universally bound by the left side
-             (the current result) may prune the right side — pruning any
-             other column could flip an extension into a spuriously
-             surviving unextended row (OPTIONAL), or resurrect a row its
-             excluder would have removed (MINUS). *)
-          let left_universal =
-            match !r with
-            | None -> []
-            | Some bag -> Sparql.Bag.universal_columns bag
-          in
-          let pass_down =
-            Engine.Candidates.restrict pass_down ~cols:left_universal
-          in
-          let bag, inner_js = eval_group st inner ~cands:pass_down in
-          js := !js *. Float.max inner_js 1.;
-          let combined =
-            match node with
-            | Be_tree.Optional _ ->
-                Sparql.Bag.left_outer_join (current ()) bag
-            | _ -> Sparql.Bag.sparql_minus (current ()) bag
-          in
-          observe st combined;
-          r := Some combined)
-    g.children;
-  let result = current () in
+  let r, js = List.fold_left (eval_child st ~cands) (None, 1.) g.children in
+  let result = Option.value r ~default:(Sparql.Bag.unit ~width) in
   let result =
     List.fold_left
       (fun bag e ->
@@ -311,20 +308,138 @@ and eval_group st (g : Be_tree.group) ~cands : Sparql.Bag.t * float =
       result g.filters
   in
   observe st result;
-  (result, !js)
+  (result, js)
+
+(* [eval_group_into] is [eval_group] with the last combination streamed:
+   all children but the last evaluate and combine materialized exactly as
+   above; the final combination emits rows into [sink] (through the
+   group's FILTERs as sink stages), so a downstream LIMIT unwinds the
+   whole pipeline via [Sink.Stop]. Streamed rows are never observed as a
+   materialized bag, so [peak_rows] excludes the final operator's output;
+   the BGP cardinality feeding [join_space] is recovered from a counting
+   stage (equal to the materialized length when the pipeline runs to
+   completion, partial under an early Stop). *)
+and eval_group_into st (g : Be_tree.group) ~cands ~sink : float =
+  let width = Engine.Bgp_eval.width st.env in
+  let sink =
+    List.fold_left
+      (fun sink e ->
+        Sparql.Sink.filter ~name:"filter"
+          ~f:(fun row ->
+            Sparql.Expr.eval
+              ~lookup:(filter_lookup st row)
+              ~exists:(exists_check st row)
+              e)
+          sink)
+      sink (List.rev g.filters)
+  in
+  match List.rev g.children with
+  | [] ->
+      Sparql.Bag.emit_accounted sink (Sparql.Binding.create ~width);
+      1.
+  | last :: rev_prefix ->
+      let r, js =
+        List.fold_left (eval_child st ~cands) (None, 1.) (List.rev rev_prefix)
+      in
+      let current () = Option.value r ~default:(Sparql.Bag.unit ~width) in
+      let pass_down = candidates_from st cands r last in
+      (match last with
+      | Be_tree.Bgp [] -> (
+          match r with
+          | None ->
+              Sparql.Bag.emit_accounted sink (Sparql.Binding.create ~width);
+              js
+          | Some r0 ->
+              Sparql.Bag.replay r0 ~sink;
+              js)
+      | Be_tree.Bgp patterns -> (
+          match r with
+          | None ->
+              let admitted = admit_candidates st pass_down patterns in
+              Atomic.incr st.bgp_evals;
+              if not (Engine.Candidates.is_empty admitted) then
+                Atomic.incr st.pruned_bgps;
+              let counted, stage = Sparql.Sink.counted ~name:"bgp" sink in
+              Engine.Bgp_eval.eval_into st.env patterns ~candidates:admitted
+                ~sink:counted;
+              js *. float_of_int stage.Sparql.Sink.rows_in
+          | Some r0 ->
+              let bag, bgp_js = eval_bgp st patterns ~cands:pass_down in
+              Sparql.Bag.join_into r0 bag ~sink;
+              js *. bgp_js)
+      | Be_tree.Group inner -> (
+          match r with
+          | None -> js *. eval_group_into st inner ~cands:pass_down ~sink
+          | Some r0 ->
+              let bag, inner_js = eval_group st inner ~cands:pass_down in
+              Sparql.Bag.join_into r0 bag ~sink;
+              js *. inner_js)
+      | Be_tree.Union branches ->
+          let results = eval_union_branches st branches ~cands:pass_down in
+          let union_js =
+            List.fold_left (fun acc (_, bjs) -> acc +. bjs) 0. results
+          in
+          (match r with
+          | None ->
+              List.iter (fun (bag, _) -> Sparql.Bag.replay bag ~sink) results
+          | Some r0 ->
+              let u =
+                List.fold_left
+                  (fun acc (bag, _) -> Sparql.Bag.union acc bag)
+                  (Sparql.Bag.create ~width) results
+              in
+              observe st u;
+              Sparql.Bag.join_into r0 u ~sink);
+          js *. union_js
+      | Be_tree.Values block ->
+          let bag = values_bag st block in
+          let vjs = float_of_int (Sparql.Bag.length bag) in
+          (match r with
+          | None -> Sparql.Bag.replay bag ~sink
+          | Some r0 -> Sparql.Bag.join_into r0 bag ~sink);
+          js *. vjs
+      | Be_tree.Optional inner | Be_tree.Minus inner ->
+          let left_universal =
+            match r with
+            | None -> []
+            | Some bag -> Sparql.Bag.universal_columns bag
+          in
+          let pass_down =
+            Engine.Candidates.restrict pass_down ~cols:left_universal
+          in
+          let bag, inner_js = eval_group st inner ~cands:pass_down in
+          (match last with
+          | Be_tree.Optional _ ->
+              Sparql.Bag.left_outer_join_into (current ()) bag ~sink
+          | _ -> Sparql.Bag.sparql_minus_into (current ()) bag ~sink);
+          js *. Float.max inner_js 1.)
+
+let make_state env ~threshold =
+  { env; threshold; peak_rows = Atomic.make 0; bgp_evals = Atomic.make 0;
+    pruned_bgps = Atomic.make 0 }
+
+let finish_stats st ~join_space ~stages =
+  {
+    join_space;
+    peak_rows = Atomic.get st.peak_rows;
+    total_rows = Sparql.Bag.pushed_rows ();
+    bgp_evals = Atomic.get st.bgp_evals;
+    pruned_bgps = Atomic.get st.pruned_bgps;
+    stages;
+  }
 
 let eval env ~threshold tree =
-  let st =
-    { env; threshold; peak_rows = Atomic.make 0; bgp_evals = Atomic.make 0;
-      pruned_bgps = Atomic.make 0 }
-  in
+  let st = make_state env ~threshold in
   Sparql.Bag.reset_push_counter ();
   let bag, join_space = eval_group st tree ~cands:Engine.Candidates.empty in
-  ( bag,
-    {
-      join_space;
-      peak_rows = Atomic.get st.peak_rows;
-      total_rows = Sparql.Bag.pushed_rows ();
-      bgp_evals = Atomic.get st.bgp_evals;
-      pruned_bgps = Atomic.get st.pruned_bgps;
-    } )
+  (bag, finish_stats st ~join_space ~stages:[])
+
+let eval_into env ~threshold ~sink tree =
+  let st = make_state env ~threshold in
+  Sparql.Bag.reset_push_counter ();
+  let join_space = ref 1. in
+  (try
+     join_space := eval_group_into st tree ~cands:Engine.Candidates.empty ~sink
+   with Sparql.Sink.Stop -> ());
+  Sparql.Sink.close sink;
+  finish_stats st ~join_space:!join_space ~stages:(Sparql.Sink.stages sink)

@@ -21,9 +21,27 @@ type stats = {
   total_rows : int;  (** total intermediate rows materialized *)
   bgp_evals : int;
   pruned_bgps : int;  (** BGP evaluations that had a candidate set applied *)
+  stages : Sparql.Sink.stage list;
+      (** per-stage rows-in/rows-out of the sink pipeline, in data-flow
+          order; empty for materializing {!eval} *)
 }
 
 (** [eval env ~threshold tree] runs Algorithm 1 over [tree]. May raise
     [Sparql.Bag.Limit_exceeded] if the caller armed a row budget. *)
 val eval :
   Engine.Bgp_eval.t -> threshold:threshold -> Be_tree.group -> Sparql.Bag.t * stats
+
+(** [eval_into env ~threshold ~sink tree] — streaming Algorithm 1: the
+    tree's final operator emits rows into [sink] instead of materializing
+    the result bag, so a LIMIT stage in [sink] early-terminates evaluation
+    ([Sink.Stop] is caught here and reported as a normal completion). The
+    sink is closed before returning. [stats.peak_rows] excludes the final
+    operator's streamed output; [stats.join_space] is exact when the
+    pipeline ran to completion and partial under an early Stop. May raise
+    [Sparql.Bag.Limit_exceeded]. *)
+val eval_into :
+  Engine.Bgp_eval.t ->
+  threshold:threshold ->
+  sink:Sparql.Sink.t ->
+  Be_tree.group ->
+  stats

@@ -162,8 +162,109 @@ let aggregate_bag store vartable (query : Sparql.Ast.query) items bag =
     keys;
   result
 
+(* --- Solution modifiers (ORDER BY, projection, DISTINCT, LIMIT/OFFSET) -- *)
+
+let order_keys vartable (query : Sparql.Ast.query) =
+  List.filter_map
+    (fun (v, descending) ->
+      Option.map
+        (fun col -> (col, descending))
+        (Sparql.Vartable.find vartable v))
+    query.Sparql.Ast.order_by
+
+let compare_ids store id1 id2 =
+  Rdf.Term.compare
+    (Rdf_store.Triple_store.decode_term store id1)
+    (Rdf_store.Triple_store.decode_term store id2)
+
+(* [None] = SELECT * (no projection). *)
+let projection_cols vartable (query : Sparql.Ast.query) =
+  match Sparql.Ast.select_query query with
+  | Sparql.Ast.Star -> None
+  | Sparql.Ast.Projection vs ->
+      Some (List.filter_map (Sparql.Vartable.find vartable) vs)
+  | Sparql.Ast.Aggregated items ->
+      Some
+        (List.filter_map
+           (fun item ->
+             let v =
+               match item with
+               | Sparql.Ast.Svar v -> v
+               | Sparql.Ast.Aggregate { alias; _ } -> alias
+             in
+             Sparql.Vartable.find vartable v)
+           items)
+
+(* The historical bag-at-a-time modifier pipeline, kept as the
+   [~streaming:false] reference: ORDER BY, projection, DISTINCT,
+   LIMIT/OFFSET — each over a fully materialized bag. *)
+let apply_modifiers_materialized store vartable (query : Sparql.Ast.query) bag =
+  let bag =
+    match order_keys vartable query with
+    | [] -> bag
+    | keys -> Sparql.Bag.sort bag ~keys ~compare_ids:(compare_ids store)
+  in
+  let bag =
+    match projection_cols vartable query with
+    | None -> bag
+    | Some cols -> Sparql.Bag.project bag ~cols
+  in
+  let bag = if query.distinct then Sparql.Bag.dedup bag else bag in
+  match (query.limit, query.offset) with
+  | None, None -> bag
+  | limit, offset ->
+      let offset = Option.value offset ~default:0 in
+      let keep =
+        match limit with
+        | Some n -> fun i -> i >= offset && i < offset + n
+        | None -> fun i -> i >= offset
+      in
+      let sliced = Sparql.Bag.create ~width:(Sparql.Bag.width bag) in
+      let i = ref 0 in
+      Sparql.Bag.iter bag ~f:(fun row ->
+          if keep !i then Sparql.Bag.push sliced row;
+          incr i);
+      sliced
+
+(* The same modifiers as a sink pipeline, built terminal-first so rows
+   flow sort -> project -> distinct -> offset/limit -> [out] (the
+   materializing order above). LIMIT without ORDER BY raises [Sink.Stop]
+   upstream as soon as it is satisfied; ORDER BY + LIMIT keeps only
+   offset+limit rows in a bounded top-k heap — unless a DISTINCT sits
+   between the sort and the slice, where dropping duplicates could promote
+   rows past the k-th and the full buffering sort is required. *)
+let modifier_sink store vartable (query : Sparql.Ast.query) ~width ~out =
+  let sink = Sparql.Bag.sink out in
+  let sink =
+    match (query.Sparql.Ast.limit, query.Sparql.Ast.offset) with
+    | None, None -> sink
+    | limit, offset ->
+        Sparql.Sink.offset_limit ?limit
+          ~offset:(Option.value offset ~default:0)
+          sink
+  in
+  let sink = if query.distinct then Sparql.Sink.distinct sink else sink in
+  let sink =
+    match projection_cols vartable query with
+    | None -> sink
+    | Some cols -> Sparql.Sink.project ~width ~cols sink
+  in
+  match order_keys vartable query with
+  | [] -> sink
+  | keys -> (
+      let compare =
+        Sparql.Bag.row_compare ~keys ~compare_ids:(compare_ids store)
+      in
+      match query.Sparql.Ast.limit with
+      | Some n when not query.distinct ->
+          Sparql.Sink.top_k ~compare
+            ~k:(Option.value query.Sparql.Ast.offset ~default:0 + n)
+            sink
+      | _ -> Sparql.Sink.sort_all ~compare sink)
+
 let run_query ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?(domains = 1)
-    ?row_budget ?timeout_ms ?stats store (query : Sparql.Ast.query) =
+    ?(streaming = true) ?row_budget ?timeout_ms ?stats store
+    (query : Sparql.Ast.query) =
   (* Register every query variable up front so bag widths are stable —
      including aggregate aliases, which get fresh columns. *)
   let vartable = Sparql.Vartable.of_list (Sparql.Ast.group_vars query.where) in
@@ -205,109 +306,83 @@ let run_query ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?(domains = 1)
      parallel query runs; serial queries keep the historical operators. *)
   if domains > 1 then Engine.Pool.enable_bag_runner ()
   else Engine.Pool.disable_bag_runner ();
-  let outcome =
-    try
+  let width = Engine.Bgp_eval.width env in
+  (* Aggregation (GROUP BY / HAVING) needs the complete result before any
+     row can be emitted, so those queries evaluate materialized; their
+     solution modifiers still stream over the aggregated bag. *)
+  let needs_aggregate =
+    (match query.form with
+    | Sparql.Ast.Select (Sparql.Ast.Aggregated _) -> true
+    | _ -> false)
+    || query.Sparql.Ast.group_by <> []
+  in
+  let evaluate () =
+    if streaming && (not needs_aggregate) && query.Sparql.Ast.having = None
+    then begin
+      let out = Sparql.Bag.create ~width in
+      let sink = modifier_sink store vartable query ~width ~out in
+      let stats = Evaluator.eval_into env ~threshold ~sink tree_after in
+      (out, stats)
+    end
+    else begin
       let bag, stats = Evaluator.eval env ~threshold tree_after in
-      Ok (bag, stats)
-    with Sparql.Bag.Limit_exceeded -> (
-      match timeout_ms with
-      | Some ms when now_ms () -. t1 >= ms -> Error Timeout
-      | _ -> Error Out_of_budget)
+      let bag =
+        match query.form with
+        | Sparql.Ast.Select (Sparql.Ast.Aggregated items) ->
+            aggregate_bag store vartable query items bag
+        | _ when query.Sparql.Ast.group_by <> [] ->
+            (* GROUP BY without aggregates: one representative row per
+               group (keys only). *)
+            aggregate_bag store vartable query [] bag
+        | _ -> bag
+      in
+      let bag =
+        match query.Sparql.Ast.having with
+        | None -> bag
+        | Some e ->
+            let lookup row v =
+              match Sparql.Vartable.find vartable v with
+              | Some col when Sparql.Binding.is_bound row col ->
+                  Some (Rdf_store.Triple_store.decode_term store row.(col))
+              | _ -> None
+            in
+            Sparql.Bag.filter bag ~f:(fun row ->
+                Sparql.Expr.eval ~lookup:(lookup row)
+                  ~exists:(fun _ -> false)
+                  e)
+      in
+      if streaming then begin
+        let out = Sparql.Bag.create ~width in
+        let sink = modifier_sink store vartable query ~width ~out in
+        (try Sparql.Bag.replay bag ~sink with Sparql.Sink.Stop -> ());
+        Sparql.Sink.close sink;
+        (out, { stats with Evaluator.stages = Sparql.Sink.stages sink })
+      end
+      else (apply_modifiers_materialized store vartable query bag, stats)
+    end
+  in
+  (* [Fun.protect]: a parser/engine exception (or a [Stop] leak) must not
+     leave the global budget, deadline or bag runner armed for the next
+     query on this process. *)
+  let outcome =
+    Fun.protect
+      ~finally:(fun () ->
+        Engine.Pool.disable_bag_runner ();
+        Sparql.Bag.unlimited_budget ();
+        Sparql.Bag.clear_deadline ())
+      (fun () ->
+        try Ok (evaluate ())
+        with Sparql.Bag.Limit_exceeded -> (
+          match timeout_ms with
+          | Some ms when now_ms () -. t1 >= ms -> Error Timeout
+          | _ -> Error Out_of_budget))
   in
   let exec_ms = now_ms () -. t1 in
-  Engine.Pool.disable_bag_runner ();
-  Sparql.Bag.unlimited_budget ();
-  Sparql.Bag.clear_deadline ();
   let projection = Sparql.Ast.query_vars query in
   let bag, eval_stats =
     match outcome with
     | Error _ -> (None, None)
-    | Ok (bag, stats) ->
-        (* Aggregation first (GROUP BY / HAVING), then the solution
-           modifiers: ORDER BY, projection, DISTINCT, LIMIT/OFFSET. *)
-        let bag =
-          match query.form with
-          | Sparql.Ast.Select (Sparql.Ast.Aggregated items) ->
-              aggregate_bag store vartable query items bag
-          | _ when query.Sparql.Ast.group_by <> [] ->
-              (* GROUP BY without aggregates: one representative row per
-                 group (keys only). *)
-              aggregate_bag store vartable query [] bag
-          | _ -> bag
-        in
-        let bag =
-          match query.Sparql.Ast.having with
-          | None -> bag
-          | Some e ->
-              let lookup row v =
-                match Sparql.Vartable.find vartable v with
-                | Some col when Sparql.Binding.is_bound row col ->
-                    Some (Rdf_store.Triple_store.decode_term store row.(col))
-                | _ -> None
-              in
-              Sparql.Bag.filter bag ~f:(fun row ->
-                  Sparql.Expr.eval ~lookup:(lookup row)
-                    ~exists:(fun _ -> false)
-                    e)
-        in
-        let bag =
-          match query.order_by with
-          | [] -> bag
-          | keys ->
-              let keys =
-                List.filter_map
-                  (fun (v, descending) ->
-                    Option.map
-                      (fun col -> (col, descending))
-                      (Sparql.Vartable.find vartable v))
-                  keys
-              in
-              let compare_ids id1 id2 =
-                Rdf.Term.compare
-                  (Rdf_store.Triple_store.decode_term store id1)
-                  (Rdf_store.Triple_store.decode_term store id2)
-              in
-              Sparql.Bag.sort bag ~keys ~compare_ids
-        in
-        let bag =
-          match Sparql.Ast.select_query query with
-          | Sparql.Ast.Star -> bag
-          | Sparql.Ast.Projection vs ->
-              let cols = List.filter_map (Sparql.Vartable.find vartable) vs in
-              Sparql.Bag.project bag ~cols
-          | Sparql.Ast.Aggregated items ->
-              let cols =
-                List.filter_map
-                  (fun item ->
-                    let v =
-                      match item with
-                      | Sparql.Ast.Svar v -> v
-                      | Sparql.Ast.Aggregate { alias; _ } -> alias
-                    in
-                    Sparql.Vartable.find vartable v)
-                  items
-              in
-              Sparql.Bag.project bag ~cols
-        in
-        let bag = if query.distinct then Sparql.Bag.dedup bag else bag in
-        let bag =
-          match (query.limit, query.offset) with
-          | None, None -> bag
-          | limit, offset ->
-              let offset = Option.value offset ~default:0 in
-              let keep =
-                match limit with
-                | Some n -> fun i -> i >= offset && i < offset + n
-                | None -> fun i -> i >= offset
-              in
-              let sliced = Sparql.Bag.create ~width:(Sparql.Bag.width bag) in
-              let i = ref 0 in
-              Sparql.Bag.iter bag ~f:(fun row ->
-                  if keep !i then Sparql.Bag.push sliced row;
-                  incr i);
-              sliced
-        in
-        (Some bag, Some stats)
+    | Ok (bag, stats) -> (Some bag, Some stats)
   in
   Log.info (fun m ->
       m "mode=%s engine=%s transform=%.2fms exec=%.2fms results=%s"
@@ -334,9 +409,10 @@ let run_query ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?(domains = 1)
     tree_after;
   }
 
-let run ?mode ?engine ?domains ?row_budget ?timeout_ms ?stats store text =
-  run_query ?mode ?engine ?domains ?row_budget ?timeout_ms ?stats store
-    (Sparql.Parser.parse text)
+let run ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms ?stats store
+    text =
+  run_query ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms ?stats
+    store (Sparql.Parser.parse text)
 
 let solutions store report =
   match report.bag with
@@ -383,7 +459,18 @@ let explain report =
             (%d pruned)\n"
            stats.Evaluator.join_space stats.Evaluator.peak_rows
            stats.Evaluator.total_rows stats.Evaluator.bgp_evals
-           stats.Evaluator.pruned_bgps)
+           stats.Evaluator.pruned_bgps);
+      (match stats.Evaluator.stages with
+      | [] -> ()
+      | stages ->
+          Buffer.add_string buf "sink pipeline:";
+          List.iter
+            (fun (s : Sparql.Sink.stage) ->
+              Buffer.add_string buf
+                (Printf.sprintf " %s(in=%d out=%d)" s.Sparql.Sink.name
+                   s.Sparql.Sink.rows_in s.Sparql.Sink.rows_out))
+            stages;
+          Buffer.add_string buf "\n")
   | None -> ());
   Buffer.contents buf
 

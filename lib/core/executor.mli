@@ -35,19 +35,27 @@ type report = {
   tree_after : Be_tree.group;
 }
 
-(** [run ?mode ?engine ?domains ?row_budget ?timeout_ms ?stats store text]
-    parses and executes [text]. [domains] (default 1) is the number of
-    domains evaluation may use: [> 1] runs WCO extension steps, the probe
-    side of hash joins and independent UNION branches on the process-global
-    domain pool (results are equal to the serial run as bags; row order may
-    differ). [row_budget] bounds total intermediate rows; [timeout_ms]
-    bounds wall-clock time; on either limit the report carries
-    [bag = None] and a {!failure}. Defaults: [Full], [Wco], serial,
-    unlimited. *)
+(** [run ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms ?stats
+    store text] parses and executes [text]. [domains] (default 1) is the
+    number of domains evaluation may use: [> 1] runs WCO extension steps,
+    the probe side of hash joins and independent UNION branches on the
+    process-global domain pool (results are equal to the serial run as
+    bags; row order may differ). [streaming] (default [true]) threads the
+    solution modifiers as a sink pipeline behind the evaluator's final
+    operator: LIMIT/OFFSET early-terminates evaluation, ORDER BY + LIMIT
+    runs as a bounded top-k heap, DISTINCT and projection stream row by
+    row; [~streaming:false] keeps the historical materialize-then-modify
+    pipeline (results are equal as bags either way). Aggregated queries
+    (GROUP BY / aggregates / HAVING) always materialize before their
+    modifiers stream. [row_budget] bounds total produced rows;
+    [timeout_ms] bounds wall-clock time; on either limit the report
+    carries [bag = None] and a {!failure}. Defaults: [Full], [Wco],
+    serial, unlimited. *)
 val run :
   ?mode:mode ->
   ?engine:Engine.Bgp_eval.engine ->
   ?domains:int ->
+  ?streaming:bool ->
   ?row_budget:int ->
   ?timeout_ms:float ->
   ?stats:Rdf_store.Stats.t ->
@@ -60,6 +68,7 @@ val run_query :
   ?mode:mode ->
   ?engine:Engine.Bgp_eval.engine ->
   ?domains:int ->
+  ?streaming:bool ->
   ?row_budget:int ->
   ?timeout_ms:float ->
   ?stats:Rdf_store.Stats.t ->

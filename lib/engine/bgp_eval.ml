@@ -58,6 +58,13 @@ let eval ctx patterns ~candidates =
   | Wco -> Wco.eval ?pool:ctx.pool ctx.store ~width plan ~candidates
   | Hash_join -> Hash_join.eval ctx.store ~width plan ~candidates
 
+let eval_into ctx patterns ~candidates ~sink =
+  let plan = plan ctx patterns in
+  let width = width ctx in
+  match ctx.engine with
+  | Wco -> Wco.eval_into ?pool:ctx.pool ctx.store ~width plan ~candidates ~sink
+  | Hash_join -> Hash_join.eval_into ctx.store ~width plan ~candidates ~sink
+
 let estimate_cost ctx patterns =
   let plan = plan ctx patterns in
   match ctx.engine with

@@ -39,6 +39,17 @@ val width : t -> int
 val eval :
   t -> Sparql.Triple_pattern.t list -> candidates:Candidates.t -> Sparql.Bag.t
 
+(** [eval_into ctx patterns ~candidates ~sink] — streaming [eval]: the
+    final evaluation step emits rows into [sink] instead of materializing
+    the result bag, so a downstream LIMIT can short-circuit it via
+    [Sink.Stop]. The empty pattern list emits the single unit row. *)
+val eval_into :
+  t ->
+  Sparql.Triple_pattern.t list ->
+  candidates:Candidates.t ->
+  sink:Sparql.Sink.t ->
+  unit
+
 (** [plan ctx patterns] exposes the planner's estimates for the BGP. *)
 val plan : t -> Sparql.Triple_pattern.t list -> Planner.plan
 

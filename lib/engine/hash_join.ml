@@ -1,5 +1,6 @@
-let scan_pattern store ~width pattern ~candidates =
-  let bag = Sparql.Bag.create ~width in
+(* Enumerate the candidate-passing, self-consistent matches of a single
+   triple pattern as fresh rows. *)
+let scan_iter store ~width pattern ~candidates ~f =
   let empty = Sparql.Binding.create ~width in
   Compiled.iter_matches store pattern empty ~f:(fun ~s ~p ~o ->
       let fresh = Sparql.Binding.create ~width in
@@ -17,7 +18,11 @@ let scan_pattern store ~width pattern ~candidates =
       bind pattern.Compiled.cs s;
       bind pattern.Compiled.cp p;
       bind pattern.Compiled.co o;
-      if !consistent then Sparql.Bag.push bag fresh);
+      if !consistent then f fresh)
+
+let scan_pattern store ~width pattern ~candidates =
+  let bag = Sparql.Bag.create ~width in
+  scan_iter store ~width pattern ~candidates ~f:(Sparql.Bag.push bag);
   bag
 
 let eval store ~width (plan : Planner.plan) ~candidates =
@@ -26,3 +31,42 @@ let eval store ~width (plan : Planner.plan) ~candidates =
       let scanned = scan_pattern store ~width step.Planner.pattern ~candidates in
       Sparql.Bag.join acc scanned)
     (Sparql.Bag.unit ~width) plan.steps
+
+(* The variable columns a pattern binds — the probe-side domain of the
+   final join in [eval_into]. *)
+let pattern_cols (pattern : Compiled.t) =
+  let add acc node =
+    match node with
+    | Compiled.Cvar col -> if List.mem col acc then acc else col :: acc
+    | Compiled.Cterm _ | Compiled.Missing -> acc
+  in
+  add (add (add [] pattern.Compiled.cs) pattern.Compiled.cp) pattern.Compiled.co
+
+(* Streaming variant: the joins over all patterns but the last build and
+   materialize exactly as [eval]; the accumulated result then becomes the
+   build side of the final join, and the last pattern's scan probes it
+   row-at-a-time, emitting merged rows straight into [sink] — the scan
+   never materializes, so a downstream LIMIT short-circuits it via
+   [Sink.Stop]. Each scanned probe row is budget-accounted as a produced
+   row (parity with [scan_pattern]'s pushes). *)
+let eval_into store ~width (plan : Planner.plan) ~candidates ~sink =
+  match List.rev plan.steps with
+  | [] -> Sparql.Bag.emit_accounted sink (Sparql.Binding.create ~width)
+  | last :: rev_prefix ->
+      let acc =
+        List.fold_left
+          (fun acc (step : Planner.step) ->
+            let scanned =
+              scan_pattern store ~width step.Planner.pattern ~candidates
+            in
+            Sparql.Bag.join acc scanned)
+          (Sparql.Bag.unit ~width) (List.rev rev_prefix)
+      in
+      let probe =
+        Sparql.Bag.join_sink acc
+          ~probe_cols:(pattern_cols last.Planner.pattern)
+          ~sink
+      in
+      scan_iter store ~width last.Planner.pattern ~candidates ~f:(fun row ->
+          Sparql.Bag.account ();
+          probe row)

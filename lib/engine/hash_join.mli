@@ -9,6 +9,19 @@ val eval :
   candidates:Candidates.t ->
   Sparql.Bag.t
 
+(** [eval_into] is [eval] with the final join streamed: the joins over all
+    patterns but the last materialize as usual and become the build side;
+    the last pattern's scan then probes row-at-a-time, emitting merged rows
+    into [sink], so a downstream LIMIT can short-circuit the scan via
+    [Sink.Stop]. *)
+val eval_into :
+  Rdf_store.Triple_store.t ->
+  width:int ->
+  Planner.plan ->
+  candidates:Candidates.t ->
+  sink:Sparql.Sink.t ->
+  unit
+
 (** [scan_pattern store ~width pattern ~candidates] materializes the
     matches of a single triple pattern as a bag (exposed for LBR, which
     evaluates triple patterns separately). *)

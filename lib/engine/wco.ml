@@ -76,29 +76,60 @@ let extend_row store candidates pattern row ~push =
    pool is given or the bag is too small to amortize the fan-out. *)
 let min_parallel_rows = 32
 
+let eval_step ?pool store ~width candidates input (step : Planner.step) =
+  match pool with
+  | Some pool when Sparql.Bag.length input >= min_parallel_rows ->
+      Sparql.Bag.concat ~width
+        (Pool.accumulate pool ~chunk:16 ~lo:0
+           ~hi:(Sparql.Bag.length input)
+           ~create:(fun () -> Sparql.Bag.create ~width)
+           ~body:(fun out i ->
+             extend_row store candidates step.pattern (Sparql.Bag.get input i)
+               ~push:(Sparql.Bag.push out))
+           ())
+  | _ ->
+      let next = Sparql.Bag.create ~width in
+      Sparql.Bag.iter input ~f:(fun row ->
+          extend_row store candidates step.pattern row
+            ~push:(Sparql.Bag.push next));
+      next
+
 let eval ?pool store ~width (plan : Planner.plan) ~candidates =
-  let current = ref (Sparql.Bag.unit ~width) in
-  List.iter
-    (fun (step : Planner.step) ->
-      let input = !current in
-      let next =
-        match pool with
-        | Some pool when Sparql.Bag.length input >= min_parallel_rows ->
-            Sparql.Bag.concat ~width
-              (Pool.accumulate pool ~chunk:16 ~lo:0
-                 ~hi:(Sparql.Bag.length input)
-                 ~create:(fun () -> Sparql.Bag.create ~width)
-                 ~body:(fun out i ->
-                   extend_row store candidates step.pattern
-                     (Sparql.Bag.get input i) ~push:(Sparql.Bag.push out))
-                 ())
-        | _ ->
-            let next = Sparql.Bag.create ~width in
-            Sparql.Bag.iter input ~f:(fun row ->
-                extend_row store candidates step.pattern row
-                  ~push:(Sparql.Bag.push next));
-            next
+  List.fold_left
+    (eval_step ?pool store ~width candidates)
+    (Sparql.Bag.unit ~width) plan.steps
+
+(* Streaming variant: every step but the last materializes exactly as
+   [eval] (each step's input must be complete before the next begins), but
+   the last step's extensions flow straight into [sink]. Under a pool the
+   last step still fans out into worker-local bags — [Sink.Stop] must not
+   unwind across domains — which are then replayed serially into the sink;
+   the rows were budget-accounted when pushed into their part, so the
+   replay is free. *)
+let eval_into ?pool store ~width (plan : Planner.plan) ~candidates ~sink =
+  match List.rev plan.steps with
+  | [] -> Sparql.Bag.emit_accounted sink (Sparql.Binding.create ~width)
+  | last :: rev_prefix ->
+      let input =
+        List.fold_left
+          (eval_step ?pool store ~width candidates)
+          (Sparql.Bag.unit ~width) (List.rev rev_prefix)
       in
-      current := next)
-    plan.steps;
-  !current
+      (match pool with
+      | Some pool when Sparql.Bag.length input >= min_parallel_rows ->
+          let parts =
+            Pool.accumulate pool ~chunk:16 ~lo:0
+              ~hi:(Sparql.Bag.length input)
+              ~create:(fun () -> Sparql.Bag.create ~width)
+              ~body:(fun out i ->
+                extend_row store candidates last.pattern
+                  (Sparql.Bag.get input i) ~push:(Sparql.Bag.push out))
+              ()
+          in
+          List.iter
+            (fun part -> Sparql.Bag.iter part ~f:(Sparql.Sink.emit sink))
+            parts
+      | _ ->
+          Sparql.Bag.iter input ~f:(fun row ->
+              extend_row store candidates last.pattern row
+                ~push:(Sparql.Bag.emit_accounted sink)))

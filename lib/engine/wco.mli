@@ -19,3 +19,18 @@ val eval :
   Planner.plan ->
   candidates:Candidates.t ->
   Sparql.Bag.t
+
+(** [eval_into] is [eval] with the final step streamed: all steps but the
+    last materialize as usual, and the last step's extensions are emitted
+    into [sink] instead of a result bag, so a downstream LIMIT can
+    short-circuit the scan via [Sink.Stop]. Under a pool the last step
+    fans out into worker-local bags that are replayed serially into the
+    sink (Stop only ever unwinds serial code). *)
+val eval_into :
+  ?pool:Pool.t ->
+  Rdf_store.Triple_store.t ->
+  width:int ->
+  Planner.plan ->
+  candidates:Candidates.t ->
+  sink:Sparql.Sink.t ->
+  unit

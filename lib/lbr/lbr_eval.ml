@@ -129,6 +129,10 @@ let run ?row_budget ?timeout_ms env (query : Sparql.Ast.query) =
         let cols = List.filter_map (Sparql.Vartable.find table) vs in
         let bag = Sparql.Bag.project bag ~cols in
         Some (if query.distinct then Sparql.Bag.dedup bag else bag)
+    | Some bag, Sparql.Ast.Aggregated _ ->
+        (* LBR targets the well-designed AND/OPTIONAL fragment; aggregates
+           are out of scope, so the raw bag is returned unprojected. *)
+        Some bag
   in
   {
     bag;

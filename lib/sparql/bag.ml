@@ -37,6 +37,19 @@ let pushed_rows () = Atomic.get total_pushed
 
 let create ~width = { width; rows = [||]; len = 0; unchecked = 0 }
 
+(* Append without budget accounting — for rows whose production was
+   already charged (worker-part concatenation, the terminal sink of a
+   streaming pipeline, [sort]'s reordering). *)
+let append bag row =
+  if bag.len = Array.length bag.rows then begin
+    let capacity = max 8 (2 * bag.len) in
+    let fresh = Array.make capacity [||] in
+    Array.blit bag.rows 0 fresh 0 bag.len;
+    bag.rows <- fresh
+  end;
+  bag.rows.(bag.len) <- row;
+  bag.len <- bag.len + 1
+
 let push bag row =
   if Atomic.fetch_and_add budget (-1) <= 0 then raise Limit_exceeded;
   Atomic.incr total_pushed;
@@ -48,14 +61,28 @@ let push bag row =
         if now () > at then raise Limit_exceeded
       end
   | None -> ());
-  if bag.len = Array.length bag.rows then begin
-    let capacity = max 8 (2 * bag.len) in
-    let fresh = Array.make capacity [||] in
-    Array.blit bag.rows 0 fresh 0 bag.len;
-    bag.rows <- fresh
-  end;
-  bag.rows.(bag.len) <- row;
-  bag.len <- bag.len + 1
+  append bag row
+
+(* Charge the production of one streamed row: the same budget/deadline
+   accounting as [push], without materializing anywhere. Streaming
+   producers call it once per row emitted into a sink pipeline, so the
+   budget (the paper's OOM analogue), the timeout and [pushed_rows] keep
+   the same meaning whether an operator materializes or streams. Only ever
+   called from the serial sink-driving domain, so the deadline stride
+   counter is a plain ref. *)
+let stream_unchecked = ref 0
+
+let account () =
+  if Atomic.fetch_and_add budget (-1) <= 0 then raise Limit_exceeded;
+  Atomic.incr total_pushed;
+  match Atomic.get deadline with
+  | Some (at, now) ->
+      incr stream_unchecked;
+      if !stream_unchecked >= deadline_stride then begin
+        stream_unchecked := 0;
+        if now () > at then raise Limit_exceeded
+      end
+  | None -> ()
 
 let unit ~width =
   let bag = create ~width in
@@ -238,6 +265,46 @@ let probe_into ~width probe ~emit =
       iter probe ~f:(emit result);
       result
 
+(* {2 Sink-driven operator variants}
+
+   Each [*_into] operator streams its output rows into a sink instead of
+   materializing a result bag. Accounting rule: a row is charged (via
+   [account] or a worker-local [push]) exactly once, at the operator
+   boundary where it is produced; replaying worker parts into the sink is
+   the concat case and does not re-charge. [Sink.Stop] raised by the sink
+   aborts the serial probe loop — the early-termination payoff. *)
+
+let emit_accounted sink row =
+  account ();
+  Sink.emit sink row
+
+(* The materializing terminal: rows were charged at production, so the
+   final append is a plain blit like [concat]. *)
+let sink bag = Sink.terminal ~name:"materialize" (fun row -> append bag row)
+
+(* Re-emit a materialized bag into a sink across an operator boundary.
+   Charged, mirroring the cost-proxy re-push of the materializing [union]
+   (the rows cross into a new operator's output). *)
+let replay bag ~sink = iter bag ~f:(fun row -> emit_accounted sink row)
+
+(* Pool composition for sink-driving probe loops, mirroring [probe_into]:
+   with a runner installed and a large probe side, each worker emits into a
+   thread-local bag (budget-accounted there) and the parts are then
+   replayed serially into the sink without re-charging. [Stop] therefore
+   only ever unwinds serial code: either the serial probe loop itself, or
+   the serial replay of worker parts (the parallel work is already done by
+   then, as in any barrier). *)
+let stream_probe ~width probe ~emit ~sink =
+  match !parallel_runner with
+  | Some runner when probe.len >= parallel_threshold ->
+      let parts =
+        runner.run ~n:probe.len
+          ~create:(fun () -> create ~width)
+          ~body:(fun out i -> emit (push out) probe.rows.(i))
+      in
+      List.iter (fun part -> iter part ~f:(Sink.emit sink)) parts
+  | _ -> iter probe ~f:(fun row -> emit (emit_accounted sink) row)
+
 let join b1 b2 =
   if b1.width <> b2.width then invalid_arg "Bag.join: width mismatch";
   (* Build on the smaller side; probing preserves Ω1-major order only up to
@@ -248,9 +315,34 @@ let join b1 b2 =
       iter_compatible part row ~f:(fun other ->
           push out (Binding.merge row other)))
 
+let join_into b1 b2 ~sink =
+  if b1.width <> b2.width then invalid_arg "Bag.join_into: width mismatch";
+  let build, probe = if b1.len <= b2.len then (b1, b2) else (b2, b1) in
+  let part = partition build (shared_columns b1 b2) in
+  stream_probe ~width:b1.width probe ~sink ~emit:(fun push_row row ->
+      iter_compatible part row ~f:(fun other ->
+          push_row (Binding.merge row other)))
+
+(* A row-at-a-time join for producers that stream their probe side (the
+   hash engine's final pattern scan): partition the build side once, then
+   probe each streamed row as it arrives. [probe_cols] are columns the
+   probe rows may bind; key columns are their intersection with the build
+   side's domain ([iter_compatible] stays correct even for probe rows
+   missing key columns — they scan all buckets). *)
+let join_sink build ~probe_cols ~sink =
+  let build_cols = bound_columns build in
+  let cols = List.filter (fun col -> List.mem col build_cols) probe_cols in
+  let part = partition build cols in
+  fun row ->
+    iter_compatible part row ~f:(fun other ->
+        emit_accounted sink (Binding.merge row other))
+
 let union b1 b2 =
   if b1.width <> b2.width then invalid_arg "Bag.union: width mismatch";
   let result = create ~width:b1.width in
+  (* The re-push of both inputs is intentional: union's output rows cross
+     an operator boundary, so each is charged as a cost proxy (matching
+     the streamed [replay] of a branch into a sink). *)
   iter b1 ~f:(push result);
   iter b2 ~f:(push result);
   result
@@ -262,51 +354,68 @@ let minus b1 b2 =
       if not (exists_compatible part row ~pred:(fun _ -> true)) then
         push out row)
 
+let minus_into b1 b2 ~sink =
+  if b1.width <> b2.width then invalid_arg "Bag.minus_into: width mismatch";
+  let part = partition b2 (shared_columns b1 b2) in
+  stream_probe ~width:b1.width b1 ~sink ~emit:(fun push_row row ->
+      if not (exists_compatible part row ~pred:(fun _ -> true)) then
+        push_row row)
+
 (* SPARQL 1.1 MINUS: μ1 is removed only by a compatible μ2 with at least
    one *shared bound* variable (disjoint-domain mappings do not exclude —
    the subtlety distinguishing MINUS from the Section 3 ∖ operator). *)
+let overlapping r1 r2 =
+  let n = Array.length r1 in
+  let rec go i =
+    i < n
+    && ((r1.(i) <> Binding.unbound && r2.(i) <> Binding.unbound) || go (i + 1))
+  in
+  go 0
+
 let sparql_minus b1 b2 =
   if b1.width <> b2.width then invalid_arg "Bag.sparql_minus: width mismatch";
   let result = create ~width:b1.width in
   let part = partition b2 (shared_columns b1 b2) in
-  let overlapping r1 r2 =
-    let n = Array.length r1 in
-    let rec go i =
-      i < n
-      && ((r1.(i) <> Binding.unbound && r2.(i) <> Binding.unbound) || go (i + 1))
-    in
-    go 0
-  in
   iter b1 ~f:(fun row ->
       if not (exists_compatible part row ~pred:(overlapping row)) then
         push result row);
   result
 
-(* Stable sort by the given (column, descending) keys; unbound sorts
-   before any bound value (as in SPARQL's ORDER BY). *)
+let sparql_minus_into b1 b2 ~sink =
+  if b1.width <> b2.width then
+    invalid_arg "Bag.sparql_minus_into: width mismatch";
+  let part = partition b2 (shared_columns b1 b2) in
+  iter b1 ~f:(fun row ->
+      if not (exists_compatible part row ~pred:(overlapping row)) then
+        emit_accounted sink row)
+
+(* Row comparison by (column, descending) keys; unbound sorts before any
+   bound value (as in SPARQL's ORDER BY). Shared by [sort] and the
+   streaming sort/top-k stages the executor builds. *)
+let row_compare ~keys ~compare_ids r1 r2 =
+  let rec go = function
+    | [] -> 0
+    | (col, descending) :: rest ->
+        let v1 = r1.(col) and v2 = r2.(col) in
+        let c =
+          match (v1 = Binding.unbound, v2 = Binding.unbound) with
+          | true, true -> 0
+          | true, false -> -1
+          | false, true -> 1
+          | false, false -> compare_ids v1 v2
+        in
+        let c = if descending then -c else c in
+        if c <> 0 then c else go rest
+  in
+  go keys
+
+(* Stable sort. A reordering of already-accounted rows, so the result is
+   rebuilt by blit like [concat] — re-pushing here would charge the budget
+   twice for the same materialized rows. *)
 let sort bag ~keys ~compare_ids =
   let rows = Array.init bag.len (fun i -> bag.rows.(i)) in
-  let compare_rows r1 r2 =
-    let rec go = function
-      | [] -> 0
-      | (col, descending) :: rest ->
-          let v1 = r1.(col) and v2 = r2.(col) in
-          let c =
-            match (v1 = Binding.unbound, v2 = Binding.unbound) with
-            | true, true -> 0
-            | true, false -> -1
-            | false, true -> 1
-            | false, false -> compare_ids v1 v2
-          in
-          let c = if descending then -c else c in
-          if c <> 0 then c else go rest
-    in
-    go keys
-  in
-  Array.stable_sort compare_rows rows;
-  let result = create ~width:bag.width in
-  Array.iter (push result) rows;
-  result
+  Array.stable_sort (row_compare ~keys ~compare_ids) rows;
+  { width = bag.width; rows; len = bag.len; unchecked = 0 }
 
 let semijoin b1 b2 =
   if b1.width <> b2.width then invalid_arg "Bag.semijoin: width mismatch";
@@ -326,10 +435,28 @@ let left_outer_join b1 b2 =
           push out (Binding.merge row other));
       if not !matched then push out row)
 
+let left_outer_join_into b1 b2 ~sink =
+  if b1.width <> b2.width then
+    invalid_arg "Bag.left_outer_join_into: width mismatch";
+  let part = partition b2 (shared_columns b1 b2) in
+  stream_probe ~width:b1.width b1 ~sink ~emit:(fun push_row row ->
+      let matched = ref false in
+      iter_compatible part row ~f:(fun other ->
+          matched := true;
+          push_row (Binding.merge row other));
+      if not !matched then push_row row)
+
+(* The pushes in [filter], [project] and [dedup] below are intentional
+   cost-proxy charges: each selected/rebuilt row is a new operator output
+   (matching the [account] their streaming counterparts perform). *)
+
 let filter bag ~f =
   let result = create ~width:bag.width in
   iter bag ~f:(fun row -> if f row then push result row);
   result
+
+let filter_into bag ~f ~sink =
+  iter bag ~f:(fun row -> if f row then emit_accounted sink row)
 
 let project bag ~cols =
   let result = create ~width:bag.width in
@@ -338,6 +465,12 @@ let project bag ~cols =
       List.iter (fun col -> fresh.(col) <- row.(col)) cols;
       push result fresh);
   result
+
+let project_into bag ~cols ~sink =
+  iter bag ~f:(fun row ->
+      let fresh = Binding.create ~width:bag.width in
+      List.iter (fun col -> fresh.(col) <- row.(col)) cols;
+      emit_accounted sink fresh)
 
 let dedup bag =
   let seen = Hashtbl.create (max 16 bag.len) in

@@ -36,11 +36,18 @@ val set_deadline : now:(unit -> float) -> at:float -> unit
 val clear_deadline : unit -> unit
 
 (** [reset_push_counter ()] / [pushed_rows ()] — a cumulative count of rows
-    materialized since the last reset, used as the total-intermediate-size
-    metric. *)
+    produced (materialized or streamed) since the last reset, used as the
+    total-intermediate-size metric. *)
 val reset_push_counter : unit -> unit
 
 val pushed_rows : unit -> int
+
+(** [account ()] charges the production of one streamed row: the same
+    budget/deadline/counter accounting as {!push}, without materializing.
+    Streaming producers call it once per row emitted into a sink pipeline,
+    so resource limits mean the same thing whether an operator
+    materializes or streams. Serial sink-driving code only. *)
+val account : unit -> unit
 
 (** {1 Construction} *)
 
@@ -125,6 +132,51 @@ val dedup : t -> t
 (** [equal_as_bags b1 b2] — multiset equality, used as the correctness
     criterion in tests. *)
 val equal_as_bags : t -> t -> bool
+
+(** {1 Sink-driven operator variants}
+
+    Streaming counterparts of the operators above: instead of returning a
+    materialized bag, output rows flow into a {!Sink.t} (and are charged
+    via {!account} exactly once, at the producing operator boundary).
+    [Sink.Stop] raised by the sink aborts the probe loop, so a downstream
+    LIMIT early-terminates the pipeline. While a parallel runner is
+    installed, the probe side fans out exactly like the materializing
+    operators — worker-local bags that are replayed serially into the sink
+    without re-charging. *)
+
+(** [sink bag] — the materializing terminal: every emitted row is appended
+    to [bag] by blit (production was already charged). *)
+val sink : t -> Sink.t
+
+(** [emit_accounted sink row] — charge one produced row and emit it. *)
+val emit_accounted : Sink.t -> Binding.t -> unit
+
+(** [replay bag ~sink] re-emits a materialized bag into a sink across an
+    operator boundary (charged, like the materializing {!union}'s
+    re-push). *)
+val replay : t -> sink:Sink.t -> unit
+
+val join_into : t -> t -> sink:Sink.t -> unit
+val left_outer_join_into : t -> t -> sink:Sink.t -> unit
+val minus_into : t -> t -> sink:Sink.t -> unit
+val sparql_minus_into : t -> t -> sink:Sink.t -> unit
+val filter_into : t -> f:(Binding.t -> bool) -> sink:Sink.t -> unit
+val project_into : t -> cols:int list -> sink:Sink.t -> unit
+
+(** [join_sink build ~probe_cols ~sink] — a row-at-a-time join for
+    producers that stream their probe side: partitions [build] once on the
+    intersection of its domain with [probe_cols] and returns the per-row
+    probe function (each match is merged and emitted). *)
+val join_sink : t -> probe_cols:int list -> sink:Sink.t -> Binding.t -> unit
+
+(** [row_compare ~keys ~compare_ids] — the ORDER BY row comparator used by
+    {!sort}, exposed for the streaming sort/top-k stages. *)
+val row_compare :
+  keys:(int * bool) list ->
+  compare_ids:(int -> int -> int) ->
+  Binding.t ->
+  Binding.t ->
+  int
 
 (** [pp table fmt bag] prints rows using variable names from [table]. *)
 val pp : Vartable.t -> Format.formatter -> t -> unit

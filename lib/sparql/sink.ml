@@ -1,0 +1,233 @@
+(* Push-based row consumers. A sink is the dual of a bag: instead of a
+   producer returning a materialized result, the producer feeds rows into
+   the sink one at a time; a stage that needs no further input (e.g. a
+   satisfied LIMIT) raises [Stop], which unwinds the producing pipeline.
+
+   Stages are composed outside-in: each combinator wraps an inner sink and
+   returns a new one. All wrappers of one pipeline share a single [stages]
+   list, so the pipeline's per-stage row accounting can be read off any of
+   its sinks (in particular the root the executor keeps). *)
+
+exception Stop
+
+type stage = {
+  name : string;
+  mutable rows_in : int;
+  mutable rows_out : int;
+}
+
+type t = {
+  feed : Binding.t -> unit;
+  finish : unit -> unit;
+  stages : stage list ref;
+}
+
+let emit t row = t.feed row
+
+(* [close] flushes buffered stages (sort, top-k). Stages swallow [Stop]
+   raised by their downstream during the flush, so [close] itself never
+   raises it; it must be called exactly once. *)
+let close t = t.finish ()
+
+(* Stages in data-flow order (producer first, terminal last): wrappers
+   prepend to the shared list, and pipelines are built terminal-first. *)
+(* Stages are prepended at wrap time and the pipeline is composed
+   terminal-first, so the raw list is already in data-flow order
+   (producer at the head, terminal last). *)
+let stages t = !(t.stages)
+
+let new_stage t name =
+  let s = { name; rows_in = 0; rows_out = 0 } in
+  t.stages := s :: !(t.stages);
+  s
+
+let terminal ~name f =
+  let s = { name; rows_in = 0; rows_out = 0 } in
+  {
+    feed =
+      (fun row ->
+        s.rows_in <- s.rows_in + 1;
+        s.rows_out <- s.rows_out + 1;
+        f row);
+    finish = (fun () -> ());
+    stages = ref [ s ];
+  }
+
+(* A transparent pass-through that exposes its row count — used by
+   producers (e.g. a streamed final BGP) to report cardinalities that are
+   no longer observable as a materialized bag length. *)
+let counted ~name inner =
+  let s = new_stage inner name in
+  let sink =
+    {
+      inner with
+      feed =
+        (fun row ->
+          s.rows_in <- s.rows_in + 1;
+          s.rows_out <- s.rows_out + 1;
+          inner.feed row);
+    }
+  in
+  (sink, s)
+
+let filter ~name ~f inner =
+  let s = new_stage inner name in
+  {
+    inner with
+    feed =
+      (fun row ->
+        s.rows_in <- s.rows_in + 1;
+        if f row then begin
+          s.rows_out <- s.rows_out + 1;
+          inner.feed row
+        end);
+  }
+
+(* Projection at emit time: each row is rebuilt with only [cols] kept, so
+   downstream stages (DISTINCT in particular) see the projected row. *)
+let project ~width ~cols inner =
+  let s = new_stage inner "project" in
+  {
+    inner with
+    feed =
+      (fun row ->
+        s.rows_in <- s.rows_in + 1;
+        let fresh = Binding.create ~width in
+        List.iter (fun col -> fresh.(col) <- row.(col)) cols;
+        s.rows_out <- s.rows_out + 1;
+        inner.feed fresh);
+  }
+
+(* Streaming DISTINCT: rows pass through on first sight. Rows must not be
+   mutated after being emitted (all producers emit fresh arrays). *)
+let distinct inner =
+  let s = new_stage inner "distinct" in
+  let seen = Hashtbl.create 64 in
+  {
+    inner with
+    feed =
+      (fun row ->
+        s.rows_in <- s.rows_in + 1;
+        if not (Hashtbl.mem seen row) then begin
+          Hashtbl.add seen row ();
+          s.rows_out <- s.rows_out + 1;
+          inner.feed row
+        end);
+  }
+
+(* OFFSET/LIMIT with early termination: [Stop] is raised as soon as the
+   last needed row has been forwarded, unwinding the producers. *)
+let offset_limit ?(offset = 0) ?limit inner =
+  let s = new_stage inner "offset/limit" in
+  let seen = ref 0 in
+  {
+    inner with
+    feed =
+      (fun row ->
+        s.rows_in <- s.rows_in + 1;
+        let i = !seen in
+        incr seen;
+        match limit with
+        | Some n ->
+            if i >= offset && i < offset + n then begin
+              s.rows_out <- s.rows_out + 1;
+              inner.feed row
+            end;
+            if !seen >= offset + n then raise Stop
+        | None ->
+            if i >= offset then begin
+              s.rows_out <- s.rows_out + 1;
+              inner.feed row
+            end);
+  }
+
+(* Bounded top-k for ORDER BY + LIMIT: a worst-first heap of (row, arrival
+   sequence) keeps the k smallest under the lexicographic (compare, seq)
+   order, which is a total order, so flushing it sorted reproduces exactly
+   the first k rows of a stable full sort. Not valid when a DISTINCT sits
+   between the sort and the slice (dropping duplicates may promote rows
+   beyond the k-th) — the executor falls back to [sort_all] there. *)
+let top_k ~compare ~k inner =
+  let s = new_stage inner "top-k" in
+  let heap = Array.make (max k 1) ([||], 0) in
+  let len = ref 0 in
+  let seq = ref 0 in
+  let lt (r1, s1) (r2, s2) =
+    let c = compare r1 r2 in
+    if c <> 0 then c < 0 else s1 < s2
+  in
+  let swap i j =
+    let tmp = heap.(i) in
+    heap.(i) <- heap.(j);
+    heap.(j) <- tmp
+  in
+  let rec sift_up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if lt heap.(parent) heap.(i) then begin
+        swap parent i;
+        sift_up parent
+      end
+    end
+  in
+  let rec sift_down i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let largest = ref i in
+    if l < !len && lt heap.(!largest) heap.(l) then largest := l;
+    if r < !len && lt heap.(!largest) heap.(r) then largest := r;
+    if !largest <> i then begin
+      swap i !largest;
+      sift_down !largest
+    end
+  in
+  let feed row =
+    s.rows_in <- s.rows_in + 1;
+    if k = 0 then raise Stop;
+    let item = (row, !seq) in
+    incr seq;
+    if !len < k then begin
+      heap.(!len) <- item;
+      incr len;
+      sift_up (!len - 1)
+    end
+    else if lt item heap.(0) then begin
+      heap.(0) <- item;
+      sift_down 0
+    end
+  in
+  let finish () =
+    let items = Array.sub heap 0 !len in
+    Array.sort (fun a b -> if lt a b then -1 else if lt b a then 1 else 0) items;
+    (try
+       Array.iter
+         (fun (row, _) ->
+           s.rows_out <- s.rows_out + 1;
+           inner.feed row)
+         items
+     with Stop -> ());
+    inner.finish ()
+  in
+  { feed; finish; stages = inner.stages }
+
+(* Buffering ORDER BY (no LIMIT, or DISTINCT in between): rows accumulate
+   until [close], then flow downstream stably sorted. *)
+let sort_all ~compare inner =
+  let s = new_stage inner "sort" in
+  let buf = ref [] in
+  let feed row =
+    s.rows_in <- s.rows_in + 1;
+    buf := row :: !buf
+  in
+  let finish () =
+    let rows = Array.of_list (List.rev !buf) in
+    Array.stable_sort compare rows;
+    (try
+       Array.iter
+         (fun row ->
+           s.rows_out <- s.rows_out + 1;
+           inner.feed row)
+         rows
+     with Stop -> ());
+    inner.finish ()
+  in
+  { feed; finish; stages = inner.stages }

@@ -1,0 +1,76 @@
+(** Push-based row consumers — the streaming dual of {!Bag}.
+
+    A producer feeds rows into a sink with {!emit} instead of returning a
+    materialized bag; {!close} flushes buffered stages once the producer is
+    done. A stage that needs no further input (a satisfied LIMIT) raises
+    {!Stop}, which unwinds the producing pipeline — this is how LIMIT
+    pushdown early-terminates index scans instead of paying for the full
+    result.
+
+    Combinators wrap an inner sink and return a new one, so pipelines are
+    built terminal-first (the {!Bag.sink} materializer or any custom
+    {!terminal}) and composed outward toward the producer. Every stage
+    records rows-in/rows-out; all wrappers of one pipeline share the stage
+    list, readable via {!stages} from any of its sinks. *)
+
+type t
+
+(** Raised by a stage that needs no further rows. Producers let it unwind
+    (it aborts their scan loops); the driver catches it as a successful,
+    early-terminated run. {!close} never raises it. *)
+exception Stop
+
+(** Per-stage row accounting: [rows_in] rows were fed to the stage,
+    [rows_out] were forwarded downstream. *)
+type stage = {
+  name : string;
+  mutable rows_in : int;
+  mutable rows_out : int;
+}
+
+(** [emit sink row] feeds one row. May raise {!Stop}. The row must not be
+    mutated afterwards (buffering stages keep references). *)
+val emit : t -> Binding.t -> unit
+
+(** [close sink] flushes buffering stages (sort, top-k) downstream and
+    must be called exactly once, after the producer finished or stopped.
+    Never raises {!Stop}. *)
+val close : t -> unit
+
+(** [stages sink] — the pipeline's stages in data-flow order (producer
+    side first, terminal last). *)
+val stages : t -> stage list
+
+(** [terminal ~name f] — the innermost sink: every row is passed to [f].
+    [close] is a no-op. *)
+val terminal : name:string -> (Binding.t -> unit) -> t
+
+(** [counted ~name inner] — a transparent pass-through exposing its stage,
+    for producers that need the cardinality of what they emitted. *)
+val counted : name:string -> t -> t * stage
+
+val filter : name:string -> f:(Binding.t -> bool) -> t -> t
+
+(** [project ~width ~cols inner] rebuilds each row keeping only [cols]
+    (other columns unbound), so downstream stages see projected rows. *)
+val project : width:int -> cols:int list -> t -> t
+
+(** [distinct inner] — streaming DISTINCT through a hash set: a row passes
+    on first sight only. *)
+val distinct : t -> t
+
+(** [offset_limit ?offset ?limit inner] drops the first [offset] rows,
+    forwards the next [limit] (all, when [limit] is [None]), then raises
+    {!Stop} once the last needed row has been forwarded. *)
+val offset_limit : ?offset:int -> ?limit:int -> t -> t
+
+(** [top_k ~compare ~k inner] — bounded ORDER BY + LIMIT: keeps the [k]
+    smallest rows under [(compare, arrival order)] in a heap and flushes
+    them sorted on {!close}; exactly the first [k] rows of a stable full
+    sort. Only sound when nothing between the sort and the slice drops
+    rows (no DISTINCT in between — use {!sort_all} there). *)
+val top_k : compare:(Binding.t -> Binding.t -> int) -> k:int -> t -> t
+
+(** [sort_all ~compare inner] buffers every row and replays them stably
+    sorted on {!close}. *)
+val sort_all : compare:(Binding.t -> Binding.t -> int) -> t -> t

@@ -144,6 +144,39 @@ let gen_query =
         })
       (gen_group 2))
 
+(* [gen_query] plus random solution modifiers (DISTINCT, projection,
+   ORDER BY, LIMIT/OFFSET). LIMIT/OFFSET are generated only together with
+   an ORDER BY over *all* four variables: under a full-key stable sort,
+   rows tied on every key are identical, so the selected window is unique
+   as a bag no matter what order the producers emitted rows in (parallel
+   UNION branches, streaming vs. materializing) — without it, LIMIT over
+   an unordered bag is legitimately nondeterministic and untestable. *)
+let gen_modified_query =
+  QCheck2.Gen.(
+    let* q = gen_query in
+    let* distinct = bool in
+    let* proj_k = int_range 0 4 in
+    let* descs = quad bool bool bool bool in
+    let* has_order = bool in
+    let* limit = option (int_range 0 6) in
+    let* offset = option (int_range 0 4) in
+    let form =
+      if proj_k = 0 then Sparql.Ast.Select Sparql.Ast.Star
+      else
+        Sparql.Ast.Select
+          (Sparql.Ast.Projection
+             (Array.to_list (Array.sub var_names 0 proj_k)))
+    in
+    let restrict = limit <> None || offset <> None in
+    let order_by =
+      if has_order || restrict then
+        let d0, d1, d2, d3 = descs in
+        List.combine (Array.to_list var_names) [ d0; d1; d2; d3 ]
+      else []
+    in
+    let limit, offset = if restrict then (limit, offset) else (None, None) in
+    return { q with Sparql.Ast.form; distinct; order_by; limit; offset })
+
 (* AND/OPTIONAL-only groups in LBR's normalized shape (triples blocks and
    OPTIONAL children only — the well-designed fragment LBR targets). *)
 let rec gen_wd_group fuel =

@@ -306,6 +306,98 @@ let prop_modes_agree_with_oracle =
             [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ])
         Sparql_uo.Executor.all_modes)
 
+(* Reference solution-modifier semantics over an already-evaluated bag:
+   the historical materialize-then-modify pipeline (ORDER BY, projection,
+   DISTINCT, LIMIT/OFFSET), applied to the oracle's result. *)
+let apply_modifiers_reference store vartable (query : Sparql.Ast.query) bag =
+  let bag =
+    match query.Sparql.Ast.order_by with
+    | [] -> bag
+    | keys ->
+        let keys =
+          List.filter_map
+            (fun (v, desc) ->
+              Option.map (fun col -> (col, desc)) (Sparql.Vartable.find vartable v))
+            keys
+        in
+        let compare_ids id1 id2 =
+          Rdf.Term.compare
+            (Rdf_store.Triple_store.decode_term store id1)
+            (Rdf_store.Triple_store.decode_term store id2)
+        in
+        Sparql.Bag.sort bag ~keys ~compare_ids
+  in
+  let bag =
+    match Sparql.Ast.select_query query with
+    | Sparql.Ast.Star | Sparql.Ast.Aggregated _ -> bag
+    | Sparql.Ast.Projection vs ->
+        Sparql.Bag.project bag
+          ~cols:(List.filter_map (Sparql.Vartable.find vartable) vs)
+  in
+  let bag = if query.Sparql.Ast.distinct then Sparql.Bag.dedup bag else bag in
+  match (query.Sparql.Ast.limit, query.Sparql.Ast.offset) with
+  | None, None -> bag
+  | limit, offset ->
+      let offset = Option.value offset ~default:0 in
+      let keep =
+        match limit with
+        | Some n -> fun i -> i >= offset && i < offset + n
+        | None -> fun i -> i >= offset
+      in
+      let sliced = Sparql.Bag.create ~width:(Sparql.Bag.width bag) in
+      let i = ref 0 in
+      Sparql.Bag.iter bag ~f:(fun row ->
+          if keep !i then Sparql.Bag.push sliced row;
+          incr i);
+      sliced
+
+(* The streaming sink pipeline (and the materializing one) agree with the
+   oracle + reference modifiers, on both engines, serial and parallel. *)
+let prop_streaming_modifiers_match_oracle =
+  QCheck2.Test.make
+    ~name:"streaming/materializing modifiers x {wco,hash} x domains = oracle"
+    ~count:120
+    ~print:(fun (triples, query) ->
+      Qgen.pp_dataset triples ^ "\n" ^ Qgen.pp_query query)
+    QCheck2.Gen.(pair Qgen.gen_dataset Qgen.gen_modified_query)
+    (fun (triples, query) ->
+      let store = Rdf_store.Triple_store.of_triples triples in
+      let oracle_bag, vartable = Qgen.oracle store query in
+      let expected = apply_modifiers_reference store vartable query oracle_bag in
+      List.for_all
+        (fun engine ->
+          List.for_all
+            (fun domains ->
+              List.for_all
+                (fun streaming ->
+                  let report =
+                    Sparql_uo.Executor.run_query ~engine ~domains ~streaming
+                      store query
+                  in
+                  match report.Sparql_uo.Executor.bag with
+                  | Some bag -> Sparql.Bag.equal_as_bags bag expected
+                  | None -> false)
+                [ true; false ])
+            [ 1; 4 ])
+        [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ])
+
+(* LIMIT pushdown actually early-terminates: the limited run produces
+   strictly fewer rows (Bag.pushed_rows, read after each run) than the
+   unlimited one. *)
+let test_streaming_limit_early_exit () =
+  let store = Workload.Lubm.store Workload.Lubm.tiny in
+  let base = "SELECT * WHERE { ?s ?p ?o . }" in
+  let run text =
+    let r = Sparql_uo.Executor.run store text in
+    (Option.get r.Sparql_uo.Executor.result_count, Sparql.Bag.pushed_rows ())
+  in
+  let total, pushed_all = run base in
+  let limited, pushed_limited = run (base ^ " LIMIT 5") in
+  Alcotest.(check bool) "dataset bigger than the limit" true (total > 5);
+  Alcotest.(check int) "limit applies" 5 limited;
+  Alcotest.(check bool) "early exit produces fewer rows" true
+    (pushed_limited < pushed_all)
+
 (* Multi-level transformation output is still a valid BE-tree. *)
 let prop_multi_level_valid =
   QCheck2.Test.make ~name:"Algorithm 4 output is a valid BE-tree" ~count:200
@@ -614,6 +706,8 @@ let () =
           Alcotest.test_case "solutions decode" `Quick test_executor_solutions_decode;
           Alcotest.test_case "unknown constants" `Quick test_executor_unknown_constants;
           Alcotest.test_case "all modes agree on benchmarks" `Slow test_executor_modes_on_benchmarks;
+          Alcotest.test_case "LIMIT pushdown early exit" `Quick test_streaming_limit_early_exit;
           QCheck_alcotest.to_alcotest prop_modes_agree_with_oracle;
+          QCheck_alcotest.to_alcotest prop_streaming_modifiers_match_oracle;
         ] );
     ]
