@@ -186,12 +186,13 @@ let rec exists_check st row group =
   not (Sparql.Bag.is_empty bag)
 
 (* Materialize a VALUES block as a bag; constants are interned in the
-   dictionary (harmless: they occur in no triple, so they simply become
-   ids that join with nothing unless present in the data). *)
+   dictionary (harmless to results: they occur in no triple, so they
+   simply become ids that join with nothing unless present in the data).
+   Interning a *fresh* term bumps the store epoch, which invalidates
+   session plan caches keyed on the pre-VALUES epoch. *)
 and values_bag st (block : Sparql.Ast.values_block) =
   let table = Engine.Bgp_eval.vartable st.env in
   let store = Engine.Bgp_eval.store st.env in
-  let dict = Rdf_store.Triple_store.dictionary store in
   let width = Engine.Bgp_eval.width st.env in
   let cols = List.map (Sparql.Vartable.id table) block.Sparql.Ast.vars in
   let bag = Sparql.Bag.create ~width in
@@ -201,7 +202,8 @@ and values_bag st (block : Sparql.Ast.values_block) =
       List.iter2
         (fun col cell ->
           match cell with
-          | Some term -> fresh.(col) <- Rdf_store.Dictionary.encode dict term
+          | Some term ->
+              fresh.(col) <- Rdf_store.Triple_store.intern_term store term
           | None -> ())
         cols row;
       Sparql.Bag.push bag fresh)

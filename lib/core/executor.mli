@@ -1,25 +1,38 @@
-(** The top-level SPARQL-UO execution API, wiring together parsing,
-    BE-tree construction, cost-driven transformation, and evaluation with
-    candidate pruning — in the four configurations the paper evaluates
-    (Section 7.1):
+(** The top-level one-shot SPARQL-UO execution API, wiring together
+    parsing, BE-tree construction, cost-driven transformation, and
+    evaluation with candidate pruning — in the four configurations the
+    paper evaluates (Section 7.1):
 
     - [Base]: Algorithm 1 on the untransformed BE-tree;
     - [TT]: Algorithm 4's tree transformation, then Algorithm 1;
     - [CP]: Algorithm 1 with candidate pruning at a fixed threshold
       (1% of the dataset size, as in the paper);
     - [Full]: transformation (skipping pruning-equivalent special cases) +
-      candidate pruning with the adaptive threshold. *)
+      candidate pruning with the adaptive threshold.
 
-type mode = Base | TT | CP | Full
+    Since the prepare/execute split this module is a thin wrapper:
+    [run] is {!Prepared.prepare} immediately followed by
+    {!Prepared.execute}. Callers that execute a query more than once
+    should hold a {!Session} (bounded plan cache with epoch
+    invalidation) or a {!Prepared.t} directly. *)
+
+type mode = Prepared.mode = Base | TT | CP | Full
 
 val mode_name : mode -> string
 val all_modes : mode list
 
 (** Why a run produced no result: the row budget (the paper's
     out-of-memory analogue) or the wall-clock timeout. *)
-type failure = Out_of_budget | Timeout
+type failure = Prepared.failure = Out_of_budget | Timeout
 
-type report = {
+(** Plan-cache provenance of a session run (see {!Prepared.cache_info}). *)
+type cache_info = Prepared.cache_info = {
+  hit : bool;
+  hits : int;
+  misses : int;
+}
+
+type report = Prepared.report = {
   mode : mode;
   engine : Engine.Bgp_eval.engine;
   query : Sparql.Ast.query;  (** the parsed query the report answers *)
@@ -33,6 +46,9 @@ type report = {
   eval_stats : Evaluator.stats option;
   tree_before : Be_tree.group;
   tree_after : Be_tree.group;
+  epoch : int;  (** store epoch observed after the run *)
+  cache : cache_info option;
+      (** [None] for one-shot runs that bypassed a session plan cache *)
 }
 
 (** [run ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms ?stats
@@ -82,7 +98,8 @@ val run_query :
 val solutions : Rdf_store.Triple_store.t -> report -> (string * Rdf.Term.t) list list
 
 (** [explain report] renders the BE-trees before and after transformation
-    with timing — the plan explainer used by the CLI and examples. *)
+    with timing, the store epoch, and plan-cache hit/miss provenance —
+    the plan explainer used by the CLI and examples. *)
 val explain : report -> string
 
 (** {1 Query forms beyond SELECT} *)

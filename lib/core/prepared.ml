@@ -1,0 +1,484 @@
+let log_src = Logs.Src.create "sparql_uo.prepared" ~doc:"SPARQL-UO prepared execution"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type mode = Base | TT | CP | Full
+
+let mode_name = function Base -> "base" | TT -> "TT" | CP -> "CP" | Full -> "full"
+
+let all_modes = [ Base; TT; CP; Full ]
+
+type failure = Out_of_budget | Timeout
+
+type cache_info = { hit : bool; hits : int; misses : int }
+
+type report = {
+  mode : mode;
+  engine : Engine.Bgp_eval.engine;
+  query : Sparql.Ast.query;
+  vartable : Sparql.Vartable.t;
+  projection : string list;
+  bag : Sparql.Bag.t option;
+  result_count : int option;
+  failure : failure option;
+  transform_ms : float;
+  exec_ms : float;
+  eval_stats : Evaluator.stats option;
+  tree_before : Be_tree.group;
+  tree_after : Be_tree.group;
+  epoch : int;
+  cache : cache_info option;
+}
+
+type t = {
+  text : string option;
+  p_query : Sparql.Ast.query;
+  p_vartable : Sparql.Vartable.t;
+  p_projection : string list;
+  p_mode : mode;
+  p_engine : Engine.Bgp_eval.engine;
+  p_tree_before : Be_tree.group;
+  p_tree_after : Be_tree.group;
+  p_transform_ms : float;
+  (* The evaluation context carries the memoized BGP plans (compiled
+     patterns + cost estimates), so re-executions skip compilation. *)
+  env : Engine.Bgp_eval.t;
+  p_epoch : int;
+}
+
+let query p = p.p_query
+let vartable p = p.p_vartable
+let projection p = p.p_projection
+let mode p = p.p_mode
+let engine p = p.p_engine
+let tree_before p = p.p_tree_before
+let tree_after p = p.p_tree_after
+let transform_ms p = p.p_transform_ms
+let epoch p = p.p_epoch
+let store p = Engine.Bgp_eval.store p.env
+let text p = p.text
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+(* The paper's CP threshold: 1% of the number of triples. *)
+let fixed_threshold store =
+  max 1 (Rdf_store.Triple_store.size store / 100)
+
+(* --- Aggregation (GROUP BY / COUNT / SUM / ...) -------------------------- *)
+
+let numeric_of_term = function
+  | Rdf.Term.Literal { value; kind = Rdf.Term.Typed dt }
+    when dt = Rdf.Term.xsd_integer || dt = Rdf.Term.xsd_double ->
+      float_of_string_opt value
+  | _ -> None
+
+let number_term f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Rdf.Term.int_literal (int_of_float f)
+  else Rdf.Term.typed_literal (string_of_float f) ~datatype:Rdf.Term.xsd_double
+
+(* One aggregate over the rows of a group; [None] = unbound result (e.g.
+   SUM over non-numeric values, or MIN of an empty group). *)
+let compute_aggregate store vartable rows ~agg ~distinct ~target =
+  let values () =
+    match target with
+    | None -> []
+    | Some v -> (
+        match Sparql.Vartable.find vartable v with
+        | None -> []
+        | Some col ->
+            List.filter_map
+              (fun row ->
+                if Sparql.Binding.is_bound row col then Some row.(col) else None)
+              rows)
+  in
+  let maybe_distinct ids =
+    if distinct then List.sort_uniq Int.compare ids else ids
+  in
+  match agg with
+  | Sparql.Ast.Count ->
+      let n =
+        match target with
+        | None -> List.length rows
+        | Some _ -> List.length (maybe_distinct (values ()))
+      in
+      Some (Rdf.Term.int_literal n)
+  | Sparql.Ast.Sample -> (
+      match values () with
+      | id :: _ -> Some (Rdf_store.Triple_store.decode_term store id)
+      | [] -> None)
+  | Sparql.Ast.Min | Sparql.Ast.Max -> (
+      let terms =
+        List.map
+          (Rdf_store.Triple_store.decode_term store)
+          (maybe_distinct (values ()))
+      in
+      let cmp t1 t2 =
+        match (numeric_of_term t1, numeric_of_term t2) with
+        | Some f1, Some f2 -> Float.compare f1 f2
+        | _ -> Rdf.Term.compare t1 t2
+      in
+      let pick best t =
+        match agg with
+        | Sparql.Ast.Min -> if cmp t best < 0 then t else best
+        | _ -> if cmp t best > 0 then t else best
+      in
+      match terms with
+      | [] -> None
+      | first :: rest -> Some (List.fold_left pick first rest))
+  | Sparql.Ast.Sum | Sparql.Ast.Avg -> (
+      let ids = maybe_distinct (values ()) in
+      let numbers =
+        List.map
+          (fun id ->
+            numeric_of_term (Rdf_store.Triple_store.decode_term store id))
+          ids
+      in
+      if List.exists Option.is_none numbers then None
+      else
+        let floats = List.map Option.get numbers in
+        let total = List.fold_left ( +. ) 0. floats in
+        match agg with
+        | Sparql.Ast.Sum -> Some (number_term total)
+        | _ ->
+            if floats = [] then None
+            else Some (number_term (total /. float_of_int (List.length floats))))
+
+(* Partition [bag] by the GROUP BY columns and emit one row per group:
+   the keys plus one column per aggregate alias. *)
+let aggregate_bag store vartable (query : Sparql.Ast.query) items bag =
+  let width = Sparql.Bag.width bag in
+  let key_cols =
+    List.filter_map (Sparql.Vartable.find vartable) query.Sparql.Ast.group_by
+  in
+  let groups = Hashtbl.create 64 in
+  let order = ref [] in
+  Sparql.Bag.iter bag ~f:(fun row ->
+      let key = List.map (fun col -> row.(col)) key_cols in
+      match Hashtbl.find_opt groups key with
+      | Some rows -> rows := row :: !rows
+      | None ->
+          Hashtbl.add groups key (ref [ row ]);
+          order := key :: !order);
+  (* A grouped query with no matching rows yields no groups — except the
+     no-key case, where aggregates over the empty bag still produce one
+     row (e.g. a COUNT over nothing is 0). *)
+  let keys =
+    match (List.rev !order, key_cols) with
+    | [], [] ->
+        Hashtbl.add groups [] (ref []);
+        [ [] ]
+    | keys, _ -> keys
+  in
+  let dict = Rdf_store.Triple_store.dictionary store in
+  let result = Sparql.Bag.create ~width in
+  List.iter
+    (fun key ->
+      let rows = !(Hashtbl.find groups key) in
+      let fresh = Sparql.Binding.create ~width in
+      List.iter2 (fun col v -> fresh.(col) <- v) key_cols key;
+      List.iter
+        (fun item ->
+          match item with
+          | Sparql.Ast.Svar _ -> ()
+          | Sparql.Ast.Aggregate { agg; distinct; target; alias } -> (
+              match compute_aggregate store vartable rows ~agg ~distinct ~target with
+              | Some term -> (
+                  match Sparql.Vartable.find vartable alias with
+                  | Some col ->
+                      fresh.(col) <- Rdf_store.Dictionary.encode dict term
+                  | None -> ())
+              | None -> ()))
+        items;
+      Sparql.Bag.push result fresh)
+    keys;
+  result
+
+(* --- Solution modifiers (ORDER BY, projection, DISTINCT, LIMIT/OFFSET) -- *)
+
+let order_keys vartable (query : Sparql.Ast.query) =
+  List.filter_map
+    (fun (v, descending) ->
+      Option.map
+        (fun col -> (col, descending))
+        (Sparql.Vartable.find vartable v))
+    query.Sparql.Ast.order_by
+
+let compare_ids store id1 id2 =
+  Rdf.Term.compare
+    (Rdf_store.Triple_store.decode_term store id1)
+    (Rdf_store.Triple_store.decode_term store id2)
+
+(* [None] = SELECT * (no projection). *)
+let projection_cols vartable (query : Sparql.Ast.query) =
+  match Sparql.Ast.select_query query with
+  | Sparql.Ast.Star -> None
+  | Sparql.Ast.Projection vs ->
+      Some (List.filter_map (Sparql.Vartable.find vartable) vs)
+  | Sparql.Ast.Aggregated items ->
+      Some
+        (List.filter_map
+           (fun item ->
+             let v =
+               match item with
+               | Sparql.Ast.Svar v -> v
+               | Sparql.Ast.Aggregate { alias; _ } -> alias
+             in
+             Sparql.Vartable.find vartable v)
+           items)
+
+(* The historical bag-at-a-time modifier pipeline, kept as the
+   [~streaming:false] reference: ORDER BY, projection, DISTINCT,
+   LIMIT/OFFSET — each over a fully materialized bag. *)
+let apply_modifiers_materialized store vartable (query : Sparql.Ast.query) bag =
+  let bag =
+    match order_keys vartable query with
+    | [] -> bag
+    | keys -> Sparql.Bag.sort bag ~keys ~compare_ids:(compare_ids store)
+  in
+  let bag =
+    match projection_cols vartable query with
+    | None -> bag
+    | Some cols -> Sparql.Bag.project bag ~cols
+  in
+  let bag = if query.distinct then Sparql.Bag.dedup bag else bag in
+  match (query.limit, query.offset) with
+  | None, None -> bag
+  | limit, offset ->
+      let offset = Option.value offset ~default:0 in
+      let keep =
+        match limit with
+        | Some n -> fun i -> i >= offset && i < offset + n
+        | None -> fun i -> i >= offset
+      in
+      let sliced = Sparql.Bag.create ~width:(Sparql.Bag.width bag) in
+      let i = ref 0 in
+      Sparql.Bag.iter bag ~f:(fun row ->
+          if keep !i then Sparql.Bag.push sliced row;
+          incr i);
+      sliced
+
+(* The same modifiers as a sink pipeline, built terminal-first so rows
+   flow sort -> project -> distinct -> offset/limit -> [out] (the
+   materializing order above). LIMIT without ORDER BY raises [Sink.Stop]
+   upstream as soon as it is satisfied; ORDER BY + LIMIT keeps only
+   offset+limit rows in a bounded top-k heap — unless a DISTINCT sits
+   between the sort and the slice, where dropping duplicates could promote
+   rows past the k-th and the full buffering sort is required. *)
+let modifier_sink store vartable (query : Sparql.Ast.query) ~width ~out =
+  let sink = Sparql.Bag.sink out in
+  let sink =
+    match (query.Sparql.Ast.limit, query.Sparql.Ast.offset) with
+    | None, None -> sink
+    | limit, offset ->
+        Sparql.Sink.offset_limit ?limit
+          ~offset:(Option.value offset ~default:0)
+          sink
+  in
+  let sink = if query.distinct then Sparql.Sink.distinct sink else sink in
+  let sink =
+    match projection_cols vartable query with
+    | None -> sink
+    | Some cols -> Sparql.Sink.project ~width ~cols sink
+  in
+  match order_keys vartable query with
+  | [] -> sink
+  | keys -> (
+      let compare =
+        Sparql.Bag.row_compare ~keys ~compare_ids:(compare_ids store)
+      in
+      match query.Sparql.Ast.limit with
+      | Some n when not query.distinct ->
+          Sparql.Sink.top_k ~compare
+            ~k:(Option.value query.Sparql.Ast.offset ~default:0 + n)
+            sink
+      | _ -> Sparql.Sink.sort_all ~compare sink)
+
+(* --- The prepare phase --------------------------------------------------- *)
+
+(* Force plan construction (pattern compilation against the dictionary,
+   cost estimation) for every BGP of the transformed tree, so the first
+   [execute] pays nothing the second does not. The plans land in the
+   env's memoized plan table. *)
+let rec precompile env (g : Be_tree.group) =
+  List.iter
+    (fun node ->
+      match node with
+      | Be_tree.Bgp [] | Be_tree.Values _ -> ()
+      | Be_tree.Bgp patterns -> ignore (Engine.Bgp_eval.plan env patterns)
+      | Be_tree.Group inner | Be_tree.Optional inner | Be_tree.Minus inner ->
+          precompile env inner
+      | Be_tree.Union gs -> List.iter (precompile env) gs)
+    g.children
+
+let prepare ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?stats ?text store
+    (query : Sparql.Ast.query) =
+  (* Register every query variable up front so bag widths are stable —
+     including aggregate aliases, which get fresh columns. *)
+  let vartable = Sparql.Vartable.of_list (Sparql.Ast.group_vars query.where) in
+  (match query.form with
+  | Sparql.Ast.Select (Sparql.Ast.Aggregated items) ->
+      List.iter
+        (function
+          | Sparql.Ast.Aggregate { alias; _ } ->
+              ignore (Sparql.Vartable.id vartable alias)
+          | Sparql.Ast.Svar _ -> ())
+        items
+  | _ -> ());
+  let epoch = Rdf_store.Triple_store.epoch store in
+  let env = Engine.Bgp_eval.make ?stats store vartable engine in
+  let tree_before = Be_tree.of_query query in
+  let tree_after, transform_ms =
+    match mode with
+    | Base | CP -> (tree_before, 0.)
+    | TT -> Transform.timed_multi_level env tree_before
+    | Full -> Transform.timed_multi_level env ~skip_cp_equivalent:true tree_before
+  in
+  precompile env tree_after;
+  {
+    text;
+    p_query = query;
+    p_vartable = vartable;
+    p_projection = Sparql.Ast.query_vars query;
+    p_mode = mode;
+    p_engine = engine;
+    p_tree_before = tree_before;
+    p_tree_after = tree_after;
+    p_transform_ms = transform_ms;
+    env;
+    p_epoch = epoch;
+  }
+
+(* --- The execute phase --------------------------------------------------- *)
+
+let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms ?cache p =
+  let query = p.p_query in
+  let vartable = p.p_vartable in
+  let env = Engine.Bgp_eval.with_domains p.env ~domains in
+  let store = Engine.Bgp_eval.store env in
+  let threshold =
+    match p.p_mode with
+    | Base | TT -> Evaluator.No_pruning
+    | CP -> Evaluator.Fixed (fixed_threshold store)
+    | Full -> Evaluator.Adaptive
+  in
+  (match row_budget with
+  | Some budget -> Sparql.Bag.set_budget budget
+  | None -> Sparql.Bag.unlimited_budget ());
+  let t1 = now_ms () in
+  (match timeout_ms with
+  | Some ms ->
+      Sparql.Bag.set_deadline ~now:Unix.gettimeofday
+        ~at:(Unix.gettimeofday () +. (ms /. 1000.))
+  | None -> Sparql.Bag.clear_deadline ());
+  (* Bag's probe-side chunking routes through the global pool only while a
+     parallel query runs; serial queries keep the historical operators. *)
+  if domains > 1 then Engine.Pool.enable_bag_runner ()
+  else Engine.Pool.disable_bag_runner ();
+  let width = Engine.Bgp_eval.width env in
+  (* Aggregation (GROUP BY / HAVING) needs the complete result before any
+     row can be emitted, so those queries evaluate materialized; their
+     solution modifiers still stream over the aggregated bag. *)
+  let needs_aggregate =
+    (match query.form with
+    | Sparql.Ast.Select (Sparql.Ast.Aggregated _) -> true
+    | _ -> false)
+    || query.Sparql.Ast.group_by <> []
+  in
+  let evaluate () =
+    if streaming && (not needs_aggregate) && query.Sparql.Ast.having = None
+    then begin
+      let out = Sparql.Bag.create ~width in
+      let sink = modifier_sink store vartable query ~width ~out in
+      let stats = Evaluator.eval_into env ~threshold ~sink p.p_tree_after in
+      (out, stats)
+    end
+    else begin
+      let bag, stats = Evaluator.eval env ~threshold p.p_tree_after in
+      let bag =
+        match query.form with
+        | Sparql.Ast.Select (Sparql.Ast.Aggregated items) ->
+            aggregate_bag store vartable query items bag
+        | _ when query.Sparql.Ast.group_by <> [] ->
+            (* GROUP BY without aggregates: one representative row per
+               group (keys only). *)
+            aggregate_bag store vartable query [] bag
+        | _ -> bag
+      in
+      let bag =
+        match query.Sparql.Ast.having with
+        | None -> bag
+        | Some e ->
+            let lookup row v =
+              match Sparql.Vartable.find vartable v with
+              | Some col when Sparql.Binding.is_bound row col ->
+                  Some (Rdf_store.Triple_store.decode_term store row.(col))
+              | _ -> None
+            in
+            Sparql.Bag.filter bag ~f:(fun row ->
+                Sparql.Expr.eval ~lookup:(lookup row)
+                  ~exists:(fun _ -> false)
+                  e)
+      in
+      if streaming then begin
+        let out = Sparql.Bag.create ~width in
+        let sink = modifier_sink store vartable query ~width ~out in
+        (try Sparql.Bag.replay bag ~sink with Sparql.Sink.Stop -> ());
+        Sparql.Sink.close sink;
+        (out, { stats with Evaluator.stages = Sparql.Sink.stages sink })
+      end
+      else (apply_modifiers_materialized store vartable query bag, stats)
+    end
+  in
+  (* [Fun.protect]: an engine exception (or a [Stop] leak) must not leave
+     the global budget, deadline or bag runner armed for the next query
+     on this process. *)
+  let outcome =
+    Fun.protect
+      ~finally:(fun () ->
+        Engine.Pool.disable_bag_runner ();
+        Sparql.Bag.unlimited_budget ();
+        Sparql.Bag.clear_deadline ())
+      (fun () ->
+        try Ok (evaluate ())
+        with Sparql.Bag.Limit_exceeded -> (
+          match timeout_ms with
+          | Some ms when now_ms () -. t1 >= ms -> Error Timeout
+          | _ -> Error Out_of_budget))
+  in
+  let exec_ms = now_ms () -. t1 in
+  let bag, eval_stats =
+    match outcome with
+    | Error _ -> (None, None)
+    | Ok (bag, stats) -> (Some bag, Some stats)
+  in
+  Log.info (fun m ->
+      m "mode=%s engine=%s transform=%.2fms exec=%.2fms results=%s cache=%s"
+        (mode_name p.p_mode)
+        (Engine.Bgp_eval.engine_name p.p_engine)
+        p.p_transform_ms exec_ms
+        (match (bag, outcome) with
+        | Some bag, _ -> string_of_int (Sparql.Bag.length bag)
+        | None, Error Timeout -> "timeout"
+        | None, _ -> "over-budget")
+        (match cache with
+        | Some { hit = true; _ } -> "hit"
+        | Some { hit = false; _ } -> "miss"
+        | None -> "bypass"));
+  {
+    mode = p.p_mode;
+    engine = p.p_engine;
+    query;
+    vartable;
+    projection = p.p_projection;
+    bag;
+    result_count = Option.map Sparql.Bag.length bag;
+    failure = (match outcome with Ok _ -> None | Error f -> Some f);
+    transform_ms = p.p_transform_ms;
+    exec_ms;
+    eval_stats;
+    tree_before = p.p_tree_before;
+    tree_after = p.p_tree_after;
+    epoch = Rdf_store.Triple_store.epoch store;
+    cache;
+  }

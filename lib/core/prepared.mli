@@ -1,0 +1,107 @@
+(** The compile-once / execute-many layer: a prepared query captures
+    everything about query processing that is execution-invariant — the
+    parsed AST, the variable table, the projection, the BE-tree before
+    and after the Algorithm-4 cost-driven transformation, the compiled
+    triple patterns (memoized inside the evaluation context), and the
+    transformation's wall-clock cost — so that the plan-level work of the
+    paper (BE-tree + merge/inject + cost model) runs once and every
+    subsequent {!execute} pays only for evaluation.
+
+    What is deliberately {e not} captured: candidate pruning decisions
+    (Section 6). Candidate sets are drawn from the intermediate results
+    of the specific execution, so pruning is inherently per-execution;
+    only the pruning {e rule} (the mode's threshold) is part of the
+    prepared plan.
+
+    A prepared query records the store {!epoch} it was compiled under;
+    {!Session} uses an epoch mismatch to invalidate cached plans after
+    data mutations. *)
+
+(** The four configurations the paper evaluates (Section 7.1). *)
+type mode = Base | TT | CP | Full
+
+val mode_name : mode -> string
+val all_modes : mode list
+
+(** Why a run produced no result: the row budget (the paper's
+    out-of-memory analogue) or the wall-clock timeout. *)
+type failure = Out_of_budget | Timeout
+
+(** Plan-cache provenance of one execution, attached by {!Session.run}:
+    whether this plan came from the cache, plus the session's cumulative
+    hit/miss counters at that point. *)
+type cache_info = { hit : bool; hits : int; misses : int }
+
+type report = {
+  mode : mode;
+  engine : Engine.Bgp_eval.engine;
+  query : Sparql.Ast.query;  (** the parsed query the report answers *)
+  vartable : Sparql.Vartable.t;
+  projection : string list;  (** variables the query projects *)
+  bag : Sparql.Bag.t option;  (** [None] when a limit was exceeded *)
+  result_count : int option;
+  failure : failure option;
+  transform_ms : float;
+      (** time spent in Algorithm 4 at prepare time (0 for Base/CP) *)
+  exec_ms : float;  (** evaluation time of this execution *)
+  eval_stats : Evaluator.stats option;
+  tree_before : Be_tree.group;
+  tree_after : Be_tree.group;
+  epoch : int;  (** store epoch observed after this execution *)
+  cache : cache_info option;
+      (** [None] when the run bypassed a session plan cache *)
+}
+
+type t
+(** A prepared query. Immutable once built (the embedded plan memo only
+    grows, under a mutex), so one value may be executed repeatedly and
+    concurrently. *)
+
+(** [prepare ?mode ?engine ?stats ?text store query] runs the whole
+    plan pipeline: variable registration, BE-tree construction, the
+    mode's cost-driven transformation, and eager compilation of every
+    BGP of the transformed tree. [text] optionally records the source
+    string for diagnostics. Defaults: [Full], [Wco]; omitted [stats]
+    come from {!Rdf_store.Stats.cached} (no per-prepare rescan). *)
+val prepare :
+  ?mode:mode ->
+  ?engine:Engine.Bgp_eval.engine ->
+  ?stats:Rdf_store.Stats.t ->
+  ?text:string ->
+  Rdf_store.Triple_store.t ->
+  Sparql.Ast.query ->
+  t
+
+(** [execute ?domains ?streaming ?row_budget ?timeout_ms ?cache p] runs
+    the prepared plan once. The knobs are execution-time only and carry
+    the same semantics as [Executor.run]: [domains] (default 1) retargets
+    the shared plan to a domain pool, [streaming] (default [true])
+    pushes solution modifiers into a sink pipeline, [row_budget] and
+    [timeout_ms] bound the run. [cache] is attached verbatim to the
+    report (used by {!Session} to surface hit/miss provenance). *)
+val execute :
+  ?domains:int ->
+  ?streaming:bool ->
+  ?row_budget:int ->
+  ?timeout_ms:float ->
+  ?cache:cache_info ->
+  t ->
+  report
+
+(** {1 Accessors} *)
+
+val query : t -> Sparql.Ast.query
+val vartable : t -> Sparql.Vartable.t
+val projection : t -> string list
+val mode : t -> mode
+val engine : t -> Engine.Bgp_eval.engine
+val tree_before : t -> Be_tree.group
+val tree_after : t -> Be_tree.group
+val transform_ms : t -> float
+val store : t -> Rdf_store.Triple_store.t
+
+(** [epoch p] — the store epoch the plan was compiled under. *)
+val epoch : t -> int
+
+(** [text p] — the source text, when prepared from one. *)
+val text : t -> string option

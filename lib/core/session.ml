@@ -1,0 +1,142 @@
+(* A session owns a store handle, the store's statistics (computed once
+   per epoch), and a bounded LRU cache of prepared plans keyed by
+   (query text, mode, engine). Entries are validated against the store's
+   epoch on every lookup: a SPARQL Update swaps in a rebuilt store with a
+   fresh epoch, and an eval-time dictionary write (VALUES interning a new
+   term) bumps the epoch in place — either way the stale plan misses and
+   is re-prepared against current data. *)
+
+type key = string * Prepared.mode * Engine.Bgp_eval.engine
+
+type entry = { prepared : Prepared.t; mutable last_used : int }
+
+type t = {
+  mutable store : Rdf_store.Triple_store.t;
+  capacity : int;
+  table : (key, entry) Hashtbl.t;
+  (* A logical clock for LRU recency: bumped on every cache touch. *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  (* Statistics memo, keyed by the epoch they were computed under. *)
+  mutable stats_memo : (int * Rdf_store.Stats.t) option;
+  mutex : Mutex.t;
+}
+
+let create ?(cache_capacity = 64) store =
+  if cache_capacity < 1 then
+    invalid_arg "Session.create: cache_capacity must be positive";
+  {
+    store;
+    capacity = cache_capacity;
+    table = Hashtbl.create (2 * cache_capacity);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    stats_memo = None;
+    mutex = Mutex.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let store t = with_lock t (fun () -> t.store)
+
+let epoch t = Rdf_store.Triple_store.epoch (store t)
+
+let stats_locked t =
+  let epoch = Rdf_store.Triple_store.epoch t.store in
+  match t.stats_memo with
+  | Some (e, stats) when e = epoch -> stats
+  | _ ->
+      (* [Stats.cached] makes the epoch-level recompute free unless the
+         store value itself was swapped (a real data change). *)
+      let stats = Rdf_store.Stats.cached t.store in
+      t.stats_memo <- Some (epoch, stats);
+      stats
+
+let stats t = with_lock t (fun () -> stats_locked t)
+
+let invalidate_locked t =
+  Hashtbl.reset t.table;
+  t.stats_memo <- None
+
+let invalidate t = with_lock t (fun () -> invalidate_locked t)
+
+let set_store t store =
+  with_lock t (fun () ->
+      if store != t.store then begin
+        t.store <- store;
+        invalidate_locked t
+      end)
+
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.last_used <- t.tick
+
+(* Capacity is small and bounded, so a linear scan for the least
+   recently used entry keeps the structure trivial. *)
+let evict_lru_locked t =
+  let victim =
+    Hashtbl.fold
+      (fun key entry acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= entry.last_used -> acc
+        | _ -> Some (key, entry))
+      t.table None
+  in
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let prepare_locked t ~mode ~engine text =
+  let key = (text, mode, engine) in
+  let epoch = Rdf_store.Triple_store.epoch t.store in
+  let cached =
+    match Hashtbl.find_opt t.table key with
+    | Some entry when Prepared.epoch entry.prepared = epoch -> Some entry
+    | Some _ ->
+        (* Stale plan from an earlier epoch: drop it eagerly so it does
+           not occupy a cache slot waiting for LRU pressure. *)
+        Hashtbl.remove t.table key;
+        None
+    | None -> None
+  in
+  match cached with
+  | Some entry ->
+      t.hits <- t.hits + 1;
+      touch t entry;
+      (entry.prepared, { Prepared.hit = true; hits = t.hits; misses = t.misses })
+  | None ->
+      t.misses <- t.misses + 1;
+      let stats = stats_locked t in
+      let prepared =
+        Prepared.prepare ~mode ~engine ~stats ~text t.store
+          (Sparql.Parser.parse text)
+      in
+      if Hashtbl.length t.table >= t.capacity then evict_lru_locked t;
+      let entry = { prepared; last_used = 0 } in
+      touch t entry;
+      Hashtbl.replace t.table key entry;
+      (prepared, { Prepared.hit = false; hits = t.hits; misses = t.misses })
+
+let prepare ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco) t text =
+  fst (with_lock t (fun () -> prepare_locked t ~mode ~engine text))
+
+let run ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco) ?domains
+    ?streaming ?row_budget ?timeout_ms t text =
+  let prepared, cache =
+    with_lock t (fun () -> prepare_locked t ~mode ~engine text)
+  in
+  Prepared.execute ?domains ?streaming ?row_budget ?timeout_ms ~cache prepared
+
+let hits t = with_lock t (fun () -> t.hits)
+let misses t = with_lock t (fun () -> t.misses)
+let evictions t = with_lock t (fun () -> t.evictions)
+let cache_length t = with_lock t (fun () -> Hashtbl.length t.table)
+let capacity t = t.capacity

@@ -1,0 +1,76 @@
+(** A query session: the serving-path owner of a store handle, its
+    statistics, and a bounded LRU cache of prepared plans.
+
+    The cache is keyed by [(query text, mode, engine)] and validated
+    against the store's epoch ({!Rdf_store.Triple_store.epoch}) on every
+    lookup, so plans compiled before a data mutation — a SPARQL Update
+    swapping in a rebuilt store, or a VALUES block interning a fresh
+    dictionary term — are transparently re-prepared. Statistics are
+    computed at most once per epoch (and at most once per store value
+    process-wide, via {!Rdf_store.Stats.cached}), eliminating the
+    historical hidden full-store scan per query.
+
+    All operations are thread-safe; concurrent {!run}s from multiple
+    domains share one cache. The global row-budget/deadline knobs are
+    per-process, so concurrent runs should either all use the same
+    [row_budget]/[timeout_ms] or none. *)
+
+type t
+
+(** [create ?cache_capacity store] — [cache_capacity] (default 64) bounds
+    the number of cached plans; beyond it the least recently used entry
+    is evicted. Raises [Invalid_argument] on a non-positive capacity. *)
+val create : ?cache_capacity:int -> Rdf_store.Triple_store.t -> t
+
+(** [store t] is the current store handle. *)
+val store : t -> Rdf_store.Triple_store.t
+
+(** [set_store t store] swaps the handle (the bulk-rebuild result of a
+    SPARQL Update), clearing the plan cache and statistics memo. The
+    rebuilt store carries a fresh epoch, so even entries observed through
+    stale references cannot validate. No-op if [store] is the current
+    handle. *)
+val set_store : t -> Rdf_store.Triple_store.t -> unit
+
+(** [epoch t] is the current store epoch. *)
+val epoch : t -> int
+
+(** [stats t] — the store's statistics, computed once per epoch and
+    reused by every prepare in this session. *)
+val stats : t -> Rdf_store.Stats.t
+
+(** [prepare ?mode ?engine t text] returns the cached plan for
+    [(text, mode, engine)] at the current epoch, preparing and caching
+    it on a miss. Defaults: [Full], [Wco]. *)
+val prepare :
+  ?mode:Prepared.mode -> ?engine:Engine.Bgp_eval.engine -> t -> string ->
+  Prepared.t
+
+(** [run ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms t
+    text] — {!prepare} (through the cache) followed by
+    {!Prepared.execute}. The report's [cache] field records whether this
+    run hit, plus the session's cumulative counters. *)
+val run :
+  ?mode:Prepared.mode ->
+  ?engine:Engine.Bgp_eval.engine ->
+  ?domains:int ->
+  ?streaming:bool ->
+  ?row_budget:int ->
+  ?timeout_ms:float ->
+  t ->
+  string ->
+  Prepared.report
+
+(** [invalidate t] drops every cached plan and the statistics memo. *)
+val invalidate : t -> unit
+
+(** {1 Cache observability (surfaced in [explain] and benchmarks)} *)
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+(** [cache_length t] — number of currently cached plans. *)
+val cache_length : t -> int
+
+val capacity : t -> int

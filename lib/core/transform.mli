@@ -53,3 +53,12 @@ val single_level :
     parents. *)
 val multi_level :
   Engine.Bgp_eval.t -> ?skip_cp_equivalent:bool -> Be_tree.group -> Be_tree.group
+
+(** [timed_multi_level env ?skip_cp_equivalent g] is {!multi_level}
+    paired with its elapsed wall-clock milliseconds — the prepare-phase
+    cost a prepared query pays once and re-executions amortize. *)
+val timed_multi_level :
+  Engine.Bgp_eval.t ->
+  ?skip_cp_equivalent:bool ->
+  Be_tree.group ->
+  Be_tree.group * float

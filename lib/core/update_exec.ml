@@ -94,3 +94,13 @@ let apply_all ?engine store updates =
 
 let run ?engine store text =
   apply_all ?engine store (Sparql.Parser.parse_update text)
+
+(* Session-threaded updates: each operation evaluates its WHERE clause
+   against the session's current store and swaps in the rebuilt one. The
+   rebuilt store carries a fresh epoch, so every plan the session cached
+   before the update is invalidated on its next lookup. *)
+let apply_session ?engine session update =
+  Session.set_store session (apply ?engine (Session.store session) update)
+
+let run_session ?engine session text =
+  List.iter (apply_session ?engine session) (Sparql.Parser.parse_update text)

@@ -31,3 +31,18 @@ val run :
   Rdf_store.Triple_store.t ->
   string ->
   Rdf_store.Triple_store.t
+
+(** {1 Session-threaded updates}
+
+    The same operations applied through a {!Session}: the rebuilt store
+    is swapped into the session, whose fresh epoch invalidates every
+    cached plan and the statistics memo. *)
+
+(** [apply_session session update] — one operation against the session's
+    current store. *)
+val apply_session :
+  ?engine:Engine.Bgp_eval.engine -> Session.t -> Sparql.Ast.update -> unit
+
+(** [run_session session text] parses and applies an update string, each
+    operation seeing its predecessors' effects. *)
+val run_session : ?engine:Engine.Bgp_eval.engine -> Session.t -> string -> unit

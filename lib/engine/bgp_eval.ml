@@ -17,8 +17,9 @@ type t = {
 }
 
 let make ?stats ?(domains = 1) store vartable engine =
+  (* [Stats.cached]: one statistics scan per live store, not per query. *)
   let stats =
-    match stats with Some s -> s | None -> Rdf_store.Stats.compute store
+    match stats with Some s -> s | None -> Rdf_store.Stats.cached store
   in
   let pool = if domains > 1 then Pool.ensure ~num_domains:domains else None in
   {
@@ -31,6 +32,19 @@ let make ?stats ?(domains = 1) store vartable engine =
     plan_cache = Hashtbl.create 64;
     plan_mutex = Mutex.create ();
   }
+
+(* Domain count is an execution-time knob, everything else in the context
+   is plan-level; the derived context shares the memoized plans (and
+   their mutex) so compiled patterns survive re-execution at any domain
+   count. *)
+let with_domains ctx ~domains =
+  if domains = ctx.domains then ctx
+  else
+    {
+      ctx with
+      domains;
+      pool = (if domains > 1 then Pool.ensure ~num_domains:domains else None);
+    }
 
 let store ctx = ctx.store
 let stats ctx = ctx.stats

@@ -14,7 +14,9 @@ type t
 
 (** [make ?stats ?domains store vartable engine] — [domains] (default 1)
     is the number of domains BGP evaluation and the evaluator may use;
-    [domains > 1] attaches the process-global {!Pool}. *)
+    [domains > 1] attaches the process-global {!Pool}. When [stats] is
+    omitted they come from {!Rdf_store.Stats.cached}, so repeated
+    context construction against one store does not rescan it. *)
 val make :
   ?stats:Rdf_store.Stats.t ->
   ?domains:int ->
@@ -22,6 +24,12 @@ val make :
   Sparql.Vartable.t ->
   engine ->
   t
+
+(** [with_domains ctx ~domains] is [ctx] retargeted to another domain
+    count. The memoized BGP plans (compiled patterns + estimates) are
+    shared with [ctx], so a prepared query re-executes at any domain
+    count without recompiling. *)
+val with_domains : t -> domains:int -> t
 
 val store : t -> Rdf_store.Triple_store.t
 val stats : t -> Rdf_store.Stats.t

@@ -21,6 +21,7 @@ type t = {
   num_entities : int;
   num_predicates : int;
   num_literals : int;
+  epoch : int;  (* store epoch when the scan ran *)
 }
 
 let compute store =
@@ -62,7 +63,34 @@ let compute store =
     num_entities = !entities;
     num_predicates;
     num_literals = !literals;
+    epoch = Triple_store.epoch store;
   }
+
+(* [cached] memoizes one statistics scan per live store value. The triple
+   table is immutable (updates rebuild a new store), so statistics keyed
+   on the store's physical identity never go stale — dictionary interning
+   bumps the epoch but adds no triples. The ephemeron key keeps the memo
+   from pinning replaced stores in memory. *)
+let memo : (Triple_store.t Weak.t * t) list ref = ref []
+let memo_mutex = Mutex.create ()
+
+let cached store =
+  Mutex.lock memo_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock memo_mutex) @@ fun () ->
+  memo := List.filter (fun (w, _) -> Weak.check w 0) !memo;
+  let hit (w, _) =
+    match Weak.get w 0 with Some s -> s == store | None -> false
+  in
+  match List.find_opt hit !memo with
+  | Some (_, stats) -> stats
+  | None ->
+      let stats = compute store in
+      let w = Weak.create 1 in
+      Weak.set w 0 (Some store);
+      memo := (w, stats) :: !memo;
+      stats
+
+let epoch stats = stats.epoch
 
 let predicate stats ~p =
   Option.value (Hashtbl.find_opt stats.by_predicate p) ~default:zero_stats

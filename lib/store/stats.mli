@@ -15,6 +15,17 @@ type t
     statistics plus dataset-level counts. *)
 val compute : Triple_store.t -> t
 
+(** [cached store] is [compute store] memoized per live store value
+    (physical identity, weakly held). The triple table is immutable —
+    updates rebuild a new store — so the memo never serves stale
+    statistics; repeated query execution against one store pays for the
+    scan once. Thread-safe. *)
+val cached : Triple_store.t -> t
+
+(** [epoch stats] is the store epoch at the time of the scan (see
+    {!Triple_store.epoch}). *)
+val epoch : t -> int
+
 (** [predicate stats ~p] is the statistics record for predicate id [p];
     all-zero record if [p] never occurs as a predicate. *)
 val predicate : t -> p:int -> predicate_stats

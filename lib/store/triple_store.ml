@@ -7,13 +7,37 @@ type t = {
   pos : Index.t;
   osp : Index.t;
   ops : Index.t;
+  (* Version stamp read by plan/statistics caches: any value observed
+     before a mutation differs from every value observed after it. *)
+  epoch : int Atomic.t;
 }
+
+(* Epochs are drawn from one process-global counter so they stay
+   monotonic across store rebuilds: the store a bulk update returns
+   carries a strictly larger epoch than the store it replaced, even if
+   the old store's epoch was bumped in place meanwhile. *)
+let epoch_counter = Atomic.make 0
+
+let fresh_epoch () = Atomic.fetch_and_add epoch_counter 1
+
+let epoch store = Atomic.get store.epoch
+
+let bump_epoch store = Atomic.set store.epoch (fresh_epoch ())
 
 let dictionary store = store.dict
 
 let size store = Array.length store.table.Index.s
 
 let encode_term store term = Dictionary.find store.dict term
+
+(* The one in-place mutation evaluation performs: materializing a VALUES
+   block interns its constants. A fresh term changes the dictionary, so
+   cached plans keyed on the old epoch must be re-validated. *)
+let intern_term store term =
+  let before = Dictionary.size store.dict in
+  let id = Dictionary.encode store.dict term in
+  if Dictionary.size store.dict <> before then bump_epoch store;
+  id
 
 let decode_term store id = Dictionary.decode store.dict id
 
@@ -73,6 +97,7 @@ let of_encoded dict rows =
     pos = Index.build Index.Pos table;
     osp = Index.build Index.Osp table;
     ops = Index.build Index.Ops table;
+    epoch = Atomic.make (fresh_epoch ());
   }
 
 let of_encoded_rows dict rows = of_encoded dict rows

@@ -24,6 +24,26 @@ val of_encoded_rows : Dictionary.t -> (int * int * int) array -> t
 (** [iter_all store ~f] — every triple, as ids, in SPO order. *)
 val iter_all : t -> f:(s:int -> p:int -> o:int -> unit) -> unit
 
+(** {1 Epochs}
+
+    Every store carries a monotonic epoch stamp drawn from a
+    process-global counter: newly built stores (including the rebuilt
+    store a SPARQL Update returns) get a fresh epoch, and in-place
+    mutations bump it. Plan and statistics caches record the epoch they
+    were computed under and treat any mismatch as an invalidation. *)
+
+(** [epoch store] is the store's current epoch. *)
+val epoch : t -> int
+
+(** [bump_epoch store] advances the epoch to a fresh, strictly larger
+    value (invalidating everything keyed on earlier epochs). *)
+val bump_epoch : t -> unit
+
+(** [intern_term store term] encodes [term] in the dictionary, assigning
+    a fresh id (and bumping the epoch) when it was not yet present —
+    the eval-time dictionary write performed by VALUES blocks. *)
+val intern_term : t -> Rdf.Term.t -> int
+
 (** {1 Accessors} *)
 
 val dictionary : t -> Dictionary.t

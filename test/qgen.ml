@@ -206,6 +206,22 @@ let gen_wd_query =
         })
       (gen_wd_group 2))
 
+(* The execution configurations the prepare/execute properties sweep:
+   every mode x engine x domain count {1,4} x modifier pipeline. *)
+let exec_configs =
+  List.concat_map
+    (fun mode ->
+      List.concat_map
+        (fun engine ->
+          List.concat_map
+            (fun domains ->
+              List.map
+                (fun streaming -> (mode, engine, domains, streaming))
+                [ true; false ])
+            [ 1; 4 ])
+        [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ])
+    Sparql_uo.Executor.all_modes
+
 (* The Definition 7 oracle. *)
 let oracle store (query : Sparql.Ast.query) =
   let vartable = Sparql.Vartable.of_list (Sparql.Ast.group_vars query.where) in

@@ -1,0 +1,274 @@
+(* Tests for the compile-once / execute-many layer: Prepared re-execution
+   stability, the Session plan cache (LRU bounds, hit/miss accounting,
+   explain provenance), epoch-based invalidation after SPARQL Updates and
+   after eval-time dictionary growth (VALUES), and a multi-domain
+   concurrency smoke over one shared session. *)
+
+module Store = Rdf_store.Triple_store
+
+let store_of = Store.of_triples
+
+let count report =
+  match report.Sparql_uo.Executor.result_count with
+  | Some n -> n
+  | None -> Alcotest.fail "run hit a limit unexpectedly"
+
+let cache_of report =
+  match report.Sparql_uo.Executor.cache with
+  | Some c -> c
+  | None -> Alcotest.fail "session run carries no cache info"
+
+let triple i j = Rdf.Triple.make (Qgen.iri i) (Qgen.pred 0) (Qgen.iri j)
+
+(* --- Prepared: execute-many determinism ---------------------------------- *)
+
+(* The central prepare/execute property: a plan prepared once and executed
+   repeatedly yields the same bag as a fresh one-shot run, across every
+   mode x engine x domains x streaming configuration. *)
+let prop_prepared_reexecution_stable =
+  QCheck2.Test.make ~name:"Prepared.execute twice = fresh Executor.run"
+    ~count:40
+    ~print:(fun (triples, query) ->
+      Qgen.pp_dataset triples ^ "\n" ^ Qgen.pp_query query)
+    QCheck2.Gen.(pair Qgen.gen_dataset Qgen.gen_modified_query)
+    (fun (triples, query) ->
+      let store = store_of triples in
+      List.for_all
+        (fun (mode, engine, domains, streaming) ->
+          let prepared = Sparql_uo.Prepared.prepare ~mode ~engine store query in
+          let first =
+            Sparql_uo.Prepared.execute ~domains ~streaming prepared
+          in
+          let second =
+            Sparql_uo.Prepared.execute ~domains ~streaming prepared
+          in
+          let oneshot =
+            Sparql_uo.Executor.run_query ~mode ~engine ~domains ~streaming
+              store query
+          in
+          match
+            ( first.Sparql_uo.Executor.bag,
+              second.Sparql_uo.Executor.bag,
+              oneshot.Sparql_uo.Executor.bag )
+          with
+          | Some b1, Some b2, Some b3 ->
+              Sparql.Bag.equal_as_bags b1 b2 && Sparql.Bag.equal_as_bags b1 b3
+          | _ -> false)
+        Qgen.exec_configs)
+
+(* --- Epoch invalidation: SPARQL Update ----------------------------------- *)
+
+let test_update_invalidates_cache () =
+  let session = Sparql_uo.Session.create (store_of [ triple 0 1; triple 1 2 ]) in
+  let text = "SELECT * WHERE { ?x <http://t/p0> ?y . }" in
+  let epoch0 = Sparql_uo.Session.epoch session in
+  let r1 = Sparql_uo.Session.run session text in
+  Alcotest.(check bool) "first run misses" false (cache_of r1).hit;
+  Alcotest.(check int) "two solutions" 2 (count r1);
+  let r2 = Sparql_uo.Session.run session text in
+  Alcotest.(check bool) "second run hits" true (cache_of r2).hit;
+  Sparql_uo.Update_exec.run_session session
+    "INSERT DATA { <http://t/e5> <http://t/p0> <http://t/e0> . }";
+  Alcotest.(check bool) "update bumps the epoch" true
+    (Sparql_uo.Session.epoch session > epoch0);
+  let r3 = Sparql_uo.Session.run session text in
+  Alcotest.(check bool) "post-update run misses" false (cache_of r3).hit;
+  Alcotest.(check int) "result reflects the inserted triple" 3 (count r3);
+  let r4 = Sparql_uo.Session.run session text in
+  Alcotest.(check bool) "re-prepared plan is cached again" true
+    (cache_of r4).hit;
+  Sparql_uo.Update_exec.run_session session
+    "DELETE DATA { <http://t/e5> <http://t/p0> <http://t/e0> . }";
+  let r5 = Sparql_uo.Session.run session text in
+  Alcotest.(check bool) "post-delete run misses" false (cache_of r5).hit;
+  Alcotest.(check int) "deletion visible" 2 (count r5)
+
+(* The session's statistics memo is invalidated alongside the plans: a
+   cardinality recomputed after the update must see the new store. *)
+let test_update_refreshes_stats () =
+  let session = Sparql_uo.Session.create (store_of [ triple 0 1 ]) in
+  let before = Rdf_store.Stats.num_triples (Sparql_uo.Session.stats session) in
+  Alcotest.(check int) "one triple before" 1 before;
+  Sparql_uo.Update_exec.run_session session
+    "INSERT DATA { <http://t/e2> <http://t/p0> <http://t/e3> . }";
+  let after = Rdf_store.Stats.num_triples (Sparql_uo.Session.stats session) in
+  Alcotest.(check int) "two triples after" 2 after
+
+(* --- Epoch invalidation: VALUES interning a fresh term ------------------- *)
+
+let test_values_interning_bumps_epoch () =
+  let session = Sparql_uo.Session.create (store_of [ triple 0 1 ]) in
+  (* The VALUES constant is absent from the store's dictionary, so the
+     first execution interns it and bumps the epoch in place. *)
+  let text =
+    "SELECT * WHERE { ?x <http://t/p0> ?y . VALUES ?z { <http://t/fresh> } }"
+  in
+  let epoch0 = Sparql_uo.Session.epoch session in
+  let r1 = Sparql_uo.Session.run session text in
+  Alcotest.(check bool) "first run misses" false (cache_of r1).hit;
+  Alcotest.(check int) "one solution" 1 (count r1);
+  Alcotest.(check bool) "interning bumped the epoch" true
+    (r1.Sparql_uo.Executor.epoch > epoch0);
+  (* The cached plan is now stale; the re-prepare's execution finds the
+     term already interned and leaves the epoch alone, so the third run
+     finally hits. *)
+  let r2 = Sparql_uo.Session.run session text in
+  Alcotest.(check bool) "second run misses (stale epoch)" false
+    (cache_of r2).hit;
+  Alcotest.(check int) "same solution" 1 (count r2);
+  let r3 = Sparql_uo.Session.run session text in
+  Alcotest.(check bool) "third run hits (epoch settled)" true (cache_of r3).hit;
+  Alcotest.(check int) "epoch stable across cached runs"
+    r2.Sparql_uo.Executor.epoch r3.Sparql_uo.Executor.epoch
+
+(* --- LRU bounds and accounting ------------------------------------------- *)
+
+let test_lru_eviction_order () =
+  let store = store_of [ triple 0 1; triple 1 2 ] in
+  let session = Sparql_uo.Session.create ~cache_capacity:2 store in
+  let qa = "SELECT * WHERE { ?x <http://t/p0> ?y . }" in
+  let qb = "SELECT * WHERE { ?x <http://t/p0> ?y . } LIMIT 1" in
+  let qc = "SELECT * WHERE { ?y <http://t/p0> ?x . }" in
+  let run q = (cache_of (Sparql_uo.Session.run session q)).hit in
+  Alcotest.(check bool) "A cold" false (run qa);
+  Alcotest.(check bool) "B cold" false (run qb);
+  (* Touch A so B is the least recently used entry. *)
+  Alcotest.(check bool) "A cached" true (run qa);
+  (* C fills the third slot of a 2-slot cache: B must be evicted. *)
+  Alcotest.(check bool) "C cold" false (run qc);
+  Alcotest.(check int) "one eviction" 1 (Sparql_uo.Session.evictions session);
+  Alcotest.(check int) "cache at capacity" 2
+    (Sparql_uo.Session.cache_length session);
+  Alcotest.(check bool) "A survived" true (run qa);
+  Alcotest.(check bool) "B was evicted" false (run qb);
+  Alcotest.(check int) "counters" 2 (Sparql_uo.Session.hits session);
+  Alcotest.(check int) "counters" 4 (Sparql_uo.Session.misses session)
+
+let test_capacity_validation () =
+  let store = store_of [ triple 0 1 ] in
+  (match Sparql_uo.Session.create ~cache_capacity:0 store with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must be rejected");
+  Alcotest.(check int) "capacity accessor" 7
+    (Sparql_uo.Session.capacity (Sparql_uo.Session.create ~cache_capacity:7 store))
+
+(* Per-(mode, engine) cache keys: the same text under different modes
+   occupies distinct slots and each hits independently. *)
+let test_cache_key_includes_mode_engine () =
+  let store = store_of [ triple 0 1; triple 1 2 ] in
+  let session = Sparql_uo.Session.create store in
+  let text = "SELECT * WHERE { ?x <http://t/p0> ?y . }" in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun engine ->
+          let r1 = Sparql_uo.Session.run ~mode ~engine session text in
+          Alcotest.(check bool) "cold per (mode, engine)" false (cache_of r1).hit;
+          let r2 = Sparql_uo.Session.run ~mode ~engine session text in
+          Alcotest.(check bool) "warm per (mode, engine)" true (cache_of r2).hit;
+          Alcotest.(check int) "same count" (count r1) (count r2))
+        [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ])
+    Sparql_uo.Executor.all_modes;
+  Alcotest.(check int) "eight distinct entries" 8
+    (Sparql_uo.Session.cache_length session)
+
+(* --- Explain provenance --------------------------------------------------- *)
+
+let test_explain_reports_cache_and_epoch () =
+  let session = Sparql_uo.Session.create (store_of [ triple 0 1 ]) in
+  let text = "SELECT * WHERE { ?x <http://t/p0> ?y . }" in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec at i = i + ln <= lh && (String.sub hay i ln = needle || at (i + 1)) in
+    at 0
+  in
+  let e1 = Sparql_uo.Executor.explain (Sparql_uo.Session.run session text) in
+  Alcotest.(check bool) "first explain shows a miss" true
+    (contains e1 "plan cache: miss");
+  Alcotest.(check bool) "explain shows the epoch" true
+    (contains e1 "store epoch:");
+  let e2 = Sparql_uo.Executor.explain (Sparql_uo.Session.run session text) in
+  Alcotest.(check bool) "second explain shows a hit" true
+    (contains e2 "plan cache: hit");
+  let one_shot =
+    Sparql_uo.Executor.explain
+      (Sparql_uo.Executor.run (Sparql_uo.Session.store session) text)
+  in
+  Alcotest.(check bool) "one-shot explain shows the bypass" true
+    (contains one_shot "plan cache: bypassed")
+
+(* --- Concurrency smoke ---------------------------------------------------- *)
+
+(* Four domains hammer one session with a shared query set (serial
+   evaluation, no VALUES, no budget/deadline — those knobs are
+   process-global). Every run must return the right count, and the
+   session's counters must account for every run exactly once. *)
+let test_concurrent_session_runs () =
+  let triples =
+    List.concat_map (fun i -> [ triple i (i + 1); triple (i + 1) i ])
+      [ 0; 1; 2; 3 ]
+  in
+  let session = Sparql_uo.Session.create (store_of triples) in
+  let queries =
+    [
+      ("SELECT * WHERE { ?x <http://t/p0> ?y . }", List.length triples);
+      ("SELECT * WHERE { ?x <http://t/p0> ?y . ?y <http://t/p0> ?x . }",
+       List.length triples);
+      ("SELECT DISTINCT ?x WHERE { ?x <http://t/p0> ?y . }", 5);
+    ]
+  in
+  let rounds = 8 in
+  let worker () =
+    let ok = ref true in
+    for _ = 1 to rounds do
+      List.iter
+        (fun (text, expected) ->
+          let report = Sparql_uo.Session.run session text in
+          if count report <> expected then ok := false)
+        queries
+    done;
+    !ok
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  let all_ok = List.for_all Domain.join domains in
+  Alcotest.(check bool) "every concurrent run returned the right count" true
+    all_ok;
+  let total = 4 * rounds * List.length queries in
+  Alcotest.(check int) "every run is accounted as a hit or a miss" total
+    (Sparql_uo.Session.hits session + Sparql_uo.Session.misses session);
+  Alcotest.(check int) "one plan per query" (List.length queries)
+    (Sparql_uo.Session.misses session)
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "prepared",
+        [ QCheck_alcotest.to_alcotest prop_prepared_reexecution_stable ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "update invalidates plans" `Quick
+            test_update_invalidates_cache;
+          Alcotest.test_case "update refreshes stats" `Quick
+            test_update_refreshes_stats;
+          Alcotest.test_case "VALUES interning bumps epoch" `Quick
+            test_values_interning_bumps_epoch;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "capacity validation" `Quick
+            test_capacity_validation;
+          Alcotest.test_case "key includes mode and engine" `Quick
+            test_cache_key_includes_mode_engine;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "cache and epoch provenance" `Quick
+            test_explain_reports_cache_and_epoch;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "4-domain shared session" `Quick
+            test_concurrent_session_runs;
+        ] );
+    ]
