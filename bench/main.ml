@@ -13,7 +13,7 @@
 
 let all_sections =
   [ "table2"; "table3"; "table4"; "fig3"; "fig10"; "fig11"; "fig12"; "fig13";
-    "ablation"; "micro"; "parallel"; "streaming"; "plan_cache" ]
+    "ablation"; "micro"; "parallel"; "streaming"; "plan_cache"; "intersection" ]
 
 type context = {
   config : Harness.config;
@@ -873,6 +873,157 @@ let plan_cache ctx =
   Printf.printf "[bench] wrote %s\n%!" plan_cache_bench_file
 
 (* ------------------------------------------------------------------ *)
+(* Intersection: the vertex-at-a-time multiway WCO path vs the legacy  *)
+(* pattern-at-a-time baseline on star- and path-shaped LUBM queries.   *)
+(* ------------------------------------------------------------------ *)
+
+let intersection_bench_file = "bench_intersection.json"
+
+let intersection ctx =
+  Harness.section
+    "Multiway intersection: vertex-at-a-time vs pattern-at-a-time (LUBM, \
+     base/WCO, serial)";
+  let store, stats = Lazy.force ctx.lubm in
+  let prefixes =
+    "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n\
+     PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+  in
+  (* Star queries: every pattern has ?x as its only variable, so the
+     multiway path evaluates the whole BGP as one k-way intersection (the
+     rdf:type operands are the large lists galloping is for). The path
+     query exercises Extend groups appearing after a two-column Scan. *)
+  let queries =
+    [
+      ( "star-dept",
+        "SELECT * WHERE { ?x ub:memberOf \
+         <http://www.Department0.University0.edu>. ?x rdf:type \
+         ub:UndergraduateStudent. ?x ub:takesCourse \
+         <http://www.Department0.University0.edu/Course0>. }" );
+      ( "star-alumni",
+        "SELECT * WHERE { ?x ub:undergraduateDegreeFrom \
+         <http://www.University0.edu>. ?x ub:mastersDegreeFrom \
+         <http://www.University0.edu>. ?x rdf:type ub:FullProfessor. }" );
+      ( "star-faculty",
+        "SELECT * WHERE { ?x ub:worksFor \
+         <http://www.Department0.University0.edu>. ?x rdf:type \
+         ub:FullProfessor. ?x ub:undergraduateDegreeFrom \
+         <http://www.University0.edu>. }" );
+      ( "path-advisor",
+        "SELECT * WHERE { ?x ub:advisor ?y. ?y ub:teacherOf ?z. ?x \
+         ub:takesCourse ?z. }" );
+    ]
+  in
+  let reps = max 3 ctx.config.Harness.repetitions in
+  let run_once text ~engine =
+    Sparql_uo.Executor.run ~mode:Sparql_uo.Executor.Base ~engine ~domains:1
+      ~row_budget:ctx.config.Harness.row_budget
+      ~timeout_ms:ctx.config.Harness.timeout_ms ~stats store (prefixes ^ text)
+  in
+  let time_path ~multiway text =
+    Engine.Wco.set_multiway multiway;
+    Fun.protect ~finally:(fun () -> Engine.Wco.set_multiway true) @@ fun () ->
+    let best = ref infinity and last = ref None in
+    for _ = 1 to reps do
+      Gc.major ();
+      let report = run_once text ~engine:Engine.Bgp_eval.Wco in
+      let ms =
+        report.Sparql_uo.Executor.transform_ms
+        +. report.Sparql_uo.Executor.exec_ms
+      in
+      if ms < !best then best := ms;
+      last := Some report
+    done;
+    (!best, Option.get !last)
+  in
+  let rows_json = ref [] in
+  let max_speedup = ref 0. in
+  let rows =
+    List.map
+      (fun (id, text) ->
+        let multi_ms, multi_report = time_path ~multiway:true text in
+        let legacy_ms, legacy_report = time_path ~multiway:false text in
+        let hash_report = run_once text ~engine:Engine.Bgp_eval.Hash_join in
+        let count r = r.Sparql_uo.Executor.result_count in
+        let counts_equal =
+          count multi_report <> None
+          && count multi_report = count legacy_report
+          && count multi_report = count hash_report
+        in
+        let speedup = if multi_ms > 0. then legacy_ms /. multi_ms else 0. in
+        if String.length id >= 4 && String.sub id 0 4 = "star" then
+          max_speedup := Float.max !max_speedup speedup;
+        let results =
+          match count multi_report with Some n -> n | None -> 0
+        in
+        let rows_per_sec ms =
+          if ms > 0. then float_of_int results /. (ms /. 1000.) else 0.
+        in
+        let isect =
+          match multi_report.Sparql_uo.Executor.eval_stats with
+          | Some s -> s.Sparql_uo.Evaluator.isect
+          | None ->
+              {
+                Engine.Intersect.intersections = 0;
+                gallop_passes = 0;
+                merge_passes = 0;
+                domain_values = 0;
+                operands = 0;
+              }
+        in
+        rows_json :=
+          Printf.sprintf
+            "    {\"id\": %S, \"ms_multiway\": %.3f, \"ms_legacy\": %.3f, \
+             \"speedup\": %.3f, \"results\": %d, \"counts_equal\": %b, \
+             \"rows_per_sec_multiway\": %.1f, \"rows_per_sec_legacy\": %.1f, \
+             \"intersections\": %d, \"operands\": %d, \"gallop\": %d, \
+             \"merge\": %d, \"domain_values\": %d}"
+            id multi_ms legacy_ms speedup results counts_equal
+            (rows_per_sec multi_ms) (rows_per_sec legacy_ms)
+            isect.Engine.Intersect.intersections
+            isect.Engine.Intersect.operands isect.Engine.Intersect.gallop_passes
+            isect.Engine.Intersect.merge_passes
+            isect.Engine.Intersect.domain_values
+          :: !rows_json;
+        [
+          id;
+          Printf.sprintf "%.2f" multi_ms;
+          Printf.sprintf "%.2f" legacy_ms;
+          Printf.sprintf "%.2fx" speedup;
+          Harness.human_int results;
+          Printf.sprintf "%d/%d"
+            isect.Engine.Intersect.gallop_passes
+            isect.Engine.Intersect.merge_passes;
+          (if counts_equal then "yes" else "NO");
+        ])
+      queries
+  in
+  Harness.print_table
+    ~header:
+      [
+        "Query"; "multiway (ms)"; "legacy (ms)"; "speedup"; "results";
+        "gallop/merge"; "counts equal";
+      ]
+    ~rows;
+  Printf.printf "best star-query speedup: %.2fx\n%!" !max_speedup;
+  let oc = open_out intersection_bench_file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"section\": \"intersection\",\n\
+    \  \"dataset\": \"LUBM\",\n\
+    \  \"mode\": \"base\",\n\
+    \  \"engine\": \"wco\",\n\
+    \  \"repetitions\": %d,\n\
+    \  \"max_star_speedup\": %.3f,\n\
+    \  \"queries\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    reps !max_speedup
+    (String.concat ",\n" (List.rev !rows_json));
+  close_out oc;
+  Printf.printf "[bench] wrote %s\n%!" intersection_bench_file
+
+(* ------------------------------------------------------------------ *)
 
 let run_sections quick only domains =
   let config = if quick then Harness.quick_config else Harness.default_config in
@@ -902,6 +1053,7 @@ let run_sections quick only domains =
     | "parallel" -> parallel ctx ~domains
     | "streaming" -> streaming ctx ~domains
     | "plan_cache" -> plan_cache ctx
+    | "intersection" -> intersection ctx
     | other -> Printf.eprintf "unknown section %S (skipped)\n" other
   in
   Printf.printf "SPARQL-UO reproduction bench (%s mode): %s\n%!"

@@ -6,6 +6,7 @@ type stats = {
   total_rows : int;
   bgp_evals : int;
   pruned_bgps : int;
+  isect : Engine.Intersect.counters;
   stages : Sparql.Sink.stage list;
 }
 
@@ -51,6 +52,11 @@ let candidates_from st outer r node =
   | Some bag ->
       let universal = Sparql.Bag.universal_columns bag in
       let wanted = node_columns st node in
+      (* Dictionary ids are dense in [0, size) — the bitset universe. *)
+      let universe =
+        Rdf_store.Dictionary.size
+          (Rdf_store.Triple_store.dictionary (Engine.Bgp_eval.store st.env))
+      in
       List.fold_left
         (fun cands col ->
           if not (List.mem col wanted) then cands
@@ -59,15 +65,17 @@ let candidates_from st outer r node =
             let values =
               match Engine.Candidates.find outer ~col with
               | None -> values
-              | Some outer_values ->
+              | Some outer_set ->
                   let inter = Hashtbl.create (Hashtbl.length values) in
                   Hashtbl.iter
                     (fun v () ->
-                      if Hashtbl.mem outer_values v then Hashtbl.replace inter v ())
+                      if Engine.Candidates.mem outer_set v then
+                        Hashtbl.replace inter v ())
                     values;
                   inter
             in
-            Engine.Candidates.set cands ~col values
+            Engine.Candidates.set cands ~col
+              (Engine.Candidates.of_hashtbl ~universe values)
           end)
         outer universal
 
@@ -80,7 +88,7 @@ let admit_candidates st cands patterns =
       List.fold_left
         (fun acc col ->
           match Engine.Candidates.find cands ~col with
-          | Some values when Hashtbl.length values < limit ->
+          | Some values when Engine.Candidates.cardinal values < limit ->
               Engine.Candidates.set acc ~col values
           | _ -> acc)
         Engine.Candidates.empty
@@ -95,7 +103,8 @@ let admit_candidates st cands patterns =
         (fun acc col ->
           match Engine.Candidates.find cands ~col with
           | Some values
-            when 2. *. float_of_int (Hashtbl.length values) < estimate ->
+            when 2. *. float_of_int (Engine.Candidates.cardinal values)
+                 < estimate ->
               Engine.Candidates.set acc ~col values
           | _ -> acc)
         Engine.Candidates.empty
@@ -427,18 +436,21 @@ let finish_stats st ~join_space ~stages =
     total_rows = Sparql.Bag.pushed_rows ();
     bgp_evals = Atomic.get st.bgp_evals;
     pruned_bgps = Atomic.get st.pruned_bgps;
+    isect = Engine.Intersect.read ();
     stages;
   }
 
 let eval env ~threshold tree =
   let st = make_state env ~threshold in
   Sparql.Bag.reset_push_counter ();
+  Engine.Intersect.reset ();
   let bag, join_space = eval_group st tree ~cands:Engine.Candidates.empty in
   (bag, finish_stats st ~join_space ~stages:[])
 
 let eval_into env ~threshold ~sink tree =
   let st = make_state env ~threshold in
   Sparql.Bag.reset_push_counter ();
+  Engine.Intersect.reset ();
   let join_space = ref 1. in
   (try
      join_space := eval_group_into st tree ~cands:Engine.Candidates.empty ~sink

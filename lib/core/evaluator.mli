@@ -21,6 +21,9 @@ type stats = {
   total_rows : int;  (** total intermediate rows materialized *)
   bgp_evals : int;
   pruned_bgps : int;  (** BGP evaluations that had a candidate set applied *)
+  isect : Engine.Intersect.counters;
+      (** multiway-intersection kernel activity during this evaluation
+          (zero when the WCO engine took no vertex-at-a-time steps) *)
   stages : Sparql.Sink.stage list;
       (** per-stage rows-in/rows-out of the sink pipeline, in data-flow
           order; empty for materializing {!eval} *)

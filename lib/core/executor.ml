@@ -100,6 +100,15 @@ let explain report =
            stats.Evaluator.join_space stats.Evaluator.peak_rows
            stats.Evaluator.total_rows stats.Evaluator.bgp_evals
            stats.Evaluator.pruned_bgps);
+      (let i = stats.Evaluator.isect in
+       if i.Engine.Intersect.intersections > 0 then
+         Buffer.add_string buf
+           (Printf.sprintf
+              "wco multiway: %d intersections over %d operands; passes: %d \
+               gallop / %d merge; domain values: %d\n"
+              i.Engine.Intersect.intersections i.Engine.Intersect.operands
+              i.Engine.Intersect.gallop_passes i.Engine.Intersect.merge_passes
+              i.Engine.Intersect.domain_values));
       (match stats.Evaluator.stages with
       | [] -> ()
       | stages ->

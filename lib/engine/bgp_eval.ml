@@ -69,14 +69,16 @@ let eval ctx patterns ~candidates =
   let plan = plan ctx patterns in
   let width = width ctx in
   match ctx.engine with
-  | Wco -> Wco.eval ?pool:ctx.pool ctx.store ~width plan ~candidates
+  | Wco -> Wco.eval ?pool:ctx.pool ctx.store ~stats:ctx.stats ~width plan ~candidates
   | Hash_join -> Hash_join.eval ctx.store ~width plan ~candidates
 
 let eval_into ctx patterns ~candidates ~sink =
   let plan = plan ctx patterns in
   let width = width ctx in
   match ctx.engine with
-  | Wco -> Wco.eval_into ?pool:ctx.pool ctx.store ~width plan ~candidates ~sink
+  | Wco ->
+      Wco.eval_into ?pool:ctx.pool ctx.store ~stats:ctx.stats ~width plan
+        ~candidates ~sink
   | Hash_join -> Hash_join.eval_into ctx.store ~width plan ~candidates ~sink
 
 let estimate_cost ctx patterns =

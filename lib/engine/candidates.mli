@@ -1,20 +1,46 @@
 (** Candidate result sets for variables (Section 6): a map from variable
     column to the set of term ids the variable is allowed to take. BGP
-    evaluators consult these to prune matches on the fly. *)
+    evaluators consult these to prune matches on the fly.
+
+    A set is stored either as a dense bitset over dictionary ids (so
+    {!allows} is one load plus a mask, and the multiway intersection kernel
+    can fold the check into each probe) or as a strictly increasing sorted
+    array (which the kernel consumes directly as an intersection operand).
+    The representation is chosen by density at construction. *)
+
+type set
 
 type t
 
+(** [of_hashtbl ~universe tbl] builds a set from the keys of [tbl].
+    [universe] is the dictionary size (ids are dense in
+    [0 .. universe-1]); the bitset representation is chosen when it is no
+    larger than the equivalent sorted array, or the universe is small. *)
+val of_hashtbl : universe:int -> (int, unit) Hashtbl.t -> set
+
+(** [of_sorted_array arr] wraps a strictly increasing array without
+    copying. The caller is responsible for sortedness. *)
+val of_sorted_array : int array -> set
+
+val cardinal : set -> int
+
+(** [mem set id] — bitset: one load+mask; sorted array: binary search. *)
+val mem : set -> int -> bool
+
+(** [iter_values set ~f] applies [f] to every member, in increasing order. *)
+val iter_values : set -> f:(int -> unit) -> unit
+
+(** [as_sorted set] exposes the sorted-array payload when that is the
+    representation ([None] for bitsets). Used by the intersection kernel to
+    treat a sparse candidate set as just another sorted operand. *)
+val as_sorted : set -> int array option
+
 val empty : t
 
-(** [of_list assoc] builds candidates from [(column, allowed values)]
-    pairs. *)
-val of_list : (int * (int, unit) Hashtbl.t) list -> t
+(** [set cands ~col s] returns candidates extended/overridden at [col]. *)
+val set : t -> col:int -> set -> t
 
-(** [set cands ~col values] returns candidates extended/overridden at
-    [col]. *)
-val set : t -> col:int -> (int, unit) Hashtbl.t -> t
-
-val find : t -> col:int -> (int, unit) Hashtbl.t option
+val find : t -> col:int -> set option
 
 (** [allows cands ~col value] is false only when [col] has a candidate set
     that does not contain [value]. *)

@@ -6,12 +6,70 @@ type step = {
   avg_edge : float;
 }
 
+type vstep = Scan of step | Extend of { col : int; steps : step list }
+
 type plan = {
   steps : step list;
+  vsteps : vstep list;
   result_card : float;
   cost_wco : float;
   cost_hash : float;
 }
+
+(* [single_extension bound p] is [Some col] when exactly one position of
+   [p] holds a not-yet-bound variable (column [col]) and every other
+   position is a constant or an already-bound variable — i.e. under any
+   row, matching [p] reduces to enumerating the sorted third column of one
+   index prefix. A pattern repeating the unbound variable does not
+   qualify. *)
+let single_extension bound (p : Compiled.t) =
+  if Compiled.has_missing p then None
+  else begin
+    let unbound = ref [] in
+    let check = function
+      | Compiled.Cvar c when not (List.mem c bound) -> unbound := c :: !unbound
+      | Compiled.Cvar _ | Compiled.Cterm _ | Compiled.Missing -> ()
+    in
+    check p.Compiled.cs;
+    check p.Compiled.cp;
+    check p.Compiled.co;
+    match !unbound with [ c ] -> Some c | _ -> None
+  end
+
+(* Group the ordered steps vertex-at-a-time: a step that single-extends
+   column [col] becomes the primary of an [Extend] and absorbs every later
+   step that also single-extends [col] under the same bound set (star
+   constants, and the pattern closing a triangle) — those patterns
+   participate as extra intersection operands instead of post-hoc filters.
+   Join commutativity makes pulling an absorbed step forward sound: it
+   binds no column other than [col], and within one index prefix the
+   deduplicated triple table makes the primary's third column
+   duplicate-free, so multiplicities are preserved. Steps binding zero or
+   two-plus new columns stay [Scan]s. *)
+let group_steps steps =
+  let rec go bound acc = function
+    | [] -> List.rev acc
+    | s :: rest -> (
+        match single_extension bound s.pattern with
+        | Some col ->
+            let absorbed, remaining =
+              List.partition
+                (fun s' -> single_extension bound s'.pattern = Some col)
+                rest
+            in
+            go (col :: bound)
+              (Extend { col; steps = s :: absorbed } :: acc)
+              remaining
+        | None ->
+            let bound =
+              List.fold_left
+                (fun b c -> if List.mem c b then b else c :: b)
+                bound
+                (Compiled.var_columns s.pattern)
+            in
+            go bound (Scan s :: acc) rest)
+  in
+  go [] [] steps
 
 let sample_size = 32
 
@@ -97,7 +155,8 @@ let avg_edge_of stats bound pattern ~fallback =
 let plan store stats table patterns =
   ignore table;
   match patterns with
-  | [] -> { steps = []; result_card = 1.; cost_wco = 0.; cost_hash = 0. }
+  | [] ->
+      { steps = []; vsteps = []; result_card = 1.; cost_wco = 0.; cost_hash = 0. }
   | _ ->
       let with_counts =
         List.map (fun p -> (p, Compiled.exact_count store p)) patterns
@@ -106,8 +165,10 @@ let plan store stats table patterns =
       let rec loop bound candidates card sample steps cost_wco cost_hash =
         match candidates with
         | [] ->
+            let steps = List.rev steps in
             {
-              steps = List.rev steps;
+              steps;
+              vsteps = group_steps steps;
               result_card = card;
               cost_wco;
               cost_hash;

@@ -19,8 +19,20 @@ type step = {
           of the gStore WCO cost formula *)
 }
 
+(** Vertex-at-a-time grouping of the ordered steps, consumed by the WCO
+    engine's multiway-intersection path. An [Extend] gathers the primary
+    step for column [col] together with every later step whose pattern has
+    [col] as its only unbound position at that point in the order — each
+    such pattern resolves to one sorted index column view, and the
+    extension domain is their k-way intersection. Steps binding zero or
+    two-plus new columns remain [Scan]s (pattern-at-a-time). The grouping
+    is part of the cached plan, so prepared queries re-execute it without
+    re-deriving it. *)
+type vstep = Scan of step | Extend of { col : int; steps : step list }
+
 type plan = {
   steps : step list;  (** in chosen execution order *)
+  vsteps : vstep list;  (** the same steps, grouped vertex-at-a-time *)
   result_card : float;  (** estimated result cardinality of the BGP *)
   cost_wco : float;  (** Section 5.1.2 WCO cost: Σ card_before × avg_edge *)
   cost_hash : float;  (** Eq. 9 binary-join cost: Σ 2·min + max *)

@@ -60,6 +60,12 @@ let shutdown pool =
 
 let num_domains pool = pool.num_domains
 
+(* A chunk size giving each domain ~4 claims over a range of [n] indices,
+   clamped so tiny ranges still spread across domains and huge ranges
+   amortize cursor contention. *)
+let adaptive_chunk pool ~n =
+  max 16 (min 1024 (n / max 1 (4 * pool.num_domains)))
+
 let default_chunk = 64
 
 (* [accumulate pool ~lo ~hi ~create ~body] runs [body acc i] for every

@@ -18,6 +18,12 @@ val shutdown : t -> unit
 
 val num_domains : t -> int
 
+(** [adaptive_chunk pool ~n] picks a chunk size for a range of [n]
+    indices: about four claims per domain, clamped to [16, 1024]. Used
+    when the per-index work is uniform and cheap (e.g. materializing rows
+    from an intersected extension domain). *)
+val adaptive_chunk : t -> n:int -> int
+
 (** [accumulate pool ~lo ~hi ~create ~body ()] applies [body acc i] to
     every [lo <= i < hi]; each participating domain folds into its own
     accumulator obtained from [create]. Returns all accumulators (in no

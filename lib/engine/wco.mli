@@ -1,20 +1,40 @@
-(** gStore-style worst-case-optimal BGP evaluation: patterns are applied in
-    the planner's order, each extending the current partial results
-    vertex-at-a-time through index range scans, with candidate sets pruning
-    newly bound variables on the fly. A pattern whose variables are all
-    already bound acts as an existence filter (the intersection step of
-    WCO joins on cyclic patterns).
+(** gStore-style worst-case-optimal BGP evaluation.
 
-    With [?pool], each extension step chunks the current bag's rows across
-    the pool's domains; every worker pushes extensions into a thread-local
-    bag and the parts are concatenated after the step (result order is
+    The default path is vertex-at-a-time: the planner groups consecutive
+    patterns that each have the extension column as their only unbound
+    position ({!Planner.vstep}), every such pattern resolves to the sorted
+    third-column view of one index prefix ({!Rdf_store.Index.column_view}),
+    and the extension domain is their k-way intersection with adaptive
+    galloping ({!Intersect}). A candidate set on the extension column joins
+    the same intersection — sparse sets as one more sorted operand, dense
+    bitsets as a load+mask filter inside the kernel. Steps that bind zero
+    or several new columns fall back to pattern-at-a-time index scans with
+    on-the-fly candidate pruning.
+
+    With [?pool], extension steps chunk the current bag's rows across the
+    pool's domains — except when the bag is small and the intersected
+    domain is large (the star-query shape), where the domain itself is
+    chunked instead. Every worker pushes extensions into a thread-local bag
+    and the parts are concatenated after the step (result order is
     preserved only up to bag equality). This is safe because the store
-    indexes, the plan and the candidate tables are all read-only during
-    evaluation. *)
+    indexes, the plan and the candidate sets are all read-only during
+    evaluation.
+
+    [stats] feeds {!Planner.step} seed selection: candidate-seeded lookups
+    tie-break on the predicate's average degree at the seeded endpoint. *)
+
+(** [set_multiway false] switches {!eval} / {!eval_into} to the legacy
+    pattern-at-a-time path (process-global; default [true]). Both paths
+    consume the same cached plan and produce equal bags — the toggle exists
+    for the equivalence property tests and as the bench baseline. *)
+val set_multiway : bool -> unit
+
+val multiway_enabled : unit -> bool
 
 val eval :
   ?pool:Pool.t ->
   Rdf_store.Triple_store.t ->
+  stats:Rdf_store.Stats.t ->
   width:int ->
   Planner.plan ->
   candidates:Candidates.t ->
@@ -23,12 +43,14 @@ val eval :
 (** [eval_into] is [eval] with the final step streamed: all steps but the
     last materialize as usual, and the last step's extensions are emitted
     into [sink] instead of a result bag, so a downstream LIMIT can
-    short-circuit the scan via [Sink.Stop]. Under a pool the last step
-    fans out into worker-local bags that are replayed serially into the
-    sink (Stop only ever unwinds serial code). *)
+    short-circuit the scan via [Sink.Stop]. The serial terminal step binds
+    matches into a reused scratch row and copies only on emit. Under a pool
+    the last step fans out into worker-local bags that are replayed
+    serially into the sink (Stop only ever unwinds serial code). *)
 val eval_into :
   ?pool:Pool.t ->
   Rdf_store.Triple_store.t ->
+  stats:Rdf_store.Stats.t ->
   width:int ->
   Planner.plan ->
   candidates:Candidates.t ->

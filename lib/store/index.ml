@@ -111,6 +111,31 @@ let range t ?a ?b ?c () =
       (lower_bound t 3 ka kb kc, upper_bound t 3 ka kb kc)
   | _ -> invalid_arg "Index.range: non-prefix key combination"
 
+(* A zero-copy window onto the third key column of a (key1, key2) prefix:
+   [vals] is whichever component array of the shared table holds key3 for
+   this order, and positions [lo .. lo+len-1] of [perm] enumerate the
+   matching rows in sorted key3 order. Because the permutation is sorted
+   lexicographically and the store deduplicates triples, the sequence
+   [view_get v 0 .. view_get v (len-1)] is strictly increasing. *)
+type view = { vals : int array; vperm : int array; lo : int; len : int }
+
+let key3_source t =
+  match t.order with
+  | Spo | Pso -> t.table.o
+  | Sop | Osp -> t.table.p
+  | Pos | Ops -> t.table.s
+
+let column_view t ~a ~b =
+  let lo = lower_bound t 2 a b 0 and hi = upper_bound t 2 a b 0 in
+  { vals = key3_source t; vperm = t.perm; lo; len = hi - lo }
+
+let view_length v = v.len
+
+let view_get v i =
+  (* Indices come from the construction above; both loads stay in bounds
+     for any [0 <= i < len]. *)
+  Array.unsafe_get v.vals (Array.unsafe_get v.vperm (v.lo + i))
+
 let iter t ~lo ~hi ~f =
   for pos = lo to hi - 1 do
     let row = t.perm.(pos) in

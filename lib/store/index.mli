@@ -25,6 +25,25 @@ val build : order -> table -> t
     [Invalid_argument]. *)
 val range : t -> ?a:int -> ?b:int -> ?c:int -> unit -> int * int
 
+(** A zero-copy view of the third key column over a (key1, key2) prefix
+    range. Within one prefix the permutation is sorted by key3 and the
+    store's triple table is duplicate-free, so the values
+    [view_get v 0 .. view_get v (view_length v - 1)] form a strictly
+    increasing sequence — exactly the shape the multiway intersection
+    kernel ({!Engine.Intersect}) requires of its operands. *)
+type view
+
+(** [column_view index ~a ~b] is the sorted, duplicate-free slice of third
+    key components for rows whose first two components equal [(a, b)]. No
+    copying: the view aliases the shared table and permutation. *)
+val column_view : t -> a:int -> b:int -> view
+
+val view_length : view -> int
+
+(** [view_get v i] is the [i]-th (ascending) third-column value,
+    [0 <= i < view_length v]. *)
+val view_get : view -> int -> int
+
 (** [iter index ~lo ~hi ~f] applies [f ~s ~p ~o] to each row in positions
     [lo..hi-1] of the permutation, in index order. *)
 val iter : t -> lo:int -> hi:int -> f:(s:int -> p:int -> o:int -> unit) -> unit

@@ -138,6 +138,14 @@ let plan_lookup store ?s ?p ?o () =
   | None, Some p, Some o -> (store.pos, Some p, Some o, None)
   | Some s, Some p, Some o -> (store.spo, Some s, Some p, Some o)
 
+let third_column_view store ?s ?p ?o () =
+  match (s, p, o) with
+  | Some s, Some p, None -> Index.column_view store.spo ~a:s ~b:p
+  | Some s, None, Some o -> Index.column_view store.sop ~a:s ~b:o
+  | None, Some p, Some o -> Index.column_view store.pos ~a:p ~b:o
+  | _ ->
+      invalid_arg "Triple_store.third_column_view: exactly two bound positions"
+
 let count store ?s ?p ?o () =
   let idx, a, b, c = plan_lookup store ?s ?p ?o () in
   let lo, hi = Index.range idx ?a ?b ?c () in

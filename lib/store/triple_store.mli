@@ -72,6 +72,13 @@ val iter : t -> ?s:int -> ?p:int -> ?o:int -> f:(s:int -> p:int -> o:int -> unit
 (** [contains store ~s ~p ~o] tests membership of a fully-bound triple. *)
 val contains : t -> s:int -> p:int -> o:int -> bool
 
+(** [third_column_view store ?s ?p ?o ()] — with exactly two positions
+    bound, the sorted, duplicate-free {!Index.view} of values the third
+    position takes (SPO for (s,p), SOP for (s,o), POS for (p,o)). Any
+    other combination is an [Invalid_argument]. The view aliases index
+    memory — no copying. *)
+val third_column_view : t -> ?s:int -> ?p:int -> ?o:int -> unit -> Index.view
+
 (** {1 Statistics inputs} *)
 
 (** [index store order] exposes a permutation index (used by {!Stats}). *)

@@ -142,12 +142,27 @@ let test_candidates () =
   let values = Hashtbl.create 4 in
   Hashtbl.replace values 1 ();
   Hashtbl.replace values 2 ();
-  let cands = Engine.Candidates.set Engine.Candidates.empty ~col:0 values in
-  Alcotest.(check bool) "allows member" true (Engine.Candidates.allows cands ~col:0 1);
-  Alcotest.(check bool) "rejects non-member" false
-    (Engine.Candidates.allows cands ~col:0 9);
-  Alcotest.(check bool) "unconstrained column allows" true
-    (Engine.Candidates.allows cands ~col:5 9);
+  (* A small universe takes the dense-bitset representation; a sorted array
+     wraps explicitly. Both must behave identically. *)
+  let dense = Engine.Candidates.of_hashtbl ~universe:16 values in
+  let sorted = Engine.Candidates.of_sorted_array [| 1; 2 |] in
+  List.iter
+    (fun (name, set) ->
+      let cands = Engine.Candidates.set Engine.Candidates.empty ~col:0 set in
+      Alcotest.(check int) (name ^ " cardinal") 2 (Engine.Candidates.cardinal set);
+      Alcotest.(check bool) (name ^ " allows member") true
+        (Engine.Candidates.allows cands ~col:0 1);
+      Alcotest.(check bool) (name ^ " rejects non-member") false
+        (Engine.Candidates.allows cands ~col:0 9);
+      Alcotest.(check bool) (name ^ " rejects negative") false
+        (Engine.Candidates.mem set (-3));
+      Alcotest.(check bool) (name ^ " unconstrained column allows") true
+        (Engine.Candidates.allows cands ~col:5 9);
+      let seen = ref [] in
+      Engine.Candidates.iter_values set ~f:(fun v -> seen := v :: !seen);
+      Alcotest.(check (list int)) (name ^ " iterates ascending") [ 1; 2 ]
+        (List.rev !seen))
+    [ ("dense", dense); ("sorted", sorted) ];
   Alcotest.(check bool) "empty is empty" true
     (Engine.Candidates.is_empty Engine.Candidates.empty)
 
@@ -212,7 +227,13 @@ let prop_candidates_are_filters =
               | Some id -> Hashtbl.replace values id ()
               | None -> ())
             allowed;
-          let cands = Engine.Candidates.set Engine.Candidates.empty ~col values in
+          let universe =
+            Rdf_store.Dictionary.size (Rdf_store.Triple_store.dictionary store)
+          in
+          let cands =
+            Engine.Candidates.set Engine.Candidates.empty ~col
+              (Engine.Candidates.of_hashtbl ~universe values)
+          in
           let width = Sparql.Vartable.size table in
           List.for_all
             (fun engine ->
@@ -229,6 +250,129 @@ let prop_candidates_are_filters =
               in
               Sparql.Bag.equal_as_bags pruned filtered)
             [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ])
+
+(* --- Multiway intersection -------------------------------------------------------- *)
+
+let test_intersect_kernel () =
+  let check name expected ops =
+    Alcotest.(check (array int)) name expected (Engine.Intersect.arrays ops)
+  in
+  check "single operand" [| 1; 5; 9 |] [ [| 1; 5; 9 |] ];
+  check "singleton sets" [| 7 |] [ [| 7 |]; [| 3; 7 |] ];
+  check "empty operand" [||] [ [| 1; 2; 3 |]; [||] ];
+  check "disjoint" [||] [ [| 1; 3; 5 |]; [| 2; 4; 6 |] ];
+  check "three-way" [| 4; 8 |]
+    [ [| 1; 4; 8; 9 |]; [| 2; 4; 7; 8 |]; [| 0; 4; 8; 20 |] ];
+  (* A > 4x size ratio must take the galloping pass, small ratios the
+     linear merge — and both must produce the same sets. *)
+  let evens = Array.init 500 (fun i -> 2 * i) in
+  Engine.Intersect.reset ();
+  check "gallop result" [| 10; 400 |] [ [| 10; 151; 400 |]; evens ];
+  let c = Engine.Intersect.read () in
+  Alcotest.(check bool) "ratio > 4x gallops" true (c.gallop_passes = 1);
+  Engine.Intersect.reset ();
+  check "merge result" [| 0; 2 |] [ [| 0; 1; 2; 3 |]; [| 0; 2; 4; 6; 8 |] ];
+  let c = Engine.Intersect.read () in
+  Alcotest.(check bool) "ratio <= 4x merges" true
+    (c.merge_passes = 1 && c.gallop_passes = 0)
+
+let strictly_increasing a =
+  let ok = ref true in
+  for i = 1 to Array.length a - 1 do
+    if a.(i - 1) >= a.(i) then ok := false
+  done;
+  !ok
+
+(* The kernel against naive membership: any number of operands (>2
+   included), any size skew (so both the gallop and merge paths run), and
+   the sorted duplicate-free output invariant. *)
+let prop_intersect_matches_naive =
+  QCheck2.Test.make ~name:"multiway intersection = naive set intersection"
+    ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 1 5)
+        (list_size (int_range 0 40) (int_range 0 60)))
+    (fun lists ->
+      let ops =
+        List.map (fun l -> Array.of_list (List.sort_uniq compare l)) lists
+      in
+      let result = Engine.Intersect.arrays ops in
+      let mem a x = Array.exists (fun y -> y = x) a in
+      let expected =
+        match ops with
+        | [] -> [||]
+        | first :: rest ->
+            Array.of_list
+              (List.filter
+                 (fun x -> List.for_all (fun a -> mem a x) rest)
+                 (Array.to_list first))
+      in
+      result = expected && strictly_increasing result)
+
+let test_planner_groups_star () =
+  let store = tiny_store () in
+  let stats = Rdf_store.Stats.compute store in
+  let table = Sparql.Vartable.create () in
+  (* All three patterns have ?x as their only variable: one Extend step
+     intersecting three column views, no intermediate bag at all. *)
+  let star =
+    Engine.Compiled.compile_list store table
+      [
+        TP.make (v "x") (TP.Term (pred 0)) (TP.Term (iri 1));
+        TP.make (v "x") (TP.Term (pred 0)) (TP.Term (iri 2));
+        TP.make (TP.Term (iri 3)) (TP.Term (pred 0)) (v "x");
+      ]
+  in
+  let plan = Engine.Planner.plan store stats table star in
+  (match plan.Engine.Planner.vsteps with
+  | [ Engine.Planner.Extend { steps; _ } ] ->
+      Alcotest.(check int) "star absorbs all three" 3 (List.length steps)
+  | _ -> Alcotest.fail "expected a single Extend vstep");
+  (* Triangle: the first pattern binds two fresh columns (a Scan), each
+     closing pattern then single-extends and the last one is absorbed. *)
+  let table = Sparql.Vartable.create () in
+  let triangle =
+    Engine.Compiled.compile_list store table
+      [
+        TP.make (v "x") (TP.Term (pred 0)) (v "y");
+        TP.make (v "y") (TP.Term (pred 1)) (v "z");
+        TP.make (v "x") (TP.Term (pred 1)) (v "z");
+      ]
+  in
+  let plan = Engine.Planner.plan store stats table triangle in
+  match plan.Engine.Planner.vsteps with
+  | [ Engine.Planner.Scan _; Engine.Planner.Extend { steps; _ } ] ->
+      Alcotest.(check int) "closing pattern absorbed" 2 (List.length steps)
+  | _ -> Alcotest.fail "expected Scan then Extend"
+
+(* The tentpole equivalence: the multiway-intersection path, the legacy
+   pattern-at-a-time path and the Definition-7 oracle agree on random
+   queries across every mode x engine x domains {1,4} x streaming
+   configuration. *)
+let prop_multiway_matches_legacy =
+  QCheck2.Test.make ~name:"multiway = legacy scan = oracle across configs"
+    ~count:25
+    QCheck2.Gen.(pair Qgen.gen_dataset Qgen.gen_query)
+    (fun (triples, query) ->
+      let store = Rdf_store.Triple_store.of_triples triples in
+      let expected, _ = Qgen.oracle store query in
+      let run () =
+        List.for_all
+          (fun (mode, engine, domains, streaming) ->
+            let report =
+              Sparql_uo.Executor.run_query ~mode ~engine ~domains ~streaming
+                store query
+            in
+            match report.Sparql_uo.Executor.bag with
+            | Some bag -> Sparql.Bag.equal_as_bags bag expected
+            | None -> false)
+          Qgen.exec_configs
+      in
+      let with_multiway enabled =
+        Engine.Wco.set_multiway enabled;
+        Fun.protect ~finally:(fun () -> Engine.Wco.set_multiway true) run
+      in
+      with_multiway true && with_multiway false)
 
 (* --- Parallel execution ----------------------------------------------------------- *)
 
@@ -336,6 +480,15 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_engines_agree;
           QCheck_alcotest.to_alcotest prop_candidates_are_filters;
+        ] );
+      ( "intersection",
+        [
+          Alcotest.test_case "galloping kernel edge cases" `Quick
+            test_intersect_kernel;
+          Alcotest.test_case "planner groups star and triangle" `Quick
+            test_planner_groups_star;
+          QCheck_alcotest.to_alcotest prop_intersect_matches_naive;
+          QCheck_alcotest.to_alcotest prop_multiway_matches_legacy;
         ] );
       ( "parallel",
         [
