@@ -44,7 +44,15 @@ let run ?row_budget ?timeout_ms env (query : Sparql.Ast.query) =
   let t0 = Unix.gettimeofday () in
   let prunes = ref 0 in
   let scanned = ref 0 in
+  (* Disarm the process-global limits on every exit path: an escaping
+     exception (an engine bug, [Gosn.Unsupported] raised mid-pass) must not
+     leave a stale budget or deadline armed for the next caller. *)
   let outcome =
+    Fun.protect
+      ~finally:(fun () ->
+        Sparql.Bag.unlimited_budget ();
+        Sparql.Bag.clear_deadline ())
+    @@ fun () ->
     try
       (* Pass 0: evaluate every triple pattern separately. *)
       let slots =
@@ -118,8 +126,6 @@ let run ?row_budget ?timeout_ms env (query : Sparql.Ast.query) =
     with Sparql.Bag.Limit_exceeded -> None
   in
   let exec_ms = (Unix.gettimeofday () -. t0) *. 1000. in
-  Sparql.Bag.unlimited_budget ();
-  Sparql.Bag.clear_deadline ();
   let bag =
     match (outcome, Sparql.Ast.select_query query) with
     | None, _ -> None
