@@ -68,6 +68,11 @@ let run_mode config ~stats store entry ~mode ~engine =
       match report.Sparql_uo.Executor.failure with
       | Some Sparql_uo.Executor.Out_of_budget -> Oom
       | Some Sparql_uo.Executor.Timeout -> Timed_out
+      (* The bench never cancels or injects faults; a capped bar is the
+         only sensible rendering if one ever surfaces. *)
+      | Some (Sparql_uo.Executor.Cancelled | Sparql_uo.Executor.Injected_fault _)
+        ->
+          Timed_out
       | None ->
           Time
             (report.Sparql_uo.Executor.transform_ms
@@ -82,8 +87,8 @@ let run_mode config ~stats store entry ~mode ~engine =
   (Option.get !best, Option.get !last_report)
 
 (* Best-of-N on an already-parsed query with explicit streaming/domains
-   knobs; also returns the produced-row count ([Bag.pushed_rows], read
-   after the run) of the last repetition — the streaming section's
+   knobs; also returns the produced-row count (the report's governed
+   [pushed_rows]) of the last repetition — the streaming section's
    early-termination measurement. *)
 let run_query_mode config ~stats store query ~mode ~engine ~streaming ~domains =
   let best = ref None in
@@ -95,12 +100,15 @@ let run_query_mode config ~stats store query ~mode ~engine ~streaming ~domains =
         ~row_budget:config.row_budget ~timeout_ms:config.timeout_ms ~stats
         store query
     in
-    pushed := Sparql.Bag.pushed_rows ();
+    pushed := report.Sparql_uo.Executor.pushed_rows;
     last_report := Some report;
     let cell =
       match report.Sparql_uo.Executor.failure with
       | Some Sparql_uo.Executor.Out_of_budget -> Oom
       | Some Sparql_uo.Executor.Timeout -> Timed_out
+      | Some (Sparql_uo.Executor.Cancelled | Sparql_uo.Executor.Injected_fault _)
+        ->
+          Timed_out
       | None ->
           Time
             (report.Sparql_uo.Executor.transform_ms

@@ -13,7 +13,8 @@
 
 let all_sections =
   [ "table2"; "table3"; "table4"; "fig3"; "fig10"; "fig11"; "fig12"; "fig13";
-    "ablation"; "micro"; "parallel"; "streaming"; "plan_cache"; "intersection" ]
+    "ablation"; "micro"; "parallel"; "streaming"; "plan_cache"; "intersection";
+    "robustness" ]
 
 type context = {
   config : Harness.config;
@@ -115,18 +116,20 @@ let fig3 ctx =
   (* Binary-tree evaluation materializes every triple pattern. *)
   let vartable = Sparql.Vartable.of_list (Sparql.Ast.group_vars query.where) in
   let env = Engine.Bgp_eval.make ~stats store vartable Engine.Bgp_eval.Wco in
-  Sparql.Bag.set_budget ctx.config.Harness.row_budget;
+  let gov =
+    Sparql.Governor.create ~row_budget:ctx.config.Harness.row_budget ()
+  in
   let t0 = Unix.gettimeofday () in
   let binary =
     try
-      let bag, bstats =
-        Sparql_uo.Binary_eval.eval env (Sparql.Algebra.of_query query)
-      in
-      Some (Sparql.Bag.length bag, bstats)
-    with Sparql.Bag.Limit_exceeded -> None
+      Sparql.Governor.with_ticket gov (fun () ->
+          let bag, bstats =
+            Sparql_uo.Binary_eval.eval env (Sparql.Algebra.of_query query)
+          in
+          Some (Sparql.Bag.length bag, bstats))
+    with Sparql.Governor.Kill _ -> None
   in
   let binary_ms = (Unix.gettimeofday () -. t0) *. 1000. in
-  Sparql.Bag.unlimited_budget ();
   let report =
     Sparql_uo.Executor.run_query ~mode:Sparql_uo.Executor.Base
       ~row_budget:ctx.config.Harness.row_budget ~stats store query
@@ -367,22 +370,22 @@ let ablation ctx =
         in
         let last_pruned = ref 0 in
         let cell threshold =
-          Sparql.Bag.set_budget ctx.config.Harness.row_budget;
-          Sparql.Bag.set_deadline ~now:Unix.gettimeofday
-            ~at:
-              (Unix.gettimeofday ()
-              +. (ctx.config.Harness.timeout_ms /. 1000.));
-          let t0 = Unix.gettimeofday () in
-          let cell =
-            try
-              let _, stats = Sparql_uo.Evaluator.eval env ~threshold tree in
-              last_pruned := stats.Sparql_uo.Evaluator.pruned_bgps;
-              Printf.sprintf "%.1f" ((Unix.gettimeofday () -. t0) *. 1000.)
-            with Sparql.Bag.Limit_exceeded -> "OOM/t.o."
+          let gov =
+            Sparql.Governor.create
+              ~row_budget:ctx.config.Harness.row_budget
+              ~deadline:
+                ( Unix.gettimeofday ()
+                  +. (ctx.config.Harness.timeout_ms /. 1000.),
+                  Unix.gettimeofday )
+              ()
           in
-          Sparql.Bag.unlimited_budget ();
-          Sparql.Bag.clear_deadline ();
-          cell
+          let t0 = Unix.gettimeofday () in
+          try
+            Sparql.Governor.with_ticket gov (fun () ->
+                let _, stats = Sparql_uo.Evaluator.eval env ~threshold tree in
+                last_pruned := stats.Sparql_uo.Evaluator.pruned_bgps;
+                Printf.sprintf "%.1f" ((Unix.gettimeofday () -. t0) *. 1000.))
+          with Sparql.Governor.Kill _ -> "OOM/t.o."
         in
         let cells = List.map (fun (_, t) -> cell t) thresholds in
         Some ((id :: cells) @ [ string_of_int !last_pruned ]))
@@ -607,7 +610,8 @@ let parallel ctx ~domains =
    group-1 query (plus a full ?s ?p ?o scan) runs plain, with LIMIT 10,
    and with ORDER BY + LIMIT 10, under both modifier pipelines
    (materializing and streaming) at domains 1 and N; wall-clock and
-   produced rows (Bag.pushed_rows) go into a machine-readable json. The
+   produced rows (the report's governed [pushed_rows]) go into a
+   machine-readable json. The
    LIMIT window of an unordered query is legitimately nondeterministic,
    so bag equality against the materializing serial run is asserted only
    for the plain and fully-ordered variants (result counts otherwise). *)
@@ -1024,6 +1028,205 @@ let intersection ctx =
   Printf.printf "[bench] wrote %s\n%!" intersection_bench_file
 
 (* ------------------------------------------------------------------ *)
+(* Robustness: governor overhead and kill latency.                     *)
+(* ------------------------------------------------------------------ *)
+
+let robustness_bench_file = "bench_robustness.json"
+
+(* Nearest-rank percentile over a sorted array (small-n, bench-grade). *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let idx = int_of_float ((p /. 100. *. float_of_int (n - 1)) +. 0.5) in
+    sorted.(max 0 (min (n - 1) idx))
+
+let robustness ctx =
+  Harness.section
+    "Robustness: governed vs ungoverned overhead, and kill latency";
+  let store, stats = Lazy.force ctx.lubm in
+  (* Best-of-3 floor: the overhead ratio divides two small numbers, so it
+     needs more noise suppression than the timing tables do. *)
+  let reps = max 3 ctx.config.Harness.repetitions in
+  let time_of report =
+    report.Sparql_uo.Executor.transform_ms +. report.Sparql_uo.Executor.exec_ms
+  in
+  (* Overhead: interleaved best-of-N per query over the LUBM workload.
+     The governed run arms a finite budget and a deadline generous enough
+     never to fire, so the difference is pure accounting cost (the
+     ungoverned run still charges its unlimited ticket; what's measured
+     is the armed deadline/stride machinery). *)
+  Harness.subsection "governed vs ungoverned (full/WCO, best-of-N)";
+  let rows_json = ref [] in
+  let ratios = ref [] in
+  let rows =
+    List.map
+      (fun (entry : Workload.Queries.entry) ->
+        let text = entry.Workload.Queries.text in
+        let best_gov = ref infinity and best_ungov = ref infinity in
+        let gov_count = ref None and ungov_count = ref None in
+        let ok = ref true in
+        for _ = 1 to reps do
+          let governed =
+            Sparql_uo.Executor.run ~row_budget:ctx.config.Harness.row_budget
+              ~timeout_ms:ctx.config.Harness.timeout_ms ~stats store text
+          in
+          let ungoverned = Sparql_uo.Executor.run ~stats store text in
+          (match governed.Sparql_uo.Executor.failure with
+          | Some _ -> ok := false
+          | None ->
+              gov_count := governed.Sparql_uo.Executor.result_count;
+              best_gov := min !best_gov (time_of governed));
+          match ungoverned.Sparql_uo.Executor.failure with
+          | Some _ -> ok := false
+          | None ->
+              ungov_count := ungoverned.Sparql_uo.Executor.result_count;
+              best_ungov := min !best_ungov (time_of ungoverned)
+        done;
+        let agrees = !ok && !gov_count = !ungov_count in
+        let ratio =
+          if !ok && !best_ungov > 0. then Some (!best_gov /. !best_ungov)
+          else None
+        in
+        Option.iter (fun r -> ratios := r :: !ratios) ratio;
+        (* A killed side has no finite best time: null in the json. *)
+        let js_ms v =
+          if Float.is_finite v then Printf.sprintf "%.3f" v else "null"
+        in
+        rows_json :=
+          Printf.sprintf
+            "    {\"id\": %S, \"ungoverned_ms\": %s, \"governed_ms\": %s, \
+             \"ratio\": %s, \"agrees\": %b}"
+            entry.Workload.Queries.id (js_ms !best_ungov) (js_ms !best_gov)
+            (match ratio with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "null")
+            agrees
+          :: !rows_json;
+        let pr_ms v =
+          if Float.is_finite v then Printf.sprintf "%.2f" v else "killed"
+        in
+        [
+          entry.Workload.Queries.id;
+          pr_ms !best_ungov;
+          pr_ms !best_gov;
+          (match ratio with
+          | Some r -> Printf.sprintf "%.3fx" r
+          | None -> "killed");
+          (if agrees then "yes" else "NO");
+        ])
+      (Workload.Queries.all Workload.Queries.Lubm)
+  in
+  Harness.print_table
+    ~header:[ "Query"; "ungoverned (ms)"; "governed (ms)"; "ratio"; "agrees" ]
+    ~rows;
+  let median_overhead =
+    let sorted = Array.of_list !ratios in
+    Array.sort compare sorted;
+    percentile sorted 50.
+  in
+  Printf.printf "median overhead: %.4fx (target < 1.03x)\n%!" median_overhead;
+  (* Kill latency. budget: time-to-fail with a budget far below the
+     query's need; timeout: overshoot past the armed deadline; cancel:
+     cancel-call-to-return across domains. The victim is a cross product
+     whose completion is impossible at any bench scale. *)
+  Harness.subsection "kill latency";
+  let heavy = "SELECT * WHERE { ?a ?p ?b . ?x ?q ?y . }" in
+  let session = Sparql_uo.Session.create store in
+  let taxonomy_ok = ref true in
+  let expect kind report want =
+    if report.Sparql_uo.Executor.failure <> Some want then begin
+      taxonomy_ok := false;
+      Printf.printf "  !! %s kill reported %s\n%!" kind
+        (match report.Sparql_uo.Executor.failure with
+        | Some f -> Sparql_uo.Executor.failure_name f
+        | None -> "no failure")
+    end
+  in
+  let iters = if ctx.config.Harness.quick then 5 else 9 in
+  let budget_lat =
+    Array.init iters (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        let r = Sparql_uo.Session.run ~row_budget:100_000 session heavy in
+        expect "budget" r Sparql_uo.Executor.Out_of_budget;
+        (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let deadline_ms = 25. in
+  let timeout_lat =
+    Array.init iters (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        let r = Sparql_uo.Session.run ~timeout_ms:deadline_ms session heavy in
+        expect "timeout" r Sparql_uo.Executor.Timeout;
+        Float.max 0. (((Unix.gettimeofday () -. t0) *. 1000.) -. deadline_ms))
+  in
+  let cancel_lat =
+    Array.init iters (fun _ ->
+        let worker =
+          Domain.spawn (fun () ->
+              Sparql_uo.Session.run ~row_budget:500_000_000 session heavy)
+        in
+        while Sparql_uo.Session.active_runs session = 0 do
+          Unix.sleepf 0.0005
+        done;
+        Unix.sleepf 0.005;
+        let t0 = Unix.gettimeofday () in
+        ignore (Sparql_uo.Session.cancel session);
+        let r = Domain.join worker in
+        expect "cancel" r Sparql_uo.Executor.Cancelled;
+        (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let stats_of lat =
+    let sorted = Array.copy lat in
+    Array.sort compare sorted;
+    (percentile sorted 50., percentile sorted 95., percentile sorted 100.)
+  in
+  let kill_rows, kill_json =
+    List.split
+      (List.map
+         (fun (kind, lat) ->
+           let p50, p95, mx = stats_of lat in
+           ( [
+               kind;
+               Printf.sprintf "%.2f" p50;
+               Printf.sprintf "%.2f" p95;
+               Printf.sprintf "%.2f" mx;
+             ],
+             Printf.sprintf
+               "    \"%s\": {\"p50\": %.3f, \"p95\": %.3f, \"max\": %.3f}"
+               kind p50 p95 mx ))
+         [ ("budget", budget_lat); ("timeout", timeout_lat);
+           ("cancel", cancel_lat) ])
+  in
+  Harness.print_table
+    ~header:[ "kill"; "p50 (ms)"; "p95 (ms)"; "max (ms)" ]
+    ~rows:kill_rows;
+  Printf.printf "failure taxonomy: %s\n%!"
+    (if !taxonomy_ok then "all kills reported their own cause"
+     else "MISMATCH (see above)");
+  let oc = open_out robustness_bench_file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"section\": \"robustness\",\n\
+    \  \"dataset\": \"LUBM\",\n\
+    \  \"mode\": \"full\",\n\
+    \  \"engine\": \"wco\",\n\
+    \  \"repetitions\": %d,\n\
+    \  \"median_overhead\": %.4f,\n\
+    \  \"taxonomy_ok\": %b,\n\
+    \  \"queries\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"kill_latency_ms\": {\n\
+     %s\n\
+    \  }\n\
+     }\n"
+    reps median_overhead !taxonomy_ok
+    (String.concat ",\n" (List.rev !rows_json))
+    (String.concat ",\n" kill_json);
+  close_out oc;
+  Printf.printf "[bench] wrote %s\n%!" robustness_bench_file
+
+(* ------------------------------------------------------------------ *)
 
 let run_sections quick only domains =
   let config = if quick then Harness.quick_config else Harness.default_config in
@@ -1054,6 +1257,7 @@ let run_sections quick only domains =
     | "streaming" -> streaming ctx ~domains
     | "plan_cache" -> plan_cache ctx
     | "intersection" -> intersection ctx
+    | "robustness" -> robustness ctx
     | other -> Printf.eprintf "unknown section %S (skipped)\n" other
   in
   Printf.printf "SPARQL-UO reproduction bench (%s mode): %s\n%!"

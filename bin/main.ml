@@ -74,6 +74,14 @@ let materialize_arg =
   in
   Arg.(value & flag & info [ "materialize" ] ~doc)
 
+let partial_arg =
+  let doc =
+    "When the query is killed by a limit, print the rows materialized \
+     before the limit fired (marked as partial) instead of discarding \
+     them. The exit code still reflects the failure."
+  in
+  Arg.(value & flag & info [ "partial" ] ~doc)
+
 let repeat_arg =
   let doc =
     "Execute the query N times through one session. The first run \
@@ -136,16 +144,42 @@ let or_die = function
 let print_triples triples =
   List.iter (fun t -> print_endline (Rdf.Triple.to_ntriples t)) triples
 
+(* One exit code per failure-taxonomy case, so scripts (and the CI
+   governance smoke test) can tell them apart without parsing output. *)
+let exit_code_of_failure = function
+  | Sparql_uo.Executor.Out_of_budget -> 20
+  | Sparql_uo.Executor.Timeout -> 21
+  | Sparql_uo.Executor.Cancelled -> 22
+  | Sparql_uo.Executor.Injected_fault _ -> 23
+
+let die_killed report =
+  match report.Sparql_uo.Executor.failure with
+  | Some f ->
+      Printf.printf "-- killed: %s --\n" (Sparql_uo.Executor.failure_name f);
+      Stdlib.exit (exit_code_of_failure f)
+  | None -> ()
+
+(* A partial run still exits with its failure's code, after the rows. *)
+let exit_partial report =
+  match report.Sparql_uo.Executor.partial with
+  | Some f ->
+      Printf.printf "-- partial result: killed by %s --\n"
+        (Sparql_uo.Executor.failure_name f);
+      Stdlib.exit (exit_code_of_failure f)
+  | None -> ()
+
 let print_solutions store report max_print =
   match report.Sparql_uo.Executor.result_count with
-  | None ->
-      print_endline
-        (match report.Sparql_uo.Executor.failure with
-        | Some Sparql_uo.Executor.Timeout -> "-- timed out --"
-        | _ -> "-- row budget exceeded --")
+  | None -> die_killed report
   | Some n ->
-      Printf.printf "%d solution(s) in %.2f ms (+ %.2f ms planning)\n" n
-        report.Sparql_uo.Executor.exec_ms report.Sparql_uo.Executor.transform_ms;
+      (match report.Sparql_uo.Executor.partial with
+      | Some f ->
+          Printf.printf "partial: %d row(s) before %s\n" n
+            (Sparql_uo.Executor.failure_name f)
+      | None ->
+          Printf.printf "%d solution(s) in %.2f ms (+ %.2f ms planning)\n" n
+            report.Sparql_uo.Executor.exec_ms
+            report.Sparql_uo.Executor.transform_ms);
       let printed = ref 0 in
       List.iter
         (fun solution ->
@@ -161,7 +195,10 @@ let print_solutions store report max_print =
             print_endline (String.concat "  " (List.map cell solution))
           end)
         (Sparql_uo.Executor.solutions store report);
-      if n > max_print then Printf.printf "... (%d more)\n" (n - max_print)
+      if n > max_print then Printf.printf "... (%d more)\n" (n - max_print);
+      (match report.Sparql_uo.Executor.partial with
+      | Some f -> Stdlib.exit (exit_code_of_failure f)
+      | None -> ())
 
 (* ---------------- generate ---------------- *)
 
@@ -188,13 +225,14 @@ let generate_cmd =
 (* Run [text] [repeat] times through one session; returns the last report
    and prints a first-vs-amortized summary when repeating. *)
 let session_runs session ~mode ~engine ~domains ~materialize ?timeout_ms
-    ?row_budget ~repeat text =
+    ?row_budget ?partial ~repeat text =
   if repeat < 1 then or_die (Error "--repeat must be at least 1");
   let run_once () =
     let t0 = Unix.gettimeofday () in
     let report =
       Sparql_uo.Session.run ~mode ~engine ~domains
-        ~streaming:(not materialize) ?timeout_ms ?row_budget session text
+        ~streaming:(not materialize) ?timeout_ms ?row_budget ?partial session
+        text
     in
     ((Unix.gettimeofday () -. t0) *. 1000., report)
   in
@@ -220,31 +258,35 @@ let session_runs session ~mode ~engine ~domains ~materialize ?timeout_ms
 
 let query_cmd =
   let run data synth qfile qtext mode engine max_print timeout_ms row_budget
-      domains materialize repeat =
+      domains materialize partial repeat =
     let store = or_die (load_store data synth) in
     let text = or_die (load_query qfile qtext) in
     let session = Sparql_uo.Session.create store in
     let report =
       session_runs session ~mode ~engine ~domains ~materialize ?timeout_ms
-        ?row_budget ~repeat text
+        ?row_budget ~partial ~repeat text
     in
     match report.Sparql_uo.Executor.query.Sparql.Ast.form with
     | Sparql.Ast.Select _ -> print_solutions store report max_print
     | Sparql.Ast.Ask -> (
         match Sparql_uo.Executor.ask report with
         | Some answer -> print_endline (string_of_bool answer)
-        | None -> print_endline "-- limit exceeded --")
+        | None -> die_killed report)
     | Sparql.Ast.Construct _ ->
-        print_triples (Sparql_uo.Executor.construct store report)
+        die_killed report;
+        print_triples (Sparql_uo.Executor.construct store report);
+        exit_partial report
     | Sparql.Ast.Describe _ ->
-        print_triples (Sparql_uo.Executor.describe store report)
+        die_killed report;
+        print_triples (Sparql_uo.Executor.describe store report);
+        exit_partial report
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Execute a SPARQL query (SELECT, ASK, CONSTRUCT or DESCRIBE)")
     Term.(
       const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
       $ mode_arg $ engine_arg $ max_print_arg $ timeout_arg $ budget_arg
-      $ domains_arg $ materialize_arg $ repeat_arg)
+      $ domains_arg $ materialize_arg $ partial_arg $ repeat_arg)
 
 (* ---------------- explain ---------------- *)
 
@@ -292,8 +334,8 @@ let modes_cmd =
               report.Sparql_uo.Executor.failure)
            with
           | Some n, _ -> string_of_int n
-          | None, Some Sparql_uo.Executor.Timeout -> "timeout"
-          | None, _ -> "OOM")
+          | None, Some f -> Sparql_uo.Executor.failure_name f
+          | None, None -> "none")
           report.Sparql_uo.Executor.transform_ms
           report.Sparql_uo.Executor.exec_ms)
       Sparql_uo.Executor.all_modes

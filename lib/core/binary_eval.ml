@@ -64,6 +64,11 @@ let eval env algebra =
     let bag = go (Sparql.Algebra.of_group substituted) in
     not (Sparql.Bag.is_empty bag)
   in
-  Sparql.Bag.reset_push_counter ();
+  let base_pushed = Sparql.Governor.pushed (Sparql.Governor.current ()) in
   let bag = go algebra in
-  (bag, { peak_rows = !peak; total_rows = Sparql.Bag.pushed_rows () })
+  ( bag,
+    {
+      peak_rows = !peak;
+      total_rows =
+        Sparql.Governor.pushed (Sparql.Governor.current ()) - base_pushed;
+    } )

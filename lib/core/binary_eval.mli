@@ -6,6 +6,6 @@
 type stats = { peak_rows : int; total_rows : int }
 
 (** [eval env algebra] evaluates directly per Definition 7. May raise
-    [Sparql.Bag.Limit_exceeded] under an armed row budget — which it does
-    readily; that is its point. *)
+    [Sparql.Governor.Kill] under a governed ambient ticket's row budget —
+    which it does readily; that is its point. *)
 val eval : Engine.Bgp_eval.t -> Sparql.Algebra.t -> Sparql.Bag.t * stats

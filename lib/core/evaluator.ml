@@ -429,11 +429,15 @@ let make_state env ~threshold =
   { env; threshold; peak_rows = Atomic.make 0; bgp_evals = Atomic.make 0;
     pruned_bgps = Atomic.make 0 }
 
-let finish_stats st ~join_space ~stages =
+(* [total_rows] is the delta of the ambient governor ticket's produced-row
+   counter across the evaluation (a snapshot, not a reset: the counter
+   belongs to the whole execution, and nested or back-to-back evaluations
+   under one ticket must not clobber each other). *)
+let finish_stats st ~base_pushed ~join_space ~stages =
   {
     join_space;
     peak_rows = Atomic.get st.peak_rows;
-    total_rows = Sparql.Bag.pushed_rows ();
+    total_rows = Sparql.Governor.pushed (Sparql.Governor.current ()) - base_pushed;
     bgp_evals = Atomic.get st.bgp_evals;
     pruned_bgps = Atomic.get st.pruned_bgps;
     isect = Engine.Intersect.read ();
@@ -442,18 +446,19 @@ let finish_stats st ~join_space ~stages =
 
 let eval env ~threshold tree =
   let st = make_state env ~threshold in
-  Sparql.Bag.reset_push_counter ();
+  let base_pushed = Sparql.Governor.pushed (Sparql.Governor.current ()) in
   Engine.Intersect.reset ();
   let bag, join_space = eval_group st tree ~cands:Engine.Candidates.empty in
-  (bag, finish_stats st ~join_space ~stages:[])
+  (bag, finish_stats st ~base_pushed ~join_space ~stages:[])
 
 let eval_into env ~threshold ~sink tree =
   let st = make_state env ~threshold in
-  Sparql.Bag.reset_push_counter ();
+  let base_pushed = Sparql.Governor.pushed (Sparql.Governor.current ()) in
   Engine.Intersect.reset ();
   let join_space = ref 1. in
   (try
      join_space := eval_group_into st tree ~cands:Engine.Candidates.empty ~sink
    with Sparql.Sink.Stop -> ());
   Sparql.Sink.close sink;
-  finish_stats st ~join_space:!join_space ~stages:(Sparql.Sink.stages sink)
+  finish_stats st ~base_pushed ~join_space:!join_space
+    ~stages:(Sparql.Sink.stages sink)

@@ -30,7 +30,8 @@ type stats = {
 }
 
 (** [eval env ~threshold tree] runs Algorithm 1 over [tree]. May raise
-    [Sparql.Bag.Limit_exceeded] if the caller armed a row budget. *)
+    [Sparql.Governor.Kill] if the ambient governor ticket is governed
+    (budget, deadline, cancellation or a chaos fault). *)
 val eval :
   Engine.Bgp_eval.t -> threshold:threshold -> Be_tree.group -> Sparql.Bag.t * stats
 
@@ -41,7 +42,7 @@ val eval :
     sink is closed before returning. [stats.peak_rows] excludes the final
     operator's streamed output; [stats.join_space] is exact when the
     pipeline ran to completion and partial under an early Stop. May raise
-    [Sparql.Bag.Limit_exceeded]. *)
+    [Sparql.Governor.Kill]. *)
 val eval_into :
   Engine.Bgp_eval.t ->
   threshold:threshold ->

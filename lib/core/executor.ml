@@ -9,7 +9,13 @@ type mode = Prepared.mode = Base | TT | CP | Full
 let mode_name = Prepared.mode_name
 let all_modes = Prepared.all_modes
 
-type failure = Prepared.failure = Out_of_budget | Timeout
+type failure = Prepared.failure =
+  | Out_of_budget
+  | Timeout
+  | Cancelled
+  | Injected_fault of string
+
+let failure_name = Prepared.failure_name
 
 type cache_info = Prepared.cache_info = {
   hit : bool;
@@ -26,6 +32,8 @@ type report = Prepared.report = {
   bag : Sparql.Bag.t option;
   result_count : int option;
   failure : failure option;
+  partial : failure option;
+  pushed_rows : int;
   transform_ms : float;
   exec_ms : float;
   eval_stats : Evaluator.stats option;
@@ -35,15 +43,16 @@ type report = Prepared.report = {
   cache : cache_info option;
 }
 
-let run_query ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms ?stats
-    store (query : Sparql.Ast.query) =
+let run_query ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
+    ?governor ?stats store (query : Sparql.Ast.query) =
   let prepared = Prepared.prepare ?mode ?engine ?stats store query in
-  Prepared.execute ?domains ?streaming ?row_budget ?timeout_ms prepared
+  Prepared.execute ?domains ?streaming ?row_budget ?timeout_ms ?partial
+    ?governor prepared
 
-let run ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms ?stats store
-    text =
-  run_query ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms ?stats
-    store (Sparql.Parser.parse text)
+let run ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
+    ?governor ?stats store text =
+  run_query ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
+    ?governor ?stats store (Sparql.Parser.parse text)
 
 let solutions store report =
   match report.bag with
@@ -88,9 +97,16 @@ let explain report =
            c.hits c.misses)
   | None ->
       Buffer.add_string buf "plan cache: bypassed (one-shot execution)\n");
-  (match report.result_count with
-  | Some n -> Buffer.add_string buf (Printf.sprintf "results: %d rows\n" n)
-  | None -> Buffer.add_string buf "results: row budget exceeded\n");
+  (match (report.result_count, report.failure) with
+  | Some n, None -> Buffer.add_string buf (Printf.sprintf "results: %d rows\n" n)
+  | Some n, Some f ->
+      Buffer.add_string buf
+        (Printf.sprintf "results: %d rows (partial: killed by %s)\n" n
+           (failure_name f))
+  | None, Some f ->
+      Buffer.add_string buf
+        (Printf.sprintf "results: none (killed by %s)\n" (failure_name f))
+  | None, None -> Buffer.add_string buf "results: none\n");
   (match report.eval_stats with
   | Some stats ->
       Buffer.add_string buf

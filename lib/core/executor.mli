@@ -21,9 +21,16 @@ type mode = Prepared.mode = Base | TT | CP | Full
 val mode_name : mode -> string
 val all_modes : mode list
 
-(** Why a run produced no result: the row budget (the paper's
-    out-of-memory analogue) or the wall-clock timeout. *)
-type failure = Prepared.failure = Out_of_budget | Timeout
+(** Why a run was killed (see {!Sparql.Governor.failure}): the row budget
+    (the paper's out-of-memory analogue), the wall-clock timeout, a
+    cross-domain cancellation, or an injected chaos fault. *)
+type failure = Prepared.failure =
+  | Out_of_budget
+  | Timeout
+  | Cancelled
+  | Injected_fault of string
+
+val failure_name : failure -> string
 
 (** Plan-cache provenance of a session run (see {!Prepared.cache_info}). *)
 type cache_info = Prepared.cache_info = {
@@ -38,9 +45,14 @@ type report = Prepared.report = {
   query : Sparql.Ast.query;  (** the parsed query the report answers *)
   vartable : Sparql.Vartable.t;
   projection : string list;  (** variables the query projects *)
-  bag : Sparql.Bag.t option;  (** [None] when a limit was exceeded *)
+  bag : Sparql.Bag.t option;
+      (** [None] when a limit was exceeded without [~partial:true] *)
   result_count : int option;
-  failure : failure option;
+  failure : failure option;  (** why the run was killed, if it was *)
+  partial : failure option;
+      (** [Some f] iff [bag] holds the partial result of a run killed by
+          [f] (see {!Prepared.report}) *)
+  pushed_rows : int;  (** rows produced by this execution (its ticket) *)
   transform_ms : float;  (** time spent in Algorithm 4 (0 for Base/CP) *)
   exec_ms : float;  (** evaluation time *)
   eval_stats : Evaluator.stats option;
@@ -65,8 +77,12 @@ type report = Prepared.report = {
     (GROUP BY / aggregates / HAVING) always materialize before their
     modifiers stream. [row_budget] bounds total produced rows;
     [timeout_ms] bounds wall-clock time; on either limit the report
-    carries [bag = None] and a {!failure}. Defaults: [Full], [Wco],
-    serial, unlimited. *)
+    carries [bag = None] and a {!failure} — unless [~partial:true], where
+    the rows materialized before the kill are returned with the report's
+    [partial] marker set. Each run executes under its own governor
+    ticket ([governor] supplies one, e.g. to cancel from another domain),
+    so concurrent runs with different limits are isolated. Defaults:
+    [Full], [Wco], serial, unlimited. *)
 val run :
   ?mode:mode ->
   ?engine:Engine.Bgp_eval.engine ->
@@ -74,6 +90,8 @@ val run :
   ?streaming:bool ->
   ?row_budget:int ->
   ?timeout_ms:float ->
+  ?partial:bool ->
+  ?governor:Sparql.Governor.t ->
   ?stats:Rdf_store.Stats.t ->
   Rdf_store.Triple_store.t ->
   string ->
@@ -87,6 +105,8 @@ val run_query :
   ?streaming:bool ->
   ?row_budget:int ->
   ?timeout_ms:float ->
+  ?partial:bool ->
+  ?governor:Sparql.Governor.t ->
   ?stats:Rdf_store.Stats.t ->
   Rdf_store.Triple_store.t ->
   Sparql.Ast.query ->

@@ -1,0 +1,8 @@
+(* The core-layer face of the governor subsystem. The ticket mechanics
+   live in [Sparql.Governor] — the lowest layer, where row accounting
+   happens and which the engine cannot depend on this library to reach —
+   and are re-exported here so executor-level code and library users deal
+   with one module ([Sparql_uo.Governor]) for tickets, failures, chaos
+   schedules and cancellation. *)
+
+include Sparql.Governor

@@ -8,7 +8,13 @@ let mode_name = function Base -> "base" | TT -> "TT" | CP -> "CP" | Full -> "ful
 
 let all_modes = [ Base; TT; CP; Full ]
 
-type failure = Out_of_budget | Timeout
+type failure = Sparql.Governor.failure =
+  | Out_of_budget
+  | Timeout
+  | Cancelled
+  | Injected_fault of string
+
+let failure_name = Sparql.Governor.failure_name
 
 type cache_info = { hit : bool; hits : int; misses : int }
 
@@ -21,6 +27,8 @@ type report = {
   bag : Sparql.Bag.t option;
   result_count : int option;
   failure : failure option;
+  partial : failure option;
+  pushed_rows : int;
   transform_ms : float;
   exec_ms : float;
   eval_stats : Evaluator.stats option;
@@ -351,7 +359,17 @@ let prepare ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?stats ?text store
 
 (* --- The execute phase --------------------------------------------------- *)
 
-let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms ?cache p =
+(* Build a fresh governor ticket from the execution knobs. *)
+let ticket ?row_budget ?timeout_ms ?faults () =
+  let deadline =
+    Option.map
+      (fun ms -> (Unix.gettimeofday () +. (ms /. 1000.), Unix.gettimeofday))
+      timeout_ms
+  in
+  Sparql.Governor.create ?row_budget ?deadline ?faults ()
+
+let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms
+    ?(partial = false) ?governor ?cache p =
   let query = p.p_query in
   let vartable = p.p_vartable in
   let env = Engine.Bgp_eval.with_domains p.env ~domains in
@@ -362,15 +380,16 @@ let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms ?cache p 
     | CP -> Evaluator.Fixed (fixed_threshold store)
     | Full -> Evaluator.Adaptive
   in
-  (match row_budget with
-  | Some budget -> Sparql.Bag.set_budget budget
-  | None -> Sparql.Bag.unlimited_budget ());
+  (* Every execution runs under its own governor ticket (caller-supplied,
+     so a session can cancel it from another domain, or built here from
+     the budget/timeout knobs). Concurrent executions with different
+     limits are isolated: nothing below touches process state. *)
+  let gov =
+    match governor with
+    | Some g -> g
+    | None -> ticket ?row_budget ?timeout_ms ()
+  in
   let t1 = now_ms () in
-  (match timeout_ms with
-  | Some ms ->
-      Sparql.Bag.set_deadline ~now:Unix.gettimeofday
-        ~at:(Unix.gettimeofday () +. (ms /. 1000.))
-  | None -> Sparql.Bag.clear_deadline ());
   (* Bag's probe-side chunking routes through the global pool only while a
      parallel query runs; serial queries keep the historical operators. *)
   if domains > 1 then Engine.Pool.enable_bag_runner ()
@@ -385,10 +404,18 @@ let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms ?cache p 
     | _ -> false)
     || query.Sparql.Ast.group_by <> []
   in
+  (* The terminal bag of a streaming pipeline, captured so a killed run
+     can surface the rows that fully traversed the modifier pipeline
+     before the limit fired (exact prefix semantics for LIMIT-style
+     pipelines; rows buffered inside a sort/top-k stage are lost, so
+     best-effort there). Materialized-path runs have nothing safe to
+     surface: the kill unwound mid-operator. *)
+  let partial_out = ref None in
   let evaluate () =
     if streaming && (not needs_aggregate) && query.Sparql.Ast.having = None
     then begin
       let out = Sparql.Bag.create ~width in
+      partial_out := Some out;
       let sink = modifier_sink store vartable query ~width ~out in
       let stats = Evaluator.eval_into env ~threshold ~sink p.p_tree_after in
       (out, stats)
@@ -422,6 +449,7 @@ let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms ?cache p 
       in
       if streaming then begin
         let out = Sparql.Bag.create ~width in
+        partial_out := Some out;
         let sink = modifier_sink store vartable query ~width ~out in
         (try Sparql.Bag.replay bag ~sink with Sparql.Sink.Stop -> ());
         Sparql.Sink.close sink;
@@ -431,36 +459,44 @@ let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms ?cache p 
     end
   in
   (* [Fun.protect]: an engine exception (or a [Stop] leak) must not leave
-     the global budget, deadline or bag runner armed for the next query
-     on this process. *)
+     the bag runner enabled for the next query on this process; the
+     resource limits themselves die with the ticket scope. The [Kill]
+     carries its cause directly — no more inferring timeout-vs-budget
+     from elapsed time. *)
   let outcome =
     Fun.protect
-      ~finally:(fun () ->
-        Engine.Pool.disable_bag_runner ();
-        Sparql.Bag.unlimited_budget ();
-        Sparql.Bag.clear_deadline ())
+      ~finally:(fun () -> Engine.Pool.disable_bag_runner ())
       (fun () ->
-        try Ok (evaluate ())
-        with Sparql.Bag.Limit_exceeded -> (
-          match timeout_ms with
-          | Some ms when now_ms () -. t1 >= ms -> Error Timeout
-          | _ -> Error Out_of_budget))
+        try Ok (Sparql.Governor.with_ticket gov evaluate)
+        with Sparql.Governor.Kill f -> Error f)
   in
   let exec_ms = now_ms () -. t1 in
-  let bag, eval_stats =
+  let bag, eval_stats, partial_marker =
     match outcome with
-    | Error _ -> (None, None)
-    | Ok (bag, stats) -> (Some bag, Some stats)
+    | Ok (bag, stats) -> (Some bag, Some stats, None)
+    | Error f when partial ->
+        (* Graceful degradation: surface whatever reached the terminal bag
+           before the kill, marked as partial. *)
+        let out =
+          match !partial_out with
+          | Some out -> out
+          | None -> Sparql.Bag.create ~width
+        in
+        (Some out, None, Some f)
+    | Error _ -> (None, None, None)
   in
   Log.info (fun m ->
       m "mode=%s engine=%s transform=%.2fms exec=%.2fms results=%s cache=%s"
         (mode_name p.p_mode)
         (Engine.Bgp_eval.engine_name p.p_engine)
         p.p_transform_ms exec_ms
-        (match (bag, outcome) with
-        | Some bag, _ -> string_of_int (Sparql.Bag.length bag)
-        | None, Error Timeout -> "timeout"
-        | None, _ -> "over-budget")
+        (match (outcome, bag) with
+        | Ok _, Some bag -> string_of_int (Sparql.Bag.length bag)
+        | Error f, Some bag ->
+            Printf.sprintf "%d (partial: %s)" (Sparql.Bag.length bag)
+              (failure_name f)
+        | Error f, None -> failure_name f
+        | Ok _, None -> assert false)
         (match cache with
         | Some { hit = true; _ } -> "hit"
         | Some { hit = false; _ } -> "miss"
@@ -474,6 +510,8 @@ let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms ?cache p 
     bag;
     result_count = Option.map Sparql.Bag.length bag;
     failure = (match outcome with Ok _ -> None | Error f -> Some f);
+    partial = partial_marker;
+    pushed_rows = Sparql.Governor.pushed gov;
     transform_ms = p.p_transform_ms;
     exec_ms;
     eval_stats;

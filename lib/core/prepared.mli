@@ -23,9 +23,16 @@ type mode = Base | TT | CP | Full
 val mode_name : mode -> string
 val all_modes : mode list
 
-(** Why a run produced no result: the row budget (the paper's
-    out-of-memory analogue) or the wall-clock timeout. *)
-type failure = Out_of_budget | Timeout
+(** Why a run was killed — re-exported from {!Sparql.Governor}: the row
+    budget (the paper's out-of-memory analogue), the wall-clock timeout,
+    a cross-domain cancellation, or an injected chaos fault. *)
+type failure = Sparql.Governor.failure =
+  | Out_of_budget
+  | Timeout
+  | Cancelled
+  | Injected_fault of string
+
+val failure_name : failure -> string
 
 (** Plan-cache provenance of one execution, attached by {!Session.run}:
     whether this plan came from the cache, plus the session's cumulative
@@ -38,9 +45,19 @@ type report = {
   query : Sparql.Ast.query;  (** the parsed query the report answers *)
   vartable : Sparql.Vartable.t;
   projection : string list;  (** variables the query projects *)
-  bag : Sparql.Bag.t option;  (** [None] when a limit was exceeded *)
+  bag : Sparql.Bag.t option;
+      (** [None] when a limit was exceeded and partial results were not
+          requested; with [~partial:true] a killed run still carries the
+          rows that reached the terminal bag *)
   result_count : int option;
-  failure : failure option;
+  failure : failure option;  (** why the run was killed, if it was *)
+  partial : failure option;
+      (** [Some f] iff [bag] holds a partial result of a run killed by
+          [f] (exact prefix for streaming LIMIT-style pipelines,
+          best-effort otherwise; always [None] for successful runs) *)
+  pushed_rows : int;
+      (** rows produced (materialized or streamed) by this execution, as
+          charged against its governor ticket *)
   transform_ms : float;
       (** time spent in Algorithm 4 at prepare time (0 for Base/CP) *)
   exec_ms : float;  (** evaluation time of this execution *)
@@ -72,18 +89,38 @@ val prepare :
   Sparql.Ast.query ->
   t
 
-(** [execute ?domains ?streaming ?row_budget ?timeout_ms ?cache p] runs
-    the prepared plan once. The knobs are execution-time only and carry
-    the same semantics as [Executor.run]: [domains] (default 1) retargets
-    the shared plan to a domain pool, [streaming] (default [true])
-    pushes solution modifiers into a sink pipeline, [row_budget] and
-    [timeout_ms] bound the run. [cache] is attached verbatim to the
-    report (used by {!Session} to surface hit/miss provenance). *)
+(** [ticket ?row_budget ?timeout_ms ?faults ()] builds a governor ticket
+    from the execution knobs (the deadline clock is armed now, at ticket
+    creation). Pass it to {!execute} via [?governor] to retain a handle
+    for cross-domain cancellation. *)
+val ticket :
+  ?row_budget:int ->
+  ?timeout_ms:float ->
+  ?faults:Sparql.Governor.fault list ->
+  unit ->
+  Sparql.Governor.t
+
+(** [execute ?domains ?streaming ?row_budget ?timeout_ms ?partial
+    ?governor ?cache p] runs the prepared plan once, under its own
+    governor ticket — concurrent executions with different limits are
+    fully isolated. The knobs are execution-time only and carry the same
+    semantics as [Executor.run]: [domains] (default 1) retargets the
+    shared plan to a domain pool, [streaming] (default [true]) pushes
+    solution modifiers into a sink pipeline, [row_budget] and
+    [timeout_ms] bound the run. [partial] (default [false]) makes a
+    killed run return the rows materialized before the limit fired,
+    marked in the report's [partial] field. [governor] supplies a
+    pre-built ticket (e.g. one the caller wants to {!Sparql.Governor.cancel}
+    from another domain); when given, [row_budget]/[timeout_ms] are
+    ignored. [cache] is attached verbatim to the report (used by
+    {!Session} to surface hit/miss provenance). *)
 val execute :
   ?domains:int ->
   ?streaming:bool ->
   ?row_budget:int ->
   ?timeout_ms:float ->
+  ?partial:bool ->
+  ?governor:Sparql.Governor.t ->
   ?cache:cache_info ->
   t ->
   report

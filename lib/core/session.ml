@@ -21,6 +21,11 @@ type t = {
   mutable evictions : int;
   (* Statistics memo, keyed by the epoch they were computed under. *)
   mutable stats_memo : (int * Rdf_store.Stats.t) option;
+  (* Governor tickets of runs currently in flight on this session, so
+     [cancel] (from any domain) can reach them. Registered/unregistered
+     under the mutex; [Fun.protect] guarantees a killed or crashed run
+     still unregisters — no ticket is left armed. *)
+  mutable active : Governor.t list;
   mutex : Mutex.t;
 }
 
@@ -36,6 +41,7 @@ let create ?(cache_capacity = 64) store =
     misses = 0;
     evictions = 0;
     stats_memo = None;
+    active = [];
     mutex = Mutex.create ();
   }
 
@@ -120,6 +126,9 @@ let prepare_locked t ~mode ~engine text =
           (Sparql.Parser.parse text)
       in
       if Hashtbl.length t.table >= t.capacity then evict_lru_locked t;
+      (* Chaos site: a kill here (before the insert) must leave the cache
+         exactly as it was — the next run re-prepares and inserts. *)
+      Sparql.Governor.failpoint "cache.insert";
       let entry = { prepared; last_used = 0 } in
       touch t entry;
       Hashtbl.replace t.table key entry;
@@ -128,12 +137,67 @@ let prepare_locked t ~mode ~engine text =
 let prepare ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco) t text =
   fst (with_lock t (fun () -> prepare_locked t ~mode ~engine text))
 
+(* --- Governed execution --------------------------------------------------- *)
+
+let register t gov = with_lock t (fun () -> t.active <- gov :: t.active)
+
+let unregister t gov =
+  with_lock t (fun () ->
+      t.active <- List.filter (fun g -> g != gov) t.active)
+
+let active_runs t = with_lock t (fun () -> List.length t.active)
+
+let cancel t =
+  with_lock t (fun () ->
+      List.iter Governor.cancel t.active;
+      List.length t.active)
+
+(* One governed attempt: the ticket is ambient for the prepare phase too
+   (so the cache.insert failpoint is reachable) and registered with the
+   session for the whole attempt, so [cancel] can reach it. *)
+let attempt ~mode ~engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
+    ~faults t text =
+  let gov = Prepared.ticket ?row_budget ?timeout_ms ~faults () in
+  register t gov;
+  Fun.protect
+    ~finally:(fun () -> unregister t gov)
+    (fun () ->
+      let prepared, cache =
+        Governor.with_ticket gov (fun () ->
+            with_lock t (fun () -> prepare_locked t ~mode ~engine text))
+      in
+      Prepared.execute ?domains ?streaming ?partial ~governor:gov ~cache
+        prepared)
+
 let run ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco) ?domains
-    ?streaming ?row_budget ?timeout_ms t text =
-  let prepared, cache =
-    with_lock t (fun () -> prepare_locked t ~mode ~engine text)
+    ?streaming ?row_budget ?timeout_ms ?partial ?(retries = 0) ?(faults = [])
+    t text =
+  (* Bounded retry with a fresh ticket per attempt. Only transient
+     failures retry (a cancellation is the caller's intent and must
+     stick). Fault values are shared by reference across attempts, so a
+     one-shot injected fault stays spent and the retry runs clean — the
+     recovery path the chaos suite exercises. A kill during the prepare
+     phase (only injected faults can fire there) surfaces as
+     [Governor.Kill] from the attempt and is retried the same way. *)
+  let rec go attempts_left =
+    let outcome =
+      match
+        attempt ~mode ~engine ?domains ?streaming ?row_budget ?timeout_ms
+          ?partial ~faults t text
+      with
+      | report -> Ok report
+      | exception Governor.Kill f -> Error f
+    in
+    match outcome with
+    | Ok { Prepared.failure = Some f; _ }
+      when attempts_left > 0 && Governor.transient f ->
+        go (attempts_left - 1)
+    | Ok report -> report
+    | Error f when attempts_left > 0 && Governor.transient f ->
+        go (attempts_left - 1)
+    | Error f -> raise (Governor.Kill f)
   in
-  Prepared.execute ?domains ?streaming ?row_budget ?timeout_ms ~cache prepared
+  go (max 0 retries)
 
 let hits t = with_lock t (fun () -> t.hits)
 let misses t = with_lock t (fun () -> t.misses)

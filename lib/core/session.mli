@@ -11,9 +11,11 @@
     historical hidden full-store scan per query.
 
     All operations are thread-safe; concurrent {!run}s from multiple
-    domains share one cache. The global row-budget/deadline knobs are
-    per-process, so concurrent runs should either all use the same
-    [row_budget]/[timeout_ms] or none. *)
+    domains share one cache. Each run executes under its own
+    {!Sparql.Governor} ticket, so concurrent runs with different
+    [row_budget]/[timeout_ms] limits are fully isolated from each other;
+    the session tracks in-flight tickets so {!cancel} can kill every run
+    currently executing, from any domain. *)
 
 type t
 
@@ -46,10 +48,26 @@ val prepare :
   ?mode:Prepared.mode -> ?engine:Engine.Bgp_eval.engine -> t -> string ->
   Prepared.t
 
-(** [run ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms t
-    text] — {!prepare} (through the cache) followed by
-    {!Prepared.execute}. The report's [cache] field records whether this
-    run hit, plus the session's cumulative counters. *)
+(** [run ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms
+    ?partial ?retries ?faults t text] — {!prepare} (through the cache)
+    followed by {!Prepared.execute}, under a fresh governor ticket
+    registered with the session for the duration of the run (so {!cancel}
+    can reach it). The report's [cache] field records whether this run
+    hit, plus the session's cumulative counters.
+
+    [partial] (default [false]): a killed run returns the rows
+    materialized before the limit fired, marked in the report.
+    [retries] (default 0) bounds retry-with-fresh-budget: a transient
+    failure (anything but [Cancelled]) re-runs with a fresh ticket up to
+    [retries] times; the final attempt's report is returned either way.
+    [faults] arms a chaos schedule on each attempt's ticket — fault
+    countdowns are shared across attempts, so a one-shot fault stays
+    spent and the retry runs clean.
+
+    A kill during the {e prepare} phase (only injected faults fire there
+    — the budget and deadline are execution-side) has no report to
+    return: after retries are exhausted it escapes as
+    [Sparql.Governor.Kill]. *)
 val run :
   ?mode:Prepared.mode ->
   ?engine:Engine.Bgp_eval.engine ->
@@ -57,9 +75,26 @@ val run :
   ?streaming:bool ->
   ?row_budget:int ->
   ?timeout_ms:float ->
+  ?partial:bool ->
+  ?retries:int ->
+  ?faults:Sparql.Governor.fault list ->
   t ->
   string ->
   Prepared.report
+
+(** {1 Cancellation} *)
+
+(** [cancel t] cancels every run currently in flight on this session
+    (from any domain): each active ticket's cancellation flag is set, and
+    the runs observe it at their next stride check, reporting
+    [failure = Some Cancelled]. Returns the number of runs cancelled.
+    Runs started after this call are unaffected. *)
+val cancel : t -> int
+
+(** [active_runs t] — the number of governor tickets currently registered
+    (in-flight runs). Zero when the session is quiescent: every run
+    unregisters its ticket on all exit paths. *)
+val active_runs : t -> int
 
 (** [invalidate t] drops every cached plan and the statistics memo. *)
 val invalidate : t -> unit

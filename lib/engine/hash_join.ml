@@ -1,6 +1,9 @@
 (* Enumerate the candidate-passing, self-consistent matches of a single
    triple pattern as fresh rows. *)
 let scan_iter store ~width pattern ~candidates ~f =
+  (* Chaos site: every pattern scan of the hash engine (and LBR's pass 0)
+     enters here. *)
+  Sparql.Governor.failpoint "scan";
   let empty = Sparql.Binding.create ~width in
   Compiled.iter_matches store pattern empty ~f:(fun ~s ~p ~o ->
       let fresh = Sparql.Binding.create ~width in

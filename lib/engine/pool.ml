@@ -94,7 +94,14 @@ let accumulate pool ?(chunk = default_chunk) ~lo ~hi ~create ~body () =
       let cursor = Atomic.make lo in
       let failure = Atomic.make None in
       let accs = Array.make workers None in
+      (* The submitting domain's governor ticket, re-installed inside each
+         worker: rows produced in parallel charge the same per-query
+         budget as the serial path, and a budget/deadline/cancel kill in
+         any worker parks the others at their next chunk boundary (the
+         [failure] latch below), quiescing the pool before re-raise. *)
+      let gov = Sparql.Governor.current () in
       let drain slot =
+        Sparql.Governor.with_ticket gov @@ fun () ->
         let acc = create () in
         accs.(slot) <- Some acc;
         let continue = ref true in
@@ -160,15 +167,24 @@ let parallel_map pool ?chunk ~lo ~hi f =
 (* ------------------------------------------------------------------ *)
 
 let global_pool : t option ref = ref None
+let global_mutex = Mutex.create ()
 
+(* Grow-only: a pool at least as large as requested is reused as is.
+   Shrinking used to shut the pool down and recreate it, which could tear
+   the workers out from under a concurrent query on another domain; a
+   larger-than-requested pool only costs idle domains, so growth (rare,
+   and usually a process-start configuration step) is the only rebuild. *)
 let ensure ~num_domains =
   let num_domains = max 1 num_domains in
+  Mutex.lock global_mutex;
   (match !global_pool with
-  | Some pool when pool.num_domains = num_domains -> ()
+  | Some pool when pool.num_domains >= num_domains -> ()
   | previous ->
-      Option.iter shutdown previous;
-      global_pool :=
-        (if num_domains <= 1 then None else Some (create ~num_domains)));
+      if num_domains > 1 then begin
+        Option.iter shutdown previous;
+        global_pool := Some (create ~num_domains)
+      end);
+  Mutex.unlock global_mutex;
   !global_pool
 
 let global () = !global_pool

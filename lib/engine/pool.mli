@@ -29,7 +29,14 @@ val adaptive_chunk : t -> n:int -> int
     accumulator obtained from [create]. Returns all accumulators (in no
     particular order of contribution). [chunk] is the number of indices
     claimed at a time (default 64); ranges no larger than one chunk run
-    serially in the caller. *)
+    serially in the caller.
+
+    Each worker runs under the submitting domain's ambient
+    [Sparql.Governor] ticket, so parallel row production charges the same
+    per-query budget as the serial path. A [Governor.Kill] (or any other
+    exception) raised in one worker stops the others at their next chunk
+    boundary and is re-raised in the caller once all workers have
+    parked — the pool is quiescent by the time the kill propagates. *)
 val accumulate :
   t ->
   ?chunk:int ->
@@ -54,9 +61,11 @@ val parallel_map : t -> ?chunk:int -> lo:int -> hi:int -> (int -> 'a) -> 'a arra
     reused across queries (worker domains are expensive to spawn per
     query). *)
 
-(** [ensure ~num_domains] resizes the global pool to [num_domains] workers
-    (shutting down a differently-sized predecessor) and returns it; [None]
-    when [num_domains <= 1]. *)
+(** [ensure ~num_domains] returns the global pool, growing it if it is
+    smaller than [num_domains] (grow-only: a larger existing pool is
+    reused as is, so a shrink request can never tear the workers out from
+    under a concurrent query). [None] when [num_domains <= 1] and no pool
+    exists yet. *)
 val ensure : num_domains:int -> t option
 
 val global : unit -> t option

@@ -112,6 +112,8 @@ let extend_row store stats candidates pattern ~scratch row ~emit =
 let min_parallel_rows = 32
 
 let eval_step ?pool store stats ~width candidates input (step : Planner.step) =
+  (* Chaos site: every WCO scan step (materializing or not) enters here. *)
+  Sparql.Governor.failpoint "scan";
   match pool with
   | Some pool when Sparql.Bag.length input >= min_parallel_rows ->
       Sparql.Bag.concat ~width
@@ -166,6 +168,8 @@ let min_parallel_domain = 512
 
 let eval_extend ?pool store ~width candidates input ~col
     (patterns : Compiled.t list) =
+  (* Chaos site: every vertex-at-a-time extension step enters here. *)
+  Sparql.Governor.failpoint "extend";
   let extra, filters = candidate_operands candidates ~col in
   let domain_into buf row =
     Intersect.multiway ~buf
@@ -262,6 +266,7 @@ let eval ?pool store ~stats ~width (plan : Planner.plan) ~candidates =
    copies only on emit. *)
 let stream_scan ?pool store stats ~width candidates input (step : Planner.step)
     ~sink =
+  Sparql.Governor.failpoint "scan";
   match pool with
   | Some pool when Sparql.Bag.length input >= min_parallel_rows ->
       let parts =
@@ -285,6 +290,7 @@ let stream_scan ?pool store stats ~width candidates input (step : Planner.step)
             ~emit:(Sparql.Bag.emit_accounted sink))
 
 let stream_extend ?pool store ~width candidates input ~col patterns ~sink =
+  Sparql.Governor.failpoint "extend";
   match pool with
   | Some pool when Sparql.Bag.length input >= min_parallel_rows ->
       let out = eval_extend ~pool store ~width candidates input ~col patterns in

@@ -1,6 +1,7 @@
 type report = {
   bag : Sparql.Bag.t option;
   result_count : int option;
+  failure : Sparql.Governor.failure option;
   exec_ms : float;
   scanned_rows : int;
   semijoin_prunes : int;
@@ -26,33 +27,34 @@ let can_prune ~source ~target =
   (source.sn_id = target.sn_id || List.mem source.sn_id target.ancestors)
   && List.exists (fun col -> List.mem col source.columns) target.columns
 
-let run ?row_budget ?timeout_ms env (query : Sparql.Ast.query) =
+let run ?row_budget ?timeout_ms ?governor env (query : Sparql.Ast.query) =
   if not (Gosn.well_designed query) then
     raise (Gosn.Unsupported "non-well-designed OPTIONAL pattern");
   let gosn = Gosn.of_query query in
   let store = Engine.Bgp_eval.store env in
   let table = Engine.Bgp_eval.vartable env in
   let width = Engine.Bgp_eval.width env in
-  (match row_budget with
-  | Some budget -> Sparql.Bag.set_budget budget
-  | None -> Sparql.Bag.unlimited_budget ());
-  (match timeout_ms with
-  | Some ms ->
-      Sparql.Bag.set_deadline ~now:Unix.gettimeofday
-        ~at:(Unix.gettimeofday () +. (ms /. 1000.))
-  | None -> Sparql.Bag.clear_deadline ());
+  (* The run is governed by its own ticket (caller-supplied for
+     cross-domain cancellation, or built from the budget/timeout knobs):
+     limits die with the ticket scope, so nothing can leak to the next
+     caller on this process. *)
+  let gov =
+    match governor with
+    | Some g -> g
+    | None ->
+        let deadline =
+          Option.map
+            (fun ms ->
+              (Unix.gettimeofday () +. (ms /. 1000.), Unix.gettimeofday))
+            timeout_ms
+        in
+        Sparql.Governor.create ?row_budget ?deadline ()
+  in
   let t0 = Unix.gettimeofday () in
   let prunes = ref 0 in
   let scanned = ref 0 in
-  (* Disarm the process-global limits on every exit path: an escaping
-     exception (an engine bug, [Gosn.Unsupported] raised mid-pass) must not
-     leave a stale budget or deadline armed for the next caller. *)
   let outcome =
-    Fun.protect
-      ~finally:(fun () ->
-        Sparql.Bag.unlimited_budget ();
-        Sparql.Bag.clear_deadline ())
-    @@ fun () ->
+    Sparql.Governor.with_ticket gov @@ fun () ->
     try
       (* Pass 0: evaluate every triple pattern separately. *)
       let slots =
@@ -122,10 +124,14 @@ let run ?row_budget ?timeout_ms env (query : Sparql.Ast.query) =
           (fun acc child -> Sparql.Bag.left_outer_join acc (assemble child))
           inner sn.Gosn.children
       in
-      Some (assemble gosn)
-    with Sparql.Bag.Limit_exceeded -> None
+      Ok (assemble gosn)
+    with Sparql.Governor.Kill f -> Error f
   in
   let exec_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let failure = match outcome with Ok _ -> None | Error f -> Some f in
+  let outcome =
+    match outcome with Ok bag -> Some bag | Error _ -> None
+  in
   let bag =
     match (outcome, Sparql.Ast.select_query query) with
     | None, _ -> None
@@ -143,6 +149,7 @@ let run ?row_budget ?timeout_ms env (query : Sparql.Ast.query) =
   {
     bag;
     result_count = Option.map Sparql.Bag.length bag;
+    failure;
     exec_ms;
     scanned_rows = !scanned;
     semijoin_prunes = !prunes;

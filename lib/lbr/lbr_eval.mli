@@ -16,20 +16,25 @@
     patterns this baseline is evaluated on (q2.1–q2.6). *)
 
 type report = {
-  bag : Sparql.Bag.t option;  (** [None] when the row budget was exceeded *)
+  bag : Sparql.Bag.t option;  (** [None] when the run was killed *)
   result_count : int option;
+  failure : Sparql.Governor.failure option;
+      (** why the run was killed, when [bag = None] *)
   exec_ms : float;
   scanned_rows : int;  (** rows materialized by the per-pattern scans *)
   semijoin_prunes : int;
       (** semijoin applications across both passes that removed rows *)
 }
 
-(** [run ?row_budget ?timeout_ms env query] executes [query] with the LBR
-    strategy. Raises {!Gosn.Unsupported} on UNION/FILTER queries and on
-    non-well-designed patterns (outside LBR's sound fragment). *)
+(** [run ?row_budget ?timeout_ms ?governor env query] executes [query]
+    with the LBR strategy, under its own governor ticket ([governor]
+    supplies a pre-built one, e.g. for cross-domain cancellation). Raises
+    {!Gosn.Unsupported} on UNION/FILTER queries and on non-well-designed
+    patterns (outside LBR's sound fragment). *)
 val run :
   ?row_budget:int ->
   ?timeout_ms:float ->
+  ?governor:Sparql.Governor.t ->
   Engine.Bgp_eval.t ->
   Sparql.Ast.query ->
   report

@@ -2,40 +2,21 @@ type t = {
   width : int;
   mutable rows : Binding.t array;
   mutable len : int;
-  (* Pushes since the last wall-clock check. Per-bag (not global) so the
-     deadline still triggers deterministically when several domains push
-     into their own thread-local bags concurrently: a global counter's
-     [mod stride = 0] tick can be skipped under interleaving. *)
+  (* Pushes since the last cancellation/deadline check. Per-bag (not
+     global) so the check still triggers deterministically when several
+     domains push into their own worker-local bags concurrently: a global
+     counter's [mod stride = 0] tick can be skipped under interleaving. *)
   mutable unchecked : int;
+  (* The governor ticket ambient at creation time, cached so the per-push
+     hot path does not pay a domain-local lookup. Every bag of one
+     execution is created under that execution's ticket (worker-local bags
+     are created inside the pool's re-installed scope), so budget
+     accounting is per query, not per process. *)
+  gov : Governor.t;
 }
 
-exception Limit_exceeded
-
-(* A global row budget: a cheap, engine-wide proxy for the memory and time
-   limits of the paper's experiments (base runs out of memory on 13 of 24
-   queries). The executor arms it per query; every push of an intermediate
-   row consumes one unit. Atomic so that pushes from several domains are
-   each accounted exactly once and [Limit_exceeded] fires promptly under
-   parallel evaluation. *)
-let budget = Atomic.make max_int
-let total_pushed = Atomic.make 0
-
-(* Wall-clock deadline, checked every [deadline_stride] pushes of each bag
-   to keep the common path cheap. The clock is injected by the executor
-   together with the deadline (the sparql library itself stays clock-free);
-   both live in one atomic so a concurrent reader never sees a deadline
-   paired with a stale clock. *)
-let deadline : (float * (unit -> float)) option Atomic.t = Atomic.make None
-let deadline_stride = 4096
-
-let set_budget n = Atomic.set budget n
-let unlimited_budget () = Atomic.set budget max_int
-let set_deadline ~now ~at = Atomic.set deadline (Some (at, now))
-let clear_deadline () = Atomic.set deadline None
-let reset_push_counter () = Atomic.set total_pushed 0
-let pushed_rows () = Atomic.get total_pushed
-
-let create ~width = { width; rows = [||]; len = 0; unchecked = 0 }
+let create ~width =
+  { width; rows = [||]; len = 0; unchecked = 0; gov = Governor.current () }
 
 (* Append without budget accounting — for rows whose production was
    already charged (worker-part concatenation, the terminal sink of a
@@ -51,38 +32,22 @@ let append bag row =
   bag.len <- bag.len + 1
 
 let push bag row =
-  if Atomic.fetch_and_add budget (-1) <= 0 then raise Limit_exceeded;
-  Atomic.incr total_pushed;
-  (match Atomic.get deadline with
-  | Some (at, now) ->
-      bag.unchecked <- bag.unchecked + 1;
-      if bag.unchecked >= deadline_stride then begin
-        bag.unchecked <- 0;
-        if now () > at then raise Limit_exceeded
-      end
-  | None -> ());
+  Governor.charge bag.gov;
+  bag.unchecked <- bag.unchecked + 1;
+  if bag.unchecked >= Governor.stride then begin
+    bag.unchecked <- 0;
+    Governor.tick bag.gov
+  end;
   append bag row
 
 (* Charge the production of one streamed row: the same budget/deadline
    accounting as [push], without materializing anywhere. Streaming
    producers call it once per row emitted into a sink pipeline, so the
-   budget (the paper's OOM analogue), the timeout and [pushed_rows] keep
-   the same meaning whether an operator materializes or streams. Only ever
-   called from the serial sink-driving domain, so the deadline stride
-   counter is a plain ref. *)
-let stream_unchecked = ref 0
-
-let account () =
-  if Atomic.fetch_and_add budget (-1) <= 0 then raise Limit_exceeded;
-  Atomic.incr total_pushed;
-  match Atomic.get deadline with
-  | Some (at, now) ->
-      incr stream_unchecked;
-      if !stream_unchecked >= deadline_stride then begin
-        stream_unchecked := 0;
-        if now () > at then raise Limit_exceeded
-      end
-  | None -> ()
+   budget (the paper's OOM analogue), the timeout and the produced-row
+   counter keep the same meaning whether an operator materializes or
+   streams. Only ever called from the serial sink-driving domain, so the
+   ticket's serial stride counter applies. *)
+let account () = Governor.charge_stream (Governor.current ())
 
 let unit ~width =
   let bag = create ~width in
@@ -119,7 +84,15 @@ let to_list bag = List.rev (fold bag ~init:[] ~f:(fun acc row -> row :: acc))
    blit, not a re-push. *)
 let concat ~width parts =
   let total = List.fold_left (fun acc part -> acc + part.len) 0 parts in
-  let result = { width; rows = Array.make total [||]; len = 0; unchecked = 0 } in
+  let result =
+    {
+      width;
+      rows = Array.make total [||];
+      len = 0;
+      unchecked = 0;
+      gov = Governor.current ();
+    }
+  in
   List.iter
     (fun part ->
       Array.blit part.rows 0 result.rows result.len part.len;
@@ -206,6 +179,10 @@ type partition = {
 }
 
 let partition bag cols =
+  (* The chokepoint of every hash-probed binary operator (join, minus,
+     semijoin, left outer join, join_sink): one failpoint covers the whole
+     probe family. *)
+  Governor.failpoint "probe";
   let part = { buckets = Hashtbl.create (max 16 bag.len); wild = []; cols } in
   iter bag ~f:(fun row ->
       if Binding.all_bound row cols then begin
@@ -415,7 +392,7 @@ let row_compare ~keys ~compare_ids r1 r2 =
 let sort bag ~keys ~compare_ids =
   let rows = Array.init bag.len (fun i -> bag.rows.(i)) in
   Array.stable_sort (row_compare ~keys ~compare_ids) rows;
-  { width = bag.width; rows; len = bag.len; unchecked = 0 }
+  { width = bag.width; rows; len = bag.len; unchecked = 0; gov = bag.gov }
 
 let semijoin b1 b2 =
   if b1.width <> b2.width then invalid_arg "Bag.semijoin: width mismatch";

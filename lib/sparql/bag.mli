@@ -8,45 +8,25 @@
 
 type t
 
-(** {1 Resource budget}
+(** {1 Resource accounting}
 
-    A global intermediate-row budget, the analogue of the paper's memory
-    limit (base runs out of memory on 13 of 24 queries; the bench harness
-    must observe that as a recoverable condition, not an actual OOM). While
-    armed, every {!push} anywhere in the engine consumes one unit;
-    exhaustion raises {!Limit_exceeded}. The budget, deadline and push
-    counter are atomics, so pushes from several domains are each accounted
-    exactly once and the limit fires promptly under parallel evaluation. *)
+    Every row production (a {!push} into a bag, or an {!account} for a
+    streamed row) is charged against the ambient {!Governor} ticket: the
+    ticket's row budget is the analogue of the paper's memory limit (base
+    runs out of memory on 13 of 24 queries; the bench harness must observe
+    that as a recoverable condition, not an actual OOM), and its deadline
+    and cancellation flag are checked on a per-bag stride so the checks
+    still trigger deterministically when parallel workers push into
+    worker-local bags. A bag captures the ticket ambient at {!create}
+    time; exhaustion raises [Governor.Kill]. With no ticket installed,
+    accounting runs against the calling domain's unlimited default. *)
 
-exception Limit_exceeded
-
-(** [set_budget n] allows [n] further row materializations. *)
-val set_budget : int -> unit
-
-(** [unlimited_budget ()] disarms the budget. *)
-val unlimited_budget : unit -> unit
-
-(** [set_deadline ~now ~at] arms a wall-clock deadline (the paper's query
-    timeout analogue): once [now ()] exceeds [at], further pushes raise
-    {!Limit_exceeded}. Checked every few thousand pushes {e of each bag}
-    (a per-bag stride counter, so the check still triggers deterministically
-    when parallel workers push into thread-local bags). *)
-val set_deadline : now:(unit -> float) -> at:float -> unit
-
-val clear_deadline : unit -> unit
-
-(** [reset_push_counter ()] / [pushed_rows ()] — a cumulative count of rows
-    produced (materialized or streamed) since the last reset, used as the
-    total-intermediate-size metric. *)
-val reset_push_counter : unit -> unit
-
-val pushed_rows : unit -> int
-
-(** [account ()] charges the production of one streamed row: the same
-    budget/deadline/counter accounting as {!push}, without materializing.
-    Streaming producers call it once per row emitted into a sink pipeline,
-    so resource limits mean the same thing whether an operator
-    materializes or streams. Serial sink-driving code only. *)
+(** [account ()] charges the production of one streamed row against the
+    ambient ticket: the same budget/deadline/counter accounting as
+    {!push}, without materializing. Streaming producers call it once per
+    row emitted into a sink pipeline, so resource limits mean the same
+    thing whether an operator materializes or streams. Serial sink-driving
+    code only. *)
 val account : unit -> unit
 
 (** {1 Construction} *)
@@ -198,7 +178,9 @@ type parallel_runner = {
       (** [run ~n ~create ~body] partitions [0..n-1] over workers; each
           worker folds its indices into a private accumulator from
           [create]; all accumulators are returned. Exceptions raised by
-          [body] (e.g. {!Limit_exceeded}) are re-raised in the caller. *)
+          [body] (e.g. [Governor.Kill]) are re-raised in the caller. The
+          runner must run each worker under the submitting domain's
+          ambient governor ticket. *)
 }
 
 (** [set_parallel_runner r] installs ([Some]) or removes ([None]) the

@@ -1,0 +1,158 @@
+(* Per-execution resource governance. A *ticket* carries everything one
+   query execution may consume: an atomic row budget, an optional
+   wall-clock deadline (with its injected clock — this library stays
+   clock-free), a cancellation flag settable from another domain, and a
+   deterministic fault-injection schedule. Tickets replace the historical
+   process-global budget/deadline atomics, so concurrent executions with
+   different limits no longer clobber each other.
+
+   The ambient ticket is domain-local ([Domain.DLS]): an executor installs
+   its ticket around an evaluation with [with_ticket], and the engine's
+   domain pool re-installs the submitting domain's ticket inside each
+   worker, so rows produced by parallel workers charge the same ticket as
+   the serial path. With no ticket installed, the per-domain default is
+   unlimited and uncancellable — library users pay only the accounting
+   arithmetic. *)
+
+type failure =
+  | Out_of_budget
+  | Timeout
+  | Cancelled
+  | Injected_fault of string
+
+exception Kill of failure
+
+let failure_name = function
+  | Out_of_budget -> "out-of-budget"
+  | Timeout -> "timeout"
+  | Cancelled -> "cancelled"
+  | Injected_fault site -> "injected-fault(" ^ site ^ ")"
+
+(* Only a cancellation is final: a fresh ticket cannot un-cancel the
+   caller's intent, whereas budget, deadline and one-shot injected faults
+   may well not recur on a retry with fresh resources. *)
+let transient = function Cancelled -> false | _ -> true
+
+(* A scheduled fault: fires on the [after]-th hit of [site], exactly once
+   (the atomic countdown makes the once-ness hold across domains). Faults
+   are shared by reference between retry attempts, so a fault that already
+   fired stays spent on the next attempt's ticket. *)
+type fault = { site : string; countdown : int Atomic.t }
+
+let fault ~site ~after =
+  if after < 1 then invalid_arg "Governor.fault: after must be >= 1";
+  { site; countdown = Atomic.make after }
+
+let fault_fired f = Atomic.get f.countdown <= 0
+
+(* A deterministic schedule derived from a seed: one fault per site, each
+   armed to fire on a hit index in [1, after_max]. A plain LCG — the point
+   is reproducibility of a chaos run, not statistical quality. *)
+let seeded_faults ~seed ~after_max sites =
+  if after_max < 1 then invalid_arg "Governor.seeded_faults: after_max must be >= 1";
+  let state = ref (seed land 0x3FFFFFFF) in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  List.map (fun site -> fault ~site ~after:(1 + (next () mod after_max))) sites
+
+type t = {
+  budget : int Atomic.t;
+  pushed : int Atomic.t;
+  deadline : (float * (unit -> float)) option;  (* (at, now) *)
+  cancelled : bool Atomic.t;
+  faults : fault array;
+  (* Stride counter for the serial streaming [charge_stream] path; one
+     execution drives one sink pipeline from one domain, so a plain ref
+     scoped to the ticket is race-free where a process-global one was
+     not. *)
+  stream_unchecked : int ref;
+}
+
+let create ?row_budget ?deadline ?(faults = []) () =
+  {
+    budget = Atomic.make (Option.value row_budget ~default:max_int);
+    pushed = Atomic.make 0;
+    deadline;
+    cancelled = Atomic.make false;
+    faults = Array.of_list faults;
+    stream_unchecked = ref 0;
+  }
+
+let unlimited () = create ()
+
+let cancel t = Atomic.set t.cancelled true
+let is_cancelled t = Atomic.get t.cancelled
+let pushed t = Atomic.get t.pushed
+let remaining_budget t = max 0 (Atomic.get t.budget)
+
+let governed t =
+  t.deadline <> None
+  || Atomic.get t.budget < max_int
+  || Array.length t.faults > 0
+
+(* {2 The ambient ticket} *)
+
+let key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> unlimited ())
+
+let current () = Domain.DLS.get key
+
+(* Process-wide count of live [with_ticket] scopes whose ticket carries
+   faults: the [failpoint] fast path is one atomic load when no chaos
+   schedule is armed anywhere. *)
+let armed_faults = Atomic.make 0
+
+let with_ticket t f =
+  let previous = Domain.DLS.get key in
+  Domain.DLS.set key t;
+  let has_faults = Array.length t.faults > 0 in
+  if has_faults then Atomic.incr armed_faults;
+  Fun.protect
+    ~finally:(fun () ->
+      if has_faults then Atomic.decr armed_faults;
+      Domain.DLS.set key previous)
+    f
+
+(* {2 Accounting}
+
+   Checked on the producing-operator hot paths, so the split matters:
+   [charge] (budget + produced-row counter) runs on every row; [tick]
+   (deadline + cancellation) is meant to be called on a stride — the
+   caller keeps the stride counter, per bag, exactly as the historical
+   deadline check did. *)
+
+let stride = 4096
+
+let charge t =
+  if Atomic.fetch_and_add t.budget (-1) <= 0 then raise (Kill Out_of_budget);
+  Atomic.incr t.pushed
+
+let tick t =
+  if Atomic.get t.cancelled then raise (Kill Cancelled);
+  match t.deadline with
+  | Some (at, now) -> if now () > at then raise (Kill Timeout)
+  | None -> ()
+
+let charge_stream t =
+  charge t;
+  incr t.stream_unchecked;
+  if !(t.stream_unchecked) >= stride then begin
+    t.stream_unchecked := 0;
+    tick t
+  end
+
+(* {2 Fault injection} *)
+
+let failpoint site =
+  if Atomic.get armed_faults > 0 then begin
+    let t = Domain.DLS.get key in
+    Array.iter
+      (fun f ->
+        if String.equal f.site site
+           && Atomic.fetch_and_add f.countdown (-1) = 1
+        then raise (Kill (Injected_fault site)))
+      t.faults
+  end
+
+let all_failpoints = [ "scan"; "extend"; "probe"; "sink.push"; "cache.insert" ]

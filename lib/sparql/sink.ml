@@ -22,7 +22,11 @@ type t = {
   stages : stage list ref;
 }
 
-let emit t row = t.feed row
+(* Every row entering a pipeline crosses this point, making it the
+   per-row chaos site for streaming execution. *)
+let emit t row =
+  Governor.failpoint "sink.push";
+  t.feed row
 
 (* [close] flushes buffered stages (sort, top-k). Stages swallow [Stop]
    raised by their downstream during the flush, so [close] itself never

@@ -382,14 +382,15 @@ let prop_streaming_modifiers_match_oracle =
         [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ])
 
 (* LIMIT pushdown actually early-terminates: the limited run produces
-   strictly fewer rows (Bag.pushed_rows, read after each run) than the
+   strictly fewer rows (the report's governed [pushed_rows]) than the
    unlimited one. *)
 let test_streaming_limit_early_exit () =
   let store = Workload.Lubm.store Workload.Lubm.tiny in
   let base = "SELECT * WHERE { ?s ?p ?o . }" in
   let run text =
     let r = Sparql_uo.Executor.run store text in
-    (Option.get r.Sparql_uo.Executor.result_count, Sparql.Bag.pushed_rows ())
+    (Option.get r.Sparql_uo.Executor.result_count,
+     r.Sparql_uo.Executor.pushed_rows)
   in
   let total, pushed_all = run base in
   let limited, pushed_limited = run (base ^ " LIMIT 5") in

@@ -434,9 +434,10 @@ let test_parallel_lubm () =
         (Workload.Queries.group1 Workload.Queries.Lubm))
     [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ]
 
-(* The row budget is a global atomic: a tiny budget must still trip
-   [Limit_exceeded] promptly when the pushes happen on worker domains
-   (here, two UNION branches evaluated concurrently). *)
+(* The row budget lives on the run's governor ticket, propagated into
+   the pool: a tiny budget must still kill the run promptly when the
+   pushes happen on worker domains (here, two UNION branches evaluated
+   concurrently). *)
 let test_parallel_budget_fires () =
   let store =
     Rdf_store.Triple_store.of_triples

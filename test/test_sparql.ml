@@ -321,16 +321,29 @@ let test_bag_project_dedup () =
     (Sparql.Bag.length (Sparql.Bag.dedup projected))
 
 let test_bag_budget () =
-  Sparql.Bag.set_budget 5;
-  let b = Sparql.Bag.create ~width:1 in
+  (* Budgets live on the ambient governor ticket: pushes inside the
+     governed scope charge it, and the ticket dies with the scope. *)
+  let gov = Sparql.Governor.create ~row_budget:5 () in
+  let captured = ref None in
   (try
-     for i = 1 to 10 do
-       Sparql.Bag.push b [| i |]
-     done;
-     Alcotest.fail "expected Limit_exceeded"
-   with Sparql.Bag.Limit_exceeded -> ());
-  Sparql.Bag.unlimited_budget ();
-  Alcotest.(check int) "five rows pushed" 5 (Sparql.Bag.length b)
+     Sparql.Governor.with_ticket gov (fun () ->
+         let b = Sparql.Bag.create ~width:1 in
+         captured := Some b;
+         for i = 1 to 10 do
+           Sparql.Bag.push b [| i |]
+         done);
+     Alcotest.fail "expected Kill Out_of_budget"
+   with Sparql.Governor.Kill Sparql.Governor.Out_of_budget -> ());
+  Alcotest.(check int) "five rows pushed" 5
+    (Sparql.Bag.length (Option.get !captured));
+  Alcotest.(check int) "ticket counted them" 5 (Sparql.Governor.pushed gov);
+  (* Outside the scope the ambient ticket is the per-domain unlimited
+     default — the spent budget cannot leak to the next execution. *)
+  let b2 = Sparql.Bag.create ~width:1 in
+  for i = 1 to 10 do
+    Sparql.Bag.push b2 [| i |]
+  done;
+  Alcotest.(check int) "next run ungoverned" 10 (Sparql.Bag.length b2)
 
 (* qcheck generators for random bags. *)
 let gen_row width =
