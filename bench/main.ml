@@ -491,26 +491,49 @@ let micro ctx =
 (* Parallel: serial vs multi-domain execution on the mixed workload.   *)
 (* ------------------------------------------------------------------ *)
 
-(* Not a paper figure: validates and times the multicore execution layer.
-   Each LUBM group-1 query (mixed OPTIONAL/UNION) runs under Full at
-   domains=1 and domains=N for both engines; results must be equal as
-   bags, and the per-query wall-clock goes into a machine-readable
-   BENCH json next to the human table. *)
+(* Not a paper figure: validates and times the morsel-driven multicore
+   execution layer. Each LUBM group-1 query (mixed OPTIONAL/UNION) runs
+   under Full at domains=1 and at each parallel domain count for both
+   engines; results must be equal as bags. The per-query wall-clock, the
+   per-domain-count aggregate speedups, the scheduler's morsel/steal/stop
+   counters and a cross-domain early-termination probe (streamed LIMIT vs
+   full scan at max domains) go into a machine-readable BENCH json next
+   to the human table. *)
 let parallel_bench_file = "bench_parallel.json"
 
 let parallel ctx ~domains =
+  (* The sweep: serial baseline plus each parallel domain count up to
+     [domains] (the --domains flag; 4 by default gives {1, 2, 4}). *)
+  let parallel_counts =
+    List.sort_uniq compare (List.filter (fun d -> d > 1) [ 2; domains ])
+  in
   Harness.section
     (Printf.sprintf
-       "Parallel: full at domains=1 vs domains=%d (LUBM mixed \
-        OPTIONAL/UNION workload)"
-       domains);
+       "Parallel: full at domains={1%s} (LUBM mixed OPTIONAL/UNION workload, \
+        morsel=%d)"
+       (String.concat ""
+          (List.map (fun d -> Printf.sprintf ",%d" d) parallel_counts))
+       (Engine.Pool.morsel_size ()));
   let store, stats = Lazy.force ctx.lubm in
+  let cell_json = function
+    | Harness.Time ms -> Printf.sprintf "%.3f" ms
+    | Harness.Oom | Harness.Timed_out -> "null"
+  in
   let json_engines =
     List.map
       (fun engine ->
         Harness.subsection (Engine.Bgp_eval.engine_name engine);
         let rows_json = ref [] in
-        let sum_serial = ref 0. and sum_parallel = ref 0. in
+        (* Per domain count: summed serial/parallel wall-clock and the
+           scheduler counters accumulated over that count's runs. *)
+        let sums =
+          List.map (fun d -> (d, (ref 0., ref 0.))) parallel_counts
+        in
+        let counters =
+          List.map (fun d -> (d, ref Engine.Pool.{ morsels = 0; steals = 0; stops = 0 }))
+            parallel_counts
+        in
+        let all_equal = ref true in
         let rows =
           List.map
             (fun entry ->
@@ -519,72 +542,176 @@ let parallel ctx ~domains =
                   { ctx.config with Harness.domains = 1 }
                   ~stats store entry ~mode:Sparql_uo.Executor.Full ~engine
               in
-              let par_cell, par_report =
-                Harness.run_mode
-                  { ctx.config with Harness.domains }
-                  ~stats store entry ~mode:Sparql_uo.Executor.Full ~engine
-              in
-              let equal =
-                match
-                  ( serial_report.Sparql_uo.Executor.bag,
-                    par_report.Sparql_uo.Executor.bag )
-                with
-                | Some b1, Some b2 -> Sparql.Bag.equal_as_bags b1 b2
-                | None, None -> true
-                | _ -> false
-              in
-              let speedup =
-                match (serial_cell, par_cell) with
-                | Harness.Time t1, Harness.Time tn when tn > 0. ->
-                    sum_serial := !sum_serial +. t1;
-                    sum_parallel := !sum_parallel +. tn;
-                    Printf.sprintf "%.2fx" (t1 /. tn)
-                | _ -> "-"
-              in
-              let cell_json = function
-                | Harness.Time ms -> Printf.sprintf "%.3f" ms
-                | Harness.Oom | Harness.Timed_out -> "null"
+              let par_cells =
+                List.map
+                  (fun d ->
+                    Engine.Pool.reset_counters ();
+                    let cell, report =
+                      Harness.run_mode
+                        { ctx.config with Harness.domains = d }
+                        ~stats store entry ~mode:Sparql_uo.Executor.Full
+                        ~engine
+                    in
+                    let c = Engine.Pool.counters () in
+                    let acc = List.assoc d counters in
+                    acc :=
+                      Engine.Pool.
+                        {
+                          morsels = !acc.morsels + c.morsels;
+                          steals = !acc.steals + c.steals;
+                          stops = !acc.stops + c.stops;
+                        };
+                    let equal =
+                      match
+                        ( serial_report.Sparql_uo.Executor.bag,
+                          report.Sparql_uo.Executor.bag )
+                      with
+                      | Some b1, Some b2 -> Sparql.Bag.equal_as_bags b1 b2
+                      | None, None -> true
+                      | _ -> false
+                    in
+                    if not equal then all_equal := false;
+                    let speedup =
+                      match (serial_cell, cell) with
+                      | Harness.Time t1, Harness.Time tn when tn > 0. ->
+                          let sum_s, sum_p = List.assoc d sums in
+                          sum_s := !sum_s +. t1;
+                          sum_p := !sum_p +. tn;
+                          Some (t1 /. tn)
+                      | _ -> None
+                    in
+                    (d, cell, equal, speedup))
+                  parallel_counts
               in
               rows_json :=
-                Printf.sprintf
-                  "      {\"id\": %S, \"ms_d1\": %s, \"ms_d%d\": %s, \
-                   \"equal_as_bags\": %b}"
-                  entry.Workload.Queries.id (cell_json serial_cell) domains
-                  (cell_json par_cell) equal
+                Printf.sprintf "      {\"id\": %S, \"ms_d1\": %s%s}"
+                  entry.Workload.Queries.id (cell_json serial_cell)
+                  (String.concat ""
+                     (List.map
+                        (fun (d, cell, equal, speedup) ->
+                          Printf.sprintf
+                            ", \"ms_d%d\": %s, \"speedup_d%d\": %s, \
+                             \"equal_as_bags_d%d\": %b"
+                            d (cell_json cell) d
+                            (match speedup with
+                            | Some s -> Printf.sprintf "%.3f" s
+                            | None -> "null")
+                            d equal)
+                        par_cells))
                 :: !rows_json;
-              [
-                entry.Workload.Queries.id;
-                Harness.cell_to_string serial_cell;
-                Harness.cell_to_string par_cell;
-                speedup;
-                (if equal then "yes" else "NO");
-              ])
+              entry.Workload.Queries.id :: Harness.cell_to_string serial_cell
+              :: List.concat_map
+                   (fun (_, cell, equal, speedup) ->
+                     [
+                       Harness.cell_to_string cell;
+                       (match speedup with
+                       | Some s -> Printf.sprintf "%.2fx" s
+                       | None -> "-");
+                       (if equal then "yes" else "NO");
+                     ])
+                   par_cells)
             (Workload.Queries.group1 Workload.Queries.Lubm)
         in
         Harness.print_table
           ~header:
-            [
-              "Query";
-              "domains=1 (ms)";
-              Printf.sprintf "domains=%d (ms)" domains;
-              "speedup";
-              "equal";
-            ]
+            ("Query" :: "d=1 (ms)"
+            :: List.concat_map
+                 (fun d ->
+                   [
+                     Printf.sprintf "d=%d (ms)" d;
+                     Printf.sprintf "speedup d=%d" d;
+                     "equal";
+                   ])
+                 parallel_counts)
           ~rows;
-        let aggregate =
-          if !sum_parallel > 0. then !sum_serial /. !sum_parallel else 0.
+        let aggregates =
+          List.map
+            (fun d ->
+              let sum_s, sum_p = List.assoc d sums in
+              (d, if !sum_p > 0. then !sum_s /. !sum_p else 0.))
+            parallel_counts
         in
-        Printf.printf "aggregate speedup (%s): %.2fx\n%!"
-          (Engine.Bgp_eval.engine_name engine)
-          aggregate;
+        List.iter
+          (fun (d, aggregate) ->
+            let c = !(List.assoc d counters) in
+            Printf.printf
+              "aggregate speedup (%s, domains=%d): %.2fx  [morsels=%d \
+               steals=%d stops=%d]\n\
+               %!"
+              (Engine.Bgp_eval.engine_name engine)
+              d aggregate c.Engine.Pool.morsels c.Engine.Pool.steals
+              c.Engine.Pool.stops)
+          aggregates;
         Printf.sprintf
-          "    {\"engine\": %S, \"aggregate_speedup\": %.3f, \"queries\": [\n\
+          "    {\"engine\": %S, \"all_equal_as_bags\": %b,%s%s \"queries\": [\n\
            %s\n\
           \    ]}"
           (Engine.Bgp_eval.engine_name engine)
-          aggregate
+          !all_equal
+          (String.concat ""
+             (List.map
+                (fun (d, aggregate) ->
+                  Printf.sprintf " \"aggregate_speedup_d%d\": %.3f," d
+                    aggregate)
+                aggregates))
+          (String.concat ""
+             (List.map
+                (fun (d, acc) ->
+                  let c = !acc in
+                  Printf.sprintf
+                    " \"counters_d%d\": {\"morsels\": %d, \"steals\": %d, \
+                     \"stops\": %d},"
+                    d c.Engine.Pool.morsels c.Engine.Pool.steals
+                    c.Engine.Pool.stops)
+                counters))
           (String.concat ",\n" (List.rev !rows_json)))
       [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ]
+  in
+  (* Cross-domain early termination, measured: a streamed LIMIT 10 over a
+     chain join at max domains must scan far fewer rows than the
+     materializing run of the same query (which pays both full steps).
+     [pushed_rows] counts every produced row under the run's ticket. *)
+  let early_termination =
+    let n = 1000 in
+    let chain =
+      List.concat
+        (List.init n (fun i ->
+             [
+               Rdf.Triple.make
+                 (Rdf.Term.iri (Printf.sprintf "http://b/s%d" i))
+                 (Rdf.Term.iri "http://b/p0")
+                 (Rdf.Term.iri (Printf.sprintf "http://b/m%d" i));
+               Rdf.Triple.make
+                 (Rdf.Term.iri (Printf.sprintf "http://b/m%d" i))
+                 (Rdf.Term.iri "http://b/p1")
+                 (Rdf.Term.iri (Printf.sprintf "http://b/o%d" i));
+             ]))
+    in
+    let chain_store = Rdf_store.Triple_store.of_triples chain in
+    let text =
+      "SELECT * WHERE { ?x <http://b/p0> ?y . ?y <http://b/p1> ?z } LIMIT 10"
+    in
+    let run ~streaming =
+      Engine.Pool.reset_counters ();
+      let report =
+        Sparql_uo.Executor.run ~mode:Sparql_uo.Executor.Base
+          ~engine:Engine.Bgp_eval.Wco ~domains ~streaming chain_store text
+      in
+      (report.Sparql_uo.Executor.pushed_rows, Engine.Pool.counters ())
+    in
+    let full_rows, _ = run ~streaming:false in
+    let streamed_rows, c = run ~streaming:true in
+    Printf.printf
+      "early termination: streamed LIMIT 10 at domains=%d scanned %d rows \
+       (full scan %d; stops=%d)\n\
+       %!"
+      domains streamed_rows full_rows c.Engine.Pool.stops;
+    Printf.sprintf
+      "  \"early_termination\": {\"query\": \"chain-limit10\", \"domains\": \
+       %d, \"pushed_rows_full\": %d, \"pushed_rows_streamed\": %d, \
+       \"stops\": %d, \"early\": %b},"
+      domains full_rows streamed_rows c.Engine.Pool.stops
+      (streamed_rows < full_rows)
   in
   let oc = open_out parallel_bench_file in
   Printf.fprintf oc
@@ -592,12 +719,17 @@ let parallel ctx ~domains =
     \  \"section\": \"parallel\",\n\
     \  \"dataset\": \"LUBM\",\n\
     \  \"mode\": \"full\",\n\
-    \  \"domains\": [1, %d],\n\
+    \  \"morsel_size\": %d,\n\
+    \  \"domains\": [1%s],\n\
+     %s\n\
     \  \"engines\": [\n\
      %s\n\
     \  ]\n\
      }\n"
-    domains
+    (Engine.Pool.morsel_size ())
+    (String.concat ""
+       (List.map (fun d -> Printf.sprintf ", %d" d) parallel_counts))
+    early_termination
     (String.concat ",\n" json_engines);
   close_out oc;
   Printf.printf "[bench] wrote %s\n%!" parallel_bench_file
@@ -1279,6 +1411,11 @@ let () =
       ( "--domains",
         Arg.Set_int domains,
         "N domain count for the parallel section (default 4)" );
+      ( "--morsel-size",
+        Arg.Int Engine.Pool.set_morsel_size,
+        "N indices per morsel for the work-stealing scheduler (default "
+        ^ string_of_int Engine.Pool.default_morsel_size
+        ^ ")" );
     ]
   in
   Arg.parse spec

@@ -66,6 +66,18 @@ let domains_arg =
   in
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
 
+let morsel_arg =
+  let doc =
+    "Indices per morsel for the work-stealing scheduler (effective with \
+     --domains > 1): smaller morsels tighten early-termination and \
+     kill latency and smooth imbalance; larger morsels amortize \
+     scheduling overhead."
+  in
+  Arg.(
+    value
+    & opt int Engine.Pool.default_morsel_size
+    & info [ "morsel-size" ] ~docv:"N" ~doc)
+
 let materialize_arg =
   let doc =
     "Disable the streaming sink pipeline: materialize the full result, \
@@ -258,7 +270,8 @@ let session_runs session ~mode ~engine ~domains ~materialize ?timeout_ms
 
 let query_cmd =
   let run data synth qfile qtext mode engine max_print timeout_ms row_budget
-      domains materialize partial repeat =
+      domains morsel materialize partial repeat =
+    Engine.Pool.set_morsel_size morsel;
     let store = or_die (load_store data synth) in
     let text = or_die (load_query qfile qtext) in
     let session = Sparql_uo.Session.create store in
@@ -286,7 +299,7 @@ let query_cmd =
     Term.(
       const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
       $ mode_arg $ engine_arg $ max_print_arg $ timeout_arg $ budget_arg
-      $ domains_arg $ materialize_arg $ partial_arg $ repeat_arg)
+      $ domains_arg $ morsel_arg $ materialize_arg $ partial_arg $ repeat_arg)
 
 (* ---------------- explain ---------------- *)
 
@@ -312,8 +325,9 @@ let explain_cmd =
 (* ---------------- modes ---------------- *)
 
 let modes_cmd =
-  let run data synth qfile qtext engine timeout_ms row_budget domains
+  let run data synth qfile qtext engine timeout_ms row_budget domains morsel
       materialize =
+    Engine.Pool.set_morsel_size morsel;
     let store = or_die (load_store data synth) in
     let text = or_die (load_query qfile qtext) in
     (* One session across the four modes: statistics are computed once and
@@ -344,7 +358,7 @@ let modes_cmd =
     (Cmd.info "modes" ~doc:"Compare base/TT/CP/full on one query")
     Term.(
       const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
-      $ engine_arg $ timeout_arg $ budget_arg $ domains_arg
+      $ engine_arg $ timeout_arg $ budget_arg $ domains_arg $ morsel_arg
       $ materialize_arg)
 
 (* ---------------- update ---------------- *)

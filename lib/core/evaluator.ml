@@ -220,10 +220,11 @@ and values_bag st (block : Sparql.Ast.values_block) =
   bag
 
 (* UNION branches are independent by construction, so when the env carries
-   a domain pool they evaluate concurrently, one branch per worker.
+   a domain pool they evaluate concurrently, one branch per morsel.
    Branches that could intern dictionary terms (VALUES, see above) force
    the serial path; nested parallelism inside a branch (a WCO step or a
-   probe-side chunking) degrades to serial automatically in the pool. *)
+   probe-side fan-out) seeds its own job into the shared scheduler, so
+   idle domains help with inner morsels instead of sitting out. *)
 and eval_union_branches st branches ~cands =
   match Engine.Bgp_eval.pool st.env with
   | Some pool
@@ -231,7 +232,7 @@ and eval_union_branches st branches ~cands =
          && not (List.exists tree_has_values branches) ->
       let arr = Array.of_list branches in
       Array.to_list
-        (Engine.Pool.parallel_map pool ~chunk:1 ~lo:0 ~hi:(Array.length arr)
+        (Engine.Pool.parallel_map pool ~morsel:1 ~lo:0 ~hi:(Array.length arr)
            (fun i -> eval_group st arr.(i) ~cands))
   | _ -> List.map (fun branch -> eval_group st branch ~cands) branches
 

@@ -390,8 +390,9 @@ let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms
     | None -> ticket ?row_budget ?timeout_ms ()
   in
   let t1 = now_ms () in
-  (* Bag's probe-side chunking routes through the global pool only while a
-     parallel query runs; serial queries keep the historical operators. *)
+  (* Bag's probe-side morselization routes through the global pool only
+     while a parallel query runs; serial queries keep the historical
+     operators. *)
   if domains > 1 then Engine.Pool.enable_bag_runner ()
   else Engine.Pool.disable_bag_runner ();
   let width = Engine.Bgp_eval.width env in

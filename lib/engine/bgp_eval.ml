@@ -79,7 +79,8 @@ let eval_into ctx patterns ~candidates ~sink =
   | Wco ->
       Wco.eval_into ?pool:ctx.pool ctx.store ~stats:ctx.stats ~width plan
         ~candidates ~sink
-  | Hash_join -> Hash_join.eval_into ctx.store ~width plan ~candidates ~sink
+  | Hash_join ->
+      Hash_join.eval_into ?pool:ctx.pool ctx.store ~width plan ~candidates ~sink
 
 let estimate_cost ctx patterns =
   let plan = plan ctx patterns in

@@ -13,8 +13,13 @@ val eval :
     patterns but the last materialize as usual and become the build side;
     the last pattern's scan then probes row-at-a-time, emitting merged rows
     into [sink], so a downstream LIMIT can short-circuit the scan via
-    [Sink.Stop]. *)
+    [Sink.Stop]. With [?pool] (and more than one domain), a large probe
+    side is materialized and morselized across the pool: every agent
+    probes the read-only build partition concurrently into its own shard
+    of the sink, and a [Stop] in any shard stops the other domains at
+    their next morsel boundary. *)
 val eval_into :
+  ?pool:Pool.t ->
   Rdf_store.Triple_store.t ->
   width:int ->
   Planner.plan ->

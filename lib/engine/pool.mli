@@ -1,11 +1,16 @@
-(** A fixed pool of worker domains (stdlib [Domain], no external deps) for
-    data-parallel loops over integer ranges.
+(** A morsel-driven work-stealing scheduler over a fixed set of worker
+    domains (stdlib [Domain], no external deps).
 
-    Work is claimed in chunks through an atomic cursor, each participating
-    domain (the caller included) folds into a private accumulator, and
-    worker exceptions are funneled back to the caller. A pool of size 1 —
-    and any nested parallel call while an operation is in flight — degrades
-    gracefully to the plain serial loop. *)
+    A parallel operation seeds per-slot deques with small fixed-size
+    morsels (contiguous index ranges); every participating domain — the
+    caller included — pops from the front of its own deque and steals from
+    the backs of the others when it runs dry. An atomic per-job [Stop]
+    flag is checked at every morsel boundary, so streaming early
+    termination (a satisfied LIMIT) and governor kills genuinely cross
+    domains instead of waiting for workers to exhaust their share. Nested
+    parallel calls seed their own job into the shared scheduler and help
+    execute it (no serial degradation, no deadlock); idle workers pick up
+    morsels of any active job. *)
 
 type t
 
@@ -18,28 +23,51 @@ val shutdown : t -> unit
 
 val num_domains : t -> int
 
-(** [adaptive_chunk pool ~n] picks a chunk size for a range of [n]
-    indices: about four claims per domain, clamped to [16, 1024]. Used
-    when the per-index work is uniform and cheap (e.g. materializing rows
-    from an intersected extension domain). *)
-val adaptive_chunk : t -> n:int -> int
+(** {1 Morsel size}
+
+    The process-wide default number of indices per morsel (the [--morsel-size]
+    CLI knob). Smaller morsels tighten early-termination and kill latency
+    and smooth imbalance; larger morsels amortize scheduling. *)
+
+val default_morsel_size : int
+val set_morsel_size : int -> unit
+val morsel_size : unit -> int
+
+(** [adaptive_morsel pool ~n] picks a morsel size for a range of [n]
+    cheap uniform indices (e.g. materializing rows from an intersected
+    extension domain): the configured size, reduced for small ranges so
+    they still spread across slots (clamped to at least 16). *)
+val adaptive_morsel : t -> n:int -> int
+
+(** {1 Scheduler counters} *)
+
+(** Process-global observability: [morsels] executed, successful [steals]
+    (a morsel claimed from another slot's deque), and [stops] (jobs ended
+    early by a cross-domain [Stop]). The bench harness resets and samples
+    these around timed runs. *)
+type counters = { morsels : int; steals : int; stops : int }
+
+val counters : unit -> counters
+val reset_counters : unit -> unit
+
+(** {1 Parallel loops} *)
 
 (** [accumulate pool ~lo ~hi ~create ~body ()] applies [body acc i] to
     every [lo <= i < hi]; each participating domain folds into its own
     accumulator obtained from [create]. Returns all accumulators (in no
-    particular order of contribution). [chunk] is the number of indices
-    claimed at a time (default 64); ranges no larger than one chunk run
-    serially in the caller.
+    particular order of contribution). [morsel] is the number of indices
+    per morsel (default {!morsel_size}).
 
-    Each worker runs under the submitting domain's ambient
-    [Sparql.Governor] ticket, so parallel row production charges the same
-    per-query budget as the serial path. A [Governor.Kill] (or any other
-    exception) raised in one worker stops the others at their next chunk
-    boundary and is re-raised in the caller once all workers have
-    parked — the pool is quiescent by the time the kill propagates. *)
+    Each morsel runs under the submitting domain's ambient
+    [Sparql.Governor] ticket — stolen morsels included — so parallel row
+    production charges the same per-query budget as the serial path, and
+    cancellation/deadline are checked at every morsel boundary. A
+    [Governor.Kill] (or any other exception) raised in one morsel parks
+    every domain at its next morsel boundary and is re-raised in the
+    caller once the job has quiesced. *)
 val accumulate :
   t ->
-  ?chunk:int ->
+  ?morsel:int ->
   lo:int ->
   hi:int ->
   create:(unit -> 'acc) ->
@@ -49,11 +77,32 @@ val accumulate :
 
 (** [parallel_iter pool ~lo ~hi f] — [f i] for every [lo <= i < hi], in
     parallel. [f] must be safe to call from any domain. *)
-val parallel_iter : t -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+val parallel_iter : t -> ?morsel:int -> lo:int -> hi:int -> (int -> unit) -> unit
 
 (** [parallel_map pool ~lo ~hi f] — the array [| f lo; ...; f (hi-1) |],
     computed in parallel. *)
-val parallel_map : t -> ?chunk:int -> lo:int -> hi:int -> (int -> 'a) -> 'a array
+val parallel_map : t -> ?morsel:int -> lo:int -> hi:int -> (int -> 'a) -> 'a array
+
+(** [stream pool ~lo ~hi ~sink ~local ~body ()] — the streaming fan-out:
+    [body scratch shard i] emits the rows of index [i] into [shard], the
+    calling agent's private shard of [sink] (see [Sparql.Sink.fork]), with
+    [scratch] the agent's private state from [local]. Workers emit
+    through [Sparql.Bag.emit_charged]; a [Sink.Stop] raised by any shard
+    stops the other domains at their next morsel boundary, the shards
+    drain serially into the pipeline, and [Stop] re-raises here — callers
+    observe exactly the serial early-termination protocol. Runs serially
+    over [sink] itself (same per-morsel governor ticks) when the pool has
+    one domain or the sink is not forkable. *)
+val stream :
+  t ->
+  ?morsel:int ->
+  lo:int ->
+  hi:int ->
+  sink:Sparql.Sink.t ->
+  local:(unit -> 'local) ->
+  body:('local -> Sparql.Sink.t -> int -> unit) ->
+  unit ->
+  unit
 
 (** {1 The process-global pool}
 
@@ -72,7 +121,8 @@ val global : unit -> t option
 
 (** [enable_bag_runner ()] installs the global pool as [Sparql.Bag]'s
     parallel runner, so the probe side of [Bag.join] /
-    [Bag.left_outer_join] / [Bag.minus] is chunked across domains.
+    [Bag.left_outer_join] / [Bag.minus] (and their streaming [_into]
+    forms, through shard sinks) is morselized across domains.
     [disable_bag_runner ()] restores the serial operators. The executor
     brackets each [domains > 1] query with these. *)
 val enable_bag_runner : unit -> unit

@@ -105,10 +105,11 @@ let extend_row store stats candidates pattern ~scratch row ~emit =
           scan_and_push store candidates pattern ~scratch seeded ~emit)
   | _ -> scan_and_push store candidates pattern ~scratch row ~emit
 
-(* Rows are extended independently, so a step parallelizes by chunking the
-   current bag across domains; each worker pushes into a thread-local part
-   (budget-accounted there) and the parts are concatenated. Serial when no
-   pool is given or the bag is too small to amortize the fan-out. *)
+(* Rows are extended independently, so a step parallelizes by morselizing
+   the current bag across domains; each agent pushes into a thread-local
+   part (budget-accounted there, preallocated to a morsel's worth of rows)
+   and the parts are concatenated. Serial when no pool is given or the bag
+   is too small to amortize the fan-out. *)
 let min_parallel_rows = 32
 
 let eval_step ?pool store stats ~width candidates input (step : Planner.step) =
@@ -118,10 +119,11 @@ let eval_step ?pool store stats ~width candidates input (step : Planner.step) =
   | Some pool when Sparql.Bag.length input >= min_parallel_rows ->
       Sparql.Bag.concat ~width
         (List.map fst
-           (Pool.accumulate pool ~chunk:16 ~lo:0
+           (Pool.accumulate pool ~lo:0
               ~hi:(Sparql.Bag.length input)
               ~create:(fun () ->
-                (Sparql.Bag.create ~width, Sparql.Binding.create ~width))
+                ( Sparql.Bag.create_sized ~capacity:(Pool.morsel_size ()) ~width,
+                  Sparql.Binding.create ~width ))
               ~body:(fun (out, scratch) i ->
                 extend_row store stats candidates step.pattern ~scratch
                   (Sparql.Bag.get input i) ~emit:(Sparql.Bag.push out))
@@ -178,13 +180,14 @@ let eval_extend ?pool store ~width candidates input ~col
   in
   match pool with
   | Some pool when Sparql.Bag.length input >= min_parallel_rows ->
-      (* Plenty of rows: chunk the input bag, one scratch domain buffer per
-         worker. *)
+      (* Plenty of rows: morselize the input bag, one scratch domain
+         buffer per agent. *)
       Sparql.Bag.concat ~width
         (List.map fst
-           (Pool.accumulate pool ~chunk:16 ~lo:0
+           (Pool.accumulate pool ~lo:0
               ~hi:(Sparql.Bag.length input)
-              ~create:(fun () -> (Sparql.Bag.create ~width, ref [||]))
+              ~create:(fun () ->
+                (Sparql.Bag.create_sized ~capacity:(Pool.morsel_size ()) ~width, ref [||]))
               ~body:(fun (out, buf) i ->
                 let row = Sparql.Bag.get input i in
                 let n = domain_into buf row in
@@ -197,7 +200,8 @@ let eval_extend ?pool store ~width candidates input ~col
               ()))
   | Some pool ->
       (* Few rows (a star query starts from the unit bag): parallelism must
-         come from chunking the intersected domain itself, not the input. *)
+         come from morselizing the intersected domain itself, not the
+         input. *)
       let buf = ref [||] in
       let parts = ref [] in
       let serial = Sparql.Bag.create ~width in
@@ -208,9 +212,9 @@ let eval_extend ?pool store ~width candidates input ~col
             parts :=
               List.rev_append
                 (Pool.accumulate pool
-                   ~chunk:(Pool.adaptive_chunk pool ~n)
+                   ~morsel:(Pool.adaptive_morsel pool ~n)
                    ~lo:0 ~hi:n
-                   ~create:(fun () -> Sparql.Bag.create ~width)
+                   ~create:(fun () -> Sparql.Bag.create_sized ~capacity:(Pool.morsel_size ()) ~width)
                    ~body:(fun out k ->
                      let fresh = Array.copy row in
                      fresh.(col) <- Array.unsafe_get b k;
@@ -259,30 +263,23 @@ let eval ?pool store ~stats ~width (plan : Planner.plan) ~candidates =
 (* Streaming variant: every step but the last materializes exactly as
    [eval] (each step's input must be complete before the next begins), but
    the last step's extensions flow straight into [sink]. Under a pool the
-   last step still fans out into worker-local bags — [Sink.Stop] must not
-   unwind across domains — which are then replayed serially into the sink;
-   the rows were budget-accounted when pushed into their part, so the
-   replay is free. The serial terminal scan binds into a scratch row and
-   copies only on emit. *)
+   last step runs through [Pool.stream]: each agent emits into its own
+   shard of the sink, and a [Sink.Stop] raised in any shard (a satisfied
+   LIMIT) stops the other domains at their next morsel boundary — genuine
+   cross-domain early termination, not a serial replay of worker bags.
+   The serial terminal scan binds into a scratch row and copies only on
+   emit. *)
 let stream_scan ?pool store stats ~width candidates input (step : Planner.step)
     ~sink =
   Sparql.Governor.failpoint "scan";
   match pool with
   | Some pool when Sparql.Bag.length input >= min_parallel_rows ->
-      let parts =
-        List.map fst
-          (Pool.accumulate pool ~chunk:16 ~lo:0
-             ~hi:(Sparql.Bag.length input)
-             ~create:(fun () ->
-               (Sparql.Bag.create ~width, Sparql.Binding.create ~width))
-             ~body:(fun (out, scratch) i ->
-               extend_row store stats candidates step.pattern ~scratch
-                 (Sparql.Bag.get input i) ~emit:(Sparql.Bag.push out))
-             ())
-      in
-      List.iter
-        (fun part -> Sparql.Bag.iter part ~f:(Sparql.Sink.emit sink))
-        parts
+      Pool.stream pool ~lo:0 ~hi:(Sparql.Bag.length input) ~sink
+        ~local:(fun () -> Sparql.Binding.create ~width)
+        ~body:(fun scratch shard i ->
+          extend_row store stats candidates step.pattern ~scratch
+            (Sparql.Bag.get input i) ~emit:(Sparql.Bag.emit_charged shard))
+        ()
   | _ ->
       let scratch = Sparql.Binding.create ~width in
       Sparql.Bag.iter input ~f:(fun row ->
@@ -291,19 +288,57 @@ let stream_scan ?pool store stats ~width candidates input (step : Planner.step)
 
 let stream_extend ?pool store ~width candidates input ~col patterns ~sink =
   Sparql.Governor.failpoint "extend";
+  let extra, filters = candidate_operands candidates ~col in
+  let domain_into buf row =
+    Intersect.multiway ~buf
+      (extra @ List.map (operand_of store row) patterns)
+      ~filters
+  in
   match pool with
   | Some pool when Sparql.Bag.length input >= min_parallel_rows ->
-      let out = eval_extend ~pool store ~width candidates input ~col patterns in
-      Sparql.Bag.iter out ~f:(Sparql.Sink.emit sink)
-  | _ ->
-      let extra, filters = candidate_operands candidates ~col in
+      (* Morselize the input rows; each agent intersects into its own
+         scratch domain buffer and streams extensions into its shard. *)
+      Pool.stream pool ~lo:0 ~hi:(Sparql.Bag.length input) ~sink
+        ~local:(fun () -> ref [||])
+        ~body:(fun buf shard i ->
+          let row = Sparql.Bag.get input i in
+          let n = domain_into buf row in
+          let b = !buf in
+          for k = 0 to n - 1 do
+            let fresh = Array.copy row in
+            fresh.(col) <- Array.unsafe_get b k;
+            Sparql.Bag.emit_charged shard fresh
+          done)
+        ()
+  | Some pool ->
+      (* Few rows: morselize each large intersected domain instead. *)
       let buf = ref [||] in
       Sparql.Bag.iter input ~f:(fun row ->
-          let n =
-            Intersect.multiway ~buf
-              (extra @ List.map (operand_of store row) patterns)
-              ~filters
-          in
+          let n = domain_into buf row in
+          if n >= min_parallel_domain then begin
+            let b = !buf in
+            Pool.stream pool
+              ~morsel:(Pool.adaptive_morsel pool ~n)
+              ~lo:0 ~hi:n ~sink
+              ~local:(fun () -> ())
+              ~body:(fun () shard k ->
+                let fresh = Array.copy row in
+                fresh.(col) <- Array.unsafe_get b k;
+                Sparql.Bag.emit_charged shard fresh)
+              ()
+          end
+          else begin
+            let b = !buf in
+            for k = 0 to n - 1 do
+              let fresh = Array.copy row in
+              fresh.(col) <- Array.unsafe_get b k;
+              Sparql.Bag.emit_accounted sink fresh
+            done
+          end)
+  | None ->
+      let buf = ref [||] in
+      Sparql.Bag.iter input ~f:(fun row ->
+          let n = domain_into buf row in
           let b = !buf in
           for k = 0 to n - 1 do
             let fresh = Array.copy row in

@@ -15,8 +15,19 @@ type t = {
   gov : Governor.t;
 }
 
-let create ~width =
-  { width; rows = [||]; len = 0; unchecked = 0; gov = Governor.current () }
+(* [capacity] preallocates the row array — morsel workers size their
+   local bags to the expected morsel output so the first few pushes do
+   not pay doubling copies. *)
+let create_sized ~capacity ~width =
+  {
+    width;
+    rows = (if capacity <= 0 then [||] else Array.make capacity [||]);
+    len = 0;
+    unchecked = 0;
+    gov = Governor.current ();
+  }
+
+let create ~width = create_sized ~capacity:0 ~width
 
 (* Append without budget accounting — for rows whose production was
    already charged (worker-part concatenation, the terminal sink of a
@@ -113,6 +124,7 @@ type parallel_runner = {
   run :
     'acc.
     n:int -> create:(unit -> 'acc) -> body:('acc -> int -> unit) -> 'acc list;
+  run_stream : n:int -> sink:Sink.t -> body:(Sink.t -> int -> unit) -> unit;
 }
 
 let parallel_runner : parallel_runner option ref = ref None
@@ -245,19 +257,44 @@ let probe_into ~width probe ~emit =
 (* {2 Sink-driven operator variants}
 
    Each [*_into] operator streams its output rows into a sink instead of
-   materializing a result bag. Accounting rule: a row is charged (via
-   [account] or a worker-local [push]) exactly once, at the operator
-   boundary where it is produced; replaying worker parts into the sink is
-   the concat case and does not re-charge. [Sink.Stop] raised by the sink
-   aborts the serial probe loop — the early-termination payoff. *)
+   materializing a result bag. Accounting rule: a row is charged exactly
+   once, at the operator boundary where it is produced — [account] on the
+   serial path, [emit_charged] from a morsel worker; shard-drain replays
+   do not re-charge. [Sink.Stop] raised by the sink aborts the serial
+   probe loop, and under a parallel runner a [Stop] in any shard stops
+   the other domains at their next morsel boundary — the
+   early-termination payoff. *)
 
 let emit_accounted sink row =
   account ();
   Sink.emit sink row
 
+(* The cross-domain variant: charge through the ticket's atomic stride
+   counter instead of the serial one. Morsel workers emitting into shard
+   sinks call this once per produced row. *)
+let emit_charged sink row =
+  Governor.charge_parallel (Governor.current ());
+  Sink.emit sink row
+
 (* The materializing terminal: rows were charged at production, so the
-   final append is a plain blit like [concat]. *)
-let sink bag = Sink.terminal ~name:"materialize" (fun row -> append bag row)
+   final append is a plain blit like [concat]. Sharded into per-domain
+   bags blitted into [bag] (in shard-creation order) at drain. *)
+let sink bag =
+  let base = Sink.terminal ~name:"materialize" (fun row -> append bag row) in
+  let shards = ref [] in
+  Sink.with_fork base
+    {
+      Sink.new_shard =
+        (fun () ->
+          let part = create ~width:bag.width in
+          shards := part :: !shards;
+          Sink.terminal ~name:"materialize-shard" (fun row -> append part row));
+      drain =
+        (fun () ->
+          let parts = List.rev !shards in
+          shards := [];
+          List.iter (fun part -> iter part ~f:(append bag)) parts);
+    }
 
 (* Re-emit a materialized bag into a sink across an operator boundary.
    Charged, mirroring the cost-proxy re-push of the materializing [union]
@@ -265,21 +302,19 @@ let sink bag = Sink.terminal ~name:"materialize" (fun row -> append bag row)
 let replay bag ~sink = iter bag ~f:(fun row -> emit_accounted sink row)
 
 (* Pool composition for sink-driving probe loops, mirroring [probe_into]:
-   with a runner installed and a large probe side, each worker emits into a
-   thread-local bag (budget-accounted there) and the parts are then
-   replayed serially into the sink without re-charging. [Stop] therefore
-   only ever unwinds serial code: either the serial probe loop itself, or
-   the serial replay of worker parts (the parallel work is already done by
-   then, as in any barrier). *)
-let stream_probe ~width probe ~emit ~sink =
+   with a runner installed and a large probe side, the probe rows are
+   morselized across domains and every worker emits straight into its own
+   shard of the sink (charged through the ticket's atomic stride). A
+   [Sink.Stop] raised inside a worker becomes a cross-domain stop at the
+   other workers' next morsel boundary, and the runner re-raises it here
+   after the shards have drained — so a downstream LIMIT terminates remote
+   workers early instead of letting them materialize bags that a serial
+   replay would then mostly throw away. *)
+let stream_probe ~width:_ probe ~emit ~sink =
   match !parallel_runner with
   | Some runner when probe.len >= parallel_threshold ->
-      let parts =
-        runner.run ~n:probe.len
-          ~create:(fun () -> create ~width)
-          ~body:(fun out i -> emit (push out) probe.rows.(i))
-      in
-      List.iter (fun part -> iter part ~f:(Sink.emit sink)) parts
+      runner.run_stream ~n:probe.len ~sink ~body:(fun shard i ->
+          emit (emit_charged shard) probe.rows.(i))
   | _ -> iter probe ~f:(fun row -> emit (emit_accounted sink) row)
 
 let join b1 b2 =
@@ -305,14 +340,19 @@ let join_into b1 b2 ~sink =
    probe each streamed row as it arrives. [probe_cols] are columns the
    probe rows may bind; key columns are their intersection with the build
    side's domain ([iter_compatible] stays correct even for probe rows
-   missing key columns — they scan all buckets). *)
-let join_sink build ~probe_cols ~sink =
+   missing key columns — they scan all buckets). [probe_merged] exposes
+   the emit-parameterized form so the morsel scheduler can probe the same
+   read-only partition from several domains, each into its own shard. *)
+let probe_merged build ~probe_cols =
   let build_cols = bound_columns build in
   let cols = List.filter (fun col -> List.mem col build_cols) probe_cols in
   let part = partition build cols in
-  fun row ->
-    iter_compatible part row ~f:(fun other ->
-        emit_accounted sink (Binding.merge row other))
+  fun ~emit row ->
+    iter_compatible part row ~f:(fun other -> emit (Binding.merge row other))
+
+let join_sink build ~probe_cols ~sink =
+  let probe = probe_merged build ~probe_cols in
+  fun row -> probe ~emit:(emit_accounted sink) row
 
 let union b1 b2 =
   if b1.width <> b2.width then invalid_arg "Bag.union: width mismatch";

@@ -31,7 +31,13 @@ val account : unit -> unit
 
 (** {1 Construction} *)
 
+(** [create ~width] — an empty bag. *)
 val create : width:int -> t
+
+(** [create_sized ~capacity ~width] — an empty bag whose row array is
+    preallocated to [capacity] (morsel workers size local bags to the
+    expected morsel output, avoiding early doubling copies). *)
+val create_sized : capacity:int -> width:int -> t
 
 (** [unit ~width] holds exactly one all-unbound mapping — the value of the
     empty group pattern and the join identity. *)
@@ -120,16 +126,23 @@ val equal_as_bags : t -> t -> bool
     via {!account} exactly once, at the producing operator boundary).
     [Sink.Stop] raised by the sink aborts the probe loop, so a downstream
     LIMIT early-terminates the pipeline. While a parallel runner is
-    installed, the probe side fans out exactly like the materializing
-    operators — worker-local bags that are replayed serially into the sink
-    without re-charging. *)
+    installed, the probe side is morselized across domains and each worker
+    emits into its own shard of the sink; a [Stop] in any worker stops the
+    others at their next morsel boundary (true cross-domain early
+    termination, not a serial replay of worker bags). *)
 
 (** [sink bag] — the materializing terminal: every emitted row is appended
     to [bag] by blit (production was already charged). *)
 val sink : t -> Sink.t
 
-(** [emit_accounted sink row] — charge one produced row and emit it. *)
+(** [emit_accounted sink row] — charge one produced row and emit it.
+    Serial sink-driving code only (uses the ticket's serial stride). *)
 val emit_accounted : Sink.t -> Binding.t -> unit
+
+(** [emit_charged sink row] — charge one produced row through the
+    ticket's atomic stride and emit it; safe from any domain. Morsel
+    workers emitting into shard sinks use this. *)
+val emit_charged : Sink.t -> Binding.t -> unit
 
 (** [replay bag ~sink] re-emits a materialized bag into a sink across an
     operator boundary (charged, like the materializing {!union}'s
@@ -148,6 +161,14 @@ val project_into : t -> cols:int list -> sink:Sink.t -> unit
     intersection of its domain with [probe_cols] and returns the per-row
     probe function (each match is merged and emitted). *)
 val join_sink : t -> probe_cols:int list -> sink:Sink.t -> Binding.t -> unit
+
+(** [probe_merged build ~probe_cols] — the emit-parameterized form of
+    {!join_sink}: partitions [build] once and returns a probe function
+    over any emitter. The partition is read-only after construction, so
+    several domains may probe it concurrently, each emitting into its own
+    shard sink. *)
+val probe_merged :
+  t -> probe_cols:int list -> emit:(Binding.t -> unit) -> Binding.t -> unit
 
 (** [row_compare ~keys ~compare_ids] — the ORDER BY row comparator used by
     {!sort}, exposed for the streaming sort/top-k stages. *)
@@ -181,6 +202,14 @@ type parallel_runner = {
           [body] (e.g. [Governor.Kill]) are re-raised in the caller. The
           runner must run each worker under the submitting domain's
           ambient governor ticket. *)
+  run_stream : n:int -> sink:Sink.t -> body:(Sink.t -> int -> unit) -> unit;
+      (** [run_stream ~n ~sink ~body] — the streaming form: [body shard i]
+          is called for every index, where [shard] is the calling domain's
+          private shard of [sink] (obtained through {!Sink.fork}; when the
+          sink is not forkable the runner degrades to a serial loop over
+          [sink] itself). A [Sink.Stop] raised by a shard stops the other
+          workers at their next morsel boundary and is re-raised in the
+          caller after the shards have drained into the serial pipeline. *)
 }
 
 (** [set_parallel_runner r] installs ([Some]) or removes ([None]) the

@@ -68,6 +68,10 @@ type t = {
      scoped to the ticket is race-free where a process-global one was
      not. *)
   stream_unchecked : int ref;
+  (* Stride counter for [charge_parallel]: shared by every domain that
+     emits under this ticket (the morsel scheduler re-installs the
+     submitting ticket inside stolen morsels), so it must be atomic. *)
+  parallel_unchecked : int Atomic.t;
 }
 
 let create ?row_budget ?deadline ?(faults = []) () =
@@ -78,6 +82,7 @@ let create ?row_budget ?deadline ?(faults = []) () =
     cancelled = Atomic.make false;
     faults = Array.of_list faults;
     stream_unchecked = ref 0;
+    parallel_unchecked = Atomic.make 0;
   }
 
 let unlimited () = create ()
@@ -141,6 +146,17 @@ let charge_stream t =
     t.stream_unchecked := 0;
     tick t
   end
+
+(* The cross-domain counterpart of [charge_stream]: producers emitting
+   from stolen morsels share one atomic stride counter, so a deadline or
+   cancellation still triggers within [stride] rows of production no
+   matter how the rows are spread across domains. The morsel scheduler
+   additionally ticks at every morsel boundary, which bounds kill latency
+   even for producers that emit nothing. *)
+let charge_parallel t =
+  charge t;
+  if Atomic.fetch_and_add t.parallel_unchecked 1 mod stride = stride - 1 then
+    tick t
 
 (* {2 Fault injection} *)
 

@@ -125,6 +125,11 @@ val tick : t -> unit
     to hang a stride counter on. Serial sink-driving code only. *)
 val charge_stream : t -> unit
 
+(** [charge_parallel t] — [charge] plus a strided [tick] through the
+    ticket's shared atomic stride counter: safe to call from any domain,
+    used by producers emitting into shard sinks from stolen morsels. *)
+val charge_parallel : t -> unit
+
 (** {1 Fault injection} *)
 
 (** [failpoint site] — kill the current execution with

@@ -11,7 +11,20 @@
     built terminal-first (the {!Bag.sink} materializer or any custom
     {!terminal}) and composed outward toward the producer. Every stage
     records rows-in/rows-out; all wrappers of one pipeline share the stage
-    list, readable via {!stages} from any of its sinks. *)
+    list, readable via {!stages} from any of its sinks.
+
+    {b Parallel-safe sinks.} A pipeline whose stages all support sharding
+    exposes a {!fork}: the morsel scheduler obtains one private shard sink
+    per participating domain with [new_shard], workers feed their shards
+    concurrently, and after all workers have quiesced the scheduler calls
+    [drain] once to merge the shards' retained rows back into the serial
+    pipeline — sharded DISTINCT deduplicates per domain and again
+    globally at drain; per-domain top-k heaps bound memory to O(domains *
+    k) and the serial heap selects the final k at drain; per-domain LIMIT
+    buffers share one atomic row counter whose exhaustion raises {!Stop}
+    in the feeding worker (the scheduler propagates it to the other
+    domains at their next morsel boundary), and the drain replay
+    reconciles the buffers against the exact global window. *)
 
 type t
 
@@ -38,8 +51,35 @@ val emit : t -> Binding.t -> unit
 val close : t -> unit
 
 (** [stages sink] — the pipeline's stages in data-flow order (producer
-    side first, terminal last). *)
+    side first, terminal last). Under parallel production, the counters of
+    buffering stages reflect the drain-time replay of what the shards
+    retained (not every arrival at a shard), so they are approximate;
+    terminal row counts and governor accounting stay exact. *)
 val stages : t -> stage list
+
+(** {1 Sharding} *)
+
+(** The parallel-production contract of a sink: [new_shard] is called
+    serially (under the scheduler's shard lock) once per participating
+    domain; each shard is then fed by exactly one domain and never closed.
+    [drain] is called serially, exactly once per parallel phase, after all
+    shard users have quiesced; it merges the retained rows into the serial
+    pipeline, resets the fork for a possible next phase, and raises
+    {!Stop} iff the serial pipeline stopped during the merge. *)
+type fork = {
+  new_shard : unit -> t;
+  drain : unit -> unit;
+}
+
+(** [fork sink] — the sink's sharding contract, or [None] when some stage
+    of the pipeline cannot be fed from multiple domains (the scheduler
+    must then drive the sink serially). *)
+val fork : t -> fork option
+
+(** [with_fork sink fork] — attach a sharding contract to a custom
+    {!terminal} (e.g. {!Bag.sink}, which shards into per-domain bags
+    blitted together at drain). *)
+val with_fork : t -> fork -> t
 
 (** [terminal ~name f] — the innermost sink: every row is passed to [f].
     [close] is a no-op. *)

@@ -207,7 +207,7 @@ let gen_wd_query =
       (gen_wd_group 2))
 
 (* The execution configurations the prepare/execute properties sweep:
-   every mode x engine x domain count {1,4} x modifier pipeline. *)
+   every mode x engine x domain count {1,2,4} x modifier pipeline. *)
 let exec_configs =
   List.concat_map
     (fun mode ->
@@ -218,7 +218,7 @@ let exec_configs =
               List.map
                 (fun streaming -> (mode, engine, domains, streaming))
                 [ true; false ])
-            [ 1; 4 ])
+            [ 1; 2; 4 ])
         [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ])
     Sparql_uo.Executor.all_modes
 

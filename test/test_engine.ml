@@ -376,27 +376,198 @@ let prop_multiway_matches_legacy =
 
 (* --- Parallel execution ----------------------------------------------------------- *)
 
-(* The multicore layer must be invisible in the results: domains=4 and
-   domains=1 agree as bags on every mode, engine and random query. *)
+(* The multicore layer must be invisible in the results: every parallel
+   configuration — engine x domains {2,4} x streaming on/off — agrees
+   with the serial run as bags, on every mode and random query. *)
 let prop_parallel_matches_serial =
-  QCheck2.Test.make ~name:"domains=4 = domains=1 across modes" ~count:60
+  QCheck2.Test.make
+    ~name:"parallel = serial across mode x engine x domains x streaming"
+    ~count:40
     QCheck2.Gen.(pair Qgen.gen_dataset Qgen.gen_query)
     (fun (triples, query) ->
       let store = Rdf_store.Triple_store.of_triples triples in
       List.for_all
         (fun mode ->
-          let serial =
-            Sparql_uo.Executor.run_query ~mode ~domains:1 store query
-          in
-          let par =
-            Sparql_uo.Executor.run_query ~mode ~domains:4 store query
-          in
-          match
-            (serial.Sparql_uo.Executor.bag, par.Sparql_uo.Executor.bag)
-          with
-          | Some b1, Some b2 -> Sparql.Bag.equal_as_bags b1 b2
-          | _ -> false)
+          List.for_all
+            (fun engine ->
+              let serial =
+                Sparql_uo.Executor.run_query ~mode ~engine ~domains:1 store
+                  query
+              in
+              match serial.Sparql_uo.Executor.bag with
+              | None -> false
+              | Some expected ->
+                  List.for_all
+                    (fun domains ->
+                      List.for_all
+                        (fun streaming ->
+                          let par =
+                            Sparql_uo.Executor.run_query ~mode ~engine ~domains
+                              ~streaming store query
+                          in
+                          match par.Sparql_uo.Executor.bag with
+                          | Some bag -> Sparql.Bag.equal_as_bags bag expected
+                          | None -> false)
+                        [ true; false ])
+                    [ 2; 4 ])
+            [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ])
         Sparql_uo.Executor.all_modes)
+
+(* A chain dataset big enough that both the UNION fan-out and the
+   per-branch join steps cross every parallel threshold. *)
+let chain_triples n =
+  List.concat
+    (List.init n (fun i ->
+         [
+           Rdf.Triple.make (iri i) (pred 0) (iri (n + i));
+           Rdf.Triple.make (iri (n + i)) (pred 1) (iri (2 * n + i));
+         ]))
+
+(* Nested parallelism must enqueue into the running scheduler, not
+   deadlock and not degrade to serial: the UNION fans its branches out
+   one-per-morsel, and the joins inside each branch (probe sides of 1000
+   rows) seed their own morsels into the same scheduler while every
+   domain is already busy with a branch. Completing at all is the
+   deadlock check; the serial run is the correctness oracle. *)
+let test_nested_union_of_joins () =
+  let store = Rdf_store.Triple_store.of_triples (chain_triples 1000) in
+  let text =
+    "SELECT * WHERE {\n\
+    \  { ?x <http://t/p0> ?y . ?y <http://t/p1> ?z }\n\
+     UNION { ?a <http://t/p1> ?b . ?a <http://t/p1> ?c }\n\
+     UNION { ?s <http://t/p0> ?t . ?s <http://t/p0> ?u } }"
+  in
+  let serial = Sparql_uo.Executor.run ~mode:Sparql_uo.Executor.Base ~domains:1 store text in
+  List.iter
+    (fun streaming ->
+      let par =
+        Sparql_uo.Executor.run ~mode:Sparql_uo.Executor.Base ~domains:4
+          ~streaming store text
+      in
+      match (serial.Sparql_uo.Executor.bag, par.Sparql_uo.Executor.bag) with
+      | Some b1, Some b2 ->
+          Alcotest.(check bool)
+            (Printf.sprintf "nested UNION of joins equal (streaming=%b)"
+               streaming)
+            true
+            (Sparql.Bag.equal_as_bags b1 b2)
+      | _ -> Alcotest.fail "unexpected resource limit")
+    [ true; false ]
+
+(* The tentpole's early-termination guarantee: with a streamed LIMIT at 4
+   domains, a satisfied limit raises [Stop] in one shard and the other
+   domains park at their next morsel boundary — the run must scan far
+   less than the materializing run, which extends all 1000 input rows.
+   (The historical scheduler replayed worker bags serially, so both runs
+   paid the full scan.) *)
+let test_limit_early_termination () =
+  let store = Rdf_store.Triple_store.of_triples (chain_triples 1000) in
+  let text =
+    "SELECT * WHERE { ?x <http://t/p0> ?y . ?y <http://t/p1> ?z } LIMIT 10"
+  in
+  let run ~streaming =
+    Sparql_uo.Executor.run ~mode:Sparql_uo.Executor.Base
+      ~engine:Engine.Bgp_eval.Wco ~domains:4 ~streaming store text
+  in
+  let streamed = run ~streaming:true in
+  let materialized = run ~streaming:false in
+  Alcotest.(check (option int)) "streamed limit honored" (Some 10)
+    streamed.Sparql_uo.Executor.result_count;
+  Alcotest.(check (option int)) "materialized limit honored" (Some 10)
+    materialized.Sparql_uo.Executor.result_count;
+  (* The materializing run pays both full steps (~2000 produced rows); the
+     streamed run pays the first step plus at most the in-flight morsels
+     of the 4 domains when the Stop lands. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "full scan produced %d rows"
+       materialized.Sparql_uo.Executor.pushed_rows)
+    true
+    (materialized.Sparql_uo.Executor.pushed_rows >= 2000);
+  Alcotest.(check bool)
+    (Printf.sprintf "early termination crossed domains (%d rows)"
+       streamed.Sparql_uo.Executor.pushed_rows)
+    true
+    (streamed.Sparql_uo.Executor.pushed_rows <= 1600)
+
+(* --- Parallel-safe sinks (fork/drain merge) ---------------------------------------- *)
+
+let row2 ~width a b =
+  let r = Sparql.Binding.create ~width in
+  r.(0) <- a;
+  if b >= 0 then r.(1) <- b;
+  r
+
+(* Sharded DISTINCT: each shard deduplicates locally, the drain replay
+   deduplicates globally — the merged result must equal the serial
+   DISTINCT over the same rows, whatever the shard assignment. *)
+let test_sharded_distinct_merge () =
+  let width = 2 in
+  let rows = List.init 60 (fun i -> row2 ~width (i mod 7) (i mod 3)) in
+  let serial_out = Sparql.Bag.create ~width in
+  let serial = Sparql.Sink.distinct (Sparql.Bag.sink serial_out) in
+  List.iter (Sparql.Sink.emit serial) rows;
+  Sparql.Sink.close serial;
+  let par_out = Sparql.Bag.create ~width in
+  let par = Sparql.Sink.distinct (Sparql.Bag.sink par_out) in
+  let fork = Option.get (Sparql.Sink.fork par) in
+  let shards = Array.init 3 (fun _ -> fork.Sparql.Sink.new_shard ()) in
+  List.iteri (fun i row -> Sparql.Sink.emit shards.(i mod 3) row) rows;
+  fork.Sparql.Sink.drain ();
+  Sparql.Sink.close par;
+  Alcotest.(check int) "distinct cardinality" 21 (Sparql.Bag.length par_out);
+  Alcotest.(check bool) "sharded DISTINCT = serial DISTINCT" true
+    (Sparql.Bag.equal_as_bags serial_out par_out)
+
+(* Per-domain top-k heaps merged at drain: the merged k rows must equal
+   the serial top-k as a bag even when the cut falls inside a tie group
+   (tied rows are identical here, as the streaming planner guarantees:
+   LIMIT is only pushed below a sort that covers every projected
+   variable), and must flush in sorted order. *)
+let test_topk_merge () =
+  let width = 2 in
+  let compare_rows r1 r2 = compare r1.(0) r2.(0) in
+  (* 40 rows over 8 key values; rows sharing a key are identical. *)
+  let rows = List.init 40 (fun i -> row2 ~width (i mod 8) 9) in
+  let run_serial k =
+    let out = Sparql.Bag.create ~width in
+    let s = Sparql.Sink.top_k ~compare:compare_rows ~k (Sparql.Bag.sink out) in
+    List.iter (Sparql.Sink.emit s) rows;
+    Sparql.Sink.close s;
+    out
+  in
+  let run_sharded k shard_count =
+    let out = Sparql.Bag.create ~width in
+    let s = Sparql.Sink.top_k ~compare:compare_rows ~k (Sparql.Bag.sink out) in
+    let fork = Option.get (Sparql.Sink.fork s) in
+    let shards = Array.init shard_count (fun _ -> fork.Sparql.Sink.new_shard ()) in
+    List.iteri
+      (fun i row -> Sparql.Sink.emit shards.(i mod shard_count) row)
+      rows;
+    fork.Sparql.Sink.drain ();
+    Sparql.Sink.close s;
+    out
+  in
+  List.iter
+    (fun k ->
+      (* k=7 cuts inside the key=1 tie group; k=5 cuts exactly at a key
+         boundary; k=40 retains everything. *)
+      let serial = run_serial k and sharded = run_sharded k 3 in
+      Alcotest.(check int)
+        (Printf.sprintf "k=%d cardinality" k)
+        (Sparql.Bag.length serial) (Sparql.Bag.length sharded);
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d sharded top-k = serial top-k" k)
+        true
+        (Sparql.Bag.equal_as_bags serial sharded);
+      let sorted = ref true in
+      let prev = ref min_int in
+      Sparql.Bag.iter sharded ~f:(fun row ->
+          if row.(0) < !prev then sorted := false;
+          prev := row.(0));
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d flushed in sorted order" k)
+        true !sorted)
+    [ 5; 7; 40 ]
 
 (* Deterministic cross-check on the real workload: every mixed
    OPTIONAL/UNION LUBM query, both engines. *)
@@ -498,5 +669,16 @@ let () =
             test_parallel_lubm;
           Alcotest.test_case "budget fires under parallel eval" `Quick
             test_parallel_budget_fires;
+          Alcotest.test_case "nested UNION of joins (no deadlock)" `Quick
+            test_nested_union_of_joins;
+          Alcotest.test_case "streamed LIMIT terminates remote domains" `Quick
+            test_limit_early_termination;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "sharded DISTINCT merge" `Quick
+            test_sharded_distinct_merge;
+          Alcotest.test_case "top-k merge ordering and ties" `Quick
+            test_topk_merge;
         ] );
     ]

@@ -245,6 +245,69 @@ let test_cancellation () =
   let clean = Sparql_uo.Session.run session "SELECT * WHERE { ?s ?p ?o . }" in
   Alcotest.(check bool) "session usable after cancel" true (count clean > 0)
 
+(* --- Governor x morsel scheduler ------------------------------------------- *)
+
+(* A cross product far beyond any reasonable budget: the probe side is
+   morselized and stolen across the 4 domains, so every kill below must
+   reach workers that are executing stolen morsels, not just the
+   submitting domain. *)
+let parallel_kill_text = "SELECT * WHERE { ?a ?p ?b . ?x ?q ?y . }"
+
+let test_parallel_budget_kill_latency () =
+  let store = Lazy.force tiny_store in
+  let report =
+    Sparql_uo.Executor.run ~domains:4 ~row_budget:1_000 store
+      parallel_kill_text
+  in
+  Alcotest.(check failure_opt) "killed out of budget"
+    (Some Gov.Out_of_budget) report.Sparql_uo.Executor.failure;
+  (* Kill latency: the budget check runs inside [charge] on the charging
+     domain, so the overshoot is bounded by the few in-flight charges of
+     the other domains, not by their remaining morsels. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded overshoot (%d rows)"
+       report.Sparql_uo.Executor.pushed_rows)
+    true
+    (report.Sparql_uo.Executor.pushed_rows <= 1_000 + (4 * Gov.stride))
+
+let test_parallel_deadline_kill () =
+  let store = Lazy.force tiny_store in
+  let report =
+    Sparql_uo.Executor.run ~domains:4 ~timeout_ms:20.0
+      ~row_budget:200_000_000 store parallel_kill_text
+  in
+  Alcotest.(check failure_opt) "killed on deadline" (Some Gov.Timeout)
+    report.Sparql_uo.Executor.failure
+
+(* A ticket cancelled from outside must stop every domain: the workers
+   observe the flag at morsel boundaries (and on charge strides), the job
+   quiesces, and the pool stays usable for the next parallel run. *)
+let test_parallel_cancel_stops_all_domains () =
+  let store = Lazy.force tiny_store in
+  let session = Sparql_uo.Session.create store in
+  let worker =
+    Domain.spawn (fun () ->
+        Sparql_uo.Session.run ~domains:4 ~row_budget:200_000_000 session
+          parallel_kill_text)
+  in
+  while Sparql_uo.Session.active_runs session = 0 do
+    Unix.sleepf 0.001
+  done;
+  let t0 = Unix.gettimeofday () in
+  let cancelled = Sparql_uo.Session.cancel session in
+  let report = Domain.join worker in
+  let latency = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "one run cancelled" 1 cancelled;
+  Alcotest.(check failure_opt) "killed as cancelled" (Some Gov.Cancelled)
+    report.Sparql_uo.Executor.failure;
+  Alcotest.(check bool)
+    (Printf.sprintf "all domains parked promptly (%.0f ms)" (latency *. 1e3))
+    true (latency < 5.0);
+  let clean =
+    Sparql_uo.Session.run ~domains:4 session "SELECT * WHERE { ?s ?p ?o . }"
+  in
+  Alcotest.(check bool) "pool usable after the cancel" true (count clean > 0)
+
 (* --- Two-session isolation (the concurrency regression) -------------------- *)
 
 let test_two_session_isolation () =
@@ -314,5 +377,14 @@ let () =
             test_cancellation;
           Alcotest.test_case "two-session isolation" `Quick
             test_two_session_isolation;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "budget kill latency with stolen morsels" `Quick
+            test_parallel_budget_kill_latency;
+          Alcotest.test_case "deadline fires across domains" `Quick
+            test_parallel_deadline_kill;
+          Alcotest.test_case "cancel stops all domains" `Quick
+            test_parallel_cancel_stops_all_domains;
         ] );
     ]
