@@ -14,7 +14,7 @@
 let all_sections =
   [ "table2"; "table3"; "table4"; "fig3"; "fig10"; "fig11"; "fig12"; "fig13";
     "ablation"; "micro"; "parallel"; "streaming"; "plan_cache"; "intersection";
-    "robustness" ]
+    "robustness"; "serving" ]
 
 type context = {
   config : Harness.config;
@@ -1359,6 +1359,175 @@ let robustness ctx =
   Printf.printf "[bench] wrote %s\n%!" robustness_bench_file
 
 (* ------------------------------------------------------------------ *)
+(* Serving: concurrent readers + a writer over one MVCC session.       *)
+(* ------------------------------------------------------------------ *)
+
+let serving_bench_file = "bench_serving.json"
+
+let serving ctx ~domains =
+  let readers = max 2 (domains - 1) in
+  Harness.section
+    (Printf.sprintf
+       "Serving: %d reader domains + 1 writer, skewed 95/5 mix (LUBM group 1, \
+        full/WCO)"
+       readers);
+  let store, _stats = Lazy.force ctx.lubm in
+  (* A small compaction threshold so the run also exercises delta folds
+     (and the plan-cache invalidation they imply) under live readers. *)
+  let session = Sparql_uo.Session.create ~compact_threshold:8 store in
+  let entries =
+    Array.of_list (Workload.Queries.group1 Workload.Queries.Lubm)
+  in
+  let nq = Array.length entries in
+  let run_one qi =
+    Sparql_uo.Session.run ~mode:Sparql_uo.Executor.Full
+      ~engine:Engine.Bgp_eval.Wco ~row_budget:ctx.config.Harness.row_budget
+      ~timeout_ms:ctx.config.Harness.timeout_ms session
+      entries.(qi).Workload.Queries.text
+  in
+  (* Baseline counts from a quiescent pre-pass (this also primes the
+     cache, as a server warm-up would). The writer's triples use a
+     private predicate, so every concurrent read must keep returning
+     exactly these counts — the isolation check of the bench. *)
+  let expected =
+    Array.init nq (fun qi -> (run_one qi).Sparql_uo.Executor.result_count)
+  in
+  (* Zipf-ish skew over the query mix: query i drawn with weight
+     1/(i+1)^2, so a handful of plans take almost all the traffic. *)
+  let weights = Array.init nq (fun i -> 1. /. float_of_int ((i + 1) * (i + 1))) in
+  let total_weight = Array.fold_left ( +. ) 0. weights in
+  let pick rnd =
+    let x = Random.State.float rnd total_weight in
+    let rec go i acc =
+      if i >= nq - 1 then i
+      else
+        let acc = acc +. weights.(i) in
+        if x < acc then i else go (i + 1) acc
+    in
+    go 0 0.
+  in
+  let reader_ops = if ctx.config.Harness.quick then 120 else 500 in
+  let finished = Atomic.make 0 in
+  let reads_done = Atomic.make 0 in
+  let reader idx =
+    let rnd = Random.State.make [| 0x5e71; idx |] in
+    let lats = Array.make reader_ops 0. in
+    let ok = ref true in
+    for k = 0 to reader_ops - 1 do
+      let qi = pick rnd in
+      let t0 = Unix.gettimeofday () in
+      let report = run_one qi in
+      lats.(k) <- (Unix.gettimeofday () -. t0) *. 1000.;
+      if report.Sparql_uo.Executor.result_count <> expected.(qi) then ok := false;
+      Atomic.incr reads_done
+    done;
+    Atomic.incr finished;
+    (lats, !ok)
+  in
+  let serving_term i kind =
+    Rdf.Term.iri (Printf.sprintf "http://serving/%s%d" kind i)
+  in
+  let writer_triple i =
+    Rdf.Triple.make (serving_term i "s")
+      (Rdf.Term.iri "http://serving/p")
+      (serving_term i "o")
+  in
+  (* The writer paces small transactions (insert, occasionally delete an
+     earlier row) off reader progress: it only commits while commits
+     stay below 5% of completed reads, which holds the 95/5 op mix
+     regardless of how slow or fast the read leg happens to be. *)
+  let writer () =
+    let i = ref 0 in
+    let commits = ref 0 in
+    while Atomic.get finished < readers do
+      if !commits * 19 < Atomic.get reads_done then begin
+        incr i;
+        let txn = Sparql_uo.Session.begin_txn session in
+        Rdf_store.Mvcc.insert txn (writer_triple !i);
+        if !i mod 3 = 0 then Rdf_store.Mvcc.delete txn (writer_triple (!i - 1));
+        Sparql_uo.Session.commit session txn;
+        incr commits
+      end
+      else Unix.sleepf 0.001
+    done;
+    !commits
+  in
+  let base_epoch0 = Rdf_store.Triple_store.epoch (Sparql_uo.Session.store session) in
+  let t0 = Unix.gettimeofday () in
+  let writer_domain = Domain.spawn writer in
+  let reader_domains = List.init readers (fun i -> Domain.spawn (fun () -> reader i)) in
+  let results = List.map Domain.join reader_domains in
+  let commits = Domain.join writer_domain in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let counts_ok = List.for_all snd results in
+  let all_lats = Array.concat (List.map fst results) in
+  Array.sort compare all_lats;
+  let total_reads = Array.length all_lats in
+  let qps = float_of_int total_reads /. wall_s in
+  let p50 = percentile all_lats 50.
+  and p95 = percentile all_lats 95.
+  and p99 = percentile all_lats 99. in
+  let hits = Sparql_uo.Session.hits session
+  and misses = Sparql_uo.Session.misses session in
+  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  let write_fraction =
+    float_of_int commits /. float_of_int (max 1 (commits + total_reads))
+  in
+  let compacted =
+    Rdf_store.Triple_store.epoch (Sparql_uo.Session.store session)
+    <> base_epoch0
+  in
+  Harness.print_table
+    ~header:
+      [ "readers"; "reads"; "commits"; "qps"; "p50 (ms)"; "p95 (ms)";
+        "p99 (ms)" ]
+    ~rows:
+      [
+        [
+          string_of_int readers;
+          string_of_int total_reads;
+          string_of_int commits;
+          Printf.sprintf "%.0f" qps;
+          Printf.sprintf "%.2f" p50;
+          Printf.sprintf "%.2f" p95;
+          Printf.sprintf "%.2f" p99;
+        ];
+      ];
+  Printf.printf
+    "cache: hits=%d misses=%d (hit rate %.3f, target > 0.9); write fraction \
+     %.3f; counts %s; compaction %s\n%!"
+    hits misses hit_rate write_fraction
+    (if counts_ok then "stable under writes" else "DIVERGED")
+    (if compacted then "occurred" else "not reached");
+  let oc = open_out serving_bench_file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"section\": \"serving\",\n\
+    \  \"dataset\": \"LUBM\",\n\
+    \  \"mode\": \"full\",\n\
+    \  \"engine\": \"wco\",\n\
+    \  \"readers\": %d,\n\
+    \  \"reader_ops\": %d,\n\
+    \  \"total_reads\": %d,\n\
+    \  \"writer_commits\": %d,\n\
+    \  \"write_fraction\": %.4f,\n\
+    \  \"wall_s\": %.3f,\n\
+    \  \"qps\": %.1f,\n\
+    \  \"p50_ms\": %.3f,\n\
+    \  \"p95_ms\": %.3f,\n\
+    \  \"p99_ms\": %.3f,\n\
+    \  \"hits\": %d,\n\
+    \  \"misses\": %d,\n\
+    \  \"hit_rate\": %.4f,\n\
+    \  \"counts_ok\": %b,\n\
+    \  \"compacted\": %b\n\
+     }\n"
+    readers reader_ops total_reads commits write_fraction wall_s qps p50 p95
+    p99 hits misses hit_rate counts_ok compacted;
+  close_out oc;
+  Printf.printf "[bench] wrote %s\n%!" serving_bench_file
+
+(* ------------------------------------------------------------------ *)
 
 let run_sections quick only domains =
   let config = if quick then Harness.quick_config else Harness.default_config in
@@ -1390,6 +1559,7 @@ let run_sections quick only domains =
     | "plan_cache" -> plan_cache ctx
     | "intersection" -> intersection ctx
     | "robustness" -> robustness ctx
+    | "serving" -> serving ctx ~domains
     | other -> Printf.eprintf "unknown section %S (skipped)\n" other
   in
   Printf.printf "SPARQL-UO reproduction bench (%s mode): %s\n%!"

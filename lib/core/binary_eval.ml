@@ -14,10 +14,10 @@ let eval env algebra =
     | None -> None
     | Some col ->
         if Sparql.Binding.is_bound row col then
-          Some (Rdf_store.Triple_store.decode_term store row.(col))
+          Some (Rdf_store.Snapshot.decode_term store row.(col))
         else None
   in
-  let dict = Rdf_store.Triple_store.dictionary store in
+  let dict = Rdf_store.Snapshot.dictionary store in
   let rec go = function
     | Sparql.Algebra.Unit -> Sparql.Bag.unit ~width
     | Sparql.Algebra.Triple tp ->

@@ -55,7 +55,7 @@ let candidates_from st outer r node =
       (* Dictionary ids are dense in [0, size) — the bitset universe. *)
       let universe =
         Rdf_store.Dictionary.size
-          (Rdf_store.Triple_store.dictionary (Engine.Bgp_eval.store st.env))
+          (Rdf_store.Snapshot.dictionary (Engine.Bgp_eval.store st.env))
       in
       List.fold_left
         (fun cands col ->
@@ -170,7 +170,7 @@ let rec filter_lookup st row v =
   | None -> None
   | Some col ->
       if Sparql.Binding.is_bound row col then
-        Some (Rdf_store.Triple_store.decode_term store row.(col))
+        Some (Rdf_store.Snapshot.decode_term store row.(col))
       else None
 
 (* EXISTS { P }: substitute the row's bindings into P and test whether the
@@ -181,7 +181,7 @@ let rec exists_check st row group =
   let substituted = Sparql.Ast.substitute_group group ~lookup in
   let vartable = Sparql.Vartable.of_list (Sparql.Ast.group_vars substituted) in
   let env =
-    Engine.Bgp_eval.make
+    Engine.Bgp_eval.make_snapshot
       ~stats:(Engine.Bgp_eval.stats st.env)
       (Engine.Bgp_eval.store st.env)
       vartable (Engine.Bgp_eval.engine st.env)
@@ -197,8 +197,10 @@ let rec exists_check st row group =
 (* Materialize a VALUES block as a bag; constants are interned in the
    dictionary (harmless to results: they occur in no triple, so they
    simply become ids that join with nothing unless present in the data).
-   Interning a *fresh* term bumps the store epoch, which invalidates
-   session plan caches keyed on the pre-VALUES epoch. *)
+   The dictionary is internally synchronized and ids are append-only, so
+   interning under concurrent readers is safe and invalidates nothing —
+   only cached plans that compiled a constant to [Missing] re-validate
+   against the dictionary size (see {!Session}). *)
 and values_bag st (block : Sparql.Ast.values_block) =
   let table = Engine.Bgp_eval.vartable st.env in
   let store = Engine.Bgp_eval.store st.env in
@@ -212,7 +214,7 @@ and values_bag st (block : Sparql.Ast.values_block) =
         (fun col cell ->
           match cell with
           | Some term ->
-              fresh.(col) <- Rdf_store.Triple_store.intern_term store term
+              fresh.(col) <- Rdf_store.Snapshot.intern_term store term
           | None -> ())
         cols row;
       Sparql.Bag.push bag fresh)

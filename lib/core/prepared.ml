@@ -52,6 +52,14 @@ type t = {
      patterns + cost estimates), so re-executions skip compilation. *)
   env : Engine.Bgp_eval.t;
   p_epoch : int;
+  (* Invalidation inputs for the session plan cache: the base epoch the
+     plan compiled against (a compaction or bulk rebuild changes it and
+     invalidates wholesale), the dictionary size at compile time, and
+     whether any pattern compiled a constant to [Missing] — the only
+     plans whose meaning dictionary growth can change. *)
+  p_base_epoch : int;
+  p_dict_size : int;
+  p_has_missing : bool;
 }
 
 let query p = p.p_query
@@ -63,14 +71,18 @@ let tree_before p = p.p_tree_before
 let tree_after p = p.p_tree_after
 let transform_ms p = p.p_transform_ms
 let epoch p = p.p_epoch
-let store p = Engine.Bgp_eval.store p.env
+let base_epoch p = p.p_base_epoch
+let dict_size p = p.p_dict_size
+let has_missing p = p.p_has_missing
+let snapshot p = Engine.Bgp_eval.store p.env
+let store p = Rdf_store.Snapshot.base (Engine.Bgp_eval.store p.env)
 let text p = p.text
 
 let now_ms () = Unix.gettimeofday () *. 1000.
 
 (* The paper's CP threshold: 1% of the number of triples. *)
 let fixed_threshold store =
-  max 1 (Rdf_store.Triple_store.size store / 100)
+  max 1 (Rdf_store.Snapshot.size store / 100)
 
 (* --- Aggregation (GROUP BY / COUNT / SUM / ...) -------------------------- *)
 
@@ -113,12 +125,12 @@ let compute_aggregate store vartable rows ~agg ~distinct ~target =
       Some (Rdf.Term.int_literal n)
   | Sparql.Ast.Sample -> (
       match values () with
-      | id :: _ -> Some (Rdf_store.Triple_store.decode_term store id)
+      | id :: _ -> Some (Rdf_store.Snapshot.decode_term store id)
       | [] -> None)
   | Sparql.Ast.Min | Sparql.Ast.Max -> (
       let terms =
         List.map
-          (Rdf_store.Triple_store.decode_term store)
+          (Rdf_store.Snapshot.decode_term store)
           (maybe_distinct (values ()))
       in
       let cmp t1 t2 =
@@ -139,7 +151,7 @@ let compute_aggregate store vartable rows ~agg ~distinct ~target =
       let numbers =
         List.map
           (fun id ->
-            numeric_of_term (Rdf_store.Triple_store.decode_term store id))
+            numeric_of_term (Rdf_store.Snapshot.decode_term store id))
           ids
       in
       if List.exists Option.is_none numbers then None
@@ -178,7 +190,7 @@ let aggregate_bag store vartable (query : Sparql.Ast.query) items bag =
         [ [] ]
     | keys, _ -> keys
   in
-  let dict = Rdf_store.Triple_store.dictionary store in
+  let dict = Rdf_store.Snapshot.dictionary store in
   let result = Sparql.Bag.create ~width in
   List.iter
     (fun key ->
@@ -214,8 +226,8 @@ let order_keys vartable (query : Sparql.Ast.query) =
 
 let compare_ids store id1 id2 =
   Rdf.Term.compare
-    (Rdf_store.Triple_store.decode_term store id1)
-    (Rdf_store.Triple_store.decode_term store id2)
+    (Rdf_store.Snapshot.decode_term store id1)
+    (Rdf_store.Snapshot.decode_term store id2)
 
 (* [None] = SELECT * (no projection). *)
 let projection_cols vartable (query : Sparql.Ast.query) =
@@ -307,20 +319,33 @@ let modifier_sink store vartable (query : Sparql.Ast.query) ~width ~out =
 (* Force plan construction (pattern compilation against the dictionary,
    cost estimation) for every BGP of the transformed tree, so the first
    [execute] pays nothing the second does not. The plans land in the
-   env's memoized plan table. *)
-let rec precompile env (g : Be_tree.group) =
-  List.iter
-    (fun node ->
-      match node with
-      | Be_tree.Bgp [] | Be_tree.Values _ -> ()
-      | Be_tree.Bgp patterns -> ignore (Engine.Bgp_eval.plan env patterns)
-      | Be_tree.Group inner | Be_tree.Optional inner | Be_tree.Minus inner ->
-          precompile env inner
-      | Be_tree.Union gs -> List.iter (precompile env) gs)
-    g.children
+   env's memoized plan table. [missing] records whether any pattern
+   compiled a constant to [Missing] — the session cache re-validates
+   such plans against dictionary growth. *)
+let precompile env tree =
+  let missing = ref false in
+  let rec go (g : Be_tree.group) =
+    List.iter
+      (fun node ->
+        match node with
+        | Be_tree.Bgp [] | Be_tree.Values _ -> ()
+        | Be_tree.Bgp patterns ->
+            let plan = Engine.Bgp_eval.plan env patterns in
+            if
+              List.exists
+                (fun st -> Engine.Compiled.has_missing st.Engine.Planner.pattern)
+                plan.Engine.Planner.steps
+            then missing := true
+        | Be_tree.Group inner | Be_tree.Optional inner | Be_tree.Minus inner ->
+            go inner
+        | Be_tree.Union gs -> List.iter go gs)
+      g.children
+  in
+  go tree;
+  !missing
 
-let prepare ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?stats ?text store
-    (query : Sparql.Ast.query) =
+let prepare_snapshot ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?stats
+    ?text snap (query : Sparql.Ast.query) =
   (* Register every query variable up front so bag widths are stable —
      including aggregate aliases, which get fresh columns. *)
   let vartable = Sparql.Vartable.of_list (Sparql.Ast.group_vars query.where) in
@@ -333,8 +358,7 @@ let prepare ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?stats ?text store
           | Sparql.Ast.Svar _ -> ())
         items
   | _ -> ());
-  let epoch = Rdf_store.Triple_store.epoch store in
-  let env = Engine.Bgp_eval.make ?stats store vartable engine in
+  let env = Engine.Bgp_eval.make_snapshot ?stats snap vartable engine in
   let tree_before = Be_tree.of_query query in
   let tree_after, transform_ms =
     match mode with
@@ -342,7 +366,7 @@ let prepare ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?stats ?text store
     | TT -> Transform.timed_multi_level env tree_before
     | Full -> Transform.timed_multi_level env ~skip_cp_equivalent:true tree_before
   in
-  precompile env tree_after;
+  let has_missing = precompile env tree_after in
   {
     text;
     p_query = query;
@@ -354,8 +378,19 @@ let prepare ?(mode = Full) ?(engine = Engine.Bgp_eval.Wco) ?stats ?text store
     p_tree_after = tree_after;
     p_transform_ms = transform_ms;
     env;
-    p_epoch = epoch;
+    p_epoch = Rdf_store.Snapshot.version snap;
+    p_base_epoch = Rdf_store.Snapshot.base_epoch snap;
+    (* Read after compilation: compilation itself interns nothing, and a
+       concurrent VALUES interning between compile and this read only
+       makes the recorded size larger — erring toward invalidation. *)
+    p_dict_size = Rdf_store.Snapshot.dict_size snap;
+    p_has_missing = has_missing;
   }
+
+let prepare ?mode ?engine ?stats ?text store query =
+  prepare_snapshot ?mode ?engine ?stats ?text
+    (Rdf_store.Snapshot.of_store store)
+    query
 
 (* --- The execute phase --------------------------------------------------- *)
 
@@ -369,10 +404,25 @@ let ticket ?row_budget ?timeout_ms ?faults () =
   Sparql.Governor.create ?row_budget ?deadline ?faults ()
 
 let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms
-    ?(partial = false) ?governor ?cache p =
+    ?(partial = false) ?governor ?cache ?snapshot ?stats p =
   let query = p.p_query in
   let vartable = p.p_vartable in
   let env = Engine.Bgp_eval.with_domains p.env ~domains in
+  (* Pin this execution to the caller's snapshot (the session acquired it
+     once for validation + execution). Retargeting shares the memoized
+     plans — dictionary ids are append-only, so compiled constants stay
+     valid across delta generations of one base. *)
+  let env =
+    match snapshot with
+    | Some snap when not (snap == Engine.Bgp_eval.store env) ->
+        let stats =
+          match stats with
+          | Some s -> s
+          | None -> Rdf_store.Stats.of_snapshot snap
+        in
+        Engine.Bgp_eval.with_store env snap ~stats
+    | _ -> env
+  in
   let store = Engine.Bgp_eval.store env in
   let threshold =
     match p.p_mode with
@@ -440,7 +490,7 @@ let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms
             let lookup row v =
               match Sparql.Vartable.find vartable v with
               | Some col when Sparql.Binding.is_bound row col ->
-                  Some (Rdf_store.Triple_store.decode_term store row.(col))
+                  Some (Rdf_store.Snapshot.decode_term store row.(col))
               | _ -> None
             in
             Sparql.Bag.filter bag ~f:(fun row ->
@@ -518,6 +568,6 @@ let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms
     eval_stats;
     tree_before = p.p_tree_before;
     tree_after = p.p_tree_after;
-    epoch = Rdf_store.Triple_store.epoch store;
+    epoch = Rdf_store.Snapshot.version store;
     cache;
   }

@@ -13,9 +13,11 @@
     only the pruning {e rule} (the mode's threshold) is part of the
     prepared plan.
 
-    A prepared query records the store {!epoch} it was compiled under;
-    {!Session} uses an epoch mismatch to invalidate cached plans after
-    data mutations. *)
+    A prepared query records the snapshot it was compiled under — the
+    {!base_epoch}, the {!dict_size} and whether any constant compiled to
+    [Missing] ({!has_missing}); {!Session} uses these to decide whether a
+    cached plan is still valid for a later snapshot (same base and no
+    Missing-sensitivity ⇒ valid, just retargeted to the newer delta). *)
 
 (** The four configurations the paper evaluates (Section 7.1). *)
 type mode = Base | TT | CP | Full
@@ -64,7 +66,7 @@ type report = {
   eval_stats : Evaluator.stats option;
   tree_before : Be_tree.group;
   tree_after : Be_tree.group;
-  epoch : int;  (** store epoch observed after this execution *)
+  epoch : int;  (** version of the snapshot this execution read *)
   cache : cache_info option;
       (** [None] when the run bypassed a session plan cache *)
 }
@@ -74,12 +76,24 @@ type t
     grows, under a mutex), so one value may be executed repeatedly and
     concurrently. *)
 
-(** [prepare ?mode ?engine ?stats ?text store query] runs the whole
-    plan pipeline: variable registration, BE-tree construction, the
-    mode's cost-driven transformation, and eager compilation of every
-    BGP of the transformed tree. [text] optionally records the source
-    string for diagnostics. Defaults: [Full], [Wco]; omitted [stats]
-    come from {!Rdf_store.Stats.cached} (no per-prepare rescan). *)
+(** [prepare_snapshot ?mode ?engine ?stats ?text snap query] runs the
+    whole plan pipeline against one immutable snapshot view: variable
+    registration, BE-tree construction, the mode's cost-driven
+    transformation, and eager compilation of every BGP of the
+    transformed tree. [text] optionally records the source string for
+    diagnostics. Defaults: [Full], [Wco]; omitted [stats] come from
+    {!Rdf_store.Stats.of_snapshot} (no per-prepare rescan). *)
+val prepare_snapshot :
+  ?mode:mode ->
+  ?engine:Engine.Bgp_eval.engine ->
+  ?stats:Rdf_store.Stats.t ->
+  ?text:string ->
+  Rdf_store.Snapshot.t ->
+  Sparql.Ast.query ->
+  t
+
+(** [prepare ?mode ?engine ?stats ?text store query] is
+    {!prepare_snapshot} over the plain (empty-delta) view of [store]. *)
 val prepare :
   ?mode:mode ->
   ?engine:Engine.Bgp_eval.engine ->
@@ -113,7 +127,11 @@ val ticket :
     pre-built ticket (e.g. one the caller wants to {!Sparql.Governor.cancel}
     from another domain); when given, [row_budget]/[timeout_ms] are
     ignored. [cache] is attached verbatim to the report (used by
-    {!Session} to surface hit/miss provenance). *)
+    {!Session} to surface hit/miss provenance). [snapshot] pins the
+    execution to a newer snapshot of the same lineage (the session's
+    acquired view) — the shared plans are retargeted, not recompiled;
+    [stats] supplies that snapshot's statistics (defaults to
+    {!Rdf_store.Stats.of_snapshot}). *)
 val execute :
   ?domains:int ->
   ?streaming:bool ->
@@ -122,6 +140,8 @@ val execute :
   ?partial:bool ->
   ?governor:Sparql.Governor.t ->
   ?cache:cache_info ->
+  ?snapshot:Rdf_store.Snapshot.t ->
+  ?stats:Rdf_store.Stats.t ->
   t ->
   report
 
@@ -135,10 +155,31 @@ val engine : t -> Engine.Bgp_eval.engine
 val tree_before : t -> Be_tree.group
 val tree_after : t -> Be_tree.group
 val transform_ms : t -> float
+
+(** [store p] — the base store of the snapshot the plan was compiled
+    against. *)
 val store : t -> Rdf_store.Triple_store.t
 
-(** [epoch p] — the store epoch the plan was compiled under. *)
+(** [snapshot p] — the snapshot the plan was compiled against. *)
+val snapshot : t -> Rdf_store.Snapshot.t
+
+(** [epoch p] — the snapshot version the plan was compiled under. *)
 val epoch : t -> int
+
+(** {2 Cache-validation inputs} *)
+
+(** [base_epoch p] — the base store epoch at compile time; any change
+    (compaction, bulk rebuild) invalidates the plan wholesale. *)
+val base_epoch : t -> int
+
+(** [dict_size p] — dictionary size at compile time; only consulted
+    when {!has_missing} holds. *)
+val dict_size : t -> int
+
+(** [has_missing p] — whether some constant compiled to [Missing];
+    such plans must be recompiled once the dictionary grows (the
+    constant may exist now). *)
+val has_missing : t -> bool
 
 (** [text p] — the source text, when prepared from one. *)
 val text : t -> string option

@@ -1,17 +1,29 @@
-(* A session owns a store handle, the store's statistics (computed once
-   per epoch), and a bounded LRU cache of prepared plans keyed by
-   (query text, mode, engine). Entries are validated against the store's
-   epoch on every lookup: a SPARQL Update swaps in a rebuilt store with a
-   fresh epoch, and an eval-time dictionary write (VALUES interning a new
-   term) bumps the epoch in place — either way the stale plan misses and
-   is re-prepared against current data. *)
+(* A session owns the writer handle of an MVCC store lineage
+   ({!Rdf_store.Mvcc}), a statistics memo, and a bounded LRU cache of
+   prepared plans keyed by (query text, mode, engine).
+
+   Every run pins ONE snapshot up front (an O(1) atomic acquire) and
+   uses it for both cache validation and execution, so a concurrent
+   commit cannot slide under a running query. A cached plan is valid
+   for the pinned snapshot iff
+
+     - it compiled against the same base epoch (compaction and bulk
+       rebuild change it and invalidate wholesale), and
+     - it compiled no constant to [Missing], or the dictionary has not
+       grown since (growth could give the constant an id).
+
+   Delta commits therefore do NOT invalidate unrelated cached plans:
+   the plan is simply retargeted to the newer snapshot at execute time
+   (dictionary ids are append-only, so compiled constants stay valid).
+   This is what keeps the cache hit-rate high under a read/write mix —
+   the whole point of the MVCC refactor. *)
 
 type key = string * Prepared.mode * Engine.Bgp_eval.engine
 
 type entry = { prepared : Prepared.t; mutable last_used : int }
 
 type t = {
-  mutable store : Rdf_store.Triple_store.t;
+  mvcc : Rdf_store.Mvcc.t;
   capacity : int;
   table : (key, entry) Hashtbl.t;
   (* A logical clock for LRU recency: bumped on every cache touch. *)
@@ -19,7 +31,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
-  (* Statistics memo, keyed by the epoch they were computed under. *)
+  (* Statistics memo, keyed by the snapshot version they describe. *)
   mutable stats_memo : (int * Rdf_store.Stats.t) option;
   (* Governor tickets of runs currently in flight on this session, so
      [cancel] (from any domain) can reach them. Registered/unregistered
@@ -29,11 +41,11 @@ type t = {
   mutex : Mutex.t;
 }
 
-let create ?(cache_capacity = 64) store =
+let create ?(cache_capacity = 64) ?compact_threshold store =
   if cache_capacity < 1 then
     invalid_arg "Session.create: cache_capacity must be positive";
   {
-    store;
+    mvcc = Rdf_store.Mvcc.create ?compact_threshold store;
     capacity = cache_capacity;
     table = Hashtbl.create (2 * cache_capacity);
     tick = 0;
@@ -49,22 +61,27 @@ let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let store t = with_lock t (fun () -> t.store)
+let mvcc t = t.mvcc
 
-let epoch t = Rdf_store.Triple_store.epoch (store t)
+(* Snapshot acquisition is wait-free — no session mutex. *)
+let snapshot t = Rdf_store.Mvcc.snapshot t.mvcc
 
-let stats_locked t =
-  let epoch = Rdf_store.Triple_store.epoch t.store in
+let store t = Rdf_store.Snapshot.base (snapshot t)
+
+let epoch t = Rdf_store.Snapshot.version (snapshot t)
+
+let stats_for_locked t snap =
+  let version = Rdf_store.Snapshot.version snap in
   match t.stats_memo with
-  | Some (e, stats) when e = epoch -> stats
+  | Some (v, stats) when v = version -> stats
   | _ ->
-      (* [Stats.cached] makes the epoch-level recompute free unless the
-         store value itself was swapped (a real data change). *)
-      let stats = Rdf_store.Stats.cached t.store in
-      t.stats_memo <- Some (epoch, stats);
+      (* [Stats.of_snapshot] rides the per-base weak memo, so this
+         recompute is the O(|delta|) adjustment, not a store scan. *)
+      let stats = Rdf_store.Stats.of_snapshot snap in
+      t.stats_memo <- Some (version, stats);
       stats
 
-let stats t = with_lock t (fun () -> stats_locked t)
+let stats t = with_lock t (fun () -> stats_for_locked t (snapshot t))
 
 let invalidate_locked t =
   Hashtbl.reset t.table;
@@ -74,10 +91,24 @@ let invalidate t = with_lock t (fun () -> invalidate_locked t)
 
 let set_store t store =
   with_lock t (fun () ->
-      if store != t.store then begin
-        t.store <- store;
-        invalidate_locked t
-      end)
+      Rdf_store.Mvcc.set_base t.mvcc store;
+      invalidate_locked t)
+
+(* --- Transactions --------------------------------------------------------- *)
+
+(* Writes live entirely in the MVCC layer; the session cache needs no
+   notification. A commit publishes a new snapshot version (stats memo
+   re-keys itself on next use), and cached plans re-validate per lookup
+   — only a compaction's base-epoch change actually drops them. *)
+let begin_txn t = Rdf_store.Mvcc.begin_txn t.mvcc
+
+let commit (_t : t) txn = ignore (Rdf_store.Mvcc.commit txn)
+
+let abort (_t : t) txn = Rdf_store.Mvcc.abort txn
+
+let compact t = ignore (Rdf_store.Mvcc.compact t.mvcc)
+
+(* --- The plan cache ------------------------------------------------------- *)
 
 let touch t entry =
   t.tick <- t.tick + 1;
@@ -100,15 +131,25 @@ let evict_lru_locked t =
       t.evictions <- t.evictions + 1
   | None -> ()
 
-let prepare_locked t ~mode ~engine text =
+(* Is a cached plan still meaningful under [snap]? See the module
+   header: same base, and Missing-compiled constants only tolerate an
+   unchanged dictionary. *)
+let valid_for prepared snap =
+  Prepared.base_epoch prepared = Rdf_store.Snapshot.base_epoch snap
+  && ((not (Prepared.has_missing prepared))
+      || Prepared.dict_size prepared = Rdf_store.Snapshot.dict_size snap)
+
+(* [parse] defers text parsing to the miss path — the update path feeds
+   an already-built AST under a synthetic key. *)
+let prepare_locked t ~mode ~engine ~snap ~parse text =
   let key = (text, mode, engine) in
-  let epoch = Rdf_store.Triple_store.epoch t.store in
   let cached =
     match Hashtbl.find_opt t.table key with
-    | Some entry when Prepared.epoch entry.prepared = epoch -> Some entry
+    | Some entry when valid_for entry.prepared snap -> Some entry
     | Some _ ->
-        (* Stale plan from an earlier epoch: drop it eagerly so it does
-           not occupy a cache slot waiting for LRU pressure. *)
+        (* Stale plan (compacted base, or Missing + dictionary growth):
+           drop it eagerly so it does not occupy a cache slot waiting
+           for LRU pressure. *)
         Hashtbl.remove t.table key;
         None
     | None -> None
@@ -120,10 +161,9 @@ let prepare_locked t ~mode ~engine text =
       (entry.prepared, { Prepared.hit = true; hits = t.hits; misses = t.misses })
   | None ->
       t.misses <- t.misses + 1;
-      let stats = stats_locked t in
+      let stats = stats_for_locked t snap in
       let prepared =
-        Prepared.prepare ~mode ~engine ~stats ~text t.store
-          (Sparql.Parser.parse text)
+        Prepared.prepare_snapshot ~mode ~engine ~stats ~text snap (parse ())
       in
       if Hashtbl.length t.table >= t.capacity then evict_lru_locked t;
       (* Chaos site: a kill here (before the insert) must leave the cache
@@ -135,7 +175,12 @@ let prepare_locked t ~mode ~engine text =
       (prepared, { Prepared.hit = false; hits = t.hits; misses = t.misses })
 
 let prepare ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco) t text =
-  fst (with_lock t (fun () -> prepare_locked t ~mode ~engine text))
+  let snap = snapshot t in
+  fst
+    (with_lock t (fun () ->
+         prepare_locked t ~mode ~engine ~snap
+           ~parse:(fun () -> Sparql.Parser.parse text)
+           text))
 
 (* --- Governed execution --------------------------------------------------- *)
 
@@ -152,26 +197,31 @@ let cancel t =
       List.iter Governor.cancel t.active;
       List.length t.active)
 
-(* One governed attempt: the ticket is ambient for the prepare phase too
-   (so the cache.insert failpoint is reachable) and registered with the
-   session for the whole attempt, so [cancel] can reach it. *)
+(* One governed attempt: a single snapshot is pinned for validation AND
+   execution, the ticket is ambient for the prepare phase too (so the
+   cache.insert failpoint is reachable) and registered with the session
+   for the whole attempt, so [cancel] can reach it. *)
 let attempt ~mode ~engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
-    ~faults t text =
+    ~faults ~parse t text =
   let gov = Prepared.ticket ?row_budget ?timeout_ms ~faults () in
   register t gov;
   Fun.protect
     ~finally:(fun () -> unregister t gov)
     (fun () ->
-      let prepared, cache =
+      let snap = snapshot t in
+      let prepared, cache, stats =
         Governor.with_ticket gov (fun () ->
-            with_lock t (fun () -> prepare_locked t ~mode ~engine text))
+            with_lock t (fun () ->
+                let prepared, cache =
+                  prepare_locked t ~mode ~engine ~snap ~parse text
+                in
+                (prepared, cache, stats_for_locked t snap)))
       in
       Prepared.execute ?domains ?streaming ?partial ~governor:gov ~cache
-        prepared)
+        ~snapshot:snap ~stats prepared)
 
-let run ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco) ?domains
-    ?streaming ?row_budget ?timeout_ms ?partial ?(retries = 0) ?(faults = [])
-    t text =
+let run_gen ~mode ~engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
+    ?(retries = 0) ?(faults = []) ~parse t text =
   (* Bounded retry with a fresh ticket per attempt. Only transient
      failures retry (a cancellation is the caller's intent and must
      stick). Fault values are shared by reference across attempts, so a
@@ -183,7 +233,7 @@ let run ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco) ?domains
     let outcome =
       match
         attempt ~mode ~engine ?domains ?streaming ?row_budget ?timeout_ms
-          ?partial ~faults t text
+          ?partial ~faults ~parse t text
       with
       | report -> Ok report
       | exception Governor.Kill f -> Error f
@@ -198,6 +248,23 @@ let run ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco) ?domains
     | Error f -> raise (Governor.Kill f)
   in
   go (max 0 retries)
+
+let run ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco) ?domains
+    ?streaming ?row_budget ?timeout_ms ?partial ?retries ?faults t text =
+  run_gen ~mode ~engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
+    ?retries ?faults
+    ~parse:(fun () -> Sparql.Parser.parse text)
+    t text
+
+(* The update path: run an already-built query AST through the same
+   cache and governance under a synthetic key (see {!Update_exec}). *)
+let run_query_ast ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco)
+    ?domains ?streaming ?row_budget ?timeout_ms ?partial ?retries ?faults t
+    ~key query =
+  run_gen ~mode ~engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
+    ?retries ?faults
+    ~parse:(fun () -> query)
+    t key
 
 let hits t = with_lock t (fun () -> t.hits)
 let misses t = with_lock t (fun () -> t.misses)

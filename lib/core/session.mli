@@ -1,72 +1,121 @@
-(** A query session: the serving-path owner of a store handle, its
-    statistics, and a bounded LRU cache of prepared plans.
+(** A long-lived query session: the writer handle of an MVCC store
+    lineage plus a bounded plan cache (LRU over (text, mode, engine))
+    and a statistics memo, shared by every run.
 
-    The cache is keyed by [(query text, mode, engine)] and validated
-    against the store's epoch ({!Rdf_store.Triple_store.epoch}) on every
-    lookup, so plans compiled before a data mutation — a SPARQL Update
-    swapping in a rebuilt store, or a VALUES block interning a fresh
-    dictionary term — are transparently re-prepared. Statistics are
-    computed at most once per epoch (and at most once per store value
-    process-wide, via {!Rdf_store.Stats.cached}), eliminating the
-    historical hidden full-store scan per query.
+    {b Snapshot pinning.} Every {!run} acquires one snapshot (an O(1)
+    atomic read of the current published view) and uses it for both
+    cache validation and execution — a concurrent {!commit} never
+    changes what an in-flight query reads.
 
-    All operations are thread-safe; concurrent {!run}s from multiple
-    domains share one cache. Each run executes under its own
-    {!Sparql.Governor} ticket, so concurrent runs with different
-    [row_budget]/[timeout_ms] limits are fully isolated from each other;
-    the session tracks in-flight tickets so {!cancel} can kill every run
-    currently executing, from any domain. *)
+    {b Invalidation.} A cached plan stays valid across delta commits:
+    dictionary ids are append-only, so compiled constants survive, and
+    execution simply retargets the plan to the pinned snapshot. A plan
+    is dropped only when (a) the base epoch changed — compaction or
+    {!set_store} — or (b) it compiled a constant to [Missing] and the
+    dictionary has since grown (the constant may now exist). Statistics
+    are memoized per snapshot version.
+
+    The session serializes cache/memo access behind a mutex, and the
+    MVCC layer serializes writers; readers never block. Concurrent
+    {!run}s from multiple domains share one cache. Each run executes
+    under its own {!Sparql.Governor} ticket, so concurrent runs with
+    different limits are fully isolated; the session tracks in-flight
+    tickets so {!cancel} can kill every run currently executing, from
+    any domain. *)
 
 type t
 
-(** [create ?cache_capacity store] — [cache_capacity] (default 64) bounds
-    the number of cached plans; beyond it the least recently used entry
-    is evicted. Raises [Invalid_argument] on a non-positive capacity. *)
-val create : ?cache_capacity:int -> Rdf_store.Triple_store.t -> t
+(** [create ?cache_capacity ?compact_threshold store] opens a session
+    over [store] with a plan cache of at most [cache_capacity] entries
+    (default 64; raises [Invalid_argument] on a non-positive capacity).
+    [compact_threshold] is forwarded to {!Rdf_store.Mvcc.create}: once
+    the live delta reaches that many rows, a commit folds it into a
+    fresh base epoch. *)
+val create :
+  ?cache_capacity:int ->
+  ?compact_threshold:int ->
+  Rdf_store.Triple_store.t ->
+  t
 
-(** [store t] is the current store handle. *)
+(** [mvcc t] — the underlying MVCC handle (e.g. for
+    {!Rdf_store.Mvcc.apply} or direct transaction plumbing). *)
+val mvcc : t -> Rdf_store.Mvcc.t
+
+(** [snapshot t] acquires the current consistent view. Wait-free. *)
+val snapshot : t -> Rdf_store.Snapshot.t
+
+(** [store t] — the base store of the current snapshot. *)
 val store : t -> Rdf_store.Triple_store.t
 
-(** [set_store t store] swaps the handle (the bulk-rebuild result of a
-    SPARQL Update), clearing the plan cache and statistics memo. The
-    rebuilt store carries a fresh epoch, so even entries observed through
-    stale references cannot validate. No-op if [store] is the current
-    handle. *)
+(** [set_store t store] replaces the whole lineage with [store] (a bulk
+    rebuild) and invalidates the plan cache and statistics memo. *)
 val set_store : t -> Rdf_store.Triple_store.t -> unit
 
-(** [epoch t] is the current store epoch. *)
+(** [epoch t] — the current snapshot version. *)
 val epoch : t -> int
 
-(** [stats t] — the store's statistics, computed once per epoch and
-    reused by every prepare in this session. *)
+(** [stats t] — statistics for the current snapshot, memoized by
+    snapshot version (and per base store process-wide, via
+    {!Rdf_store.Stats.cached}). *)
 val stats : t -> Rdf_store.Stats.t
 
+(** {1 Transactions}
+
+    Thin veneer over {!Rdf_store.Mvcc}: buffer triple-level writes,
+    then publish them atomically. Readers (including this session's own
+    in-flight runs) keep their pinned snapshot; runs started after the
+    commit see all of it. Committing does {e not} flush the plan cache
+    — cached plans revalidate per lookup and retarget to the new
+    snapshot. *)
+
+val begin_txn : t -> Rdf_store.Mvcc.txn
+
+(** [commit t txn] publishes the transaction's effects as a new
+    snapshot version (no-op for an empty transaction). May trigger
+    automatic compaction when the delta crosses the session's
+    threshold. *)
+val commit : t -> Rdf_store.Mvcc.txn -> unit
+
+val abort : t -> Rdf_store.Mvcc.txn -> unit
+
+(** [compact t] eagerly folds the current delta into a fresh base
+    epoch. In-flight readers keep their old view; the plan cache lazily
+    drops stale entries on their next lookup. *)
+val compact : t -> unit
+
+(** {1 Preparing and running queries} *)
+
 (** [prepare ?mode ?engine t text] returns the cached plan for
-    [(text, mode, engine)] at the current epoch, preparing and caching
-    it on a miss. Defaults: [Full], [Wco]. *)
+    [(text, mode, engine)] valid under the current snapshot, preparing
+    and caching it on a miss. Defaults: [Full], [Wco]. *)
 val prepare :
-  ?mode:Prepared.mode -> ?engine:Engine.Bgp_eval.engine -> t -> string ->
+  ?mode:Prepared.mode ->
+  ?engine:Engine.Bgp_eval.engine ->
+  t ->
+  string ->
   Prepared.t
 
 (** [run ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms
     ?partial ?retries ?faults t text] — {!prepare} (through the cache)
-    followed by {!Prepared.execute}, under a fresh governor ticket
-    registered with the session for the duration of the run (so {!cancel}
-    can reach it). The report's [cache] field records whether this run
-    hit, plus the session's cumulative counters.
+    followed by {!Prepared.execute}, both against one snapshot pinned
+    at the start of the attempt, under a fresh governor ticket
+    registered with the session for the duration of the run (so
+    {!cancel} can reach it). The report's [cache] field records whether
+    this run hit, plus the session's cumulative counters; its [epoch]
+    field is the pinned snapshot's version.
 
     [partial] (default [false]): a killed run returns the rows
     materialized before the limit fired, marked in the report.
     [retries] (default 0) bounds retry-with-fresh-budget: a transient
-    failure (anything but [Cancelled]) re-runs with a fresh ticket up to
-    [retries] times; the final attempt's report is returned either way.
-    [faults] arms a chaos schedule on each attempt's ticket — fault
-    countdowns are shared across attempts, so a one-shot fault stays
-    spent and the retry runs clean.
+    failure (anything but [Cancelled]) re-runs with a fresh ticket up
+    to [retries] times; the final attempt's report is returned either
+    way. [faults] arms a chaos schedule on each attempt's ticket —
+    fault countdowns are shared across attempts, so a one-shot fault
+    stays spent and the retry runs clean.
 
-    A kill during the {e prepare} phase (only injected faults fire there
-    — the budget and deadline are execution-side) has no report to
-    return: after retries are exhausted it escapes as
+    A kill during the {e prepare} phase (only injected faults fire
+    there — the budget and deadline are execution-side) has no report
+    to return: after retries are exhausted it escapes as
     [Sparql.Governor.Kill]. *)
 val run :
   ?mode:Prepared.mode ->
@@ -82,18 +131,37 @@ val run :
   string ->
   Prepared.report
 
+(** [run_query_ast t ~key query] is {!run} for an already-built query
+    AST, cached under the synthetic key [key]. The caller must ensure
+    [key] uniquely determines [query] — see {!Update_exec}, which
+    routes UPDATE WHERE-clauses through the session cache this way. *)
+val run_query_ast :
+  ?mode:Prepared.mode ->
+  ?engine:Engine.Bgp_eval.engine ->
+  ?domains:int ->
+  ?streaming:bool ->
+  ?row_budget:int ->
+  ?timeout_ms:float ->
+  ?partial:bool ->
+  ?retries:int ->
+  ?faults:Sparql.Governor.fault list ->
+  t ->
+  key:string ->
+  Sparql.Ast.query ->
+  Prepared.report
+
 (** {1 Cancellation} *)
 
 (** [cancel t] cancels every run currently in flight on this session
-    (from any domain): each active ticket's cancellation flag is set, and
-    the runs observe it at their next stride check, reporting
+    (from any domain): each active ticket's cancellation flag is set,
+    and the runs observe it at their next stride check, reporting
     [failure = Some Cancelled]. Returns the number of runs cancelled.
     Runs started after this call are unaffected. *)
 val cancel : t -> int
 
-(** [active_runs t] — the number of governor tickets currently registered
-    (in-flight runs). Zero when the session is quiescent: every run
-    unregisters its ticket on all exit paths. *)
+(** [active_runs t] — the number of governor tickets currently
+    registered (in-flight runs). Zero when the session is quiescent:
+    every run unregisters its ticket on all exit paths. *)
 val active_runs : t -> int
 
 (** [invalidate t] drops every cached plan and the statistics memo. *)

@@ -1,16 +1,25 @@
-(** Applying SPARQL 1.1 Update operations to a store.
+(** Applying SPARQL 1.1 Update operations.
 
-    The store is an immutable bulk-indexed structure, so updates follow
-    bulk-rebuild semantics: each application returns a *new* store with
-    the indexes rebuilt (appropriate for the analytical workloads this
-    engine targets; an OLTP delta layer is out of scope).
+    Two execution paths:
+
+    - {b Bulk rebuild} ({!apply}, {!apply_all}, {!run}): the plain-store
+      path — each application returns a *new* store with the indexes
+      rebuilt from scratch. Appropriate for one-shot batch loads.
+    - {b Transactional} ({!apply_session}, {!run_session}): the serving
+      path — each operation buffers its writes in an MVCC transaction on
+      the session's store lineage and commits them atomically as a delta.
+      Concurrent readers holding a pre-commit snapshot are untouched; no
+      index rebuild, no plan-cache flush.
 
     WHERE clauses are evaluated through the full SPARQL-UO optimizer
-    (mode [Full]); templates are instantiated per solution, dropping
-    instantiations that are non-ground or structurally invalid (literal
-    subject/predicate), per the SPARQL Update spec. *)
+    (mode [Full]); on the session path they additionally run through the
+    session's plan cache (keyed by a structural fingerprint of the WHERE
+    group), so a repeated update shape re-plans nothing. Templates are
+    instantiated per solution, dropping instantiations that are
+    non-ground or structurally invalid (literal subject/predicate), per
+    the SPARQL Update spec. *)
 
-(** [apply store update] — one operation. *)
+(** [apply store update] — one operation, bulk-rebuild semantics. *)
 val apply :
   ?engine:Engine.Bgp_eval.engine ->
   Rdf_store.Triple_store.t ->
@@ -32,17 +41,20 @@ val run :
   string ->
   Rdf_store.Triple_store.t
 
-(** {1 Session-threaded updates}
+(** {1 Session-threaded (transactional) updates}
 
-    The same operations applied through a {!Session}: the rebuilt store
-    is swapped into the session, whose fresh epoch invalidates every
-    cached plan and the statistics memo. *)
+    One operation = one transaction. The WHERE clause is evaluated once
+    against the pre-update snapshot; DELETE and INSERT templates are
+    instantiated from that same evaluation, and the writes publish
+    atomically ({!Session.commit}). Within a [Modify], deletes fold
+    before inserts. Sequenced operations ({!run_session}) each see their
+    predecessors' committed effects. *)
 
-(** [apply_session session update] — one operation against the session's
-    current store. *)
+(** [apply_session session update] — one operation as one transaction on
+    the session's MVCC lineage. *)
 val apply_session :
   ?engine:Engine.Bgp_eval.engine -> Session.t -> Sparql.Ast.update -> unit
 
-(** [run_session session text] parses and applies an update string, each
-    operation seeing its predecessors' effects. *)
+(** [run_session session text] parses and applies an update string, one
+    transaction per operation. *)
 val run_session : ?engine:Engine.Bgp_eval.engine -> Session.t -> string -> unit

@@ -3,7 +3,7 @@ type engine = Wco | Hash_join
 let engine_name = function Wco -> "wco" | Hash_join -> "hash"
 
 type t = {
-  store : Rdf_store.Triple_store.t;
+  store : Rdf_store.Snapshot.t;
   stats : Rdf_store.Stats.t;
   vartable : Sparql.Vartable.t;
   engine : engine;
@@ -16,14 +16,17 @@ type t = {
   plan_mutex : Mutex.t;
 }
 
-let make ?stats ?(domains = 1) store vartable engine =
-  (* [Stats.cached]: one statistics scan per live store, not per query. *)
+let make_snapshot ?stats ?(domains = 1) snapshot vartable engine =
+  (* [Stats.of_snapshot]: the memoized base scan adjusted by the delta —
+     one statistics scan per live base, not per query. *)
   let stats =
-    match stats with Some s -> s | None -> Rdf_store.Stats.cached store
+    match stats with
+    | Some s -> s
+    | None -> Rdf_store.Stats.of_snapshot snapshot
   in
   let pool = if domains > 1 then Pool.ensure ~num_domains:domains else None in
   {
-    store;
+    store = snapshot;
     stats;
     vartable;
     engine;
@@ -32,6 +35,10 @@ let make ?stats ?(domains = 1) store vartable engine =
     plan_cache = Hashtbl.create 64;
     plan_mutex = Mutex.create ();
   }
+
+let make ?stats ?domains store vartable engine =
+  make_snapshot ?stats ?domains (Rdf_store.Snapshot.of_store store) vartable
+    engine
 
 (* Domain count is an execution-time knob, everything else in the context
    is plan-level; the derived context shares the memoized plans (and
@@ -45,6 +52,15 @@ let with_domains ctx ~domains =
       domains;
       pool = (if domains > 1 then Pool.ensure ~num_domains:domains else None);
     }
+
+(* Retarget the context to a newer snapshot of the same lineage. Sound
+   because dictionary ids are append-only: compiled constants stay
+   valid; memoized plan orders carry cost estimates from the snapshot
+   they were planned under, which is exactly the bounded staleness the
+   plan cache signs up for (a compaction changes the base epoch and
+   invalidates the cache entry wholesale). *)
+let with_store ctx snapshot ~stats =
+  if snapshot == ctx.store then ctx else { ctx with store = snapshot; stats }
 
 let store ctx = ctx.store
 let stats ctx = ctx.stats

@@ -12,11 +12,23 @@ type t
 (** An evaluation context: store + statistics + the query's variable
     table. *)
 
-(** [make ?stats ?domains store vartable engine] — [domains] (default 1)
-    is the number of domains BGP evaluation and the evaluator may use;
-    [domains > 1] attaches the process-global {!Pool}. When [stats] is
-    omitted they come from {!Rdf_store.Stats.cached}, so repeated
-    context construction against one store does not rescan it. *)
+(** [make_snapshot ?stats ?domains snapshot vartable engine] — the
+    context evaluates against the given immutable snapshot view.
+    [domains] (default 1) is the number of domains BGP evaluation and
+    the evaluator may use; [domains > 1] attaches the process-global
+    {!Pool}. When [stats] is omitted they come from
+    {!Rdf_store.Stats.of_snapshot}, so repeated context construction
+    against one base does not rescan it. *)
+val make_snapshot :
+  ?stats:Rdf_store.Stats.t ->
+  ?domains:int ->
+  Rdf_store.Snapshot.t ->
+  Sparql.Vartable.t ->
+  engine ->
+  t
+
+(** [make ?stats ?domains store vartable engine] is {!make_snapshot}
+    over the plain (empty-delta) view of [store]. *)
 val make :
   ?stats:Rdf_store.Stats.t ->
   ?domains:int ->
@@ -31,7 +43,14 @@ val make :
     count without recompiling. *)
 val with_domains : t -> domains:int -> t
 
-val store : t -> Rdf_store.Triple_store.t
+(** [with_store ctx snapshot ~stats] is [ctx] retargeted to a newer
+    snapshot of the same lineage (same shared dictionary — ids are
+    append-only, so compiled constants remain valid). Shares the
+    memoized plans; the plan cache invalidates wholesale on base-epoch
+    changes, so estimate staleness is bounded by one delta. *)
+val with_store : t -> Rdf_store.Snapshot.t -> stats:Rdf_store.Stats.t -> t
+
+val store : t -> Rdf_store.Snapshot.t
 val stats : t -> Rdf_store.Stats.t
 val vartable : t -> Sparql.Vartable.t
 val engine : t -> engine

@@ -10,7 +10,7 @@ type t = {
 let compile_node store table = function
   | Sparql.Triple_pattern.Var v -> Cvar (Sparql.Vartable.id table v)
   | Sparql.Triple_pattern.Term term -> (
-      match Rdf_store.Triple_store.encode_term store term with
+      match Rdf_store.Snapshot.encode_term store term with
       | Some id -> Cterm id
       | None -> Missing)
 
@@ -47,17 +47,17 @@ let exact_count store ctp =
       | Cvar _ -> None
       | Missing -> assert false
     in
-    Rdf_store.Triple_store.count store ?s:(key ctp.cs) ?p:(key ctp.cp)
+    Rdf_store.Snapshot.count store ?s:(key ctp.cs) ?p:(key ctp.cp)
       ?o:(key ctp.co) ()
 
 let count_with store ctp row =
   if has_missing ctp then 0
   else
-    Rdf_store.Triple_store.count store ?s:(key_of row ctp.cs)
+    Rdf_store.Snapshot.count store ?s:(key_of row ctp.cs)
       ?p:(key_of row ctp.cp) ?o:(key_of row ctp.co) ()
 
 let iter_matches store ctp row ~f =
   if has_missing ctp then ()
   else
-    Rdf_store.Triple_store.iter store ?s:(key_of row ctp.cs)
+    Rdf_store.Snapshot.iter store ?s:(key_of row ctp.cs)
       ?p:(key_of row ctp.cp) ?o:(key_of row ctp.co) ~f ()

@@ -16,10 +16,10 @@ type t = {
 }
 
 val compile :
-  Rdf_store.Triple_store.t -> Sparql.Vartable.t -> Sparql.Triple_pattern.t -> t
+  Rdf_store.Snapshot.t -> Sparql.Vartable.t -> Sparql.Triple_pattern.t -> t
 
 val compile_list :
-  Rdf_store.Triple_store.t ->
+  Rdf_store.Snapshot.t ->
   Sparql.Vartable.t ->
   Sparql.Triple_pattern.t list ->
   t list
@@ -34,17 +34,17 @@ val var_columns : t -> int list
     [ctp] taken in isolation (constant positions keyed, variables
     wildcarded) — read straight off the index ranges, as the paper's
     cardinality estimation does for single triple patterns. *)
-val exact_count : Rdf_store.Triple_store.t -> t -> int
+val exact_count : Rdf_store.Snapshot.t -> t -> int
 
 (** [count_with store ctp row] is the exact match count after substituting
     the bound columns of [row] into the pattern; [None] if a [Missing]
     constant makes it trivially 0. *)
-val count_with : Rdf_store.Triple_store.t -> t -> Sparql.Binding.t -> int
+val count_with : Rdf_store.Snapshot.t -> t -> Sparql.Binding.t -> int
 
 (** [iter_matches store ctp row ~f] enumerates matching triples after
     substituting bound columns of [row]; [f] receives the full (s, p, o). *)
 val iter_matches :
-  Rdf_store.Triple_store.t ->
+  Rdf_store.Snapshot.t ->
   t ->
   Sparql.Binding.t ->
   f:(s:int -> p:int -> o:int -> unit) ->

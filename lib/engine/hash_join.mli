@@ -3,7 +3,7 @@
     in the planner's order with binary hash joins (Eq. 9's cost model). *)
 
 val eval :
-  Rdf_store.Triple_store.t ->
+  Rdf_store.Snapshot.t ->
   width:int ->
   Planner.plan ->
   candidates:Candidates.t ->
@@ -20,7 +20,7 @@ val eval :
     their next morsel boundary. *)
 val eval_into :
   ?pool:Pool.t ->
-  Rdf_store.Triple_store.t ->
+  Rdf_store.Snapshot.t ->
   width:int ->
   Planner.plan ->
   candidates:Candidates.t ->
@@ -31,7 +31,7 @@ val eval_into :
     matches of a single triple pattern as a bag (exposed for LBR, which
     evaluates triple patterns separately). *)
 val scan_pattern :
-  Rdf_store.Triple_store.t ->
+  Rdf_store.Snapshot.t ->
   width:int ->
   Compiled.t ->
   candidates:Candidates.t ->

@@ -43,7 +43,7 @@ type plan = {
     cardinalities and both cost metrics. An empty pattern list yields an
     empty plan with cardinality 1 (the unit bag). *)
 val plan :
-  Rdf_store.Triple_store.t ->
+  Rdf_store.Snapshot.t ->
   Rdf_store.Stats.t ->
   Sparql.Vartable.t ->
   Compiled.t list ->

@@ -149,7 +149,7 @@ let operand_of store row (pattern : Compiled.t) =
     | Compiled.Missing -> assert false
   in
   Intersect.View
-    (Rdf_store.Triple_store.third_column_view store
+    (Rdf_store.Snapshot.third_column_view store
        ?s:(key pattern.Compiled.cs) ?p:(key pattern.Compiled.cp)
        ?o:(key pattern.Compiled.co) ())
 

@@ -33,7 +33,7 @@ val multiway_enabled : unit -> bool
 
 val eval :
   ?pool:Pool.t ->
-  Rdf_store.Triple_store.t ->
+  Rdf_store.Snapshot.t ->
   stats:Rdf_store.Stats.t ->
   width:int ->
   Planner.plan ->
@@ -49,7 +49,7 @@ val eval :
     serially into the sink (Stop only ever unwinds serial code). *)
 val eval_into :
   ?pool:Pool.t ->
-  Rdf_store.Triple_store.t ->
+  Rdf_store.Snapshot.t ->
   stats:Rdf_store.Stats.t ->
   width:int ->
   Planner.plan ->

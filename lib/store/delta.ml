@@ -1,0 +1,35 @@
+(* A frozen delta generation: the net effect of every transaction
+   committed against a base since it was last compacted, as two small
+   index sets. Values are immutable — a commit builds a *new* delta
+   (generation + 1) and publishes it inside a new snapshot, so readers
+   holding an older generation never see it change.
+
+   Invariants (established by the commit fold in {!Mvcc}):
+   - [adds] is disjoint from the base (a re-inserted base triple is a
+     no-op, not an add);
+   - [dels] is a subset of the base;
+   - [adds] and [dels] are disjoint.
+   These make snapshot reads pure arithmetic: count = base - dels + adds,
+   membership = (base and not del) or add, with no double counting. *)
+
+type t = {
+  gen : int;
+  adds : Index_set.t;
+  dels : Index_set.t;
+}
+
+let empty = { gen = 0; adds = Index_set.empty; dels = Index_set.empty }
+
+let make ~gen ~adds ~dels =
+  { gen; adds = Index_set.of_rows adds; dels = Index_set.of_rows dels }
+
+let gen t = t.gen
+
+let adds t = t.adds
+
+let dels t = t.dels
+
+let is_empty t = Index_set.is_empty t.adds && Index_set.is_empty t.dels
+
+(* Total buffered rows — the compaction trigger reads this. *)
+let size t = Index_set.size t.adds + Index_set.size t.dels

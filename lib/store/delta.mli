@@ -1,0 +1,27 @@
+(** A frozen delta generation: the net insert/delete buffers committed
+    against a base store since its last compaction, indexed like the
+    base (two small {!Index_set}s). Immutable — each commit publishes a
+    new generation, so a reader's view never changes under it.
+
+    Invariants maintained by the {!Mvcc} commit fold: [adds] ∩ base = ∅,
+    [dels] ⊆ base, [adds] ∩ [dels] = ∅. Snapshot reads rely on them
+    (count = base − dels + adds with no double counting). *)
+
+type t
+
+(** Generation 0: no buffered writes. *)
+val empty : t
+
+(** [make ~gen ~adds ~dels] freezes the given encoded rows as
+    generation [gen] (rows are deduplicated and indexed). *)
+val make :
+  gen:int -> adds:(int * int * int) array -> dels:(int * int * int) array -> t
+
+val gen : t -> int
+val adds : t -> Index_set.t
+val dels : t -> Index_set.t
+val is_empty : t -> bool
+
+(** [size t] is the total number of buffered rows (adds + dels) — the
+    compaction trigger. *)
+val size : t -> int

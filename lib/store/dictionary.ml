@@ -1,44 +1,78 @@
+(* The dictionary is shared by every snapshot of a store lineage: ids are
+   dense, append-only and never reassigned, so a compiled plan's term ids
+   stay valid across delta commits and compactions. That sharing makes
+   this the one structure concurrent readers and the writer touch at the
+   same time, so it is the one structure here with its own concurrency
+   protocol:
+
+   - [encode]/[find] (hash lookups, possible insertion) take [lock]. The
+     hash table is not safe under concurrent mutation, and [find] runs at
+     plan-compile time only — never per row — so the mutex is off the
+     hot path.
+   - [decode]/[iter]/[size] (the per-row read path) are lock-free. The
+     id->term direction lives in an array published through [terms] with
+     the count published through [count] *after* the cell (and, on
+     growth, the fresh array) is in place. A reader that loads [count]
+     first and [terms] second therefore always sees an array in which
+     every id below the loaded count is initialized: the atomic pair
+     gives the release/acquire edge the OCaml memory model needs to make
+     the plain array-cell write visible. *)
+
 type t = {
-  mutable terms : Rdf.Term.t array;
-  mutable count : int;
+  terms : Rdf.Term.t array Atomic.t;
+  count : int Atomic.t;
   by_term : (Rdf.Term.t, int) Hashtbl.t;
+  lock : Mutex.t;
 }
 
 let placeholder = Rdf.Term.Iri ""
 
 let create ?(initial_capacity = 1024) () =
   {
-    terms = Array.make (max 1 initial_capacity) placeholder;
-    count = 0;
+    terms = Atomic.make (Array.make (max 1 initial_capacity) placeholder);
+    count = Atomic.make 0;
     by_term = Hashtbl.create (max 1 initial_capacity);
+    lock = Mutex.create ();
   }
 
-let grow dict =
-  let fresh = Array.make (2 * Array.length dict.terms) placeholder in
-  Array.blit dict.terms 0 fresh 0 dict.count;
-  dict.terms <- fresh
+(* Callers hold [lock]. Publish the grown array before the count moves,
+   so concurrent decoders never index past the array they loaded. *)
+let grow dict n =
+  let old = Atomic.get dict.terms in
+  let fresh = Array.make (2 * Array.length old) placeholder in
+  Array.blit old 0 fresh 0 n;
+  Atomic.set dict.terms fresh
 
 let encode dict term =
+  Mutex.protect dict.lock @@ fun () ->
   match Hashtbl.find_opt dict.by_term term with
   | Some id -> id
   | None ->
-      if dict.count = Array.length dict.terms then grow dict;
-      let id = dict.count in
-      dict.terms.(id) <- term;
-      dict.count <- id + 1;
+      let id = Atomic.get dict.count in
+      if id = Array.length (Atomic.get dict.terms) then grow dict id;
+      (Atomic.get dict.terms).(id) <- term;
+      (* Release store: the cell write above becomes visible to any
+         reader that observes the new count. *)
+      Atomic.set dict.count (id + 1);
       Hashtbl.add dict.by_term term id;
       id
 
-let find dict term = Hashtbl.find_opt dict.by_term term
+let find dict term =
+  Mutex.protect dict.lock @@ fun () -> Hashtbl.find_opt dict.by_term term
 
 let decode dict id =
-  if id < 0 || id >= dict.count then
+  (* Acquire load of [count] before [terms]: ids below the loaded count
+     are fully published (see [encode]). *)
+  let n = Atomic.get dict.count in
+  if id < 0 || id >= n then
     invalid_arg (Printf.sprintf "Dictionary.decode: id %d out of range" id);
-  dict.terms.(id)
+  (Atomic.get dict.terms).(id)
 
-let size dict = dict.count
+let size dict = Atomic.get dict.count
 
 let iter dict ~f =
-  for id = 0 to dict.count - 1 do
-    f id dict.terms.(id)
+  let n = Atomic.get dict.count in
+  let terms = Atomic.get dict.terms in
+  for id = 0 to n - 1 do
+    f id terms.(id)
   done

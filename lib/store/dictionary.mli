@@ -1,6 +1,15 @@
 (** Dictionary encoding: a bijection between RDF terms and dense integer
     identifiers, used by the triple store so that all query processing runs
-    on machine integers. *)
+    on machine integers.
+
+    Ids are append-only: once assigned they are never reused or
+    reassigned, which is what lets every snapshot of a store lineage
+    (and every compiled plan) share one dictionary.
+
+    Thread safety: [encode] and [find] serialize on an internal mutex;
+    [decode], [iter] and [size] are lock-free and safe against a
+    concurrent [encode] — a reader observes a prefix of the dictionary
+    that is always internally consistent. *)
 
 type t
 
@@ -20,5 +29,6 @@ val decode : t -> int -> Rdf.Term.t
 (** [size dict] is the number of distinct terms encoded. *)
 val size : t -> int
 
-(** [iter dict ~f] applies [f id term] to every encoded pair in id order. *)
+(** [iter dict ~f] applies [f id term] to every encoded pair in id order
+    (over the prefix visible when the iteration started). *)
 val iter : t -> f:(int -> Rdf.Term.t -> unit) -> unit

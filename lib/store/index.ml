@@ -129,6 +129,13 @@ let column_view t ~a ~b =
   let lo = lower_bound t 2 a b 0 and hi = upper_bound t 2 a b 0 in
   { vals = key3_source t; vperm = t.perm; lo; len = hi - lo }
 
+(* Wrap a materialized, strictly increasing array as a view — used by
+   snapshots to hand the intersection kernel a third column merged from
+   base and delta. The identity permutation keeps [view_get] uniform. *)
+let view_of_sorted_array vals =
+  let n = Array.length vals in
+  { vals; vperm = Array.init n Fun.id; lo = 0; len = n }
+
 let view_length v = v.len
 
 let view_get v i =

@@ -38,6 +38,11 @@ type view
     copying: the view aliases the shared table and permutation. *)
 val column_view : t -> a:int -> b:int -> view
 
+(** [view_of_sorted_array vals] wraps a materialized array as a view.
+    [vals] must be strictly increasing — the caller (the snapshot layer,
+    merging base and delta third columns) guarantees it. *)
+val view_of_sorted_array : int array -> view
+
 val view_length : view -> int
 
 (** [view_get v i] is the [i]-th (ascending) third-column value,

@@ -1,0 +1,149 @@
+(* A deduplicated triple table with all six permutation indexes — the
+   unit of immutability in the snapshot store. The base of every
+   snapshot is one (large) index set; each frozen delta generation
+   carries two more (small) ones for its inserts and deletes. All
+   pattern access below is read-only, so a built index set may be shared
+   freely across domains. *)
+
+type t = {
+  table : Index.table;
+  spo : Index.t;
+  sop : Index.t;
+  pso : Index.t;
+  pos : Index.t;
+  osp : Index.t;
+  ops : Index.t;
+}
+
+(* Sort-and-dedup encoded triples in SPO order. *)
+let dedup_encoded (rows : (int * int * int) array) =
+  let cmp (s1, p1, o1) (s2, p2, o2) =
+    let c = Int.compare s1 s2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare p1 p2 in
+      if c <> 0 then c else Int.compare o1 o2
+  in
+  Array.sort cmp rows;
+  let n = Array.length rows in
+  if n = 0 then rows
+  else begin
+    let distinct = ref 1 in
+    for i = 1 to n - 1 do
+      if cmp rows.(i) rows.(i - 1) <> 0 then begin
+        rows.(!distinct) <- rows.(i);
+        incr distinct
+      end
+    done;
+    Array.sub rows 0 !distinct
+  end
+
+let of_rows rows =
+  let rows = dedup_encoded rows in
+  let n = Array.length rows in
+  let table =
+    {
+      Index.s = Array.make n 0;
+      Index.p = Array.make n 0;
+      Index.o = Array.make n 0;
+    }
+  in
+  Array.iteri
+    (fun i (s, p, o) ->
+      table.Index.s.(i) <- s;
+      table.Index.p.(i) <- p;
+      table.Index.o.(i) <- o)
+    rows;
+  {
+    table;
+    spo = Index.build Index.Spo table;
+    sop = Index.build Index.Sop table;
+    pso = Index.build Index.Pso table;
+    pos = Index.build Index.Pos table;
+    osp = Index.build Index.Osp table;
+    ops = Index.build Index.Ops table;
+  }
+
+let empty = of_rows [||]
+
+let size t = Array.length t.table.Index.s
+
+let is_empty t = size t = 0
+
+let index t = function
+  | Index.Spo -> t.spo
+  | Index.Sop -> t.sop
+  | Index.Pso -> t.pso
+  | Index.Pos -> t.pos
+  | Index.Osp -> t.osp
+  | Index.Ops -> t.ops
+
+(* Pick the index whose component order puts the bound positions first, and
+   return it along with the (a, b, c) key prefix. *)
+let plan_lookup t ?s ?p ?o () =
+  match (s, p, o) with
+  | None, None, None -> (t.spo, None, None, None)
+  | Some s, None, None -> (t.spo, Some s, None, None)
+  | None, Some p, None -> (t.pso, Some p, None, None)
+  | None, None, Some o -> (t.osp, Some o, None, None)
+  | Some s, Some p, None -> (t.spo, Some s, Some p, None)
+  | Some s, None, Some o -> (t.sop, Some s, Some o, None)
+  | None, Some p, Some o -> (t.pos, Some p, Some o, None)
+  | Some s, Some p, Some o -> (t.spo, Some s, Some p, Some o)
+
+let count t ?s ?p ?o () =
+  let idx, a, b, c = plan_lookup t ?s ?p ?o () in
+  let lo, hi = Index.range idx ?a ?b ?c () in
+  hi - lo
+
+let iter t ?s ?p ?o ~f () =
+  let idx, a, b, c = plan_lookup t ?s ?p ?o () in
+  let lo, hi = Index.range idx ?a ?b ?c () in
+  Index.iter idx ~lo ~hi ~f
+
+let contains t ~s ~p ~o = count t ~s ~p ~o () > 0
+
+let third_column_view t ?s ?p ?o () =
+  match (s, p, o) with
+  | Some s, Some p, None -> Index.column_view t.spo ~a:s ~b:p
+  | Some s, None, Some o -> Index.column_view t.sop ~a:s ~b:o
+  | None, Some p, Some o -> Index.column_view t.pos ~a:p ~b:o
+  | _ ->
+      invalid_arg "Index_set.third_column_view: exactly two bound positions"
+
+let iter_all t ~f =
+  let lo, hi = Index.range t.spo () in
+  Index.iter t.spo ~lo ~hi ~f
+
+(* Every triple as encoded rows, in SPO order — the commit path folds a
+   transaction's writes over these. *)
+let rows t =
+  let n = size t in
+  let out = Array.make n (0, 0, 0) in
+  let i = ref 0 in
+  iter_all t ~f:(fun ~s ~p ~o ->
+      out.(!i) <- (s, p, o);
+      incr i);
+  out
+
+(* Within a single-predicate range of PSO, distinct (p, s) pairs coincide
+   with distinct subjects. *)
+let distinct_subjects t ~p =
+  let lo, hi = Index.range t.pso ~a:p () in
+  Index.distinct_seconds t.pso ~lo ~hi
+
+let distinct_objects t ~p =
+  let lo, hi = Index.range t.pos ~a:p () in
+  Index.distinct_seconds t.pos ~lo ~hi
+
+let predicates t =
+  let idx = t.pso in
+  let n = size t in
+  let rec collect pos acc =
+    if pos >= n then List.rev acc
+    else
+      let _, p, _ = Index.row idx pos in
+      let _, hi = Index.range idx ~a:p () in
+      collect hi ((p, hi - pos) :: acc)
+  in
+  collect 0 []

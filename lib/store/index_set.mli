@@ -1,0 +1,51 @@
+(** A deduplicated triple table with all six permutation indexes (SPO,
+    SOP, PSO, POS, OSP, OPS) — the unit of immutability in the snapshot
+    store. A snapshot's base is one index set; each frozen delta
+    generation carries two small ones (inserts and deletes). Values are
+    immutable after construction and safe to share across domains. *)
+
+type t
+
+(** [of_rows rows] sorts, deduplicates and indexes already-encoded
+    (s, p, o) id triples. *)
+val of_rows : (int * int * int) array -> t
+
+(** The shared empty index set (zero rows). *)
+val empty : t
+
+(** [size t] is the number of distinct triples. *)
+val size : t -> int
+
+val is_empty : t -> bool
+
+(** [index t order] exposes one permutation index. *)
+val index : t -> Index.order -> Index.t
+
+(** Pattern access: an omitted position is a wildcard. *)
+
+val count : t -> ?s:int -> ?p:int -> ?o:int -> unit -> int
+
+val iter :
+  t -> ?s:int -> ?p:int -> ?o:int ->
+  f:(s:int -> p:int -> o:int -> unit) -> unit -> unit
+
+val contains : t -> s:int -> p:int -> o:int -> bool
+
+(** [third_column_view t ?s ?p ?o ()] — with exactly two positions bound,
+    the sorted duplicate-free {!Index.view} of third-position values.
+    Any other combination is an [Invalid_argument]. *)
+val third_column_view : t -> ?s:int -> ?p:int -> ?o:int -> unit -> Index.view
+
+(** [iter_all t ~f] — every triple, as ids, in SPO order. *)
+val iter_all : t -> f:(s:int -> p:int -> o:int -> unit) -> unit
+
+(** [rows t] materializes every triple as encoded rows in SPO order. *)
+val rows : t -> (int * int * int) array
+
+(** {1 Statistics inputs} *)
+
+val distinct_subjects : t -> p:int -> int
+val distinct_objects : t -> p:int -> int
+
+(** [predicates t] lists all predicate ids with their triple counts. *)
+val predicates : t -> (int * int) list

@@ -1,0 +1,169 @@
+(* The writer side of the snapshot store. One [t] owns a store lineage:
+   an atomic cell holding the current snapshot, and a writer mutex that
+   serializes commits and compactions. Readers never take the mutex —
+   [snapshot] is a single atomic load, and whatever snapshot a reader
+   holds stays internally consistent forever (commits publish new
+   snapshots; nothing mutates published ones).
+
+   Transactions buffer encoded writes locally and apply nothing until
+   [commit]: the commit fold, under the writer mutex, replays the
+   buffered ops over the *latest* published delta (not the one current
+   at [begin_txn]), so concurrent transactions serialize cleanly in
+   commit order (last-writer-wins at triple granularity — these are
+   set operations, so that is also first-writer-wins). The fold
+   maintains the delta invariants (adds ∩ base = ∅, dels ⊆ base,
+   adds ∩ dels = ∅) that snapshot reads depend on.
+
+   When a committed delta grows past [compact_threshold] rows, the
+   commit folds it into a fresh base (new epoch, same shared dictionary)
+   before publishing — still without blocking readers, who keep their
+   old base alive until they drop it. [compact] does the same on
+   demand. *)
+
+type t = {
+  current : Snapshot.t Atomic.t;
+  writer : Mutex.t;
+  compact_threshold : int;
+}
+
+type op = Insert of (int * int * int) | Delete of (int * int * int)
+
+type txn = {
+  owner : t;
+  mutable ops : op list; (* newest first; replayed in reverse *)
+  mutable closed : bool;
+}
+
+let default_compact_threshold = 65_536
+
+let create ?(compact_threshold = default_compact_threshold) store =
+  {
+    current = Atomic.make (Snapshot.of_store store);
+    writer = Mutex.create ();
+    compact_threshold = max 1 compact_threshold;
+  }
+
+let snapshot t = Atomic.get t.current
+
+let base t = Snapshot.base (snapshot t)
+
+let delta_rows t = Delta.size (Snapshot.delta (snapshot t))
+
+(* Swap in a freshly built base (bulk rebuild path, e.g. LOAD or the
+   legacy whole-store update), dropping any buffered delta. *)
+let set_base t store =
+  Mutex.protect t.writer @@ fun () ->
+  Atomic.set t.current (Snapshot.of_store store)
+
+let begin_txn t = { owner = t; ops = []; closed = false }
+
+let check_open txn =
+  if txn.closed then invalid_arg "Mvcc: transaction already committed/aborted"
+
+let insert_encoded txn row =
+  check_open txn;
+  txn.ops <- Insert row :: txn.ops
+
+let delete_encoded txn row =
+  check_open txn;
+  txn.ops <- Delete row :: txn.ops
+
+let encode_triple t { Rdf.Triple.s; p; o } =
+  let dict = Triple_store.dictionary (base t) in
+  (Dictionary.encode dict s, Dictionary.encode dict p, Dictionary.encode dict o)
+
+let insert txn triple = insert_encoded txn (encode_triple txn.owner triple)
+
+(* Deleting a triple with a term the dictionary has never seen is a
+   no-op: the triple cannot be in the store, nor in this transaction's
+   buffer (inserting it would have interned the terms). *)
+let delete txn triple =
+  check_open txn;
+  let dict = Triple_store.dictionary (base txn.owner) in
+  match
+    ( Dictionary.find dict triple.Rdf.Triple.s,
+      Dictionary.find dict triple.Rdf.Triple.p,
+      Dictionary.find dict triple.Rdf.Triple.o )
+  with
+  | Some s, Some p, Some o -> delete_encoded txn (s, p, o)
+  | _ -> ()
+
+let abort txn = txn.closed <- true
+
+(* Materialize the view as encoded rows (base \ dels, then adds). *)
+let view_rows snap =
+  let rows = ref [] and n = ref 0 in
+  Snapshot.iter_all snap ~f:(fun ~s ~p ~o ->
+      rows := (s, p, o) :: !rows;
+      incr n);
+  let out = Array.make !n (0, 0, 0) in
+  List.iteri (fun i r -> out.(!n - 1 - i) <- r) !rows;
+  out
+
+let compact_locked t =
+  let cur = Atomic.get t.current in
+  if Delta.is_empty (Snapshot.delta cur) then cur
+  else begin
+    let dict = Triple_store.dictionary (Snapshot.base cur) in
+    let fresh = Triple_store.of_encoded_rows dict (view_rows cur) in
+    let next = Snapshot.of_store fresh in
+    Atomic.set t.current next;
+    next
+  end
+
+let compact t = Mutex.protect t.writer @@ fun () -> compact_locked t
+
+let commit txn =
+  check_open txn;
+  txn.closed <- true;
+  let t = txn.owner in
+  let ops = List.rev txn.ops in
+  if ops = [] then snapshot t
+  else
+    Mutex.protect t.writer @@ fun () ->
+    let cur = Atomic.get t.current in
+    let b = Snapshot.base cur and d = Snapshot.delta cur in
+    let adds = Hashtbl.create 64 and dels = Hashtbl.create 64 in
+    Index_set.iter_all (Delta.adds d) ~f:(fun ~s ~p ~o ->
+        Hashtbl.replace adds (s, p, o) ());
+    Index_set.iter_all (Delta.dels d) ~f:(fun ~s ~p ~o ->
+        Hashtbl.replace dels (s, p, o) ());
+    List.iter
+      (fun op ->
+        match op with
+        | Insert ((s, p, o) as row) ->
+            if Hashtbl.mem dels row then Hashtbl.remove dels row
+            else if not (Triple_store.contains b ~s ~p ~o) then
+              Hashtbl.replace adds row ()
+        | Delete ((s, p, o) as row) ->
+            if Hashtbl.mem adds row then Hashtbl.remove adds row
+            else if Triple_store.contains b ~s ~p ~o then
+              Hashtbl.replace dels row ())
+      ops;
+    let to_array h =
+      let out = Array.make (Hashtbl.length h) (0, 0, 0) in
+      let i = ref 0 in
+      Hashtbl.iter
+        (fun row () ->
+          out.(!i) <- row;
+          incr i)
+        h;
+      out
+    in
+    let delta =
+      Delta.make ~gen:(Delta.gen d + 1) ~adds:(to_array adds)
+        ~dels:(to_array dels)
+    in
+    let next =
+      Snapshot.make ~base:b ~delta ~version:(Triple_store.fresh_epoch ())
+    in
+    Atomic.set t.current next;
+    if Delta.size delta >= t.compact_threshold then compact_locked t else next
+
+(* One-shot transactional write: buffer, commit, return the published
+   snapshot. *)
+let apply t ~inserts ~deletes =
+  let txn = begin_txn t in
+  List.iter (insert txn) inserts;
+  List.iter (delete txn) deletes;
+  commit txn

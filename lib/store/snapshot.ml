@@ -1,7 +1,158 @@
+(* A snapshot is the readers' whole world: an immutable base store plus
+   one frozen delta generation, bundled with a version stamp. Acquiring
+   one is O(1) (an atomic load in {!Mvcc}); once held, nothing about it
+   ever changes — commits and compactions publish *new* snapshots.
+
+   Reads are expressed as base/delta arithmetic, leaning on the delta
+   invariants (adds ∩ base = ∅, dels ⊆ base, adds ∩ dels = ∅):
+
+     count   = base − dels + adds
+     member  = (base ∧ ¬del) ∨ add
+     iterate = base \ dels, then adds
+     column  = merge(base \ dels, adds)   (strictly increasing)
+
+   The empty-delta case — the common one for read-mostly serving, and
+   the only one after a compaction — short-circuits to the plain base
+   path everywhere, so a quiescent store pays nothing for MVCC.
+
+   This module also owns the checksummed binary persistence format
+   (save/load), unchanged from before the MVCC refactor: a saved file
+   always describes a full base (save a compacted store). *)
+
+type t = {
+  base : Triple_store.t;
+  delta : Delta.t;
+  version : int;
+}
+
+let of_store store =
+  { base = store; delta = Delta.empty; version = Triple_store.epoch store }
+
+let make ~base ~delta ~version = { base; delta; version }
+
+let base t = t.base
+let delta t = t.delta
+let version t = t.version
+let base_epoch t = Triple_store.epoch t.base
+let delta_gen t = Delta.gen t.delta
+
+let dictionary t = Triple_store.dictionary t.base
+let dict_size t = Dictionary.size (Triple_store.dictionary t.base)
+
+let encode_term t term = Triple_store.encode_term t.base term
+let decode_term t id = Triple_store.decode_term t.base id
+let intern_term t term = Triple_store.intern_term t.base term
+
+let size t =
+  Triple_store.size t.base
+  + Index_set.size (Delta.adds t.delta)
+  - Index_set.size (Delta.dels t.delta)
+
+let count t ?s ?p ?o () =
+  let base = Triple_store.count t.base ?s ?p ?o () in
+  if Delta.is_empty t.delta then base
+  else
+    base
+    + Index_set.count (Delta.adds t.delta) ?s ?p ?o ()
+    - Index_set.count (Delta.dels t.delta) ?s ?p ?o ()
+
+let contains t ~s ~p ~o =
+  if Delta.is_empty t.delta then Triple_store.contains t.base ~s ~p ~o
+  else
+    Index_set.contains (Delta.adds t.delta) ~s ~p ~o
+    || (Triple_store.contains t.base ~s ~p ~o
+        && not (Index_set.contains (Delta.dels t.delta) ~s ~p ~o))
+
+let iter t ?s ?p ?o ~f () =
+  if Delta.is_empty t.delta then Triple_store.iter t.base ?s ?p ?o ~f ()
+  else begin
+    let dels = Delta.dels t.delta in
+    if Index_set.is_empty dels then Triple_store.iter t.base ?s ?p ?o ~f ()
+    else
+      Triple_store.iter t.base ?s ?p ?o
+        ~f:(fun ~s ~p ~o ->
+          if not (Index_set.contains dels ~s ~p ~o) then f ~s ~p ~o)
+        ();
+    Index_set.iter (Delta.adds t.delta) ?s ?p ?o ~f ()
+  end
+
+let iter_all t ~f = iter t ~f ()
+
+(* The multiway intersection kernel wants a strictly increasing third
+   column for a (key1, key2) prefix. When the delta is silent for this
+   prefix the base view passes through untouched (zero copy); otherwise
+   merge base \ dels with adds into a materialized array. *)
+let third_column_view t ?s ?p ?o () =
+  if Delta.is_empty t.delta then
+    Triple_store.third_column_view t.base ?s ?p ?o ()
+  else begin
+    let bv = Triple_store.third_column_view t.base ?s ?p ?o () in
+    let av = Index_set.third_column_view (Delta.adds t.delta) ?s ?p ?o () in
+    let dv = Index_set.third_column_view (Delta.dels t.delta) ?s ?p ?o () in
+    let na = Index.view_length av and nd = Index.view_length dv in
+    if na = 0 && nd = 0 then bv
+    else begin
+      let nb = Index.view_length bv in
+      let out = Array.make (nb + na) 0 in
+      let k = ref 0 and i = ref 0 and j = ref 0 and d = ref 0 in
+      let deleted v =
+        while !d < nd && Index.view_get dv !d < v do
+          incr d
+        done;
+        !d < nd && Index.view_get dv !d = v
+      in
+      while !i < nb || !j < na do
+        let bval = if !i < nb then Index.view_get bv !i else max_int in
+        let aval = if !j < na then Index.view_get av !j else max_int in
+        if bval < aval then begin
+          if not (deleted bval) then begin
+            out.(!k) <- bval;
+            incr k
+          end;
+          incr i
+        end
+        else if aval < bval then begin
+          out.(!k) <- aval;
+          incr k;
+          incr j
+        end
+        else begin
+          (* adds ∩ base = ∅ makes this unreachable for one snapshot;
+             emit once to stay strictly increasing regardless. *)
+          if not (deleted bval) then begin
+            out.(!k) <- bval;
+            incr k
+          end;
+          incr i;
+          incr j
+        end
+      done;
+      Index.view_of_sorted_array (Array.sub out 0 !k)
+    end
+  end
+
+(* Exact predicate -> triple count for the whole view (base adjusted by
+   delta); feeds {!Stats.of_snapshot}. *)
+let predicates t =
+  if Delta.is_empty t.delta then Triple_store.predicates t.base
+  else begin
+    let counts = Hashtbl.create 64 in
+    let bump w (p, n) =
+      Hashtbl.replace counts p (Option.value (Hashtbl.find_opt counts p) ~default:0 + (w * n))
+    in
+    List.iter (bump 1) (Triple_store.predicates t.base);
+    List.iter (bump 1) (Index_set.predicates (Delta.adds t.delta));
+    List.iter (bump (-1)) (Index_set.predicates (Delta.dels t.delta));
+    Hashtbl.fold (fun p n acc -> if n > 0 then (p, n) :: acc else acc) counts []
+    |> List.sort compare
+  end
+
+(* --- persistence ------------------------------------------------------- *)
+
 exception Corrupt of string
 
 let magic = "SPUO"
-let version = 1
+let version_tag = 1
 
 (* A cheap rolling additive digest, enough to catch truncation and bit
    rot (this is an integrity check, not an authenticity one). *)
@@ -58,7 +209,7 @@ let save store path =
     (fun () ->
       let digest = Digest_acc.create () in
       output_string oc magic;
-      output_binary_int oc version;
+      output_binary_int oc version_tag;
       let dict = Triple_store.dictionary store in
       write_int oc digest (Dictionary.size dict);
       Dictionary.iter dict ~f:(fun _ term -> write_term oc digest term);
@@ -113,7 +264,7 @@ let load path =
       let file_version =
         try input_binary_int ic with End_of_file -> raise (Corrupt "no version")
       in
-      if file_version <> version then
+      if file_version <> version_tag then
         raise (Corrupt (Printf.sprintf "unsupported version %d" file_version));
       let digest = Digest_acc.create () in
       let nterms = read_int ic digest in

@@ -90,6 +90,59 @@ let cached store =
       memo := (w, stats) :: !memo;
       stats
 
+let predicate_of stats ~p =
+  Option.value (Hashtbl.find_opt stats.by_predicate p) ~default:zero_stats
+
+(* Statistics for a snapshot view: the base scan comes from the memo and
+   the delta adjusts it. Per-predicate triple counts are exact (from
+   [Snapshot.predicates]); distinct-subject/object counts for predicates
+   the delta touches are bounded estimates (base + adds, clamped by the
+   triple count) — statistics feed cardinality *estimation*, so bounded
+   staleness is fine and keeps this O(|delta|) instead of a rescan.
+   A predicate born in the delta gets exact counts from the delta's own
+   indexes. Dataset-level entity/literal counts stay at the base values
+   (same rationale). *)
+let of_snapshot snap =
+  let base_stats = cached (Snapshot.base snap) in
+  if Delta.is_empty (Snapshot.delta snap) then base_stats
+  else begin
+    let adds = Delta.adds (Snapshot.delta snap) in
+    let by_predicate = Hashtbl.create 64 in
+    List.iter
+      (fun (p, triples) ->
+        let bp = predicate_of base_stats ~p in
+        let estimate base_distinct adds_distinct =
+          if bp.triples = 0 then adds_distinct
+          else max 1 (min (base_distinct + adds_distinct) triples)
+        in
+        let distinct_subjects =
+          estimate bp.distinct_subjects (Index_set.distinct_subjects adds ~p)
+        in
+        let distinct_objects =
+          estimate bp.distinct_objects (Index_set.distinct_objects adds ~p)
+        in
+        let avg_out_degree =
+          if distinct_subjects = 0 then 0.
+          else float_of_int triples /. float_of_int distinct_subjects
+        in
+        let avg_in_degree =
+          if distinct_objects = 0 then 0.
+          else float_of_int triples /. float_of_int distinct_objects
+        in
+        Hashtbl.replace by_predicate p
+          { triples; distinct_subjects; distinct_objects; avg_out_degree;
+            avg_in_degree })
+      (Snapshot.predicates snap);
+    {
+      by_predicate;
+      num_triples = Snapshot.size snap;
+      num_entities = base_stats.num_entities;
+      num_predicates = Hashtbl.length by_predicate;
+      num_literals = base_stats.num_literals;
+      epoch = Snapshot.version snap;
+    }
+  end
+
 let epoch stats = stats.epoch
 
 let predicate stats ~p =

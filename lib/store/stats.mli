@@ -22,8 +22,17 @@ val compute : Triple_store.t -> t
     scan once. Thread-safe. *)
 val cached : Triple_store.t -> t
 
-(** [epoch stats] is the store epoch at the time of the scan (see
-    {!Triple_store.epoch}). *)
+(** [of_snapshot snap] is the statistics of the snapshot view: the
+    memoized base scan adjusted by the delta. Per-predicate triple
+    counts and the dataset triple count are exact; distinct
+    subject/object counts for delta-touched predicates are bounded
+    estimates (statistics feed cardinality estimation, so this stays
+    O(|delta|) rather than rescanning). With an empty delta this is
+    exactly [cached (Snapshot.base snap)]. *)
+val of_snapshot : Snapshot.t -> t
+
+(** [epoch stats] is the store epoch (or snapshot version) at the time
+    of the scan (see {!Triple_store.epoch}, {!Snapshot.version}). *)
 val epoch : t -> int
 
 (** [predicate stats ~p] is the statistics record for predicate id [p];

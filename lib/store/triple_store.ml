@@ -1,21 +1,16 @@
 type t = {
   dict : Dictionary.t;
-  table : Index.table;
-  spo : Index.t;
-  sop : Index.t;
-  pso : Index.t;
-  pos : Index.t;
-  osp : Index.t;
-  ops : Index.t;
+  base : Index_set.t;
   (* Version stamp read by plan/statistics caches: any value observed
-     before a mutation differs from every value observed after it. *)
+     before a rebuild differs from every value observed after it. *)
   epoch : int Atomic.t;
 }
 
 (* Epochs are drawn from one process-global counter so they stay
    monotonic across store rebuilds: the store a bulk update returns
-   carries a strictly larger epoch than the store it replaced, even if
-   the old store's epoch was bumped in place meanwhile. *)
+   carries a strictly larger epoch than the store it replaced. Snapshot
+   versions are drawn from the same counter, so a base epoch and a
+   snapshot version are comparable stamps. *)
 let epoch_counter = Atomic.make 0
 
 let fresh_epoch () = Atomic.fetch_and_add epoch_counter 1
@@ -26,98 +21,41 @@ let bump_epoch store = Atomic.set store.epoch (fresh_epoch ())
 
 let dictionary store = store.dict
 
-let size store = Array.length store.table.Index.s
+let indexes store = store.base
+
+let size store = Index_set.size store.base
 
 let encode_term store term = Dictionary.find store.dict term
 
-(* The one in-place mutation evaluation performs: materializing a VALUES
-   block interns its constants. A fresh term changes the dictionary, so
-   cached plans keyed on the old epoch must be re-validated. *)
-let intern_term store term =
-  let before = Dictionary.size store.dict in
-  let id = Dictionary.encode store.dict term in
-  if Dictionary.size store.dict <> before then bump_epoch store;
-  id
+(* The one dictionary write evaluation performs: materializing a VALUES
+   block interns its constants. Ids are append-only and the dictionary
+   is internally synchronized, so this is safe under concurrent readers
+   and does NOT invalidate existing plans — only plans that compiled a
+   constant to [Missing] care about dictionary growth, and those are
+   re-validated against the dictionary size (see {!Session}). *)
+let intern_term store term = Dictionary.encode store.dict term
 
 let decode_term store id = Dictionary.decode store.dict id
 
-let index store = function
-  | Index.Spo -> store.spo
-  | Index.Sop -> store.sop
-  | Index.Pso -> store.pso
-  | Index.Pos -> store.pos
-  | Index.Osp -> store.osp
-  | Index.Ops -> store.ops
-
-(* Sort-and-dedup encoded triples in SPO order. *)
-let dedup_encoded (rows : (int * int * int) array) =
-  let cmp (s1, p1, o1) (s2, p2, o2) =
-    let c = Int.compare s1 s2 in
-    if c <> 0 then c
-    else
-      let c = Int.compare p1 p2 in
-      if c <> 0 then c else Int.compare o1 o2
-  in
-  Array.sort cmp rows;
-  let n = Array.length rows in
-  if n = 0 then rows
-  else begin
-    let distinct = ref 1 in
-    for i = 1 to n - 1 do
-      if cmp rows.(i) rows.(i - 1) <> 0 then begin
-        rows.(!distinct) <- rows.(i);
-        incr distinct
-      end
-    done;
-    Array.sub rows 0 !distinct
-  end
+let index store order = Index_set.index store.base order
 
 let of_encoded dict rows =
-  let rows = dedup_encoded rows in
-  let n = Array.length rows in
-  let table =
-    {
-      Index.s = Array.make n 0;
-      Index.p = Array.make n 0;
-      Index.o = Array.make n 0;
-    }
-  in
-  Array.iteri
-    (fun i (s, p, o) ->
-      table.Index.s.(i) <- s;
-      table.Index.p.(i) <- p;
-      table.Index.o.(i) <- o)
-    rows;
-  {
-    dict;
-    table;
-    spo = Index.build Index.Spo table;
-    sop = Index.build Index.Sop table;
-    pso = Index.build Index.Pso table;
-    pos = Index.build Index.Pos table;
-    osp = Index.build Index.Osp table;
-    ops = Index.build Index.Ops table;
-    epoch = Atomic.make (fresh_epoch ());
-  }
+  { dict; base = Index_set.of_rows rows; epoch = Atomic.make (fresh_epoch ()) }
 
 let of_encoded_rows dict rows = of_encoded dict rows
 
-let iter_all store ~f =
-  let lo, hi = Index.range store.spo () in
-  Index.iter store.spo ~lo ~hi ~f
+let iter_all store ~f = Index_set.iter_all store.base ~f
 
 let of_seq triples =
   let dict = Dictionary.create () in
   let rows = ref [] in
-  let count = ref 0 in
   Seq.iter
     (fun { Rdf.Triple.s; p; o } ->
       let row =
         (Dictionary.encode dict s, Dictionary.encode dict p,
          Dictionary.encode dict o)
       in
-      rows := row :: !rows;
-      incr count)
+      rows := row :: !rows)
     triples;
   of_encoded dict (Array.of_list !rows)
 
@@ -125,57 +63,17 @@ let of_triples triples = of_seq (List.to_seq triples)
 
 let load_ntriples path = of_triples (Rdf.Ntriples.parse_file path)
 
-(* Pick the index whose component order puts the bound positions first, and
-   return it along with the (a, b, c) key prefix. *)
-let plan_lookup store ?s ?p ?o () =
-  match (s, p, o) with
-  | None, None, None -> (store.spo, None, None, None)
-  | Some s, None, None -> (store.spo, Some s, None, None)
-  | None, Some p, None -> (store.pso, Some p, None, None)
-  | None, None, Some o -> (store.osp, Some o, None, None)
-  | Some s, Some p, None -> (store.spo, Some s, Some p, None)
-  | Some s, None, Some o -> (store.sop, Some s, Some o, None)
-  | None, Some p, Some o -> (store.pos, Some p, Some o, None)
-  | Some s, Some p, Some o -> (store.spo, Some s, Some p, Some o)
-
 let third_column_view store ?s ?p ?o () =
-  match (s, p, o) with
-  | Some s, Some p, None -> Index.column_view store.spo ~a:s ~b:p
-  | Some s, None, Some o -> Index.column_view store.sop ~a:s ~b:o
-  | None, Some p, Some o -> Index.column_view store.pos ~a:p ~b:o
-  | _ ->
-      invalid_arg "Triple_store.third_column_view: exactly two bound positions"
+  Index_set.third_column_view store.base ?s ?p ?o ()
 
-let count store ?s ?p ?o () =
-  let idx, a, b, c = plan_lookup store ?s ?p ?o () in
-  let lo, hi = Index.range idx ?a ?b ?c () in
-  hi - lo
+let count store ?s ?p ?o () = Index_set.count store.base ?s ?p ?o ()
 
-let iter store ?s ?p ?o ~f () =
-  let idx, a, b, c = plan_lookup store ?s ?p ?o () in
-  let lo, hi = Index.range idx ?a ?b ?c () in
-  Index.iter idx ~lo ~hi ~f
+let iter store ?s ?p ?o ~f () = Index_set.iter store.base ?s ?p ?o ~f ()
 
-let contains store ~s ~p ~o = count store ~s ~p ~o () > 0
+let contains store ~s ~p ~o = Index_set.contains store.base ~s ~p ~o
 
-(* Within a single-predicate range of PSO, distinct (p, s) pairs coincide
-   with distinct subjects. *)
-let distinct_subjects store ~p =
-  let lo, hi = Index.range store.pso ~a:p () in
-  Index.distinct_seconds store.pso ~lo ~hi
+let distinct_subjects store ~p = Index_set.distinct_subjects store.base ~p
 
-let distinct_objects store ~p =
-  let lo, hi = Index.range store.pos ~a:p () in
-  Index.distinct_seconds store.pos ~lo ~hi
+let distinct_objects store ~p = Index_set.distinct_objects store.base ~p
 
-let predicates store =
-  let idx = store.pso in
-  let n = size store in
-  let rec collect pos acc =
-    if pos >= n then List.rev acc
-    else
-      let _, p, _ = Index.row idx pos in
-      let _, hi = Index.range idx ~a:p () in
-      collect hi ((p, hi - pos) :: acc)
-  in
-  collect 0 []
+let predicates store = Index_set.predicates store.base

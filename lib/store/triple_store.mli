@@ -28,9 +28,15 @@ val iter_all : t -> f:(s:int -> p:int -> o:int -> unit) -> unit
 
     Every store carries a monotonic epoch stamp drawn from a
     process-global counter: newly built stores (including the rebuilt
-    store a SPARQL Update returns) get a fresh epoch, and in-place
-    mutations bump it. Plan and statistics caches record the epoch they
-    were computed under and treat any mismatch as an invalidation. *)
+    store a SPARQL Update returns, and every compacted base) get a
+    fresh epoch. {!Snapshot} versions are drawn from the same counter,
+    so base epochs and snapshot versions are mutually comparable.
+    Plan and statistics caches record the stamp they were computed
+    under and treat a base-epoch mismatch as an invalidation. *)
+
+(** [fresh_epoch ()] draws the next stamp from the process-global
+    counter (used by the MVCC layer to version published snapshots). *)
+val fresh_epoch : unit -> int
 
 (** [epoch store] is the store's current epoch. *)
 val epoch : t -> int
@@ -40,13 +46,21 @@ val epoch : t -> int
 val bump_epoch : t -> unit
 
 (** [intern_term store term] encodes [term] in the dictionary, assigning
-    a fresh id (and bumping the epoch) when it was not yet present —
-    the eval-time dictionary write performed by VALUES blocks. *)
+    a fresh id when it was not yet present — the eval-time dictionary
+    write performed by VALUES blocks. Safe under concurrent readers
+    (the dictionary is internally synchronized; ids are append-only),
+    and does not bump the epoch: only plans that compiled a constant to
+    [Missing] are sensitive to dictionary growth, and the plan cache
+    re-validates those against the dictionary size. *)
 val intern_term : t -> Rdf.Term.t -> int
 
 (** {1 Accessors} *)
 
 val dictionary : t -> Dictionary.t
+
+(** [indexes store] is the store's immutable index set (the base of a
+    snapshot). *)
+val indexes : t -> Index_set.t
 
 (** [size store] is the number of distinct triples. *)
 val size : t -> int

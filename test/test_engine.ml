@@ -64,34 +64,34 @@ let test_bgp_coalescable () =
 (* --- Compiled ----------------------------------------------------------------- *)
 
 let test_compile_missing_term () =
-  let store = tiny_store () in
+  let snap = Rdf_store.Snapshot.of_store (tiny_store ()) in
   let table = Sparql.Vartable.create () in
   let compiled =
-    Engine.Compiled.compile store table (TP.make (c "http://absent") (c "p") (v "x"))
+    Engine.Compiled.compile snap table (TP.make (c "http://absent") (c "p") (v "x"))
   in
   Alcotest.(check bool) "missing detected" true (Engine.Compiled.has_missing compiled);
   Alcotest.(check int) "missing count 0" 0
-    (Engine.Compiled.exact_count store compiled)
+    (Engine.Compiled.exact_count snap compiled)
 
 let test_compile_counts () =
-  let store = tiny_store () in
+  let snap = Rdf_store.Snapshot.of_store (tiny_store ()) in
   let table = Sparql.Vartable.create () in
   let compiled =
-    Engine.Compiled.compile store table
+    Engine.Compiled.compile snap table
       (TP.make (v "s") (TP.Term (pred 0)) (v "o"))
   in
-  Alcotest.(check int) "p0 count" 3 (Engine.Compiled.exact_count store compiled);
+  Alcotest.(check int) "p0 count" 3 (Engine.Compiled.exact_count snap compiled);
   let row = Sparql.Binding.create ~width:(Sparql.Vartable.size table) in
   let scol = Option.get (Sparql.Vartable.find table "s") in
-  row.(scol) <- Option.get (Rdf_store.Triple_store.encode_term store (iri 0));
+  row.(scol) <- Option.get (Rdf_store.Snapshot.encode_term snap (iri 0));
   Alcotest.(check int) "count with s bound" 2
-    (Engine.Compiled.count_with store compiled row)
+    (Engine.Compiled.count_with snap compiled row)
 
 let test_var_columns_distinct () =
   let table = Sparql.Vartable.create () in
-  let store = tiny_store () in
+  let snap = Rdf_store.Snapshot.of_store (tiny_store ()) in
   let compiled =
-    Engine.Compiled.compile store table (TP.make (v "x") (TP.Term (pred 0)) (v "x"))
+    Engine.Compiled.compile snap table (TP.make (v "x") (TP.Term (pred 0)) (v "x"))
   in
   Alcotest.(check int) "repeated var counted once" 1
     (List.length (Engine.Compiled.var_columns compiled))
@@ -100,25 +100,27 @@ let test_var_columns_distinct () =
 
 let test_planner_empty () =
   let store = tiny_store () in
+  let snap = Rdf_store.Snapshot.of_store store in
   let stats = Rdf_store.Stats.compute store in
   let table = Sparql.Vartable.create () in
-  let plan = Engine.Planner.plan store stats table [] in
+  let plan = Engine.Planner.plan snap stats table [] in
   Alcotest.(check int) "no steps" 0 (List.length plan.Engine.Planner.steps);
   Alcotest.(check (float 0.0001)) "unit card" 1. plan.Engine.Planner.result_card
 
 let test_planner_selective_first () =
   let store = tiny_store () in
+  let snap = Rdf_store.Snapshot.of_store store in
   let stats = Rdf_store.Stats.compute store in
   let table = Sparql.Vartable.create () in
   (* p1 has 2 matches, p0 has 3: the plan should start with p1. *)
   let patterns =
-    Engine.Compiled.compile_list store table
+    Engine.Compiled.compile_list snap table
       [
         TP.make (v "x") (TP.Term (pred 0)) (v "y");
         TP.make (v "y") (TP.Term (pred 1)) (v "z");
       ]
   in
-  let plan = Engine.Planner.plan store stats table patterns in
+  let plan = Engine.Planner.plan snap stats table patterns in
   match plan.Engine.Planner.steps with
   | first :: _ ->
       Alcotest.(check int) "most selective first" 2 first.Engine.Planner.pattern_count
@@ -126,13 +128,14 @@ let test_planner_selective_first () =
 
 let test_planner_single_pattern_exact () =
   let store = tiny_store () in
+  let snap = Rdf_store.Snapshot.of_store store in
   let stats = Rdf_store.Stats.compute store in
   let table = Sparql.Vartable.create () in
   let patterns =
-    Engine.Compiled.compile_list store table
+    Engine.Compiled.compile_list snap table
       [ TP.make (v "x") (TP.Term (pred 0)) (v "y") ]
   in
-  let plan = Engine.Planner.plan store stats table patterns in
+  let plan = Engine.Planner.plan snap stats table patterns in
   Alcotest.(check (float 0.0001)) "single pattern cardinality exact" 3.
     plan.Engine.Planner.result_card
 
@@ -170,11 +173,12 @@ let test_candidates () =
 
 (* Naive BGP evaluation: scan every pattern, nested-loop join. *)
 let naive_bgp store table width patterns =
+  let snap = Rdf_store.Snapshot.of_store store in
   List.fold_left
     (fun acc tp ->
-      let compiled = Engine.Compiled.compile store table tp in
+      let compiled = Engine.Compiled.compile snap table tp in
       let scanned =
-        Engine.Hash_join.scan_pattern store ~width compiled
+        Engine.Hash_join.scan_pattern snap ~width compiled
           ~candidates:Engine.Candidates.empty
       in
       Sparql.Bag.join acc scanned)
@@ -311,19 +315,20 @@ let prop_intersect_matches_naive =
 
 let test_planner_groups_star () =
   let store = tiny_store () in
+  let snap = Rdf_store.Snapshot.of_store store in
   let stats = Rdf_store.Stats.compute store in
   let table = Sparql.Vartable.create () in
   (* All three patterns have ?x as their only variable: one Extend step
      intersecting three column views, no intermediate bag at all. *)
   let star =
-    Engine.Compiled.compile_list store table
+    Engine.Compiled.compile_list snap table
       [
         TP.make (v "x") (TP.Term (pred 0)) (TP.Term (iri 1));
         TP.make (v "x") (TP.Term (pred 0)) (TP.Term (iri 2));
         TP.make (TP.Term (iri 3)) (TP.Term (pred 0)) (v "x");
       ]
   in
-  let plan = Engine.Planner.plan store stats table star in
+  let plan = Engine.Planner.plan snap stats table star in
   (match plan.Engine.Planner.vsteps with
   | [ Engine.Planner.Extend { steps; _ } ] ->
       Alcotest.(check int) "star absorbs all three" 3 (List.length steps)
@@ -332,14 +337,14 @@ let test_planner_groups_star () =
      closing pattern then single-extends and the last one is absorbed. *)
   let table = Sparql.Vartable.create () in
   let triangle =
-    Engine.Compiled.compile_list store table
+    Engine.Compiled.compile_list snap table
       [
         TP.make (v "x") (TP.Term (pred 0)) (v "y");
         TP.make (v "y") (TP.Term (pred 1)) (v "z");
         TP.make (v "x") (TP.Term (pred 1)) (v "z");
       ]
   in
-  let plan = Engine.Planner.plan store stats table triangle in
+  let plan = Engine.Planner.plan snap stats table triangle in
   match plan.Engine.Planner.vsteps with
   | [ Engine.Planner.Scan _; Engine.Planner.Extend { steps; _ } ] ->
       Alcotest.(check int) "closing pattern absorbed" 2 (List.length steps)

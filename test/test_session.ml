@@ -56,9 +56,12 @@ let prop_prepared_reexecution_stable =
           | _ -> false)
         Qgen.exec_configs)
 
-(* --- Epoch invalidation: SPARQL Update ----------------------------------- *)
+(* --- Updates: MVCC deltas keep the plan cache warm ------------------------ *)
 
-let test_update_invalidates_cache () =
+(* Transactional updates publish a new snapshot version but do NOT
+   invalidate cached plans — the plan retargets to the delta at execute
+   time and must see the committed writes immediately. *)
+let test_update_keeps_cache_warm () =
   let session = Sparql_uo.Session.create (store_of [ triple 0 1; triple 1 2 ]) in
   let text = "SELECT * WHERE { ?x <http://t/p0> ?y . }" in
   let epoch0 = Sparql_uo.Session.epoch session in
@@ -69,19 +72,42 @@ let test_update_invalidates_cache () =
   Alcotest.(check bool) "second run hits" true (cache_of r2).hit;
   Sparql_uo.Update_exec.run_session session
     "INSERT DATA { <http://t/e5> <http://t/p0> <http://t/e0> . }";
-  Alcotest.(check bool) "update bumps the epoch" true
+  Alcotest.(check bool) "commit bumps the snapshot version" true
     (Sparql_uo.Session.epoch session > epoch0);
   let r3 = Sparql_uo.Session.run session text in
-  Alcotest.(check bool) "post-update run misses" false (cache_of r3).hit;
+  Alcotest.(check bool) "post-update run still hits" true (cache_of r3).hit;
   Alcotest.(check int) "result reflects the inserted triple" 3 (count r3);
-  let r4 = Sparql_uo.Session.run session text in
-  Alcotest.(check bool) "re-prepared plan is cached again" true
-    (cache_of r4).hit;
   Sparql_uo.Update_exec.run_session session
     "DELETE DATA { <http://t/e5> <http://t/p0> <http://t/e0> . }";
+  let r4 = Sparql_uo.Session.run session text in
+  Alcotest.(check bool) "post-delete run still hits" true (cache_of r4).hit;
+  Alcotest.(check int) "deletion visible" 2 (count r4);
+  (* A bulk rebuild (set_store) swaps the whole lineage: that DOES
+     invalidate. *)
+  Sparql_uo.Session.set_store session (store_of [ triple 0 1 ]);
   let r5 = Sparql_uo.Session.run session text in
-  Alcotest.(check bool) "post-delete run misses" false (cache_of r5).hit;
-  Alcotest.(check int) "deletion visible" 2 (count r5)
+  Alcotest.(check bool) "post-rebuild run misses" false (cache_of r5).hit;
+  Alcotest.(check int) "rebuilt store visible" 1 (count r5)
+
+(* Compaction folds the delta into a fresh base epoch: cached plans are
+   stale (their base is gone) and must transparently re-prepare with
+   identical results. *)
+let test_compaction_invalidates_plans () =
+  let session = Sparql_uo.Session.create (store_of [ triple 0 1; triple 1 2 ]) in
+  let text = "SELECT * WHERE { ?x <http://t/p0> ?y . }" in
+  ignore (Sparql_uo.Session.run session text);
+  Sparql_uo.Update_exec.run_session session
+    "INSERT DATA { <http://t/e5> <http://t/p0> <http://t/e6> . }";
+  let r_delta = Sparql_uo.Session.run session text in
+  Alcotest.(check bool) "delta run hits" true (cache_of r_delta).hit;
+  Alcotest.(check int) "delta visible" 3 (count r_delta);
+  Sparql_uo.Session.compact session;
+  Alcotest.(check int) "delta folded into base" 0
+    (Rdf_store.Mvcc.delta_rows (Sparql_uo.Session.mvcc session));
+  let r_compact = Sparql_uo.Session.run session text in
+  Alcotest.(check bool) "post-compaction run misses" false
+    (cache_of r_compact).hit;
+  Alcotest.(check int) "same result after compaction" 3 (count r_compact)
 
 (* The session's statistics memo is invalidated alongside the plans: a
    cardinality recomputed after the update must see the new store. *)
@@ -94,32 +120,67 @@ let test_update_refreshes_stats () =
   let after = Rdf_store.Stats.num_triples (Sparql_uo.Session.stats session) in
   Alcotest.(check int) "two triples after" 2 after
 
-(* --- Epoch invalidation: VALUES interning a fresh term ------------------- *)
+(* --- VALUES interning: thread-safe, non-invalidating ---------------------- *)
 
-let test_values_interning_bumps_epoch () =
+let test_values_interning_keeps_cache () =
   let session = Sparql_uo.Session.create (store_of [ triple 0 1 ]) in
-  (* The VALUES constant is absent from the store's dictionary, so the
-     first execution interns it and bumps the epoch in place. *)
+  (* The VALUES constant is absent from the store's dictionary; the
+     first execution interns it in place. Interning is append-only and
+     publishes no new snapshot, so it neither bumps the version nor
+     invalidates the plan (which compiled no Missing constant — VALUES
+     terms are interned at eval time, not compiled into the BGP). *)
   let text =
     "SELECT * WHERE { ?x <http://t/p0> ?y . VALUES ?z { <http://t/fresh> } }"
   in
   let epoch0 = Sparql_uo.Session.epoch session in
+  let dict0 =
+    Rdf_store.Snapshot.dict_size (Sparql_uo.Session.snapshot session)
+  in
   let r1 = Sparql_uo.Session.run session text in
   Alcotest.(check bool) "first run misses" false (cache_of r1).hit;
   Alcotest.(check int) "one solution" 1 (count r1);
-  Alcotest.(check bool) "interning bumped the epoch" true
-    (r1.Sparql_uo.Executor.epoch > epoch0);
-  (* The cached plan is now stale; the re-prepare's execution finds the
-     term already interned and leaves the epoch alone, so the third run
-     finally hits. *)
+  Alcotest.(check bool) "interning grew the dictionary" true
+    (Rdf_store.Snapshot.dict_size (Sparql_uo.Session.snapshot session) > dict0);
+  Alcotest.(check int) "interning left the snapshot version alone" epoch0
+    (Sparql_uo.Session.epoch session);
   let r2 = Sparql_uo.Session.run session text in
-  Alcotest.(check bool) "second run misses (stale epoch)" false
-    (cache_of r2).hit;
-  Alcotest.(check int) "same solution" 1 (count r2);
-  let r3 = Sparql_uo.Session.run session text in
-  Alcotest.(check bool) "third run hits (epoch settled)" true (cache_of r3).hit;
-  Alcotest.(check int) "epoch stable across cached runs"
-    r2.Sparql_uo.Executor.epoch r3.Sparql_uo.Executor.epoch
+  Alcotest.(check bool) "second run hits" true (cache_of r2).hit;
+  Alcotest.(check int) "same solution" 1 (count r2)
+
+(* Eval-time interning from several domains at once: every run must
+   succeed, every domain must decode the shared constant identically,
+   and the dictionary must contain each fresh term exactly once. *)
+let test_concurrent_interning () =
+  let session = Sparql_uo.Session.create (store_of [ triple 0 1 ]) in
+  let text =
+    "SELECT * WHERE { ?x <http://t/p0> ?y . VALUES ?z { <http://t/fresh> \
+     <http://t/fresh2> } }"
+  in
+  let worker () =
+    let ok = ref true in
+    for _ = 1 to 8 do
+      let r = Sparql_uo.Session.run session text in
+      if count r <> 2 then ok := false
+    done;
+    !ok
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  let all_ok = List.for_all Domain.join domains in
+  Alcotest.(check bool) "every concurrent interning run succeeded" true all_ok;
+  let dict =
+    Rdf_store.Triple_store.dictionary (Sparql_uo.Session.store session)
+  in
+  List.iter
+    (fun iri ->
+      let term = Rdf.Term.iri iri in
+      match Rdf_store.Dictionary.find dict term with
+      | None -> Alcotest.fail (iri ^ " not interned")
+      | Some id ->
+          Alcotest.(check bool)
+            (iri ^ " decodes back")
+            true
+            (Rdf.Term.equal (Rdf_store.Dictionary.decode dict id) term))
+    [ "http://t/fresh"; "http://t/fresh2" ]
 
 (* --- LRU bounds and accounting ------------------------------------------- *)
 
@@ -239,6 +300,121 @@ let test_concurrent_session_runs () =
   Alcotest.(check int) "one plan per query" (List.length queries)
     (Sparql_uo.Session.misses session)
 
+(* --- Transactions ---------------------------------------------------------- *)
+
+let test_txn_commit_abort () =
+  let session = Sparql_uo.Session.create (store_of [ triple 0 1 ]) in
+  let text = "SELECT * WHERE { ?x <http://t/p0> ?y . }" in
+  let fresh = Rdf.Triple.make (Qgen.iri 7) (Qgen.pred 0) (Qgen.iri 8) in
+  (* Buffered writes are invisible until commit. *)
+  let txn = Sparql_uo.Session.begin_txn session in
+  Rdf_store.Mvcc.insert txn fresh;
+  Alcotest.(check int) "uncommitted write invisible" 1
+    (count (Sparql_uo.Session.run session text));
+  Sparql_uo.Session.commit session txn;
+  Alcotest.(check int) "committed write visible" 2
+    (count (Sparql_uo.Session.run session text));
+  (* An aborted transaction leaves no trace. *)
+  let txn = Sparql_uo.Session.begin_txn session in
+  Rdf_store.Mvcc.delete txn fresh;
+  Sparql_uo.Session.abort session txn;
+  Alcotest.(check int) "aborted delete invisible" 2
+    (count (Sparql_uo.Session.run session text));
+  (match Rdf_store.Mvcc.insert txn fresh with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "write on a closed transaction must be rejected");
+  (* A reader pinned before a commit keeps its exact view. *)
+  let pinned = Sparql_uo.Session.snapshot session in
+  let size_before = Rdf_store.Snapshot.size pinned in
+  Sparql_uo.Update_exec.run_session session
+    "DELETE DATA { <http://t/e7> <http://t/p0> <http://t/e8> . }";
+  Alcotest.(check int) "pinned snapshot unchanged" size_before
+    (Rdf_store.Snapshot.size pinned);
+  Alcotest.(check int) "new snapshot sees the delete" (size_before - 1)
+    (Rdf_store.Snapshot.size (Sparql_uo.Session.snapshot session))
+
+(* An update's WHERE clause runs through the session plan cache: the
+   same update shape twice must re-plan only once. *)
+let test_update_where_uses_cache () =
+  let session = Sparql_uo.Session.create (store_of [ triple 0 1; triple 1 2 ]) in
+  let update =
+    "INSERT { ?y <http://t/rev> ?x . } WHERE { ?x <http://t/p0> ?y . }"
+  in
+  Sparql_uo.Update_exec.run_session session update;
+  Alcotest.(check int) "first WHERE misses" 1 (Sparql_uo.Session.misses session);
+  Alcotest.(check int) "no hit yet" 0 (Sparql_uo.Session.hits session);
+  Sparql_uo.Update_exec.run_session session update;
+  Alcotest.(check int) "second WHERE hits the cached plan" 1
+    (Sparql_uo.Session.hits session);
+  Alcotest.(check int) "still one miss" 1 (Sparql_uo.Session.misses session);
+  (* And the update actually applied twice over current state: 2 rev
+     triples from the first pass; the second pass re-inserts the same 2
+     (set semantics: still 2). *)
+  let r =
+    Sparql_uo.Session.run session
+      "SELECT * WHERE { ?a <http://t/rev> ?b . }"
+  in
+  Alcotest.(check int) "update applied" 2 (count r)
+
+(* --- Snapshot isolation (property) ----------------------------------------- *)
+
+(* The tentpole invariant: a reader holding a pre-commit snapshot sees
+   exactly the pre-commit bag, a post-commit reader exactly the
+   post-commit bag, never a blend — across mode x engine x domains
+   {1,4}, and even after the delta is compacted away underneath the
+   pinned readers. Oracles evaluate over plain stores sharing the
+   session's dictionary, so bags are comparable id-for-id. *)
+let prop_snapshot_isolation =
+  QCheck2.Test.make
+    ~name:"snapshot isolation: pre/post-commit bags, never a blend" ~count:15
+    ~print:(fun ((base, changes), query) ->
+      Qgen.pp_dataset base ^ "---\n" ^ Qgen.pp_dataset changes ^ "\n"
+      ^ Qgen.pp_query query)
+    QCheck2.Gen.(pair (pair Qgen.gen_dataset Qgen.gen_dataset) Qgen.gen_query)
+    (fun ((base, changes), query) ->
+      let store = store_of base in
+      let session = Sparql_uo.Session.create store in
+      let snap_before = Sparql_uo.Session.snapshot session in
+      let pre_expected, _ = Qgen.oracle store query in
+      (* Inserts from the change set (overlapping the small term universe,
+         so duplicates of base triples occur); deletes mix real base rows
+         with no-op deletes of absent triples. *)
+      let inserts = List.filteri (fun i _ -> i mod 2 = 0) changes in
+      let deletes =
+        List.filteri (fun i _ -> i mod 2 = 0) base
+        @ List.filteri (fun i _ -> i mod 2 = 1) changes
+      in
+      let txn = Sparql_uo.Session.begin_txn session in
+      List.iter (Rdf_store.Mvcc.insert txn) inserts;
+      List.iter (Rdf_store.Mvcc.delete txn) deletes;
+      Sparql_uo.Session.commit session txn;
+      let snap_after = Sparql_uo.Session.snapshot session in
+      (* Fold the delta away: both pinned snapshots must be unaffected. *)
+      Sparql_uo.Session.compact session;
+      (* The compacted base shares the dictionary, so it doubles as the
+         post-commit oracle store. *)
+      let post_expected, _ = Qgen.oracle (Sparql_uo.Session.store session) query in
+      let eval snap mode engine domains =
+        let p = Sparql_uo.Prepared.prepare_snapshot ~mode ~engine snap query in
+        (Sparql_uo.Prepared.execute ~domains p).Sparql_uo.Prepared.bag
+      in
+      List.for_all
+        (fun mode ->
+          List.for_all
+            (fun engine ->
+              List.for_all
+                (fun domains ->
+                  (match eval snap_before mode engine domains with
+                  | Some bag -> Sparql.Bag.equal_as_bags bag pre_expected
+                  | None -> false)
+                  &&
+                  match eval snap_after mode engine domains with
+                  | Some bag -> Sparql.Bag.equal_as_bags bag post_expected
+                  | None -> false)
+                [ 1; 4 ])
+            [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ])
+        Sparql_uo.Executor.all_modes)
+
 let () =
   Alcotest.run "session"
     [
@@ -246,12 +422,24 @@ let () =
         [ QCheck_alcotest.to_alcotest prop_prepared_reexecution_stable ] );
       ( "invalidation",
         [
-          Alcotest.test_case "update invalidates plans" `Quick
-            test_update_invalidates_cache;
+          Alcotest.test_case "updates keep the cache warm" `Quick
+            test_update_keeps_cache_warm;
+          Alcotest.test_case "compaction invalidates plans" `Quick
+            test_compaction_invalidates_plans;
           Alcotest.test_case "update refreshes stats" `Quick
             test_update_refreshes_stats;
-          Alcotest.test_case "VALUES interning bumps epoch" `Quick
-            test_values_interning_bumps_epoch;
+          Alcotest.test_case "VALUES interning keeps the cache" `Quick
+            test_values_interning_keeps_cache;
+          Alcotest.test_case "concurrent interning" `Quick
+            test_concurrent_interning;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "commit/abort visibility" `Quick
+            test_txn_commit_abort;
+          Alcotest.test_case "update WHERE uses the plan cache" `Quick
+            test_update_where_uses_cache;
+          QCheck_alcotest.to_alcotest prop_snapshot_isolation;
         ] );
       ( "lru",
         [

@@ -227,6 +227,58 @@ let test_snapshot_corruption () =
       | exception Rdf_store.Snapshot.Corrupt _ -> ()
       | _ -> Alcotest.fail "expected Corrupt on bad magic")
 
+(* Each distinct corruption path must surface as [Corrupt] with its own
+   diagnostic: a truncated file, a flipped checksum trailer, an unknown
+   term tag, and a triple id past the dictionary. The last two need
+   handcrafted files — they cannot be produced by [save]. *)
+let test_snapshot_corruption_paths () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec at i = i + ln <= lh && (String.sub hay i ln = needle || at (i + 1)) in
+    at 0
+  in
+  let expect_corrupt ~substring path =
+    match Rdf_store.Snapshot.load path with
+    | exception Rdf_store.Snapshot.Corrupt msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S raised for %s" substring msg)
+          true (contains msg substring)
+    | _ -> Alcotest.fail (Printf.sprintf "expected Corrupt (%s)" substring)
+  in
+  (* The loader reads 4-byte big-endian ints (output_binary_int). *)
+  let handcrafted oc ints =
+    output_string oc "SPUO";
+    List.iter (output_binary_int oc) (1 :: ints)
+  in
+  let store = Rdf_store.Triple_store.of_triples [ triple 1 1 1; triple 2 1 2 ] in
+  with_temp_file (fun path ->
+      Rdf_store.Snapshot.save store path;
+      let content = In_channel.with_open_bin path In_channel.input_all in
+      (* Truncated mid-stream. *)
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub content 0 (String.length content / 2)));
+      expect_corrupt ~substring:"truncated" path;
+      (* Data intact, stored checksum flipped: only the final comparison
+         can catch it. *)
+      let mutated = Bytes.of_string content in
+      let last = Bytes.length mutated - 1 in
+      Bytes.set mutated last
+        (Char.chr (Char.code (Bytes.get mutated last) lxor 1));
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_bytes oc mutated);
+      expect_corrupt ~substring:"checksum mismatch" path;
+      (* One term with tag 9: no such term kind. *)
+      Out_channel.with_open_bin path (fun oc -> handcrafted oc [ 1; 9 ]);
+      expect_corrupt ~substring:"unknown term tag" path;
+      (* One IRI term ("ab"), one triple referencing id 5 of a 1-term
+         dictionary. *)
+      Out_channel.with_open_bin path (fun oc ->
+          handcrafted oc [ 1; 0; 2 ];
+          output_string oc "ab";
+          List.iter (output_binary_int oc) [ 1; 0; 0; 5 ]);
+      expect_corrupt ~substring:"out of dictionary range" path)
+
 (* Property: snapshots round-trip arbitrary encoded datasets and queries
    see identical results. *)
 let prop_snapshot_roundtrip =
@@ -257,6 +309,120 @@ let prop_snapshot_roundtrip =
                  in
                  present restored = present store)
                triples))
+
+(* --- MVCC -------------------------------------------------------------------- *)
+
+let snap_rows snap =
+  let acc = ref [] in
+  Rdf_store.Snapshot.iter_all snap ~f:(fun ~s ~p ~o -> acc := (s, p, o) :: !acc);
+  List.sort compare !acc
+
+let test_mvcc_visibility () =
+  let store = Rdf_store.Triple_store.of_triples [ triple 1 1 1; triple 2 1 2 ] in
+  let mvcc = Rdf_store.Mvcc.create store in
+  let s0 = Rdf_store.Mvcc.snapshot mvcc in
+  let txn = Rdf_store.Mvcc.begin_txn mvcc in
+  Rdf_store.Mvcc.insert txn (triple 3 1 3);
+  Rdf_store.Mvcc.delete txn (triple 1 1 1);
+  (* Buffered, not published: the current snapshot is still s0's view. *)
+  Alcotest.(check int) "uncommitted invisible" 2
+    (Rdf_store.Snapshot.size (Rdf_store.Mvcc.snapshot mvcc));
+  let s1 = Rdf_store.Mvcc.commit txn in
+  Alcotest.(check int) "pre-commit snapshot untouched" 2
+    (Rdf_store.Snapshot.size s0);
+  Alcotest.(check int) "post-commit size" 2 (Rdf_store.Snapshot.size s1);
+  Alcotest.(check bool) "distinct row sets" true (snap_rows s0 <> snap_rows s1);
+  Alcotest.(check bool) "versions increase" true
+    (Rdf_store.Snapshot.version s1 > Rdf_store.Snapshot.version s0);
+  (* Deleting an unknown term is a no-op, not an error. *)
+  let txn = Rdf_store.Mvcc.begin_txn mvcc in
+  Rdf_store.Mvcc.delete txn (triple 8 8 8);
+  let s2 = Rdf_store.Mvcc.commit txn in
+  Alcotest.(check bool) "no-op delete preserves rows" true
+    (snap_rows s1 = snap_rows s2)
+
+(* The commit fold maintains adds ∩ base = ∅, dels ⊆ base, adds ∩ dels
+   = ∅ across op orderings within and across transactions. *)
+let test_mvcc_commit_fold () =
+  let store = Rdf_store.Triple_store.of_triples [ triple 1 1 1 ] in
+  let mvcc = Rdf_store.Mvcc.create store in
+  (* Insert-then-delete of a fresh triple in one txn: net nothing. *)
+  let txn = Rdf_store.Mvcc.begin_txn mvcc in
+  Rdf_store.Mvcc.insert txn (triple 5 1 5);
+  Rdf_store.Mvcc.delete txn (triple 5 1 5);
+  let s = Rdf_store.Mvcc.commit txn in
+  Alcotest.(check int) "insert-then-delete nets out" 1
+    (Rdf_store.Snapshot.size s);
+  (* Delete-then-reinsert of a base triple: still present, delta empty
+     of it on both sides. *)
+  let txn = Rdf_store.Mvcc.begin_txn mvcc in
+  Rdf_store.Mvcc.delete txn (triple 1 1 1);
+  Rdf_store.Mvcc.insert txn (triple 1 1 1);
+  let s = Rdf_store.Mvcc.commit txn in
+  Alcotest.(check int) "delete-then-reinsert keeps the row" 1
+    (Rdf_store.Snapshot.size s);
+  (* Re-inserting a base triple is absorbed (set semantics). *)
+  let txn = Rdf_store.Mvcc.begin_txn mvcc in
+  Rdf_store.Mvcc.insert txn (triple 1 1 1);
+  let s = Rdf_store.Mvcc.commit txn in
+  Alcotest.(check int) "duplicate insert absorbed" 1
+    (Rdf_store.Snapshot.size s);
+  Alcotest.(check int) "absorbed ops leave no delta" 0
+    (Rdf_store.Mvcc.delta_rows mvcc)
+
+let test_mvcc_auto_compaction () =
+  let store = Rdf_store.Triple_store.of_triples [ triple 1 1 1 ] in
+  let mvcc = Rdf_store.Mvcc.create ~compact_threshold:2 store in
+  let base0 = Rdf_store.Mvcc.base mvcc in
+  let pinned = Rdf_store.Mvcc.snapshot mvcc in
+  let txn = Rdf_store.Mvcc.begin_txn mvcc in
+  List.iter (Rdf_store.Mvcc.insert txn) [ triple 2 1 2; triple 3 1 3 ];
+  let s = Rdf_store.Mvcc.commit txn in
+  (* The 2-row delta crossed the threshold: folded into a fresh base. *)
+  Alcotest.(check int) "delta folded" 0 (Rdf_store.Mvcc.delta_rows mvcc);
+  Alcotest.(check bool) "base epoch advanced" true
+    (Rdf_store.Triple_store.epoch (Rdf_store.Mvcc.base mvcc)
+    <> Rdf_store.Triple_store.epoch base0);
+  Alcotest.(check int) "compacted view complete" 3 (Rdf_store.Snapshot.size s);
+  Alcotest.(check int) "pinned reader unaffected" 1
+    (Rdf_store.Snapshot.size pinned)
+
+(* A writer domain commits single-row transactions while reader domains
+   hammer snapshot acquisition: every acquired view must be internally
+   consistent (size = row count) and sizes must grow monotonically per
+   reader. *)
+let test_mvcc_concurrent_reader_writer () =
+  let store = Rdf_store.Triple_store.of_triples [ triple 0 0 0 ] in
+  let mvcc = Rdf_store.Mvcc.create ~compact_threshold:8 store in
+  let total = 64 in
+  let writer =
+    Domain.spawn (fun () ->
+        for i = 1 to total do
+          let txn = Rdf_store.Mvcc.begin_txn mvcc in
+          Rdf_store.Mvcc.insert txn (triple i 0 i);
+          ignore (Rdf_store.Mvcc.commit txn)
+        done)
+  in
+  let reader () =
+    let ok = ref true in
+    let last = ref 0 in
+    while !last < total + 1 do
+      let snap = Rdf_store.Mvcc.snapshot mvcc in
+      let n = ref 0 in
+      Rdf_store.Snapshot.iter_all snap ~f:(fun ~s:_ ~p:_ ~o:_ -> incr n);
+      if !n <> Rdf_store.Snapshot.size snap then ok := false;
+      if Rdf_store.Snapshot.size snap < !last then ok := false;
+      last := max !last (Rdf_store.Snapshot.size snap)
+    done;
+    !ok
+  in
+  let readers = List.init 3 (fun _ -> Domain.spawn reader) in
+  Domain.join writer;
+  let all_ok = List.for_all Domain.join readers in
+  Alcotest.(check bool) "every acquired view consistent and monotone" true
+    all_ok;
+  Alcotest.(check int) "final size" (total + 1)
+    (Rdf_store.Snapshot.size (Rdf_store.Mvcc.snapshot mvcc))
 
 (* --- Stats ----------------------------------------------------------------------- *)
 
@@ -324,7 +490,18 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_snapshot_roundtrip;
           Alcotest.test_case "corruption detected" `Quick test_snapshot_corruption;
+          Alcotest.test_case "corruption paths each raise Corrupt" `Quick
+            test_snapshot_corruption_paths;
           QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
+        ] );
+      ( "mvcc",
+        [
+          Alcotest.test_case "commit visibility" `Quick test_mvcc_visibility;
+          Alcotest.test_case "commit fold invariants" `Quick
+            test_mvcc_commit_fold;
+          Alcotest.test_case "auto-compaction" `Quick test_mvcc_auto_compaction;
+          Alcotest.test_case "concurrent readers under a writer" `Quick
+            test_mvcc_concurrent_reader_writer;
         ] );
       ( "stats",
         [
