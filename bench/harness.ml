@@ -163,6 +163,32 @@ let print_table ~header ~rows =
   List.iter print_row rows;
   flush stdout
 
+(* Peak resident set size (VmHWM) in KB, from /proc/self/status; 0 when
+   the file or field is unavailable (non-Linux). Every section records it
+   so memory regressions show up next to their latency numbers. *)
+let peak_rss_kb () =
+  match
+    In_channel.with_open_text "/proc/self/status" (fun ic ->
+        let rec scan () =
+          match In_channel.input_line ic with
+          | None -> 0
+          | Some line ->
+              if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+                String.fold_left
+                  (fun acc c ->
+                    if c >= '0' && c <= '9' then
+                      (acc * 10) + (Char.code c - Char.code '0')
+                    else acc)
+                  0 line
+              else scan ()
+        in
+        scan ())
+  with
+  | kb -> kb
+  | exception Sys_error _ -> 0
+
+let major_collections () = (Gc.quick_stat ()).Gc.major_collections
+
 let human_int n =
   let s = string_of_int n in
   let len = String.length s in

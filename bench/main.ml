@@ -14,7 +14,7 @@
 let all_sections =
   [ "table2"; "table3"; "table4"; "fig3"; "fig10"; "fig11"; "fig12"; "fig13";
     "ablation"; "micro"; "parallel"; "streaming"; "plan_cache"; "intersection";
-    "robustness"; "serving" ]
+    "robustness"; "serving"; "scale" ]
 
 type context = {
   config : Harness.config;
@@ -26,15 +26,20 @@ let dataset_of ctx = function
   | Workload.Queries.Lubm -> Lazy.force ctx.lubm
   | Workload.Queries.Dbpedia -> Lazy.force ctx.dbpedia
 
-let build_store name triples =
-  let t0 = Unix.gettimeofday () in
-  let store = Rdf_store.Triple_store.of_triples triples in
+(* [produce] streams triples into the bulk loader — no intermediate list,
+   which matters now that the default LUBM scale is 130 universities. *)
+let build_store name produce =
+  let store = Rdf_store.Triple_store.of_iter produce in
   (* The epoch-memoized path: the same [Stats.t] every session over this
      store value reuses, instead of a private full scan per call site. *)
   let stats = Rdf_store.Stats.cached store in
-  Printf.printf "[build] %s: %s triples (%.1fs)\n%!" name
+  let ls = Rdf_store.Triple_store.load_stats store in
+  Printf.printf "[build] %s: %s triples (%.1fs, %s triples/s, %.1f MB off-heap)\n%!"
+    name
     (Harness.human_int (Rdf_store.Triple_store.size store))
-    (Unix.gettimeofday () -. t0);
+    ls.Rdf_store.Triple_store.elapsed_s
+    (Harness.human_int (int_of_float ls.Rdf_store.Triple_store.triples_per_sec))
+    (float_of_int (Rdf_store.Triple_store.mem_bytes store) /. 1048576.);
   (store, stats)
 
 (* ------------------------------------------------------------------ *)
@@ -258,7 +263,8 @@ let fig12 ctx =
         let store, stats =
           build_store
             (Printf.sprintf "LUBM(%d universities)" n)
-            (Workload.Lubm.generate (Workload.Lubm.scaled n))
+            (fun f ->
+              Workload.Lubm.iter_triples (Workload.Lubm.scaled n) ~f)
         in
         (n, Rdf_store.Triple_store.size store, store, stats))
       ctx.config.Harness.scaling_universities
@@ -401,7 +407,8 @@ let micro ctx =
   Harness.section "Micro-benchmarks (Bechamel): core operator costs";
   let open Bechamel in
   let store, stats =
-    build_store "LUBM (micro subset)" (Workload.Lubm.generate Workload.Lubm.tiny)
+    build_store "LUBM (micro subset)" (fun f ->
+        Workload.Lubm.iter_triples Workload.Lubm.tiny ~f)
   in
   ignore ctx;
   let mk_bag seed n =
@@ -720,6 +727,8 @@ let parallel ctx ~domains =
     \  \"dataset\": \"LUBM\",\n\
     \  \"mode\": \"full\",\n\
     \  \"morsel_size\": %d,\n\
+    \  \"peak_rss_mb\": %.1f,\n\
+    \  \"major_collections\": %d,\n\
     \  \"domains\": [1%s],\n\
      %s\n\
     \  \"engines\": [\n\
@@ -727,6 +736,8 @@ let parallel ctx ~domains =
     \  ]\n\
      }\n"
     (Engine.Pool.morsel_size ())
+    (float_of_int (Harness.peak_rss_kb ()) /. 1024.)
+    (Harness.major_collections ())
     (String.concat ""
        (List.map (fun d -> Printf.sprintf ", %d" d) parallel_counts))
     early_termination
@@ -1150,11 +1161,15 @@ let intersection ctx =
     \  \"engine\": \"wco\",\n\
     \  \"repetitions\": %d,\n\
     \  \"max_star_speedup\": %.3f,\n\
+    \  \"peak_rss_mb\": %.1f,\n\
+    \  \"major_collections\": %d,\n\
     \  \"queries\": [\n\
      %s\n\
     \  ]\n\
      }\n"
     reps !max_speedup
+    (float_of_int (Harness.peak_rss_kb ()) /. 1024.)
+    (Harness.major_collections ())
     (String.concat ",\n" (List.rev !rows_json));
   close_out oc;
   Printf.printf "[bench] wrote %s\n%!" intersection_bench_file
@@ -1520,12 +1535,191 @@ let serving ctx ~domains =
     \  \"misses\": %d,\n\
     \  \"hit_rate\": %.4f,\n\
     \  \"counts_ok\": %b,\n\
-    \  \"compacted\": %b\n\
+    \  \"compacted\": %b,\n\
+    \  \"peak_rss_mb\": %.1f,\n\
+    \  \"major_collections\": %d\n\
      }\n"
     readers reader_ops total_reads commits write_fraction wall_s qps p50 p95
-    p99 hits misses hit_rate counts_ok compacted;
+    p99 hits misses hit_rate counts_ok compacted
+    (float_of_int (Harness.peak_rss_kb ()) /. 1024.)
+    (Harness.major_collections ());
   close_out oc;
   Printf.printf "[bench] wrote %s\n%!" serving_bench_file
+
+(* ------------------------------------------------------------------ *)
+(* Scale: off-heap compressed columns — bulk load, memory, latency.    *)
+(* ------------------------------------------------------------------ *)
+
+(* Not a paper figure: measures the off-heap columnar storage layer at
+   the old and the new default LUBM scale. Per scale: parallel bulk-load
+   throughput, off-heap bytes/triple for the compressed (delta) and
+   uncompressed (raw) representations against the previous OCaml-heap
+   baseline, peak RSS, star/path query latencies per engine on the
+   compressed build, and count equality compressed-vs-raw across both
+   engines (the correctness gate CI asserts on). *)
+let scale_bench_file = "bench_scale.json"
+
+(* The pre-columnar representation held each index as OCaml int arrays:
+   3 key words per triple per 3 effective payload arrays — 9 words,
+   72 bytes/triple across the six permutations. *)
+let heap_baseline_bytes_per_triple = 72.
+
+let scale ctx ~domains =
+  Harness.section
+    (Printf.sprintf
+       "Scale: off-heap compressed columns (bulk load over %d domain(s))"
+       domains);
+  if domains > 1 then
+    Option.iter Engine.Pool.install_bulk_runner
+      (Engine.Pool.ensure ~num_domains:domains);
+  let scales =
+    if ctx.config.Harness.quick then [ (1, 0.5); (4, 0.5) ]
+    else [ (13, 1.0); (130, 1.0) ]
+  in
+  let prefixes =
+    "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n\
+     PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+  in
+  (* One multiway star and one cyclic path query; their constants exist
+     at every scale (University0 floors). *)
+  let queries =
+    [
+      ( "star-alumni",
+        "SELECT * WHERE { ?x ub:undergraduateDegreeFrom \
+         <http://www.University0.edu>. ?x ub:mastersDegreeFrom \
+         <http://www.University0.edu>. ?x rdf:type ub:FullProfessor. }" );
+      ( "path-advisor",
+        "SELECT * WHERE { ?x ub:advisor ?y. ?y ub:teacherOf ?z. ?x \
+         ub:takesCourse ?z. }" );
+    ]
+  in
+  let gc0 = Harness.major_collections () in
+  let scale_jsons =
+    List.map
+      (fun (universities, density) ->
+        let config = { Workload.Lubm.default with universities; density } in
+        let produce f = Workload.Lubm.iter_triples config ~f in
+        let delta_store =
+          Rdf_store.Triple_store.of_iter ~mode:Rdf_store.Column.Delta produce
+        in
+        let ls = Rdf_store.Triple_store.load_stats delta_store in
+        let n = Rdf_store.Triple_store.size delta_store in
+        let delta_bytes = Rdf_store.Triple_store.mem_bytes delta_store in
+        let per_triple bytes =
+          if n > 0 then float_of_int bytes /. float_of_int n else 0.
+        in
+        (* The uncompressed build exists only long enough to compare
+           memory and result counts; it is dropped before the latency
+           runs so peak RSS reflects one store per scale plus the
+           comparison window. *)
+        let raw_bytes, counts_equal =
+          let raw_store =
+            Rdf_store.Triple_store.of_iter ~mode:Rdf_store.Column.Raw produce
+          in
+          let equal =
+            List.for_all
+              (fun engine ->
+                List.for_all
+                  (fun (_, text) ->
+                    let count store =
+                      (Sparql_uo.Executor.run ~mode:Sparql_uo.Executor.Base
+                         ~engine store (prefixes ^ text))
+                        .Sparql_uo.Executor.result_count
+                    in
+                    let cd = count delta_store and cr = count raw_store in
+                    cd <> None && cd = cr)
+                  queries)
+              [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ]
+          in
+          (Rdf_store.Triple_store.mem_bytes raw_store, equal)
+        in
+        let stats = Rdf_store.Stats.cached delta_store in
+        let query_jsons =
+          List.concat_map
+            (fun engine ->
+              List.map
+                (fun (id, text) ->
+                  let best = ref infinity and results = ref 0 in
+                  for _ = 1 to max 2 ctx.config.Harness.repetitions do
+                    let report =
+                      Sparql_uo.Executor.run ~mode:Sparql_uo.Executor.Base
+                        ~engine ~stats delta_store (prefixes ^ text)
+                    in
+                    let ms =
+                      report.Sparql_uo.Executor.transform_ms
+                      +. report.Sparql_uo.Executor.exec_ms
+                    in
+                    if ms < !best then best := ms;
+                    results :=
+                      Option.value ~default:0
+                        report.Sparql_uo.Executor.result_count
+                  done;
+                  Printf.sprintf
+                    "      {\"id\": %S, \"engine\": %S, \"ms\": %.3f, \
+                     \"results\": %d}"
+                    id
+                    (Engine.Bgp_eval.engine_name engine)
+                    !best !results)
+                queries)
+            [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ]
+        in
+        let ratio = per_triple delta_bytes /. heap_baseline_bytes_per_triple in
+        Harness.print_table
+          ~header:
+            [ "universities"; "triples"; "load (s)"; "triples/s"; "tasks";
+              "B/triple delta"; "B/triple raw"; "vs heap"; "counts equal" ]
+          ~rows:
+            [
+              [
+                string_of_int universities;
+                Harness.human_int n;
+                Printf.sprintf "%.1f" ls.Rdf_store.Triple_store.elapsed_s;
+                Harness.human_int
+                  (int_of_float ls.Rdf_store.Triple_store.triples_per_sec);
+                string_of_int ls.Rdf_store.Triple_store.parallel_tasks;
+                Printf.sprintf "%.1f" (per_triple delta_bytes);
+                Printf.sprintf "%.1f" (per_triple raw_bytes);
+                Printf.sprintf "%.0f%%" (100. *. ratio);
+                (if counts_equal then "yes" else "NO");
+              ];
+            ];
+        Printf.sprintf
+          "    {\"universities\": %d, \"density\": %.2f, \"triples\": %d,\n\
+          \     \"load_s\": %.3f, \"triples_per_sec\": %.1f, \
+           \"parallel_tasks\": %d,\n\
+          \     \"mem_bytes_delta\": %d, \"mem_bytes_raw\": %d,\n\
+          \     \"bytes_per_triple_delta\": %.2f, \"bytes_per_triple_raw\": \
+           %.2f,\n\
+          \     \"ratio_vs_heap\": %.4f, \"counts_equal\": %b,\n\
+          \     \"peak_rss_mb\": %.1f,\n\
+          \     \"queries\": [\n%s\n     ]}"
+          universities density n ls.Rdf_store.Triple_store.elapsed_s
+          ls.Rdf_store.Triple_store.triples_per_sec
+          ls.Rdf_store.Triple_store.parallel_tasks delta_bytes raw_bytes
+          (per_triple delta_bytes) (per_triple raw_bytes) ratio counts_equal
+          (float_of_int (Harness.peak_rss_kb ()) /. 1024.)
+          (String.concat ",\n" query_jsons))
+      scales
+  in
+  let oc = open_out scale_bench_file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"section\": \"scale\",\n\
+    \  \"dataset\": \"LUBM\",\n\
+    \  \"domains\": %d,\n\
+    \  \"heap_baseline_bytes_per_triple\": %.1f,\n\
+    \  \"peak_rss_mb\": %.1f,\n\
+    \  \"major_collections\": %d,\n\
+    \  \"scales\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    domains heap_baseline_bytes_per_triple
+    (float_of_int (Harness.peak_rss_kb ()) /. 1024.)
+    (Harness.major_collections () - gc0)
+    (String.concat ",\n" scale_jsons);
+  close_out oc;
+  Printf.printf "[bench] wrote %s\n%!" scale_bench_file
 
 (* ------------------------------------------------------------------ *)
 
@@ -1535,11 +1729,14 @@ let run_sections quick only domains =
     {
       config;
       lubm =
-        lazy (build_store "LUBM" (Workload.Lubm.generate config.Harness.lubm));
+        lazy
+          (build_store "LUBM" (fun f ->
+               Workload.Lubm.iter_triples config.Harness.lubm ~f));
       dbpedia =
         lazy
-          (build_store "DBpedia-like"
-             (Workload.Dbpedia_gen.generate config.Harness.dbpedia));
+          (build_store "DBpedia-like" (fun f ->
+               List.iter f
+                 (Workload.Dbpedia_gen.generate config.Harness.dbpedia)));
     }
   in
   let selected = if only = [] then all_sections else only in
@@ -1560,6 +1757,7 @@ let run_sections quick only domains =
     | "intersection" -> intersection ctx
     | "robustness" -> robustness ctx
     | "serving" -> serving ctx ~domains
+    | "scale" -> scale ctx ~domains
     | other -> Printf.eprintf "unknown section %S (skipped)\n" other
   in
   Printf.printf "SPARQL-UO reproduction bench (%s mode): %s\n%!"

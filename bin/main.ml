@@ -57,6 +57,21 @@ let budget_arg =
   let doc = "Intermediate-row budget (memory-limit analogue)." in
   Arg.(value & opt (some int) None & info [ "row-budget" ] ~doc)
 
+let compression_arg =
+  let modes =
+    [ ("delta", Rdf_store.Column.Delta); ("none", Rdf_store.Column.Raw) ]
+  in
+  let doc =
+    "Physical index compression for newly built stores: delta (default) \
+     stores the permutation indexes as off-heap delta/varint-compressed \
+     blocks; none keeps raw fixed-width off-heap cells (escape hatch for \
+     debugging or CPU-bound scans)."
+  in
+  Arg.(
+    value
+    & opt (enum modes) Rdf_store.Column.Delta
+    & info [ "compression" ] ~docv:"MODE" ~doc)
+
 let domains_arg =
   let doc =
     "Number of domains (OS-level cores) query evaluation may use; 1 \
@@ -105,18 +120,26 @@ let repeat_arg =
 
 (* ---------------- helpers ---------------- *)
 
+(* Synthetic datasets are streamed ([of_iter]) rather than materialized:
+   at the default LUBM scale the triple list would rival the store. *)
 let parse_synth spec =
+  let lubm config = Ok (fun f -> Workload.Lubm.iter_triples config ~f) in
   match String.split_on_char ':' spec with
-  | [ "lubm"; "tiny" ] -> Ok (Workload.Lubm.generate Workload.Lubm.tiny)
-  | [ "lubm"; "default" ] -> Ok (Workload.Lubm.generate Workload.Lubm.default)
+  | [ "lubm"; "tiny" ] -> lubm Workload.Lubm.tiny
+  | [ "lubm"; "default" ] -> lubm Workload.Lubm.default
   | [ "lubm"; n ] -> (
       match int_of_string_opt n with
-      | Some n when n > 0 -> Ok (Workload.Lubm.generate (Workload.Lubm.scaled n))
+      | Some n when n > 0 -> lubm (Workload.Lubm.scaled n)
       | _ -> Error (Printf.sprintf "bad university count %S" n))
   | [ "dbpedia"; "tiny" ] ->
-      Ok (Workload.Dbpedia_gen.generate Workload.Dbpedia_gen.tiny)
+      Ok
+        (fun f ->
+          List.iter f (Workload.Dbpedia_gen.generate Workload.Dbpedia_gen.tiny))
   | [ "dbpedia"; "default" ] ->
-      Ok (Workload.Dbpedia_gen.generate Workload.Dbpedia_gen.default)
+      Ok
+        (fun f ->
+          List.iter f
+            (Workload.Dbpedia_gen.generate Workload.Dbpedia_gen.default))
   | _ -> Error (Printf.sprintf "unknown synth spec %S" spec)
 
 (* Snapshot files are recognized by their magic bytes. *)
@@ -134,7 +157,9 @@ let load_store data synth =
       else if is_snapshot path then Ok (Rdf_store.Snapshot.load path)
       else Ok (Rdf_store.Triple_store.load_ntriples path)
   | None, Some spec ->
-      Result.map Rdf_store.Triple_store.of_triples (parse_synth spec)
+      Result.map
+        (fun produce -> Rdf_store.Triple_store.of_iter produce)
+        (parse_synth spec)
   | Some _, Some _ -> Error "--data and --synth are mutually exclusive"
   | None, None -> Error "one of --data or --synth is required"
 
@@ -224,9 +249,14 @@ let generate_cmd =
     Arg.(required & opt (some string) None & info [ "synth" ] ~docv:"SPEC" ~doc)
   in
   let run spec out =
-    let triples = or_die (parse_synth spec) in
-    Rdf.Ntriples.write_file out triples;
-    Printf.printf "wrote %d triples to %s\n" (List.length triples) out
+    let produce = or_die (parse_synth spec) in
+    let n = ref 0 in
+    Out_channel.with_open_text out (fun oc ->
+        produce (fun t ->
+            Out_channel.output_string oc (Rdf.Triple.to_ntriples t);
+            Out_channel.output_char oc '\n';
+            incr n));
+    Printf.printf "wrote %d triples to %s\n" !n out
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Synthesize a benchmark dataset as N-Triples")
@@ -268,10 +298,20 @@ let session_runs session ~mode ~engine ~domains ~materialize ?timeout_ms
   end;
   report
 
+(* Apply store-construction knobs: the compression default consulted by
+   every build path, and — with domains > 1 — the shared pool as the
+   bulk loader's parallel runner so index builds fan out too. *)
+let setup_build ~compression ~domains =
+  Rdf_store.Column.set_default_mode compression;
+  if domains > 1 then
+    Option.iter Engine.Pool.install_bulk_runner
+      (Engine.Pool.ensure ~num_domains:domains)
+
 let query_cmd =
   let run data synth qfile qtext mode engine max_print timeout_ms row_budget
-      domains morsel materialize partial repeat =
+      domains morsel materialize partial repeat compression =
     Engine.Pool.set_morsel_size morsel;
+    setup_build ~compression ~domains;
     let store = or_die (load_store data synth) in
     let text = or_die (load_query qfile qtext) in
     let session = Sparql_uo.Session.create store in
@@ -299,7 +339,8 @@ let query_cmd =
     Term.(
       const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
       $ mode_arg $ engine_arg $ max_print_arg $ timeout_arg $ budget_arg
-      $ domains_arg $ morsel_arg $ materialize_arg $ partial_arg $ repeat_arg)
+      $ domains_arg $ morsel_arg $ materialize_arg $ partial_arg $ repeat_arg
+      $ compression_arg)
 
 (* ---------------- explain ---------------- *)
 
@@ -326,8 +367,9 @@ let explain_cmd =
 
 let modes_cmd =
   let run data synth qfile qtext engine timeout_ms row_budget domains morsel
-      materialize =
+      materialize compression =
     Engine.Pool.set_morsel_size morsel;
+    setup_build ~compression ~domains;
     let store = or_die (load_store data synth) in
     let text = or_die (load_query qfile qtext) in
     (* One session across the four modes: statistics are computed once and
@@ -359,7 +401,7 @@ let modes_cmd =
     Term.(
       const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
       $ engine_arg $ timeout_arg $ budget_arg $ domains_arg $ morsel_arg
-      $ materialize_arg)
+      $ materialize_arg $ compression_arg)
 
 (* ---------------- update ---------------- *)
 
@@ -413,7 +455,8 @@ let snapshot_cmd =
     let doc = "Output snapshot file." in
     Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run data synth out =
+  let run data synth domains compression out =
+    setup_build ~compression ~domains;
     let store = or_die (load_store data synth) in
     Rdf_store.Snapshot.save store out;
     Printf.printf "wrote snapshot of %d triples to %s\n"
@@ -423,7 +466,9 @@ let snapshot_cmd =
   Cmd.v
     (Cmd.info "snapshot"
        ~doc:"Write a binary store snapshot (fast reload via --data)")
-    Term.(const run $ data_arg $ synth_arg $ out_arg)
+    Term.(
+      const run $ data_arg $ synth_arg $ domains_arg $ compression_arg
+      $ out_arg)
 
 (* ---------------- dot ---------------- *)
 

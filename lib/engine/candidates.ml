@@ -87,6 +87,27 @@ let of_hashtbl ~universe tbl =
 
 let of_sorted_array arr = Sorted arr
 
+(* Build a candidate set straight from an index view — the sorted,
+   duplicate-free third column of a two-bound pattern, read sequentially
+   off the compressed blocks. Same density rule as [of_hashtbl]. *)
+let of_view ~universe view =
+  let card = Rdf_store.Index.view_length view in
+  if
+    universe > 0
+    && (universe <= dense_factor * card || universe <= small_universe)
+  then begin
+    let bits = Bytes.make ((universe + 7) lsr 3) '\000' in
+    for i = 0 to card - 1 do
+      let id = Rdf_store.Index.view_get view i in
+      if id >= 0 && id < universe then
+        Bytes.set bits (id lsr 3)
+          (Char.chr
+             (Char.code (Bytes.get bits (id lsr 3)) lor (1 lsl (id land 7))))
+    done;
+    Dense { bits; universe; card }
+  end
+  else Sorted (Array.init card (Rdf_store.Index.view_get view))
+
 let empty = []
 
 let set cands ~col s = (col, s) :: List.filter (fun (c, _) -> c <> col) cands

@@ -22,6 +22,12 @@ val of_hashtbl : universe:int -> (int, unit) Hashtbl.t -> set
     copying. The caller is responsible for sortedness. *)
 val of_sorted_array : int array -> set
 
+(** [of_view ~universe view] builds a set from an {!Rdf_store.Index.view}
+    — the sorted, duplicate-free third column of a pattern with two
+    bound positions, read sequentially off the compressed index blocks.
+    Representation chosen by the same density rule as {!of_hashtbl}. *)
+val of_view : universe:int -> Rdf_store.Index.view -> set
+
 val cardinal : set -> int
 
 (** [mem set id] — bitset: one load+mask; sorted array: binary search. *)

@@ -61,24 +61,31 @@ let read () =
     operands = Atomic.get n_operands;
   }
 
-(* First index [j >= lo] with [src_get src j >= v], searched by exponential
-   probing from [lo] then binary search within the bracketed window. *)
+(* First index [j >= lo] with [src_get src j >= v]. Index views answer
+   this natively — a search over the uncompressed block samples that
+   decodes at most one block ({!Rdf_store.Index.view_lower_bound}), so
+   galloping never pays per-element decompression. Plain arrays keep the
+   exponential probe from [lo] plus binary search within the bracketed
+   window. *)
 let gallop_search src m v lo =
-  if lo >= m || src_get src lo >= v then lo
-  else begin
-    (* invariant: src_get src (lo+step/2) < v *)
-    let step = ref 1 in
-    while lo + !step < m && src_get src (lo + !step) < v do
-      step := !step lsl 1
-    done;
-    let l = ref (lo + (!step lsr 1) + 1)
-    and h = ref (min m (lo + !step)) in
-    while !l < !h do
-      let mid = (!l + !h) / 2 in
-      if src_get src mid < v then l := mid + 1 else h := mid
-    done;
-    !l
-  end
+  match src with
+  | View view -> Rdf_store.Index.view_lower_bound view ~from:lo v
+  | Values a ->
+      if lo >= m || Array.unsafe_get a lo >= v then lo
+      else begin
+        (* invariant: a.(lo+step/2) < v *)
+        let step = ref 1 in
+        while lo + !step < m && Array.unsafe_get a (lo + !step) < v do
+          step := !step lsl 1
+        done;
+        let l = ref (lo + (!step lsr 1) + 1)
+        and h = ref (min m (lo + !step)) in
+        while !l < !h do
+          let mid = (!l + !h) / 2 in
+          if Array.unsafe_get a mid < v then l := mid + 1 else h := mid
+        done;
+        !l
+      end
 
 (* Intersect the sorted prefix [buf.(0..n-1)] with [src], writing the
    result back into the front of [buf]; returns the new count. Writes trail

@@ -488,3 +488,11 @@ let enable_bag_runner () =
            })
 
 let disable_bag_runner () = Sparql.Bag.set_parallel_runner None
+
+(* Hand the pool to the store layer as its bulk-load runner: index
+   builds (six per-order sort/encode tasks, one morsel each) fan out
+   across the same worker domains queries use. The store cannot depend
+   on this library, hence the injection. *)
+let install_bulk_runner pool =
+  Rdf_store.Bulk.set_runner ~domains:(num_domains pool)
+    (fun ~ntasks f -> parallel_iter pool ~morsel:1 ~lo:0 ~hi:ntasks f)

@@ -128,3 +128,9 @@ val global : unit -> t option
 val enable_bag_runner : unit -> unit
 
 val disable_bag_runner : unit -> unit
+
+(** [install_bulk_runner pool] installs [pool] as the store layer's
+    bulk-load runner ({!Rdf_store.Bulk}): the six per-order sort/encode
+    tasks of every index build run one-per-morsel across the pool's
+    domains. Call after {!ensure} when running with [--domains > 1]. *)
+val install_bulk_runner : t -> unit

@@ -56,30 +56,73 @@ let run ?row_budget ?timeout_ms ?governor env (query : Sparql.Ast.query) =
   let outcome =
     Sparql.Governor.with_ticket gov @@ fun () ->
     try
-      (* Pass 0: evaluate every triple pattern separately. *)
-      let slots =
+      (* Pass 0a: compile every pattern in scope order. *)
+      let compiled_slots =
         let rec collect ancestors (sn : Gosn.t) =
           let own =
             List.map
               (fun tp ->
-                let compiled = Engine.Compiled.compile store table tp in
-                let bag =
-                  Engine.Hash_join.scan_pattern store ~width compiled
-                    ~candidates:Engine.Candidates.empty
-                in
-                scanned := !scanned + Sparql.Bag.length bag;
-                {
-                  sn_id = sn.Gosn.id;
-                  ancestors;
-                  table = bag;
-                  columns = Engine.Compiled.var_columns compiled;
-                })
+                (sn.Gosn.id, ancestors, Engine.Compiled.compile store table tp))
               sn.Gosn.patterns
           in
           own
           @ List.concat_map (collect (sn.Gosn.id :: ancestors)) sn.Gosn.children
         in
         Array.of_list (collect [] gosn)
+      in
+      (* Pass 0b: index-level semijoin prefilters. A pattern with two
+         bound positions names — via the store's third-column view — the
+         exact value set of its one variable; build a candidate set
+         straight off the compressed index blocks and apply it while
+         scanning any pattern the source is allowed to prune (same
+         scoping rule as the semijoin passes, which still run and yield
+         identical final bags — the prefilter only removes rows those
+         passes would also remove, before they ever materialize). *)
+      let universe = Rdf_store.Snapshot.dict_size store in
+      let prefilters =
+        Array.map
+          (fun (sn_id, ancestors, (c : Engine.Compiled.t)) ->
+            match (c.Engine.Compiled.cs, c.cp, c.co) with
+            | Engine.Compiled.Cvar col, Cterm p, Cterm o ->
+                Some
+                  ( sn_id, ancestors, col,
+                    Engine.Candidates.of_view ~universe
+                      (Rdf_store.Snapshot.third_column_view store ~p ~o ()) )
+            | Cterm s, Cvar col, Cterm o ->
+                Some
+                  ( sn_id, ancestors, col,
+                    Engine.Candidates.of_view ~universe
+                      (Rdf_store.Snapshot.third_column_view store ~s ~o ()) )
+            | Cterm s, Cterm p, Cvar col ->
+                Some
+                  ( sn_id, ancestors, col,
+                    Engine.Candidates.of_view ~universe
+                      (Rdf_store.Snapshot.third_column_view store ~s ~p ()) )
+            | _ -> None)
+          compiled_slots
+      in
+      (* Pass 0c: scan every pattern through its applicable prefilters. *)
+      let slots =
+        Array.mapi
+          (fun i (sn_id, ancestors, compiled) ->
+            let columns = Engine.Compiled.var_columns compiled in
+            let candidates = ref Engine.Candidates.empty in
+            Array.iteri
+              (fun j pf ->
+                match pf with
+                | Some (src_id, _, col, set)
+                  when j <> i && List.mem col columns
+                       && (src_id = sn_id || List.mem src_id ancestors) ->
+                    candidates := Engine.Candidates.set !candidates ~col set
+                | _ -> ())
+              prefilters;
+            let bag =
+              Engine.Hash_join.scan_pattern store ~width compiled
+                ~candidates:!candidates
+            in
+            scanned := !scanned + Sparql.Bag.length bag;
+            { sn_id; ancestors; table = bag; columns })
+          compiled_slots
       in
       let n = Array.length slots in
       let semijoin_step target source =

@@ -1,42 +1,70 @@
-(** A sorted permutation index over a shared triple table.
+(** A sorted permutation index stored as off-heap compressed columns.
 
-    The store keeps one triple table (three parallel int arrays) and six
-    {!t} values, one per component order (SPO, SOP, PSO, POS, OSP, OPS).
-    Lookups with any set of bound positions become binary-searched ranges in
-    the appropriate permutation. *)
+    The store keeps six {!t} values, one per component order (SPO, SOP,
+    PSO, POS, OSP, OPS). Each is a three-level grouping structure over
+    {!Column} storage: distinct first keys, (first, second) groups, and
+    the full third-key column — all outside the OCaml heap, with the
+    two big columns block-compressed under {!Column.Delta}. Lookups with
+    any set of bound positions become sample-galloped searches yielding
+    global row ranges, exactly as in the old permutation layout. *)
 
 type order = Spo | Sop | Pso | Pos | Osp | Ops
 
-(** The shared triple table: [s.(i), p.(i), o.(i)] is the i-th triple. *)
+(** A raw triple table: [s.(i), p.(i), o.(i)] is the i-th triple. Used
+    by small builds (deltas, tests); bulk loads feed {!of_sorted}. *)
 type table = { s : int array; p : int array; o : int array }
 
 type t
 
 val order : t -> order
 
-(** [build order table] sorts a permutation of the rows of [table]
-    lexicographically by the components of [order]. *)
-val build : order -> table -> t
+(** Number of rows. *)
+val length : t -> int
+
+(** Bytes of off-heap storage held by the index. *)
+val mem_bytes : t -> int
+
+(** [build ?mode order table] sorts the rows of [table]
+    lexicographically by the components of [order] and encodes the
+    index ([mode] defaults to {!Column.default_mode}). *)
+val build : ?mode:Column.mode -> order -> table -> t
+
+(** [of_sorted order ~mode ~n ~key1 ~key2 ~key3] encodes [n] rows
+    already sorted lexicographically by their key components, streamed
+    through the accessors in one pass — the bulk-load path (per-group
+    cardinalities come free from boundary detection). *)
+val of_sorted :
+  order ->
+  mode:Column.mode ->
+  n:int ->
+  key1:(int -> int) ->
+  key2:(int -> int) ->
+  key3:(int -> int) ->
+  t
 
 (** [range index ?a ?b ?c ()] is the half-open interval [(lo, hi)] of
-    positions in the permutation whose rows match the given key prefix,
-    where [a] constrains the first component of the order, [b] the second
-    and [c] the third. Passing [b] without [a], or [c] without [b], is an
+    global row positions matching the given key prefix, where [a]
+    constrains the first component of the order, [b] the second and [c]
+    the third. Passing [b] without [a], or [c] without [b], is an
     [Invalid_argument]. *)
 val range : t -> ?a:int -> ?b:int -> ?c:int -> unit -> int * int
 
-(** A zero-copy view of the third key column over a (key1, key2) prefix
-    range. Within one prefix the permutation is sorted by key3 and the
-    store's triple table is duplicate-free, so the values
-    [view_get v 0 .. view_get v (view_length v - 1)] form a strictly
-    increasing sequence — exactly the shape the multiway intersection
-    kernel ({!Engine.Intersect}) requires of its operands. *)
+(** A strictly increasing sequence of ids: a zero-copy window onto a
+    compressed column (with its own block-decode cursor), or a
+    materialized array (snapshot merges). Views carry mutable decode
+    state — never share one across domains. *)
 type view
 
-(** [column_view index ~a ~b] is the sorted, duplicate-free slice of third
-    key components for rows whose first two components equal [(a, b)]. No
-    copying: the view aliases the shared table and permutation. *)
+(** [column_view index ~a ~b] is the sorted, duplicate-free slice of
+    third key components for rows whose first two components equal
+    [(a, b)]; empty when the prefix is absent. Touched blocks decode
+    into the view's cursor on demand — nothing is copied up front. *)
 val column_view : t -> a:int -> b:int -> view
+
+(** [firsts_view index] — the distinct first-key values in increasing
+    order (distinct subjects of SPO, distinct objects of OSP): the
+    statistics pass reads entity ids straight off the skip level. *)
+val firsts_view : t -> view
 
 (** [view_of_sorted_array vals] wraps a materialized array as a view.
     [vals] must be strictly increasing — the caller (the snapshot layer,
@@ -45,22 +73,32 @@ val view_of_sorted_array : int array -> view
 
 val view_length : view -> int
 
-(** [view_get v i] is the [i]-th (ascending) third-column value,
-    [0 <= i < view_length v]. *)
+(** [view_get v i] is the [i]-th (ascending) value, [0 <= i < length]. *)
 val view_get : view -> int -> int
 
-(** [iter index ~lo ~hi ~f] applies [f ~s ~p ~o] to each row in positions
-    [lo..hi-1] of the permutation, in index order. *)
+(** [view_lower_bound v ~from value] is the first index [>= from] whose
+    value is [>= value], or [view_length v]. On compressed slices this
+    searches the uncompressed block samples and decodes at most one
+    block — the intersection kernel's gallop probe. *)
+val view_lower_bound : view -> from:int -> int -> int
+
+(** [iter index ~lo ~hi ~f] applies [f ~s ~p ~o] to each row in
+    positions [lo..hi-1], in index order, decoding each block once. *)
 val iter : t -> lo:int -> hi:int -> f:(s:int -> p:int -> o:int -> unit) -> unit
 
-(** [row index pos] is the (s, p, o) of the row at permutation position
-    [pos]. *)
+(** [row index pos] is the (s, p, o) at global position [pos] (cold
+    path: decodes a block per call). *)
 val row : t -> int -> int * int * int
 
-(** [distinct_firsts index ~lo ~hi] counts distinct values of the order's
-    first component within the range — used by statistics. *)
+(** [iter_firsts index ~f] — every distinct first-key value with its
+    global row range, in key order (the per-predicate walk on PSO). *)
+val iter_firsts : t -> f:(int -> lo:int -> hi:int -> unit) -> unit
+
+(** [distinct_firsts index ~lo ~hi] counts distinct values of the
+    order's first component within the range — group-id arithmetic on
+    the offset columns, no scan. *)
 val distinct_firsts : t -> lo:int -> hi:int -> int
 
-(** [distinct_seconds index ~lo ~hi] counts distinct (first, second) pairs
-    within the range. *)
+(** [distinct_seconds index ~lo ~hi] counts distinct (first, second)
+    pairs within the range. *)
 val distinct_seconds : t -> lo:int -> hi:int -> int

@@ -1,10 +1,31 @@
-(** A deduplicated triple table with all six permutation indexes (SPO,
+(** A deduplicated triple set with all six permutation indexes (SPO,
     SOP, PSO, POS, OSP, OPS) — the unit of immutability in the snapshot
     store. A snapshot's base is one index set; each frozen delta
     generation carries two small ones (inserts and deletes). Values are
-    immutable after construction and safe to share across domains. *)
+    immutable after construction and safe to share across domains; the
+    index payload lives off-heap in {!Column} storage. *)
 
 type t
+
+(** [of_columns ?mode ?len ~s ~p ~o ()] sorts, deduplicates and indexes
+    three parallel id columns (the first [len] entries when given — the
+    bulk-load path hands over its possibly-oversized growable buffers).
+    The six per-order sort/encode tasks fan out over the {!Bulk}
+    runner. [mode] defaults to {!Column.default_mode}. *)
+val of_columns :
+  ?mode:Column.mode ->
+  ?len:int ->
+  s:int array ->
+  p:int array ->
+  o:int array ->
+  unit ->
+  t
+
+(** [of_sorted_columns ?mode ~s ~p ~o ()] trusts the columns to be
+    strictly increasing in SPO lexicographic order (the snapshot loader
+    validates this during decode) and skips the sort and dedup. *)
+val of_sorted_columns :
+  ?mode:Column.mode -> s:int array -> p:int array -> o:int array -> unit -> t
 
 (** [of_rows rows] sorts, deduplicates and indexes already-encoded
     (s, p, o) id triples. *)
@@ -17,6 +38,9 @@ val empty : t
 val size : t -> int
 
 val is_empty : t -> bool
+
+(** Bytes of off-heap storage held by the six indexes. *)
+val mem_bytes : t -> int
 
 (** [index t order] exposes one permutation index. *)
 val index : t -> Index.order -> Index.t

@@ -152,7 +152,22 @@ let predicates t =
 exception Corrupt of string
 
 let magic = "SPUO"
-let version_tag = 1
+
+(* Version 2: the triple section is block-compressed. Triples (strictly
+   increasing in SPO lexicographic order) are split into blocks of
+   [triples_per_block]; an up-front skip index holds each block's first
+   triple uncompressed plus its payload byte length, and each payload
+   encodes the remaining triples as an unsigned-varint subject delta and
+   zigzag-varint predicate/object deltas. The loader validates shape
+   (block count, skip samples, payload lengths and exact consumption,
+   id ranges, strict ordering) before the checksum, and rebuilds the
+   store through the sort-free trusted-columns path. *)
+let version_tag = 2
+
+let triples_per_block = 4096
+
+(* Worst case ~10 bytes per varint, three per triple. *)
+let max_block_payload = 30 * triples_per_block
 
 (* A cheap rolling additive digest, enough to catch truncation and bit
    rot (this is an integrity check, not an authenticity one). *)
@@ -202,6 +217,18 @@ let write_term oc digest term =
       write_string oc digest value;
       write_string oc digest dt
 
+(* zigzag keeps small negative deltas small; varints are 7-bit LE. *)
+let zig n = (n lsl 1) lxor (n asr 62)
+let unzig u = (u lsr 1) lxor (- (u land 1))
+
+let buffer_varint buf u =
+  let u = ref u in
+  while !u >= 0x80 do
+    Buffer.add_char buf (Char.unsafe_chr (0x80 lor (!u land 0x7f)));
+    u := !u lsr 7
+  done;
+  Buffer.add_char buf (Char.unsafe_chr !u)
+
 let save store path =
   let oc = open_out_bin path in
   Fun.protect
@@ -213,11 +240,51 @@ let save store path =
       let dict = Triple_store.dictionary store in
       write_int oc digest (Dictionary.size dict);
       Dictionary.iter dict ~f:(fun _ term -> write_term oc digest term);
-      write_int oc digest (Triple_store.size store);
+      let ntriples = Triple_store.size store in
+      write_int oc digest ntriples;
+      let nblocks = (ntriples + triples_per_block - 1) / triples_per_block in
+      write_int oc digest nblocks;
+      (* Encode payloads block by block (samples + lengths must precede
+         them on disk, so blocks buffer in memory — a few bytes per
+         triple). *)
+      let samples = Array.make nblocks (0, 0, 0) in
+      let payloads = Array.make nblocks "" in
+      let buf = Buffer.create 4096 in
+      let blk = ref (-1) in
+      let fill = ref 0 in
+      let prev_s = ref 0 and prev_p = ref 0 and prev_o = ref 0 in
+      let flush () =
+        if !blk >= 0 then payloads.(!blk) <- Buffer.contents buf;
+        Buffer.clear buf
+      in
       Triple_store.iter_all store ~f:(fun ~s ~p ~o ->
+          if !fill mod triples_per_block = 0 then begin
+            flush ();
+            incr blk;
+            samples.(!blk) <- (s, p, o)
+          end
+          else begin
+            buffer_varint buf (s - !prev_s);
+            buffer_varint buf (zig (p - !prev_p));
+            buffer_varint buf (zig (o - !prev_o))
+          end;
+          prev_s := s;
+          prev_p := p;
+          prev_o := o;
+          incr fill);
+      flush ();
+      Array.iteri
+        (fun b (s, p, o) ->
           write_int oc digest s;
           write_int oc digest p;
-          write_int oc digest o);
+          write_int oc digest o;
+          write_int oc digest (String.length payloads.(b)))
+        samples;
+      Array.iter
+        (fun payload ->
+          output_string oc payload;
+          Digest_acc.add_string digest payload)
+        payloads;
       output_binary_int oc (Digest_acc.value digest))
 
 (* --- reading ----------------------------------------------------------- *)
@@ -276,19 +343,91 @@ let load path =
       done;
       let ntriples = read_int ic digest in
       if ntriples < 0 then raise (Corrupt "negative triple count");
-      let rows =
-        Array.init ntriples (fun _ ->
-            let s = read_int ic digest in
-            let p = read_int ic digest in
-            let o = read_int ic digest in
-            if s >= nterms || p >= nterms || o >= nterms then
-              raise (Corrupt "triple id out of dictionary range");
-            (s, p, o))
+      let nblocks = read_int ic digest in
+      if nblocks <> (ntriples + triples_per_block - 1) / triples_per_block
+      then raise (Corrupt "block count mismatch");
+      let check_id id =
+        if id < 0 || id >= nterms then
+          raise (Corrupt "triple id out of dictionary range")
       in
+      let skip =
+        Array.init nblocks (fun _ ->
+            let entry =
+              try
+                let s = read_int ic digest in
+                let p = read_int ic digest in
+                let o = read_int ic digest in
+                let paylen = read_int ic digest in
+                (s, p, o, paylen)
+              with Corrupt "truncated file" ->
+                raise (Corrupt "truncated skip index")
+            in
+            let s, p, o, paylen = entry in
+            check_id s;
+            check_id p;
+            check_id o;
+            if paylen < 0 || paylen > max_block_payload then
+              raise (Corrupt "implausible block length");
+            entry)
+      in
+      let cs = Array.make ntriples 0
+      and cp = Array.make ntriples 0
+      and co = Array.make ntriples 0 in
+      let prev_s = ref (-1) and prev_p = ref (-1) and prev_o = ref (-1) in
+      let emit i s p o =
+        check_id s;
+        check_id p;
+        check_id o;
+        if
+          s < !prev_s
+          || (s = !prev_s
+              && (p < !prev_p || (p = !prev_p && o <= !prev_o)))
+        then raise (Corrupt "unsorted or duplicate triple");
+        prev_s := s;
+        prev_p := p;
+        prev_o := o;
+        cs.(i) <- s;
+        cp.(i) <- p;
+        co.(i) <- o
+      in
+      Array.iteri
+        (fun b (s0, p0, o0, paylen) ->
+          let payload =
+            try really_input_string ic paylen
+            with End_of_file -> raise (Corrupt "truncated block payload")
+          in
+          Digest_acc.add_string digest payload;
+          let base = b * triples_per_block in
+          let k = min triples_per_block (ntriples - base) in
+          emit base s0 p0 o0;
+          let pos = ref 0 in
+          let read_varint () =
+            let u = ref 0 and shift = ref 0 in
+            let continue = ref true in
+            while !continue do
+              if !pos >= paylen || !shift > 63 then
+                raise (Corrupt "block payload overrun");
+              let byte = Char.code (String.unsafe_get payload !pos) in
+              incr pos;
+              u := !u lor ((byte land 0x7f) lsl !shift);
+              shift := !shift + 7;
+              continue := byte land 0x80 <> 0
+            done;
+            !u
+          in
+          for i = 1 to k - 1 do
+            let s = !prev_s + read_varint () in
+            let p = !prev_p + unzig (read_varint ()) in
+            let o = !prev_o + unzig (read_varint ()) in
+            emit (base + i) s p o
+          done;
+          if !pos <> paylen then
+            raise (Corrupt "block payload length mismatch"))
+        skip;
       let stored_checksum =
         try input_binary_int ic
         with End_of_file -> raise (Corrupt "missing checksum")
       in
       if stored_checksum <> Digest_acc.value digest then
         raise (Corrupt "checksum mismatch");
-      Triple_store.of_encoded_rows dict rows)
+      Triple_store.of_sorted_columns dict ~s:cs ~p:cp ~o:co ())

@@ -26,6 +26,9 @@ type t = {
 
 let compute store =
   let by_predicate = Hashtbl.create 64 in
+  (* Per-predicate rows come straight off the index grouping structure
+     built during bulk load: [predicates] walks the PSO skip level and
+     the distinct counts are group-offset arithmetic — no triple scan. *)
   List.iter
     (fun (p, triples) ->
       let distinct_subjects = Triple_store.distinct_subjects store ~p in
@@ -44,19 +47,38 @@ let compute store =
     (Triple_store.predicates store);
   let num_predicates = Hashtbl.length by_predicate in
   (* Entities: distinct IRI/bnode terms in subject or object position.
-     Literals: distinct literal terms in object position. Walk the
-     dictionary once and test occurrence via index ranges. *)
+     Literals: distinct literal terms in object position. The distinct
+     subject and object ids are exactly the first-key skip columns of
+     SPO and OSP — merge the two increasing streams instead of probing
+     the whole dictionary term by term. *)
   let entities = ref 0 and literals = ref 0 in
   let dict = Triple_store.dictionary store in
-  Dictionary.iter dict ~f:(fun id term ->
-      match term with
-      | Rdf.Term.Literal _ ->
-          if Triple_store.count store ~o:id () > 0 then incr literals
-      | Rdf.Term.Iri _ | Rdf.Term.Bnode _ ->
-          if
-            Triple_store.count store ~s:id () > 0
-            || Triple_store.count store ~o:id () > 0
-          then incr entities);
+  let subjects = Index.firsts_view (Triple_store.index store Index.Spo) in
+  let objects = Index.firsts_view (Triple_store.index store Index.Osp) in
+  let ns = Index.view_length subjects and no = Index.view_length objects in
+  let i = ref 0 and j = ref 0 in
+  let classify id ~as_object =
+    match Dictionary.decode dict id with
+    | Rdf.Term.Literal _ -> if as_object then incr literals
+    | Rdf.Term.Iri _ | Rdf.Term.Bnode _ -> incr entities
+  in
+  while !i < ns || !j < no do
+    let sv = if !i < ns then Index.view_get subjects !i else max_int in
+    let ov = if !j < no then Index.view_get objects !j else max_int in
+    if sv < ov then begin
+      classify sv ~as_object:false;
+      incr i
+    end
+    else if ov < sv then begin
+      classify ov ~as_object:true;
+      incr j
+    end
+    else begin
+      classify sv ~as_object:true;
+      incr i;
+      incr j
+    end
+  done;
   {
     by_predicate;
     num_triples = Triple_store.size store;

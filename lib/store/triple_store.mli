@@ -4,7 +4,13 @@
 
 type t
 
-(** {1 Construction} *)
+(** {1 Construction}
+
+    Every build path streams triples into growable id columns and fans
+    the six per-order sort/encode tasks out over the {!Bulk} runner
+    (serial without one); the indexes land in off-heap {!Column}
+    storage whose compression follows {!Column.default_mode} unless a
+    [?mode] override is given. *)
 
 (** [of_triples triples] encodes, deduplicates and indexes the dataset. *)
 val of_triples : Rdf.Triple.t list -> t
@@ -13,13 +19,46 @@ val of_triples : Rdf.Triple.t list -> t
     intermediate list for large generated datasets. *)
 val of_seq : Rdf.Triple.t Seq.t -> t
 
+(** [of_iter produce] is the bulk-load entry point: [produce emit] must
+    call [emit] once per triple. Nothing is materialized per triple —
+    generators feed the store without building a list. *)
+val of_iter : ?mode:Column.mode -> ((Rdf.Triple.t -> unit) -> unit) -> t
+
 (** [load_ntriples path] parses and loads an N-Triples file. *)
 val load_ntriples : string -> t
 
 (** [of_encoded_rows dict rows] builds a store from already-encoded
     (s, p, o) id triples over [dict] (deduplicating). Used by the
-    snapshot loader and bulk importers. *)
+    compaction path and bulk importers. *)
 val of_encoded_rows : Dictionary.t -> (int * int * int) array -> t
+
+(** [of_sorted_columns dict ~s ~p ~o ()] builds a store from id columns
+    already strictly increasing in SPO lexicographic order — the
+    snapshot loader's sort-free path. *)
+val of_sorted_columns :
+  ?mode:Column.mode ->
+  Dictionary.t ->
+  s:int array ->
+  p:int array ->
+  o:int array ->
+  unit ->
+  t
+
+(** {1 Load telemetry} *)
+
+type load_stats = {
+  triples : int;  (** distinct triples indexed *)
+  elapsed_s : float;  (** encode + sort + index build wall time *)
+  triples_per_sec : float;
+  parallel_tasks : int;  (** runner domains the build fanned out over *)
+}
+
+(** [load_stats store] — throughput of the build that produced this
+    store. *)
+val load_stats : t -> load_stats
+
+(** [mem_bytes store] is the off-heap footprint of the six indexes. *)
+val mem_bytes : t -> int
 
 (** [iter_all store ~f] — every triple, as ids, in SPO order. *)
 val iter_all : t -> f:(s:int -> p:int -> o:int -> unit) -> unit

@@ -1,6 +1,6 @@
 type config = { universities : int; seed : int; density : float }
 
-let default = { universities = 13; seed = 20250705; density = 1.0 }
+let default = { universities = 130; seed = 20250705; density = 1.0 }
 
 let tiny = { universities = 1; seed = 20250705; density = 0.12 }
 
@@ -16,12 +16,12 @@ let rdf_type = Rdf.Namespace.rdf_type
 
 type state = {
   rng : Rng.t;
-  mutable triples : Rdf.Triple.t list;
+  emitf : Rdf.Triple.t -> unit;
   config : config;
 }
 
 let emit st s p o =
-  st.triples <- Rdf.Triple.make (Rdf.Term.iri s) (Rdf.Term.iri p) o :: st.triples
+  st.emitf (Rdf.Triple.make (Rdf.Term.iri s) (Rdf.Term.iri p) o)
 
 let emit_iri st s p o = emit st s p (Rdf.Term.iri o)
 let emit_lit st s p o = emit st s p (Rdf.Term.literal o)
@@ -43,8 +43,8 @@ let person_attributes st ~dept_iri:_ ~univ ~dept person =
     (Printf.sprintf "%03d-%03d-%04d" (Rng.int st.rng 1000) (Rng.int st.rng 1000)
        (Rng.int st.rng 10000))
 
-let generate config =
-  let st = { rng = Rng.create ~seed:config.seed; triples = []; config } in
+let iter_triples config ~f =
+  let st = { rng = Rng.create ~seed:config.seed; emitf = f; config } in
   for u = 0 to config.universities - 1 do
     let univ = university_iri u in
     emit_iri st univ rdf_type (ub "University");
@@ -211,7 +211,12 @@ let generate config =
         faculty;
       ignore undergrads
     done
-  done;
-  List.rev st.triples
+  done
 
-let store config = Rdf_store.Triple_store.of_triples (generate config)
+let generate config =
+  let acc = ref [] in
+  iter_triples config ~f:(fun t -> acc := t :: !acc);
+  List.rev !acc
+
+let store config =
+  Rdf_store.Triple_store.of_iter (fun emit -> iter_triples config ~f:emit)

@@ -229,7 +229,9 @@ let test_snapshot_corruption () =
 
 (* Each distinct corruption path must surface as [Corrupt] with its own
    diagnostic: a truncated file, a flipped checksum trailer, an unknown
-   term tag, and a triple id past the dictionary. The last two need
+   term tag, a triple id past the dictionary, and — in the v2 block
+   format — a truncated skip index, an implausible block length and a
+   block count that disagrees with the triple count. Most need
    handcrafted files — they cannot be produced by [save]. *)
 let test_snapshot_corruption_paths () =
   let contains hay needle =
@@ -248,7 +250,7 @@ let test_snapshot_corruption_paths () =
   (* The loader reads 4-byte big-endian ints (output_binary_int). *)
   let handcrafted oc ints =
     output_string oc "SPUO";
-    List.iter (output_binary_int oc) (1 :: ints)
+    List.iter (output_binary_int oc) (2 :: ints)
   in
   let store = Rdf_store.Triple_store.of_triples [ triple 1 1 1; triple 2 1 2 ] in
   with_temp_file (fun path ->
@@ -271,13 +273,31 @@ let test_snapshot_corruption_paths () =
       (* One term with tag 9: no such term kind. *)
       Out_channel.with_open_bin path (fun oc -> handcrafted oc [ 1; 9 ]);
       expect_corrupt ~substring:"unknown term tag" path;
-      (* One IRI term ("ab"), one triple referencing id 5 of a 1-term
-         dictionary. *)
+      (* One IRI term ("ab"); one triple in one block whose skip-index
+         sample references id 5 of a 1-term dictionary. *)
       Out_channel.with_open_bin path (fun oc ->
           handcrafted oc [ 1; 0; 2 ];
           output_string oc "ab";
-          List.iter (output_binary_int oc) [ 1; 0; 0; 5 ]);
-      expect_corrupt ~substring:"out of dictionary range" path)
+          List.iter (output_binary_int oc) [ 1; 1; 0; 0; 5; 0 ]);
+      expect_corrupt ~substring:"out of dictionary range" path;
+      (* Block count disagreeing with the triple count. *)
+      Out_channel.with_open_bin path (fun oc ->
+          handcrafted oc [ 1; 0; 2 ];
+          output_string oc "ab";
+          List.iter (output_binary_int oc) [ 1; 5 ]);
+      expect_corrupt ~substring:"block count mismatch" path;
+      (* Skip index cut off mid-entry (two of four ints present). *)
+      Out_channel.with_open_bin path (fun oc ->
+          handcrafted oc [ 1; 0; 2 ];
+          output_string oc "ab";
+          List.iter (output_binary_int oc) [ 1; 1; 0; 0 ]);
+      expect_corrupt ~substring:"truncated skip index" path;
+      (* Payload length far beyond what a 4096-triple block can hold. *)
+      Out_channel.with_open_bin path (fun oc ->
+          handcrafted oc [ 1; 0; 2 ];
+          output_string oc "ab";
+          List.iter (output_binary_int oc) [ 1; 1; 0; 0; 0; 999_999_999 ]);
+      expect_corrupt ~substring:"implausible block length" path)
 
 (* Property: snapshots round-trip arbitrary encoded datasets and queries
    see identical results. *)
