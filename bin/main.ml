@@ -101,6 +101,15 @@ let materialize_arg =
   in
   Arg.(value & flag & info [ "materialize" ] ~doc)
 
+let static_arg =
+  let doc =
+    "Disable the adaptive execution layer (sideways bitset prefilters into \
+     OPTIONAL/MINUS subtrees, observed-cardinality feedback, per-node \
+     engine selection): run the paper's static full configuration. Only \
+     meaningful with --mode full; the other modes are always static."
+  in
+  Arg.(value & flag & info [ "static" ] ~doc)
+
 let partial_arg =
   let doc =
     "When the query is killed by a limit, print the rows materialized \
@@ -266,15 +275,15 @@ let generate_cmd =
 
 (* Run [text] [repeat] times through one session; returns the last report
    and prints a first-vs-amortized summary when repeating. *)
-let session_runs session ~mode ~engine ~domains ~materialize ?timeout_ms
-    ?row_budget ?partial ~repeat text =
+let session_runs session ~mode ~engine ~domains ~materialize ~adaptive
+    ?timeout_ms ?row_budget ?partial ~repeat text =
   if repeat < 1 then or_die (Error "--repeat must be at least 1");
   let run_once () =
     let t0 = Unix.gettimeofday () in
     let report =
       Sparql_uo.Session.run ~mode ~engine ~domains
-        ~streaming:(not materialize) ?timeout_ms ?row_budget ?partial session
-        text
+        ~streaming:(not materialize) ~adaptive ?timeout_ms ?row_budget ?partial
+        session text
     in
     ((Unix.gettimeofday () -. t0) *. 1000., report)
   in
@@ -309,15 +318,15 @@ let setup_build ~compression ~domains =
 
 let query_cmd =
   let run data synth qfile qtext mode engine max_print timeout_ms row_budget
-      domains morsel materialize partial repeat compression =
+      domains morsel materialize static partial repeat compression =
     Engine.Pool.set_morsel_size morsel;
     setup_build ~compression ~domains;
     let store = or_die (load_store data synth) in
     let text = or_die (load_query qfile qtext) in
     let session = Sparql_uo.Session.create store in
     let report =
-      session_runs session ~mode ~engine ~domains ~materialize ?timeout_ms
-        ?row_budget ~partial ~repeat text
+      session_runs session ~mode ~engine ~domains ~materialize
+        ~adaptive:(not static) ?timeout_ms ?row_budget ~partial ~repeat text
     in
     match report.Sparql_uo.Executor.query.Sparql.Ast.form with
     | Sparql.Ast.Select _ -> print_solutions store report max_print
@@ -339,35 +348,37 @@ let query_cmd =
     Term.(
       const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
       $ mode_arg $ engine_arg $ max_print_arg $ timeout_arg $ budget_arg
-      $ domains_arg $ morsel_arg $ materialize_arg $ partial_arg $ repeat_arg
-      $ compression_arg)
+      $ domains_arg $ morsel_arg $ materialize_arg $ static_arg $ partial_arg
+      $ repeat_arg $ compression_arg)
 
 (* ---------------- explain ---------------- *)
 
 let explain_cmd =
-  let run data synth qfile qtext mode engine repeat =
+  let run data synth qfile qtext mode engine static repeat =
     let store = or_die (load_store data synth) in
     let text = or_die (load_query qfile qtext) in
     let session = Sparql_uo.Session.create store in
     let report =
-      session_runs session ~mode ~engine ~domains:1 ~materialize:false ~repeat
-        text
+      session_runs session ~mode ~engine ~domains:1 ~materialize:false
+        ~adaptive:(not static) ~repeat text
     in
     print_string (Sparql_uo.Executor.explain report)
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Show the BE-tree before and after cost-driven transformation \
-             (with --repeat N, the Nth run's plan-cache hit/miss provenance)")
+             (with --repeat N, the Nth run's plan-cache hit/miss provenance; \
+             in adaptive full mode, per-node estimated vs actual rows and \
+             chosen engine)")
     Term.(
       const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
-      $ mode_arg $ engine_arg $ repeat_arg)
+      $ mode_arg $ engine_arg $ static_arg $ repeat_arg)
 
 (* ---------------- modes ---------------- *)
 
 let modes_cmd =
   let run data synth qfile qtext engine timeout_ms row_budget domains morsel
-      materialize compression =
+      materialize static compression =
     Engine.Pool.set_morsel_size morsel;
     setup_build ~compression ~domains;
     let store = or_die (load_store data synth) in
@@ -381,7 +392,8 @@ let modes_cmd =
       (fun mode ->
         let report =
           Sparql_uo.Session.run ~mode ~engine ~domains
-            ~streaming:(not materialize) ?timeout_ms ?row_budget session text
+            ~streaming:(not materialize) ~adaptive:(not static) ?timeout_ms
+            ?row_budget session text
         in
         Printf.printf "%-6s %-10s %-12.2f %-12.2f\n"
           (Sparql_uo.Executor.mode_name mode)
@@ -401,7 +413,7 @@ let modes_cmd =
     Term.(
       const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
       $ engine_arg $ timeout_arg $ budget_arg $ domains_arg $ morsel_arg
-      $ materialize_arg $ compression_arg)
+      $ materialize_arg $ static_arg $ compression_arg)
 
 (* ---------------- update ---------------- *)
 

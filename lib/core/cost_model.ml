@@ -4,34 +4,51 @@ let bgp_cost env = function
   | [] -> 0.
   | patterns -> Engine.Bgp_eval.estimate_cost env patterns
 
-let bgp_card env = function
+let bgp_card ?feedback env = function
   | [] -> 1.
-  | patterns -> Engine.Bgp_eval.estimate_card env patterns
+  | patterns -> (
+      let estimate = Engine.Bgp_eval.estimate_card env patterns in
+      (* Observed cardinality, when this BGP has run before, replaces the
+         sampled estimate — the feedback half of the adaptive loop. *)
+      match feedback with
+      | Some fb -> Feedback.card fb patterns ~default:estimate
+      | None -> estimate)
 
-let rec node_card env = function
-  | Be_tree.Bgp b -> bgp_card env b
+let rec node_card ?feedback env = function
+  | Be_tree.Bgp b -> bgp_card ?feedback env b
   | Be_tree.Values { Sparql.Ast.rows; _ } ->
       Float.max (float_of_int (List.length rows)) 1.
-  | Be_tree.Group g -> group_card env g
+  | Be_tree.Group g -> group_card ?feedback env g
   | Be_tree.Union gs ->
-      List.fold_left (fun acc g -> acc +. group_card env g) 0. gs
+      List.fold_left (fun acc g -> acc +. group_card ?feedback env g) 0. gs
   | Be_tree.Optional g ->
       (* The left side is retained even when the child has no matches. *)
-      Float.max (group_card env g) 1.
+      Float.max (group_card ?feedback env g) 1.
   | Be_tree.Minus _ ->
       (* MINUS only removes rows; neutral for sibling products. *)
       1.
 
-and group_card env (g : Be_tree.group) =
-  List.fold_left (fun acc node -> acc *. node_card env node) 1. g.children
+and group_card ?feedback env (g : Be_tree.group) =
+  List.fold_left (fun acc node -> acc *. node_card ?feedback env node) 1. g.children
+
+(* The OPTIONAL child under candidate pruning: the left side's join-column
+   bindings are pushed into the subtree as a semijoin prefilter, so every
+   surviving child row must agree with some left row on a universally
+   bound column — the child's effective size is bounded by the left
+   side's, not its standalone cardinality. min(child, left) is that bound
+   under the key-like-join-column assumption; the unfiltered child card
+   still applies when the left side is the larger of the two. *)
+let optional_card ?feedback env ~left_card (g : Be_tree.group) =
+  let child = group_card ?feedback env g in
+  Float.max 1. (Float.min child (Float.max left_card 1.))
 
 let f_and args = List.fold_left ( *. ) 1. args
 let f_union args = List.fold_left ( +. ) 0. args
 let f_optional left right = left *. right
 
-let level_cost env (g : Be_tree.group) =
+let level_cost ?(pruned = false) ?feedback env (g : Be_tree.group) =
   let children = Array.of_list g.children in
-  let cards = Array.map (node_card env) children in
+  let cards = Array.map (node_card ?feedback env) children in
   let n = Array.length children in
   (* Prefix/suffix products give res(l(·)) and res(r(·)) cheaply. *)
   let left = Array.make (n + 1) 1. in
@@ -51,24 +68,32 @@ let level_cost env (g : Be_tree.group) =
             !total +. bgp_cost env b
             +. f_and [ cards.(i); left.(i); right.(i + 1) ]
       | Be_tree.Union gs ->
-          total := !total +. f_union (List.map (group_card env) gs)
+          total := !total +. f_union (List.map (group_card ?feedback env) gs)
       | Be_tree.Optional inner | Be_tree.Minus inner ->
-          (* The left pattern is everything to the node's left. *)
-          total := !total +. f_optional left.(i) (group_card env inner)
+          (* The left pattern is everything to the node's left. With
+             candidate pruning active, the child is priced as prefiltered
+             by that left side, not standalone. *)
+          let child =
+            if pruned then optional_card ?feedback env ~left_card:left.(i) inner
+            else group_card ?feedback env inner
+          in
+          total := !total +. f_optional left.(i) child
       | Be_tree.Values _ | Be_tree.Group _ -> ())
     children;
   !total
 
-let two_level_cost env (g : Be_tree.group) =
+let two_level_cost ?pruned ?feedback env (g : Be_tree.group) =
   let sub_costs =
     List.fold_left
       (fun acc node ->
         match node with
         | Be_tree.Bgp _ | Be_tree.Values _ -> acc
         | Be_tree.Group inner | Be_tree.Optional inner | Be_tree.Minus inner ->
-            acc +. level_cost env inner
+            acc +. level_cost ?pruned ?feedback env inner
         | Be_tree.Union gs ->
-            List.fold_left (fun acc g -> acc +. level_cost env g) acc gs)
+            List.fold_left
+              (fun acc g -> acc +. level_cost ?pruned ?feedback env g)
+              acc gs)
       0. g.children
   in
-  level_cost env g +. sub_costs
+  level_cost ?pruned ?feedback env g +. sub_costs

@@ -12,7 +12,11 @@
     Δ-cost of a transformation (Equations 4 and 8) is obtained by
     evaluating {!two_level_cost} on the group before and after — the
     affected terms are exactly the ones that differ, so unaffected terms
-    cancel. *)
+    cancel.
+
+    Every estimate accepts an optional {!Feedback.t}: BGPs that have been
+    executed before are priced at their observed cardinality instead of
+    the sampled estimate (the adaptive-execution loop). *)
 
 type env = Engine.Bgp_eval.t
 
@@ -20,24 +24,39 @@ type env = Engine.Bgp_eval.t
     5.1.2). The empty BGP costs 0. *)
 val bgp_cost : env -> Engine.Bgp.t -> float
 
-(** [bgp_card env b] — |res(B)|. The empty BGP has cardinality 1. *)
-val bgp_card : env -> Engine.Bgp.t -> float
+(** [bgp_card ?feedback env b] — |res(B)|: the observed cardinality when
+    [feedback] holds one for [b], otherwise the engine's sampled
+    estimate. The empty BGP has cardinality 1. *)
+val bgp_card : ?feedback:Feedback.t -> env -> Engine.Bgp.t -> float
 
-(** [node_card env node] — estimated result size of a BE-tree node:
-    BGPs from the engine's estimator, groups as products of their
-    children, UNIONs as sums of their branches, OPTIONALs as
-    [max(card, 1)] of their child (the left side is always retained). *)
-val node_card : env -> Be_tree.node -> float
+(** [node_card ?feedback env node] — estimated result size of a BE-tree
+    node: BGPs from {!bgp_card}, groups as products of their children,
+    UNIONs as sums of their branches, OPTIONALs as [max(card, 1)] of
+    their child (the left side is always retained). *)
+val node_card : ?feedback:Feedback.t -> env -> Be_tree.node -> float
 
-val group_card : env -> Be_tree.group -> float
+val group_card : ?feedback:Feedback.t -> env -> Be_tree.group -> float
 
-(** [level_cost env g] — the cost terms local to one level: BGP costs of
-    BGP children, [f_AND] terms of each BGP child against its siblings,
-    [f_UNION] of each UNION child and [f_OPTIONAL] of each OPTIONAL
-    child. *)
-val level_cost : env -> Be_tree.group -> float
+(** [optional_card ?feedback env ~left_card g] — the OPTIONAL child [g]
+    priced as candidate-pruned: the left side's universally bound
+    join-column bindings are pushed into the subtree as a semijoin
+    prefilter, so the child's effective cardinality is bounded by
+    [min(group_card g, left_card)] (never below 1). This is the estimate
+    the adaptive executor reports per OPTIONAL node; the unfiltered
+    {!group_card} is what Base/TT pay. *)
+val optional_card :
+  ?feedback:Feedback.t -> env -> left_card:float -> Be_tree.group -> float
 
-(** [two_level_cost env g] — {!level_cost} of [g] plus the level costs of
-    the groups directly under [g]'s UNION/OPTIONAL/group children: the
-    scope a single merge or inject transformation can affect. *)
-val two_level_cost : env -> Be_tree.group -> float
+(** [level_cost ?pruned ?feedback env g] — the cost terms local to one
+    level: BGP costs of BGP children, [f_AND] terms of each BGP child
+    against its siblings, [f_UNION] of each UNION child and [f_OPTIONAL]
+    of each OPTIONAL child. With [pruned] (candidate pruning active, i.e.
+    CP/Full execution), OPTIONAL/MINUS children are priced by
+    {!optional_card} instead of their standalone cardinality. *)
+val level_cost : ?pruned:bool -> ?feedback:Feedback.t -> env -> Be_tree.group -> float
+
+(** [two_level_cost ?pruned ?feedback env g] — {!level_cost} of [g] plus
+    the level costs of the groups directly under [g]'s
+    UNION/OPTIONAL/group children: the scope a single merge or inject
+    transformation can affect. *)
+val two_level_cost : ?pruned:bool -> ?feedback:Feedback.t -> env -> Be_tree.group -> float

@@ -1,5 +1,18 @@
 type threshold = No_pruning | Fixed of int | Adaptive
 
+(* One executed BE-tree node, as the adaptive layer saw it: the
+   cost-model estimate it started from, the rows it actually produced,
+   and the engine that ran it ("wco" / "hash", "lbr" when a sideways
+   bitset prefilter was forced in, "skip" when an empty left side
+   short-circuited the node, "-" for non-BGP operators). *)
+type node_report = {
+  label : string;
+  engine : string;
+  est_rows : float;
+  actual_rows : int;
+  replanned : bool;
+}
+
 type stats = {
   join_space : float;
   peak_rows : int;
@@ -8,16 +21,25 @@ type stats = {
   pruned_bgps : int;
   isect : Engine.Intersect.counters;
   stages : Sparql.Sink.stage list;
+  nodes : node_report list;
+  replans : int;
+  prefilter : Engine.Candidates.counters;
 }
 
 (* The running counters are atomics: parallel UNION branches update them
-   from worker domains. *)
+   from worker domains. [nodes] is a mutex-protected list for the same
+   reason. *)
 type state = {
   env : Engine.Bgp_eval.t;
   threshold : threshold;
+  adaptive : bool;
+  feedback : Feedback.t option;
   peak_rows : int Atomic.t;
   bgp_evals : int Atomic.t;
   pruned_bgps : int Atomic.t;
+  replans : int Atomic.t;
+  nodes : node_report list ref;
+  nodes_mutex : Mutex.t;
 }
 
 let atomic_max cell v =
@@ -28,6 +50,33 @@ let atomic_max cell v =
   go ()
 
 let observe st bag = atomic_max st.peak_rows (Sparql.Bag.length bag)
+
+(* Mid-query re-planning threshold: an estimate off from the observed
+   cardinality by at least this factor (either direction) marks the node
+   replanned — its observation is already in the feedback cache, so every
+   later admission / engine decision in this query, and the next
+   execution's plan, start from the corrected number. *)
+let replan_factor = 10.
+
+let deviation ~est ~actual =
+  let est = Float.max est 1. in
+  let actual = Float.max (float_of_int actual) 1. in
+  Float.max (est /. actual) (actual /. est)
+
+let record_node st report =
+  if st.adaptive then begin
+    Mutex.lock st.nodes_mutex;
+    st.nodes := report :: !(st.nodes);
+    Mutex.unlock st.nodes_mutex
+  end
+
+let node_label = function
+  | Be_tree.Bgp b -> Printf.sprintf "bgp{%d}" (List.length b)
+  | Be_tree.Group _ -> "group"
+  | Be_tree.Union gs -> Printf.sprintf "union{%d}" (List.length gs)
+  | Be_tree.Values _ -> "values"
+  | Be_tree.Optional _ -> "optional"
+  | Be_tree.Minus _ -> "minus"
 
 (* Variable columns used anywhere below a node — candidate sets are only
    built for columns the subtree can actually prune on. *)
@@ -79,11 +128,40 @@ let candidates_from st outer r node =
           end)
         outer universal
 
+(* Sideways (forced) prefilters skip the threshold's 2x margin, but not
+   cost sanity entirely: a set several times larger than the result it
+   would filter can only add membership tests (and, worse, bait the WCO
+   seed heuristic into per-candidate index probes), so forced admission
+   is capped at [forced_slack] times the feedback-corrected estimate. *)
+let forced_slack = 4.
+
 (* Apply the threshold rule of Section 6: a candidate set reaches the BGP
-   only when smaller than the threshold. *)
-let admit_candidates st cands patterns =
+   only when smaller than the threshold. [forced] columns relax the rule
+   — they are the sideways bitset prefilters the adaptive layer pushes
+   into OPTIONAL/MINUS subtrees, where skipping rows that cannot join is
+   usually worth the membership tests. *)
+let admit_candidates st cands ~forced patterns =
+  let cols = node_columns st (Be_tree.Bgp patterns) in
+  let estimate =
+    if forced <> [] || st.threshold = Adaptive then
+      Cost_model.bgp_card ?feedback:st.feedback st.env patterns
+    else infinity
+  in
+  let force_admitted =
+    List.fold_left
+      (fun acc col ->
+        if not (List.mem col cols) then acc
+        else
+          match Engine.Candidates.find cands ~col with
+          | Some s
+            when float_of_int (Engine.Candidates.cardinal s)
+                 < forced_slack *. estimate ->
+              Engine.Candidates.set acc ~col s
+          | _ -> acc)
+      Engine.Candidates.empty forced
+  in
   match st.threshold with
-  | No_pruning -> Engine.Candidates.empty
+  | No_pruning -> force_admitted
   | Fixed limit ->
       List.fold_left
         (fun acc col ->
@@ -91,14 +169,15 @@ let admit_candidates st cands patterns =
           | Some values when Engine.Candidates.cardinal values < limit ->
               Engine.Candidates.set acc ~col values
           | _ -> acc)
-        Engine.Candidates.empty
-        (node_columns st (Be_tree.Bgp patterns))
+        force_admitted cols
   | Adaptive ->
       (* Demand a margin below the estimated BGP result size: a candidate
          set about as large as the result it would prune only adds
          membership-test overhead (Section 6's "smaller candidate result
-         size also reduces the overhead"). *)
-      let estimate = Engine.Bgp_eval.estimate_card st.env patterns in
+         size also reduces the overhead"). The estimate is
+         feedback-corrected, so a BGP observed smaller than sampled
+         admits fewer (and an underestimated one more) sets on
+         re-execution. *)
       List.fold_left
         (fun acc col ->
           match Engine.Candidates.find cands ~col with
@@ -107,21 +186,72 @@ let admit_candidates st cands patterns =
                  < estimate ->
               Engine.Candidates.set acc ~col values
           | _ -> acc)
-        Engine.Candidates.empty
-        (node_columns st (Be_tree.Bgp patterns))
+        force_admitted cols
 
-let eval_bgp st patterns ~cands =
+(* Per-node engine selection: adaptive execution compares the plan's
+   engine-specific cost estimates per BGP instead of taking the context's
+   engine for every node. The memoized plan carries both costs, so the
+   choice is free. A BGP that admitted candidate sets always runs WCO:
+   only that path consumes the sets as seeded lookups or intersection
+   operands (the costs compared below model neither), while every other
+   engine degrades them to per-row membership tests over the full scan. *)
+let choose_engine st patterns ~pruned =
+  if not st.adaptive then Engine.Bgp_eval.engine st.env
+  else if pruned then Engine.Bgp_eval.Wco
+  else
+    let plan = Engine.Bgp_eval.plan st.env patterns in
+    if plan.Engine.Planner.cost_wco <= plan.Engine.Planner.cost_hash then
+      Engine.Bgp_eval.Wco
+    else Engine.Bgp_eval.Hash_join
+
+(* Observed-cardinality bookkeeping after a BGP ran. Only unpruned
+   evaluations feed the cache: a prefiltered BGP's output is not the
+   standalone |res(B)| the estimates model. The estimate is read before
+   recording, so the deviation compares against what the planner (plus
+   any earlier feedback) believed going in. *)
+let note_bgp st patterns ~admitted ~forced ~engine ~pruned ~actual =
+  if st.adaptive then begin
+    let est = Cost_model.bgp_card ?feedback:st.feedback st.env patterns in
+    if not pruned then
+      Option.iter
+        (fun fb -> Feedback.record fb patterns ~rows:actual)
+        st.feedback;
+    let replanned =
+      (not pruned) && deviation ~est ~actual >= replan_factor
+    in
+    if replanned then Atomic.incr st.replans;
+    let lbr =
+      List.exists
+        (fun col -> Option.is_some (Engine.Candidates.find admitted ~col))
+        forced
+    in
+    record_node st
+      {
+        label = Printf.sprintf "bgp{%d}" (List.length patterns);
+        engine = (if lbr then "lbr" else Engine.Bgp_eval.engine_name engine);
+        est_rows = est;
+        actual_rows = actual;
+        replanned;
+      }
+  end
+
+let eval_bgp st patterns ~cands ~forced =
   let width = Engine.Bgp_eval.width st.env in
   match patterns with
   | [] -> (Sparql.Bag.unit ~width, 1.)
   | _ ->
-      let admitted = admit_candidates st cands patterns in
+      let admitted = admit_candidates st cands ~forced patterns in
       Atomic.incr st.bgp_evals;
-      if not (Engine.Candidates.is_empty admitted) then
-        Atomic.incr st.pruned_bgps;
-      let bag = Engine.Bgp_eval.eval st.env patterns ~candidates:admitted in
+      let pruned = not (Engine.Candidates.is_empty admitted) in
+      if pruned then Atomic.incr st.pruned_bgps;
+      let engine = choose_engine st patterns ~pruned in
+      let bag =
+        Engine.Bgp_eval.eval_with st.env ~engine patterns ~candidates:admitted
+      in
       observe st bag;
-      (bag, float_of_int (Sparql.Bag.length bag))
+      let actual = Sparql.Bag.length bag in
+      note_bgp st patterns ~admitted ~forced ~engine ~pruned ~actual;
+      (bag, float_of_int actual)
 
 (* Parallel-UNION safety check: materializing a VALUES block interns its
    constants in the store dictionary — the one write to shared store state
@@ -188,10 +318,14 @@ let rec exists_check st row group =
   in
   let tree = Be_tree.of_ast substituted in
   let sub_state =
-    { env; threshold = No_pruning; peak_rows = Atomic.make 0;
-      bgp_evals = Atomic.make 0; pruned_bgps = Atomic.make 0 }
+    { env; threshold = No_pruning; adaptive = false; feedback = None;
+      peak_rows = Atomic.make 0; bgp_evals = Atomic.make 0;
+      pruned_bgps = Atomic.make 0; replans = Atomic.make 0;
+      nodes = ref []; nodes_mutex = Mutex.create () }
   in
-  let bag, _ = eval_group sub_state tree ~cands:Engine.Candidates.empty in
+  let bag, _ =
+    eval_group sub_state tree ~cands:Engine.Candidates.empty ~forced:[]
+  in
   not (Sparql.Bag.is_empty bag)
 
 (* Materialize a VALUES block as a bag; constants are interned in the
@@ -227,7 +361,7 @@ and values_bag st (block : Sparql.Ast.values_block) =
    the serial path; nested parallelism inside a branch (a WCO step or a
    probe-side fan-out) seeds its own job into the shared scheduler, so
    idle domains help with inner morsels instead of sitting out. *)
-and eval_union_branches st branches ~cands =
+and eval_union_branches st branches ~cands ~forced =
   match Engine.Bgp_eval.pool st.env with
   | Some pool
     when List.length branches > 1
@@ -235,81 +369,132 @@ and eval_union_branches st branches ~cands =
       let arr = Array.of_list branches in
       Array.to_list
         (Engine.Pool.parallel_map pool ~morsel:1 ~lo:0 ~hi:(Array.length arr)
-           (fun i -> eval_group st arr.(i) ~cands))
-  | _ -> List.map (fun branch -> eval_group st branch ~cands) branches
+           (fun i -> eval_group st arr.(i) ~cands ~forced))
+  | _ -> List.map (fun branch -> eval_group st branch ~cands ~forced) branches
+
+(* The sideways columns forced into an OPTIONAL/MINUS subtree: every
+   column of the (already soundness-restricted) candidate map. The
+   restriction to left-universal columns has happened by the time this is
+   called, and recursion re-derives the set at each inner boundary, so a
+   forced column never outlives the scope where pruning on it is sound. *)
+and forced_for st pass_down ~forced ~left_universal =
+  if st.adaptive then Engine.Candidates.columns pass_down
+  else List.filter (fun c -> List.mem c left_universal) forced
 
 (* One child of Algorithm 1's fold: combine [node]'s solutions into the
-   running result [r] (with [js] the join-space product so far). *)
-and eval_child st ~cands (r, js) node : Sparql.Bag.t option * float =
-  let width = Engine.Bgp_eval.width st.env in
-  let current () = Option.value r ~default:(Sparql.Bag.unit ~width) in
-  let pass_down = candidates_from st cands r node in
-  match node with
-  | Be_tree.Bgp patterns ->
-      let bag, bgp_js = eval_bgp st patterns ~cands:pass_down in
-      let joined =
-        match r with None -> bag | Some r0 -> Sparql.Bag.join r0 bag
-      in
-      observe st joined;
-      (Some joined, js *. bgp_js)
-  | Be_tree.Group inner ->
-      let bag, inner_js = eval_group st inner ~cands:pass_down in
-      let joined =
-        match r with None -> bag | Some r0 -> Sparql.Bag.join r0 bag
-      in
-      observe st joined;
-      (Some joined, js *. inner_js)
-  | Be_tree.Union branches ->
-      let u = ref (Sparql.Bag.create ~width) in
-      let union_js = ref 0. in
-      List.iter
-        (fun (bag, branch_js) ->
-          union_js := !union_js +. branch_js;
-          u := Sparql.Bag.union !u bag)
-        (eval_union_branches st branches ~cands:pass_down);
-      observe st !u;
-      let joined =
-        match r with None -> !u | Some r0 -> Sparql.Bag.join r0 !u
-      in
-      observe st joined;
-      (Some joined, js *. !union_js)
-  | Be_tree.Values block ->
-      let bag = values_bag st block in
-      let vjs = float_of_int (Sparql.Bag.length bag) in
-      let joined =
-        match r with None -> bag | Some r0 -> Sparql.Bag.join r0 bag
-      in
-      observe st joined;
-      (Some joined, js *. vjs)
-  | Be_tree.Optional inner | Be_tree.Minus inner ->
-      (* Soundness: only columns universally bound by the left side
-         (the current result) may prune the right side — pruning any
-         other column could flip an extension into a spuriously
-         surviving unextended row (OPTIONAL), or resurrect a row its
-         excluder would have removed (MINUS). *)
-      let left_universal =
-        match r with
-        | None -> []
-        | Some bag -> Sparql.Bag.universal_columns bag
-      in
-      let pass_down =
-        Engine.Candidates.restrict pass_down ~cols:left_universal
-      in
-      let bag, inner_js = eval_group st inner ~cands:pass_down in
-      let combined =
-        match node with
-        | Be_tree.Optional _ -> Sparql.Bag.left_outer_join (current ()) bag
-        | _ -> Sparql.Bag.sparql_minus (current ()) bag
-      in
-      observe st combined;
-      (Some combined, js *. Float.max inner_js 1.)
+   running result [r] (with [js] the join-space product so far). With
+   adaptive execution, an empty running result short-circuits the rest of
+   the level: every combination form (join, OPTIONAL, MINUS, UNION-join)
+   over an empty left side is empty, so the remaining children are
+   skipped — the degenerate but common mid-query re-plan. *)
+and eval_child st ~cands ~forced (r, js) node : Sparql.Bag.t option * float =
+  match r with
+  | Some bag when st.adaptive && Sparql.Bag.is_empty bag ->
+      record_node st
+        {
+          label = node_label node;
+          engine = "skip";
+          est_rows = Cost_model.node_card ?feedback:st.feedback st.env node;
+          actual_rows = 0;
+          replanned = false;
+        };
+      (r, js)
+  | _ -> (
+      let width = Engine.Bgp_eval.width st.env in
+      let current () = Option.value r ~default:(Sparql.Bag.unit ~width) in
+      let pass_down = candidates_from st cands r node in
+      match node with
+      | Be_tree.Bgp patterns ->
+          let bag, bgp_js = eval_bgp st patterns ~cands:pass_down ~forced in
+          let joined =
+            match r with None -> bag | Some r0 -> Sparql.Bag.join r0 bag
+          in
+          observe st joined;
+          (Some joined, js *. bgp_js)
+      | Be_tree.Group inner ->
+          let bag, inner_js = eval_group st inner ~cands:pass_down ~forced in
+          let joined =
+            match r with None -> bag | Some r0 -> Sparql.Bag.join r0 bag
+          in
+          observe st joined;
+          (Some joined, js *. inner_js)
+      | Be_tree.Union branches ->
+          let u = ref (Sparql.Bag.create ~width) in
+          let union_js = ref 0. in
+          List.iter
+            (fun (bag, branch_js) ->
+              union_js := !union_js +. branch_js;
+              u := Sparql.Bag.union !u bag)
+            (eval_union_branches st branches ~cands:pass_down ~forced);
+          observe st !u;
+          record_node st
+            {
+              label = node_label node;
+              engine = "-";
+              est_rows = Cost_model.node_card ?feedback:st.feedback st.env node;
+              actual_rows = Sparql.Bag.length !u;
+              replanned = false;
+            };
+          let joined =
+            match r with None -> !u | Some r0 -> Sparql.Bag.join r0 !u
+          in
+          observe st joined;
+          (Some joined, js *. !union_js)
+      | Be_tree.Values block ->
+          let bag = values_bag st block in
+          let vjs = float_of_int (Sparql.Bag.length bag) in
+          let joined =
+            match r with None -> bag | Some r0 -> Sparql.Bag.join r0 bag
+          in
+          observe st joined;
+          (Some joined, js *. vjs)
+      | Be_tree.Optional inner | Be_tree.Minus inner ->
+          (* Soundness: only columns universally bound by the left side
+             (the current result) may prune the right side — pruning any
+             other column could flip an extension into a spuriously
+             surviving unextended row (OPTIONAL), or resurrect a row its
+             excluder would have removed (MINUS). *)
+          let left_universal =
+            match r with
+            | None -> []
+            | Some bag -> Sparql.Bag.universal_columns bag
+          in
+          let pass_down =
+            Engine.Candidates.restrict pass_down ~cols:left_universal
+          in
+          let forced = forced_for st pass_down ~forced ~left_universal in
+          let bag, inner_js = eval_group st inner ~cands:pass_down ~forced in
+          let left_card =
+            match r with
+            | None -> 1.
+            | Some bag -> float_of_int (Sparql.Bag.length bag)
+          in
+          record_node st
+            {
+              label = node_label node;
+              engine = "-";
+              est_rows =
+                Cost_model.optional_card ?feedback:st.feedback st.env
+                  ~left_card inner;
+              actual_rows = Sparql.Bag.length bag;
+              replanned = false;
+            };
+          let combined =
+            match node with
+            | Be_tree.Optional _ -> Sparql.Bag.left_outer_join (current ()) bag
+            | _ -> Sparql.Bag.sparql_minus (current ()) bag
+          in
+          observe st combined;
+          (Some combined, js *. Float.max inner_js 1.))
 
 (* Algorithm 1, with candidate pruning (the [cands] argument is the paper's
    third argument to BGPBasedEvaluation). Returns the bag and the node's
    contribution to the join space. *)
-and eval_group st (g : Be_tree.group) ~cands : Sparql.Bag.t * float =
+and eval_group st (g : Be_tree.group) ~cands ~forced : Sparql.Bag.t * float =
   let width = Engine.Bgp_eval.width st.env in
-  let r, js = List.fold_left (eval_child st ~cands) (None, 1.) g.children in
+  let r, js =
+    List.fold_left (eval_child st ~cands ~forced) (None, 1.) g.children
+  in
   let result = Option.value r ~default:(Sparql.Bag.unit ~width) in
   let result =
     List.fold_left
@@ -333,7 +518,7 @@ and eval_group st (g : Be_tree.group) ~cands : Sparql.Bag.t * float =
    the BGP cardinality feeding [join_space] is recovered from a counting
    stage (equal to the materialized length when the pipeline runs to
    completion, partial under an early Stop). *)
-and eval_group_into st (g : Be_tree.group) ~cands ~sink : float =
+and eval_group_into st (g : Be_tree.group) ~cands ~forced ~sink : float =
   let width = Engine.Bgp_eval.width st.env in
   let sink =
     List.fold_left
@@ -353,84 +538,135 @@ and eval_group_into st (g : Be_tree.group) ~cands ~sink : float =
       1.
   | last :: rev_prefix ->
       let r, js =
-        List.fold_left (eval_child st ~cands) (None, 1.) (List.rev rev_prefix)
+        List.fold_left
+          (eval_child st ~cands ~forced)
+          (None, 1.) (List.rev rev_prefix)
       in
       let current () = Option.value r ~default:(Sparql.Bag.unit ~width) in
       let pass_down = candidates_from st cands r last in
-      (match last with
-      | Be_tree.Bgp [] -> (
-          match r with
-          | None ->
-              Sparql.Bag.emit_accounted sink (Sparql.Binding.create ~width);
-              js
-          | Some r0 ->
-              Sparql.Bag.replay r0 ~sink;
-              js)
-      | Be_tree.Bgp patterns -> (
-          match r with
-          | None ->
-              let admitted = admit_candidates st pass_down patterns in
-              Atomic.incr st.bgp_evals;
-              if not (Engine.Candidates.is_empty admitted) then
-                Atomic.incr st.pruned_bgps;
-              let counted, stage = Sparql.Sink.counted ~name:"bgp" sink in
-              Engine.Bgp_eval.eval_into st.env patterns ~candidates:admitted
-                ~sink:counted;
-              js *. float_of_int stage.Sparql.Sink.rows_in
-          | Some r0 ->
-              let bag, bgp_js = eval_bgp st patterns ~cands:pass_down in
-              Sparql.Bag.join_into r0 bag ~sink;
-              js *. bgp_js)
-      | Be_tree.Group inner -> (
-          match r with
-          | None -> js *. eval_group_into st inner ~cands:pass_down ~sink
-          | Some r0 ->
-              let bag, inner_js = eval_group st inner ~cands:pass_down in
-              Sparql.Bag.join_into r0 bag ~sink;
-              js *. inner_js)
-      | Be_tree.Union branches ->
-          let results = eval_union_branches st branches ~cands:pass_down in
-          let union_js =
-            List.fold_left (fun acc (_, bjs) -> acc +. bjs) 0. results
-          in
-          (match r with
-          | None ->
-              List.iter (fun (bag, _) -> Sparql.Bag.replay bag ~sink) results
-          | Some r0 ->
-              let u =
-                List.fold_left
-                  (fun acc (bag, _) -> Sparql.Bag.union acc bag)
-                  (Sparql.Bag.create ~width) results
+      (match r with
+      | Some bag when st.adaptive && Sparql.Bag.is_empty bag ->
+          (* Same short-circuit as [eval_child]: every combination form
+             over an empty left side emits nothing. *)
+          record_node st
+            {
+              label = node_label last;
+              engine = "skip";
+              est_rows = Cost_model.node_card ?feedback:st.feedback st.env last;
+              actual_rows = 0;
+              replanned = false;
+            };
+          js
+      | _ -> (
+          match last with
+          | Be_tree.Bgp [] -> (
+              match r with
+              | None ->
+                  Sparql.Bag.emit_accounted sink (Sparql.Binding.create ~width);
+                  js
+              | Some r0 ->
+                  Sparql.Bag.replay r0 ~sink;
+                  js)
+          | Be_tree.Bgp patterns -> (
+              match r with
+              | None ->
+                  let admitted =
+                    admit_candidates st pass_down ~forced patterns
+                  in
+                  Atomic.incr st.bgp_evals;
+                  let pruned = not (Engine.Candidates.is_empty admitted) in
+                  if pruned then Atomic.incr st.pruned_bgps;
+                  let engine = choose_engine st patterns ~pruned in
+                  let counted, stage = Sparql.Sink.counted ~name:"bgp" sink in
+                  Engine.Bgp_eval.eval_into_with st.env ~engine patterns
+                    ~candidates:admitted ~sink:counted;
+                  (* Only reached when the pipeline ran to completion (an
+                     early [Stop] unwinds past this point), so the count
+                     is the full cardinality and safe to feed back. *)
+                  note_bgp st patterns ~admitted ~forced ~engine ~pruned
+                    ~actual:stage.Sparql.Sink.rows_in;
+                  js *. float_of_int stage.Sparql.Sink.rows_in
+              | Some r0 ->
+                  let bag, bgp_js =
+                    eval_bgp st patterns ~cands:pass_down ~forced
+                  in
+                  Sparql.Bag.join_into r0 bag ~sink;
+                  js *. bgp_js)
+          | Be_tree.Group inner -> (
+              match r with
+              | None -> js *. eval_group_into st inner ~cands:pass_down ~forced ~sink
+              | Some r0 ->
+                  let bag, inner_js =
+                    eval_group st inner ~cands:pass_down ~forced
+                  in
+                  Sparql.Bag.join_into r0 bag ~sink;
+                  js *. inner_js)
+          | Be_tree.Union branches ->
+              let results =
+                eval_union_branches st branches ~cands:pass_down ~forced
               in
-              observe st u;
-              Sparql.Bag.join_into r0 u ~sink);
-          js *. union_js
-      | Be_tree.Values block ->
-          let bag = values_bag st block in
-          let vjs = float_of_int (Sparql.Bag.length bag) in
-          (match r with
-          | None -> Sparql.Bag.replay bag ~sink
-          | Some r0 -> Sparql.Bag.join_into r0 bag ~sink);
-          js *. vjs
-      | Be_tree.Optional inner | Be_tree.Minus inner ->
-          let left_universal =
-            match r with
-            | None -> []
-            | Some bag -> Sparql.Bag.universal_columns bag
-          in
-          let pass_down =
-            Engine.Candidates.restrict pass_down ~cols:left_universal
-          in
-          let bag, inner_js = eval_group st inner ~cands:pass_down in
-          (match last with
-          | Be_tree.Optional _ ->
-              Sparql.Bag.left_outer_join_into (current ()) bag ~sink
-          | _ -> Sparql.Bag.sparql_minus_into (current ()) bag ~sink);
-          js *. Float.max inner_js 1.)
+              let union_js =
+                List.fold_left (fun acc (_, bjs) -> acc +. bjs) 0. results
+              in
+              (match r with
+              | None ->
+                  List.iter
+                    (fun (bag, _) -> Sparql.Bag.replay bag ~sink)
+                    results
+              | Some r0 ->
+                  let u =
+                    List.fold_left
+                      (fun acc (bag, _) -> Sparql.Bag.union acc bag)
+                      (Sparql.Bag.create ~width) results
+                  in
+                  observe st u;
+                  Sparql.Bag.join_into r0 u ~sink);
+              js *. union_js
+          | Be_tree.Values block ->
+              let bag = values_bag st block in
+              let vjs = float_of_int (Sparql.Bag.length bag) in
+              (match r with
+              | None -> Sparql.Bag.replay bag ~sink
+              | Some r0 -> Sparql.Bag.join_into r0 bag ~sink);
+              js *. vjs
+          | Be_tree.Optional inner | Be_tree.Minus inner ->
+              let left_universal =
+                match r with
+                | None -> []
+                | Some bag -> Sparql.Bag.universal_columns bag
+              in
+              let pass_down =
+                Engine.Candidates.restrict pass_down ~cols:left_universal
+              in
+              let forced = forced_for st pass_down ~forced ~left_universal in
+              let bag, inner_js =
+                eval_group st inner ~cands:pass_down ~forced
+              in
+              let left_card =
+                match r with
+                | None -> 1.
+                | Some bag -> float_of_int (Sparql.Bag.length bag)
+              in
+              record_node st
+                {
+                  label = node_label last;
+                  engine = "-";
+                  est_rows =
+                    Cost_model.optional_card ?feedback:st.feedback st.env
+                      ~left_card inner;
+                  actual_rows = Sparql.Bag.length bag;
+                  replanned = false;
+                };
+              (match last with
+              | Be_tree.Optional _ ->
+                  Sparql.Bag.left_outer_join_into (current ()) bag ~sink
+              | _ -> Sparql.Bag.sparql_minus_into (current ()) bag ~sink);
+              js *. Float.max inner_js 1.))
 
-let make_state env ~threshold =
-  { env; threshold; peak_rows = Atomic.make 0; bgp_evals = Atomic.make 0;
-    pruned_bgps = Atomic.make 0 }
+let make_state env ~threshold ~adaptive ~feedback =
+  { env; threshold; adaptive; feedback; peak_rows = Atomic.make 0;
+    bgp_evals = Atomic.make 0; pruned_bgps = Atomic.make 0;
+    replans = Atomic.make 0; nodes = ref []; nodes_mutex = Mutex.create () }
 
 (* [total_rows] is the delta of the ambient governor ticket's produced-row
    counter across the evaluation (a snapshot, not a reset: the counter
@@ -445,22 +681,30 @@ let finish_stats st ~base_pushed ~join_space ~stages =
     pruned_bgps = Atomic.get st.pruned_bgps;
     isect = Engine.Intersect.read ();
     stages;
+    nodes = List.rev !(st.nodes);
+    replans = Atomic.get st.replans;
+    prefilter = Engine.Candidates.read_counters ();
   }
 
-let eval env ~threshold tree =
-  let st = make_state env ~threshold in
+let eval ?(adaptive = false) ?feedback env ~threshold tree =
+  let st = make_state env ~threshold ~adaptive ~feedback in
   let base_pushed = Sparql.Governor.pushed (Sparql.Governor.current ()) in
   Engine.Intersect.reset ();
-  let bag, join_space = eval_group st tree ~cands:Engine.Candidates.empty in
+  Engine.Candidates.reset_counters ();
+  let bag, join_space =
+    eval_group st tree ~cands:Engine.Candidates.empty ~forced:[]
+  in
   (bag, finish_stats st ~base_pushed ~join_space ~stages:[])
 
-let eval_into env ~threshold ~sink tree =
-  let st = make_state env ~threshold in
+let eval_into ?(adaptive = false) ?feedback env ~threshold ~sink tree =
+  let st = make_state env ~threshold ~adaptive ~feedback in
   let base_pushed = Sparql.Governor.pushed (Sparql.Governor.current ()) in
   Engine.Intersect.reset ();
+  Engine.Candidates.reset_counters ();
   let join_space = ref 1. in
   (try
-     join_space := eval_group_into st tree ~cands:Engine.Candidates.empty ~sink
+     join_space :=
+       eval_group_into st tree ~cands:Engine.Candidates.empty ~forced:[] ~sink
    with Sparql.Sink.Stop -> ());
   Sparql.Sink.close sink;
   finish_stats st ~base_pushed ~join_space:!join_space

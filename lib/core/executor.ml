@@ -26,6 +26,7 @@ type cache_info = Prepared.cache_info = {
 type report = Prepared.report = {
   mode : mode;
   engine : Engine.Bgp_eval.engine;
+  adaptive : bool;
   query : Sparql.Ast.query;
   vartable : Sparql.Vartable.t;
   projection : string list;
@@ -43,16 +44,16 @@ type report = Prepared.report = {
   cache : cache_info option;
 }
 
-let run_query ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
-    ?governor ?stats store (query : Sparql.Ast.query) =
+let run_query ?mode ?engine ?domains ?streaming ?adaptive ?feedback ?row_budget
+    ?timeout_ms ?partial ?governor ?stats store (query : Sparql.Ast.query) =
   let prepared = Prepared.prepare ?mode ?engine ?stats store query in
-  Prepared.execute ?domains ?streaming ?row_budget ?timeout_ms ?partial
-    ?governor prepared
+  Prepared.execute ?domains ?streaming ?adaptive ?feedback ?row_budget
+    ?timeout_ms ?partial ?governor prepared
 
-let run ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
-    ?governor ?stats store text =
-  run_query ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
-    ?governor ?stats store (Sparql.Parser.parse text)
+let run ?mode ?engine ?domains ?streaming ?adaptive ?feedback ?row_budget
+    ?timeout_ms ?partial ?governor ?stats store text =
+  run_query ?mode ?engine ?domains ?streaming ?adaptive ?feedback ?row_budget
+    ?timeout_ms ?partial ?governor ?stats store (Sparql.Parser.parse text)
 
 let solutions store report =
   match report.bag with
@@ -79,8 +80,9 @@ let solutions store report =
 let explain report =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    (Printf.sprintf "mode=%s engine=%s\n" (mode_name report.mode)
-       (Engine.Bgp_eval.engine_name report.engine));
+    (Printf.sprintf "mode=%s engine=%s%s\n" (mode_name report.mode)
+       (Engine.Bgp_eval.engine_name report.engine)
+       (if report.adaptive then " adaptive" else ""));
   Buffer.add_string buf "-- BE-tree (as constructed) --\n";
   Buffer.add_string buf (Be_tree.to_string report.tree_before);
   Buffer.add_string buf "\n-- BE-tree (after transformation) --\n";
@@ -125,6 +127,27 @@ let explain report =
               i.Engine.Intersect.intersections i.Engine.Intersect.operands
               i.Engine.Intersect.gallop_passes i.Engine.Intersect.merge_passes
               i.Engine.Intersect.domain_values));
+      (match stats.Evaluator.nodes with
+      | [] -> ()
+      | nodes ->
+          Buffer.add_string buf
+            "adaptive nodes (evaluation order):\n\
+            \  node        engine  est rows  actual rows\n";
+          List.iter
+            (fun (n : Evaluator.node_report) ->
+              Buffer.add_string buf
+                (Printf.sprintf "  %-11s %-7s %9.3g  %11d%s\n" n.Evaluator.label
+                   n.Evaluator.engine n.Evaluator.est_rows
+                   n.Evaluator.actual_rows
+                   (if n.Evaluator.replanned then "  [replanned: est off >=10x]"
+                    else "")))
+            nodes;
+          let pf = stats.Evaluator.prefilter in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "re-plans: %d; prefilter membership tests: %d (%d rejected)\n"
+               stats.Evaluator.replans pf.Engine.Candidates.checks
+               pf.Engine.Candidates.rejects));
       (match stats.Evaluator.stages with
       | [] -> ()
       | stages ->

@@ -42,6 +42,8 @@ type cache_info = Prepared.cache_info = {
 type report = Prepared.report = {
   mode : mode;
   engine : Engine.Bgp_eval.engine;
+  adaptive : bool;
+      (** whether the adaptive execution layer ran (Full mode only) *)
   query : Sparql.Ast.query;  (** the parsed query the report answers *)
   vartable : Sparql.Vartable.t;
   projection : string list;  (** variables the query projects *)
@@ -81,13 +83,20 @@ type report = Prepared.report = {
     the rows materialized before the kill are returned with the report's
     [partial] marker set. Each run executes under its own governor
     ticket ([governor] supplies one, e.g. to cancel from another domain),
-    so concurrent runs with different limits are isolated. Defaults:
-    [Full], [Wco], serial, unlimited. *)
+    so concurrent runs with different limits are isolated. [adaptive]
+    (default [true]) enables the adaptive execution layer in Full mode
+    (sideways bitset prefilters into OPTIONAL/MINUS subtrees, observed-
+    cardinality feedback into [feedback] when supplied, per-node engine
+    selection, re-plan marking on ≥10x estimate deviation);
+    [~adaptive:false] runs the paper's static Full configuration.
+    Defaults: [Full], [Wco], serial, unlimited. *)
 val run :
   ?mode:mode ->
   ?engine:Engine.Bgp_eval.engine ->
   ?domains:int ->
   ?streaming:bool ->
+  ?adaptive:bool ->
+  ?feedback:Feedback.t ->
   ?row_budget:int ->
   ?timeout_ms:float ->
   ?partial:bool ->
@@ -103,6 +112,8 @@ val run_query :
   ?engine:Engine.Bgp_eval.engine ->
   ?domains:int ->
   ?streaming:bool ->
+  ?adaptive:bool ->
+  ?feedback:Feedback.t ->
   ?row_budget:int ->
   ?timeout_ms:float ->
   ?partial:bool ->

@@ -21,6 +21,7 @@ type cache_info = { hit : bool; hits : int; misses : int }
 type report = {
   mode : mode;
   engine : Engine.Bgp_eval.engine;
+  adaptive : bool;
   query : Sparql.Ast.query;
   vartable : Sparql.Vartable.t;
   projection : string list;
@@ -97,21 +98,13 @@ let number_term f =
     Rdf.Term.int_literal (int_of_float f)
   else Rdf.Term.typed_literal (string_of_float f) ~datatype:Rdf.Term.xsd_double
 
-(* One aggregate over the rows of a group; [None] = unbound result (e.g.
-   SUM over non-numeric values, or MIN of an empty group). *)
-let compute_aggregate store vartable rows ~agg ~distinct ~target =
-  let values () =
-    match target with
-    | None -> []
-    | Some v -> (
-        match Sparql.Vartable.find vartable v with
-        | None -> []
-        | Some col ->
-            List.filter_map
-              (fun row ->
-                if Sparql.Binding.is_bound row col then Some row.(col) else None)
-              rows)
-  in
+(* One aggregate over a group, computed from the bound target-column ids
+   ([ids], in the same fold order the grouping pass produces: reverse
+   arrival) and the group's total row count; [None] = unbound result
+   (e.g. SUM over non-numeric values, or MIN of an empty group). Shared
+   by the materialized grouping pass and the streaming ungrouped sink, so
+   the two paths agree bit-for-bit (float summation order included). *)
+let compute_aggregate_ids store ~agg ~distinct ~target ~row_count ids =
   let maybe_distinct ids =
     if distinct then List.sort_uniq Int.compare ids else ids
   in
@@ -119,19 +112,17 @@ let compute_aggregate store vartable rows ~agg ~distinct ~target =
   | Sparql.Ast.Count ->
       let n =
         match target with
-        | None -> List.length rows
-        | Some _ -> List.length (maybe_distinct (values ()))
+        | None -> row_count
+        | Some _ -> List.length (maybe_distinct ids)
       in
       Some (Rdf.Term.int_literal n)
   | Sparql.Ast.Sample -> (
-      match values () with
+      match ids with
       | id :: _ -> Some (Rdf_store.Snapshot.decode_term store id)
       | [] -> None)
   | Sparql.Ast.Min | Sparql.Ast.Max -> (
       let terms =
-        List.map
-          (Rdf_store.Snapshot.decode_term store)
-          (maybe_distinct (values ()))
+        List.map (Rdf_store.Snapshot.decode_term store) (maybe_distinct ids)
       in
       let cmp t1 t2 =
         match (numeric_of_term t1, numeric_of_term t2) with
@@ -147,7 +138,7 @@ let compute_aggregate store vartable rows ~agg ~distinct ~target =
       | [] -> None
       | first :: rest -> Some (List.fold_left pick first rest))
   | Sparql.Ast.Sum | Sparql.Ast.Avg -> (
-      let ids = maybe_distinct (values ()) in
+      let ids = maybe_distinct ids in
       let numbers =
         List.map
           (fun id ->
@@ -163,6 +154,22 @@ let compute_aggregate store vartable rows ~agg ~distinct ~target =
         | _ ->
             if floats = [] then None
             else Some (number_term (total /. float_of_int (List.length floats))))
+
+let target_col vartable target =
+  Option.bind target (Sparql.Vartable.find vartable)
+
+let compute_aggregate store vartable rows ~agg ~distinct ~target =
+  let ids =
+    match target_col vartable target with
+    | None -> []
+    | Some col ->
+        List.filter_map
+          (fun row ->
+            if Sparql.Binding.is_bound row col then Some row.(col) else None)
+          rows
+  in
+  compute_aggregate_ids store ~agg ~distinct ~target
+    ~row_count:(List.length rows) ids
 
 (* Partition [bag] by the GROUP BY columns and emit one row per group:
    the keys plus one column per aggregate alias. *)
@@ -314,6 +321,54 @@ let modifier_sink store vartable (query : Sparql.Ast.query) ~width ~out =
             sink
       | _ -> Sparql.Sink.sort_all ~compare sink)
 
+(* The streaming ungrouped-aggregate sink: a SELECT COUNT / SUM / ...
+   without GROUP BY does not need the full result materialized — the
+   stage folds each streamed row into per-aggregate accumulators (a row
+   counter, plus one id list per targeted aggregate) and emits the single
+   aggregate row downstream at close. Accumulated ids are prepended, so
+   at flush they sit in reverse arrival order — exactly the fold order
+   [aggregate_bag] produces — and both paths share
+   [compute_aggregate_ids], making streaming ≡ materialized by
+   construction. *)
+let aggregate_sink store vartable ~width items inner =
+  let count = ref 0 in
+  let cells =
+    List.filter_map
+      (function
+        | Sparql.Ast.Aggregate { agg; distinct; target; alias } ->
+            Some (agg, distinct, target, alias, target_col vartable target, ref [])
+        | Sparql.Ast.Svar _ -> None)
+      items
+  in
+  let push row =
+    incr count;
+    List.iter
+      (fun (_, _, _, _, col, ids) ->
+        match col with
+        | Some col when Sparql.Binding.is_bound row col ->
+            ids := row.(col) :: !ids
+        | _ -> ())
+      cells
+  in
+  let dict = Rdf_store.Snapshot.dictionary store in
+  let flush emit =
+    let fresh = Sparql.Binding.create ~width in
+    List.iter
+      (fun (agg, distinct, target, alias, _, ids) ->
+        match
+          compute_aggregate_ids store ~agg ~distinct ~target ~row_count:!count
+            !ids
+        with
+        | Some term -> (
+            match Sparql.Vartable.find vartable alias with
+            | Some col -> fresh.(col) <- Rdf_store.Dictionary.encode dict term
+            | None -> ())
+        | None -> ())
+      cells;
+    emit fresh
+  in
+  Sparql.Sink.aggregate ~name:"aggregate" ~push ~flush inner
+
 (* --- The prepare phase --------------------------------------------------- *)
 
 (* Force plan construction (pattern compilation against the dictionary,
@@ -403,8 +458,9 @@ let ticket ?row_budget ?timeout_ms ?faults () =
   in
   Sparql.Governor.create ?row_budget ?deadline ?faults ()
 
-let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms
-    ?(partial = false) ?governor ?cache ?snapshot ?stats p =
+let execute ?(domains = 1) ?(streaming = true) ?(adaptive = true) ?feedback
+    ?row_budget ?timeout_ms ?(partial = false) ?governor ?cache ?snapshot
+    ?stats p =
   let query = p.p_query in
   let vartable = p.p_vartable in
   let env = Engine.Bgp_eval.with_domains p.env ~domains in
@@ -430,6 +486,10 @@ let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms
     | CP -> Evaluator.Fixed (fixed_threshold store)
     | Full -> Evaluator.Adaptive
   in
+  (* Adaptive execution (sideways prefilters, feedback, per-node engines)
+     only composes with Full-mode pruning: Base/TT/CP stay untouched as
+     the paper's baselines. *)
+  let adaptive = adaptive && p.p_mode = Full in
   (* Every execution runs under its own governor ticket (caller-supplied,
      so a session can cancel it from another domain, or built here from
      the budget/timeout knobs). Concurrent executions with different
@@ -455,6 +515,22 @@ let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms
     | _ -> false)
     || query.Sparql.Ast.group_by <> []
   in
+  (* The exception: an ungrouped, HAVING-free aggregate over pure
+     aggregate items needs only per-aggregate accumulators, not the
+     result — it streams through [aggregate_sink]. *)
+  let streamable_aggregate =
+    match query.form with
+    | Sparql.Ast.Select (Sparql.Ast.Aggregated items)
+      when query.Sparql.Ast.group_by = []
+           && query.Sparql.Ast.having = None
+           && List.for_all
+                (function
+                  | Sparql.Ast.Aggregate _ -> true
+                  | Sparql.Ast.Svar _ -> false)
+                items ->
+        Some items
+    | _ -> None
+  in
   (* The terminal bag of a streaming pipeline, captured so a killed run
      can surface the rows that fully traversed the modifier pipeline
      before the limit fired (exact prefix semantics for LIMIT-style
@@ -468,11 +544,29 @@ let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms
       let out = Sparql.Bag.create ~width in
       partial_out := Some out;
       let sink = modifier_sink store vartable query ~width ~out in
-      let stats = Evaluator.eval_into env ~threshold ~sink p.p_tree_after in
+      let stats =
+        Evaluator.eval_into ~adaptive ?feedback env ~threshold ~sink
+          p.p_tree_after
+      in
       (out, stats)
     end
-    else begin
-      let bag, stats = Evaluator.eval env ~threshold p.p_tree_after in
+    else
+      match streamable_aggregate with
+      | Some items when streaming ->
+          let out = Sparql.Bag.create ~width in
+          partial_out := Some out;
+          let sink = modifier_sink store vartable query ~width ~out in
+          let sink = aggregate_sink store vartable ~width items sink in
+          let stats =
+            Evaluator.eval_into ~adaptive ?feedback env ~threshold ~sink
+              p.p_tree_after
+          in
+          (out, stats)
+      | _ ->
+      begin
+      let bag, stats =
+        Evaluator.eval ~adaptive ?feedback env ~threshold p.p_tree_after
+      in
       let bag =
         match query.form with
         | Sparql.Ast.Select (Sparql.Ast.Aggregated items) ->
@@ -555,6 +649,7 @@ let execute ?(domains = 1) ?(streaming = true) ?row_budget ?timeout_ms
   {
     mode = p.p_mode;
     engine = p.p_engine;
+    adaptive;
     query;
     vartable;
     projection = p.p_projection;

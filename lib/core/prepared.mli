@@ -44,6 +44,10 @@ type cache_info = { hit : bool; hits : int; misses : int }
 type report = {
   mode : mode;
   engine : Engine.Bgp_eval.engine;
+  adaptive : bool;
+      (** whether the adaptive execution layer (sideways prefilters,
+          cardinality feedback, per-node engines) was active for this
+          run — only ever true in Full mode *)
   query : Sparql.Ast.query;  (** the parsed query the report answers *)
   vartable : Sparql.Vartable.t;
   projection : string list;  (** variables the query projects *)
@@ -131,10 +135,21 @@ val ticket :
     execution to a newer snapshot of the same lineage (the session's
     acquired view) — the shared plans are retargeted, not recompiled;
     [stats] supplies that snapshot's statistics (defaults to
-    {!Rdf_store.Stats.of_snapshot}). *)
+    {!Rdf_store.Stats.of_snapshot}).
+
+    [adaptive] (default [true]) enables the adaptive execution layer —
+    sideways bitset prefilters into OPTIONAL/MINUS subtrees, per-node
+    engine selection, and ≥10x-deviation re-plan marking — but only in
+    Full mode; Base/TT/CP always run the paper's static baselines.
+    [feedback] supplies the observed-cardinality cache consulted by (and
+    updated with) each unpruned BGP's actual row count; {!Session} keeps
+    one per cached plan so re-executions start from observed
+    cardinalities. *)
 val execute :
   ?domains:int ->
   ?streaming:bool ->
+  ?adaptive:bool ->
+  ?feedback:Feedback.t ->
   ?row_budget:int ->
   ?timeout_ms:float ->
   ?partial:bool ->

@@ -20,7 +20,17 @@
 
 type key = string * Prepared.mode * Engine.Bgp_eval.engine
 
-type entry = { prepared : Prepared.t; mutable last_used : int }
+(* Each cached plan owns its observed-cardinality cache: feedback
+   recorded by one execution primes the estimates of every later
+   execution of the same plan (the cross-execution half of the adaptive
+   loop). It lives and dies with the entry — eviction, staleness or
+   [invalidate] drop the observations along with the plan they
+   describe. *)
+type entry = {
+  prepared : Prepared.t;
+  feedback : Feedback.t;
+  mutable last_used : int;
+}
 
 type t = {
   mvcc : Rdf_store.Mvcc.t;
@@ -158,7 +168,8 @@ let prepare_locked t ~mode ~engine ~snap ~parse text =
   | Some entry ->
       t.hits <- t.hits + 1;
       touch t entry;
-      (entry.prepared, { Prepared.hit = true; hits = t.hits; misses = t.misses })
+      ( entry,
+        { Prepared.hit = true; hits = t.hits; misses = t.misses } )
   | None ->
       t.misses <- t.misses + 1;
       let stats = stats_for_locked t snap in
@@ -169,18 +180,30 @@ let prepare_locked t ~mode ~engine ~snap ~parse text =
       (* Chaos site: a kill here (before the insert) must leave the cache
          exactly as it was — the next run re-prepares and inserts. *)
       Sparql.Governor.failpoint "cache.insert";
-      let entry = { prepared; last_used = 0 } in
+      let entry = { prepared; feedback = Feedback.create (); last_used = 0 } in
       touch t entry;
       Hashtbl.replace t.table key entry;
-      (prepared, { Prepared.hit = false; hits = t.hits; misses = t.misses })
+      ( entry,
+        { Prepared.hit = false; hits = t.hits; misses = t.misses } )
 
 let prepare ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco) t text =
   let snap = snapshot t in
-  fst
-    (with_lock t (fun () ->
-         prepare_locked t ~mode ~engine ~snap
-           ~parse:(fun () -> Sparql.Parser.parse text)
-           text))
+  let entry, _ =
+    with_lock t (fun () ->
+        prepare_locked t ~mode ~engine ~snap
+          ~parse:(fun () -> Sparql.Parser.parse text)
+          text)
+  in
+  entry.prepared
+
+(* The feedback cache attached to a cached plan, when one is cached —
+   observability for tests and the bench harness (how many BGPs have
+   observed cardinalities after a run). *)
+let feedback ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco) t text =
+  with_lock t (fun () ->
+      Option.map
+        (fun entry -> entry.feedback)
+        (Hashtbl.find_opt t.table (text, mode, engine)))
 
 (* --- Governed execution --------------------------------------------------- *)
 
@@ -201,27 +224,27 @@ let cancel t =
    execution, the ticket is ambient for the prepare phase too (so the
    cache.insert failpoint is reachable) and registered with the session
    for the whole attempt, so [cancel] can reach it. *)
-let attempt ~mode ~engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
-    ~faults ~parse t text =
+let attempt ~mode ~engine ?domains ?streaming ?adaptive ?row_budget ?timeout_ms
+    ?partial ~faults ~parse t text =
   let gov = Prepared.ticket ?row_budget ?timeout_ms ~faults () in
   register t gov;
   Fun.protect
     ~finally:(fun () -> unregister t gov)
     (fun () ->
       let snap = snapshot t in
-      let prepared, cache, stats =
+      let entry, cache, stats =
         Governor.with_ticket gov (fun () ->
             with_lock t (fun () ->
-                let prepared, cache =
+                let entry, cache =
                   prepare_locked t ~mode ~engine ~snap ~parse text
                 in
-                (prepared, cache, stats_for_locked t snap)))
+                (entry, cache, stats_for_locked t snap)))
       in
-      Prepared.execute ?domains ?streaming ?partial ~governor:gov ~cache
-        ~snapshot:snap ~stats prepared)
+      Prepared.execute ?domains ?streaming ?adaptive ~feedback:entry.feedback
+        ?partial ~governor:gov ~cache ~snapshot:snap ~stats entry.prepared)
 
-let run_gen ~mode ~engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
-    ?(retries = 0) ?(faults = []) ~parse t text =
+let run_gen ~mode ~engine ?domains ?streaming ?adaptive ?row_budget ?timeout_ms
+    ?partial ?(retries = 0) ?(faults = []) ~parse t text =
   (* Bounded retry with a fresh ticket per attempt. Only transient
      failures retry (a cancellation is the caller's intent and must
      stick). Fault values are shared by reference across attempts, so a
@@ -232,8 +255,8 @@ let run_gen ~mode ~engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
   let rec go attempts_left =
     let outcome =
       match
-        attempt ~mode ~engine ?domains ?streaming ?row_budget ?timeout_ms
-          ?partial ~faults ~parse t text
+        attempt ~mode ~engine ?domains ?streaming ?adaptive ?row_budget
+          ?timeout_ms ?partial ~faults ~parse t text
       with
       | report -> Ok report
       | exception Governor.Kill f -> Error f
@@ -250,19 +273,20 @@ let run_gen ~mode ~engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
   go (max 0 retries)
 
 let run ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco) ?domains
-    ?streaming ?row_budget ?timeout_ms ?partial ?retries ?faults t text =
-  run_gen ~mode ~engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
-    ?retries ?faults
+    ?streaming ?adaptive ?row_budget ?timeout_ms ?partial ?retries ?faults t
+    text =
+  run_gen ~mode ~engine ?domains ?streaming ?adaptive ?row_budget ?timeout_ms
+    ?partial ?retries ?faults
     ~parse:(fun () -> Sparql.Parser.parse text)
     t text
 
 (* The update path: run an already-built query AST through the same
    cache and governance under a synthetic key (see {!Update_exec}). *)
 let run_query_ast ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco)
-    ?domains ?streaming ?row_budget ?timeout_ms ?partial ?retries ?faults t
-    ~key query =
-  run_gen ~mode ~engine ?domains ?streaming ?row_budget ?timeout_ms ?partial
-    ?retries ?faults
+    ?domains ?streaming ?adaptive ?row_budget ?timeout_ms ?partial ?retries
+    ?faults t ~key query =
+  run_gen ~mode ~engine ?domains ?streaming ?adaptive ?row_budget ?timeout_ms
+    ?partial ?retries ?faults
     ~parse:(fun () -> query)
     t key
 

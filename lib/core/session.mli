@@ -95,6 +95,20 @@ val prepare :
   string ->
   Prepared.t
 
+(** [feedback ?mode ?engine t text] — the observed-cardinality cache
+    attached to the cached plan for [(text, mode, engine)], if one is
+    currently cached. Each cached plan owns one: executions record each
+    unpruned BGP's actual row count into it, and later executions of the
+    same plan start their estimates (candidate admission, cost pricing)
+    from those observations. Dropped together with the plan on eviction,
+    staleness or {!invalidate}. *)
+val feedback :
+  ?mode:Prepared.mode ->
+  ?engine:Engine.Bgp_eval.engine ->
+  t ->
+  string ->
+  Feedback.t option
+
 (** [run ?mode ?engine ?domains ?streaming ?row_budget ?timeout_ms
     ?partial ?retries ?faults t text] — {!prepare} (through the cache)
     followed by {!Prepared.execute}, both against one snapshot pinned
@@ -116,12 +130,18 @@ val prepare :
     A kill during the {e prepare} phase (only injected faults fire
     there — the budget and deadline are execution-side) has no report
     to return: after retries are exhausted it escapes as
-    [Sparql.Governor.Kill]. *)
+    [Sparql.Governor.Kill].
+
+    [adaptive] (default [true]) controls the adaptive execution layer
+    (Full mode only — see {!Prepared.execute}); the run consults and
+    updates the cached plan's {!feedback}, so repeated runs of one query
+    start from observed cardinalities. *)
 val run :
   ?mode:Prepared.mode ->
   ?engine:Engine.Bgp_eval.engine ->
   ?domains:int ->
   ?streaming:bool ->
+  ?adaptive:bool ->
   ?row_budget:int ->
   ?timeout_ms:float ->
   ?partial:bool ->
@@ -140,6 +160,7 @@ val run_query_ast :
   ?engine:Engine.Bgp_eval.engine ->
   ?domains:int ->
   ?streaming:bool ->
+  ?adaptive:bool ->
   ?row_budget:int ->
   ?timeout_ms:float ->
   ?partial:bool ->

@@ -209,8 +209,13 @@ let cp_equivalent (g : Be_tree.group) ~p1 ~target =
          | Be_tree.Optional _ | Be_tree.Minus _ -> true)
        (List.init target (fun k -> k))
 
-let delta_cost env before after =
-  Cost_model.two_level_cost env after -. Cost_model.two_level_cost env before
+(* [skip_cp_equivalent] identifies the Full configuration — the only
+   transforming mode that also runs candidate pruning at execution time —
+   so it doubles as the switch for pruned OPTIONAL pricing: Full prices an
+   OPTIONAL child as prefiltered by its left side, TT as standalone. *)
+let delta_cost env ~pruned before after =
+  Cost_model.two_level_cost ~pruned env after
+  -. Cost_model.two_level_cost ~pruned env before
 
 let single_level env ?(skip_cp_equivalent = false) (g : Be_tree.group) =
   let current = ref g in
@@ -240,7 +245,7 @@ let single_level env ?(skip_cp_equivalent = false) (g : Be_tree.group) =
             && not (skip_cp_equivalent && cp_equivalent g ~p1 ~target:u)
           then begin
             let candidate = apply_merge g ~p1 ~union:u in
-            let delta = delta_cost env g candidate in
+            let delta = delta_cost env ~pruned:skip_cp_equivalent g candidate in
             match !best_merge with
             | Some (best_delta, _) when best_delta <= delta -> ()
             | _ -> if delta < 0. then best_merge := Some (delta, candidate)
@@ -260,7 +265,9 @@ let single_level env ?(skip_cp_equivalent = false) (g : Be_tree.group) =
                 && not (skip_cp_equivalent && cp_equivalent g ~p1 ~target:o)
               then begin
                 let candidate = apply_inject g ~p1 ~opt:o in
-                let delta = delta_cost env g candidate in
+                let delta =
+                  delta_cost env ~pruned:skip_cp_equivalent g candidate
+                in
                 if delta < 0. then begin
                   Log.debug (fun m ->
                       m "inject accepted: child %d into OPTIONAL %d \

@@ -77,6 +77,27 @@ val eval_into :
   sink:Sparql.Sink.t ->
   unit
 
+(** [eval_with ctx ~engine patterns ~candidates] — {!eval} with the
+    engine chosen per call instead of from the context. The adaptive
+    executor uses this to pick wco vs hash probe per BE-tree node based
+    on the plan's engine-specific cost estimates; memoized plans are
+    engine-independent so the override costs nothing extra. *)
+val eval_with :
+  t ->
+  engine:engine ->
+  Sparql.Triple_pattern.t list ->
+  candidates:Candidates.t ->
+  Sparql.Bag.t
+
+(** [eval_into_with] — streaming {!eval_with}. *)
+val eval_into_with :
+  t ->
+  engine:engine ->
+  Sparql.Triple_pattern.t list ->
+  candidates:Candidates.t ->
+  sink:Sparql.Sink.t ->
+  unit
+
 (** [plan ctx patterns] exposes the planner's estimates for the BGP. *)
 val plan : t -> Sparql.Triple_pattern.t list -> Planner.plan
 

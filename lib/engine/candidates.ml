@@ -108,6 +108,46 @@ let of_view ~universe view =
   end
   else Sorted (Array.init card (Rdf_store.Index.view_get view))
 
+(* The LBR-style index-level prefilter: a compiled pattern with two bound
+   positions names — via the store's sorted third-column view — the exact
+   value set of its single variable, built straight off the compressed
+   index blocks without materializing a row. [None] when the pattern does
+   not have exactly two bound positions. Shared by the LBR baseline's
+   prefilter pass and the adaptive executor. *)
+let of_two_bound store (c : Compiled.t) =
+  let universe = Rdf_store.Snapshot.dict_size store in
+  let view s p o = Rdf_store.Snapshot.third_column_view store ?s ?p ?o () in
+  match (c.Compiled.cs, c.Compiled.cp, c.Compiled.co) with
+  | Compiled.Cvar col, Cterm p, Cterm o ->
+      Some (col, of_view ~universe (view None (Some p) (Some o)))
+  | Cterm s, Cvar col, Cterm o ->
+      Some (col, of_view ~universe (view (Some s) None (Some o)))
+  | Cterm s, Cterm p, Cvar col ->
+      Some (col, of_view ~universe (view (Some s) (Some p) None))
+  | _ -> None
+
+(* Membership-test telemetry for prefilter hit rates: [checks] counts
+   candidate-set consultations during scans, [rejects] the rows filtered
+   out. Plain (racy) counters: under parallel domains an increment may be
+   lost, which telemetry tolerates; serial runs are exact. *)
+let checks = ref 0
+let rejects = ref 0
+
+type counters = { checks : int; rejects : int }
+
+let reset_counters () =
+  checks := 0;
+  rejects := 0
+
+let read_counters () = { checks = !checks; rejects = !rejects }
+
+(* [noted_mem] is {!mem} plus counting — the membership test scans use. *)
+let noted_mem set id =
+  incr checks;
+  let ok = mem set id in
+  if not ok then incr rejects;
+  ok
+
 let empty = []
 
 let set cands ~col s = (col, s) :: List.filter (fun (c, _) -> c <> col) cands
@@ -117,8 +157,10 @@ let find cands ~col = List.assoc_opt col cands
 let allows cands ~col value =
   match List.assoc_opt col cands with
   | None -> true
-  | Some s -> mem s value
+  | Some s -> noted_mem s value
 
 let is_empty = function [] -> true | _ :: _ -> false
 
 let restrict cands ~cols = List.filter (fun (c, _) -> List.mem c cols) cands
+
+let columns cands = List.map fst cands

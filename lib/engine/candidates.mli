@@ -28,6 +28,12 @@ val of_sorted_array : int array -> set
     Representation chosen by the same density rule as {!of_hashtbl}. *)
 val of_view : universe:int -> Rdf_store.Index.view -> set
 
+(** [of_two_bound store c] — the LBR-style index-level prefilter: for a
+    compiled pattern with exactly two bound positions, the exact value
+    set of its single variable column, built straight off the store's
+    sorted third-column view. [None] otherwise. *)
+val of_two_bound : Rdf_store.Snapshot.t -> Compiled.t -> (int * set) option
+
 val cardinal : set -> int
 
 (** [mem set id] — bitset: one load+mask; sorted array: binary search. *)
@@ -40,6 +46,19 @@ val iter_values : set -> f:(int -> unit) -> unit
     representation ([None] for bitsets). Used by the intersection kernel to
     treat a sparse candidate set as just another sorted operand. *)
 val as_sorted : set -> int array option
+
+(** [noted_mem set id] — {!mem}, plus prefilter telemetry: bumps the
+    global check counter, and the reject counter when the test fails.
+    Scans use this (directly, or via {!allows}) so hit rates are
+    observable. Counters are plain racy ints: exact in serial runs,
+    approximate under parallel domains. *)
+val noted_mem : set -> int -> bool
+
+type counters = { checks : int; rejects : int }
+
+val reset_counters : unit -> unit
+
+val read_counters : unit -> counters
 
 val empty : t
 
@@ -60,3 +79,6 @@ val is_empty : t -> bool
     (pruning any other column could turn an extension into a spuriously
     surviving unextended row). *)
 val restrict : t -> cols:int list -> t
+
+(** [columns cands] — the columns carrying a candidate set. *)
+val columns : t -> int list

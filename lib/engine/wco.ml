@@ -95,10 +95,17 @@ let best_seed stats candidates row pattern =
    otherwise perform, iterate the candidates and do keyed lookups instead
    — this is how candidate pruning "prunes the search space of BGP
    evaluation on-the-fly" (Section 6) rather than merely post-filtering. *)
+(* A keyed index probe costs several times one row of the contiguous
+   range scan it replaces, so seeding from a candidate set pays only
+   with a real cardinality margin; anything denser is better served by
+   the in-kernel membership filter. *)
+let seed_probe_factor = 4
+
 let extend_row store stats candidates pattern ~scratch row ~emit =
   match best_seed stats candidates row pattern with
   | Some (col, values)
-    when Candidates.cardinal values < Compiled.count_with store pattern row ->
+    when seed_probe_factor * Candidates.cardinal values
+         < Compiled.count_with store pattern row ->
       Candidates.iter_values values ~f:(fun value ->
           let seeded = Array.copy row in
           seeded.(col) <- value;
@@ -162,7 +169,7 @@ let candidate_operands candidates ~col =
   | Some set -> (
       match Candidates.as_sorted set with
       | Some arr -> ([ Intersect.Values arr ], [])
-      | None -> ([], [ Candidates.mem set ]))
+      | None -> ([], [ Candidates.noted_mem set ]))
 
 (* Minimum intersected-domain size for which fanning the row
    materialization out across the pool beats the serial loop. *)

@@ -78,27 +78,12 @@ let run ?row_budget ?timeout_ms ?governor env (query : Sparql.Ast.query) =
          scoping rule as the semijoin passes, which still run and yield
          identical final bags — the prefilter only removes rows those
          passes would also remove, before they ever materialize). *)
-      let universe = Rdf_store.Snapshot.dict_size store in
       let prefilters =
         Array.map
           (fun (sn_id, ancestors, (c : Engine.Compiled.t)) ->
-            match (c.Engine.Compiled.cs, c.cp, c.co) with
-            | Engine.Compiled.Cvar col, Cterm p, Cterm o ->
-                Some
-                  ( sn_id, ancestors, col,
-                    Engine.Candidates.of_view ~universe
-                      (Rdf_store.Snapshot.third_column_view store ~p ~o ()) )
-            | Cterm s, Cvar col, Cterm o ->
-                Some
-                  ( sn_id, ancestors, col,
-                    Engine.Candidates.of_view ~universe
-                      (Rdf_store.Snapshot.third_column_view store ~s ~o ()) )
-            | Cterm s, Cterm p, Cvar col ->
-                Some
-                  ( sn_id, ancestors, col,
-                    Engine.Candidates.of_view ~universe
-                      (Rdf_store.Snapshot.third_column_view store ~s ~p ()) )
-            | _ -> None)
+            match Engine.Candidates.of_two_bound store c with
+            | Some (col, set) -> Some (sn_id, ancestors, col, set)
+            | None -> None)
           compiled_slots
       in
       (* Pass 0c: scan every pattern through its applicable prefilters. *)

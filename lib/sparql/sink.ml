@@ -359,6 +359,28 @@ module Bounded_heap = struct
   let rows h = Array.to_list (Array.map fst (sorted_items h))
 end
 
+(* Streaming ungrouped aggregation: [push] folds each arriving row into
+   the caller's accumulators; [flush] computes the aggregate row(s) and
+   emits them downstream at close (an ungrouped aggregate produces output
+   even over zero input rows). No fork: the fold order of order-sensitive
+   accumulators (float sums, DISTINCT collection) must match the
+   materialized path's, so the scheduler drives this pipeline serially. *)
+let aggregate ~name ~push ~flush inner =
+  let s = new_stage inner name in
+  let feed row =
+    s.rows_in <- s.rows_in + 1;
+    push row
+  in
+  let finish () =
+    (try
+       flush (fun row ->
+           s.rows_out <- s.rows_out + 1;
+           inner.feed row)
+     with Stop -> ());
+    inner.finish ()
+  in
+  { feed; finish; stages = inner.stages; fork = None }
+
 (* Bounded top-k for ORDER BY + LIMIT: keeps the k smallest rows under
    (compare, arrival seq); flushing sorted on [close] reproduces exactly
    the first k rows of a stable full sort. Not valid when a DISTINCT sits

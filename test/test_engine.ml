@@ -630,6 +630,208 @@ let test_parallel_budget_fires () =
     = Some Sparql_uo.Executor.Out_of_budget);
   Alcotest.(check bool) "no bag" true (report.Sparql_uo.Executor.bag = None)
 
+(* --- Adaptive execution ------------------------------------------------ *)
+
+(* The whole adaptive layer (sideways bitset prefilters into OPTIONAL and
+   MINUS subtrees, feedback-primed estimates, per-node engine selection,
+   skip-on-empty short-circuits) is an execution strategy, never a
+   semantics change: adaptive = static as bags under every mode, engine,
+   domain count and modifier pipeline. *)
+let prop_adaptive_matches_static =
+  QCheck2.Test.make ~name:"adaptive = static execution on random UO queries"
+    ~count:40
+    ~print:(fun (triples, query) ->
+      Qgen.pp_dataset triples ^ "\n" ^ Qgen.pp_query query)
+    QCheck2.Gen.(pair Qgen.gen_dataset Qgen.gen_query)
+    (fun (triples, query) ->
+      let store = Rdf_store.Triple_store.of_triples triples in
+      let stats = Rdf_store.Stats.compute store in
+      List.for_all
+        (fun mode ->
+          List.for_all
+            (fun engine ->
+              List.for_all
+                (fun domains ->
+                  List.for_all
+                    (fun streaming ->
+                      let run ~adaptive =
+                        Sparql_uo.Executor.run_query ~mode ~engine ~domains
+                          ~streaming ~adaptive ~stats store query
+                      in
+                      let static = run ~adaptive:false in
+                      let adaptive = run ~adaptive:true in
+                      match
+                        ( static.Sparql_uo.Executor.bag,
+                          adaptive.Sparql_uo.Executor.bag )
+                      with
+                      | Some b1, Some b2 -> Sparql.Bag.equal_as_bags b1 b2
+                      | _ -> false)
+                    [ true; false ])
+                [ 1; 4 ])
+            [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ])
+        Sparql_uo.Executor.all_modes)
+
+(* Sideways prefilters may only carry left-universal columns: ?z here is
+   bound by the first OPTIONAL for some left rows only, so the second
+   OPTIONAL's scan of ?z must NOT be restricted to the values the first
+   one produced — the row whose ?z is still unbound is compatible with
+   every inner ?z. A prefilter leak would leave that row unextended. *)
+let test_prefilter_unbound_left_vars () =
+  let store =
+    Rdf_store.Triple_store.of_triples
+      [
+        Rdf.Triple.make (iri 0) (pred 0) (iri 1);
+        (* no p1 edge from e2: its ?z stays unbound after OPTIONAL 1 *)
+        Rdf.Triple.make (iri 2) (pred 0) (iri 3);
+        Rdf.Triple.make (iri 0) (pred 1) (iri 4);
+        Rdf.Triple.make (iri 5) (pred 2) (iri 6);
+      ]
+  in
+  let text =
+    "SELECT * WHERE { ?x <http://t/p0> ?y . OPTIONAL { ?x <http://t/p1> ?z } \
+     OPTIONAL { ?v <http://t/p2> ?z } }"
+  in
+  List.iter
+    (fun engine ->
+      let run ~adaptive =
+        Sparql_uo.Executor.run ~mode:Sparql_uo.Executor.Full ~engine ~adaptive
+          store text
+      in
+      let static = run ~adaptive:false in
+      let adaptive = run ~adaptive:true in
+      (match
+         (static.Sparql_uo.Executor.bag, adaptive.Sparql_uo.Executor.bag)
+       with
+      | Some b1, Some b2 ->
+          Alcotest.(check bool) "adaptive = static" true
+            (Sparql.Bag.equal_as_bags b1 b2)
+      | _ -> Alcotest.fail "unexpected resource limit");
+      Alcotest.(check (option int)) "two rows" (Some 2)
+        adaptive.Sparql_uo.Executor.result_count;
+      (* The unbound-?z row must have been extended by the second
+         OPTIONAL: some solution binds ?v. *)
+      let extended =
+        List.exists
+          (fun solution -> List.mem_assoc "v" solution)
+          (Sparql_uo.Executor.solutions store adaptive)
+      in
+      Alcotest.(check bool) "unbound-?z row extended through OPTIONAL 2" true
+        extended)
+    [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ]
+
+(* Feedback straight from the adaptive loop: prime the cache with a
+   wildly wrong observation, and the next run must (a) flag the node as
+   re-planned (estimate off by >= 10x) and (b) overwrite the belief with
+   the actual cardinality. *)
+let test_replan_trigger () =
+  let store =
+    Rdf_store.Triple_store.of_triples
+      (List.init 40 (fun i ->
+           Rdf.Triple.make (iri i) (pred 0) (iri (i + 1))))
+  in
+  let patterns = [ TP.make (v "s") (v "p") (v "o") ] in
+  let feedback = Sparql_uo.Feedback.create () in
+  Sparql_uo.Feedback.record feedback patterns ~rows:1;
+  let report =
+    Sparql_uo.Executor.run ~mode:Sparql_uo.Executor.Full ~feedback store
+      "SELECT * WHERE { ?s ?p ?o }"
+  in
+  Alcotest.(check (option int)) "all rows" (Some 40)
+    report.Sparql_uo.Executor.result_count;
+  let stats = Option.get report.Sparql_uo.Executor.eval_stats in
+  Alcotest.(check bool) "re-plan triggered" true
+    (stats.Sparql_uo.Evaluator.replans >= 1);
+  Alcotest.(check bool) "a node is marked re-planned" true
+    (List.exists
+       (fun (n : Sparql_uo.Evaluator.node_report) ->
+         n.Sparql_uo.Evaluator.replanned
+         && n.Sparql_uo.Evaluator.actual_rows = 40)
+       stats.Sparql_uo.Evaluator.nodes);
+  Alcotest.(check (option int)) "belief corrected to the actual count"
+    (Some 40)
+    (Option.map int_of_float (Sparql_uo.Feedback.find feedback patterns));
+  (* A re-run with the corrected belief no longer deviates. *)
+  let report2 =
+    Sparql_uo.Executor.run ~mode:Sparql_uo.Executor.Full ~feedback store
+      "SELECT * WHERE { ?s ?p ?o }"
+  in
+  let stats2 = Option.get report2.Sparql_uo.Executor.eval_stats in
+  Alcotest.(check int) "no re-plan after correction" 0
+    stats2.Sparql_uo.Evaluator.replans
+
+(* Static (non-adaptive) runs must not pay for node reporting. *)
+let test_static_reports_no_nodes () =
+  let store = tiny_store () in
+  let report =
+    Sparql_uo.Executor.run ~mode:Sparql_uo.Executor.Full ~adaptive:false store
+      "SELECT * WHERE { ?s ?p ?o }"
+  in
+  Alcotest.(check bool) "report not marked adaptive" false
+    report.Sparql_uo.Executor.adaptive;
+  let stats = Option.get report.Sparql_uo.Executor.eval_stats in
+  Alcotest.(check int) "no node reports" 0
+    (List.length stats.Sparql_uo.Evaluator.nodes)
+
+(* --- Streaming ungrouped aggregates ------------------------------------ *)
+
+(* A SELECT of pure aggregates without GROUP BY streams through the
+   terminal aggregate sink; the materializing path groups the full bag.
+   Both share [compute_aggregate_ids] over reverse-arrival id lists, so
+   the single result row must be identical — including SAMPLE's pick and
+   float-summed AVG. *)
+let test_streaming_aggregate_matches () =
+  let ub n = "<http://swat.cse.lehigh.edu/onto/univ-bench.owl#" ^ n ^ ">" in
+  let store =
+    Rdf_store.Triple_store.of_triples
+      (Workload.Lubm.generate Workload.Lubm.tiny)
+  in
+  let queries =
+    [
+      "SELECT (COUNT(*) AS ?n) WHERE { ?x " ^ ub "takesCourse" ^ " ?c }";
+      "SELECT (COUNT(?c) AS ?n) (COUNT(DISTINCT ?c) AS ?d) (MIN(?c) AS ?lo) \
+       (MAX(?c) AS ?hi) (SAMPLE(?c) AS ?any) WHERE { ?x "
+      ^ ub "takesCourse" ^ " ?c }";
+      (* OPTIONAL body: the adaptive layer runs under the aggregate sink. *)
+      "SELECT (COUNT(*) AS ?n) (COUNT(?e) AS ?ne) WHERE { ?x "
+      ^ ub "takesCourse" ^ " ?c OPTIONAL { ?x " ^ ub "emailAddress"
+      ^ " ?e } }";
+      (* Empty match: aggregates over zero rows still emit one row. *)
+      "SELECT (COUNT(*) AS ?n) WHERE { ?x " ^ ub "noSuchPredicate" ^ " ?y }";
+    ]
+  in
+  List.iter
+    (fun text ->
+      List.iter
+        (fun domains ->
+          let run ~streaming =
+            Sparql_uo.Executor.run ~mode:Sparql_uo.Executor.Full ~domains
+              ~streaming store text
+          in
+          let materialized = run ~streaming:false in
+          let streamed = run ~streaming:true in
+          Alcotest.(check (option int)) "one aggregate row" (Some 1)
+            streamed.Sparql_uo.Executor.result_count;
+          (match
+             ( materialized.Sparql_uo.Executor.bag,
+               streamed.Sparql_uo.Executor.bag )
+           with
+          | Some b1, Some b2 ->
+              Alcotest.(check bool) "streamed aggregate = materialized" true
+                (Sparql.Bag.equal_as_bags b1 b2)
+          | _ -> Alcotest.fail "unexpected resource limit");
+          (* The streamed run really took the sink path. *)
+          if domains = 1 then
+            let stats =
+              Option.get streamed.Sparql_uo.Executor.eval_stats
+            in
+            Alcotest.(check bool) "aggregate stage present" true
+              (List.exists
+                 (fun (s : Sparql.Sink.stage) ->
+                   s.Sparql.Sink.name = "aggregate")
+                 stats.Sparql_uo.Evaluator.stages))
+        [ 1; 4 ])
+    queries
+
 let () =
   Alcotest.run "engine"
     [
@@ -685,5 +887,17 @@ let () =
             test_sharded_distinct_merge;
           Alcotest.test_case "top-k merge ordering and ties" `Quick
             test_topk_merge;
+        ] );
+      ( "adaptive",
+        [
+          QCheck_alcotest.to_alcotest prop_adaptive_matches_static;
+          Alcotest.test_case "prefilter spares unbound-on-left vars" `Quick
+            test_prefilter_unbound_left_vars;
+          Alcotest.test_case "10x deviation triggers re-plan" `Quick
+            test_replan_trigger;
+          Alcotest.test_case "static runs report no nodes" `Quick
+            test_static_reports_no_nodes;
+          Alcotest.test_case "streaming ungrouped aggregates" `Quick
+            test_streaming_aggregate_matches;
         ] );
     ]

@@ -97,6 +97,67 @@ let test_well_designed () =
     (wd
        "SELECT * WHERE { ?x ub:p ?b . OPTIONAL { ?x ub:q ?c . OPTIONAL { ?c ub:r ?b . } } }")
 
+(* The per-supernode prefilter bitsets LBR's Pass 0b installs (now built
+   through the shared [Candidates.of_two_bound]): for each two-bound
+   pattern shape the returned set must hold exactly the matching third
+   column, keyed to the pattern's variable column. *)
+let test_of_two_bound () =
+  let iri = Qgen.iri and pred = Qgen.pred in
+  let store =
+    Rdf_store.Triple_store.of_triples
+      [
+        Rdf.Triple.make (iri 0) (pred 0) (iri 1);
+        Rdf.Triple.make (iri 0) (pred 0) (iri 2);
+        Rdf.Triple.make (iri 3) (pred 0) (iri 1);
+        Rdf.Triple.make (iri 0) (pred 1) (iri 1);
+      ]
+  in
+  let snap = Rdf_store.Snapshot.of_store store in
+  let table = Sparql.Vartable.create () in
+  let module TP = Sparql.Triple_pattern in
+  let check_shape name tp expected =
+    let compiled = Engine.Compiled.compile snap table tp in
+    match Engine.Candidates.of_two_bound snap compiled with
+    | None -> Alcotest.fail (name ^ ": expected a prefilter set")
+    | Some (col, set) ->
+        let var =
+          List.find_map
+            (fun node -> match node with TP.Var v -> Some v | _ -> None)
+            [ tp.TP.s; tp.TP.p; tp.TP.o ]
+        in
+        Alcotest.(check (option int))
+          (name ^ ": keyed to the variable's column")
+          (Sparql.Vartable.find table (Option.get var))
+          (Some col);
+        let ids =
+          List.filter_map
+            (fun term -> Rdf_store.Triple_store.encode_term store term)
+            expected
+        in
+        Alcotest.(check int)
+          (name ^ ": cardinality")
+          (List.length ids)
+          (Engine.Candidates.cardinal set);
+        List.iter
+          (fun id ->
+            Alcotest.(check bool) (name ^ ": member") true
+              (Engine.Candidates.mem set id))
+          ids
+  in
+  let t term = TP.Term term and v name = TP.Var name in
+  check_shape "sp-bound" (TP.make (t (iri 0)) (t (pred 0)) (v "o"))
+    [ iri 1; iri 2 ];
+  check_shape "so-bound" (TP.make (t (iri 0)) (v "p") (t (iri 1)))
+    [ pred 0; pred 1 ];
+  check_shape "po-bound" (TP.make (v "s") (t (pred 0)) (t (iri 1)))
+    [ iri 0; iri 3 ];
+  (* Fewer than two bound positions: no prefilter. *)
+  let one_bound =
+    Engine.Candidates.of_two_bound snap
+      (Engine.Compiled.compile snap table (TP.make (v "x") (t (pred 0)) (v "y")))
+  in
+  Alcotest.(check bool) "one-bound pattern yields none" true (one_bound = None)
+
 (* Property: LBR = oracle on random well-designed AND/OPTIONAL queries
    (non-well-designed generations are skipped — LBR refuses them). *)
 let prop_lbr_matches_oracle =
@@ -131,6 +192,8 @@ let () =
         [
           Alcotest.test_case "matches Full on LUBM workload" `Quick test_lbr_on_lubm_queries;
           Alcotest.test_case "semijoins prune" `Quick test_lbr_semijoin_prunes;
+          Alcotest.test_case "two-bound prefilter sets" `Quick
+            test_of_two_bound;
           Alcotest.test_case "row budget" `Quick test_lbr_row_budget;
           QCheck_alcotest.to_alcotest prop_lbr_matches_oracle;
         ] );
