@@ -127,6 +127,49 @@ let repeat_arg =
   in
   Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
 
+let data_dir_arg =
+  let doc =
+    "Durable store directory (write-ahead log + checkpoints). A fresh or \
+     empty directory is initialized — seeded from --data/--synth when \
+     given, empty otherwise. An existing directory is recovered by \
+     replaying the committed prefix of its log over the last checkpoint \
+     (--data/--synth must then be omitted). Commits are logged before \
+     they publish and honor --sync. Exit code 24 means the directory \
+     needs operator intervention (corrupt checkpoint, orphaned log)."
+  in
+  Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR" ~doc)
+
+let sync_arg =
+  let parse s =
+    match s with
+    | "never" -> Ok Rdf_store.Wal.Never
+    | "every-commit" -> Ok Rdf_store.Wal.Every_commit
+    | "interval" -> Ok (Rdf_store.Wal.Interval 0.05)
+    | _ -> (
+        match String.index_opt s ':' with
+        | Some i when String.sub s 0 i = "interval" -> (
+            let ms = String.sub s (i + 1) (String.length s - i - 1) in
+            match float_of_string_opt ms with
+            | Some ms when ms >= 0. -> Ok (Rdf_store.Wal.Interval (ms /. 1000.))
+            | _ -> Error (`Msg (Printf.sprintf "bad sync interval %S" ms)))
+        | _ -> Error (`Msg (Printf.sprintf "unknown sync policy %S" s)))
+  in
+  let print ppf = function
+    | Rdf_store.Wal.Never -> Format.pp_print_string ppf "never"
+    | Rdf_store.Wal.Every_commit -> Format.pp_print_string ppf "every-commit"
+    | Rdf_store.Wal.Interval s -> Format.fprintf ppf "interval:%g" (s *. 1000.)
+  in
+  let doc =
+    "Log sync policy for --data-dir: every-commit (default; fsync — group \
+     commit — before each commit returns), interval[:MS] (fsync when MS \
+     milliseconds passed since the last, default 50), or never (flush to \
+     the OS only)."
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Rdf_store.Wal.Every_commit
+    & info [ "sync" ] ~docv:"POLICY" ~doc)
+
 (* ---------------- helpers ---------------- *)
 
 (* Synthetic datasets are streamed ([of_iter]) rather than materialized:
@@ -197,6 +240,57 @@ let exit_code_of_failure = function
   | Sparql_uo.Executor.Timeout -> 21
   | Sparql_uo.Executor.Cancelled -> 22
   | Sparql_uo.Executor.Injected_fault _ -> 23
+
+(* Exit 24: the durable directory cannot be recovered without operator
+   intervention — distinct from the query-failure codes above and from
+   ordinary torn-tail truncation (which recovery handles silently). *)
+let or_die_unrecoverable f =
+  try f ()
+  with Rdf_store.Wal.Unrecoverable msg ->
+    prerr_endline ("unrecoverable: " ^ msg);
+    exit 24
+
+(* Open (or seed) a durable session. --data/--synth describe the initial
+   contents, so they are only meaningful when the directory is being
+   initialized; on a recovered directory they are rejected rather than
+   silently ignored. *)
+let open_durable ~policy ~data ~synth dir =
+  let initialized =
+    Sys.file_exists dir && Sys.is_directory dir
+    && Array.exists
+         (fun f ->
+           String.starts_with ~prefix:"checkpoint." f
+           || String.starts_with ~prefix:"wal." f)
+         (Sys.readdir dir)
+  in
+  if initialized && (data <> None || synth <> None) then
+    or_die
+      (Error
+         "--data/--synth seed a fresh --data-dir; this one is already \
+          initialized (query it, or point at a new directory)");
+  let init =
+    if initialized || (data = None && synth = None) then None
+    else Some (fun () -> or_die (load_store data synth))
+  in
+  let session, recovery =
+    or_die_unrecoverable (fun () ->
+        Sparql_uo.Session.open_dir ~policy ?init dir)
+  in
+  if recovery.Rdf_store.Wal.initialized then
+    Printf.printf "initialized %s (%d triples)\n" dir
+      (Rdf_store.Snapshot.size (Sparql_uo.Session.snapshot session))
+  else
+    Printf.printf
+      "recovered %s: checkpoint %d + %d txn(s) (%d op(s)) replayed in %.2f \
+       ms%s\n"
+      dir recovery.Rdf_store.Wal.checkpoint_seq
+      recovery.Rdf_store.Wal.replayed_txns recovery.Rdf_store.Wal.replayed_ops
+      recovery.Rdf_store.Wal.recovery_ms
+      (if recovery.Rdf_store.Wal.truncated_bytes > 0 then
+         Printf.sprintf " (%d torn byte(s) truncated)"
+           recovery.Rdf_store.Wal.truncated_bytes
+       else "");
+  session
 
 let die_killed report =
   match report.Sparql_uo.Executor.failure with
@@ -317,13 +411,17 @@ let setup_build ~compression ~domains =
       (Engine.Pool.ensure ~num_domains:domains)
 
 let query_cmd =
-  let run data synth qfile qtext mode engine max_print timeout_ms row_budget
-      domains morsel materialize static partial repeat compression =
+  let run data synth data_dir sync qfile qtext mode engine max_print timeout_ms
+      row_budget domains morsel materialize static partial repeat compression =
     Engine.Pool.set_morsel_size morsel;
     setup_build ~compression ~domains;
-    let store = or_die (load_store data synth) in
     let text = or_die (load_query qfile qtext) in
-    let session = Sparql_uo.Session.create store in
+    let session =
+      match data_dir with
+      | Some dir -> open_durable ~policy:sync ~data ~synth dir
+      | None -> Sparql_uo.Session.create (or_die (load_store data synth))
+    in
+    let store = Sparql_uo.Session.store session in
     let report =
       session_runs session ~mode ~engine ~domains ~materialize
         ~adaptive:(not static) ?timeout_ms ?row_budget ~partial ~repeat text
@@ -346,10 +444,10 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Execute a SPARQL query (SELECT, ASK, CONSTRUCT or DESCRIBE)")
     Term.(
-      const run $ data_arg $ synth_arg $ query_file_arg $ query_text_arg
-      $ mode_arg $ engine_arg $ max_print_arg $ timeout_arg $ budget_arg
-      $ domains_arg $ morsel_arg $ materialize_arg $ static_arg $ partial_arg
-      $ repeat_arg $ compression_arg)
+      const run $ data_arg $ synth_arg $ data_dir_arg $ sync_arg
+      $ query_file_arg $ query_text_arg $ mode_arg $ engine_arg $ max_print_arg
+      $ timeout_arg $ budget_arg $ domains_arg $ morsel_arg $ materialize_arg
+      $ static_arg $ partial_arg $ repeat_arg $ compression_arg)
 
 (* ---------------- explain ---------------- *)
 
@@ -429,14 +527,12 @@ let update_cmd =
   let out_arg =
     let doc =
       "Where to write the updated store: a .nt file (N-Triples) or \
-       anything else (binary snapshot)."
+       anything else (binary snapshot). Required without --data-dir; \
+       optional with it (the directory itself is the durable result)."
     in
-    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run data synth ufile utext out =
-    let store = or_die (load_store data synth) in
-    let text = or_die (load_query ufile utext) in
-    let store = Sparql_uo.Update_exec.run store text in
+  let write_out store out =
     if Filename.check_suffix out ".nt" then begin
       let acc = ref [] in
       Rdf_store.Triple_store.iter_all store ~f:(fun ~s ~p ~o ->
@@ -448,17 +544,98 @@ let update_cmd =
             :: !acc);
       Rdf.Ntriples.write_file out (List.rev !acc)
     end
-    else Rdf_store.Snapshot.save store out;
-    Printf.printf "updated store: %d triples -> %s\n"
-      (Rdf_store.Triple_store.size store)
-      out
+    else Rdf_store.Snapshot.save store out
+  in
+  let run data synth data_dir sync ufile utext out =
+    let text = or_die (load_query ufile utext) in
+    match data_dir with
+    | Some dir ->
+        (* Transactional path: one WAL-logged transaction per operation,
+           committed against the directory's lineage. *)
+        let session = open_durable ~policy:sync ~data ~synth dir in
+        Sparql_uo.Update_exec.run_session session text;
+        Sparql_uo.Session.sync session;
+        (match out with
+        | Some out ->
+            (* Fold the delta down so the snapshot file describes a full
+               base (this doubles as a checkpoint of the directory). *)
+            Sparql_uo.Session.checkpoint session;
+            write_out (Sparql_uo.Session.store session) out
+        | None -> ());
+        Printf.printf "updated store: %d triples (durable in %s)\n"
+          (Rdf_store.Snapshot.size (Sparql_uo.Session.snapshot session))
+          dir
+    | None ->
+        let out =
+          match out with
+          | Some out -> out
+          | None -> or_die (Error "--out is required without --data-dir")
+        in
+        let store = or_die (load_store data synth) in
+        let store = Sparql_uo.Update_exec.run store text in
+        write_out store out;
+        Printf.printf "updated store: %d triples -> %s\n"
+          (Rdf_store.Triple_store.size store)
+          out
   in
   Cmd.v
     (Cmd.info "update"
-       ~doc:"Apply SPARQL 1.1 Update operations and write the result")
+       ~doc:"Apply SPARQL 1.1 Update operations (transactionally and \
+             durably with --data-dir) and write the result")
     Term.(
-      const run $ data_arg $ synth_arg $ update_file_arg $ update_text_arg
-      $ out_arg)
+      const run $ data_arg $ synth_arg $ data_dir_arg $ sync_arg
+      $ update_file_arg $ update_text_arg $ out_arg)
+
+(* ---------------- churn ---------------- *)
+
+(* Commit a stream of tiny transactions against a durable directory,
+   acknowledging each one on stdout only after its commit returned (so
+   under --sync every-commit each acknowledged transaction is durable).
+   The crash-recovery smoke test SIGKILLs this mid-stream, reopens the
+   directory and checks that every acknowledged transaction survived. *)
+let churn_cmd =
+  let dir_req =
+    let doc = "Durable store directory (created/initialized if missing)." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR" ~doc)
+  in
+  let txns_arg =
+    let doc = "Number of transactions to commit." in
+    Arg.(value & opt int 1000 & info [ "txns" ] ~docv:"N" ~doc)
+  in
+  let batch_arg =
+    let doc = "Triples inserted per transaction." in
+    Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let run dir sync txns batch =
+    let session = open_durable ~policy:sync ~data:None ~synth:None dir in
+    (* Distinct subjects across invocations of the same directory. *)
+    let tag = Unix.getpid () in
+    for i = 1 to txns do
+      let txn = Sparql_uo.Session.begin_txn session in
+      for j = 1 to batch do
+        let s =
+          Rdf.Term.iri (Printf.sprintf "http://churn/s%d_%d_%d" tag i j)
+        in
+        let p = Rdf.Term.iri "http://churn/p" in
+        let o = Rdf.Term.literal (Printf.sprintf "%d,%d" i j) in
+        Rdf_store.Mvcc.insert txn (Rdf.Triple.make s p o)
+      done;
+      Sparql_uo.Session.commit session txn;
+      Printf.printf "committed %d\n" i;
+      flush stdout
+    done;
+    Sparql_uo.Session.sync session;
+    Printf.printf "done: %d txn(s) of %d triple(s)\n" txns batch
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:"Stream small durable transactions into --data-dir, \
+             acknowledging each committed transaction on stdout (crash \
+             smoke-test driver)")
+    Term.(const run $ dir_req $ sync_arg $ txns_arg $ batch_arg)
 
 (* ---------------- snapshot ---------------- *)
 
@@ -522,4 +699,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; query_cmd; explain_cmd; modes_cmd; snapshot_cmd;
-            dot_cmd; update_cmd ]))
+            dot_cmd; update_cmd; churn_cmd ]))

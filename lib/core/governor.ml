@@ -6,3 +6,10 @@
    schedules and cancellation. *)
 
 include Sparql.Governor
+
+(* Route the store layer's kill points (WAL record/marker/sync writes,
+   snapshot save/rename) through the same ticket machinery: once the
+   core library is linked, a chaos schedule can crash a commit mid-log
+   exactly like it crashes a scan mid-morsel. The handler is one atomic
+   load plus the armed-faults fast path when no schedule is live. *)
+let () = Rdf_store.Failpoint.set_handler Sparql.Governor.failpoint

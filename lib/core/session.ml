@@ -51,11 +51,11 @@ type t = {
   mutex : Mutex.t;
 }
 
-let create ?(cache_capacity = 64) ?compact_threshold store =
+let of_mvcc ?(cache_capacity = 64) mvcc =
   if cache_capacity < 1 then
-    invalid_arg "Session.create: cache_capacity must be positive";
+    invalid_arg "Session: cache_capacity must be positive";
   {
-    mvcc = Rdf_store.Mvcc.create ?compact_threshold store;
+    mvcc;
     capacity = cache_capacity;
     table = Hashtbl.create (2 * cache_capacity);
     tick = 0;
@@ -66,6 +66,17 @@ let create ?(cache_capacity = 64) ?compact_threshold store =
     active = [];
     mutex = Mutex.create ();
   }
+
+let create ?cache_capacity ?compact_threshold store =
+  of_mvcc ?cache_capacity (Rdf_store.Mvcc.create ?compact_threshold store)
+
+(* A durable session: the lineage recovers from (and logs to) a WAL
+   directory — see {!Rdf_store.Mvcc.open_dir}. *)
+let open_dir ?cache_capacity ?compact_threshold ?policy ?init dir =
+  let mvcc, recovery =
+    Rdf_store.Mvcc.open_dir ?compact_threshold ?policy ?init dir
+  in
+  (of_mvcc ?cache_capacity mvcc, recovery)
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -117,6 +128,10 @@ let commit (_t : t) txn = ignore (Rdf_store.Mvcc.commit txn)
 let abort (_t : t) txn = Rdf_store.Mvcc.abort txn
 
 let compact t = ignore (Rdf_store.Mvcc.compact t.mvcc)
+
+let checkpoint t = ignore (Rdf_store.Mvcc.checkpoint t.mvcc)
+
+let sync t = Rdf_store.Mvcc.sync t.mvcc
 
 (* --- The plan cache ------------------------------------------------------- *)
 
@@ -220,6 +235,40 @@ let cancel t =
       List.iter Governor.cancel t.active;
       List.length t.active)
 
+(* --- Retry backoff --------------------------------------------------------- *)
+
+(* Decorrelated jitter (the "exp. backoff and jitter" scheme): each
+   delay is drawn uniformly from [base, 3 * previous], capped — the
+   expectation grows geometrically while concurrent retriers
+   decorrelate instead of thundering back in lockstep. The RNG is an
+   explicit seeded state, so a test injecting its own [sleep] observes
+   a reproducible delay sequence. *)
+type backoff = {
+  base_ms : float;
+  cap_ms : float;
+  mutable prev_ms : float;
+  rng : Random.State.t;
+  sleep : float -> unit;
+}
+
+let backoff ?(base_ms = 1.0) ?(cap_ms = 50.0) ?(seed = 0x5bd1e995) ?sleep () =
+  if base_ms <= 0. || cap_ms < base_ms then
+    invalid_arg "Session.backoff: need 0 < base_ms <= cap_ms";
+  let sleep =
+    match sleep with
+    | Some f -> f
+    | None -> fun ms -> Unix.sleepf (ms /. 1000.)
+  in
+  { base_ms; cap_ms; prev_ms = base_ms; rng = Random.State.make [| seed |]; sleep }
+
+let backoff_delay b =
+  let hi = Float.max b.base_ms (3.0 *. b.prev_ms) in
+  let d =
+    Float.min b.cap_ms (b.base_ms +. Random.State.float b.rng (hi -. b.base_ms))
+  in
+  b.prev_ms <- d;
+  d
+
 (* One governed attempt: a single snapshot is pinned for validation AND
    execution, the ticket is ambient for the prepare phase too (so the
    cache.insert failpoint is reachable) and registered with the session
@@ -244,14 +293,27 @@ let attempt ~mode ~engine ?domains ?streaming ?adaptive ?row_budget ?timeout_ms
         ?partial ~governor:gov ~cache ~snapshot:snap ~stats entry.prepared)
 
 let run_gen ~mode ~engine ?domains ?streaming ?adaptive ?row_budget ?timeout_ms
-    ?partial ?(retries = 0) ?(faults = []) ~parse t text =
+    ?partial ?(retries = 0) ?(faults = []) ?backoff:bo ~parse t text =
   (* Bounded retry with a fresh ticket per attempt. Only transient
      failures retry (a cancellation is the caller's intent and must
      stick). Fault values are shared by reference across attempts, so a
      one-shot injected fault stays spent and the retry runs clean — the
      recovery path the chaos suite exercises. A kill during the prepare
      phase (only injected faults can fire there) surfaces as
-     [Governor.Kill] from the attempt and is retried the same way. *)
+     [Governor.Kill] from the attempt and is retried the same way.
+
+     Each retry waits a capped, decorrelated-jitter delay first —
+     immediate re-runs of a timed-out or out-of-budget query mostly hit
+     the same contention that killed them. The backoff state is lazy:
+     a run that never retries never allocates (or seeds) it. *)
+  let bo =
+    lazy (match bo with Some b -> b | None -> backoff ())
+  in
+  let retry attempts_left =
+    let b = Lazy.force bo in
+    b.sleep (backoff_delay b);
+    attempts_left - 1
+  in
   let rec go attempts_left =
     let outcome =
       match
@@ -264,19 +326,19 @@ let run_gen ~mode ~engine ?domains ?streaming ?adaptive ?row_budget ?timeout_ms
     match outcome with
     | Ok { Prepared.failure = Some f; _ }
       when attempts_left > 0 && Governor.transient f ->
-        go (attempts_left - 1)
+        go (retry attempts_left)
     | Ok report -> report
     | Error f when attempts_left > 0 && Governor.transient f ->
-        go (attempts_left - 1)
+        go (retry attempts_left)
     | Error f -> raise (Governor.Kill f)
   in
   go (max 0 retries)
 
 let run ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco) ?domains
-    ?streaming ?adaptive ?row_budget ?timeout_ms ?partial ?retries ?faults t
-    text =
+    ?streaming ?adaptive ?row_budget ?timeout_ms ?partial ?retries ?faults
+    ?backoff t text =
   run_gen ~mode ~engine ?domains ?streaming ?adaptive ?row_budget ?timeout_ms
-    ?partial ?retries ?faults
+    ?partial ?retries ?faults ?backoff
     ~parse:(fun () -> Sparql.Parser.parse text)
     t text
 
@@ -284,9 +346,9 @@ let run ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco) ?domains
    cache and governance under a synthetic key (see {!Update_exec}). *)
 let run_query_ast ?(mode = Prepared.Full) ?(engine = Engine.Bgp_eval.Wco)
     ?domains ?streaming ?adaptive ?row_budget ?timeout_ms ?partial ?retries
-    ?faults t ~key query =
+    ?faults ?backoff t ~key query =
   run_gen ~mode ~engine ?domains ?streaming ?adaptive ?row_budget ?timeout_ms
-    ?partial ?retries ?faults
+    ?partial ?retries ?faults ?backoff
     ~parse:(fun () -> query)
     t key
 

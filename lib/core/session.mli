@@ -37,6 +37,27 @@ val create :
   Rdf_store.Triple_store.t ->
   t
 
+(** [of_mvcc mvcc] opens a session over an existing MVCC lineage —
+    the durable path ({!Rdf_store.Mvcc.open_dir}) hands its handle
+    here. Raises [Invalid_argument] on a non-positive cache
+    capacity. *)
+val of_mvcc : ?cache_capacity:int -> Rdf_store.Mvcc.t -> t
+
+(** [open_dir dir] opens (or initializes) a durable session whose
+    commits are written ahead to a log in [dir] — see
+    {!Rdf_store.Mvcc.open_dir} for the recovery contract. Returns the
+    session plus the recovery summary (how many transactions were
+    replayed, how many torn bytes truncated). Raises
+    {!Rdf_store.Wal.Unrecoverable} when the directory needs operator
+    intervention. *)
+val open_dir :
+  ?cache_capacity:int ->
+  ?compact_threshold:int ->
+  ?policy:Rdf_store.Wal.sync_policy ->
+  ?init:(unit -> Rdf_store.Triple_store.t) ->
+  string ->
+  t * Rdf_store.Wal.recovery
+
 (** [mvcc t] — the underlying MVCC handle (e.g. for
     {!Rdf_store.Mvcc.apply} or direct transaction plumbing). *)
 val mvcc : t -> Rdf_store.Mvcc.t
@@ -83,6 +104,41 @@ val abort : t -> Rdf_store.Mvcc.txn -> unit
     drops stale entries on their next lookup. *)
 val compact : t -> unit
 
+(** [checkpoint t] — {!compact}, but on a durable session it also
+    rotates the write-ahead log when the delta is empty, bounding
+    recovery replay to zero transactions. *)
+val checkpoint : t -> unit
+
+(** [sync t] forces every appended commit to durable storage (a no-op
+    on in-memory sessions; useful before exit under the
+    [Never]/[Interval] sync policies). *)
+val sync : t -> unit
+
+(** {1 Retry backoff}
+
+    Delay source for {!run}'s transient-failure retries: capped
+    decorrelated jitter (each delay is uniform in [[base, 3·previous]],
+    clamped to [cap]), deterministic under a fixed [seed]. *)
+
+type backoff
+
+(** [backoff ()] — fresh state. Defaults: [base_ms = 1.0],
+    [cap_ms = 50.0], a fixed seed (so two sessions built with the same
+    arguments produce the same delay sequence), and [sleep] backed by
+    [Unix.sleepf]. Pass [~sleep] to capture or suppress the waits in
+    tests. *)
+val backoff :
+  ?base_ms:float ->
+  ?cap_ms:float ->
+  ?seed:int ->
+  ?sleep:(float -> unit) ->
+  unit ->
+  backoff
+
+(** [backoff_delay b] draws the next delay (milliseconds), advancing
+    [b]'s state. Exposed for testing the schedule without sleeping. *)
+val backoff_delay : backoff -> float
+
 (** {1 Preparing and running queries} *)
 
 (** [prepare ?mode ?engine t text] returns the cached plan for
@@ -123,7 +179,11 @@ val feedback :
     [retries] (default 0) bounds retry-with-fresh-budget: a transient
     failure (anything but [Cancelled]) re-runs with a fresh ticket up
     to [retries] times; the final attempt's report is returned either
-    way. [faults] arms a chaos schedule on each attempt's ticket —
+    way. Each retry first waits a delay drawn from [backoff] (default:
+    a fresh {!backoff}[ ()] — capped decorrelated jitter), so hammering
+    a contended store is bounded; pass one explicitly to control or
+    observe the schedule. [faults] arms a chaos schedule on each
+    attempt's ticket —
     fault countdowns are shared across attempts, so a one-shot fault
     stays spent and the retry runs clean.
 
@@ -147,6 +207,7 @@ val run :
   ?partial:bool ->
   ?retries:int ->
   ?faults:Sparql.Governor.fault list ->
+  ?backoff:backoff ->
   t ->
   string ->
   Prepared.report
@@ -166,6 +227,7 @@ val run_query_ast :
   ?partial:bool ->
   ?retries:int ->
   ?faults:Sparql.Governor.fault list ->
+  ?backoff:backoff ->
   t ->
   key:string ->
   Sparql.Ast.query ->

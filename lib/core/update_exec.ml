@@ -130,7 +130,8 @@ let solutions_session ?engine session where =
    templates against that same evaluation (SPARQL Update semantics),
    and the buffered writes publish atomically on commit. Deletes fold
    before inserts, so a Modify that removes and re-adds a triple keeps
-   it. *)
+   it. On a durable session the commit is write-ahead logged, so the
+   operation is all-or-nothing across crashes too. *)
 let apply_session ?engine session (update : Sparql.Ast.update) =
   let in_txn f =
     let txn = Session.begin_txn session in

@@ -48,7 +48,13 @@ val run :
     instantiated from that same evaluation, and the writes publish
     atomically ({!Session.commit}). Within a [Modify], deletes fold
     before inserts. Sequenced operations ({!run_session}) each see their
-    predecessors' committed effects. *)
+    predecessors' committed effects.
+
+    On a durable session ({!Session.open_dir}) each commit is appended
+    to the write-ahead log before it publishes and made durable per the
+    session's sync policy, so a crash between sequenced operations
+    recovers a prefix of {e whole} operations — never a partially
+    applied one. *)
 
 (** [apply_session session update] — one operation as one transaction on
     the session's MVCC lineage. *)

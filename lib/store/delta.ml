@@ -33,3 +33,13 @@ let is_empty t = Index_set.is_empty t.adds && Index_set.is_empty t.dels
 
 (* Total buffered rows — the compaction trigger reads this. *)
 let size t = Index_set.size t.adds + Index_set.size t.dels
+
+(* Thaw into mutable row tables — the starting state of the commit fold
+   in {!Mvcc} (and of WAL replay, which folds a whole recovered
+   transaction list over one pair of tables before publishing once). *)
+let to_tables t =
+  let adds = Hashtbl.create (max 64 (Index_set.size t.adds)) in
+  let dels = Hashtbl.create (max 16 (Index_set.size t.dels)) in
+  Index_set.iter_all t.adds ~f:(fun ~s ~p ~o -> Hashtbl.replace adds (s, p, o) ());
+  Index_set.iter_all t.dels ~f:(fun ~s ~p ~o -> Hashtbl.replace dels (s, p, o) ());
+  (adds, dels)

@@ -25,3 +25,9 @@ val is_empty : t -> bool
 (** [size t] is the total number of buffered rows (adds + dels) — the
     compaction trigger. *)
 val size : t -> int
+
+(** [to_tables t] thaws the frozen buffers into mutable row tables —
+    the seed of the {!Mvcc} commit fold (and of WAL replay). *)
+val to_tables :
+  t ->
+  (int * int * int, unit) Hashtbl.t * (int * int * int, unit) Hashtbl.t

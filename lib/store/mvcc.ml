@@ -14,6 +14,17 @@
    maintains the delta invariants (adds ∩ base = ∅, dels ⊆ base,
    adds ∩ dels = ∅) that snapshot reads depend on.
 
+   Durability ([open_dir]) is layered on without touching the read
+   path: when a lineage owns a {!Wal.t}, the commit appends the
+   transaction's records to the log *before* publishing the snapshot
+   (write-ahead), and waits for its sync policy *after* releasing the
+   writer mutex (group commit). Compaction doubles as the checkpoint:
+   the folded base is written as an atomic snapshot file and the log is
+   truncated behind it — recovery loads the checkpoint and refolds the
+   logged transactions, which yields the same visible set because the
+   fold maintains visible = (base \ dels) ∪ adds under any base/delta
+   split of the same state.
+
    When a committed delta grows past [compact_threshold] rows, the
    commit folds it into a fresh base (new epoch, same shared dictionary)
    before publishing — still without blocking readers, who keep their
@@ -24,6 +35,7 @@ type t = {
   current : Snapshot.t Atomic.t;
   writer : Mutex.t;
   compact_threshold : int;
+  wal : Wal.t option;
 }
 
 type op = Insert of (int * int * int) | Delete of (int * int * int)
@@ -41,6 +53,7 @@ let create ?(compact_threshold = default_compact_threshold) store =
     current = Atomic.make (Snapshot.of_store store);
     writer = Mutex.create ();
     compact_threshold = max 1 compact_threshold;
+    wal = None;
   }
 
 let snapshot t = Atomic.get t.current
@@ -49,11 +62,7 @@ let base t = Snapshot.base (snapshot t)
 
 let delta_rows t = Delta.size (Snapshot.delta (snapshot t))
 
-(* Swap in a freshly built base (bulk rebuild path, e.g. LOAD or the
-   legacy whole-store update), dropping any buffered delta. *)
-let set_base t store =
-  Mutex.protect t.writer @@ fun () ->
-  Atomic.set t.current (Snapshot.of_store store)
+let wal t = t.wal
 
 let begin_txn t = { owner = t; ops = []; closed = false }
 
@@ -108,10 +117,60 @@ let compact_locked t =
     let fresh = Triple_store.of_encoded_rows dict (view_rows cur) in
     let next = Snapshot.of_store fresh in
     Atomic.set t.current next;
+    (* Checkpoint AFTER the publish: if the checkpoint write dies
+       mid-way, memory already serves the compacted base and the log
+       still replays to the same visible set over the old checkpoint. *)
+    (match t.wal with Some w -> Wal.checkpoint w fresh | None -> ());
     next
   end
 
 let compact t = Mutex.protect t.writer @@ fun () -> compact_locked t
+
+(* Swap in a freshly built base (bulk rebuild path, e.g. LOAD or the
+   legacy whole-store update), dropping any buffered delta. On a
+   durable lineage the new base becomes the next checkpoint — recovery
+   must not resurrect pre-rebuild transactions from the old log. *)
+let set_base t store =
+  Mutex.protect t.writer @@ fun () ->
+  Atomic.set t.current (Snapshot.of_store store);
+  match t.wal with Some w -> Wal.checkpoint w store | None -> ()
+
+(* The commit fold: replay [ops] in order over mutable row tables
+   seeded from the published delta, preserving the delta invariants
+   against [b]. Shared by live commits and WAL replay. *)
+let fold_ops b adds dels ops =
+  List.iter
+    (fun op ->
+      match op with
+      | Insert ((s, p, o) as row) ->
+          if Hashtbl.mem dels row then Hashtbl.remove dels row
+          else if not (Triple_store.contains b ~s ~p ~o) then
+            Hashtbl.replace adds row ()
+      | Delete ((s, p, o) as row) ->
+          if Hashtbl.mem adds row then Hashtbl.remove adds row
+          else if Triple_store.contains b ~s ~p ~o then
+            Hashtbl.replace dels row ())
+    ops
+
+let to_array h =
+  let out = Array.make (Hashtbl.length h) (0, 0, 0) in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun row () ->
+      out.(!i) <- row;
+      incr i)
+    h;
+  out
+
+(* Build and publish the next snapshot from folded tables; caller holds
+   the writer mutex. *)
+let publish_locked t ~b ~gen adds dels =
+  let delta = Delta.make ~gen ~adds:(to_array adds) ~dels:(to_array dels) in
+  let next =
+    Snapshot.make ~base:b ~delta ~version:(Triple_store.fresh_epoch ())
+  in
+  Atomic.set t.current next;
+  if Delta.size delta >= t.compact_threshold then compact_locked t else next
 
 let commit txn =
   check_open txn;
@@ -119,46 +178,39 @@ let commit txn =
   let t = txn.owner in
   let ops = List.rev txn.ops in
   if ops = [] then snapshot t
-  else
-    Mutex.protect t.writer @@ fun () ->
-    let cur = Atomic.get t.current in
-    let b = Snapshot.base cur and d = Snapshot.delta cur in
-    let adds = Hashtbl.create 64 and dels = Hashtbl.create 64 in
-    Index_set.iter_all (Delta.adds d) ~f:(fun ~s ~p ~o ->
-        Hashtbl.replace adds (s, p, o) ());
-    Index_set.iter_all (Delta.dels d) ~f:(fun ~s ~p ~o ->
-        Hashtbl.replace dels (s, p, o) ());
-    List.iter
-      (fun op ->
-        match op with
-        | Insert ((s, p, o) as row) ->
-            if Hashtbl.mem dels row then Hashtbl.remove dels row
-            else if not (Triple_store.contains b ~s ~p ~o) then
-              Hashtbl.replace adds row ()
-        | Delete ((s, p, o) as row) ->
-            if Hashtbl.mem adds row then Hashtbl.remove adds row
-            else if Triple_store.contains b ~s ~p ~o then
-              Hashtbl.replace dels row ())
-      ops;
-    let to_array h =
-      let out = Array.make (Hashtbl.length h) (0, 0, 0) in
-      let i = ref 0 in
-      Hashtbl.iter
-        (fun row () ->
-          out.(!i) <- row;
-          incr i)
-        h;
-      out
+  else begin
+    let next, lsn =
+      Mutex.protect t.writer @@ fun () ->
+      let cur = Atomic.get t.current in
+      let b = Snapshot.base cur and d = Snapshot.delta cur in
+      let adds, dels = Delta.to_tables d in
+      fold_ops b adds dels ops;
+      (* Write-ahead: the records (and their dictionary entries) hit
+         the log before any reader can acquire the new snapshot. A
+         failure here aborts the commit with nothing published. *)
+      let lsn =
+        match t.wal with
+        | None -> None
+        | Some w ->
+            let dict = Triple_store.dictionary b in
+            let wops =
+              List.map
+                (function
+                  | Insert row -> Wal.Add row | Delete row -> Wal.Del row)
+                ops
+            in
+            Some (Wal.append_commit w ~dict ~ops:wops)
+      in
+      (publish_locked t ~b ~gen:(Delta.gen d + 1) adds dels, lsn)
     in
-    let delta =
-      Delta.make ~gen:(Delta.gen d + 1) ~adds:(to_array adds)
-        ~dels:(to_array dels)
-    in
-    let next =
-      Snapshot.make ~base:b ~delta ~version:(Triple_store.fresh_epoch ())
-    in
-    Atomic.set t.current next;
-    if Delta.size delta >= t.compact_threshold then compact_locked t else next
+    (* Durability wait OUTSIDE the writer mutex: concurrent committers
+       pile onto one leader's fsync (group commit) instead of
+       serializing their syncs behind the lock. *)
+    (match (t.wal, lsn) with
+    | Some w, Some lsn -> Wal.commit_durable w lsn
+    | _ -> ());
+    next
+  end
 
 (* One-shot transactional write: buffer, commit, return the published
    snapshot. *)
@@ -167,3 +219,53 @@ let apply t ~inserts ~deletes =
   List.iter (insert txn) inserts;
   List.iter (delete txn) deletes;
   commit txn
+
+(* --- durability -------------------------------------------------------- *)
+
+let sync t = Option.iter Wal.sync t.wal
+
+let checkpoint t =
+  Mutex.protect t.writer @@ fun () ->
+  let cur = Atomic.get t.current in
+  if Delta.is_empty (Snapshot.delta cur) then begin
+    (* Nothing to fold, but rotating the log still bounds replay. *)
+    (match t.wal with Some w -> Wal.checkpoint w (Snapshot.base cur) | None -> ());
+    cur
+  end
+  else compact_locked t
+
+let open_dir ?(compact_threshold = default_compact_threshold) ?policy ?init
+    dirname =
+  let opened = Wal.open_dir ?policy ?init dirname in
+  let t =
+    {
+      current = Atomic.make (Snapshot.of_store opened.Wal.store);
+      writer = Mutex.create ();
+      compact_threshold = max 1 compact_threshold;
+      wal = Some opened.Wal.wal;
+    }
+  in
+  (match opened.Wal.txns with
+  | [] -> ()
+  | txns ->
+      (* Refold the committed prefix over the checkpointed base in one
+         pass (one published generation, not one per transaction) and
+         WITHOUT re-logging: the records are already durable. Auto-
+         compaction stays off during the refold — checkpointing from
+         inside replay would truncate a log whose tail only exists in
+         this list — and runs once at the end if the recovered delta
+         crossed the threshold. *)
+      Mutex.protect t.writer @@ fun () ->
+      let cur = Atomic.get t.current in
+      let b = Snapshot.base cur in
+      let adds = Hashtbl.create 1024 and dels = Hashtbl.create 64 in
+      List.iter
+        (fun { Wal.ops; _ } ->
+          fold_ops b adds dels
+            (List.map
+               (function
+                 | Wal.Add row -> Insert row | Wal.Del row -> Delete row)
+               ops))
+        txns;
+      ignore (publish_locked t ~b ~gen:1 adds dels));
+  (t, opened.Wal.recovery)

@@ -20,8 +20,30 @@ type t
 
 (** [create ?compact_threshold store] starts a lineage at [store] with
     an empty delta. [compact_threshold] (default 65536) is the buffered
-    row count at which a commit auto-compacts. *)
+    row count at which a commit auto-compacts. The lineage is purely
+    in-memory — see {!open_dir} for a durable one. *)
 val create : ?compact_threshold:int -> Triple_store.t -> t
+
+(** [open_dir dir] opens (or initializes, seeding a fresh directory
+    with [init ()] — default empty) a durable lineage backed by a
+    write-ahead log in [dir]: every commit appends its records to the
+    log before publishing and honors [policy] (default
+    [Wal.Every_commit]) before returning; compaction checkpoints the
+    folded base and truncates the log behind it. On reopen, the
+    committed prefix of the log is refolded over the last checkpoint —
+    exactly the transactions whose commit marker hit the disk are
+    restored. Raises {!Wal.Unrecoverable} when the directory needs
+    operator intervention. *)
+val open_dir :
+  ?compact_threshold:int ->
+  ?policy:Wal.sync_policy ->
+  ?init:(unit -> Triple_store.t) ->
+  string ->
+  t * Wal.recovery
+
+(** [wal t] — the log handle of a durable lineage ([None] for
+    {!create}d ones); exposes sync/batch counters. *)
+val wal : t -> Wal.t option
 
 (** [snapshot t] — the current consistent view; O(1), wait-free. *)
 val snapshot : t -> Snapshot.t
@@ -68,8 +90,21 @@ val abort : txn -> unit
 val apply :
   t -> inserts:Rdf.Triple.t list -> deletes:Rdf.Triple.t list -> Snapshot.t
 
-(** {1 Compaction} *)
+(** {1 Compaction and durability} *)
 
 (** [compact t] folds the current delta into a fresh base epoch and
-    publishes it (no-op on an empty delta); returns the new snapshot. *)
+    publishes it (no-op on an empty delta); returns the new snapshot.
+    On a durable lineage this doubles as the checkpoint: the folded
+    base is written atomically and the log truncated behind it, without
+    blocking pinned readers. *)
 val compact : t -> Snapshot.t
+
+(** [checkpoint t] — like {!compact}, but also rotates the log when the
+    delta is empty (bounding recovery replay to zero transactions).
+    No-op on an in-memory lineage. *)
+val checkpoint : t -> Snapshot.t
+
+(** [sync t] forces every appended commit to durable storage (useful
+    before exiting under the [Never]/[Interval] policies). No-op on an
+    in-memory lineage. *)
+val sync : t -> unit

@@ -229,17 +229,34 @@ let buffer_varint buf u =
   done;
   Buffer.add_char buf (Char.unsafe_chr !u)
 
-let save store path =
-  let oc = open_out_bin path in
+(* Crash-atomic: the bytes go to [path ^ ".tmp"], are fsynced, and only
+   then renamed over [path] — a kill at any instant leaves either the
+   old file intact or the new one complete, never a torn blend. The
+   term count is captured once up front and the (append-only, possibly
+   concurrently growing) dictionary iteration is capped at it, so a
+   VALUES intern racing the save cannot make the file declare fewer
+   terms than it writes. [dict_terms] lets the WAL checkpoint pin the
+   exact count its log accounting continues from. *)
+let save ?dict_terms store path =
+  let dict = Triple_store.dictionary store in
+  let nterms =
+    match dict_terms with Some n -> n | None -> Dictionary.size dict
+  in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  let committed = ref false in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      if not !committed then try Sys.remove tmp with Sys_error _ -> ())
     (fun () ->
       let digest = Digest_acc.create () in
       output_string oc magic;
       output_binary_int oc version_tag;
-      let dict = Triple_store.dictionary store in
-      write_int oc digest (Dictionary.size dict);
-      Dictionary.iter dict ~f:(fun _ term -> write_term oc digest term);
+      write_int oc digest nterms;
+      Dictionary.iter dict ~f:(fun id term ->
+          if id < nterms then write_term oc digest term);
+      Failpoint.hit "snapshot.save";
       let ntriples = Triple_store.size store in
       write_int oc digest ntriples;
       let nblocks = (ntriples + triples_per_block - 1) / triples_per_block in
@@ -285,7 +302,20 @@ let save store path =
           output_string oc payload;
           Digest_acc.add_string digest payload)
         payloads;
-      output_binary_int oc (Digest_acc.value digest))
+      output_binary_int oc (Digest_acc.value digest);
+      Stdlib.flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc);
+      close_out oc;
+      Failpoint.hit "snapshot.rename";
+      Sys.rename tmp path;
+      committed := true;
+      (* Make the rename itself durable (best-effort where directory
+         fsync is unsupported). *)
+      match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+      | fd ->
+          (try Unix.fsync fd with Unix.Unix_error _ -> ());
+          Unix.close fd
+      | exception Unix.Unix_error _ -> ())
 
 (* --- reading ----------------------------------------------------------- *)
 

@@ -91,8 +91,15 @@ val predicates : t -> (int * int) list
 exception Corrupt of string
 
 (** [save store path] writes a snapshot of a base store (compact an
-    MVCC store first; the file format always describes a full base). *)
-val save : Triple_store.t -> string -> unit
+    MVCC store first; the file format always describes a full base).
+
+    Crash-atomic: the file is written to [path ^ ".tmp"], fsynced and
+    renamed into place, so a crash mid-save never clobbers a previously
+    valid file at [path]. [dict_terms] caps how many dictionary entries
+    are persisted (default: the size at call time) — the dictionary is
+    append-only and may grow concurrently, and the WAL checkpoint needs
+    the written count pinned to the one its log accounting uses. *)
+val save : ?dict_terms:int -> Triple_store.t -> string -> unit
 
 (** [load path] reads a snapshot back. Raises {!Corrupt} on a malformed or
     truncated file. *)

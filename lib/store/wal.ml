@@ -1,0 +1,745 @@
+(* Write-ahead log: see wal.mli for the protocol overview.
+
+   On-disk layout of a segment:
+
+     "SUWL" | format version (u32 BE) | segment number (u32 BE)
+     record*
+
+   where each record is
+
+     payload length (u32 BE) | CRC-32 of payload (u32 BE) | payload
+
+   and a payload is either a transaction body
+
+     0x01 | txn id | first new term id | new term count
+          | (tag byte, varint-length-prefixed strings)*     terms
+          | op count | (kind byte, s, p, o)*                ops
+
+   or a commit marker
+
+     0x02 | txn id
+
+   (all unmarked integers unsigned 7-bit LE varints). Transaction ids
+   are 1-based per segment and strictly sequential; a transaction is
+   committed iff a valid marker immediately follows its valid body.
+   Bodies log every dictionary entry created since the previous commit
+   (or the checkpoint), not just the transaction's own terms — reader
+   paths (VALUES) intern into the shared dictionary too, and replay
+   must rebuild identical ids.
+
+   Concurrency: appends happen under the owning store's writer mutex
+   (one at a time); [t.m] protects the sync state shared with the
+   group-commit leader, which runs outside the writer mutex. *)
+
+type sync_policy = Never | Interval of float | Every_commit
+
+type op = Add of (int * int * int) | Del of (int * int * int)
+
+type txn_record = { txn_id : int; ops : op list }
+
+type recovery = {
+  checkpoint_seq : int;
+  replayed_txns : int;
+  replayed_ops : int;
+  truncated_bytes : int;
+  recovery_ms : float;
+  initialized : bool;
+}
+
+exception Unrecoverable of string
+
+let magic = "SUWL"
+let format_version = 1
+let header_size = 12
+
+(* Sanity bound on a single record; a length field beyond it is treated
+   as corruption, not an allocation request. *)
+let max_record = 1 lsl 28
+
+(* --- CRC-32 (IEEE 802.3, reflected — the zlib polynomial) ------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch ->
+      c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* --- little codec helpers --------------------------------------------- *)
+
+let add_u32 buf v =
+  Buffer.add_char buf (Char.unsafe_chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.unsafe_chr (v land 0xff))
+
+let get_u32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let add_varint buf u =
+  let u = ref u in
+  while !u >= 0x80 do
+    Buffer.add_char buf (Char.unsafe_chr (0x80 lor (!u land 0x7f)));
+    u := !u lsr 7
+  done;
+  Buffer.add_char buf (Char.unsafe_chr !u)
+
+let term_tag = function
+  | Rdf.Term.Iri _ -> 0
+  | Rdf.Term.Bnode _ -> 1
+  | Rdf.Term.Literal { kind = Rdf.Term.Plain; _ } -> 2
+  | Rdf.Term.Literal { kind = Rdf.Term.Lang _; _ } -> 3
+  | Rdf.Term.Literal { kind = Rdf.Term.Typed _; _ } -> 4
+
+let add_term buf term =
+  Buffer.add_char buf (Char.chr (term_tag term));
+  let str s =
+    add_varint buf (String.length s);
+    Buffer.add_string buf s
+  in
+  match term with
+  | Rdf.Term.Iri s | Rdf.Term.Bnode s -> str s
+  | Rdf.Term.Literal { value; kind = Rdf.Term.Plain } -> str value
+  | Rdf.Term.Literal { value; kind = Rdf.Term.Lang lang } ->
+      str value;
+      str lang
+  | Rdf.Term.Literal { value; kind = Rdf.Term.Typed dt } ->
+      str value;
+      str dt
+
+(* --- paths ------------------------------------------------------------- *)
+
+let segment_path dir seq = Filename.concat dir (Printf.sprintf "wal.%d.log" seq)
+
+let checkpoint_path dir seq =
+  Filename.concat dir (Printf.sprintf "checkpoint.%d.spuo" seq)
+
+let numbered ~prefix ~suffix name =
+  let lp = String.length prefix and ls = String.length suffix in
+  if
+    String.length name > lp + ls
+    && String.starts_with ~prefix name
+    && String.ends_with ~suffix name
+  then
+    match
+      int_of_string_opt (String.sub name lp (String.length name - lp - ls))
+    with
+    | Some n when n > 0 -> Some n
+    | _ -> None
+  else None
+
+let fsync_dir dir =
+  (* Make renames/creates/unlinks in [dir] durable; best-effort on file
+     systems that reject directory fsync. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let rec ensure_dir dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      invalid_arg (Printf.sprintf "Wal.open_dir: %s is not a directory" dir)
+  end
+  else begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* --- the handle -------------------------------------------------------- *)
+
+type t = {
+  dir : string;
+  policy : sync_policy;
+  mutable seq : int;
+  mutable oc : out_channel;
+  mutable fd : Unix.file_descr;
+  mutable next_txn : int; (* per-segment, 1-based *)
+  mutable logged_dict_size : int;
+  (* LSNs are cumulative bytes across segment rotations, so a commit's
+     durability target stays meaningful after its segment is replaced
+     by a checkpoint (which makes it durable by definition). *)
+  mutable lsn_base : int; (* LSN of this segment's byte 0 *)
+  mutable appended : int; (* LSN of the last fully appended commit *)
+  mutable synced : int; (* highest LSN known durable *)
+  mutable last_sync : float;
+  mutable unsynced_commits : int;
+  mutable syncing : bool; (* a group-commit leader is mid-fsync *)
+  m : Mutex.t;
+  cond : Condition.t;
+  (* counters *)
+  mutable n_commits : int;
+  mutable n_syncs : int;
+  mutable batched_commits : int;
+  mutable max_batch : int;
+  mutable n_checkpoints : int;
+}
+
+type opened = {
+  wal : t;
+  store : Triple_store.t;
+  txns : txn_record list;
+  recovery : recovery;
+}
+
+type stats = {
+  commits : int;
+  syncs : int;
+  batched_commits : int;
+  max_batch : int;
+  checkpoints : int;
+  appended_bytes : int;
+  segment : int;
+}
+
+let policy t = t.policy
+let dir t = t.dir
+let segment_file t = segment_path t.dir t.seq
+
+let appended_lsn t = Mutex.protect t.m (fun () -> t.appended)
+let synced_lsn t = Mutex.protect t.m (fun () -> t.synced)
+
+let stats t =
+  Mutex.protect t.m (fun () ->
+      {
+        commits = t.n_commits;
+        syncs = t.n_syncs;
+        batched_commits = t.batched_commits;
+        max_batch = t.max_batch;
+        checkpoints = t.n_checkpoints;
+        appended_bytes = t.appended - t.lsn_base;
+        segment = t.seq;
+      })
+
+(* --- appending --------------------------------------------------------- *)
+
+let frame payload =
+  let buf = Buffer.create (String.length payload + 8) in
+  add_u32 buf (String.length payload);
+  add_u32 buf (crc32 payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let encode_body t ~dict ~ops =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '\001';
+  add_varint buf t.next_txn;
+  let size_now = Dictionary.size dict in
+  add_varint buf t.logged_dict_size;
+  add_varint buf (size_now - t.logged_dict_size);
+  for id = t.logged_dict_size to size_now - 1 do
+    add_term buf (Dictionary.decode dict id)
+  done;
+  add_varint buf (List.length ops);
+  List.iter
+    (fun op ->
+      let kind, (s, p, o) =
+        match op with Add row -> ('\000', row) | Del row -> ('\001', row)
+      in
+      Buffer.add_char buf kind;
+      add_varint buf s;
+      add_varint buf p;
+      add_varint buf o)
+    ops;
+  (Buffer.contents buf, size_now)
+
+let encode_marker txn_id =
+  let buf = Buffer.create 8 in
+  Buffer.add_char buf '\002';
+  add_varint buf txn_id;
+  Buffer.contents buf
+
+let append_commit t ~dict ~ops =
+  let body, size_now = encode_body t ~dict ~ops in
+  let marker = encode_marker t.next_txn in
+  (* File offset of the previous commit boundary, for rollback. *)
+  let rollback_to = t.appended - t.lsn_base in
+  try
+    Failpoint.hit "wal.record";
+    output_string t.oc (frame body);
+    flush t.oc;
+    Failpoint.hit "wal.marker";
+    output_string t.oc (frame marker);
+    flush t.oc;
+    let lsn = t.lsn_base + pos_out t.oc in
+    Mutex.lock t.m;
+    t.appended <- lsn;
+    t.unsynced_commits <- t.unsynced_commits + 1;
+    t.n_commits <- t.n_commits + 1;
+    Mutex.unlock t.m;
+    t.next_txn <- t.next_txn + 1;
+    t.logged_dict_size <- size_now;
+    lsn
+  with e ->
+    (* A failed append must not leave a dangling body (or torn bytes)
+       in front of later commits on a {e live} segment: roll the file
+       back to the last committed boundary. (A real crash leaves the
+       tail in place — recovery truncates it the same way.) *)
+    (try
+       flush t.oc;
+       Unix.ftruncate t.fd rollback_to;
+       seek_out t.oc rollback_to
+     with _ -> ());
+    raise e
+
+(* --- group commit ------------------------------------------------------ *)
+
+let ensure_synced t target =
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.m;
+    if t.synced >= target then begin
+      Mutex.unlock t.m;
+      continue_ := false
+    end
+    else if t.syncing then begin
+      (* Another committer is the leader; its fsync will cover us (or
+         we re-check and lead the next round). *)
+      Condition.wait t.cond t.m;
+      Mutex.unlock t.m
+    end
+    else begin
+      t.syncing <- true;
+      let upto = t.appended in
+      let batch = t.unsynced_commits in
+      t.unsynced_commits <- 0;
+      let fd = t.fd in
+      Mutex.unlock t.m;
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.lock t.m;
+          t.syncing <- false;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.m)
+        (fun () ->
+          Failpoint.hit "wal.sync.pre";
+          Unix.fsync fd;
+          Failpoint.hit "wal.sync.post";
+          Mutex.lock t.m;
+          if upto > t.synced then t.synced <- upto;
+          t.last_sync <- Unix.gettimeofday ();
+          t.n_syncs <- t.n_syncs + 1;
+          t.batched_commits <- t.batched_commits + batch;
+          if batch > t.max_batch then t.max_batch <- batch;
+          Mutex.unlock t.m)
+    end
+  done
+
+let sync t = ensure_synced t (appended_lsn t)
+
+let commit_durable t lsn =
+  match t.policy with
+  | Never -> ()
+  | Every_commit -> ensure_synced t lsn
+  | Interval dt ->
+      let due =
+        Mutex.protect t.m (fun () -> Unix.gettimeofday () -. t.last_sync >= dt)
+      in
+      if due then ensure_synced t (appended_lsn t)
+
+(* --- segments ---------------------------------------------------------- *)
+
+let start_segment dir seq =
+  let oc =
+    open_out_gen
+      [ Open_wronly; Open_creat; Open_trunc; Open_binary ]
+      0o644 (segment_path dir seq)
+  in
+  output_string oc magic;
+  output_binary_int oc format_version;
+  output_binary_int oc seq;
+  flush oc;
+  let fd = Unix.descr_of_out_channel oc in
+  Unix.fsync fd;
+  (oc, fd)
+
+let remove_superseded dir keep =
+  Array.iter
+    (fun name ->
+      let stale =
+        match numbered ~prefix:"wal." ~suffix:".log" name with
+        | Some n -> n < keep
+        | None -> (
+            match numbered ~prefix:"checkpoint." ~suffix:".spuo" name with
+            | Some n -> n < keep
+            | None -> String.length name > 4 && String.ends_with ~suffix:".tmp" name)
+      in
+      if stale then
+        try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  fsync_dir dir
+
+let checkpoint t store =
+  (* Called under the owning store's writer mutex: no append can
+     interleave. The checkpoint captures every commit logged so far
+     (they are all folded into [store] or its published delta), so the
+     old segment's contents become redundant the instant the rename
+     lands. Order matters: rename the checkpoint (atomic, fsynced),
+     open the fresh segment, only then delete the superseded files — a
+     crash between any two steps leaves a recoverable directory. *)
+  let next = t.seq + 1 in
+  let dict_terms = Dictionary.size (Triple_store.dictionary store) in
+  Snapshot.save ~dict_terms store (checkpoint_path t.dir next);
+  fsync_dir t.dir;
+  (* Wait out any in-flight group-commit fsync before swapping the
+     segment under it. *)
+  Mutex.lock t.m;
+  while t.syncing do
+    Condition.wait t.cond t.m
+  done;
+  Mutex.unlock t.m;
+  let oc, fd = start_segment t.dir next in
+  fsync_dir t.dir;
+  let old_oc = t.oc in
+  Mutex.lock t.m;
+  t.oc <- oc;
+  t.fd <- fd;
+  t.seq <- next;
+  t.lsn_base <- t.appended;
+  (* Everything appended before the rotation is durable via the
+     checkpoint; release any waiter blocked on an old-segment LSN. *)
+  t.synced <- t.appended;
+  t.unsynced_commits <- 0;
+  t.n_checkpoints <- t.n_checkpoints + 1;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.m;
+  t.next_txn <- 1;
+  t.logged_dict_size <- dict_terms;
+  close_out_noerr old_oc;
+  remove_superseded t.dir next
+
+let close t =
+  (try sync t with _ -> ());
+  close_out_noerr t.oc
+
+(* --- recovery ---------------------------------------------------------- *)
+
+exception Bad_payload
+
+type body = {
+  ptxn_id : int;
+  pfirst_term : int;
+  pterms : Rdf.Term.t list;
+  pops : op list;
+}
+
+type payload = Body of body | Marker of int
+
+let parse_payload payload =
+  let len = String.length payload in
+  let pos = ref 0 in
+  let byte () =
+    if !pos >= len then raise Bad_payload
+    else begin
+      let c = Char.code (String.unsafe_get payload !pos) in
+      incr pos;
+      c
+    end
+  in
+  let varint () =
+    let u = ref 0 and shift = ref 0 and continue_ = ref true in
+    while !continue_ do
+      if !shift > 63 then raise Bad_payload;
+      let b = byte () in
+      u := !u lor ((b land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      continue_ := b land 0x80 <> 0
+    done;
+    !u
+  in
+  let rstring () =
+    let n = varint () in
+    if n > len - !pos then raise Bad_payload;
+    let s = String.sub payload !pos n in
+    pos := !pos + n;
+    s
+  in
+  let rterm () =
+    match byte () with
+    | 0 -> Rdf.Term.iri (rstring ())
+    | 1 -> Rdf.Term.bnode (rstring ())
+    | 2 -> Rdf.Term.literal (rstring ())
+    | 3 ->
+        let value = rstring () in
+        Rdf.Term.lang_literal value ~lang:(rstring ())
+    | 4 ->
+        let value = rstring () in
+        Rdf.Term.typed_literal value ~datatype:(rstring ())
+    | _ -> raise Bad_payload
+  in
+  let read_n n f =
+    if n < 0 || n > len then raise Bad_payload;
+    let acc = ref [] in
+    for _ = 1 to n do
+      acc := f () :: !acc
+    done;
+    List.rev !acc
+  in
+  let result =
+    match byte () with
+    | 1 ->
+        let ptxn_id = varint () in
+        let pfirst_term = varint () in
+        let pterms = read_n (varint ()) rterm in
+        let pops =
+          read_n (varint ()) (fun () ->
+              let kind = byte () in
+              let s = varint () in
+              let p = varint () in
+              let o = varint () in
+              match kind with
+              | 0 -> Add (s, p, o)
+              | 1 -> Del (s, p, o)
+              | _ -> raise Bad_payload)
+        in
+        Body { ptxn_id; pfirst_term; pterms; pops }
+    | 2 -> Marker (varint ())
+    | _ -> raise Bad_payload
+  in
+  if !pos <> len then raise Bad_payload;
+  result
+
+(* Replay one segment's records against [dict], interning a committed
+   transaction's terms only once its marker validates (a dangling
+   body's terms must not poison the dictionary: they are about to be
+   truncated from disk, and un-logged dictionary entries would break
+   the id chain for every later commit). Returns the committed
+   transactions in order and the byte offset of the last committed
+   boundary. *)
+let replay_records dict data =
+  let len = String.length data in
+  let committed = ref [] in
+  let pos = ref header_size in
+  let valid_end = ref header_size in
+  let next_txn = ref 1 in
+  let pending = ref None in
+  let stop = ref false in
+  while not !stop do
+    if !pos + 8 > len then stop := true
+    else begin
+      let rlen = get_u32 data !pos in
+      let rcrc = get_u32 data (!pos + 4) in
+      if rlen <= 0 || rlen > max_record || !pos + 8 + rlen > len then
+        stop := true
+      else begin
+        let payload = String.sub data (!pos + 8) rlen in
+        if crc32 payload <> rcrc then stop := true
+        else begin
+          match parse_payload payload with
+          | exception Bad_payload -> stop := true
+          | Body b ->
+              let nterms = List.length b.pterms in
+              let ids_ok =
+                List.for_all
+                  (fun (Add (s, p, o) | Del (s, p, o)) ->
+                    let bound = b.pfirst_term + nterms in
+                    s < bound && p < bound && o < bound)
+                  b.pops
+              in
+              if
+                !pending <> None
+                || b.ptxn_id <> !next_txn
+                || b.pfirst_term <> Dictionary.size dict
+                || not ids_ok
+              then stop := true
+              else begin
+                pending := Some b;
+                pos := !pos + 8 + rlen
+              end
+          | Marker id -> (
+              match !pending with
+              | Some b when b.ptxn_id = id ->
+                  (* Validate the new terms are genuinely new and
+                     pairwise distinct BEFORE interning any: a partial
+                     intern of a rejected transaction would leave
+                     dictionary entries no durable record describes. *)
+                  let seen = Hashtbl.create 16 in
+                  let fresh term =
+                    (not (Hashtbl.mem seen term))
+                    && Dictionary.find dict term = None
+                    && (Hashtbl.replace seen term ();
+                        true)
+                  in
+                  if not (List.for_all fresh b.pterms) then stop := true
+                  else begin
+                    List.iter
+                      (fun term -> ignore (Dictionary.encode dict term))
+                      b.pterms;
+                    committed := { txn_id = id; ops = b.pops } :: !committed;
+                    pending := None;
+                    next_txn := id + 1;
+                    pos := !pos + 8 + rlen;
+                    valid_end := !pos
+                  end
+              | _ -> stop := true)
+        end
+      end
+    end
+  done;
+  (List.rev !committed, !valid_end)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let make_handle ~dir ~policy ~seq ~oc ~fd ~next_txn ~logged_dict_size ~offset =
+  {
+    dir;
+    policy;
+    seq;
+    oc;
+    fd;
+    next_txn;
+    logged_dict_size;
+    lsn_base = 0;
+    appended = offset;
+    synced = offset;
+    last_sync = Unix.gettimeofday ();
+    unsynced_commits = 0;
+    syncing = false;
+    m = Mutex.create ();
+    cond = Condition.create ();
+    n_commits = 0;
+    n_syncs = 0;
+    batched_commits = 0;
+    max_batch = 0;
+    n_checkpoints = 0;
+  }
+
+let open_dir ?(policy = Every_commit) ?init dirname =
+  ensure_dir dirname;
+  let t0 = Unix.gettimeofday () in
+  let names = Sys.readdir dirname in
+  let collect prefix suffix =
+    Array.to_list names
+    |> List.filter_map (fun n -> numbered ~prefix ~suffix n)
+  in
+  let checkpoints = collect "checkpoint." ".spuo" in
+  let segments = collect "wal." ".log" in
+  if checkpoints = [] && segments <> [] then
+    raise (Unrecoverable (dirname ^ ": log segments but no checkpoint"));
+  if checkpoints = [] then begin
+    (* Fresh directory: seed it with [init ()] as checkpoint 1. *)
+    let store =
+      match init with Some f -> f () | None -> Triple_store.of_triples []
+    in
+    let dict_terms = Dictionary.size (Triple_store.dictionary store) in
+    Snapshot.save ~dict_terms store (checkpoint_path dirname 1);
+    let oc, fd = start_segment dirname 1 in
+    fsync_dir dirname;
+    let wal =
+      make_handle ~dir:dirname ~policy ~seq:1 ~oc ~fd ~next_txn:1
+        ~logged_dict_size:dict_terms ~offset:header_size
+    in
+    let recovery_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    {
+      wal;
+      store;
+      txns = [];
+      recovery =
+        {
+          checkpoint_seq = 1;
+          replayed_txns = 0;
+          replayed_ops = 0;
+          truncated_bytes = 0;
+          recovery_ms;
+          initialized = true;
+        };
+    }
+  end
+  else begin
+    let seq = List.fold_left max 0 checkpoints in
+    if List.exists (fun s -> s > seq) segments then
+      raise
+        (Unrecoverable
+           (dirname ^ ": log segment newer than the newest checkpoint"));
+    let store =
+      try Snapshot.load (checkpoint_path dirname seq)
+      with Snapshot.Corrupt msg ->
+        raise
+          (Unrecoverable
+             (Printf.sprintf "%s: checkpoint %d is corrupt (%s)" dirname seq
+                msg))
+    in
+    let dict = Triple_store.dictionary store in
+    let seg = segment_path dirname seq in
+    let txns, valid_end, file_len =
+      if not (Sys.file_exists seg) then ([], header_size, header_size)
+      else begin
+        let data = read_file seg in
+        let len = String.length data in
+        if len < header_size then
+          (* Torn segment creation: no record can exist. *)
+          ([], header_size, len)
+        else if
+          String.sub data 0 4 <> magic
+          || get_u32 data 4 <> format_version
+          || get_u32 data 8 <> seq
+        then
+          raise
+            (Unrecoverable
+               (Printf.sprintf "%s: bad segment header" seg))
+        else begin
+          let txns, valid_end = replay_records dict data in
+          (txns, valid_end, len)
+        end
+      end
+    in
+    (* Physically truncate the torn tail (or recreate a missing/torn
+       segment), then reopen for append at the committed boundary. *)
+    let oc, fd =
+      if file_len < header_size then start_segment dirname seq
+      else begin
+        if valid_end < file_len then begin
+          let tfd = Unix.openfile seg [ Unix.O_WRONLY ] 0o644 in
+          Unix.ftruncate tfd valid_end;
+          Unix.fsync tfd;
+          Unix.close tfd
+        end;
+        let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 seg in
+        seek_out oc valid_end;
+        (oc, Unix.descr_of_out_channel oc)
+      end
+    in
+    let wal =
+      make_handle ~dir:dirname ~policy ~seq ~oc ~fd
+        ~next_txn:(List.length txns + 1)
+        ~logged_dict_size:(Dictionary.size dict) ~offset:valid_end
+    in
+    remove_superseded dirname seq;
+    let recovery_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    {
+      wal;
+      store;
+      txns;
+      recovery =
+        {
+          checkpoint_seq = seq;
+          replayed_txns = List.length txns;
+          replayed_ops =
+            List.fold_left (fun acc tr -> acc + List.length tr.ops) 0 txns;
+          truncated_bytes = max 0 (file_len - valid_end);
+          recovery_ms;
+          initialized = false;
+        };
+    }
+  end

@@ -1,0 +1,130 @@
+(** Write-ahead logging and crash recovery for the MVCC store.
+
+    A durable store lineage lives in a directory holding exactly one
+    current checkpoint ([checkpoint.N.spuo], the {!Snapshot} v2 format)
+    and one current log segment ([wal.N.log]). Every committed
+    transaction appends two length-prefixed, CRC-32-checksummed
+    records — a body (newly interned dictionary terms plus the buffered
+    ops, in order) and a commit marker — to the segment {e before} the
+    in-memory snapshot is published. A transaction is durable exactly
+    when its marker record is durable.
+
+    {b Sync policies.} Appends always flush to the OS (a process crash
+    loses nothing); [fsync] frequency is the policy: [Never] leaves it
+    to the kernel, [Interval s] syncs when at least [s] seconds have
+    passed since the last sync, [Every_commit] syncs before the commit
+    returns. Syncs are {e group commits}: concurrent committers elect
+    one leader whose single [fsync] covers every commit appended before
+    it; the rest wait on a condition variable.
+
+    {b Checkpointing.} [checkpoint] (called from the MVCC compaction
+    path, under the owner's writer mutex) atomically writes
+    [checkpoint.(N+1).spuo] (temp + fsync + rename), starts a fresh
+    [wal.(N+1).log], and deletes the superseded files — the WAL is
+    truncated behind the checkpoint without ever holding a state both
+    files describe ambiguously.
+
+    {b Recovery.} {!open_dir} loads the highest-numbered checkpoint,
+    replays its log segment, and stops at the first torn, misordered or
+    checksum-failing record, physically truncating the segment to the
+    last committed boundary — exactly the committed prefix survives,
+    never a torn blend. *)
+
+type t
+
+type sync_policy =
+  | Never  (** flush to the OS only; the kernel decides when to sync *)
+  | Interval of float  (** sync when this many seconds passed since the last *)
+  | Every_commit  (** sync (group commit) before every commit returns *)
+
+(** A buffered transaction op as logged: encoded ids, in buffer order. *)
+type op = Add of (int * int * int) | Del of (int * int * int)
+
+(** One committed transaction recovered from the log. [txn_id] is the
+    1-based position within its segment. *)
+type txn_record = { txn_id : int; ops : op list }
+
+type recovery = {
+  checkpoint_seq : int;  (** segment/checkpoint number recovered from *)
+  replayed_txns : int;
+  replayed_ops : int;
+  truncated_bytes : int;
+      (** torn/corrupt tail bytes physically removed from the segment *)
+  recovery_ms : float;
+  initialized : bool;  (** the directory was fresh: [init] seeded it *)
+}
+
+type opened = {
+  wal : t;
+  store : Triple_store.t;  (** the checkpointed base *)
+  txns : txn_record list;  (** committed prefix, in commit order *)
+  recovery : recovery;
+}
+
+(** Raised when the directory cannot be recovered without operator
+    intervention (corrupt checkpoint, log segment without a checkpoint,
+    segment newer than the newest checkpoint). Distinct from ordinary
+    torn-tail truncation, which recovery handles silently. *)
+exception Unrecoverable of string
+
+(** [open_dir dir] recovers (or, for a fresh/empty directory,
+    initializes with [init ()], default empty) a durable lineage.
+    Creates [dir] if missing. New dictionary terms recovered from the
+    log are interned into the returned store's dictionary; the caller
+    replays [txns] over [store] to rebuild the committed state. *)
+val open_dir :
+  ?policy:sync_policy -> ?init:(unit -> Triple_store.t) -> string -> opened
+
+(** [append_commit t ~dict ~ops] appends a body and marker record for
+    the next transaction and returns its log sequence number (to pass
+    to {!commit_durable}). New dictionary entries since the last append
+    (or checkpoint) are logged in the body, covering terms interned by
+    reader paths too. Must be called under the owning store's writer
+    mutex. On failure the segment is rolled back to the previous commit
+    boundary before the exception escapes. *)
+val append_commit : t -> dict:Dictionary.t -> ops:op list -> int
+
+(** [commit_durable t lsn] applies the sync policy for a commit whose
+    append returned [lsn]: waits until [lsn] is synced ([Every_commit]),
+    syncs if the interval elapsed ([Interval]), or returns ([Never]).
+    Safe from any domain; concurrent callers share one fsync. *)
+val commit_durable : t -> int -> unit
+
+(** [sync t] forces everything appended so far to durable storage. *)
+val sync : t -> unit
+
+(** [checkpoint t store] — see the module header. [store] must be the
+    base the current published snapshot folds down to (compaction) or
+    replaces the lineage with ([set_base]). Must be called under the
+    owning store's writer mutex. *)
+val checkpoint : t -> Triple_store.t -> unit
+
+(** [close t] syncs and closes the segment. [t] is unusable after. *)
+val close : t -> unit
+
+val policy : t -> sync_policy
+val dir : t -> string
+
+(** Path of the current log segment (tests truncate copies of it). *)
+val segment_file : t -> string
+
+(** LSN of the last fully appended commit ([0] maps below the first
+    segment's header; LSNs are cumulative across segment rotations). *)
+val appended_lsn : t -> int
+
+val synced_lsn : t -> int
+
+type stats = {
+  commits : int;  (** transactions appended *)
+  syncs : int;  (** fsyncs issued *)
+  batched_commits : int;  (** commits covered by those fsyncs *)
+  max_batch : int;  (** largest single group commit *)
+  checkpoints : int;  (** rotations since open *)
+  appended_bytes : int;  (** bytes appended to the current segment *)
+  segment : int;  (** current segment number *)
+}
+
+val stats : t -> stats
+
+(** Exposed for tests: the CRC-32 (IEEE, reflected) of a string. *)
+val crc32 : string -> int

@@ -415,6 +415,65 @@ let prop_snapshot_isolation =
             [ Engine.Bgp_eval.Wco; Engine.Bgp_eval.Hash_join ])
         Sparql_uo.Executor.all_modes)
 
+(* --- Retry backoff -------------------------------------------------------- *)
+
+(* The delay schedule is pure state: same seed, same sequence. *)
+let test_backoff_deterministic () =
+  let draw seed n =
+    let b = Sparql_uo.Session.backoff ~seed ~sleep:(fun _ -> ()) () in
+    List.init n (fun _ -> Sparql_uo.Session.backoff_delay b)
+  in
+  Alcotest.(check (list (float 0.0)))
+    "same seed, same delays" (draw 7 20) (draw 7 20);
+  Alcotest.(check bool) "different seeds diverge" true
+    (draw 7 20 <> draw 8 20)
+
+(* Decorrelated jitter stays within [base, cap] and ramps up from the
+   base: the first delay is at most 3x base. *)
+let test_backoff_bounds () =
+  let base_ms = 2.0 and cap_ms = 40.0 in
+  List.iter
+    (fun seed ->
+      let b =
+        Sparql_uo.Session.backoff ~base_ms ~cap_ms ~seed
+          ~sleep:(fun _ -> ())
+          ()
+      in
+      let first = Sparql_uo.Session.backoff_delay b in
+      Alcotest.(check bool) "first delay within [base, 3*base]" true
+        (first >= base_ms && first <= 3.0 *. base_ms);
+      for _ = 1 to 50 do
+        let d = Sparql_uo.Session.backoff_delay b in
+        Alcotest.(check bool) "delay within [base, cap]" true
+          (d >= base_ms && d <= cap_ms)
+      done)
+    [ 1; 2; 3; 42; 1337 ]
+
+(* A transient-failure retry actually draws from the schedule: one
+   one-shot injected fault forces exactly one retry, so the captured
+   sleep fires exactly once, with an in-range delay. *)
+let test_retry_sleeps_with_backoff () =
+  let session = Sparql_uo.Session.create (store_of [ triple 0 1 ]) in
+  let slept = ref [] in
+  let backoff =
+    Sparql_uo.Session.backoff ~base_ms:1.0 ~cap_ms:50.0 ~seed:5
+      ~sleep:(fun ms -> slept := ms :: !slept)
+      ()
+  in
+  let faults = [ Sparql_uo.Governor.fault ~site:"scan" ~after:1 ] in
+  let report =
+    Sparql_uo.Session.run ~retries:2 ~faults ~backoff session
+      "SELECT * WHERE { ?x <http://t/p0> ?y . }"
+  in
+  Alcotest.(check int) "retry succeeded after the one-shot fault" 1
+    (count report);
+  Alcotest.(check int) "exactly one backoff sleep" 1 (List.length !slept);
+  List.iter
+    (fun ms ->
+      Alcotest.(check bool) "slept an in-range delay" true
+        (ms >= 1.0 && ms <= 50.0))
+    !slept
+
 let () =
   Alcotest.run "session"
     [
@@ -458,5 +517,14 @@ let () =
         [
           Alcotest.test_case "4-domain shared session" `Quick
             test_concurrent_session_runs;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "deterministic under a seed" `Quick
+            test_backoff_deterministic;
+          Alcotest.test_case "delays within [base, cap]" `Quick
+            test_backoff_bounds;
+          Alcotest.test_case "retries sleep through the schedule" `Quick
+            test_retry_sleeps_with_backoff;
         ] );
     ]

@@ -1,0 +1,632 @@
+(* Crash-recovery tests for the write-ahead log: a byte-offset sweep
+   proving that truncating the log anywhere recovers exactly the
+   committed prefix (against a sequential oracle), handcrafted
+   torn-record / flipped-CRC / duplicate-marker corruptions, failpoint
+   kills at every WAL and checkpoint site, crash-atomic snapshot saves,
+   group commit under concurrent committers, and sync-policy
+   accounting. *)
+
+module W = Rdf_store.Wal
+module M = Rdf_store.Mvcc
+module Gov = Sparql_uo.Governor
+
+(* ---------------- filesystem helpers ---------------- *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "spuo_wal_%d_%d" (Unix.getpid ()) !dir_counter)
+  in
+  rm_rf d;
+  d
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  data
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* Copy [src] into a fresh directory, truncating its wal file to [k]
+   bytes — the on-disk state a crash at byte offset [k] leaves. *)
+let crashed_copy src k =
+  let dst = fresh_dir () in
+  Unix.mkdir dst 0o755;
+  Array.iter
+    (fun name ->
+      let data = read_file (Filename.concat src name) in
+      let data =
+        if String.starts_with ~prefix:"wal." name then
+          String.sub data 0 (min k (String.length data))
+        else data
+      in
+      write_file (Filename.concat dst name) data)
+    (Sys.readdir src);
+  dst
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+(* ---------------- store helpers ---------------- *)
+
+let tri i =
+  Rdf.Triple.make
+    (Rdf.Term.iri (Printf.sprintf "http://w/s%d" i))
+    (Rdf.Term.iri "http://w/p")
+    (Rdf.Term.int_literal i)
+
+(* The visible triples of an MVCC store, decoded and sorted — the value
+   every recovery assertion compares. *)
+let visible t =
+  let snap = M.snapshot t in
+  let acc = ref [] in
+  Rdf_store.Snapshot.iter_all snap ~f:(fun ~s ~p ~o ->
+      acc :=
+        Rdf.Triple.to_ntriples
+          (Rdf.Triple.make
+             (Rdf_store.Snapshot.decode_term snap s)
+             (Rdf_store.Snapshot.decode_term snap p)
+             (Rdf_store.Snapshot.decode_term snap o))
+        :: !acc);
+  List.sort compare !acc
+
+let triples = Alcotest.(list string)
+
+let wal_of t =
+  match M.wal t with
+  | Some w -> w
+  | None -> Alcotest.fail "durable store has no WAL handle"
+
+let seg_size t = file_size (W.segment_file (wal_of t))
+
+(* Commit one transaction applying [ops] in order (Add/Del). *)
+let commit_ops t ops =
+  let txn = M.begin_txn t in
+  List.iter
+    (function
+      | `Add i -> M.insert txn (tri i)
+      | `Del i -> M.delete txn (tri i))
+    ops;
+  ignore (M.commit txn)
+
+(* ---------------- committed-prefix sweep ---------------- *)
+
+(* Build a durable store, committing [txns] (lists of ops) one
+   transaction at a time; return the directory, the per-commit segment
+   boundaries and the per-commit oracle states (sorted triples), both
+   including index 0 = the freshly initialized state. *)
+let build_dir ?init txns =
+  let dir = fresh_dir () in
+  let t, recovery = M.open_dir ?init ~policy:W.Every_commit dir in
+  if not recovery.W.initialized then
+    Alcotest.fail "fresh dir did not initialize";
+  let boundaries = ref [ seg_size t ] in
+  let states = ref [ visible t ] in
+  List.iter
+    (fun ops ->
+      commit_ops t ops;
+      boundaries := seg_size t :: !boundaries;
+      states := visible t :: !states)
+    txns;
+  (dir, t, Array.of_list (List.rev !boundaries), Array.of_list (List.rev !states))
+
+(* The oracle: a crash at byte offset [k] must recover state [i] where
+   [i] is the last commit whose boundary fits in [k] bytes. *)
+let expected_index boundaries k =
+  let i = ref 0 in
+  Array.iteri (fun j b -> if b <= k then i := j) boundaries;
+  !i
+
+(* Number of txns actually appended to the log by the first [i] commits:
+   a commit whose ops all no-op (unknown-term deletes) buffers nothing,
+   so it neither publishes nor appends — the boundary doesn't move. *)
+let appended_up_to boundaries i =
+  let n = ref 0 in
+  for j = 1 to i do
+    if boundaries.(j) > boundaries.(j - 1) then incr n
+  done;
+  !n
+
+let check_crash_at ~dir ~boundaries ~states k =
+  let copy = crashed_copy dir k in
+  let t, recovery = M.open_dir copy in
+  let i = expected_index boundaries k in
+  Alcotest.check triples
+    (Printf.sprintf "crash at offset %d recovers commit prefix %d" k i)
+    states.(i) (visible t);
+  let appended = appended_up_to boundaries i in
+  Alcotest.(check int)
+    (Printf.sprintf "crash at offset %d replays %d txn(s)" k appended)
+    appended recovery.W.replayed_txns;
+  (* The torn tail is both reported and physically gone. *)
+  if k >= 12 then begin
+    Alcotest.(check int)
+      (Printf.sprintf "crash at offset %d truncates the tail" k)
+      (k - boundaries.(i))
+      recovery.W.truncated_bytes;
+    Alcotest.(check int)
+      (Printf.sprintf "segment truncated to boundary %d" i)
+      boundaries.(i)
+      (file_size (W.segment_file (wal_of t)))
+  end;
+  (* The recovered lineage keeps working: one more commit, one more
+     reopen, nothing lost. *)
+  commit_ops t [ `Add 999 ];
+  let after = visible t in
+  let t2, r2 = M.open_dir copy in
+  Alcotest.check triples
+    (Printf.sprintf "post-recovery commit at offset %d survives reopen" k)
+    after (visible t2);
+  Alcotest.(check int) "reopen replays the extra txn" (appended + 1)
+    r2.W.replayed_txns;
+  rm_rf copy
+
+(* Exhaustive: every byte offset of a small log is a crash point. *)
+let test_committed_prefix_sweep () =
+  let txns =
+    [ [ `Add 1; `Add 2 ]; [ `Del 1 ]; [ `Add 3 ]; [ `Del 2; `Add 1 ];
+      [ `Add 4; `Del 3; `Add 5 ] ]
+  in
+  let dir, _t, boundaries, states = build_dir txns in
+  let len = boundaries.(Array.length boundaries - 1) in
+  for k = 0 to len do
+    check_crash_at ~dir ~boundaries ~states k
+  done;
+  rm_rf dir
+
+(* qcheck: random workloads (including re-adds and deletes over a seeded
+   base), random crash offset — same committed-prefix contract. *)
+let prop_committed_prefix =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 8)
+           (list_size (int_range 1 4)
+              (map
+                 (fun (d, i) -> if d then `Del i else `Add i)
+                 (pair bool (int_range 0 7)))))
+        (int_range 0 1000))
+  in
+  QCheck2.Test.make ~name:"crash anywhere recovers the committed prefix"
+    ~count:60 gen (fun (txns, koff) ->
+      let init () = Rdf_store.Triple_store.of_triples [ tri 0; tri 1 ] in
+      let dir, _t, boundaries, states = build_dir ~init txns in
+      let len = boundaries.(Array.length boundaries - 1) in
+      let k = koff mod (len + 1) in
+      let copy = crashed_copy dir k in
+      let t, recovery = M.open_dir copy in
+      let i = expected_index boundaries k in
+      let ok =
+        visible t = states.(i)
+        && recovery.W.replayed_txns = appended_up_to boundaries i
+        && (k < 12 || recovery.W.truncated_bytes = k - boundaries.(i))
+      in
+      rm_rf copy;
+      rm_rf dir;
+      ok)
+
+(* ---------------- handcrafted corruptions ---------------- *)
+
+let get_u32 data off =
+  let b i = Char.code data.[off + i] in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let test_torn_record () =
+  let dir, t, boundaries, states = build_dir [ [ `Add 1 ]; [ `Add 2 ]; [ `Add 3 ] ] in
+  let seg = W.segment_file (wal_of t) in
+  (* Tear the last commit's marker: 3 bytes off the end. *)
+  let data = read_file seg in
+  write_file seg (String.sub data 0 (String.length data - 3));
+  let t2, r = M.open_dir dir in
+  Alcotest.check triples "torn tail drops exactly the last txn" states.(2)
+    (visible t2);
+  Alcotest.(check int) "two txns replayed" 2 r.W.replayed_txns;
+  Alcotest.(check int) "torn bytes reported"
+    (String.length data - 3 - boundaries.(2))
+    r.W.truncated_bytes;
+  Alcotest.(check int) "segment physically truncated" boundaries.(2)
+    (file_size seg);
+  rm_rf dir
+
+let test_flipped_crc () =
+  let dir, t, boundaries, states = build_dir [ [ `Add 1 ]; [ `Add 2 ]; [ `Add 3 ] ] in
+  let seg = W.segment_file (wal_of t) in
+  (* Flip one payload byte inside txn 2's body record: its CRC fails, so
+     txn 2 and everything after it is gone — the committed prefix is
+     whatever still checks out. *)
+  let data = read_file seg in
+  let off = boundaries.(1) + 8 + 1 in
+  let b = Bytes.of_string data in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xff));
+  write_file seg (Bytes.to_string b);
+  let t2, r = M.open_dir dir in
+  Alcotest.check triples "CRC failure truncates from the bad record"
+    states.(1) (visible t2);
+  Alcotest.(check int) "one txn replayed" 1 r.W.replayed_txns;
+  Alcotest.(check int) "everything after the bad record truncated"
+    (String.length data - boundaries.(1))
+    r.W.truncated_bytes;
+  (* The lineage stays writable at the truncated boundary. *)
+  commit_ops t2 [ `Add 7 ];
+  let t3, _ = M.open_dir dir in
+  Alcotest.check triples "commit after CRC repair survives reopen"
+    (visible t2) (visible t3);
+  rm_rf dir
+
+let test_duplicate_marker () =
+  let dir, t, _boundaries, states = build_dir [ [ `Add 1 ] ] in
+  let seg = W.segment_file (wal_of t) in
+  let data = read_file seg in
+  (* The segment holds txn 1's body then its marker. Re-appending the
+     marker record verbatim is a protocol violation (a marker with no
+     pending body, and an out-of-order txn id): replay must stop at it,
+     keeping txn 1. *)
+  let body_len = get_u32 data 12 in
+  let marker_off = 12 + 8 + body_len in
+  let marker = String.sub data marker_off (String.length data - marker_off) in
+  write_file seg (data ^ marker);
+  let t2, r = M.open_dir dir in
+  Alcotest.check triples "duplicate marker does not double-apply" states.(1)
+    (visible t2);
+  Alcotest.(check int) "one txn replayed" 1 r.W.replayed_txns;
+  Alcotest.(check int) "the duplicate is truncated" (String.length marker)
+    r.W.truncated_bytes;
+  rm_rf dir
+
+(* ---------------- failpoint kills ---------------- *)
+
+let injected site f =
+  match f () with
+  | _ -> Alcotest.fail (site ^ ": expected an injected kill")
+  | exception Gov.Kill (Gov.Injected_fault s) ->
+      Alcotest.(check string) "killed at the armed site" site s
+
+let with_fault site f =
+  Gov.with_ticket (Gov.create ~faults:[ Gov.fault ~site ~after:1 ] ()) f
+
+(* A crash while writing the body or marker record aborts the commit:
+   nothing published, nothing on disk past the previous boundary, and
+   the lineage keeps accepting commits. *)
+let check_append_kill site =
+  let dir = fresh_dir () in
+  let t, _ = M.open_dir ~policy:W.Every_commit dir in
+  commit_ops t [ `Add 1 ];
+  let before = visible t in
+  let size_before = seg_size t in
+  let lsn_before = W.appended_lsn (wal_of t) in
+  injected site (fun () ->
+      with_fault site (fun () -> commit_ops t [ `Add 2 ]));
+  Alcotest.check triples (site ^ ": nothing published") before (visible t);
+  Alcotest.(check int) (site ^ ": segment rolled back") size_before
+    (seg_size t);
+  Alcotest.(check int) (site ^ ": lsn unchanged") lsn_before
+    (W.appended_lsn (wal_of t));
+  commit_ops t [ `Add 3 ];
+  let t2, r = M.open_dir dir in
+  Alcotest.check triples (site ^ ": recovery sees exactly the committed txns")
+    (visible t) (visible t2);
+  Alcotest.(check int) (site ^ ": two txns replayed") 2 r.W.replayed_txns;
+  Alcotest.(check int) (site ^ ": no torn bytes") 0 r.W.truncated_bytes;
+  rm_rf dir
+
+let test_kill_record () = check_append_kill "wal.record"
+let test_kill_marker () = check_append_kill "wal.marker"
+
+(* A crash inside the fsync (before or after it lands) happens after the
+   append and the publish: the commit is visible, the kill escapes to
+   the committer, and recovery still restores the txn — the append was
+   flushed, so only the fsync was lost, not the bytes. *)
+let check_sync_kill site =
+  let dir = fresh_dir () in
+  let t, _ = M.open_dir ~policy:W.Every_commit dir in
+  commit_ops t [ `Add 1 ];
+  injected site (fun () ->
+      with_fault site (fun () -> commit_ops t [ `Add 2 ]));
+  Alcotest.check triples (site ^ ": the commit is published")
+    (List.sort compare
+       [ Rdf.Triple.to_ntriples (tri 1); Rdf.Triple.to_ntriples (tri 2) ])
+    (visible t);
+  (* The group-commit machinery recovered from the dead leader: a plain
+     sync succeeds and catches up. *)
+  W.sync (wal_of t);
+  Alcotest.(check int) (site ^ ": sync catches up") (W.appended_lsn (wal_of t))
+    (W.synced_lsn (wal_of t));
+  commit_ops t [ `Add 3 ];
+  let t2, r = M.open_dir dir in
+  Alcotest.check triples (site ^ ": all three txns recovered") (visible t)
+    (visible t2);
+  Alcotest.(check int) (site ^ ": three txns replayed") 3 r.W.replayed_txns;
+  rm_rf dir
+
+let test_kill_sync_pre () = check_sync_kill "wal.sync.pre"
+let test_kill_sync_post () = check_sync_kill "wal.sync.post"
+
+(* A crash while writing or renaming the checkpoint must leave the old
+   checkpoint + log authoritative: reopening recovers the full
+   committed state, and no .tmp litter survives. *)
+let check_checkpoint_kill site =
+  let dir = fresh_dir () in
+  let t, _ = M.open_dir ~policy:W.Every_commit dir in
+  commit_ops t [ `Add 1; `Add 2 ];
+  commit_ops t [ `Del 1; `Add 3 ];
+  let committed = visible t in
+  injected site (fun () ->
+      with_fault site (fun () -> ignore (M.checkpoint t)));
+  Alcotest.check triples (site ^ ": published state intact") committed
+    (visible t);
+  Alcotest.(check bool) (site ^ ": no tmp litter") false
+    (Array.exists
+       (fun f -> Filename.check_suffix f ".tmp")
+       (Sys.readdir dir));
+  (* The handle survives the failed checkpoint and so does the data. *)
+  commit_ops t [ `Add 4 ];
+  let t2, _ = M.open_dir dir in
+  Alcotest.check triples (site ^ ": reopen recovers everything") (visible t)
+    (visible t2);
+  rm_rf dir
+
+let test_kill_checkpoint_save () = check_checkpoint_kill "snapshot.save"
+let test_kill_checkpoint_rename () = check_checkpoint_kill "snapshot.rename"
+
+(* Crash-atomic [Snapshot.save] on its own: a kill mid-save never
+   clobbers the previously valid file. *)
+let test_snapshot_save_atomic () =
+  let path = Filename.temp_file "spuo_snap" ".spuo" in
+  let original = Rdf_store.Triple_store.of_triples [ tri 1; tri 2 ] in
+  Rdf_store.Snapshot.save original path;
+  let replacement = Rdf_store.Triple_store.of_triples [ tri 3 ] in
+  injected "snapshot.save" (fun () ->
+      with_fault "snapshot.save" (fun () ->
+          Rdf_store.Snapshot.save replacement path));
+  Alcotest.(check bool) "no tmp litter" false (Sys.file_exists (path ^ ".tmp"));
+  let reloaded = Rdf_store.Snapshot.load path in
+  Alcotest.(check int) "original file still loads" 2
+    (Rdf_store.Triple_store.size reloaded);
+  injected "snapshot.rename" (fun () ->
+      with_fault "snapshot.rename" (fun () ->
+          Rdf_store.Snapshot.save replacement path));
+  Alcotest.(check bool) "no tmp litter after rename kill" false
+    (Sys.file_exists (path ^ ".tmp"));
+  Alcotest.(check int) "original survives a rename kill" 2
+    (Rdf_store.Triple_store.size (Rdf_store.Snapshot.load path));
+  Sys.remove path
+
+(* ---------------- checkpointing ---------------- *)
+
+let test_checkpoint_truncates_log () =
+  let dir = fresh_dir () in
+  let t, _ = M.open_dir ~policy:W.Every_commit dir in
+  commit_ops t [ `Add 1 ];
+  commit_ops t [ `Add 2; `Del 1 ];
+  let committed = visible t in
+  ignore (M.checkpoint t);
+  let w = wal_of t in
+  Alcotest.(check int) "log rotated to segment 2" 2 (W.stats w).W.segment;
+  Alcotest.(check int) "fresh segment holds only its header" 12
+    (file_size (W.segment_file w));
+  Alcotest.(check bool) "old segment deleted" false
+    (Sys.file_exists (Filename.concat dir "wal.1.log"));
+  Alcotest.(check bool) "old checkpoint deleted" false
+    (Sys.file_exists (Filename.concat dir "checkpoint.1.spuo"));
+  let t2, r = M.open_dir dir in
+  Alcotest.check triples "checkpointed state recovers with zero replay"
+    committed (visible t2);
+  Alcotest.(check int) "zero txns replayed" 0 r.W.replayed_txns;
+  Alcotest.(check int) "recovered from checkpoint 2" 2 r.W.checkpoint_seq;
+  (* Commits after the checkpoint replay over the new checkpoint. *)
+  commit_ops t [ `Add 9 ];
+  let t3, r3 = M.open_dir dir in
+  Alcotest.check triples "post-checkpoint commit recovers" (visible t)
+    (visible t3);
+  Alcotest.(check int) "one txn replayed over checkpoint 2" 1
+    r3.W.replayed_txns;
+  rm_rf dir
+
+(* Commits race a compaction: whatever was committed before the
+   auto-compaction folds must replay correctly over the *new*
+   checkpoint (the fold is invariant to the base/delta split). *)
+let test_recovery_across_auto_compaction () =
+  let dir = fresh_dir () in
+  let t, _ = M.open_dir ~compact_threshold:4 ~policy:W.Every_commit dir in
+  for i = 1 to 10 do
+    commit_ops t [ `Add i ]
+  done;
+  let w = wal_of t in
+  Alcotest.(check bool) "auto-compaction checkpointed" true
+    ((W.stats w).W.checkpoints > 0);
+  let t2, _ = M.open_dir dir in
+  Alcotest.check triples "all ten commits survive auto-compaction"
+    (visible t) (visible t2);
+  rm_rf dir
+
+(* ---------------- unrecoverable directories ---------------- *)
+
+let expect_unrecoverable name f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Unrecoverable")
+  | exception W.Unrecoverable _ -> ()
+
+let test_unrecoverable () =
+  (* Log segment without any checkpoint. *)
+  let d1 = fresh_dir () in
+  Unix.mkdir d1 0o755;
+  write_file (Filename.concat d1 "wal.1.log") "SUWL<garbage>";
+  expect_unrecoverable "orphan segment" (fun () -> M.open_dir d1);
+  rm_rf d1;
+  (* Corrupt newest checkpoint: never silently fall back. *)
+  let d2, t2, _, _ = build_dir [ [ `Add 1 ] ] in
+  ignore t2;
+  let cp = Filename.concat d2 "checkpoint.1.spuo" in
+  let data = read_file cp in
+  write_file cp (String.sub data 0 (String.length data - 2));
+  expect_unrecoverable "corrupt checkpoint" (fun () -> M.open_dir d2);
+  rm_rf d2;
+  (* Segment newer than the newest checkpoint. *)
+  let d3, t3, _, _ = build_dir [ [ `Add 1 ] ] in
+  ignore t3;
+  write_file (Filename.concat d3 "wal.9.log") "SUWL????????";
+  expect_unrecoverable "orphan newer segment" (fun () -> M.open_dir d3);
+  rm_rf d3;
+  (* A bad segment header (wrong magic) is unrecoverable too. *)
+  let d4, t4, _, _ = build_dir [ [ `Add 1 ] ] in
+  let seg = W.segment_file (wal_of t4) in
+  let data = read_file seg in
+  let b = Bytes.of_string data in
+  Bytes.set b 0 'X';
+  write_file seg (Bytes.to_string b);
+  expect_unrecoverable "bad segment header" (fun () -> M.open_dir d4);
+  rm_rf d4
+
+(* ---------------- sync policies and group commit ---------------- *)
+
+let test_never_policy_counts () =
+  let dir = fresh_dir () in
+  let t, _ = M.open_dir ~policy:W.Never dir in
+  for i = 1 to 5 do
+    commit_ops t [ `Add i ]
+  done;
+  let w = wal_of t in
+  let s = W.stats w in
+  Alcotest.(check int) "five commits appended" 5 s.W.commits;
+  Alcotest.(check int) "never policy issues no fsync" 0 s.W.syncs;
+  W.sync w;
+  Alcotest.(check int) "explicit sync catches up" (W.appended_lsn w)
+    (W.synced_lsn w);
+  Alcotest.(check int) "one fsync covered all five" 1 (W.stats w).W.syncs;
+  rm_rf dir
+
+let test_every_commit_synced () =
+  let dir = fresh_dir () in
+  let t, _ = M.open_dir ~policy:W.Every_commit dir in
+  for i = 1 to 3 do
+    commit_ops t [ `Add i ];
+    let w = wal_of t in
+    Alcotest.(check int) "commit returns only once synced"
+      (W.appended_lsn w) (W.synced_lsn w)
+  done;
+  rm_rf dir
+
+(* Four domains hammer one durable lineage under every-commit: the
+   fsyncs group-commit (accounting stays consistent), every committer
+   returns durable, and recovery restores all of it exactly. *)
+let test_group_commit_concurrent () =
+  let dir = fresh_dir () in
+  let t, _ = M.open_dir ~policy:W.Every_commit dir in
+  let per_domain = 25 in
+  let workers =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              commit_ops t [ `Add ((d * 1000) + i) ]
+            done))
+  in
+  List.iter Domain.join workers;
+  let w = wal_of t in
+  let s = W.stats w in
+  Alcotest.(check int) "all 100 commits appended" 100 s.W.commits;
+  Alcotest.(check int) "every commit durable" (W.appended_lsn w)
+    (W.synced_lsn w);
+  Alcotest.(check bool) "group-commit accounting consistent" true
+    (s.W.syncs >= 1 && s.W.syncs <= s.W.batched_commits
+    && s.W.batched_commits = 100 && s.W.max_batch >= 1);
+  let t2, r = M.open_dir dir in
+  Alcotest.(check int) "all 100 txns replayed" 100 r.W.replayed_txns;
+  Alcotest.check triples "concurrent commits recover exactly" (visible t)
+    (visible t2);
+  rm_rf dir
+
+(* ---------------- session-level durability ---------------- *)
+
+let test_session_open_dir () =
+  let dir = fresh_dir () in
+  let session, r = Sparql_uo.Session.open_dir dir in
+  Alcotest.(check bool) "fresh session dir initializes" true
+    r.W.initialized;
+  Sparql_uo.Update_exec.run_session session
+    "INSERT DATA { <http://t/a> <http://t/p> <http://t/b> . <http://t/b> \
+     <http://t/p> <http://t/c> . }";
+  Sparql_uo.Update_exec.run_session session
+    "DELETE DATA { <http://t/a> <http://t/p> <http://t/b> . }";
+  let count session =
+    match
+      (Sparql_uo.Session.run session
+         "SELECT * WHERE { ?s <http://t/p> ?o . }")
+        .Sparql_uo.Executor.result_count
+    with
+    | Some n -> n
+    | None -> Alcotest.fail "query killed"
+  in
+  Alcotest.(check int) "one triple visible after the updates" 1
+    (count session);
+  let session2, r2 = Sparql_uo.Session.open_dir dir in
+  Alcotest.(check int) "two update txns replayed" 2 r2.W.replayed_txns;
+  Alcotest.(check int) "recovered session sees the same store" 1
+    (count session2);
+  rm_rf dir
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "committed-prefix",
+        [
+          Alcotest.test_case "exhaustive byte-offset sweep" `Quick
+            test_committed_prefix_sweep;
+          QCheck_alcotest.to_alcotest prop_committed_prefix;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "torn record" `Quick test_torn_record;
+          Alcotest.test_case "flipped CRC" `Quick test_flipped_crc;
+          Alcotest.test_case "duplicate marker" `Quick test_duplicate_marker;
+          Alcotest.test_case "unrecoverable directories" `Quick
+            test_unrecoverable;
+        ] );
+      ( "kill-points",
+        [
+          Alcotest.test_case "record write" `Quick test_kill_record;
+          Alcotest.test_case "marker write" `Quick test_kill_marker;
+          Alcotest.test_case "fsync (pre)" `Quick test_kill_sync_pre;
+          Alcotest.test_case "fsync (post)" `Quick test_kill_sync_post;
+          Alcotest.test_case "checkpoint save" `Quick
+            test_kill_checkpoint_save;
+          Alcotest.test_case "checkpoint rename" `Quick
+            test_kill_checkpoint_rename;
+          Alcotest.test_case "snapshot save is crash-atomic" `Quick
+            test_snapshot_save_atomic;
+        ] );
+      ( "checkpointing",
+        [
+          Alcotest.test_case "truncates the log" `Quick
+            test_checkpoint_truncates_log;
+          Alcotest.test_case "recovery across auto-compaction" `Quick
+            test_recovery_across_auto_compaction;
+        ] );
+      ( "sync-policies",
+        [
+          Alcotest.test_case "never" `Quick test_never_policy_counts;
+          Alcotest.test_case "every-commit" `Quick test_every_commit_synced;
+          Alcotest.test_case "group commit under 4 domains" `Quick
+            test_group_commit_concurrent;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "open_dir round trip" `Quick
+            test_session_open_dir;
+        ] );
+    ]
