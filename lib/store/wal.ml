@@ -269,8 +269,12 @@ let encode_marker txn_id =
 let append_commit t ~dict ~ops =
   let body, size_now = encode_body t ~dict ~ops in
   let marker = encode_marker t.next_txn in
-  (* File offset of the previous commit boundary, for rollback. *)
-  let rollback_to = t.appended - t.lsn_base in
+  (* File offset of the previous commit boundary, for rollback. Right
+     after a checkpoint rotation [t.appended = t.lsn_base], but the
+     fresh segment still starts with its 12-byte header — never roll
+     back past it, or later commits land at offset 0 and the next
+     [open_dir] rejects the segment. *)
+  let rollback_to = max header_size (t.appended - t.lsn_base) in
   try
     Failpoint.hit "wal.record";
     output_string t.oc (frame body);
@@ -398,31 +402,42 @@ let checkpoint t store =
   let dict_terms = Dictionary.size (Triple_store.dictionary store) in
   Snapshot.save ~dict_terms store (checkpoint_path t.dir next);
   fsync_dir t.dir;
-  (* Wait out any in-flight group-commit fsync before swapping the
-     segment under it. *)
+  (* Wait out any in-flight group-commit fsync, then claim sync
+     leadership ourselves for the whole swap: a committer acquiring
+     leadership between the wait and the fd replacement would capture
+     the old descriptor and fsync it while we close it underneath. *)
   Mutex.lock t.m;
   while t.syncing do
     Condition.wait t.cond t.m
   done;
+  t.syncing <- true;
   Mutex.unlock t.m;
-  let oc, fd = start_segment t.dir next in
-  fsync_dir t.dir;
-  let old_oc = t.oc in
-  Mutex.lock t.m;
-  t.oc <- oc;
-  t.fd <- fd;
-  t.seq <- next;
-  t.lsn_base <- t.appended;
-  (* Everything appended before the rotation is durable via the
-     checkpoint; release any waiter blocked on an old-segment LSN. *)
-  t.synced <- t.appended;
-  t.unsynced_commits <- 0;
-  t.n_checkpoints <- t.n_checkpoints + 1;
-  Condition.broadcast t.cond;
-  Mutex.unlock t.m;
-  t.next_txn <- 1;
-  t.logged_dict_size <- dict_terms;
-  close_out_noerr old_oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.m;
+      t.syncing <- false;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.m)
+    (fun () ->
+      let oc, fd = start_segment t.dir next in
+      fsync_dir t.dir;
+      let old_oc = t.oc in
+      Mutex.lock t.m;
+      t.oc <- oc;
+      t.fd <- fd;
+      t.seq <- next;
+      t.lsn_base <- t.appended;
+      (* Everything appended before the rotation is durable via the
+         checkpoint; release any waiter blocked on an old-segment LSN. *)
+      t.synced <- t.appended;
+      t.unsynced_commits <- 0;
+      t.n_checkpoints <- t.n_checkpoints + 1;
+      Mutex.unlock t.m;
+      t.next_txn <- 1;
+      t.logged_dict_size <- dict_terms;
+      (* Safe now: any leader elected after the field swap holds the
+         new fd, and [t.syncing] kept earlier ones out. *)
+      close_out_noerr old_oc);
   remove_superseded t.dir next
 
 let close t =
@@ -683,7 +698,14 @@ let open_dir ?(policy = Every_commit) ?init dirname =
     let dict = Triple_store.dictionary store in
     let seg = segment_path dirname seq in
     let txns, valid_end, file_len =
-      if not (Sys.file_exists seg) then ([], header_size, header_size)
+      if not (Sys.file_exists seg) then
+        (* Crash between the checkpoint rename and [start_segment]
+           (checkpoint rotation or fresh-dir init): the checkpoint
+           alone is authoritative. Report a negative length so the
+           recreate branch below runs — [header_size] would instead
+           route to the reopen-for-append path and fail on the
+           nonexistent file. *)
+        ([], header_size, -1)
       else begin
         let data = read_file seg in
         let len = String.length data in
@@ -707,7 +729,11 @@ let open_dir ?(policy = Every_commit) ?init dirname =
     (* Physically truncate the torn tail (or recreate a missing/torn
        segment), then reopen for append at the committed boundary. *)
     let oc, fd =
-      if file_len < header_size then start_segment dirname seq
+      if file_len < header_size then begin
+        let oc, fd = start_segment dirname seq in
+        fsync_dir dirname;
+        (oc, fd)
+      end
       else begin
         if valid_end < file_len then begin
           let tfd = Unix.openfile seg [ Unix.O_WRONLY ] 0o644 in

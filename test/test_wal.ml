@@ -323,6 +323,27 @@ let check_append_kill site =
     (visible t) (visible t2);
   Alcotest.(check int) (site ^ ": two txns replayed") 2 r.W.replayed_txns;
   Alcotest.(check int) (site ^ ": no torn bytes") 0 r.W.truncated_bytes;
+  (* Same kill on the FIRST commit after a checkpoint rotation: the
+     previous boundary is the fresh segment's 12-byte header, and the
+     rollback must stop there — truncating to 0 would destroy the
+     header and make every later commit unrecoverable. *)
+  ignore (M.checkpoint t);
+  let at_checkpoint = visible t in
+  injected site (fun () ->
+      with_fault site (fun () -> commit_ops t [ `Add 4 ]));
+  Alcotest.check triples (site ^ ": nothing published post-rotation")
+    at_checkpoint (visible t);
+  Alcotest.(check int) (site ^ ": rollback preserves the segment header") 12
+    (seg_size t);
+  commit_ops t [ `Add 5 ];
+  let t3, r3 = M.open_dir dir in
+  Alcotest.check triples
+    (site ^ ": post-rotation commits recover after a failed append")
+    (visible t) (visible t3);
+  Alcotest.(check int) (site ^ ": one txn replayed over the checkpoint") 1
+    r3.W.replayed_txns;
+  Alcotest.(check int) (site ^ ": no torn bytes post-rotation") 0
+    r3.W.truncated_bytes;
   rm_rf dir
 
 let test_kill_record () = check_append_kill "wal.record"
@@ -437,6 +458,51 @@ let test_checkpoint_truncates_log () =
   Alcotest.(check int) "one txn replayed over checkpoint 2" 1
     r3.W.replayed_txns;
   rm_rf dir
+
+(* A crash between the checkpoint rename and [start_segment] leaves a
+   checkpoint with no matching segment file — reachable both at
+   checkpoint rotation and at fresh-dir init. The checkpoint alone is
+   authoritative: recovery must recreate the segment, not die on the
+   missing file. *)
+let test_missing_segment_recovers () =
+  (* Rotation case: checkpoint.2.spuo present, wal.2.log deleted. *)
+  let dir = fresh_dir () in
+  let t, _ = M.open_dir ~policy:W.Every_commit dir in
+  commit_ops t [ `Add 1 ];
+  commit_ops t [ `Add 2; `Del 1 ];
+  ignore (M.checkpoint t);
+  let committed = visible t in
+  Sys.remove (Filename.concat dir "wal.2.log");
+  let t2, r = M.open_dir dir in
+  Alcotest.check triples "checkpoint alone recovers the committed state"
+    committed (visible t2);
+  Alcotest.(check int) "zero txns replayed" 0 r.W.replayed_txns;
+  Alcotest.(check int) "no torn bytes" 0 r.W.truncated_bytes;
+  Alcotest.(check int) "recovered from checkpoint 2" 2 r.W.checkpoint_seq;
+  Alcotest.(check int) "segment recreated with its header" 12 (seg_size t2);
+  (* The recreated segment accepts commits and they survive reopen. *)
+  commit_ops t2 [ `Add 3 ];
+  let t3, r3 = M.open_dir dir in
+  Alcotest.check triples "post-recreate commit survives reopen" (visible t2)
+    (visible t3);
+  Alcotest.(check int) "one txn replayed" 1 r3.W.replayed_txns;
+  rm_rf dir;
+  (* Fresh-dir init case: checkpoint.1.spuo present, wal.1.log deleted. *)
+  let d2 = fresh_dir () in
+  let t0, _ = M.open_dir d2 in
+  let init_state = visible t0 in
+  Sys.remove (Filename.concat d2 "wal.1.log");
+  let t1, r1 = M.open_dir d2 in
+  Alcotest.check triples "init checkpoint recovers without its segment"
+    init_state (visible t1);
+  Alcotest.(check int) "nothing replayed" 0 r1.W.replayed_txns;
+  commit_ops t1 [ `Add 9 ];
+  let t1', r1' = M.open_dir d2 in
+  Alcotest.check triples "commit after recreation survives" (visible t1)
+    (visible t1');
+  Alcotest.(check int) "one txn replayed after recreation" 1
+    r1'.W.replayed_txns;
+  rm_rf d2
 
 (* Commits race a compaction: whatever was committed before the
    auto-compaction folds must replay correctly over the *new*
@@ -614,6 +680,8 @@ let () =
         [
           Alcotest.test_case "truncates the log" `Quick
             test_checkpoint_truncates_log;
+          Alcotest.test_case "missing segment behind a checkpoint" `Quick
+            test_missing_segment_recovers;
           Alcotest.test_case "recovery across auto-compaction" `Quick
             test_recovery_across_auto_compaction;
         ] );
